@@ -1,0 +1,79 @@
+//! Shared accuracy evaluation for baseline tracers: compares inferred
+//! per-request record sets against ground truth, using the same
+//! definition as the paper (§5.2): a path is correct iff its record set
+//! equals a request's record set exactly.
+
+use std::collections::HashMap;
+
+/// Accuracy of a baseline's inferred paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BaselineAccuracy {
+    /// Ground-truth requests evaluated.
+    pub requests: u64,
+    /// Paths matching a request exactly.
+    pub correct: u64,
+    /// Paths matching no request.
+    pub wrong: u64,
+}
+
+impl BaselineAccuracy {
+    /// `correct / requests` (1.0 when there are no requests).
+    pub fn accuracy(&self) -> f64 {
+        if self.requests == 0 {
+            1.0
+        } else {
+            self.correct as f64 / self.requests as f64
+        }
+    }
+}
+
+/// Evaluates inferred paths (as sorted uid vectors) against truth sets
+/// (also sorted).
+pub fn evaluate(inferred: &[Vec<u64>], truth: &[Vec<u64>]) -> BaselineAccuracy {
+    let mut truth_index: HashMap<&[u64], u64> = HashMap::new();
+    for t in truth {
+        truth_index.insert(t.as_slice(), 0);
+    }
+    let mut correct = 0u64;
+    let mut wrong = 0u64;
+    for p in inferred {
+        match truth_index.get_mut(p.as_slice()) {
+            Some(hits) if *hits == 0 => {
+                *hits = 1;
+                correct += 1;
+            }
+            _ => wrong += 1,
+        }
+    }
+    BaselineAccuracy { requests: truth.len() as u64, correct, wrong }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_matches_count() {
+        let truth = vec![vec![1, 2, 3], vec![4, 5]];
+        let inferred = vec![vec![1, 2, 3], vec![4, 5]];
+        let a = evaluate(&inferred, &truth);
+        assert_eq!(a.correct, 2);
+        assert_eq!(a.wrong, 0);
+        assert_eq!(a.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn partial_and_duplicate_matches_are_wrong() {
+        let truth = vec![vec![1, 2, 3]];
+        let inferred = vec![vec![1, 2], vec![1, 2, 3], vec![1, 2, 3]];
+        let a = evaluate(&inferred, &truth);
+        assert_eq!(a.correct, 1);
+        assert_eq!(a.wrong, 2);
+    }
+
+    #[test]
+    fn empty_truth_is_perfect() {
+        let a = evaluate(&[], &[]);
+        assert_eq!(a.accuracy(), 1.0);
+    }
+}

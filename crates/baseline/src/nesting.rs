@@ -1,0 +1,347 @@
+//! WAP5-style nesting inference (Reynolds et al., WWW 2006).
+//!
+//! WAP5 traces at per-**process** granularity via library interposition:
+//! it sees which process sent/received which bytes but has no thread
+//! identifiers. Messages are paired across the wire (that part can be
+//! exact, like PreciseTracer's size-based matching); the *causal* step
+//! is a heuristic: an outgoing message from process P is nested under
+//! the most recent incoming message of P.
+//!
+//! Under low concurrency the heuristic is usually right; once a process
+//! multiplexes concurrent requests (a JBoss with many worker threads,
+//! MySQL with per-connection threads — all one pid), the most-recent
+//! rule cross-attributes messages and path accuracy collapses. That is
+//! the contrast the PreciseTracer paper draws (§6.1).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use tracer_core::access::{AccessPointSpec, Classifier};
+use tracer_core::activity::{ActivityType, Channel, LocalTime};
+use tracer_core::raw::RawRecord;
+
+/// Tuning for the nesting inference.
+#[derive(Debug, Clone, Copy)]
+pub struct NestingConfig {
+    /// Maximum time an incoming message can be considered the cause of
+    /// an outgoing one (nanoseconds of the *receiving* node's clock).
+    pub max_causal_gap: u64,
+    /// Maximum gap between send chunks of one logical message
+    /// (nanoseconds); WAP5 reconstructs message boundaries from timing,
+    /// so chunks further apart start a new message.
+    pub merge_gap: u64,
+}
+
+impl Default for NestingConfig {
+    fn default() -> Self {
+        NestingConfig { max_causal_gap: 10_000_000_000, merge_gap: 2_000_000 }
+    }
+}
+
+/// One logical message reconstructed from send/receive chunks.
+#[derive(Debug, Clone)]
+struct Message {
+    /// (hostname, pid) of the sender — process granularity only.
+    send_proc: (Arc<str>, u32),
+    recv_proc: Option<(Arc<str>, u32)>,
+    send_ts: LocalTime,
+    /// Receive completion on the receiver's clock.
+    recv_ts: Option<LocalTime>,
+    /// Ground-truth record uids of every chunk (both sides).
+    tags: Vec<u64>,
+    /// True when this message starts a request (client → frontend).
+    is_begin: bool,
+    /// True when this message ends a request (frontend → client);
+    /// retained for path labelling even though inference treats END
+    /// messages like any other outgoing message.
+    #[allow(dead_code)]
+    is_end: bool,
+}
+
+/// An inferred causal path: the record uids WAP5 would report for one
+/// request.
+#[derive(Debug, Clone)]
+pub struct InferredPath {
+    /// Sorted ground-truth uids of all records in the path.
+    pub tags: Vec<u64>,
+    /// Timestamp of the root (request arrival, frontend clock).
+    pub root_ts: LocalTime,
+}
+
+/// Runs nesting inference over a raw log.
+///
+/// `access` plays the same role as for PreciseTracer: it identifies the
+/// frontend so request roots can be found.
+pub fn infer_paths(
+    records: &[RawRecord],
+    access: &AccessPointSpec,
+    config: &NestingConfig,
+) -> Vec<InferredPath> {
+    let classifier = Classifier::new(access.clone());
+    // ---- phase 1: message reconstruction (chunk pairing by bytes) ----
+    // Per directed channel: FIFO of partially received messages.
+    struct Pending {
+        msg: usize,
+        remaining: u64,
+        last_send_ts: LocalTime,
+    }
+    let mut messages: Vec<Message> = Vec::new();
+    let mut pendings: HashMap<Channel, Vec<Pending>> = HashMap::new();
+    // Records must be processed per node in time order; merge-sort all
+    // records by (hostname, ts) first, then walk sends before receives
+    // per channel via the FIFO.
+    let mut ordered: Vec<&RawRecord> = records.iter().collect();
+    ordered.sort_by(|a, b| a.ts.cmp(&b.ts).then(a.hostname.cmp(&b.hostname)));
+    for rec in ordered {
+        let act = classifier.classify(rec);
+        let chan = rec.channel();
+        match act.ty {
+            ActivityType::Send | ActivityType::End => {
+                let q = pendings.entry(chan).or_default();
+                // Merge into the last open message from the same process
+                // if it is still unreceived (same chunking rule as the
+                // precise engine, minus context knowledge).
+                if let Some(last) = q.last_mut() {
+                    let m = &mut messages[last.msg];
+                    if m.send_proc.1 == rec.pid
+                        && m.recv_ts.is_none()
+                        && rec.ts.as_nanos().saturating_sub(last.last_send_ts.as_nanos())
+                            <= config.merge_gap
+                    {
+                        m.tags.push(rec.tag);
+                        last.remaining += rec.size;
+                        last.last_send_ts = rec.ts;
+                        continue;
+                    }
+                }
+                let msg = messages.len();
+                messages.push(Message {
+                    send_proc: (Arc::clone(&rec.hostname), rec.pid),
+                    recv_proc: None,
+                    send_ts: rec.ts,
+                    recv_ts: None,
+                    tags: vec![rec.tag],
+                    is_begin: false,
+                    is_end: act.ty == ActivityType::End,
+                });
+                q.push(Pending { msg, remaining: rec.size, last_send_ts: rec.ts });
+            }
+            ActivityType::Receive | ActivityType::Begin => {
+                if act.ty == ActivityType::Begin {
+                    // Client side is untraced: synthesize a root message.
+                    let msg = messages.len();
+                    messages.push(Message {
+                        send_proc: (Arc::from("client"), 0),
+                        recv_proc: Some((Arc::clone(&rec.hostname), rec.pid)),
+                        send_ts: rec.ts,
+                        recv_ts: Some(rec.ts),
+                        tags: vec![rec.tag],
+                        is_begin: true,
+                        is_end: false,
+                    });
+                    let _ = msg;
+                    continue;
+                }
+                let Some(q) = pendings.get_mut(&chan) else { continue };
+                if q.is_empty() {
+                    continue; // noise receive
+                }
+                let mut need = rec.size;
+                while need > 0 && !q.is_empty() {
+                    let front = &mut q[0];
+                    let m = &mut messages[front.msg];
+                    m.tags.push(rec.tag);
+                    m.recv_proc = Some((Arc::clone(&rec.hostname), rec.pid));
+                    if need >= front.remaining {
+                        need -= front.remaining;
+                        m.recv_ts = Some(rec.ts);
+                        q.remove(0);
+                    } else {
+                        front.remaining -= need;
+                        need = 0;
+                    }
+                }
+            }
+        }
+    }
+    // ---- phase 2: nesting (most-recent-incoming heuristic) -----------
+    // Incoming messages per process, ordered by recv_ts.
+    let mut incoming: HashMap<(Arc<str>, u32), Vec<usize>> = HashMap::new();
+    for (i, m) in messages.iter().enumerate() {
+        if let (Some(proc_id), Some(_)) = (m.recv_proc.clone(), m.recv_ts) {
+            incoming.entry(proc_id).or_default().push(i);
+        }
+    }
+    for v in incoming.values_mut() {
+        v.sort_by_key(|&i| messages[i].recv_ts);
+    }
+    // children[parent message] = messages it "caused".
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); messages.len()];
+    for (i, m) in messages.iter().enumerate() {
+        if m.is_begin {
+            continue;
+        }
+        let Some(inc) = incoming.get(&m.send_proc) else { continue };
+        // Most recent incoming message of the sending process whose
+        // receive completed at or before this send.
+        let mut best: Option<usize> = None;
+        for &j in inc {
+            let r = messages[j].recv_ts.expect("indexed by recv_ts");
+            if r <= m.send_ts
+                && m.send_ts.as_nanos() - r.as_nanos() <= config.max_causal_gap
+            {
+                best = Some(j);
+            } else if r > m.send_ts {
+                break;
+            }
+        }
+        if let Some(j) = best {
+            children[j].push(i);
+        }
+    }
+    // ---- phase 3: collect trees from request roots --------------------
+    let mut paths = Vec::new();
+    for (i, m) in messages.iter().enumerate() {
+        if !m.is_begin {
+            continue;
+        }
+        let mut tags = Vec::new();
+        let mut stack = vec![i];
+        let mut guard = 0;
+        while let Some(k) = stack.pop() {
+            guard += 1;
+            if guard > messages.len() * 2 {
+                break; // cycles cannot happen, but stay total
+            }
+            tags.extend(messages[k].tags.iter().copied().filter(|&t| t != 0));
+            stack.extend(children[k].iter().copied());
+        }
+        tags.sort_unstable();
+        tags.dedup();
+        paths.push(InferredPath { tags, root_ts: m.send_ts });
+    }
+    paths
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracer_core::raw::parse_log;
+
+    fn access() -> AccessPointSpec {
+        AccessPointSpec::new(
+            [80],
+            ["10.0.0.1".parse().unwrap(), "10.0.0.2".parse().unwrap()],
+        )
+    }
+
+    /// One sequential request: nesting gets it right.
+    #[test]
+    fn sequential_request_inferred_correctly() {
+        let log = "\
+            1000 web httpd 7 7 RECEIVE 192.168.0.9:5000-10.0.0.1:80 120\n\
+            2000 web httpd 7 7 SEND 10.0.0.1:4001-10.0.0.2:9000 64\n\
+            2500 app java 9 21 RECEIVE 10.0.0.1:4001-10.0.0.2:9000 64\n\
+            4000 app java 9 21 SEND 10.0.0.2:9000-10.0.0.1:4001 256\n\
+            4400 web httpd 7 7 RECEIVE 10.0.0.2:9000-10.0.0.1:4001 256\n\
+            5000 web httpd 7 7 SEND 10.0.0.1:80-192.168.0.9:5000 512\n";
+        let mut records = parse_log(log).unwrap();
+        for (i, r) in records.iter_mut().enumerate() {
+            r.tag = i as u64 + 1;
+        }
+        let paths = infer_paths(&records, &access(), &NestingConfig::default());
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].tags, vec![1, 2, 3, 4, 5, 6]);
+    }
+
+    /// Two interleaved requests through the *same* app process (pid 9,
+    /// different threads): the most-recent heuristic cross-attributes.
+    #[test]
+    fn interleaved_requests_confuse_nesting() {
+        let log = "\
+            1000 web httpd 7 7 RECEIVE 192.168.0.9:5000-10.0.0.1:80 120\n\
+            1100 web httpd 8 8 RECEIVE 192.168.0.9:5001-10.0.0.1:80 120\n\
+            2000 web httpd 7 7 SEND 10.0.0.1:4001-10.0.0.2:9000 64\n\
+            2100 web httpd 8 8 SEND 10.0.0.1:4002-10.0.0.2:9000 64\n\
+            2500 app java 9 21 RECEIVE 10.0.0.1:4001-10.0.0.2:9000 64\n\
+            2600 app java 9 22 RECEIVE 10.0.0.1:4002-10.0.0.2:9000 64\n\
+            4000 app java 9 21 SEND 10.0.0.2:9000-10.0.0.1:4001 256\n\
+            4100 app java 9 22 SEND 10.0.0.2:9000-10.0.0.1:4002 256\n\
+            4400 web httpd 7 7 RECEIVE 10.0.0.2:9000-10.0.0.1:4001 256\n\
+            4500 web httpd 8 8 RECEIVE 10.0.0.2:9000-10.0.0.1:4002 256\n\
+            5000 web httpd 7 7 SEND 10.0.0.1:80-192.168.0.9:5000 512\n\
+            5100 web httpd 8 8 SEND 10.0.0.1:80-192.168.0.9:5001 512\n";
+        let mut records = parse_log(log).unwrap();
+        for (i, r) in records.iter_mut().enumerate() {
+            r.tag = i as u64 + 1;
+        }
+        let paths = infer_paths(&records, &access(), &NestingConfig::default());
+        assert_eq!(paths.len(), 2);
+        // Request 1's java reply (sent at 4000 by pid 9) is attributed to
+        // the most recent incoming of pid 9 — request 2's query (2600) —
+        // so at least one path must be wrong.
+        let expected1 = vec![1, 3, 5, 7, 9, 11];
+        let expected2 = vec![2, 4, 6, 8, 10, 12];
+        let correct = paths
+            .iter()
+            .filter(|p| p.tags == expected1 || p.tags == expected2)
+            .count();
+        assert!(correct < 2, "nesting should err on interleaved load: {paths:?}");
+    }
+
+    #[test]
+    fn noise_receive_is_ignored() {
+        let log = "\
+            1000 web httpd 7 7 RECEIVE 192.168.0.9:5000-10.0.0.1:80 120\n\
+            1500 web httpd 7 7 RECEIVE 9.9.9.9:1-10.0.0.1:4009 64\n\
+            5000 web httpd 7 7 SEND 10.0.0.1:80-192.168.0.9:5000 512\n";
+        let mut records = parse_log(log).unwrap();
+        for (i, r) in records.iter_mut().enumerate() {
+            r.tag = i as u64 + 1;
+        }
+        let paths = infer_paths(&records, &access(), &NestingConfig::default());
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].tags, vec![1, 3]);
+    }
+
+    #[test]
+    fn chunked_messages_pair_by_bytes() {
+        let log = "\
+            1000 web httpd 7 7 RECEIVE 192.168.0.9:5000-10.0.0.1:80 120\n\
+            2000 web httpd 7 7 SEND 10.0.0.1:4001-10.0.0.2:9000 900\n\
+            2100 web httpd 7 7 SEND 10.0.0.1:4001-10.0.0.2:9000 544\n\
+            2500 app java 9 21 RECEIVE 10.0.0.1:4001-10.0.0.2:9000 512\n\
+            2600 app java 9 21 RECEIVE 10.0.0.1:4001-10.0.0.2:9000 512\n\
+            2700 app java 9 21 RECEIVE 10.0.0.1:4001-10.0.0.2:9000 420\n\
+            4000 app java 9 21 SEND 10.0.0.2:9000-10.0.0.1:4001 256\n\
+            4400 web httpd 7 7 RECEIVE 10.0.0.2:9000-10.0.0.1:4001 256\n\
+            5000 web httpd 7 7 SEND 10.0.0.1:80-192.168.0.9:5000 512\n";
+        let mut records = parse_log(log).unwrap();
+        for (i, r) in records.iter_mut().enumerate() {
+            r.tag = i as u64 + 1;
+        }
+        let paths = infer_paths(&records, &access(), &NestingConfig::default());
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].tags, (1..=9).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn causal_gap_limits_attribution() {
+        // The app's send comes 20s after its only incoming message: with
+        // the default 10s gap it is left unattributed.
+        let log = "\
+            1000 web httpd 7 7 RECEIVE 192.168.0.9:5000-10.0.0.1:80 120\n\
+            2000 web httpd 7 7 SEND 10.0.0.1:4001-10.0.0.2:9000 64\n\
+            2500 app java 9 21 RECEIVE 10.0.0.1:4001-10.0.0.2:9000 64\n\
+            20000002500 app java 9 21 SEND 10.0.0.2:9000-10.0.0.1:4001 256\n\
+            20000003000 web httpd 7 7 RECEIVE 10.0.0.2:9000-10.0.0.1:4001 256\n\
+            20000004000 web httpd 7 7 SEND 10.0.0.1:80-192.168.0.9:5000 512\n";
+        let mut records = parse_log(log).unwrap();
+        for (i, r) in records.iter_mut().enumerate() {
+            r.tag = i as u64 + 1;
+        }
+        let paths = infer_paths(&records, &access(), &NestingConfig::default());
+        assert_eq!(paths.len(), 1);
+        assert!(!paths[0].tags.contains(&4), "{:?}", paths[0].tags);
+    }
+}

@@ -1,0 +1,31 @@
+//! §5.2 bench: the full accuracy-validation pipeline — simulate with
+//! skewed clocks and noise, correlate with a tiny window, evaluate
+//! against ground truth (must be 100%).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use multitier::{ExperimentConfig, NoiseSpec};
+use tracer_core::{Correlator, Nanos};
+
+fn bench(c: &mut Criterion) {
+    let mut cfg = ExperimentConfig::quick(60, 8);
+    cfg.spec = cfg.spec.with_skew_ms(250);
+    cfg.noise = NoiseSpec { ssh_msgs_per_sec: 40.0, mysql_msgs_per_sec: 80.0 };
+    let out = multitier::run(cfg);
+    let config = out.correlator_config(Nanos::from_millis(1));
+    let mut g = c.benchmark_group("accuracy");
+    g.sample_size(10);
+    g.bench_function("trace_and_evaluate", |b| {
+        b.iter(|| {
+            let corr = Correlator::new(config.clone())
+                .correlate(out.records.clone())
+                .expect("config");
+            let acc = out.truth.evaluate(&corr.cags);
+            assert!(acc.is_perfect(), "{acc:?}");
+            acc.correct_paths
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! EXT-1 bench: PreciseTracer vs WAP5-style nesting on the same log —
+//! both wall time and (printed once) accuracy.
+
+use baseline::{evaluate, infer_paths, NestingConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use multitier::ExperimentConfig;
+use tracer_core::{Correlator, Nanos};
+
+fn bench(c: &mut Criterion) {
+    let out = multitier::run(ExperimentConfig::quick(120, 8));
+    let config = out.correlator_config(Nanos::from_millis(10));
+    let truth_sets: Vec<Vec<u64>> = out
+        .truth
+        .requests()
+        .filter(|r| r.completed.is_some() && !r.records.is_empty())
+        .map(|r| {
+            let mut v = r.records.clone();
+            v.sort_unstable();
+            v
+        })
+        .collect();
+    // One-off accuracy comparison for the report.
+    let paths: Vec<Vec<u64>> = infer_paths(&out.records, &out.access_spec(), &NestingConfig::default())
+        .into_iter()
+        .map(|p| p.tags)
+        .collect();
+    let nest_acc = evaluate(&paths, &truth_sets);
+    println!("ext1: nesting accuracy at this load = {:.1}%", nest_acc.accuracy() * 100.0);
+
+    let mut g = c.benchmark_group("ext1_baseline");
+    g.sample_size(10);
+    g.bench_function("precise", |b| {
+        b.iter(|| {
+            Correlator::new(config.clone())
+                .correlate(out.records.clone())
+                .expect("config")
+                .cags
+                .len()
+        })
+    });
+    g.bench_function("nesting", |b| {
+        b.iter(|| {
+            infer_paths(&out.records, &out.access_spec(), &NestingConfig::default()).len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

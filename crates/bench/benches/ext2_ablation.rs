@@ -1,0 +1,53 @@
+//! EXT-2 bench: correlation cost of each algorithmic ingredient
+//! (segment merging, swap, noise discarding) on a noisy log.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use multitier::{ExperimentConfig, NoiseSpec};
+use tracer_core::{Correlator, CorrelatorConfig, EngineOptions, Nanos, RankerOptions};
+
+fn bench(c: &mut Criterion) {
+    let mut cfg = ExperimentConfig::quick(80, 8);
+    cfg.noise = NoiseSpec { ssh_msgs_per_sec: 60.0, mysql_msgs_per_sec: 300.0 };
+    let out = multitier::run(cfg);
+    let base = out.correlator_config(Nanos::from_millis(2));
+    let variants: Vec<(&str, CorrelatorConfig)> = vec![
+        ("full", base.clone()),
+        (
+            "no_swap",
+            base.clone().with_ranker(RankerOptions { swap: false, ..base.ranker }),
+        ),
+        (
+            // Boost capped: without merging, multi-segment receives can
+            // never match, so window boosting only wastes memory.
+            "no_merge",
+            base.clone()
+                .with_engine(EngineOptions {
+                    merge_segments: false,
+                    ..base.engine.clone()
+                })
+                .with_ranker(RankerOptions { fetch_boost: 2, ..base.ranker }),
+        ),
+        (
+            "no_noise_discard",
+            base.clone()
+                .with_ranker(RankerOptions { noise_discard: false, ..base.ranker }),
+        ),
+    ];
+    let mut g = c.benchmark_group("ext2_ablation");
+    g.sample_size(10);
+    for (name, vcfg) in variants {
+        g.bench_with_input(BenchmarkId::new("variant", name), &vcfg, |b, vc| {
+            b.iter(|| {
+                Correlator::new(vc.clone())
+                    .correlate(out.records.clone())
+                    .expect("config")
+                    .cags
+                    .len()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

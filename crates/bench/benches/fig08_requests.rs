@@ -1,0 +1,25 @@
+//! Fig. 8 bench: end-to-end simulated session throughput (requests
+//! serviced per wall-second of simulation) at increasing client counts.
+//! The figure itself plots serviced requests vs clients; this bench
+//! times the substrate that generates them.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use multitier::ExperimentConfig;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig08_requests");
+    g.sample_size(10);
+    for clients in [50usize, 200] {
+        g.bench_with_input(BenchmarkId::new("simulate", clients), &clients, |b, &n| {
+            b.iter(|| {
+                let out = multitier::run(ExperimentConfig::quick(n, 10));
+                assert!(out.service.completed > 0);
+                out.service.completed
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

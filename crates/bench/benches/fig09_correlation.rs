@@ -1,0 +1,35 @@
+//! Fig. 9 bench: correlation time vs number of serviced requests. The
+//! paper's claim is linearity; the bench measures correlation wall time
+//! on logs of two sizes so the ratio can be checked against the request
+//! ratio.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use multitier::ExperimentConfig;
+use tracer_core::{Correlator, Nanos};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig09_correlation");
+    g.sample_size(10);
+    for clients in [50usize, 200] {
+        let out = multitier::run(ExperimentConfig::quick(clients, 10));
+        let config = out.correlator_config(Nanos::from_millis(10));
+        g.throughput(Throughput::Elements(out.records.len() as u64));
+        g.bench_with_input(
+            BenchmarkId::new("correlate", out.service.completed),
+            &out,
+            |b, out| {
+                b.iter(|| {
+                    let corr = Correlator::new(config.clone())
+                        .correlate(out.records.clone())
+                        .expect("config");
+                    assert_eq!(corr.cags.len() as u64, out.service.completed);
+                    corr.cags.len()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Fig. 10 bench: correlation time as a function of the sliding time
+//! window, on one fixed log.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use multitier::ExperimentConfig;
+use tracer_core::{Correlator, Nanos};
+
+fn bench(c: &mut Criterion) {
+    let out = multitier::run(ExperimentConfig::quick(150, 10));
+    let mut g = c.benchmark_group("fig10_window");
+    g.sample_size(10);
+    for window_ms in [1u64, 100, 10_000] {
+        let config = out.correlator_config(Nanos::from_millis(window_ms));
+        g.bench_with_input(BenchmarkId::new("window_ms", window_ms), &config, |b, cfg| {
+            b.iter(|| {
+                Correlator::new(cfg.clone())
+                    .correlate(out.records.clone())
+                    .expect("config")
+                    .cags
+                    .len()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

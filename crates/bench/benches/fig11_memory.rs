@@ -1,0 +1,37 @@
+//! Fig. 11 bench: correlator peak memory vs sliding window. Criterion
+//! times the runs; the peak-byte gauge for each window is printed once
+//! so the series can be compared with the figure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use multitier::ExperimentConfig;
+use tracer_core::{Correlator, Nanos};
+
+fn bench(c: &mut Criterion) {
+    let out = multitier::run(ExperimentConfig::quick(150, 10));
+    for window_ms in [1u64, 1_000, 100_000] {
+        let config = out.correlator_config(Nanos::from_millis(window_ms));
+        let corr = Correlator::new(config).correlate(out.records.clone()).expect("config");
+        println!(
+            "fig11: window {:>6} ms -> peak memory {:>12} bytes",
+            window_ms, corr.metrics.peak_bytes
+        );
+    }
+    let mut g = c.benchmark_group("fig11_memory");
+    g.sample_size(10);
+    for window_ms in [1u64, 100_000] {
+        let config = out.correlator_config(Nanos::from_millis(window_ms));
+        g.bench_with_input(BenchmarkId::new("window_ms", window_ms), &config, |b, cfg| {
+            b.iter(|| {
+                Correlator::new(cfg.clone())
+                    .correlate(out.records.clone())
+                    .expect("config")
+                    .metrics
+                    .peak_bytes
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Fig. 12/13 bench: the probe's cost — simulated session with tracing
+//! enabled vs disabled (the service-side overhead the paper bounds at
+//! 3.7% throughput / <30% response time).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use multitier::ExperimentConfig;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12_throughput");
+    g.sample_size(10);
+    for &(name, tracing) in &[("disabled", false), ("enabled", true)] {
+        g.bench_with_input(BenchmarkId::new("probe", name), &tracing, |b, &t| {
+            b.iter(|| {
+                let mut cfg = ExperimentConfig::quick(100, 8);
+                cfg.spec = cfg.spec.with_tracing(t);
+                let out = multitier::run(cfg);
+                (out.service.completed, out.records.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

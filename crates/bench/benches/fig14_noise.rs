@@ -1,0 +1,34 @@
+//! Fig. 14 bench: correlation time with and without heavy noise
+//! traffic (the paper injects ~200K noise activities).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use multitier::{ExperimentConfig, NoiseSpec};
+use tracer_core::{Correlator, Nanos};
+
+fn bench(c: &mut Criterion) {
+    let clean = multitier::run(ExperimentConfig::quick(100, 8));
+    let noisy = {
+        let mut cfg = ExperimentConfig::quick(100, 8);
+        cfg.noise = NoiseSpec { ssh_msgs_per_sec: 100.0, mysql_msgs_per_sec: 800.0 };
+        multitier::run(cfg)
+    };
+    let mut g = c.benchmark_group("fig14_noise");
+    g.sample_size(10);
+    for (name, out) in [("no_noise", &clean), ("noise", &noisy)] {
+        let config = out.correlator_config(Nanos::from_millis(2));
+        g.bench_with_input(BenchmarkId::new("correlate", name), out, |b, out| {
+            b.iter(|| {
+                let corr = Correlator::new(config.clone())
+                    .correlate(out.records.clone())
+                    .expect("config");
+                let acc = out.truth.evaluate(&corr.cags);
+                assert!(acc.is_perfect(), "{acc:?}");
+                corr.metrics.ranker.noise_discards
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Fig. 15 bench: pattern classification + latency-percentage analysis
+//! over a correlated session (the analysis half of performance
+//! debugging).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use multitier::ExperimentConfig;
+use tracer_core::pattern::PatternAggregator;
+use tracer_core::{BreakdownReport, Nanos};
+
+fn bench(c: &mut Criterion) {
+    let out = multitier::run(ExperimentConfig::quick(150, 10));
+    let (corr, acc) = out.correlate(Nanos::from_millis(10)).expect("config");
+    assert!(acc.is_perfect());
+    let mut g = c.benchmark_group("fig15_percentages");
+    g.sample_size(20);
+    g.bench_function("pattern_aggregation", |b| {
+        b.iter(|| {
+            let mut agg = PatternAggregator::new();
+            agg.add_all(&corr.cags);
+            agg.average_paths().len()
+        })
+    });
+    g.bench_function("dominant_breakdown", |b| {
+        b.iter(|| BreakdownReport::dominant(&corr.cags).map(|r| r.percentages.len()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

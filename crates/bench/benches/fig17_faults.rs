@@ -1,0 +1,34 @@
+//! Fig. 17 bench: fault-signature extraction — correlate a faulty run
+//! and localize the problem from the latency-percentage diff.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use multitier::{ExperimentConfig, Fault};
+use simnet::Dist;
+use tracer_core::{BreakdownReport, Diagnosis, DiffReport, Nanos};
+
+fn breakdown(faults: Vec<Fault>) -> BreakdownReport {
+    let mut cfg = ExperimentConfig::quick(80, 8);
+    for f in faults {
+        cfg.spec = cfg.spec.with_fault(f);
+    }
+    let out = multitier::run(cfg);
+    let (corr, _) = out.correlate(Nanos::from_millis(10)).expect("config");
+    BreakdownReport::dominant(&corr.cags).expect("pattern")
+}
+
+fn bench(c: &mut Criterion) {
+    let normal = breakdown(vec![]);
+    let faulty = breakdown(vec![Fault::EjbDelay { delay: Dist::Exp { mean: 80e6 } }]);
+    let mut g = c.benchmark_group("fig17_faults");
+    g.sample_size(30);
+    g.bench_function("diff_and_localize", |b| {
+        b.iter(|| {
+            let diff = DiffReport::between(&normal, &faulty);
+            Diagnosis::localize(&diff, 8.0).map(|d| d.delta)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

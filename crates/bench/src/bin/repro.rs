@@ -1,0 +1,484 @@
+//! Regenerates every table and figure of the PreciseTracer evaluation
+//! (§5) plus the two extension experiments from DESIGN.md.
+//!
+//! ```text
+//! repro [--quick] [all|acc|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|fig17|ext1|ext2]...
+//! ```
+//!
+//! `--quick` shrinks the sessions (smoke mode); the default regenerates
+//! at the paper's session length (2 min up-ramp, 7.5 min runtime, 1 min
+//! down-ramp).
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use baseline::{evaluate, infer_paths, NestingConfig};
+use multitier::{Fault, Mix, NoiseSpec};
+use pt_bench::{experiment, header, paper_noise, row, run_and_trace, Scale};
+use simnet::Dist;
+use tracer_core::{
+    BreakdownReport, Component, Correlator, CorrelatorConfig, Diagnosis, DiffReport,
+    EngineOptions, FilterSet, Nanos, RankerOptions,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = if quick { Scale::Quick } else { Scale::Paper };
+    let mut wanted: Vec<String> = args.into_iter().filter(|a| a != "--quick").collect();
+    if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
+        wanted = [
+            "acc", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+            "fig16", "fig17", "ext1", "ext2",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    }
+    let t0 = Instant::now();
+    for w in &wanted {
+        match w.as_str() {
+            "acc" => acc(scale),
+            "fig8" | "fig9" | "fig10" | "fig11" => figs8_to_11(scale, &wanted),
+            "fig12" | "fig13" => figs12_13(scale),
+            "fig14" => fig14(scale),
+            "fig15" => fig15(scale),
+            "fig16" => fig16(scale),
+            "fig17" => fig17(scale),
+            "ext1" => ext1(scale),
+            "ext2" => ext2(scale),
+            other => eprintln!("unknown experiment id: {other}"),
+        }
+    }
+    eprintln!("\ntotal wall time: {:?}", t0.elapsed());
+}
+
+/// Deduplicates the fig8-11 family (they share the same runs) so asking
+/// for several of them only simulates once.
+fn figs8_to_11(scale: Scale, wanted: &[String]) {
+    use std::sync::OnceLock;
+    static DONE: OnceLock<()> = OnceLock::new();
+    if DONE.set(()).is_err() {
+        return;
+    }
+    let want = |id: &str| wanted.iter().any(|w| w == id || w == "all");
+    // One session per client count, reused by Figs. 8, 9, 10 and 11.
+    let mut fig8_rows = Vec::new();
+    let mut fig9_rows = Vec::new();
+    let mut fig10: BTreeMap<usize, Vec<(u64, f64)>> = BTreeMap::new();
+    let mut fig11: BTreeMap<usize, Vec<(u64, f64)>> = BTreeMap::new();
+    let windows_ms: [u64; 6] = [1, 10, 100, 1_000, 10_000, 100_000];
+    for clients in scale.client_sweep() {
+        let cfg = experiment(scale, clients);
+        let rt = run_and_trace(cfg, Nanos::from_millis(10));
+        assert!(rt.accuracy.is_perfect(), "accuracy regression: {:?}", rt.accuracy);
+        fig8_rows.push((clients, rt.out.service.completed));
+        fig9_rows.push((rt.out.service.completed, rt.correlation_time.as_secs_f64()));
+        if (want("fig10") || want("fig11")) && [200, 500, 800].contains(&clients) {
+            for &w in &windows_ms {
+                let t = Instant::now();
+                let (corr, acc) = rt.out.correlate(Nanos::from_millis(w)).expect("config");
+                let secs = t.elapsed().as_secs_f64();
+                assert!(acc.is_perfect(), "window {w}ms: {acc:?}");
+                fig10.entry(clients).or_default().push((w, secs));
+                fig11
+                    .entry(clients)
+                    .or_default()
+                    .push((w, corr.metrics.peak_bytes as f64 / 1e6));
+            }
+        }
+    }
+    if want("fig8") {
+        println!("\n== Fig. 8: serviced requests vs concurrent clients (Browse_Only) ==");
+        println!("{}", header(&["clients", "requests"]));
+        for (c, n) in &fig8_rows {
+            println!("{}", row(&[c.to_string(), n.to_string()]));
+        }
+    }
+    if want("fig9") {
+        println!("\n== Fig. 9: correlation time vs serviced requests (window 10ms) ==");
+        println!("{}", header(&["requests", "corr_time_s"]));
+        for (n, s) in &fig9_rows {
+            println!("{}", row(&[n.to_string(), format!("{s:.3}")]));
+        }
+    }
+    if want("fig10") {
+        println!("\n== Fig. 10: correlation time vs sliding window ==");
+        let mut cols = vec!["window_ms".to_string()];
+        cols.extend(fig10.keys().map(|c| format!("{c}_clients_s")));
+        println!("{}", header(&cols.iter().map(|s| s.as_str()).collect::<Vec<_>>()));
+        for (i, &w) in windows_ms.iter().enumerate() {
+            let mut cells = vec![w.to_string()];
+            for rows in fig10.values() {
+                cells.push(format!("{:.3}", rows[i].1));
+            }
+            println!("{}", row(&cells));
+        }
+    }
+    if want("fig11") {
+        println!("\n== Fig. 11: correlator peak memory vs sliding window ==");
+        let mut cols = vec!["window_ms".to_string()];
+        cols.extend(fig11.keys().map(|c| format!("{c}_clients_MB")));
+        println!("{}", header(&cols.iter().map(|s| s.as_str()).collect::<Vec<_>>()));
+        for (i, &w) in windows_ms.iter().enumerate() {
+            let mut cells = vec![w.to_string()];
+            for rows in fig11.values() {
+                cells.push(format!("{:.2}", rows[i].1));
+            }
+            println!("{}", row(&cells));
+        }
+    }
+}
+
+/// §5.2: path accuracy across clients, windows, skews, and with noise.
+fn acc(scale: Scale) {
+    println!("\n== §5.2: path accuracy (expect 100%, no FP, no FN) ==");
+    println!(
+        "{}",
+        header(&["clients", "window", "skew_ms", "noise", "requests", "accuracy"])
+    );
+    let clients_list: &[usize] =
+        if scale == Scale::Paper { &[100, 500, 1000] } else { &[50, 200] };
+    for &clients in clients_list {
+        for (window, skew_ms, noise) in [
+            (Nanos::from_millis(1), 1i64, false),
+            (Nanos::from_millis(10), 100, false),
+            (Nanos::from_secs(10), 500, false),
+            (Nanos::from_millis(2), 10, true),
+        ] {
+            let mut cfg = experiment(scale, clients);
+            cfg.spec = cfg.spec.with_skew_ms(skew_ms);
+            if noise {
+                cfg.noise = paper_noise(scale);
+            }
+            let rt = run_and_trace(cfg, window);
+            println!(
+                "{}",
+                row(&[
+                    clients.to_string(),
+                    format!("{}", window),
+                    skew_ms.to_string(),
+                    noise.to_string(),
+                    rt.accuracy.logged_requests.to_string(),
+                    format!("{:.2}%", rt.accuracy.accuracy() * 100.0),
+                ])
+            );
+            assert!(rt.accuracy.is_perfect(), "{:?}", rt.accuracy);
+        }
+    }
+}
+
+/// Figs. 12/13: probe overhead on throughput and response time.
+fn figs12_13(scale: Scale) {
+    use std::sync::OnceLock;
+    static DONE: OnceLock<()> = OnceLock::new();
+    if DONE.set(()).is_err() {
+        return;
+    }
+    println!("\n== Figs. 12/13: RUBiS throughput & response time, probe enabled vs disabled ==");
+    println!(
+        "{}",
+        header(&["clients", "tp_off", "tp_on", "tp_ovh%", "rt_off_ms", "rt_on_ms", "rt_ovh%"])
+    );
+    let mut max_tp_ovh: f64 = 0.0;
+    let mut max_rt_ovh: f64 = 0.0;
+    for clients in scale.client_sweep() {
+        let run = |tracing: bool| {
+            let mut cfg = experiment(scale, clients);
+            cfg.spec = cfg.spec.with_tracing(tracing);
+            multitier::run(cfg)
+        };
+        let off = run(false);
+        let on = run(true);
+        let (tp_off, tp_on) = (off.service.throughput(), on.service.throughput());
+        let (rt_off, rt_on) = (
+            off.service.rt_mean().as_nanos() as f64 / 1e6,
+            on.service.rt_mean().as_nanos() as f64 / 1e6,
+        );
+        let tp_ovh = (tp_off - tp_on) / tp_off.max(1e-9) * 100.0;
+        let rt_ovh = (rt_on - rt_off) / rt_off.max(1e-9) * 100.0;
+        max_tp_ovh = max_tp_ovh.max(tp_ovh);
+        max_rt_ovh = max_rt_ovh.max(rt_ovh);
+        println!(
+            "{}",
+            row(&[
+                clients.to_string(),
+                format!("{tp_off:.1}"),
+                format!("{tp_on:.1}"),
+                format!("{tp_ovh:.1}"),
+                format!("{rt_off:.0}"),
+                format!("{rt_on:.0}"),
+                format!("{rt_ovh:.1}"),
+            ])
+        );
+    }
+    println!("max throughput overhead: {max_tp_ovh:.1}% (paper: 3.7%)");
+    println!("max response-time overhead: {max_rt_ovh:.1}% (paper: <30%)");
+}
+
+/// Fig. 14: correlation time with and without ~200K noise activities.
+fn fig14(scale: Scale) {
+    println!("\n== Fig. 14: noise tolerance (window 2ms) ==");
+    println!("{}", header(&["clients", "no_noise_s", "noise_s", "noise_records"]));
+    let clients_list: &[usize] =
+        if scale == Scale::Paper { &[100, 300, 500, 700, 900] } else { &[100, 300] };
+    for &clients in clients_list {
+        let base = {
+            let cfg = experiment(scale, clients);
+            run_and_trace(cfg, Nanos::from_millis(2))
+        };
+        let noisy = {
+            let mut cfg = experiment(scale, clients);
+            cfg.noise = paper_noise(scale);
+            run_and_trace(cfg, Nanos::from_millis(2))
+        };
+        assert!(base.accuracy.is_perfect() && noisy.accuracy.is_perfect());
+        println!(
+            "{}",
+            row(&[
+                clients.to_string(),
+                format!("{:.3}", base.correlation_time.as_secs_f64()),
+                format!("{:.3}", noisy.correlation_time.as_secs_f64()),
+                noisy.out.truth.noise_records().to_string(),
+            ])
+        );
+    }
+}
+
+fn percent_table(title: &str, columns: Vec<(String, BreakdownReport)>) {
+    println!("\n== {title} ==");
+    let mut comps: Vec<Component> = Vec::new();
+    for (_, b) in &columns {
+        for c in b.percentages.keys() {
+            if !comps.contains(c) {
+                comps.push(c.clone());
+            }
+        }
+    }
+    comps.sort();
+    let mut cols = vec!["component".to_string()];
+    cols.extend(columns.iter().map(|(n, _)| n.clone()));
+    println!("{}", header(&cols.iter().map(|s| s.as_str()).collect::<Vec<_>>()));
+    for c in &comps {
+        let mut cells = vec![c.to_string()];
+        for (_, b) in &columns {
+            cells.push(format!("{:.1}%", b.pct(c)));
+        }
+        println!("{}", row(&cells));
+    }
+    for (name, b) in &columns {
+        println!(
+            "   [{name}] {} requests of dominant pattern, mean total {}",
+            b.count, b.mean_total
+        );
+    }
+}
+
+/// Fig. 15: latency percentages of the dominant (ViewItem-class)
+/// pattern as clients rise, MaxThreads = 40.
+fn fig15(scale: Scale) {
+    let clients_list: &[usize] =
+        if scale == Scale::Paper { &[500, 600, 700, 800] } else { &[300, 500] };
+    let mut cols = Vec::new();
+    for &clients in clients_list {
+        let rt = run_and_trace(experiment(scale, clients), Nanos::from_millis(10));
+        let b = BreakdownReport::dominant(&rt.corr.cags).expect("dominant pattern");
+        cols.push((format!("c{clients}"), b));
+    }
+    percent_table(
+        "Fig. 15: latency percentages of components (MaxThreads=40)",
+        cols,
+    );
+}
+
+/// Fig. 16: throughput / response time for MaxThreads 40 vs 250.
+fn fig16(scale: Scale) {
+    println!("\n== Fig. 16: MaxThreads 40 vs 250 ==");
+    println!(
+        "{}",
+        header(&["clients", "TP_MT40", "TP_MT250", "RT_MT40_ms", "RT_MT250_ms"])
+    );
+    for clients in scale.client_sweep() {
+        let run = |mt: usize| {
+            let mut cfg = experiment(scale, clients);
+            cfg.spec = cfg.spec.with_max_threads(mt);
+            multitier::run(cfg)
+        };
+        let a = run(40);
+        let b = run(250);
+        println!(
+            "{}",
+            row(&[
+                clients.to_string(),
+                format!("{:.1}", a.service.throughput()),
+                format!("{:.1}", b.service.throughput()),
+                format!("{:.0}", a.service.rt_mean().as_nanos() as f64 / 1e6),
+                format!("{:.0}", b.service.rt_mean().as_nanos() as f64 / 1e6),
+            ])
+        );
+    }
+}
+
+/// Fig. 17: latency percentages under injected faults + localization.
+fn fig17(scale: Scale) {
+    let clients = if scale == Scale::Paper { 500 } else { 200 };
+    let cases: Vec<(&str, Vec<Fault>)> = vec![
+        ("normal", vec![]),
+        (
+            "EJB_Delay",
+            vec![Fault::EjbDelay { delay: Dist::Exp { mean: 60e6 } }],
+        ),
+        (
+            "DataBase_Lock",
+            vec![Fault::DbLock { hold: Dist::Exp { mean: 4e6 } }],
+        ),
+        ("EJB_Network", vec![Fault::AppNetDegrade { bps: 10_000_000 }]),
+    ];
+    let mut cols = Vec::new();
+    for (name, faults) in &cases {
+        let mut cfg = experiment(scale, clients);
+        for f in faults {
+            cfg.spec = cfg.spec.with_fault(f.clone());
+        }
+        let rt = run_and_trace(cfg, Nanos::from_millis(10));
+        let b = BreakdownReport::dominant(&rt.corr.cags).expect("dominant pattern");
+        cols.push((name.to_string(), b));
+    }
+    percent_table("Fig. 17: latency percentages for abnormal cases", cols.clone());
+    // §5.4 localization on each abnormal case.
+    println!("\n-- automatic localization (§5.4 reasoning) --");
+    let normal = &cols[0].1;
+    for (name, b) in cols.iter().skip(1) {
+        let diff = DiffReport::between(normal, b);
+        match Diagnosis::localize(&diff, 6.0) {
+            Some(d) => println!("[{name}] suspect: {} — {}", d.suspect, d.explanation),
+            None => println!("[{name}] no significant change detected"),
+        }
+    }
+}
+
+/// EXT-1: precise vs WAP5-style nesting accuracy as concurrency rises.
+fn ext1(scale: Scale) {
+    println!("\n== EXT-1: PreciseTracer vs WAP5-style nesting accuracy ==");
+    println!(
+        "{}",
+        header(&["clients", "requests", "precise_acc", "nesting_acc"])
+    );
+    let clients_list: &[usize] =
+        if scale == Scale::Paper { &[10, 100, 400, 800] } else { &[10, 100, 300] };
+    for &clients in clients_list {
+        let rt = run_and_trace(experiment(scale, clients), Nanos::from_millis(10));
+        let inferred = infer_paths(
+            &rt.out.records,
+            &rt.out.access_spec(),
+            &NestingConfig::default(),
+        );
+        let truth_sets: Vec<Vec<u64>> = rt
+            .out
+            .truth
+            .requests()
+            .filter(|r| r.completed.is_some() && !r.records.is_empty())
+            .map(|r| {
+                let mut v = r.records.clone();
+                v.sort_unstable();
+                v
+            })
+            .collect();
+        let paths: Vec<Vec<u64>> = inferred.into_iter().map(|p| p.tags).collect();
+        let nest = evaluate(&paths, &truth_sets);
+        println!(
+            "{}",
+            row(&[
+                clients.to_string(),
+                rt.accuracy.logged_requests.to_string(),
+                format!("{:.1}%", rt.accuracy.accuracy() * 100.0),
+                format!("{:.1}%", nest.accuracy() * 100.0),
+            ])
+        );
+    }
+}
+
+/// EXT-2: ablation of the algorithm's ingredients.
+fn ext2(scale: Scale) {
+    println!("\n== EXT-2: ablation (accuracy with ingredients disabled) ==");
+    println!("{}", header(&["variant", "accuracy", "false_paths"]));
+    let clients = if scale == Scale::Paper { 400 } else { 150 };
+    let mut cfg = experiment(scale, clients);
+    cfg.noise = paper_noise(scale);
+    let out = multitier::run(cfg);
+    let variants: Vec<(&str, CorrelatorConfig)> = {
+        let base = out.correlator_config(Nanos::from_millis(2));
+        vec![
+            ("full algorithm", base.clone()),
+            (
+                "no swap (Fig.6 off)",
+                base.clone().with_ranker(RankerOptions {
+                    swap: false,
+                    ..base.ranker
+                }),
+            ),
+            (
+                // Without merging, multi-segment receives can never be
+                // Rule-1 matched, so the window boost cannot help and is
+                // capped to keep the (deliberately broken) variant from
+                // buffering the whole log.
+                "no segment merging",
+                base.clone()
+                    .with_engine(EngineOptions {
+                        merge_segments: false,
+                        ..base.engine.clone()
+                    })
+                    .with_ranker(RankerOptions { fetch_boost: 2, ..base.ranker }),
+            ),
+            (
+                "no thread-reuse check",
+                base.clone().with_engine(EngineOptions {
+                    thread_reuse_check: false,
+                    ..base.engine.clone()
+                }),
+            ),
+            (
+                "no noise discarding",
+                base.clone().with_ranker(RankerOptions {
+                    noise_discard: false,
+                    ..base.ranker
+                }),
+            ),
+        ]
+    };
+    for (name, vcfg) in variants {
+        let t = Instant::now();
+        let res = Correlator::new(vcfg).correlate(out.records.clone());
+        let secs = t.elapsed().as_secs_f64();
+        match res {
+            Ok(corr) => {
+                let acc = out.truth.evaluate(&corr.cags);
+                println!(
+                    "{}  ({secs:.2}s)",
+                    row(&[
+                        name.to_string(),
+                        format!("{:.1}%", acc.accuracy() * 100.0),
+                        acc.false_paths.to_string(),
+                    ])
+                );
+            }
+            Err(e) => println!("{name}: error: {e}"),
+        }
+    }
+    // Attribute filters as an extra variant: drop sshd noise up front.
+    let filtered = out
+        .correlator_config(Nanos::from_millis(2))
+        .with_filters(FilterSet::new().drop_program("sshd"));
+    let corr = Correlator::new(filtered).correlate(out.records.clone()).expect("config");
+    let acc = out.truth.evaluate(&corr.cags);
+    println!(
+        "{}",
+        row(&[
+            "attr-filter sshd".to_string(),
+            format!("{:.1}%", acc.accuracy() * 100.0),
+            format!("filtered={}", corr.metrics.filtered_out),
+        ])
+    );
+    let _ = Mix::browse_only();
+    let _: NoiseSpec = NoiseSpec::none();
+}

@@ -1,0 +1,215 @@
+//! Experiment harness: runs a simulated session, returns the probe log,
+//! ground truth and service metrics, and correlates the log with
+//! PreciseTracer — the glue used by every table/figure reproduction.
+
+use simnet::Dist;
+use tracer_core::prelude::*;
+use tracer_core::raw::RawRecord;
+
+use crate::groundtruth::{AccuracyReport, TruthCollector};
+use crate::report::ServiceMetrics;
+use crate::spec::{Mix, NoiseSpec, Phases, ServiceSpec};
+use crate::world::{RubisWorld, WorldConfig};
+
+/// Configuration of one experiment run.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Number of concurrent emulated clients.
+    pub clients: usize,
+    /// Workload mix (Browse_Only / Default).
+    pub mix: Mix,
+    /// Session phases (ramp-up / steady / ramp-down).
+    pub phases: Phases,
+    /// Client think time.
+    pub think: Dist,
+    /// Service topology, demands, faults.
+    pub spec: ServiceSpec,
+    /// Background noise generators.
+    pub noise: NoiseSpec,
+    /// RNG seed (runs are fully deterministic per seed).
+    pub seed: u64,
+}
+
+impl ExperimentConfig {
+    /// The paper's defaults: Browse_Only mix, full session phases,
+    /// ~6.5 s exponential think time.
+    pub fn paper(clients: usize) -> Self {
+        ExperimentConfig {
+            clients,
+            mix: Mix::browse_only(),
+            phases: Phases::paper(),
+            think: Dist::Exp { mean: 6.5e9 },
+            spec: ServiceSpec::paper_default(),
+            noise: NoiseSpec::none(),
+            seed: 0x5eed,
+        }
+    }
+
+    /// A scaled-down variant for tests and quick benches.
+    pub fn quick(clients: usize, steady_secs: u64) -> Self {
+        let mut c = Self::paper(clients);
+        c.phases = Phases::quick(steady_secs);
+        c.think = Dist::Exp { mean: 1.5e9 };
+        c
+    }
+}
+
+/// Everything a run produces.
+#[derive(Debug)]
+pub struct ExperimentOutput {
+    /// The configuration that produced this output.
+    pub clients: usize,
+    /// Raw TCP_TRACE records from all traced nodes.
+    pub records: Vec<RawRecord>,
+    /// Ground truth for accuracy evaluation.
+    pub truth: TruthCollector,
+    /// Client-observed service metrics.
+    pub service: ServiceMetrics,
+    /// Total simulation events processed.
+    pub sim_events: u64,
+    /// The service spec used (for access-point configuration).
+    pub spec: ServiceSpec,
+}
+
+impl ExperimentOutput {
+    /// The access-point spec matching the deployment (frontend port 80
+    /// on the web tier; all three tier IPs are internal).
+    pub fn access_spec(&self) -> AccessPointSpec {
+        AccessPointSpec::new(
+            [self.spec.web.port],
+            [self.spec.web.ip, self.spec.app.ip, self.spec.db.ip],
+        )
+    }
+
+    /// A default correlator configuration for this deployment.
+    pub fn correlator_config(&self, window: Nanos) -> CorrelatorConfig {
+        CorrelatorConfig::new(self.access_spec()).with_window(window)
+    }
+
+    /// Correlates the log with the given window and returns the output
+    /// plus the §5.2 accuracy report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates correlator configuration errors.
+    pub fn correlate(
+        &self,
+        window: Nanos,
+    ) -> Result<(CorrelationOutput, AccuracyReport), TraceError> {
+        self.correlate_with(self.correlator_config(window))
+    }
+
+    /// Correlates with a custom configuration (filters, ablations).
+    ///
+    /// # Errors
+    ///
+    /// Propagates correlator configuration errors.
+    pub fn correlate_with(
+        &self,
+        config: CorrelatorConfig,
+    ) -> Result<(CorrelationOutput, AccuracyReport), TraceError> {
+        let out = Correlator::new(config).correlate(self.records.clone())?;
+        let acc = self.truth.evaluate(&out.cags);
+        Ok((out, acc))
+    }
+}
+
+/// Runs one experiment to completion.
+pub fn run(cfg: ExperimentConfig) -> ExperimentOutput {
+    let clients = cfg.clients;
+    let spec = cfg.spec.clone();
+    let world_cfg = WorldConfig {
+        spec: cfg.spec,
+        mix: cfg.mix,
+        clients: cfg.clients,
+        phases: cfg.phases,
+        think: cfg.think,
+        noise: cfg.noise,
+        seed: cfg.seed,
+    };
+    let mut sim = simnet::Simulator::new(RubisWorld::new(world_cfg));
+    let mut sched = std::mem::take(sim.scheduler());
+    sim.world.seed_events(&mut sched);
+    *sim.scheduler() = sched;
+    sim.run();
+    let events = sim.events_processed();
+    let world = sim.world;
+    let RubisWorld { probe, truth, metrics, .. } = world;
+    ExperimentOutput {
+        clients,
+        records: probe.into_records(),
+        truth,
+        service: metrics,
+        sim_events: events,
+        spec,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_correlates_perfectly() {
+        let out = run(ExperimentConfig::quick(8, 10));
+        assert!(out.service.completed > 10);
+        let (corr, acc) = out.correlate(Nanos::from_millis(10)).unwrap();
+        assert_eq!(
+            acc.logged_requests, out.service.completed,
+            "every completed request is ground-truth logged"
+        );
+        assert!(
+            acc.is_perfect(),
+            "accuracy must be 100%: {acc:?}; metrics {}",
+            corr.metrics.summary()
+        );
+        for cag in corr.cags.iter().take(20) {
+            cag.validate().expect("valid CAG");
+        }
+    }
+
+    #[test]
+    fn accuracy_holds_under_skew_and_tiny_window() {
+        for skew_ms in [1, 100, 500] {
+            let mut cfg = ExperimentConfig::quick(6, 8);
+            cfg.spec = cfg.spec.with_skew_ms(skew_ms);
+            let out = run(cfg);
+            let (_, acc) = out.correlate(Nanos::from_millis(1)).unwrap();
+            assert!(acc.is_perfect(), "skew {skew_ms}ms: {acc:?}");
+        }
+    }
+
+    #[test]
+    fn accuracy_holds_with_noise() {
+        let mut cfg = ExperimentConfig::quick(6, 8);
+        cfg.noise = NoiseSpec { ssh_msgs_per_sec: 40.0, mysql_msgs_per_sec: 40.0 };
+        let out = run(cfg);
+        let (corr, acc) = out.correlate(Nanos::from_millis(2)).unwrap();
+        assert!(acc.is_perfect(), "{acc:?}");
+        assert!(
+            corr.metrics.ranker.noise_discards > 0,
+            "mysql noise must exercise is_noise"
+        );
+    }
+
+    #[test]
+    fn default_mix_also_perfect() {
+        let mut cfg = ExperimentConfig::quick(6, 8);
+        cfg.mix = Mix::default_mix();
+        let out = run(cfg);
+        let (_, acc) = out.correlate(Nanos::from_millis(10)).unwrap();
+        assert!(acc.is_perfect(), "{acc:?}");
+    }
+
+    #[test]
+    fn dominant_pattern_has_three_tiers() {
+        let out = run(ExperimentConfig::quick(8, 10));
+        let (corr, _) = out.correlate(Nanos::from_millis(10)).unwrap();
+        let breakdown = BreakdownReport::dominant(&corr.cags).expect("some pattern");
+        let comps: Vec<String> =
+            breakdown.percentages.keys().map(|c| c.to_string()).collect();
+        assert!(comps.iter().any(|c| c == "httpd2java"), "{comps:?}");
+        assert!(comps.iter().any(|c| c == "java2mysqld"), "{comps:?}");
+        assert!(comps.iter().any(|c| c == "mysqld2mysqld"), "{comps:?}");
+    }
+}

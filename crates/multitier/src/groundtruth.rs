@@ -1,0 +1,297 @@
+//! Ground truth and path accuracy (§5.2).
+//!
+//! The paper validates PreciseTracer by modifying RUBiS to tag and
+//! propagate a globally unique request ID, then checking every inferred
+//! causal path against the tagged logs:
+//!
+//! > "If all attributes of a causal path are consistent with the ones
+//! > obtained from the logs of RUBiS, we confirm that the causal path is
+//! > correct. Path accuracy = correct paths / all logged requests."
+//!
+//! The simulator plays the modified-RUBiS role: it knows which probe
+//! records belong to which request and records them here. A CAG is
+//! *correct* when its multiset of record uids equals a request's truth
+//! set exactly — any missing, foreign or noise record makes it wrong.
+
+use std::collections::HashMap;
+
+use simnet::SimTime;
+use tracer_core::Cag;
+
+/// Truth for one request.
+#[derive(Debug, Clone)]
+pub struct RequestTruth {
+    /// Request id.
+    pub id: u64,
+    /// Request type index in the mix.
+    pub type_idx: usize,
+    /// Issue time (client side, true time).
+    pub issued: SimTime,
+    /// Completion time (client side, true time); `None` while in
+    /// flight.
+    pub completed: Option<SimTime>,
+    /// Uids of every probe record caused by this request, sorted.
+    pub records: Vec<u64>,
+}
+
+/// Collects per-request truth during simulation.
+#[derive(Debug, Default)]
+pub struct TruthCollector {
+    requests: HashMap<u64, RequestTruth>,
+    next_id: u64,
+    noise_records: u64,
+}
+
+impl TruthCollector {
+    /// An empty collector.
+    pub fn new() -> Self {
+        TruthCollector { requests: HashMap::new(), next_id: 1, noise_records: 0 }
+    }
+
+    /// Registers a new request; returns its id.
+    pub fn new_request(&mut self, type_idx: usize, issued: SimTime) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.requests.insert(
+            id,
+            RequestTruth { id, type_idx, issued, completed: None, records: Vec::new() },
+        );
+        id
+    }
+
+    /// Attributes a probe record (by uid) to a request. Uid 0 (probe
+    /// disabled) is ignored.
+    pub fn attribute(&mut self, req: u64, record_uid: u64) {
+        if record_uid == 0 {
+            return;
+        }
+        if let Some(r) = self.requests.get_mut(&req) {
+            r.records.push(record_uid);
+        }
+    }
+
+    /// Counts a noise record (belongs to no request).
+    pub fn note_noise(&mut self, record_uid: u64) {
+        if record_uid != 0 {
+            self.noise_records += 1;
+        }
+    }
+
+    /// Marks a request complete.
+    pub fn complete(&mut self, req: u64, at: SimTime) {
+        if let Some(r) = self.requests.get_mut(&req) {
+            r.completed = Some(at);
+        }
+    }
+
+    /// All requests (any state).
+    pub fn requests(&self) -> impl Iterator<Item = &RequestTruth> {
+        self.requests.values()
+    }
+
+    /// A specific request.
+    pub fn get(&self, id: u64) -> Option<&RequestTruth> {
+        self.requests.get(&id)
+    }
+
+    /// Number of completed requests.
+    pub fn completed_count(&self) -> u64 {
+        self.requests.values().filter(|r| r.completed.is_some()).count() as u64
+    }
+
+    /// Total noise records observed.
+    pub fn noise_records(&self) -> u64 {
+        self.noise_records
+    }
+
+    /// Evaluates path accuracy of a correlation result against the
+    /// truth.
+    pub fn evaluate(&self, cags: &[Cag]) -> AccuracyReport {
+        // Index: sorted record multiset → request id.
+        let mut by_records: HashMap<Vec<u64>, u64> = HashMap::new();
+        let mut completed = 0u64;
+        for r in self.requests.values() {
+            if r.completed.is_some() && !r.records.is_empty() {
+                completed += 1;
+                let mut recs = r.records.clone();
+                recs.sort_unstable();
+                by_records.insert(recs, r.id);
+            }
+        }
+        let mut correct = 0u64;
+        let mut matched: HashMap<u64, u64> = HashMap::new(); // req -> #cags matching
+        let mut false_paths = 0u64;
+        for cag in cags {
+            let tags = cag.sorted_tags();
+            match by_records.get(&tags) {
+                Some(&req) => {
+                    let n = matched.entry(req).or_insert(0);
+                    *n += 1;
+                    if *n == 1 {
+                        correct += 1;
+                    } else {
+                        false_paths += 1; // duplicate claim of the same request
+                    }
+                }
+                None => false_paths += 1,
+            }
+        }
+        AccuracyReport {
+            logged_requests: completed,
+            correct_paths: correct,
+            false_paths,
+            missing_paths: completed - correct,
+        }
+    }
+}
+
+/// The §5.2 accuracy quantities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccuracyReport {
+    /// Requests completed and logged by the (simulated) instrumented
+    /// application.
+    pub logged_requests: u64,
+    /// Inferred paths whose records match a request exactly.
+    pub correct_paths: u64,
+    /// Inferred paths matching no request (false positives).
+    pub false_paths: u64,
+    /// Requests with no correct path (false negatives).
+    pub missing_paths: u64,
+}
+
+impl AccuracyReport {
+    /// `correct paths / all logged requests`.
+    pub fn accuracy(&self) -> f64 {
+        if self.logged_requests == 0 {
+            return 1.0;
+        }
+        self.correct_paths as f64 / self.logged_requests as f64
+    }
+
+    /// True when accuracy is exactly 100% with no false positives.
+    pub fn is_perfect(&self) -> bool {
+        self.false_paths == 0 && self.missing_paths == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracer_core::cag::Vertex;
+    use tracer_core::{ActivityType, Channel, ContextId, LocalTime};
+
+    /// A minimal BEGIN→END CAG carrying the given ground-truth tags.
+    fn cag_with_tags(tags: &[u64]) -> Cag {
+        let ch = Channel::new(
+            "192.168.0.9:5000".parse().unwrap(),
+            "10.0.0.1:80".parse().unwrap(),
+        );
+        let mk = |ty, ts, ctx_parent| Vertex {
+            ty,
+            ts: LocalTime::from_nanos(ts),
+            ts_last: LocalTime::from_nanos(ts),
+            ctx: ContextId::new("web", "httpd", 1, 1),
+            channel: ch,
+            size: 10,
+            tags: vec![],
+            ctx_parent,
+            msg_parent: None,
+        };
+        let mut c = Cag {
+            id: 1,
+            vertices: vec![
+                mk(ActivityType::Begin, 100, None),
+                mk(ActivityType::End, 200, Some(0)),
+            ],
+            finished: true,
+        };
+        let n = c.vertices.len();
+        for (i, t) in tags.iter().enumerate() {
+            c.vertices[i % n].tags.push(*t);
+        }
+        c
+    }
+
+    #[test]
+    fn exact_match_counts_correct() {
+        let mut t = TruthCollector::new();
+        let r = t.new_request(0, SimTime(0));
+        for uid in [1, 2, 3] {
+            t.attribute(r, uid);
+        }
+        t.complete(r, SimTime(100));
+        let rep = t.evaluate(&[cag_with_tags(&[1, 2, 3])]);
+        assert_eq!(rep.correct_paths, 1);
+        assert!(rep.is_perfect());
+        assert_eq!(rep.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn missing_record_is_incorrect() {
+        let mut t = TruthCollector::new();
+        let r = t.new_request(0, SimTime(0));
+        for uid in [1, 2, 3] {
+            t.attribute(r, uid);
+        }
+        t.complete(r, SimTime(100));
+        let rep = t.evaluate(&[cag_with_tags(&[1, 2])]);
+        assert_eq!(rep.correct_paths, 0);
+        assert_eq!(rep.false_paths, 1);
+        assert_eq!(rep.missing_paths, 1);
+        assert_eq!(rep.accuracy(), 0.0);
+    }
+
+    #[test]
+    fn foreign_record_is_incorrect() {
+        let mut t = TruthCollector::new();
+        let r = t.new_request(0, SimTime(0));
+        for uid in [1, 2] {
+            t.attribute(r, uid);
+        }
+        t.complete(r, SimTime(100));
+        let rep = t.evaluate(&[cag_with_tags(&[1, 2, 99])]);
+        assert_eq!(rep.correct_paths, 0);
+        assert!(!rep.is_perfect());
+    }
+
+    #[test]
+    fn duplicate_claims_are_false_paths() {
+        let mut t = TruthCollector::new();
+        let r = t.new_request(0, SimTime(0));
+        t.attribute(r, 1);
+        t.complete(r, SimTime(100));
+        let rep = t.evaluate(&[cag_with_tags(&[1]), cag_with_tags(&[1])]);
+        assert_eq!(rep.correct_paths, 1);
+        assert_eq!(rep.false_paths, 1);
+    }
+
+    #[test]
+    fn incomplete_requests_not_counted() {
+        let mut t = TruthCollector::new();
+        let r = t.new_request(0, SimTime(0));
+        t.attribute(r, 1);
+        // never completed
+        let rep = t.evaluate(&[]);
+        assert_eq!(rep.logged_requests, 0);
+        assert_eq!(rep.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn zero_uid_ignored() {
+        let mut t = TruthCollector::new();
+        let r = t.new_request(0, SimTime(0));
+        t.attribute(r, 0);
+        t.complete(r, SimTime(1));
+        // Request has no records → excluded from "logged".
+        let rep = t.evaluate(&[]);
+        assert_eq!(rep.logged_requests, 0);
+    }
+
+    #[test]
+    fn noise_counter() {
+        let mut t = TruthCollector::new();
+        t.note_noise(7);
+        t.note_noise(0);
+        assert_eq!(t.noise_records(), 1);
+    }
+}

@@ -1,0 +1,137 @@
+//! Client-observed service metrics: throughput and response time — the
+//! quantities of Figs. 8, 12, 13 and 16.
+
+use simnet::{Histogram, OnlineStats, RateSeries, SimDur, SimTime};
+
+use crate::spec::Phases;
+
+/// Running service metrics collected by the world.
+#[derive(Debug)]
+pub struct ServiceMetrics {
+    /// Requests issued by clients.
+    pub issued: u64,
+    /// Requests completed (response fully received by the client).
+    pub completed: u64,
+    phases: Phases,
+    rt: OnlineStats,
+    rt_hist: Histogram,
+    completions: RateSeries,
+}
+
+impl ServiceMetrics {
+    /// Fresh metrics for a session with the given phases.
+    pub fn new(phases: Phases) -> Self {
+        ServiceMetrics {
+            issued: 0,
+            completed: 0,
+            phases,
+            rt: OnlineStats::new(),
+            rt_hist: Histogram::new(),
+            completions: RateSeries::new(SimDur::from_secs(5)),
+        }
+    }
+
+    /// Records a request issue.
+    pub fn on_issue(&mut self, _now: SimTime) {
+        self.issued += 1;
+    }
+
+    /// Records a completion with its response time.
+    pub fn on_complete(&mut self, now: SimTime, rt: SimDur) {
+        self.completed += 1;
+        self.rt.push(rt.as_nanos() as f64);
+        self.rt_hist.record_dur(rt);
+        self.completions.record(now);
+    }
+
+    /// Mean response time.
+    pub fn rt_mean(&self) -> SimDur {
+        SimDur(self.rt.mean() as u64)
+    }
+
+    /// Response-time percentile (approximate).
+    pub fn rt_quantile(&self, q: f64) -> SimDur {
+        SimDur(self.rt_hist.quantile(q) as u64)
+    }
+
+    /// Mean throughput over the whole session (requests/second).
+    pub fn throughput(&self) -> f64 {
+        let dur = self.phases.total().as_secs_f64();
+        if dur <= 0.0 {
+            0.0
+        } else {
+            self.completed as f64 / dur
+        }
+    }
+
+    /// Mean throughput during the steady phase only (requests/second).
+    pub fn steady_throughput(&self) -> f64 {
+        let from = SimTime::ZERO + self.phases.up;
+        let to = from + self.phases.steady;
+        self.completions.mean_rate_between(from, to)
+    }
+
+    /// The session phases.
+    pub fn phases(&self) -> Phases {
+        self.phases
+    }
+
+    /// A one-line summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "issued={} completed={} tp={:.1}/s steady_tp={:.1}/s rt_mean={} rt_p95={}",
+            self.issued,
+            self.completed,
+            self.throughput(),
+            self.steady_throughput(),
+            self.rt_mean(),
+            self.rt_quantile(0.95),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn phases() -> Phases {
+        Phases::quick(20) // up 5s, steady 20s, down 2s
+    }
+
+    #[test]
+    fn counts_and_rt() {
+        let mut m = ServiceMetrics::new(phases());
+        m.on_issue(SimTime::ZERO);
+        m.on_issue(SimTime::ZERO);
+        m.on_complete(SimTime(6_000_000_000), SimDur::from_millis(30));
+        m.on_complete(SimTime(7_000_000_000), SimDur::from_millis(50));
+        assert_eq!(m.issued, 2);
+        assert_eq!(m.completed, 2);
+        assert_eq!(m.rt_mean(), SimDur::from_millis(40));
+        assert!(m.rt_quantile(0.99).as_nanos() >= SimDur::from_millis(45).as_nanos());
+    }
+
+    #[test]
+    fn steady_throughput_excludes_ramps() {
+        let mut m = ServiceMetrics::new(phases());
+        // 2 completions in the up-ramp (0-5s), 20 in steady (5-25s).
+        m.on_complete(SimTime(1_000_000_000), SimDur::from_millis(10));
+        m.on_complete(SimTime(2_000_000_000), SimDur::from_millis(10));
+        for i in 0..20 {
+            m.on_complete(
+                SimTime(5_000_000_000 + i * 1_000_000_000),
+                SimDur::from_millis(10),
+            );
+        }
+        let s = m.steady_throughput();
+        assert!((s - 1.0).abs() < 0.2, "steady {s}");
+        assert!(m.throughput() < s * 1.2);
+    }
+
+    #[test]
+    fn summary_renders() {
+        let m = ServiceMetrics::new(phases());
+        let s = m.summary();
+        assert!(s.contains("completed=0"));
+    }
+}

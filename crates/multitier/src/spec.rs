@@ -1,0 +1,485 @@
+//! Specification of the simulated multi-tier service: topology, request
+//! types, workload mixes, resource limits and fault injection — the
+//! knobs behind every experiment in §5 of the paper.
+
+use std::net::Ipv4Addr;
+
+use rand::Rng;
+use simnet::{Dist, SimDur, WireParams};
+
+/// One RUBiS-like request type with its service demands.
+#[derive(Debug, Clone)]
+pub struct RequestType {
+    /// Name, e.g. `ViewItem`.
+    pub name: &'static str,
+    /// Sampling weight within a mix.
+    pub weight: u32,
+    /// Whether the request reaches the application tier (static pages
+    /// are served by httpd alone).
+    pub uses_backend: bool,
+    /// Number of database queries issued by the application tier.
+    pub queries: u32,
+    /// Whether the queries touch the `items` table (affected by the
+    /// DataBase_Lock fault).
+    pub touches_items: bool,
+    /// Whether the request writes (only present in the Default mix).
+    pub is_write: bool,
+    /// Client→httpd request size (bytes).
+    pub req_size: Dist,
+    /// httpd→java request size (bytes).
+    pub backend_req_size: Dist,
+    /// java→mysqld query size (bytes).
+    pub query_size: Dist,
+    /// mysqld→java result size (bytes).
+    pub result_size: Dist,
+    /// java→httpd / httpd→client page size (bytes).
+    pub page_size: Dist,
+    /// CPU demand at httpd (ns).
+    pub httpd_cpu: Dist,
+    /// Total CPU demand at java (ns), split across processing segments.
+    pub java_cpu: Dist,
+    /// CPU demand at mysqld per query (ns).
+    pub mysql_cpu: Dist,
+}
+
+impl RequestType {
+    fn browse(name: &'static str, weight: u32, queries: u32, touches_items: bool) -> Self {
+        RequestType {
+            name,
+            weight,
+            uses_backend: true,
+            queries,
+            touches_items,
+            is_write: false,
+            req_size: Dist::Uniform { lo: 300.0, hi: 700.0 },
+            backend_req_size: Dist::Uniform { lo: 400.0, hi: 900.0 },
+            query_size: Dist::Uniform { lo: 150.0, hi: 400.0 },
+            result_size: Dist::Pareto { lo: 800.0, hi: 24_000.0, alpha: 1.3 },
+            page_size: Dist::Uniform { lo: 5_000.0, hi: 14_000.0 },
+            httpd_cpu: Dist::Exp { mean: 2_200_000.0 },         // ~2.2ms
+            java_cpu: Dist::LogNormal { median: 7_800_000.0, sigma: 0.3 }, // ~8.2ms
+            mysql_cpu: Dist::Exp { mean: 2_200_000.0 },         // ~2.2ms
+        }
+    }
+
+    fn write(name: &'static str, weight: u32, queries: u32) -> Self {
+        let mut t = Self::browse(name, weight, queries, true);
+        t.is_write = true;
+        t.result_size = Dist::Uniform { lo: 200.0, hi: 800.0 };
+        t.page_size = Dist::Uniform { lo: 2_000.0, hi: 6_000.0 };
+        t.mysql_cpu = Dist::Exp { mean: 3_200_000.0 };
+        t
+    }
+}
+
+/// A workload mix: weighted request types.
+#[derive(Debug, Clone)]
+pub struct Mix {
+    /// Mix name (`Browse_Only` or `Default`).
+    pub name: &'static str,
+    /// The request types with their weights.
+    pub types: Vec<RequestType>,
+}
+
+impl Mix {
+    /// The read-only RUBiS workload of §5.1.
+    pub fn browse_only() -> Mix {
+        let mut home = RequestType::browse("Home", 10, 0, false);
+        home.uses_backend = false;
+        home.page_size = Dist::Uniform { lo: 2_000.0, hi: 5_000.0 };
+        Mix {
+            name: "Browse_Only",
+            types: vec![
+                home,
+                RequestType::browse("BrowseCategories", 12, 1, false),
+                RequestType::browse("SearchItemsByCategory", 24, 2, true),
+                RequestType::browse("ViewItem", 31, 2, true),
+                RequestType::browse("ViewUserInfo", 13, 2, false),
+                RequestType::browse("ViewBidHistory", 10, 3, true),
+            ],
+        }
+    }
+
+    /// The read-write RUBiS workload of §5.1 (~15% writes).
+    pub fn default_mix() -> Mix {
+        let mut types = Mix::browse_only().types;
+        for t in &mut types {
+            t.weight = (t.weight * 85) / 100;
+        }
+        types.push(RequestType::write("StoreBid", 7, 3));
+        types.push(RequestType::write("StoreComment", 4, 2));
+        types.push(RequestType::write("RegisterItem", 4, 3));
+        Mix { name: "Default", types }
+    }
+
+    /// Samples a request type index.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let total: u32 = self.types.iter().map(|t| t.weight).sum();
+        let mut x = rng.gen_range(0..total);
+        for (i, t) in self.types.iter().enumerate() {
+            if x < t.weight {
+                return i;
+            }
+            x -= t.weight;
+        }
+        self.types.len() - 1
+    }
+
+    /// The index of a type by name (for targeted analysis, e.g.
+    /// ViewItem in Fig. 15).
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.types.iter().position(|t| t.name == name)
+    }
+}
+
+/// Injected performance problems (§5.4.2).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Fault {
+    /// Abnormal case 1: a random delay injected into the second tier
+    /// (pure wait, not CPU).
+    EjbDelay {
+        /// The injected delay distribution.
+        delay: Dist,
+    },
+    /// Abnormal case 2: the `items` table is locked; queries touching it
+    /// serialize and hold the lock for extra time.
+    DbLock {
+        /// Extra hold time per locked query.
+        hold: Dist,
+    },
+    /// Abnormal case 3: the JBoss node's NIC renegotiates from 100 Mbps
+    /// to this bandwidth (10 Mbps in the paper).
+    AppNetDegrade {
+        /// Degraded bandwidth in bits per second.
+        bps: u64,
+    },
+}
+
+/// Background noise traffic (§5.3.3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NoiseSpec {
+    /// rlogin/ssh chatter on the web node (filterable by program name).
+    pub ssh_msgs_per_sec: f64,
+    /// MySQL-client queries from an untraced host against the shared
+    /// database (only removable via `is_noise`).
+    pub mysql_msgs_per_sec: f64,
+}
+
+impl Default for NoiseSpec {
+    fn default() -> Self {
+        NoiseSpec { ssh_msgs_per_sec: 0.0, mysql_msgs_per_sec: 0.0 }
+    }
+}
+
+impl NoiseSpec {
+    /// No noise at all.
+    pub fn none() -> Self {
+        NoiseSpec::default()
+    }
+
+    /// True when any generator is active.
+    pub fn any(&self) -> bool {
+        self.ssh_msgs_per_sec > 0.0 || self.mysql_msgs_per_sec > 0.0
+    }
+}
+
+/// Per-tier deployment description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TierSpec {
+    /// Program name as seen by the probe (`httpd`, `java`, `mysqld`).
+    pub program: &'static str,
+    /// Hostname.
+    pub hostname: &'static str,
+    /// Node IP.
+    pub ip: Ipv4Addr,
+    /// Worker limit (threads able to service requests concurrently).
+    pub workers: usize,
+    /// CPU cores on the node (the paper's nodes are 2-way SMPs).
+    pub cores: usize,
+    /// Listening port.
+    pub port: u16,
+}
+
+/// The full service specification (three tiers plus clients).
+#[derive(Debug, Clone)]
+pub struct ServiceSpec {
+    /// First tier: Apache httpd.
+    pub web: TierSpec,
+    /// Second tier: JBoss (`java`).
+    pub app: TierSpec,
+    /// Third tier: MySQL (`mysqld`).
+    pub db: TierSpec,
+    /// Client emulator node IPs (untraced).
+    pub client_ips: Vec<Ipv4Addr>,
+    /// JBoss connector thread limit (`MaxThreads`, default 40).
+    pub max_threads: usize,
+    /// How long an idle connector thread lingers on its keep-alive
+    /// connection before becoming reusable (skipped when requests are
+    /// queued — JBoss sheds keep-alives under pressure).
+    pub keepalive_linger: SimDur,
+    /// Connection accept + thread dispatch cost at the app connector
+    /// (pure latency part).
+    pub conn_setup: Dist,
+    /// CPU burned on the app node per accepted connection (dispatch,
+    /// parsing); holds a core and saturates the tier at high load.
+    pub conn_setup_cpu: Dist,
+    /// Concurrent query slots at the database (InnoDB thread
+    /// concurrency); queries queue *before* being read beyond this.
+    pub db_tokens: usize,
+    /// Dispatch latency between query arrival and the worker reading it.
+    pub db_dispatch: Dist,
+    /// Application write chunk: one SEND probe record per this many
+    /// bytes (drives the n-to-n merging of Fig. 4).
+    pub app_write_chunk: u64,
+    /// Baseline wire parameters for all links.
+    pub wire: WireParams,
+    /// Probe cost per logged record (CPU) when tracing is enabled.
+    pub probe_cost: SimDur,
+    /// Whether the TCP_TRACE probe is enabled (Figs. 12/13 compare).
+    pub tracing: bool,
+    /// Per-tier clock offsets in nanoseconds [web, app, db].
+    pub clock_offsets_ns: [i64; 3],
+    /// Per-tier clock drift in ppm.
+    pub clock_drift_ppm: [f64; 3],
+    /// Injected faults.
+    pub faults: Vec<Fault>,
+}
+
+impl ServiceSpec {
+    /// The paper's deployment (Fig. 7): httpd, JBoss and MySQL on
+    /// separate 2-way SMP nodes, 100 Mbps Ethernet, MaxThreads = 40.
+    pub fn paper_default() -> Self {
+        ServiceSpec {
+            web: TierSpec {
+                program: "httpd",
+                hostname: "web1",
+                ip: Ipv4Addr::new(10, 0, 0, 1),
+                workers: 1024,
+                cores: 2,
+                port: 80,
+            },
+            app: TierSpec {
+                program: "java",
+                hostname: "app1",
+                ip: Ipv4Addr::new(10, 0, 0, 2),
+                workers: 512,
+                cores: 2,
+                port: 8009,
+            },
+            db: TierSpec {
+                program: "mysqld",
+                hostname: "db1",
+                ip: Ipv4Addr::new(10, 0, 0, 3),
+                workers: 512,
+                cores: 2,
+                port: 3306,
+            },
+            client_ips: vec![
+                Ipv4Addr::new(192, 168, 0, 11),
+                Ipv4Addr::new(192, 168, 0, 12),
+                Ipv4Addr::new(192, 168, 0, 13),
+            ],
+            max_threads: 40,
+            keepalive_linger: SimDur::from_millis(380),
+            conn_setup: Dist::LogNormal { median: 15_000_000.0, sigma: 0.25 }, // ~15ms
+            conn_setup_cpu: Dist::LogNormal { median: 5_500_000.0, sigma: 0.25 }, // ~5.7ms
+            db_tokens: 4,
+            db_dispatch: Dist::Exp { mean: 5_000_000.0 }, // ~5ms
+            app_write_chunk: 4096,
+            wire: WireParams::default(),
+            probe_cost: SimDur::from_micros(18),
+            tracing: true,
+            // NTP-disciplined cluster: tens-of-microseconds skew and
+            // residual drift (the §5.2 sweep overrides these with
+            // with_skew_ms to stress the algorithm).
+            clock_offsets_ns: [0, 60_000, -40_000],
+            clock_drift_ppm: [0.0, 0.05, -0.03],
+            faults: Vec::new(),
+        }
+    }
+
+    /// Returns the spec with a different `MaxThreads` (Fig. 16).
+    pub fn with_max_threads(mut self, n: usize) -> Self {
+        self.max_threads = n;
+        self
+    }
+
+    /// Adds a fault.
+    pub fn with_fault(mut self, fault: Fault) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
+    /// Enables/disables the probe (Figs. 12/13).
+    pub fn with_tracing(mut self, on: bool) -> Self {
+        self.tracing = on;
+        self
+    }
+
+    /// Sets uniform clock skew: the app node ahead by `ms`, the db node
+    /// behind by `ms/2` (the §5.2 skew sweep).
+    pub fn with_skew_ms(mut self, ms: i64) -> Self {
+        self.clock_offsets_ns = [0, ms * 1_000_000, -ms * 500_000];
+        self
+    }
+
+    /// The tier spec by index (0 = web, 1 = app, 2 = db).
+    pub fn tier(&self, i: usize) -> &TierSpec {
+        match i {
+            0 => &self.web,
+            1 => &self.app,
+            2 => &self.db,
+            _ => panic!("tier index out of range"),
+        }
+    }
+
+    /// The EjbDelay fault, if configured.
+    pub fn ejb_delay(&self) -> Option<&Dist> {
+        self.faults.iter().find_map(|f| match f {
+            Fault::EjbDelay { delay } => Some(delay),
+            _ => None,
+        })
+    }
+
+    /// The DbLock fault, if configured.
+    pub fn db_lock(&self) -> Option<&Dist> {
+        self.faults.iter().find_map(|f| match f {
+            Fault::DbLock { hold } => Some(hold),
+            _ => None,
+        })
+    }
+
+    /// The degraded app-NIC bandwidth, if configured.
+    pub fn app_net_bps(&self) -> Option<u64> {
+        self.faults.iter().find_map(|f| match f {
+            Fault::AppNetDegrade { bps } => Some(*bps),
+            _ => None,
+        })
+    }
+}
+
+/// Workload session phases (§5.1): up ramp, runtime session, down ramp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Phases {
+    /// Up-ramp duration (clients start staggered).
+    pub up: SimDur,
+    /// Steady-state duration (the measurement window).
+    pub steady: SimDur,
+    /// Down-ramp duration (clients retire staggered).
+    pub down: SimDur,
+}
+
+impl Phases {
+    /// The paper's session: 2 min up, 7.5 min runtime, 1 min down
+    /// (the odd extra 9 ms of the user guide is dropped).
+    pub fn paper() -> Self {
+        Phases {
+            up: SimDur::from_secs(120),
+            steady: SimDur::from_secs(450),
+            down: SimDur::from_secs(60),
+        }
+    }
+
+    /// A shortened session for tests and quick benches, preserving the
+    /// up/steady/down proportions.
+    pub fn quick(steady_secs: u64) -> Self {
+        Phases {
+            up: SimDur::from_secs((steady_secs / 4).max(2)),
+            steady: SimDur::from_secs(steady_secs),
+            down: SimDur::from_secs((steady_secs / 8).max(1)),
+        }
+    }
+
+    /// Total session length.
+    pub fn total(&self) -> SimDur {
+        self.up + self.steady + self.down
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn browse_only_has_no_writes() {
+        let mix = Mix::browse_only();
+        assert!(mix.types.iter().all(|t| !t.is_write));
+        assert!(mix.index_of("ViewItem").is_some());
+    }
+
+    #[test]
+    fn default_mix_has_writes() {
+        let mix = Mix::default_mix();
+        assert!(mix.types.iter().any(|t| t.is_write));
+    }
+
+    #[test]
+    fn mix_sampling_respects_weights() {
+        let mix = Mix::browse_only();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = vec![0u32; mix.types.len()];
+        for _ in 0..20_000 {
+            counts[mix.sample(&mut rng)] += 1;
+        }
+        let view_item = mix.index_of("ViewItem").unwrap();
+        let home = mix.index_of("Home").unwrap();
+        // ViewItem (weight 31) must be sampled ~3x more than Home (10).
+        let ratio = counts[view_item] as f64 / counts[home] as f64;
+        assert!((2.3..4.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn paper_spec_matches_fig7() {
+        let s = ServiceSpec::paper_default();
+        assert_eq!(s.web.program, "httpd");
+        assert_eq!(s.app.program, "java");
+        assert_eq!(s.db.program, "mysqld");
+        assert_eq!(s.max_threads, 40);
+        assert_eq!(s.web.port, 80);
+        assert_eq!(s.tier(2).port, 3306);
+    }
+
+    #[test]
+    #[should_panic(expected = "tier index out of range")]
+    fn tier_index_bounds() {
+        let _ = ServiceSpec::paper_default().tier(3);
+    }
+
+    #[test]
+    fn fault_accessors() {
+        let s = ServiceSpec::paper_default()
+            .with_fault(Fault::EjbDelay { delay: Dist::Constant(1.0) })
+            .with_fault(Fault::DbLock { hold: Dist::Constant(2.0) })
+            .with_fault(Fault::AppNetDegrade { bps: 10_000_000 });
+        assert!(s.ejb_delay().is_some());
+        assert!(s.db_lock().is_some());
+        assert_eq!(s.app_net_bps(), Some(10_000_000));
+        let clean = ServiceSpec::paper_default();
+        assert!(clean.ejb_delay().is_none());
+        assert!(clean.app_net_bps().is_none());
+    }
+
+    #[test]
+    fn skew_builder_sets_offsets() {
+        let s = ServiceSpec::paper_default().with_skew_ms(500);
+        assert_eq!(s.clock_offsets_ns[1], 500_000_000);
+        assert_eq!(s.clock_offsets_ns[2], -250_000_000);
+    }
+
+    #[test]
+    fn phases_total() {
+        let p = Phases::paper();
+        assert_eq!(p.total(), SimDur::from_secs(630));
+        let q = Phases::quick(20);
+        assert_eq!(q.up, SimDur::from_secs(5));
+        assert_eq!(q.down, SimDur::from_secs(2));
+    }
+
+    #[test]
+    fn noise_spec_any() {
+        assert!(!NoiseSpec::none().any());
+        assert!(NoiseSpec { ssh_msgs_per_sec: 1.0, ..NoiseSpec::none() }.any());
+    }
+}

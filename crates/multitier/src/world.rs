@@ -1,0 +1,1314 @@
+//! The simulated RUBiS deployment (Fig. 7): client emulators driving an
+//! httpd → JBoss → MySQL pipeline over TCP-like channels, with CPU
+//! cores, connector thread pools (`MaxThreads`), database concurrency
+//! tokens, fault injection, noise generators and the TCP_TRACE probe.
+//!
+//! The model is a single [`World`] implementation driven by
+//! `simnet::Simulator`. Each execution entity (httpd process, JBoss
+//! connector thread, MySQL connection thread) services **one request at
+//! a time** — the paper's assumption 2 — and every kernel-level send
+//! and receive on a traced node emits a probe record.
+
+use std::collections::{HashMap, VecDeque};
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use simnet::tcp::ReadResult;
+use simnet::{
+    Addr, ClockModel, Dist, FifoResource, Gate, PortAlloc, RecvBuffer, Scheduler, SimDur,
+    SimTime, Wire, WireParams, World,
+};
+use tracer_core::raw::RawOp;
+use tracer_core::EndpointV4;
+
+use crate::groundtruth::TruthCollector;
+use crate::probe::{ProbeSink, ProbedNode};
+use crate::report::ServiceMetrics;
+use crate::spec::{Mix, NoiseSpec, Phases, ServiceSpec};
+
+/// Message direction on a connection: `Fwd` flows opener → acceptor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dir {
+    /// Opener → acceptor (requests).
+    Fwd,
+    /// Acceptor → opener (responses).
+    Rev,
+}
+
+impl Dir {
+    /// The opposite direction.
+    pub fn flip(self) -> Dir {
+        match self {
+            Dir::Fwd => Dir::Rev,
+            Dir::Rev => Dir::Fwd,
+        }
+    }
+}
+
+/// Simulation events.
+#[derive(Debug, Clone)]
+pub enum Ev {
+    /// A client comes online (ramp-up) and issues its first request.
+    ClientStart(usize),
+    /// A client finished thinking; issue the next request.
+    ClientThink(usize),
+    /// A wire segment arrives at the receiver's kernel buffer.
+    Seg {
+        /// Connection id.
+        conn: u64,
+        /// Direction of the segment.
+        dir: Dir,
+        /// Payload bytes.
+        bytes: u64,
+    },
+    /// A worker's CPU hold completed.
+    CpuDone {
+        /// Tier index.
+        tier: usize,
+        /// Worker index.
+        worker: usize,
+    },
+    /// A worker's non-CPU delay completed (conn setup, EJB delay,
+    /// db dispatch).
+    Delay {
+        /// Tier index.
+        tier: usize,
+        /// Worker index.
+        worker: usize,
+        /// Epoch guard against stale events.
+        epoch: u64,
+    },
+    /// A JBoss connector thread's keep-alive linger expired.
+    LingerCheck {
+        /// Worker index in the app tier.
+        worker: usize,
+        /// Epoch guard.
+        epoch: u64,
+    },
+    /// Background ssh/rlogin chatter on the web node.
+    NoiseSsh,
+    /// Background MySQL-client query from an untraced host.
+    NoiseMysql,
+}
+
+const WEB: usize = 0;
+const APP: usize = 1;
+const DB: usize = 2;
+
+/// Base added to every node's clock so that negative skews never clamp
+/// local timestamps at zero (real machines' clocks don't start at the
+/// experiment epoch either).
+const CLOCK_EPOCH_NS: i64 = 10_000_000_000;
+
+/// What is attached to one side of a connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Attach {
+    None,
+    Client(usize),
+    Worker(usize, usize),
+    /// Noise MySQL-client session: the db-side thread id.
+    NoiseDb(u32),
+}
+
+#[derive(Debug)]
+struct Conn {
+    src: Addr,
+    dst: Addr,
+    src_node: usize,
+    dst_node: usize,
+    fwd_buf: RecvBuffer,
+    rev_buf: RecvBuffer,
+    opener: Attach,
+    acceptor: Attach,
+    /// (request id, request type) of in-flight forward messages, FIFO.
+    fwd_reqs: VecDeque<(u64, usize)>,
+    /// App-tier conns: whether a connector thread was requested.
+    pool_queued: bool,
+}
+
+impl Conn {
+    fn buf(&mut self, dir: Dir) -> &mut RecvBuffer {
+        match dir {
+            Dir::Fwd => &mut self.fwd_buf,
+            Dir::Rev => &mut self.rev_buf,
+        }
+    }
+
+    fn channel(&self, dir: Dir) -> (Addr, Addr) {
+        match dir {
+            Dir::Fwd => (self.src, self.dst),
+            Dir::Rev => (self.dst, self.src),
+        }
+    }
+}
+
+/// Worker phases across all tiers (not every phase applies to every
+/// tier; see the per-tier flows in the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Idle,
+    /// MySQL: waiting for a database concurrency token.
+    TokenWait,
+    /// MySQL: dispatch latency between token grant and the read.
+    DispatchDelay,
+    /// JBoss: connection accept + thread dispatch.
+    ConnSetup,
+    /// JBoss: CPU burned finishing connection dispatch.
+    SetupCpu,
+    /// Reading the request/query message.
+    RecvRequest,
+    /// MySQL: waiting on the locked `items` table (fault 2).
+    LockWait,
+    /// CPU before the first downstream call.
+    CpuPre,
+    /// CPU between downstream calls.
+    CpuMid,
+    /// CPU after the last downstream response.
+    CpuPost,
+    /// JBoss: injected EJB delay (fault 1).
+    EjbDelay,
+    /// Blocked on a downstream response.
+    AwaitResult,
+    /// JBoss: idle thread pinned to its keep-alive connection.
+    Linger,
+}
+
+#[derive(Debug)]
+struct Worker {
+    pid: u32,
+    tid: u32,
+    phase: Phase,
+    epoch: u64,
+    /// Connection currently being serviced (tier side).
+    conn: Option<u64>,
+    /// (conn, dir) the worker is currently reading from.
+    reading: Option<(u64, Dir)>,
+    req: Option<u64>,
+    rtype: usize,
+    queries_left: u32,
+    cpu_hold: SimDur,
+    /// CPU splits precomputed at request start.
+    cpu_mid: SimDur,
+    cpu_post: SimDur,
+    /// Pending CPU for a mysql query blocked on the lock.
+    pending_cpu: SimDur,
+    /// Probe cost owed to the CPU (folded into the next hold).
+    overhead_debt: u64,
+    /// java worker's persistent connection to mysql.
+    mysql_conn: Option<u64>,
+    holds_lock: bool,
+}
+
+impl Worker {
+    fn new(pid: u32, tid: u32) -> Self {
+        Worker {
+            pid,
+            tid,
+            phase: Phase::Idle,
+            epoch: 0,
+            conn: None,
+            reading: None,
+            req: None,
+            rtype: 0,
+            queries_left: 0,
+            cpu_hold: SimDur::ZERO,
+            cpu_mid: SimDur::ZERO,
+            cpu_post: SimDur::ZERO,
+            pending_cpu: SimDur::ZERO,
+            overhead_debt: 0,
+            mysql_conn: None,
+            holds_lock: false,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Client {
+    #[allow(dead_code)] // kept for diagnostics
+    node: usize,
+    conn: u64,
+    stop_at: SimTime,
+    issued_at: SimTime,
+    req: Option<u64>,
+    retired: bool,
+}
+
+/// Configuration of one simulation run (assembled by
+/// [`experiment`](crate::experiment)).
+#[derive(Debug, Clone)]
+pub struct WorldConfig {
+    /// Service topology and demands.
+    pub spec: ServiceSpec,
+    /// Workload mix.
+    pub mix: Mix,
+    /// Number of concurrent emulated clients.
+    pub clients: usize,
+    /// Session phases.
+    pub phases: Phases,
+    /// Client think time (ns).
+    pub think: Dist,
+    /// Background noise.
+    pub noise: NoiseSpec,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// The simulated deployment; implements [`simnet::World`].
+#[derive(Debug)]
+pub struct RubisWorld {
+    cfg: WorldConfig,
+    rng: StdRng,
+    programs: [Arc<str>; 3],
+    node_ips: Vec<Ipv4Addr>,
+    nic_bps: Vec<u64>,
+    wires: HashMap<(usize, usize), Wire>,
+    ports: Vec<PortAlloc>,
+    conns: Vec<Conn>,
+    cpus: Vec<FifoResource<(usize, usize)>>,
+    thread_pool: FifoResource<u64>,
+    db_tokens: FifoResource<usize>,
+    items_gate: Gate<usize>,
+    workers: [Vec<Worker>; 3],
+    app_free: Vec<usize>,
+    clients: Vec<Client>,
+    /// Probe sink (taken at the end of the run).
+    pub probe: ProbeSink,
+    /// Ground truth (taken at the end of the run).
+    pub truth: TruthCollector,
+    /// Client-observed service metrics.
+    pub metrics: ServiceMetrics,
+    noise_conn: Option<u64>,
+    noise_tid: u32,
+    session_end: SimTime,
+}
+
+impl RubisWorld {
+    /// Builds the world; call [`RubisWorld::seed_events`] before
+    /// running.
+    pub fn new(cfg: WorldConfig) -> Self {
+        assert!(cfg.clients > 0, "need at least one client");
+        assert!(
+            cfg.clients <= cfg.spec.web.workers,
+            "httpd workers must cover all client connections"
+        );
+        let spec = &cfg.spec;
+        let programs = [
+            Arc::<str>::from(spec.web.program),
+            Arc::<str>::from(spec.app.program),
+            Arc::<str>::from(spec.db.program),
+        ];
+        // Nodes: 0 web, 1 app, 2 db, then client hosts, then noise host.
+        let mut node_ips = vec![spec.web.ip, spec.app.ip, spec.db.ip];
+        node_ips.extend(spec.client_ips.iter().copied());
+        node_ips.push(Ipv4Addr::new(172, 16, 0, 99)); // noise host
+        let base_bw = spec.wire.bandwidth_bps;
+        let mut nic_bps = vec![base_bw; node_ips.len()];
+        if let Some(bps) = spec.app_net_bps() {
+            nic_bps[APP] = bps;
+        }
+        let probe = ProbeSink::new(
+            vec![
+                ProbedNode {
+                    hostname: spec.web.hostname.into(),
+                    clock: ClockModel {
+                        offset_ns: CLOCK_EPOCH_NS + spec.clock_offsets_ns[0],
+                        drift_ppm: spec.clock_drift_ppm[0],
+                    },
+                },
+                ProbedNode {
+                    hostname: spec.app.hostname.into(),
+                    clock: ClockModel {
+                        offset_ns: CLOCK_EPOCH_NS + spec.clock_offsets_ns[1],
+                        drift_ppm: spec.clock_drift_ppm[1],
+                    },
+                },
+                ProbedNode {
+                    hostname: spec.db.hostname.into(),
+                    clock: ClockModel {
+                        offset_ns: CLOCK_EPOCH_NS + spec.clock_offsets_ns[2],
+                        drift_ppm: spec.clock_drift_ppm[2],
+                    },
+                },
+            ],
+            spec.tracing,
+        );
+        let workers = [
+            (0..cfg.clients)
+                .map(|w| Worker::new(1000 + w as u32, 1000 + w as u32))
+                .collect::<Vec<_>>(),
+            (0..spec.app.workers).map(|w| Worker::new(2000, 2001 + w as u32)).collect(),
+            (0..spec.db.workers).map(|w| Worker::new(3000, 3001 + w as u32)).collect(),
+        ];
+        let app_free: Vec<usize> = (0..spec.app.workers).rev().collect();
+        let cpus = vec![
+            FifoResource::new(spec.web.cores),
+            FifoResource::new(spec.app.cores),
+            FifoResource::new(spec.db.cores),
+        ];
+        let session_end = SimTime::ZERO + cfg.phases.total();
+        let metrics = ServiceMetrics::new(cfg.phases);
+        RubisWorld {
+            rng: StdRng::seed_from_u64(cfg.seed),
+            programs,
+            node_ips,
+            nic_bps,
+            wires: HashMap::new(),
+            ports: Vec::new(),
+            conns: Vec::new(),
+            cpus,
+            thread_pool: FifoResource::new(cfg.spec.max_threads),
+            db_tokens: FifoResource::new(cfg.spec.db_tokens),
+            items_gate: Gate::new(),
+            workers,
+            app_free,
+            clients: Vec::new(),
+            probe,
+            truth: TruthCollector::new(),
+            metrics,
+            noise_conn: None,
+            noise_tid: 3900,
+            session_end,
+            cfg,
+        }
+    }
+
+    /// Convenience: builds, seeds and runs the world to completion.
+    pub fn run_to_completion(cfg: WorldConfig) -> RubisWorld {
+        let mut sim = simnet::Simulator::new(RubisWorld::new(cfg));
+        let mut sched = std::mem::take(sim.scheduler());
+        sim.world.seed_events(&mut sched);
+        *sim.scheduler() = sched;
+        sim.run();
+        sim.world
+    }
+
+    /// Schedules client ramp-up and noise generators.
+    pub fn seed_events(&mut self, sched: &mut Scheduler<Ev>) {
+        let n = self.cfg.clients;
+        let up = self.cfg.phases.up;
+        let steady_end = self.cfg.phases.up + self.cfg.phases.steady;
+        let down = self.cfg.phases.down;
+        self.ports = (0..self.node_ips.len()).map(|_| PortAlloc::new()).collect();
+        for i in 0..n {
+            let start = SimTime::ZERO + SimDur(up.as_nanos() * i as u64 / n as u64);
+            let stop =
+                SimTime::ZERO + steady_end + SimDur(down.as_nanos() * (i as u64 + 1) / n as u64);
+            let node = 3 + (i % self.cfg.spec.client_ips.len());
+            let port = self.ports[node].next_port();
+            let conn = self.open_conn(
+                node,
+                WEB,
+                Addr::new(self.node_ips[node], port),
+                Addr::new(self.node_ips[WEB], self.cfg.spec.web.port),
+            );
+            self.conns[conn as usize].opener = Attach::Client(i);
+            // A dedicated prefork httpd process owns this keep-alive
+            // connection (worker index = client index).
+            self.conns[conn as usize].acceptor = Attach::Worker(WEB, i);
+            self.clients.push(Client {
+                node,
+                conn,
+                stop_at: stop,
+                issued_at: SimTime::ZERO,
+                req: None,
+                retired: false,
+            });
+            sched.at(start, Ev::ClientStart(i));
+        }
+        if self.cfg.noise.ssh_msgs_per_sec > 0.0 {
+            sched.after(self.noise_gap(self.cfg.noise.ssh_msgs_per_sec / 2.0), Ev::NoiseSsh);
+        }
+        if self.cfg.noise.mysql_msgs_per_sec > 0.0 {
+            let noise_node = self.node_ips.len() - 1;
+            let port = self.ports[noise_node].next_port();
+            let conn = self.open_conn(
+                noise_node,
+                DB,
+                Addr::new(self.node_ips[noise_node], port),
+                Addr::new(self.node_ips[DB], self.cfg.spec.db.port),
+            );
+            self.conns[conn as usize].acceptor = Attach::NoiseDb(self.noise_tid);
+            self.noise_conn = Some(conn);
+            sched.after(self.noise_gap(self.cfg.noise.mysql_msgs_per_sec / 2.0), Ev::NoiseMysql);
+        }
+    }
+
+    fn noise_gap(&mut self, per_sec: f64) -> SimDur {
+        let mean_ns = 1e9 / per_sec.max(1e-9);
+        SimDur(Dist::Exp { mean: mean_ns }.sample(&mut self.rng) as u64)
+    }
+
+    fn open_conn(&mut self, src_node: usize, dst_node: usize, src: Addr, dst: Addr) -> u64 {
+        let id = self.conns.len() as u64;
+        self.conns.push(Conn {
+            src,
+            dst,
+            src_node,
+            dst_node,
+            fwd_buf: RecvBuffer::new(),
+            rev_buf: RecvBuffer::new(),
+            opener: Attach::None,
+            acceptor: Attach::None,
+            fwd_reqs: VecDeque::new(),
+            pool_queued: false,
+        });
+        id
+    }
+
+    fn wire_for(&mut self, a: usize, b: usize) -> &mut Wire {
+        let base = self.cfg.spec.wire;
+        let bw = self.nic_bps[a].min(self.nic_bps[b]);
+        self.wires.entry((a, b)).or_insert_with(|| {
+            Wire::new(WireParams { bandwidth_bps: bw, ..base })
+        })
+    }
+
+    /// Sends a logical message; emits SEND probe records when the sender
+    /// is a traced tier, and schedules segment arrivals.
+    fn send_message(
+        &mut self,
+        sched: &mut Scheduler<Ev>,
+        now: SimTime,
+        conn_id: u64,
+        dir: Dir,
+        size: u64,
+        req: Option<u64>,
+        sender_worker: Option<(usize, usize)>,
+        noise_tid: Option<u32>,
+    ) {
+        let size = size.max(1);
+        let (src_node, dst_node, src, dst) = {
+            let c = &self.conns[conn_id as usize];
+            let (s, d) = c.channel(dir);
+            match dir {
+                Dir::Fwd => (c.src_node, c.dst_node, s, d),
+                Dir::Rev => (c.dst_node, c.src_node, s, d),
+            }
+        };
+        // Probe: one SEND record per application write chunk.
+        let traced = src_node < 3 && self.probe.enabled();
+        if traced {
+            let chunk = self.cfg.spec.app_write_chunk.max(1);
+            let (program, pid, tid) = match (sender_worker, noise_tid) {
+                (Some((t, w)), _) => {
+                    (Arc::clone(&self.programs[t]), self.workers[t][w].pid, self.workers[t][w].tid)
+                }
+                (None, Some(tid)) => (Arc::clone(&self.programs[DB]), 3000, tid),
+                _ => unreachable!("traced sender must be a worker or noise thread"),
+            };
+            let mut off = 0u64;
+            let mut i = 0u64;
+            while off < size {
+                let n = chunk.min(size - off);
+                let uid = self.probe.log(
+                    src_node,
+                    SimTime(now.as_nanos() + i * 2_000),
+                    &program,
+                    pid,
+                    tid,
+                    RawOp::Send,
+                    EndpointV4::new(src.ip, src.port),
+                    EndpointV4::new(dst.ip, dst.port),
+                    n,
+                );
+                match req {
+                    Some(r) => self.truth.attribute(r, uid),
+                    None => self.truth.note_noise(uid),
+                }
+                if let Some((t, w)) = sender_worker {
+                    self.workers[t][w].overhead_debt += self.cfg.spec.probe_cost.as_nanos();
+                }
+                off += n;
+                i += 1;
+            }
+        }
+        self.conns[conn_id as usize].buf(dir).push_message(size);
+        let mut rng = std::mem::replace(&mut self.rng, StdRng::seed_from_u64(0));
+        let plans = self.wire_for(src_node, dst_node).transmit(now, size, &mut rng);
+        self.rng = rng;
+        for p in plans {
+            sched.at(p.at, Ev::Seg { conn: conn_id, dir, bytes: p.bytes });
+        }
+    }
+
+    /// A worker reads everything readable; emits a RECEIVE probe record.
+    /// Returns the read result.
+    fn worker_read(&mut self, now: SimTime, tier: usize, widx: usize) -> ReadResult {
+        let (conn_id, dir) = self.workers[tier][widx]
+            .reading
+            .expect("worker_read requires a reading assignment");
+        let r = self.conns[conn_id as usize].buf(dir).read();
+        if r.bytes == 0 {
+            return r;
+        }
+        if self.probe.enabled() {
+            let (src, dst) = self.conns[conn_id as usize].channel(dir);
+            let req = self.workers[tier][widx].req.or_else(|| {
+                self.conns[conn_id as usize].fwd_reqs.front().map(|&(r, _)| r)
+            });
+            let program = Arc::clone(&self.programs[tier]);
+            let (pid, tid) = (self.workers[tier][widx].pid, self.workers[tier][widx].tid);
+            let uid = self.probe.log(
+                tier,
+                now,
+                &program,
+                pid,
+                tid,
+                RawOp::Receive,
+                EndpointV4::new(src.ip, src.port),
+                EndpointV4::new(dst.ip, dst.port),
+                r.bytes,
+            );
+            match req {
+                Some(rq) => self.truth.attribute(rq, uid),
+                None => self.truth.note_noise(uid),
+            }
+            self.workers[tier][widx].overhead_debt += self.cfg.spec.probe_cost.as_nanos();
+        }
+        r
+    }
+
+    fn sample(&mut self, d: Dist) -> u64 {
+        d.sample(&mut self.rng) as u64
+    }
+
+    fn sample_dur(&mut self, d: Dist) -> SimDur {
+        SimDur(d.sample(&mut self.rng) as u64)
+    }
+
+    /// Requests CPU for a worker; schedules `CpuDone` now or at grant.
+    fn cpu_request(&mut self, sched: &mut Scheduler<Ev>, tier: usize, widx: usize, hold: SimDur) {
+        let debt = std::mem::take(&mut self.workers[tier][widx].overhead_debt);
+        let hold = hold + SimDur(debt);
+        self.workers[tier][widx].cpu_hold = hold;
+        if self.cpus[tier].acquire((tier, widx)) {
+            sched.after(hold, Ev::CpuDone { tier, worker: widx });
+        }
+    }
+
+    /// Releases a CPU core; grants the next waiter.
+    fn cpu_release(&mut self, sched: &mut Scheduler<Ev>, tier: usize) {
+        if let Some((t, w)) = self.cpus[tier].release() {
+            let hold = self.workers[t][w].cpu_hold;
+            sched.after(hold, Ev::CpuDone { tier: t, worker: w });
+        }
+    }
+
+    // ----- client behaviour ---------------------------------------------
+
+    fn client_issue(&mut self, sched: &mut Scheduler<Ev>, now: SimTime, ci: usize) {
+        if now >= self.clients[ci].stop_at {
+            self.clients[ci].retired = true;
+            return;
+        }
+        let rtype = self.cfg.mix.sample(&mut self.rng);
+        let req = self.truth.new_request(rtype, now);
+        self.metrics.on_issue(now);
+        self.clients[ci].req = Some(req);
+        self.clients[ci].issued_at = now;
+        let conn = self.clients[ci].conn;
+        let size = self.sample(self.cfg.mix.types[rtype].req_size);
+        self.conns[conn as usize].fwd_reqs.push_back((req, rtype));
+        self.send_message(sched, now, conn, Dir::Fwd, size, Some(req), None, None);
+    }
+
+    fn client_complete(&mut self, sched: &mut Scheduler<Ev>, now: SimTime, ci: usize) {
+        let Some(req) = self.clients[ci].req.take() else { return };
+        self.truth.complete(req, now);
+        let rt = now.since(self.clients[ci].issued_at);
+        self.metrics.on_complete(now, rt);
+        if self.clients[ci].retired || now >= self.clients[ci].stop_at {
+            self.clients[ci].retired = true;
+            return;
+        }
+        let think = self.sample_dur(self.cfg.think);
+        sched.after(think, Ev::ClientThink(ci));
+    }
+
+    // ----- httpd (tier 0) ------------------------------------------------
+
+    fn web_on_request_data(&mut self, sched: &mut Scheduler<Ev>, now: SimTime, conn: u64) {
+        let Attach::Worker(_, w) = self.conns[conn as usize].acceptor else { return };
+        if self.workers[WEB][w].phase == Phase::Idle {
+            self.workers[WEB][w].phase = Phase::RecvRequest;
+            self.workers[WEB][w].conn = Some(conn);
+            self.workers[WEB][w].reading = Some((conn, Dir::Fwd));
+        }
+        if self.workers[WEB][w].phase == Phase::RecvRequest {
+            let r = self.worker_read(now, WEB, w);
+            if r.messages_completed > 0 {
+                let (req, rtype) = self.conns[conn as usize]
+                    .fwd_reqs
+                    .pop_front()
+                    .expect("request message had a registered id");
+                let wk = &mut self.workers[WEB][w];
+                wk.req = Some(req);
+                wk.rtype = rtype;
+                wk.phase = Phase::CpuPre;
+                let cpu = self.sample(self.cfg.mix.types[rtype].httpd_cpu);
+                let pre = SimDur(cpu * 7 / 10);
+                self.workers[WEB][w].cpu_post = SimDur(cpu * 3 / 10);
+                self.cpu_request(sched, WEB, w, pre);
+            }
+        }
+    }
+
+    fn web_cpu_done(&mut self, sched: &mut Scheduler<Ev>, now: SimTime, w: usize) {
+        match self.workers[WEB][w].phase {
+            Phase::CpuPre => {
+                let rtype = self.workers[WEB][w].rtype;
+                let req = self.workers[WEB][w].req;
+                if self.cfg.mix.types[rtype].uses_backend {
+                    // Open a fresh connection to the app connector.
+                    let port = self.ports[WEB].next_port();
+                    let conn = self.open_conn(
+                        WEB,
+                        APP,
+                        Addr::new(self.node_ips[WEB], port),
+                        Addr::new(self.node_ips[APP], self.cfg.spec.app.port),
+                    );
+                    self.conns[conn as usize].opener = Attach::Worker(WEB, w);
+                    self.conns[conn as usize].fwd_reqs.push_back((req.unwrap_or(0), rtype));
+                    let size = self.sample(self.cfg.mix.types[rtype].backend_req_size);
+                    self.workers[WEB][w].phase = Phase::AwaitResult;
+                    self.workers[WEB][w].reading = Some((conn, Dir::Rev));
+                    self.send_message(sched, now, conn, Dir::Fwd, size, req, Some((WEB, w)), None);
+                } else {
+                    self.web_respond(sched, now, w);
+                }
+            }
+            Phase::CpuPost => self.web_respond(sched, now, w),
+            other => panic!("httpd worker {w} CpuDone in phase {other:?}"),
+        }
+    }
+
+    fn web_result_done(&mut self, sched: &mut Scheduler<Ev>, _now: SimTime, w: usize) {
+        self.workers[WEB][w].phase = Phase::CpuPost;
+        let post = self.workers[WEB][w].cpu_post;
+        self.cpu_request(sched, WEB, w, post);
+    }
+
+    fn web_respond(&mut self, sched: &mut Scheduler<Ev>, now: SimTime, w: usize) {
+        let client_conn = self.clients_conn_of_web_worker(w);
+        let rtype = self.workers[WEB][w].rtype;
+        let req = self.workers[WEB][w].req;
+        let size = self.sample(self.cfg.mix.types[rtype].page_size);
+        self.send_message(sched, now, client_conn, Dir::Rev, size, req, Some((WEB, w)), None);
+        let wk = &mut self.workers[WEB][w];
+        wk.phase = Phase::Idle;
+        wk.req = None;
+        wk.reading = None;
+        wk.conn = None;
+    }
+
+    fn clients_conn_of_web_worker(&self, w: usize) -> u64 {
+        self.clients[w].conn
+    }
+
+    // ----- JBoss (tier 1) --------------------------------------------------
+
+    fn app_conn_arrival(&mut self, sched: &mut Scheduler<Ev>, now: SimTime, conn: u64) {
+        if !self.conns[conn as usize].pool_queued {
+            self.conns[conn as usize].pool_queued = true;
+            if self.thread_pool.acquire(conn) {
+                self.app_start_worker(sched, now, conn);
+            }
+        }
+        // While queued in the pool the bytes simply buffer; the thread
+        // reads them after ConnSetup.
+    }
+
+    fn app_start_worker(&mut self, sched: &mut Scheduler<Ev>, now: SimTime, conn: u64) {
+        let _ = now;
+        let w = self.app_free.pop().expect("connector pool grants never exceed workers");
+        self.conns[conn as usize].acceptor = Attach::Worker(APP, w);
+        let setup = self.sample_dur(self.cfg.spec.conn_setup);
+        let wk = &mut self.workers[APP][w];
+        wk.phase = Phase::ConnSetup;
+        wk.conn = Some(conn);
+        wk.reading = Some((conn, Dir::Fwd));
+        wk.epoch += 1;
+        let epoch = wk.epoch;
+        sched.after(setup, Ev::Delay { tier: APP, worker: w, epoch });
+    }
+
+    fn app_continue_recv(&mut self, sched: &mut Scheduler<Ev>, now: SimTime, w: usize) {
+        let r = self.worker_read(now, APP, w);
+        if r.messages_completed == 0 {
+            return;
+        }
+        let conn = self.workers[APP][w].conn.expect("attached");
+        let (req, rtype) = self.conns[conn as usize]
+            .fwd_reqs
+            .pop_front()
+            .expect("backend request had a registered id");
+        let queries = self.cfg.mix.types[rtype].queries;
+        let total_cpu = self.sample(self.cfg.mix.types[rtype].java_cpu);
+        let (pre, mid, post) = split_cpu(total_cpu, queries);
+        let wk = &mut self.workers[APP][w];
+        wk.req = Some(req);
+        wk.rtype = rtype;
+        wk.queries_left = queries;
+        wk.cpu_mid = mid;
+        wk.cpu_post = post;
+        wk.phase = Phase::CpuPre;
+        self.cpu_request(sched, APP, w, pre);
+    }
+
+    fn app_cpu_done(&mut self, sched: &mut Scheduler<Ev>, now: SimTime, w: usize) {
+        match self.workers[APP][w].phase {
+            Phase::SetupCpu => {
+                self.workers[APP][w].phase = Phase::RecvRequest;
+                self.app_continue_recv(sched, now, w);
+            }
+            Phase::CpuPre => {
+                if let Some(delay) = self.cfg.spec.ejb_delay().copied() {
+                    let d = self.sample_dur(delay);
+                    let wk = &mut self.workers[APP][w];
+                    wk.phase = Phase::EjbDelay;
+                    wk.epoch += 1;
+                    let epoch = wk.epoch;
+                    sched.after(d, Ev::Delay { tier: APP, worker: w, epoch });
+                } else {
+                    self.app_next_step(sched, now, w);
+                }
+            }
+            Phase::CpuMid => self.app_send_query(sched, now, w),
+            Phase::CpuPost => self.app_respond(sched, now, w),
+            other => panic!("java worker {w} CpuDone in phase {other:?}"),
+        }
+    }
+
+    /// After pre-CPU (and any EJB delay): first query or straight to the
+    /// response.
+    fn app_next_step(&mut self, sched: &mut Scheduler<Ev>, now: SimTime, w: usize) {
+        if self.workers[APP][w].queries_left > 0 {
+            self.app_send_query(sched, now, w);
+        } else {
+            self.app_respond(sched, now, w);
+        }
+    }
+
+    fn app_send_query(&mut self, sched: &mut Scheduler<Ev>, now: SimTime, w: usize) {
+        let req = self.workers[APP][w].req;
+        let rtype = self.workers[APP][w].rtype;
+        self.workers[APP][w].queries_left -= 1;
+        let conn = match self.workers[APP][w].mysql_conn {
+            Some(c) => c,
+            None => {
+                let port = self.ports[APP].next_port();
+                let c = self.open_conn(
+                    APP,
+                    DB,
+                    Addr::new(self.node_ips[APP], port),
+                    Addr::new(self.node_ips[DB], self.cfg.spec.db.port),
+                );
+                self.conns[c as usize].opener = Attach::Worker(APP, w);
+                // A dedicated mysqld connection thread services this
+                // connection for its lifetime.
+                let dbw = self.db_worker_for_conn(c);
+                self.conns[c as usize].acceptor = Attach::Worker(DB, dbw);
+                self.workers[APP][w].mysql_conn = Some(c);
+                c
+            }
+        };
+        let size = self.sample(self.cfg.mix.types[rtype].query_size);
+        self.conns[conn as usize].fwd_reqs.push_back((req.unwrap_or(0), rtype));
+        self.workers[APP][w].phase = Phase::AwaitResult;
+        self.workers[APP][w].reading = Some((conn, Dir::Rev));
+        self.send_message(sched, now, conn, Dir::Fwd, size, req, Some((APP, w)), None);
+    }
+
+    fn db_worker_for_conn(&mut self, _conn: u64) -> usize {
+        // One mysqld thread per connection; find a never-used slot.
+        let idx = self
+            .workers[DB]
+            .iter()
+            .position(|wk| wk.conn.is_none() && wk.phase == Phase::Idle && wk.reading.is_none())
+            .expect("mysqld thread-per-connection pool exhausted");
+        self.workers[DB][idx].conn = Some(u64::MAX); // reserved marker, set on arrival
+        idx
+    }
+
+    fn app_result_done(&mut self, sched: &mut Scheduler<Ev>, _now: SimTime, w: usize) {
+        if self.workers[APP][w].queries_left > 0 {
+            self.workers[APP][w].phase = Phase::CpuMid;
+            let mid = self.workers[APP][w].cpu_mid;
+            self.cpu_request(sched, APP, w, mid);
+        } else {
+            self.workers[APP][w].phase = Phase::CpuPost;
+            let post = self.workers[APP][w].cpu_post;
+            self.cpu_request(sched, APP, w, post);
+        }
+    }
+
+    fn app_respond(&mut self, sched: &mut Scheduler<Ev>, now: SimTime, w: usize) {
+        let conn = self.workers[APP][w].conn.expect("attached");
+        let req = self.workers[APP][w].req;
+        let rtype = self.workers[APP][w].rtype;
+        let size = self.sample(self.cfg.mix.types[rtype].page_size);
+        self.send_message(sched, now, conn, Dir::Rev, size, req, Some((APP, w)), None);
+        let wk = &mut self.workers[APP][w];
+        wk.req = None;
+        wk.reading = None;
+        wk.conn = None;
+        wk.phase = Phase::Linger;
+        wk.epoch += 1;
+        let epoch = wk.epoch;
+        // The connector thread stays pinned to its (now idle) keep-alive
+        // connection until the keep-alive window expires -- the classic
+        // thread-per-connection pathology behind Fig. 15/16. Past the
+        // saturation knee the connector also churns on its backlog
+        // (epoll scans, context switches), recycling threads slightly
+        // slower -- the mechanism behind the paper's throughput decline
+        // at 1000 clients (Fig. 8). The stretch is capped so overload
+        // degrades gently instead of collapsing.
+        let backlog = self.thread_pool.queue_len().min(250) as u64;
+        let linger = self.cfg.spec.keepalive_linger;
+        let linger = SimDur(linger.as_nanos() + linger.as_nanos() * backlog / 1500);
+        sched.after(linger, Ev::LingerCheck { worker: w, epoch });
+    }
+
+    fn app_release_thread(&mut self, sched: &mut Scheduler<Ev>, now: SimTime, w: usize) {
+        self.workers[APP][w].phase = Phase::Idle;
+        self.app_free.push(w);
+        if let Some(conn) = self.thread_pool.release() {
+            self.app_start_worker(sched, now, conn);
+        }
+    }
+
+    // ----- MySQL (tier 2) ----------------------------------------------------
+
+    fn db_on_query_data(&mut self, sched: &mut Scheduler<Ev>, now: SimTime, conn: u64) {
+        let Attach::Worker(_, w) = self.conns[conn as usize].acceptor else { return };
+        match self.workers[DB][w].phase {
+            Phase::Idle => {
+                let wk = &mut self.workers[DB][w];
+                wk.conn = Some(conn);
+                wk.reading = Some((conn, Dir::Fwd));
+                wk.phase = Phase::TokenWait;
+                if self.db_tokens.acquire(w) {
+                    self.db_dispatch(sched, now, w);
+                }
+            }
+            Phase::RecvRequest => self.db_continue_recv(sched, now, w),
+            _ => {}
+        }
+    }
+
+    fn db_dispatch(&mut self, sched: &mut Scheduler<Ev>, _now: SimTime, w: usize) {
+        let d = self.sample_dur(self.cfg.spec.db_dispatch);
+        let wk = &mut self.workers[DB][w];
+        wk.phase = Phase::DispatchDelay;
+        wk.epoch += 1;
+        let epoch = wk.epoch;
+        sched.after(d, Ev::Delay { tier: DB, worker: w, epoch });
+    }
+
+    /// After the dispatch delay: if the query needs the locked `items`
+    /// table, the worker blocks *before reading* (the table lock stalls
+    /// the session, delaying the kernel recv — which is why the paper's
+    /// java2mysqld percentage grows under DataBase_Lock).
+    fn db_after_dispatch(&mut self, sched: &mut Scheduler<Ev>, now: SimTime, w: usize) {
+        let conn = self.workers[DB][w].conn.expect("attached");
+        let locked = self.cfg.spec.db_lock().is_some()
+            && self.conns[conn as usize]
+                .fwd_reqs
+                .front()
+                .is_some_and(|&(_, rtype)| self.cfg.mix.types[rtype].touches_items);
+        if locked {
+            self.workers[DB][w].phase = Phase::LockWait;
+            if self.items_gate.acquire(w) {
+                self.db_locked_recv(sched, now, w);
+            }
+        } else {
+            self.workers[DB][w].phase = Phase::RecvRequest;
+            self.db_continue_recv(sched, now, w);
+        }
+    }
+
+    /// Lock granted: read the query and run it with the extra hold.
+    fn db_locked_recv(&mut self, sched: &mut Scheduler<Ev>, now: SimTime, w: usize) {
+        self.workers[DB][w].holds_lock = true;
+        self.workers[DB][w].phase = Phase::RecvRequest;
+        self.db_continue_recv(sched, now, w);
+    }
+
+    fn db_continue_recv(&mut self, sched: &mut Scheduler<Ev>, now: SimTime, w: usize) {
+        let r = self.worker_read(now, DB, w);
+        if r.messages_completed == 0 {
+            return;
+        }
+        let conn = self.workers[DB][w].conn.expect("attached");
+        let (req, rtype) = self.conns[conn as usize]
+            .fwd_reqs
+            .pop_front()
+            .expect("query had a registered id");
+        let cpu = self.sample(self.cfg.mix.types[rtype].mysql_cpu);
+        let wk = &mut self.workers[DB][w];
+        wk.req = Some(req);
+        wk.rtype = rtype;
+        wk.pending_cpu = SimDur(cpu);
+        if self.workers[DB][w].holds_lock {
+            let hold = self.cfg.spec.db_lock().copied().expect("lock held implies fault");
+            let extra = self.sample_dur(hold);
+            self.workers[DB][w].pending_cpu += extra;
+        }
+        self.db_run_query(sched, now, w);
+    }
+
+    fn db_run_query(&mut self, sched: &mut Scheduler<Ev>, _now: SimTime, w: usize) {
+        let cpu = self.workers[DB][w].pending_cpu;
+        self.workers[DB][w].phase = Phase::CpuPre;
+        self.cpu_request(sched, DB, w, cpu);
+    }
+
+    fn db_cpu_done(&mut self, sched: &mut Scheduler<Ev>, now: SimTime, w: usize) {
+        assert_eq!(self.workers[DB][w].phase, Phase::CpuPre);
+        let conn = self.workers[DB][w].conn.expect("attached");
+        let req = self.workers[DB][w].req;
+        let rtype = self.workers[DB][w].rtype;
+        let size = self.sample(self.cfg.mix.types[rtype].result_size);
+        self.send_message(sched, now, conn, Dir::Rev, size, req, Some((DB, w)), None);
+        if self.workers[DB][w].holds_lock {
+            self.workers[DB][w].holds_lock = false;
+            if let Some(w2) = self.items_gate.release() {
+                self.db_locked_recv(sched, now, w2);
+            }
+        }
+        let wk = &mut self.workers[DB][w];
+        wk.req = None;
+        wk.phase = Phase::Idle;
+        wk.reading = Some((conn, Dir::Fwd));
+        if let Some(w2) = self.db_tokens.release() {
+            self.db_dispatch(sched, now, w2);
+        }
+        // If the next query already arrived (should not for in-model
+        // clients, but keep the machine total):
+        if self.conns[conn as usize].fwd_buf.readable() > 0 {
+            self.db_on_query_data(sched, now, conn);
+        }
+    }
+
+    // ----- noise -----------------------------------------------------------
+
+    fn noise_ssh(&mut self, sched: &mut Scheduler<Ev>, now: SimTime) {
+        if now >= self.session_end {
+            return;
+        }
+        let program: Arc<str> = "sshd".into();
+        let peer = EndpointV4::new(Ipv4Addr::new(172, 16, 0, 50), 52_000);
+        let local = EndpointV4::new(self.node_ips[WEB], 22);
+        let uid1 = self.probe.log(WEB, now, &program, 500, 500, RawOp::Receive, peer, local, 96);
+        self.truth.note_noise(uid1);
+        let uid2 = self.probe.log(
+            WEB,
+            SimTime(now.as_nanos() + 150_000),
+            &program,
+            500,
+            500,
+            RawOp::Send,
+            local,
+            peer,
+            128,
+        );
+        self.truth.note_noise(uid2);
+        let gap = self.noise_gap(self.cfg.noise.ssh_msgs_per_sec / 2.0);
+        sched.after(gap, Ev::NoiseSsh);
+    }
+
+    fn noise_mysql_tick(&mut self, sched: &mut Scheduler<Ev>, now: SimTime) {
+        if now >= self.session_end {
+            return;
+        }
+        let conn = self.noise_conn.expect("noise conn exists");
+        let size = 80 + (self.sample(Dist::Uniform { lo: 0.0, hi: 160.0 }));
+        self.send_message(sched, now, conn, Dir::Fwd, size, None, None, None);
+        let gap = self.noise_gap(self.cfg.noise.mysql_msgs_per_sec / 2.0);
+        sched.after(gap, Ev::NoiseMysql);
+    }
+
+    fn noise_db_arrival(&mut self, sched: &mut Scheduler<Ev>, now: SimTime, conn: u64, tid: u32) {
+        if !self.conns[conn as usize].fwd_buf.front_message_complete() {
+            return;
+        }
+        let r = self.conns[conn as usize].fwd_buf.read();
+        let (src, dst) = self.conns[conn as usize].channel(Dir::Fwd);
+        let program = Arc::clone(&self.programs[DB]);
+        let uid = self.probe.log(
+            DB,
+            now,
+            &program,
+            3000,
+            tid,
+            RawOp::Receive,
+            EndpointV4::new(src.ip, src.port),
+            EndpointV4::new(dst.ip, dst.port),
+            r.bytes,
+        );
+        self.truth.note_noise(uid);
+        // Respond with a small result after a fixed 300us "query".
+        let at = SimTime(now.as_nanos() + 300_000);
+        let size = 200 + self.sample(Dist::Uniform { lo: 0.0, hi: 700.0 });
+        self.send_message(sched, at.max(now), conn, Dir::Rev, size, None, None, Some(tid));
+    }
+
+    // ----- event dispatch ----------------------------------------------------
+
+    fn on_seg(&mut self, sched: &mut Scheduler<Ev>, now: SimTime, conn: u64, dir: Dir, bytes: u64) {
+        self.conns[conn as usize].buf(dir).on_arrival(bytes);
+        let side = match dir {
+            Dir::Fwd => self.conns[conn as usize].acceptor,
+            Dir::Rev => self.conns[conn as usize].opener,
+        };
+        match side {
+            Attach::Client(ci) => {
+                if self.conns[conn as usize].rev_buf.front_message_complete() {
+                    let _ = self.conns[conn as usize].rev_buf.read();
+                    self.client_complete(sched, now, ci);
+                }
+            }
+            Attach::NoiseDb(tid) => self.noise_db_arrival(sched, now, conn, tid),
+            Attach::Worker(tier, w) => match (tier, dir) {
+                (WEB, Dir::Fwd) => self.web_on_request_data(sched, now, conn),
+                (DB, Dir::Fwd) => self.db_on_query_data(sched, now, conn),
+                (APP, Dir::Fwd) => {
+                    // Request chunks arriving after the connector thread
+                    // started reading.
+                    if self.workers[APP][w].phase == Phase::RecvRequest {
+                        self.app_continue_recv(sched, now, w);
+                    }
+                }
+                _ => {
+                    // A worker blocked on a response reads eagerly,
+                    // producing one RECEIVE record per arrival batch.
+                    if self.workers[tier][w].phase == Phase::AwaitResult
+                        && self.workers[tier][w].reading == Some((conn, dir))
+                    {
+                        let r = self.worker_read(now, tier, w);
+                        if r.messages_completed > 0 {
+                            match tier {
+                                WEB => self.web_result_done(sched, now, w),
+                                APP => self.app_result_done(sched, now, w),
+                                _ => unreachable!("only web/app await results"),
+                            }
+                        }
+                    }
+                }
+            },
+            Attach::None => {
+                if dir == Dir::Fwd && self.conns[conn as usize].dst_node == APP {
+                    self.app_conn_arrival(sched, now, conn);
+                }
+            }
+        }
+    }
+
+    fn on_delay(&mut self, sched: &mut Scheduler<Ev>, now: SimTime, tier: usize, w: usize, epoch: u64) {
+        if self.workers[tier][w].epoch != epoch {
+            return;
+        }
+        match (tier, self.workers[tier][w].phase) {
+            (APP, Phase::ConnSetup) => {
+                self.workers[APP][w].phase = Phase::SetupCpu;
+                let cpu = self.sample_dur(self.cfg.spec.conn_setup_cpu);
+                self.cpu_request(sched, APP, w, cpu);
+            }
+            (APP, Phase::EjbDelay) => {
+                self.app_next_step(sched, now, w);
+            }
+            (DB, Phase::DispatchDelay) => self.db_after_dispatch(sched, now, w),
+            (t, p) => panic!("stray delay for tier {t} worker {w} in {p:?}"),
+        }
+    }
+
+    /// Fraction of completed requests (diagnostics).
+    pub fn completion_ratio(&self) -> f64 {
+        let issued = self.metrics.issued.max(1);
+        self.metrics.completed as f64 / issued as f64
+    }
+}
+
+/// Splits total app-tier CPU into pre / per-query mid / post segments.
+fn split_cpu(total_ns: u64, queries: u32) -> (SimDur, SimDur, SimDur) {
+    if queries == 0 {
+        return (SimDur(total_ns), SimDur::ZERO, SimDur::ZERO);
+    }
+    let pre = total_ns * 4 / 10;
+    let post = total_ns * 2 / 10;
+    let mid_total = total_ns - pre - post;
+    (SimDur(pre), SimDur(mid_total / queries as u64), SimDur(post))
+}
+
+impl World for RubisWorld {
+    type Event = Ev;
+
+    fn handle(&mut self, now: SimTime, event: Ev, sched: &mut Scheduler<Ev>) {
+        match event {
+            Ev::ClientStart(ci) => self.client_issue(sched, now, ci),
+            Ev::ClientThink(ci) => self.client_issue(sched, now, ci),
+            Ev::Seg { conn, dir, bytes } => self.on_seg(sched, now, conn, dir, bytes),
+            Ev::CpuDone { tier, worker } => {
+                self.cpu_release(sched, tier);
+                match tier {
+                    WEB => self.web_cpu_done(sched, now, worker),
+                    APP => self.app_cpu_done(sched, now, worker),
+                    DB => self.db_cpu_done(sched, now, worker),
+                    _ => unreachable!(),
+                }
+            }
+            Ev::Delay { tier, worker, epoch } => self.on_delay(sched, now, tier, worker, epoch),
+            Ev::LingerCheck { worker, epoch } => {
+                if self.workers[APP][worker].epoch == epoch
+                    && self.workers[APP][worker].phase == Phase::Linger
+                {
+                    self.app_release_thread(sched, now, worker);
+                }
+            }
+            Ev::NoiseSsh => self.noise_ssh(sched, now),
+            Ev::NoiseMysql => self.noise_mysql_tick(sched, now),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    fn tiny_config(clients: usize) -> WorldConfig {
+        WorldConfig {
+            spec: ServiceSpec::paper_default(),
+            mix: Mix::browse_only(),
+            clients,
+            phases: Phases::quick(8),
+            think: Dist::Exp { mean: 1.5e9 },
+            noise: NoiseSpec::none(),
+            seed: 42,
+        }
+    }
+
+    fn run(cfg: WorldConfig) -> RubisWorld {
+        RubisWorld::run_to_completion(cfg)
+    }
+
+    #[test]
+    fn small_run_completes_requests() {
+        let w = run(tiny_config(5));
+        assert!(w.metrics.completed > 0, "no requests completed");
+        assert_eq!(w.metrics.completed, w.truth.completed_count());
+        assert!(w.completion_ratio() > 0.99, "in-flight requests must drain");
+    }
+
+    #[test]
+    fn probe_records_look_like_tcp_trace() {
+        let w = run(tiny_config(3));
+        let recs = w.probe.into_records();
+        assert!(!recs.is_empty());
+        // Round-trip through the text format.
+        for r in recs.iter().take(50) {
+            let line = r.to_string();
+            let back = tracer_core::raw::RawRecord::parse_line(&line).unwrap();
+            assert_eq!(back.size, r.size);
+            assert_eq!(back.hostname, r.hostname);
+        }
+    }
+
+    #[test]
+    fn per_node_records_are_locally_ordered() {
+        let w = run(tiny_config(5));
+        let streams = w.probe.into_streams();
+        assert_eq!(streams.len(), 3);
+        for (host, recs) in &streams {
+            let sorted = recs.windows(2).all(|p| p[0].ts <= p[1].ts);
+            // Send chunk staggering can reorder across events by a hair;
+            // allow tiny inversions only.
+            if !sorted {
+                let max_inv = recs
+                    .windows(2)
+                    .filter(|p| p[0].ts > p[1].ts)
+                    .map(|p| p[0].ts.as_nanos() - p[1].ts.as_nanos())
+                    .max()
+                    .unwrap();
+                assert!(max_inv < 1_000_000, "{host}: inversion {max_inv}ns too large");
+            }
+        }
+    }
+
+    #[test]
+    fn every_request_touches_all_three_tiers_when_backend() {
+        let w = run(tiny_config(4));
+        let mut by_req: HashMap<u64, Vec<Arc<str>>> = HashMap::new();
+        let truth: Vec<_> = w.truth.requests().cloned().collect();
+        let recs = w.probe.into_records();
+        let uid_host: HashMap<u64, Arc<str>> =
+            recs.iter().map(|r| (r.tag, Arc::clone(&r.hostname))).collect();
+        for t in truth {
+            if t.completed.is_none() {
+                continue;
+            }
+            let hosts = by_req.entry(t.id).or_default();
+            for uid in &t.records {
+                if let Some(h) = uid_host.get(uid) {
+                    hosts.push(Arc::clone(h));
+                }
+            }
+        }
+        assert!(by_req.values().any(|hosts| {
+            hosts.iter().any(|h| &**h == "web1")
+                && hosts.iter().any(|h| &**h == "app1")
+                && hosts.iter().any(|h| &**h == "db1")
+        }));
+    }
+
+    #[test]
+    fn disabled_probe_produces_no_records() {
+        let mut cfg = tiny_config(3);
+        cfg.spec.tracing = false;
+        let w = run(cfg);
+        assert!(w.metrics.completed > 0);
+        assert_eq!(w.probe.total(), 0);
+    }
+
+    #[test]
+    fn noise_generators_emit_untagged_records() {
+        let mut cfg = tiny_config(3);
+        cfg.noise = NoiseSpec { ssh_msgs_per_sec: 50.0, mysql_msgs_per_sec: 50.0 };
+        let w = run(cfg);
+        assert!(w.truth.noise_records() > 10, "noise={}", w.truth.noise_records());
+    }
+
+    #[test]
+    fn max_threads_one_still_drains() {
+        let mut cfg = tiny_config(6);
+        cfg.spec.max_threads = 1;
+        let w = run(cfg);
+        assert!(w.completion_ratio() > 0.99);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run(tiny_config(4));
+        let b = run(tiny_config(4));
+        assert_eq!(a.metrics.completed, b.metrics.completed);
+        let ra = a.probe.into_records();
+        let rb = b.probe.into_records();
+        assert_eq!(ra.len(), rb.len());
+        assert_eq!(ra.first().map(|r| r.ts), rb.first().map(|r| r.ts));
+    }
+
+    #[test]
+    fn faults_change_behaviour() {
+        use crate::spec::Fault;
+        let base = run(tiny_config(4)).metrics.rt_mean();
+        let mut cfg = tiny_config(4);
+        cfg.spec = cfg.spec.with_fault(Fault::EjbDelay {
+            delay: Dist::Constant(120_000_000.0),
+        });
+        let slow = run(cfg).metrics.rt_mean();
+        assert!(
+            slow.as_nanos() > base.as_nanos() + 60_000_000,
+            "EJB delay must slow requests: {base} -> {slow}"
+        );
+    }
+}

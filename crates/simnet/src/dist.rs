@@ -1,0 +1,179 @@
+//! Reproducible random distributions.
+//!
+//! Only `rand` is available offline (no `rand_distr`), so the classic
+//! inverse-CDF / Box–Muller constructions are implemented here.
+
+use rand::Rng;
+
+/// A sampleable distribution of durations/sizes (in abstract units; the
+/// caller decides whether values are nanoseconds, bytes, ...).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Dist {
+    /// Always the same value.
+    Constant(f64),
+    /// Uniform in `[lo, hi)`.
+    Uniform {
+        /// Lower bound (inclusive).
+        lo: f64,
+        /// Upper bound (exclusive).
+        hi: f64,
+    },
+    /// Exponential with the given mean.
+    Exp {
+        /// Mean of the distribution.
+        mean: f64,
+    },
+    /// Log-normal parameterized by the *median* and sigma of the
+    /// underlying normal (heavy-tailed service times).
+    LogNormal {
+        /// Median (= exp(mu)).
+        median: f64,
+        /// Sigma of the underlying normal.
+        sigma: f64,
+    },
+    /// Bounded Pareto with shape `alpha` on `[lo, hi]` (bursty sizes).
+    Pareto {
+        /// Minimum value.
+        lo: f64,
+        /// Maximum value.
+        hi: f64,
+        /// Shape parameter (smaller = heavier tail).
+        alpha: f64,
+    },
+}
+
+impl Dist {
+    /// Draws a sample (always ≥ 0).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let v = match *self {
+            Dist::Constant(v) => v,
+            Dist::Uniform { lo, hi } => {
+                if hi <= lo {
+                    lo
+                } else {
+                    rng.gen_range(lo..hi)
+                }
+            }
+            Dist::Exp { mean } => {
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                -mean * u.ln()
+            }
+            Dist::LogNormal { median, sigma } => {
+                // Box–Muller.
+                let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                median * (sigma * z).exp()
+            }
+            Dist::Pareto { lo, hi, alpha } => {
+                let u: f64 = rng.gen_range(0.0..1.0);
+                let la = lo.powf(alpha);
+                let ha = hi.powf(alpha);
+                // Inverse CDF of the bounded Pareto: x such that
+                // F(x) = (1 - la·x^-a) / (1 - la/ha) = u.
+                ((ha - u * (ha - la)) / (la * ha)).powf(-1.0 / alpha)
+            }
+        };
+        v.max(0.0)
+    }
+
+    /// The analytical mean, where tractable (used for sanity checks).
+    pub fn mean(&self) -> f64 {
+        match *self {
+            Dist::Constant(v) => v,
+            Dist::Uniform { lo, hi } => (lo + hi) / 2.0,
+            Dist::Exp { mean } => mean,
+            Dist::LogNormal { median, sigma } => median * (sigma * sigma / 2.0).exp(),
+            Dist::Pareto { lo, hi, alpha } => {
+                if (alpha - 1.0).abs() < 1e-9 {
+                    (hi / lo).ln() * lo / (1.0 - lo / hi)
+                } else {
+                    let la = lo.powf(alpha);
+                    let num = alpha * la / (alpha - 1.0)
+                        * (1.0 / lo.powf(alpha - 1.0) - 1.0 / hi.powf(alpha - 1.0));
+                    num / (1.0 - (lo / hi).powf(alpha))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn empirical_mean(d: Dist, n: usize) -> f64 {
+        let mut rng = StdRng::seed_from_u64(42);
+        (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        assert_eq!(empirical_mean(Dist::Constant(7.0), 10), 7.0);
+    }
+
+    #[test]
+    fn uniform_mean_close() {
+        let m = empirical_mean(Dist::Uniform { lo: 10.0, hi: 20.0 }, 20_000);
+        assert!((m - 15.0).abs() < 0.2, "mean {m}");
+    }
+
+    #[test]
+    fn exp_mean_close() {
+        let m = empirical_mean(Dist::Exp { mean: 5.0 }, 50_000);
+        assert!((m - 5.0).abs() < 0.2, "mean {m}");
+    }
+
+    #[test]
+    fn lognormal_median_close() {
+        let d = Dist::LogNormal { median: 10.0, sigma: 0.5 };
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut v: Vec<f64> = (0..20_001).map(|_| d.sample(&mut rng)).collect();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let med = v[10_000];
+        assert!((med - 10.0).abs() < 0.5, "median {med}");
+    }
+
+    #[test]
+    fn samples_are_deterministic_per_seed() {
+        let d = Dist::Exp { mean: 3.0 };
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut a), d.sample(&mut b));
+        }
+    }
+
+    #[test]
+    fn samples_nonnegative() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for d in [
+            Dist::Exp { mean: 1.0 },
+            Dist::LogNormal { median: 1.0, sigma: 2.0 },
+            Dist::Uniform { lo: 0.0, hi: 1.0 },
+            Dist::Pareto { lo: 1.0, hi: 100.0, alpha: 1.3 },
+        ] {
+            for _ in 0..1000 {
+                assert!(d.sample(&mut rng) >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_uniform() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(Dist::Uniform { lo: 5.0, hi: 5.0 }.sample(&mut rng), 5.0);
+    }
+
+    #[test]
+    fn pareto_bounded() {
+        let d = Dist::Pareto { lo: 2.0, hi: 50.0, alpha: 1.5 };
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..5000 {
+            let v = d.sample(&mut rng);
+            assert!((2.0..=50.0).contains(&v), "v={v}");
+        }
+    }
+}

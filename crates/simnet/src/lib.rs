@@ -1,0 +1,38 @@
+//! # simnet — discrete-event simulation substrate
+//!
+//! The PreciseTracer paper (DSN 2009) evaluated on an 8-node Linux
+//! cluster running RUBiS, with SystemTap probes in each kernel's TCP
+//! stack. Reproducing that hardware is impossible here, so this crate
+//! provides the simulation substrate that stands in for it:
+//!
+//! * [`sim`] — a deterministic discrete-event simulator (event queue,
+//!   world trait, run loop);
+//! * [`clock`] — per-node clocks with constant skew and drift, producing
+//!   the *local* timestamps the tracing algorithm must survive;
+//! * [`tcp`] — a TCP-like reliable channel model with MSS segmentation,
+//!   bandwidth/latency/jitter, and receiver-side coalescing, yielding
+//!   the n-to-n SEND/RECEIVE asymmetry of the paper's Fig. 4;
+//! * [`resource`] — FIFO resources (CPU cores, thread pools, locks);
+//! * [`dist`] — reproducible random distributions on top of `rand`;
+//! * [`stats`] — online statistics and histograms for reports.
+//!
+//! Everything is deterministic given a seed: no wall clock, no threads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod dist;
+pub mod resource;
+pub mod sim;
+pub mod stats;
+pub mod tcp;
+pub mod time;
+
+pub use clock::ClockModel;
+pub use dist::Dist;
+pub use resource::{FifoResource, Gate};
+pub use sim::{Scheduler, Simulator, World};
+pub use stats::{Histogram, OnlineStats, RateSeries};
+pub use tcp::{Addr, PortAlloc, RecvBuffer, SegmentPlan, Wire, WireParams};
+pub use time::{SimDur, SimTime};

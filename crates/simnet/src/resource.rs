@@ -1,0 +1,236 @@
+//! FIFO-queued resources: CPU core pools, connector thread pools
+//! (JBoss `MaxThreads`), and exclusive locks (the locked `items` table
+//! of abnormal case 2).
+//!
+//! These are pure data structures: acquiring either succeeds
+//! immediately or queues the caller's token; releasing hands the unit to
+//! the next waiter, which the simulation world turns into an event.
+
+use std::collections::VecDeque;
+
+/// A counted resource with FIFO admission (CPU cores, worker threads).
+#[derive(Debug, Clone)]
+pub struct FifoResource<T> {
+    capacity: usize,
+    in_use: usize,
+    waiters: VecDeque<T>,
+    peak_queue: usize,
+    total_waits: u64,
+}
+
+impl<T> FifoResource<T> {
+    /// A resource with `capacity` units.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "resource capacity must be positive");
+        FifoResource {
+            capacity,
+            in_use: 0,
+            waiters: VecDeque::new(),
+            peak_queue: 0,
+            total_waits: 0,
+        }
+    }
+
+    /// Total units.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Units currently held.
+    pub fn in_use(&self) -> usize {
+        self.in_use
+    }
+
+    /// Waiters currently queued.
+    pub fn queue_len(&self) -> usize {
+        self.waiters.len()
+    }
+
+    /// High-water mark of the wait queue.
+    pub fn peak_queue(&self) -> usize {
+        self.peak_queue
+    }
+
+    /// How many acquisitions had to wait.
+    pub fn total_waits(&self) -> u64 {
+        self.total_waits
+    }
+
+    /// True when a unit is free *and* nobody is queued ahead.
+    pub fn available(&self) -> bool {
+        self.in_use < self.capacity && self.waiters.is_empty()
+    }
+
+    /// Tries to acquire a unit for `token`. Returns `true` when granted
+    /// immediately; otherwise the token queues FIFO and will be returned
+    /// by a future [`FifoResource::release`].
+    pub fn acquire(&mut self, token: T) -> bool {
+        if self.available() {
+            self.in_use += 1;
+            true
+        } else {
+            self.waiters.push_back(token);
+            self.peak_queue = self.peak_queue.max(self.waiters.len());
+            self.total_waits += 1;
+            false
+        }
+    }
+
+    /// Releases one unit; if a waiter is queued, the unit passes to it
+    /// and its token is returned (the caller schedules its wake-up).
+    ///
+    /// # Panics
+    ///
+    /// Panics when nothing is held.
+    pub fn release(&mut self) -> Option<T> {
+        assert!(self.in_use > 0, "release without acquire");
+        match self.waiters.pop_front() {
+            Some(t) => Some(t), // unit transfers directly
+            None => {
+                self.in_use -= 1;
+                None
+            }
+        }
+    }
+
+    /// Grows or shrinks capacity (reconfiguration experiments). When it
+    /// grows, queued waiters are granted; their tokens are returned.
+    pub fn resize(&mut self, capacity: usize) -> Vec<T> {
+        assert!(capacity > 0, "resource capacity must be positive");
+        self.capacity = capacity;
+        let mut granted = Vec::new();
+        while self.in_use < self.capacity {
+            match self.waiters.pop_front() {
+                Some(t) => {
+                    self.in_use += 1;
+                    granted.push(t);
+                }
+                None => break,
+            }
+        }
+        granted
+    }
+}
+
+/// An exclusive lock with FIFO waiters (capacity-1 resource with a
+/// clearer name for table locks).
+#[derive(Debug, Clone)]
+pub struct Gate<T> {
+    inner: FifoResource<T>,
+}
+
+impl<T> Default for Gate<T> {
+    fn default() -> Self {
+        Gate::new()
+    }
+}
+
+impl<T> Gate<T> {
+    /// An unlocked gate.
+    pub fn new() -> Self {
+        Gate { inner: FifoResource::new(1) }
+    }
+
+    /// True when unlocked with no queue.
+    pub fn available(&self) -> bool {
+        self.inner.available()
+    }
+
+    /// Tries to lock; queues FIFO otherwise.
+    pub fn acquire(&mut self, token: T) -> bool {
+        self.inner.acquire(token)
+    }
+
+    /// Unlocks; returns the next waiter's token if any.
+    pub fn release(&mut self) -> Option<T> {
+        self.inner.release()
+    }
+
+    /// Current wait-queue length.
+    pub fn queue_len(&self) -> usize {
+        self.inner.queue_len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grants_until_capacity() {
+        let mut r: FifoResource<u32> = FifoResource::new(2);
+        assert!(r.acquire(1));
+        assert!(r.acquire(2));
+        assert!(!r.acquire(3));
+        assert_eq!(r.in_use(), 2);
+        assert_eq!(r.queue_len(), 1);
+    }
+
+    #[test]
+    fn release_hands_to_fifo_waiter() {
+        let mut r: FifoResource<u32> = FifoResource::new(1);
+        assert!(r.acquire(1));
+        assert!(!r.acquire(2));
+        assert!(!r.acquire(3));
+        assert_eq!(r.release(), Some(2));
+        assert_eq!(r.release(), Some(3));
+        assert_eq!(r.release(), None);
+        assert_eq!(r.in_use(), 0);
+    }
+
+    #[test]
+    fn transfer_keeps_unit_accounted() {
+        // When a unit transfers to a waiter, in_use stays constant.
+        let mut r: FifoResource<u32> = FifoResource::new(1);
+        r.acquire(1);
+        r.acquire(2);
+        assert_eq!(r.in_use(), 1);
+        assert_eq!(r.release(), Some(2));
+        assert_eq!(r.in_use(), 1);
+        assert_eq!(r.release(), None);
+        assert_eq!(r.in_use(), 0);
+    }
+
+    #[test]
+    fn stats_track_waits() {
+        let mut r: FifoResource<u32> = FifoResource::new(1);
+        r.acquire(1);
+        r.acquire(2);
+        r.acquire(3);
+        assert_eq!(r.total_waits(), 2);
+        assert_eq!(r.peak_queue(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "release without acquire")]
+    fn release_without_acquire_panics() {
+        let mut r: FifoResource<u32> = FifoResource::new(1);
+        let _ = r.release();
+    }
+
+    #[test]
+    fn resize_grants_waiters() {
+        let mut r: FifoResource<u32> = FifoResource::new(1);
+        r.acquire(1);
+        r.acquire(2);
+        r.acquire(3);
+        let granted = r.resize(3);
+        assert_eq!(granted, vec![2, 3]);
+        assert_eq!(r.in_use(), 3);
+    }
+
+    #[test]
+    fn gate_serializes() {
+        let mut g: Gate<&str> = Gate::new();
+        assert!(g.acquire("a"));
+        assert!(!g.acquire("b"));
+        assert_eq!(g.queue_len(), 1);
+        assert_eq!(g.release(), Some("b"));
+        assert_eq!(g.release(), None);
+        assert!(g.available());
+    }
+}

@@ -1,0 +1,272 @@
+//! Online statistics, log-bucketed histograms and rate series for the
+//! service-side metrics (throughput, response time) of Figs. 8, 12, 13
+//! and 16.
+
+use crate::time::{SimDur, SimTime};
+
+/// Welford online mean/variance.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample standard deviation (0 when n < 2).
+    pub fn std_dev(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.n - 1) as f64).sqrt()
+        }
+    }
+
+    /// Minimum observation (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Maximum observation (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+}
+
+/// Histogram over log-spaced buckets (2% resolution), good enough for
+/// latency percentiles without storing samples.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    total: u64,
+}
+
+const HIST_BASE: f64 = 1.02;
+const HIST_BUCKETS: usize = 1600; // covers ~1ns .. ~2e13ns
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram { buckets: vec![0; HIST_BUCKETS], total: 0 }
+    }
+
+    fn index(value: f64) -> usize {
+        if value <= 1.0 {
+            return 0;
+        }
+        let i = value.ln() / HIST_BASE.ln();
+        (i as usize).min(HIST_BUCKETS - 1)
+    }
+
+    /// Records a value (interpreted as nanoseconds by convention).
+    pub fn record(&mut self, value: f64) {
+        self.buckets[Self::index(value.max(0.0))] += 1;
+        self.total += 1;
+    }
+
+    /// Records a duration.
+    pub fn record_dur(&mut self, d: SimDur) {
+        self.record(d.as_nanos() as f64);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Approximate quantile `q` in [0, 1]; 0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return HIST_BASE.powi(i as i32);
+            }
+        }
+        HIST_BASE.powi(HIST_BUCKETS as i32)
+    }
+
+    /// Median shortcut.
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+}
+
+/// Event counter binned over fixed wall-time intervals: throughput
+/// series.
+#[derive(Debug, Clone)]
+pub struct RateSeries {
+    bin: SimDur,
+    counts: Vec<u64>,
+}
+
+impl RateSeries {
+    /// A series with the given bin width.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the bin width is zero.
+    pub fn new(bin: SimDur) -> Self {
+        assert!(bin.as_nanos() > 0, "bin width must be positive");
+        RateSeries { bin, counts: Vec::new() }
+    }
+
+    /// Counts one event at `t`.
+    pub fn record(&mut self, t: SimTime) {
+        let idx = (t.as_nanos() / self.bin.as_nanos()) as usize;
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += 1;
+    }
+
+    /// Total events.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Events per second per bin.
+    pub fn rates(&self) -> Vec<f64> {
+        let secs = self.bin.as_secs_f64();
+        self.counts.iter().map(|&c| c as f64 / secs).collect()
+    }
+
+    /// Mean rate over a time range (events/sec).
+    pub fn mean_rate_between(&self, from: SimTime, to: SimTime) -> f64 {
+        if to <= from {
+            return 0.0;
+        }
+        let a = (from.as_nanos() / self.bin.as_nanos()) as usize;
+        let b = to.as_nanos().div_ceil(self.bin.as_nanos()) as usize;
+        let n: u64 = self
+            .counts
+            .iter()
+            .skip(a)
+            .take(b.saturating_sub(a))
+            .sum();
+        n as f64 / to.since(from).as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_mean_and_std() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.138).abs() < 0.01);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.std_dev(), 0.0);
+        assert_eq!(s.min(), 0.0);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_close() {
+        let mut h = Histogram::new();
+        for i in 1..=10_000u64 {
+            h.record(i as f64 * 1_000.0); // 1k..10M
+        }
+        let p50 = h.quantile(0.5);
+        assert!((p50 / 5_000_000.0 - 1.0).abs() < 0.05, "p50={p50}");
+        let p99 = h.quantile(0.99);
+        assert!((p99 / 9_900_000.0 - 1.0).abs() < 0.05, "p99={p99}");
+    }
+
+    #[test]
+    fn histogram_empty_quantile_zero() {
+        assert_eq!(Histogram::new().quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn histogram_handles_extremes() {
+        let mut h = Histogram::new();
+        h.record(0.0);
+        h.record(f64::MAX);
+        assert_eq!(h.count(), 2);
+        assert!(h.quantile(1.0) > 0.0);
+    }
+
+    #[test]
+    fn rate_series_bins() {
+        let mut r = RateSeries::new(SimDur::from_secs(1));
+        for i in 0..10 {
+            r.record(SimTime(i * 500_000_000)); // every 0.5s
+        }
+        assert_eq!(r.total(), 10);
+        let rates = r.rates();
+        assert_eq!(rates[0], 2.0);
+        let mean = r.mean_rate_between(SimTime::ZERO, SimTime(5_000_000_000));
+        assert!((mean - 2.0).abs() < 1e-9, "mean={mean}");
+    }
+
+    #[test]
+    fn rate_series_range_queries() {
+        let mut r = RateSeries::new(SimDur::from_secs(1));
+        r.record(SimTime(500_000_000));
+        r.record(SimTime(2_500_000_000));
+        assert_eq!(r.mean_rate_between(SimTime(2_000_000_000), SimTime(3_000_000_000)), 1.0);
+        assert_eq!(r.mean_rate_between(SimTime(9_000_000_000), SimTime(9_000_000_000)), 0.0);
+    }
+}

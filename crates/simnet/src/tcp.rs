@@ -1,0 +1,401 @@
+//! A TCP-like reliable, FIFO, byte-stream channel model.
+//!
+//! The model captures exactly the properties the tracing algorithm
+//! depends on (and is stressed by):
+//!
+//! * reliable FIFO byte delivery per direction of a connection,
+//! * **MSS segmentation**: one application `send()` becomes several wire
+//!   segments, arriving spread over time (bandwidth + latency),
+//! * **receiver coalescing**: one application `recv()` consumes all
+//!   bytes that have arrived, so the kernel-level SEND/RECEIVE records
+//!   are n-to-n per logical message (the paper's Fig. 4),
+//! * application reads do not cross logical message boundaries
+//!   (request/response protocols read exactly one message), unless the
+//!   [`RecvBuffer`] is built with coalescing allowed — a stress mode
+//!   that violates the paper's assumptions on purpose.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::net::Ipv4Addr;
+
+use rand::Rng;
+
+use crate::dist::Dist;
+use crate::time::{SimDur, SimTime};
+
+/// An IPv4 endpoint (mirror of the tracer's endpoint type; kept separate
+/// so `simnet` does not depend on `tracer-core`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Addr {
+    /// IPv4 address.
+    pub ip: Ipv4Addr,
+    /// TCP port.
+    pub port: u16,
+}
+
+impl Addr {
+    /// Constructs an address.
+    pub const fn new(ip: Ipv4Addr, port: u16) -> Self {
+        Addr { ip, port }
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.ip, self.port)
+    }
+}
+
+/// Ephemeral port allocator for one host.
+#[derive(Debug, Clone)]
+pub struct PortAlloc {
+    next: u16,
+}
+
+impl Default for PortAlloc {
+    fn default() -> Self {
+        PortAlloc::new()
+    }
+}
+
+impl PortAlloc {
+    /// Starts allocating at 32768.
+    pub fn new() -> Self {
+        PortAlloc { next: 32_768 }
+    }
+
+    /// Returns a fresh ephemeral port, wrapping within 32768..61000.
+    pub fn next_port(&mut self) -> u16 {
+        let p = self.next;
+        self.next = if self.next >= 60_999 { 32_768 } else { self.next + 1 };
+        p
+    }
+}
+
+/// Physical parameters of a link (one direction).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireParams {
+    /// One-way propagation latency.
+    pub latency: SimDur,
+    /// Random extra latency per message.
+    pub jitter: Dist,
+    /// Bandwidth in bits per second (100 Mbps Ethernet in the paper;
+    /// 10 Mbps for the degraded-NIC fault).
+    pub bandwidth_bps: u64,
+    /// Maximum segment size in bytes (1448 for Ethernet TCP).
+    pub mss: u32,
+}
+
+impl Default for WireParams {
+    fn default() -> Self {
+        WireParams {
+            latency: SimDur::from_micros(120),
+            jitter: Dist::Uniform { lo: 0.0, hi: 20_000.0 }, // up to 20us
+            bandwidth_bps: 100_000_000,
+            mss: 1448,
+        }
+    }
+}
+
+impl WireParams {
+    /// Serialization delay for `bytes` at this bandwidth.
+    pub fn tx_time(&self, bytes: u64) -> SimDur {
+        SimDur(((bytes as u128 * 8 * 1_000_000_000) / self.bandwidth_bps as u128) as u64)
+    }
+}
+
+/// One planned wire segment: `bytes` of payload arriving at `at`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentPlan {
+    /// Arrival time at the receiver's kernel.
+    pub at: SimTime,
+    /// Payload bytes in this segment.
+    pub bytes: u64,
+}
+
+/// One direction of a link; tracks when the transmitter is next free so
+/// that back-to-back messages serialize (this is what makes the 10 Mbps
+/// fault visible).
+#[derive(Debug, Clone)]
+pub struct Wire {
+    /// Physical parameters.
+    pub params: WireParams,
+    next_free_tx: SimTime,
+    /// Total payload bytes accepted.
+    pub bytes_sent: u64,
+}
+
+impl Wire {
+    /// A wire with the given parameters.
+    pub fn new(params: WireParams) -> Self {
+        Wire { params, next_free_tx: SimTime::ZERO, bytes_sent: 0 }
+    }
+
+    /// Plans the wire segments for an application send of `bytes` at
+    /// `now`. Returns per-segment arrival times, FIFO and
+    /// non-decreasing.
+    pub fn transmit<R: Rng + ?Sized>(
+        &mut self,
+        now: SimTime,
+        bytes: u64,
+        rng: &mut R,
+    ) -> Vec<SegmentPlan> {
+        assert!(bytes > 0, "cannot transmit zero bytes");
+        self.bytes_sent += bytes;
+        let jitter = SimDur(self.params.jitter.sample(rng) as u64);
+        let mut tx = self.next_free_tx.max(now);
+        let mut out = Vec::new();
+        let mut left = bytes;
+        while left > 0 {
+            let seg = left.min(self.params.mss as u64);
+            left -= seg;
+            tx += self.params.tx_time(seg);
+            out.push(SegmentPlan { at: tx + self.params.latency + jitter, bytes: seg });
+        }
+        self.next_free_tx = tx;
+        out
+    }
+}
+
+/// Receiver-side buffer for one direction of one connection.
+///
+/// Logical message boundaries are declared by the sender side
+/// ([`RecvBuffer::push_message`]); segment arrivals accumulate bytes;
+/// application reads consume arrived bytes without crossing the current
+/// message boundary (unless coalescing mode is on).
+#[derive(Debug, Clone, Default)]
+pub struct RecvBuffer {
+    /// Bytes arrived but not yet read.
+    arrived: u64,
+    /// Remaining unread bytes of each in-flight logical message, FIFO.
+    bounds: VecDeque<u64>,
+    /// Allow reads to cross message boundaries (assumption-violation
+    /// stress mode).
+    coalesce_across_messages: bool,
+}
+
+/// Result of an application read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadResult {
+    /// Bytes consumed by this read (0 when nothing was readable).
+    pub bytes: u64,
+    /// Number of logical messages *completed* by this read.
+    pub messages_completed: u32,
+}
+
+impl RecvBuffer {
+    /// A buffer with per-message read semantics (the realistic mode).
+    pub fn new() -> Self {
+        RecvBuffer::default()
+    }
+
+    /// A buffer whose reads may span messages (stress mode).
+    pub fn with_coalescing() -> Self {
+        RecvBuffer { coalesce_across_messages: true, ..RecvBuffer::default() }
+    }
+
+    /// Declares a logical message of `size` bytes entering the pipe.
+    pub fn push_message(&mut self, size: u64) {
+        assert!(size > 0, "empty message");
+        self.bounds.push_back(size);
+    }
+
+    /// Records the arrival of a wire segment.
+    pub fn on_arrival(&mut self, bytes: u64) {
+        self.arrived += bytes;
+    }
+
+    /// Bytes the application could read right now.
+    pub fn readable(&self) -> u64 {
+        if self.coalesce_across_messages {
+            self.arrived
+        } else {
+            match self.bounds.front() {
+                Some(&rem) => self.arrived.min(rem),
+                None => 0,
+            }
+        }
+    }
+
+    /// True when the *current* (front) message has fully arrived.
+    pub fn front_message_complete(&self) -> bool {
+        matches!(self.bounds.front(), Some(&rem) if self.arrived >= rem)
+    }
+
+    /// Application `recv()`: consumes everything readable.
+    pub fn read(&mut self) -> ReadResult {
+        let mut take = self.readable();
+        if take == 0 {
+            return ReadResult { bytes: 0, messages_completed: 0 };
+        }
+        self.arrived -= take;
+        let mut completed = 0;
+        let bytes = take;
+        while take > 0 {
+            let Some(front) = self.bounds.front_mut() else { break };
+            if take >= *front {
+                take -= *front;
+                self.bounds.pop_front();
+                completed += 1;
+            } else {
+                *front -= take;
+                take = 0;
+            }
+        }
+        ReadResult { bytes, messages_completed: completed }
+    }
+
+    /// Number of logical messages still in flight (partially arrived or
+    /// unread).
+    pub fn pending_messages(&self) -> usize {
+        self.bounds.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    fn quiet_params() -> WireParams {
+        WireParams {
+            latency: SimDur::from_micros(100),
+            jitter: Dist::Constant(0.0),
+            bandwidth_bps: 100_000_000,
+            mss: 1448,
+        }
+    }
+
+    #[test]
+    fn small_message_is_one_segment() {
+        let mut w = Wire::new(quiet_params());
+        let segs = w.transmit(SimTime::ZERO, 500, &mut rng());
+        assert_eq!(segs.len(), 1);
+        // 500 B at 100 Mbps = 40us tx + 100us latency.
+        assert_eq!(segs[0].at, SimTime(140_000));
+        assert_eq!(segs[0].bytes, 500);
+    }
+
+    #[test]
+    fn large_message_segments_at_mss() {
+        let mut w = Wire::new(quiet_params());
+        let segs = w.transmit(SimTime::ZERO, 10_000, &mut rng());
+        assert_eq!(segs.len(), 7); // ceil(10000/1448)
+        assert_eq!(segs.iter().map(|s| s.bytes).sum::<u64>(), 10_000);
+        // Arrivals strictly ordered.
+        for pair in segs.windows(2) {
+            assert!(pair[0].at <= pair[1].at);
+        }
+        assert_eq!(segs.last().unwrap().bytes, 10_000 - 6 * 1448);
+    }
+
+    #[test]
+    fn bandwidth_decrease_slows_arrivals() {
+        let fast = {
+            let mut w = Wire::new(quiet_params());
+            w.transmit(SimTime::ZERO, 10_000, &mut rng()).last().unwrap().at
+        };
+        let slow = {
+            let mut p = quiet_params();
+            p.bandwidth_bps = 10_000_000; // the EJB_Network fault
+            let mut w = Wire::new(p);
+            w.transmit(SimTime::ZERO, 10_000, &mut rng()).last().unwrap().at
+        };
+        assert!(slow.as_nanos() > 5 * fast.as_nanos());
+    }
+
+    #[test]
+    fn back_to_back_messages_serialize() {
+        let mut w = Wire::new(quiet_params());
+        let a = w.transmit(SimTime::ZERO, 1448, &mut rng());
+        let b = w.transmit(SimTime::ZERO, 1448, &mut rng());
+        assert!(b[0].at > a[0].at, "second message must queue behind the first");
+    }
+
+    #[test]
+    fn transmitter_frees_up_over_time() {
+        let mut w = Wire::new(quiet_params());
+        let _ = w.transmit(SimTime::ZERO, 1448, &mut rng());
+        // Much later, the wire is idle again: same relative timing.
+        let later = SimTime(1_000_000_000);
+        let b = w.transmit(later, 500, &mut rng());
+        assert_eq!(b[0].at, SimTime(1_000_140_000));
+    }
+
+    #[test]
+    fn recv_buffer_reads_within_message() {
+        let mut rb = RecvBuffer::new();
+        rb.push_message(1000);
+        rb.on_arrival(600);
+        assert_eq!(rb.readable(), 600);
+        let r1 = rb.read();
+        assert_eq!(r1.bytes, 600);
+        assert_eq!(r1.messages_completed, 0);
+        rb.on_arrival(400);
+        let r2 = rb.read();
+        assert_eq!(r2.bytes, 400);
+        assert_eq!(r2.messages_completed, 1);
+        assert_eq!(rb.pending_messages(), 0);
+    }
+
+    #[test]
+    fn recv_does_not_cross_message_boundary() {
+        let mut rb = RecvBuffer::new();
+        rb.push_message(100);
+        rb.push_message(200);
+        rb.on_arrival(300); // both messages fully arrived
+        let r1 = rb.read();
+        assert_eq!(r1.bytes, 100);
+        assert_eq!(r1.messages_completed, 1);
+        let r2 = rb.read();
+        assert_eq!(r2.bytes, 200);
+        assert_eq!(r2.messages_completed, 1);
+    }
+
+    #[test]
+    fn coalescing_mode_crosses_boundaries() {
+        let mut rb = RecvBuffer::with_coalescing();
+        rb.push_message(100);
+        rb.push_message(200);
+        rb.on_arrival(150);
+        let r = rb.read();
+        assert_eq!(r.bytes, 150);
+        assert_eq!(r.messages_completed, 1); // 100 + 50 of the next
+        assert_eq!(rb.pending_messages(), 1);
+    }
+
+    #[test]
+    fn read_empty_returns_zero() {
+        let mut rb = RecvBuffer::new();
+        assert_eq!(rb.read().bytes, 0);
+        rb.on_arrival(10); // bytes with no declared message: unreadable
+        assert_eq!(rb.readable(), 0);
+    }
+
+    #[test]
+    fn front_message_complete_tracks_arrivals() {
+        let mut rb = RecvBuffer::new();
+        rb.push_message(100);
+        assert!(!rb.front_message_complete());
+        rb.on_arrival(99);
+        assert!(!rb.front_message_complete());
+        rb.on_arrival(1);
+        assert!(rb.front_message_complete());
+    }
+
+    #[test]
+    fn port_alloc_wraps() {
+        let mut p = PortAlloc::new();
+        let first = p.next_port();
+        assert_eq!(first, 32_768);
+        for _ in 0..(61_000 - 32_768) {
+            p.next_port();
+        }
+        assert!(p.next_port() >= 32_768);
+    }
+}

@@ -1,0 +1,182 @@
+//! Simulated (global, true) time. Nodes *observe* time through their
+//! skewed [`ClockModel`](crate::clock::ClockModel)s; `SimTime` itself is
+//! the simulator's omniscient clock.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An instant of true simulated time, in nanoseconds since simulation
+/// start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Simulation start.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Nanoseconds since simulation start.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since simulation start as a float (reporting only).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Elapsed duration since `earlier` (saturating).
+    #[inline]
+    pub fn since(self, earlier: SimTime) -> SimDur {
+        SimDur(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Add<SimDur> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, d: SimDur) -> SimTime {
+        SimTime(self.0 + d.0)
+    }
+}
+
+impl AddAssign<SimDur> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, d: SimDur) {
+        self.0 += d.0;
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+/// A span of simulated time, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDur(pub u64);
+
+impl SimDur {
+    /// Zero duration.
+    pub const ZERO: SimDur = SimDur(0);
+
+    /// From nanoseconds.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimDur(ns)
+    }
+
+    /// From microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        SimDur(us * 1_000)
+    }
+
+    /// From milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDur(ms * 1_000_000)
+    }
+
+    /// From seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        SimDur(s * 1_000_000_000)
+    }
+
+    /// From float seconds (clamped at zero).
+    pub fn from_secs_f64(s: f64) -> Self {
+        SimDur((s.max(0.0) * 1e9) as u64)
+    }
+
+    /// Nanoseconds.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds as a float.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Milliseconds (rounded down).
+    #[inline]
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Scales by an integer.
+    #[inline]
+    pub const fn times(self, k: u64) -> SimDur {
+        SimDur(self.0 * k)
+    }
+}
+
+impl Add for SimDur {
+    type Output = SimDur;
+    #[inline]
+    fn add(self, o: SimDur) -> SimDur {
+        SimDur(self.0 + o.0)
+    }
+}
+
+impl AddAssign for SimDur {
+    #[inline]
+    fn add_assign(&mut self, o: SimDur) {
+        self.0 += o.0;
+    }
+}
+
+impl Sub for SimDur {
+    type Output = SimDur;
+    #[inline]
+    fn sub(self, o: SimDur) -> SimDur {
+        SimDur(self.0.saturating_sub(o.0))
+    }
+}
+
+impl fmt::Display for SimDur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e6)
+        } else {
+            write!(f, "{}us", self.0 / 1_000)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::ZERO + SimDur::from_millis(5);
+        assert_eq!(t.as_nanos(), 5_000_000);
+        assert_eq!(t.since(SimTime::ZERO), SimDur::from_millis(5));
+        assert_eq!(SimTime::ZERO.since(t), SimDur::ZERO);
+        assert_eq!(SimDur::from_secs(1).times(3), SimDur::from_secs(3));
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(SimDur::from_secs_f64(0.001), SimDur::from_millis(1));
+        assert_eq!(SimDur::from_secs_f64(-5.0), SimDur::ZERO);
+        assert_eq!(SimDur::from_micros(1500).as_millis(), 1);
+        assert!((SimTime(1_500_000_000).as_secs_f64() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(SimDur::from_millis(2).to_string(), "2.000ms");
+        assert_eq!(SimDur::from_secs(2).to_string(), "2.000s");
+        assert_eq!(SimDur::from_micros(7).to_string(), "7us");
+        assert_eq!(SimTime(1_000_000).to_string(), "0.001000s");
+    }
+}

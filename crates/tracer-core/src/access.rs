@@ -1,0 +1,212 @@
+//! BEGIN/END synthesis from access points (§3.1).
+//!
+//! "BEGIN or END activities are distinguished according to the ports of
+//! the communication channels. For example, the RECEIVE activity from a
+//! client to the web server's port 80 means the START of a request, and
+//! the SEND activity in the same connection with opposite direction means
+//! the STOP of a request."
+//!
+//! [`AccessPointSpec`] describes the service's *access points* (frontend
+//! ports) and the set of IPs that are internal to the service. The
+//! [`Classifier`] turns [`RawRecord`]s into typed
+//! [`crate::activity::Activity`] values:
+//!
+//! * RECEIVE whose destination is an access point and whose source IP is
+//!   **not** internal → [`ActivityType::Begin`],
+//! * SEND whose source is an access point and whose destination IP is
+//!   **not** internal → [`ActivityType::End`],
+//! * everything else keeps its kernel-level type.
+//!
+//! Chunked client requests/responses produce several consecutive
+//! BEGIN/END activities on the same channel; the engine merges those by
+//! message size exactly like interior SEND segments (§4.2).
+
+use std::collections::BTreeSet;
+use std::net::Ipv4Addr;
+
+use crate::activity::{Activity, ActivityType};
+use crate::raw::{RawOp, RawRecord};
+
+/// Which frontend ports constitute request entry points, and which IPs
+/// belong to the service itself.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AccessPointSpec {
+    frontend_ports: BTreeSet<u16>,
+    internal_ips: BTreeSet<Ipv4Addr>,
+}
+
+impl AccessPointSpec {
+    /// Constructs a spec from frontend ports and internal service IPs.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tracer_core::AccessPointSpec;
+    /// let spec = AccessPointSpec::new([80, 8080], ["10.0.0.1".parse().unwrap()]);
+    /// assert!(spec.is_frontend_port(80));
+    /// assert!(!spec.is_internal("192.168.0.7".parse().unwrap()));
+    /// ```
+    pub fn new(
+        frontend_ports: impl IntoIterator<Item = u16>,
+        internal_ips: impl IntoIterator<Item = Ipv4Addr>,
+    ) -> Self {
+        AccessPointSpec {
+            frontend_ports: frontend_ports.into_iter().collect(),
+            internal_ips: internal_ips.into_iter().collect(),
+        }
+    }
+
+    /// Adds a frontend port.
+    pub fn add_frontend_port(&mut self, port: u16) -> &mut Self {
+        self.frontend_ports.insert(port);
+        self
+    }
+
+    /// Adds an internal service IP.
+    pub fn add_internal_ip(&mut self, ip: Ipv4Addr) -> &mut Self {
+        self.internal_ips.insert(ip);
+        self
+    }
+
+    /// Whether `port` is a request entry point.
+    pub fn is_frontend_port(&self, port: u16) -> bool {
+        self.frontend_ports.contains(&port)
+    }
+
+    /// Whether `ip` belongs to the service.
+    pub fn is_internal(&self, ip: Ipv4Addr) -> bool {
+        self.internal_ips.contains(&ip)
+    }
+
+    /// True when no frontend port is configured (all activities keep
+    /// their kernel-level types; no CAG will ever complete).
+    pub fn is_empty(&self) -> bool {
+        self.frontend_ports.is_empty()
+    }
+}
+
+/// Transforms raw TCP_TRACE records into typed activities.
+///
+/// Stateless: the BEGIN/END decision depends only on the record and the
+/// spec, which is what makes the transformation robust to record loss.
+#[derive(Debug, Clone)]
+pub struct Classifier {
+    spec: AccessPointSpec,
+}
+
+impl Classifier {
+    /// Constructs a classifier for a service description.
+    pub fn new(spec: AccessPointSpec) -> Self {
+        Classifier { spec }
+    }
+
+    /// A shared view of the spec.
+    pub fn spec(&self) -> &AccessPointSpec {
+        &self.spec
+    }
+
+    /// Transforms one raw record into a typed activity (§3.1).
+    pub fn classify(&self, r: &RawRecord) -> Activity {
+        let ty = match r.op {
+            RawOp::Receive
+                if self.spec.is_frontend_port(r.dst.port)
+                    && !self.spec.is_internal(r.src.ip) =>
+            {
+                ActivityType::Begin
+            }
+            RawOp::Send
+                if self.spec.is_frontend_port(r.src.port)
+                    && !self.spec.is_internal(r.dst.ip) =>
+            {
+                ActivityType::End
+            }
+            RawOp::Send => ActivityType::Send,
+            RawOp::Receive => ActivityType::Receive,
+        };
+        Activity {
+            ty,
+            ts: r.ts,
+            ctx: r.context(),
+            channel: r.channel(),
+            size: r.size,
+            tag: r.tag,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::raw::RawRecord;
+
+    fn spec() -> AccessPointSpec {
+        AccessPointSpec::new(
+            [80],
+            ["10.0.0.1".parse().unwrap(), "10.0.0.2".parse().unwrap()],
+        )
+    }
+
+    fn rec(line: &str) -> RawRecord {
+        RawRecord::parse_line(line).unwrap()
+    }
+
+    #[test]
+    fn receive_from_client_on_frontend_is_begin() {
+        let c = Classifier::new(spec());
+        let a = c.classify(&rec("1 web httpd 1 1 RECEIVE 192.168.0.9:5000-10.0.0.1:80 10"));
+        assert_eq!(a.ty, ActivityType::Begin);
+    }
+
+    #[test]
+    fn send_to_client_on_frontend_is_end() {
+        let c = Classifier::new(spec());
+        let a = c.classify(&rec("1 web httpd 1 1 SEND 10.0.0.1:80-192.168.0.9:5000 10"));
+        assert_eq!(a.ty, ActivityType::End);
+    }
+
+    #[test]
+    fn internal_traffic_keeps_kernel_types() {
+        let c = Classifier::new(spec());
+        let s = c.classify(&rec("1 web httpd 1 1 SEND 10.0.0.1:4001-10.0.0.2:9000 10"));
+        assert_eq!(s.ty, ActivityType::Send);
+        let r = c.classify(&rec("1 app java 2 2 RECEIVE 10.0.0.1:4001-10.0.0.2:9000 10"));
+        assert_eq!(r.ty, ActivityType::Receive);
+    }
+
+    #[test]
+    fn internal_client_of_frontend_port_is_not_a_begin() {
+        // A service component calling back into the frontend (e.g. an
+        // internal health check) must not open a new CAG.
+        let c = Classifier::new(spec());
+        let a = c.classify(&rec("1 web httpd 1 1 RECEIVE 10.0.0.2:5000-10.0.0.1:80 10"));
+        assert_eq!(a.ty, ActivityType::Receive);
+    }
+
+    #[test]
+    fn frontend_port_on_non_frontend_direction() {
+        // Traffic *from* port 80 to an internal IP stays SEND.
+        let c = Classifier::new(spec());
+        let a = c.classify(&rec("1 web httpd 1 1 SEND 10.0.0.1:80-10.0.0.2:9000 10"));
+        assert_eq!(a.ty, ActivityType::Send);
+    }
+
+    #[test]
+    fn tags_and_attributes_are_preserved() {
+        let c = Classifier::new(spec());
+        let mut r = rec("7 web httpd 3 4 RECEIVE 192.168.0.9:5000-10.0.0.1:80 99");
+        r.tag = 1234;
+        let a = c.classify(&r);
+        assert_eq!(a.tag, 1234);
+        assert_eq!(a.size, 99);
+        assert_eq!(a.ts.as_nanos(), 7);
+        assert_eq!(a.ctx.pid, 3);
+    }
+
+    #[test]
+    fn empty_spec_classifies_everything_as_kernel_types() {
+        let c = Classifier::new(AccessPointSpec::default());
+        assert!(c.spec().is_empty());
+        let a = c.classify(&rec("1 web httpd 1 1 RECEIVE 192.168.0.9:5000-10.0.0.1:80 10"));
+        assert_eq!(a.ty, ActivityType::Receive);
+    }
+}

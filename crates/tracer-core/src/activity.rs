@@ -1,0 +1,457 @@
+//! Core activity model (§2, §3.1 of the paper).
+//!
+//! An *activity* is one interaction event observed in the kernel: sending
+//! or receiving a message, or — after the §3.1 transformation — the BEGIN
+//! or END of servicing a request. Each activity carries four attributes:
+//! activity type, (local) timestamp, context identifier and message
+//! identifier.
+
+use std::fmt;
+use std::net::Ipv4Addr;
+use std::ops::{Add, AddAssign, Sub};
+use std::sync::Arc;
+
+/// A timestamp on some node's **local** clock, in nanoseconds.
+///
+/// Local timestamps from different nodes are *not* comparable in real
+/// time (clock skew); the tracing algorithm never relies on cross-node
+/// comparisons for correctness. They are totally ordered anyway because
+/// the ranker needs deterministic tie-breaking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LocalTime(pub u64);
+
+impl LocalTime {
+    /// The zero timestamp.
+    pub const ZERO: LocalTime = LocalTime(0);
+
+    /// Constructs a timestamp from nanoseconds.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        LocalTime(ns)
+    }
+
+    /// Nanoseconds since the node's epoch.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since the node's epoch, as a float (for reporting only).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Duration elapsed since `earlier`, saturating at zero.
+    ///
+    /// Saturating because cross-node skew can make a causally-later
+    /// timestamp numerically smaller; the analysis layer treats such
+    /// intervals as zero rather than panicking.
+    #[inline]
+    pub fn saturating_since(self, earlier: LocalTime) -> Nanos {
+        Nanos(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Signed difference `self - earlier` in nanoseconds.
+    #[inline]
+    pub fn signed_since(self, earlier: LocalTime) -> i64 {
+        self.0 as i64 - earlier.0 as i64
+    }
+}
+
+impl Add<Nanos> for LocalTime {
+    type Output = LocalTime;
+    #[inline]
+    fn add(self, rhs: Nanos) -> LocalTime {
+        LocalTime(self.0 + rhs.0)
+    }
+}
+
+impl fmt::Display for LocalTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A duration in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Nanos(pub u64);
+
+impl Nanos {
+    /// The zero duration.
+    pub const ZERO: Nanos = Nanos(0);
+
+    /// Constructs a duration from milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        Nanos(ms * 1_000_000)
+    }
+
+    /// Constructs a duration from microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        Nanos(us * 1_000)
+    }
+
+    /// Constructs a duration from seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        Nanos(s * 1_000_000_000)
+    }
+
+    /// Nanoseconds as a raw integer.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Duration in milliseconds (rounded down).
+    #[inline]
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Duration in seconds as a float.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for Nanos {
+    type Output = Nanos;
+    #[inline]
+    fn add(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Nanos {
+    #[inline]
+    fn add_assign(&mut self, rhs: Nanos) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Nanos {
+    type Output = Nanos;
+    #[inline]
+    fn sub(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for Nanos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e6)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+/// The type of an activity (§3.1).
+///
+/// The discriminant order encodes the ranker's Rule 2 priority:
+/// `BEGIN < SEND < END < RECEIVE` (lower pops first).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum ActivityType {
+    /// Start of servicing a new request (a RECEIVE on an access point).
+    Begin = 0,
+    /// Sending a message through the kernel TCP stack.
+    Send = 1,
+    /// End of servicing a request (a SEND on an access point).
+    End = 2,
+    /// Receiving a message through the kernel TCP stack.
+    Receive = 3,
+}
+
+impl ActivityType {
+    /// Rule 2 priority; the head activity with the **lowest** priority
+    /// value is chosen as candidate.
+    #[inline]
+    pub const fn priority(self) -> u8 {
+        self as u8
+    }
+
+    /// True for `Send` and `End` (both are kernel-level sends).
+    #[inline]
+    pub const fn is_send_like(self) -> bool {
+        matches!(self, ActivityType::Send | ActivityType::End)
+    }
+
+    /// True for `Receive` and `Begin` (both are kernel-level receives).
+    #[inline]
+    pub const fn is_receive_like(self) -> bool {
+        matches!(self, ActivityType::Receive | ActivityType::Begin)
+    }
+}
+
+impl fmt::Display for ActivityType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ActivityType::Begin => "BEGIN",
+            ActivityType::Send => "SEND",
+            ActivityType::End => "END",
+            ActivityType::Receive => "RECEIVE",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One side of a TCP connection: an IPv4 address and a port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EndpointV4 {
+    /// IPv4 address.
+    pub ip: Ipv4Addr,
+    /// TCP port.
+    pub port: u16,
+}
+
+impl EndpointV4 {
+    /// Constructs an endpoint.
+    pub const fn new(ip: Ipv4Addr, port: u16) -> Self {
+        EndpointV4 { ip, port }
+    }
+}
+
+impl fmt::Display for EndpointV4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.ip, self.port)
+    }
+}
+
+impl std::str::FromStr for EndpointV4 {
+    type Err = crate::error::TraceError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (ip, port) = s
+            .rsplit_once(':')
+            .ok_or_else(|| crate::error::TraceError::parse(s, "endpoint missing ':'"))?;
+        let ip = ip
+            .parse::<Ipv4Addr>()
+            .map_err(|_| crate::error::TraceError::parse(s, "bad IPv4 address"))?;
+        let port = port
+            .parse::<u16>()
+            .map_err(|_| crate::error::TraceError::parse(s, "bad port"))?;
+        Ok(EndpointV4 { ip, port })
+    }
+}
+
+/// A **directed** communication channel: the `(sender ip:port, receiver
+/// ip:port)` part of the paper's message identifier tuple.
+///
+/// The message-relation index map (`mmap`) is keyed by this value; TCP
+/// guarantees FIFO byte delivery per direction, which is what makes
+/// size-based n-to-n SEND/RECEIVE matching sound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Channel {
+    /// Sender endpoint.
+    pub src: EndpointV4,
+    /// Receiver endpoint.
+    pub dst: EndpointV4,
+}
+
+impl Channel {
+    /// Constructs a directed channel.
+    pub const fn new(src: EndpointV4, dst: EndpointV4) -> Self {
+        Channel { src, dst }
+    }
+
+    /// The same connection in the opposite direction.
+    #[inline]
+    pub const fn reversed(self) -> Channel {
+        Channel { src: self.dst, dst: self.src }
+    }
+}
+
+impl fmt::Display for Channel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-{}", self.src, self.dst)
+    }
+}
+
+/// Context identifier: the `(hostname, program name, process ID, thread
+/// ID)` tuple describing which execution entity performed an activity.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ContextId {
+    /// Node hostname.
+    pub hostname: Arc<str>,
+    /// Program (executable) name, e.g. `httpd`, `java`, `mysqld`.
+    pub program: Arc<str>,
+    /// Process ID.
+    pub pid: u32,
+    /// Kernel thread ID.
+    pub tid: u32,
+}
+
+impl ContextId {
+    /// Constructs a context identifier.
+    pub fn new(
+        hostname: impl Into<Arc<str>>,
+        program: impl Into<Arc<str>>,
+        pid: u32,
+        tid: u32,
+    ) -> Self {
+        ContextId { hostname: hostname.into(), program: program.into(), pid, tid }
+    }
+}
+
+impl fmt::Display for ContextId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}[{}:{}]", self.hostname, self.program, self.pid, self.tid)
+    }
+}
+
+/// A single transformed activity: the unit the ranker and engine operate
+/// on (§3.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Activity {
+    /// Activity type (after the §3.1 BEGIN/END transformation).
+    pub ty: ActivityType,
+    /// Local timestamp of the node that logged the activity.
+    pub ts: LocalTime,
+    /// Execution-entity context.
+    pub ctx: ContextId,
+    /// Directed channel of the underlying kernel send/receive.
+    pub channel: Channel,
+    /// Message size in bytes for this kernel call.
+    pub size: u64,
+    /// Opaque ground-truth tag (0 = untagged). **Never consulted by the
+    /// tracing algorithm**; carried through so that evaluation harnesses
+    /// can check path accuracy against instrumented ground truth, exactly
+    /// like the paper's modified-RUBiS request IDs (§5.2).
+    pub tag: u64,
+}
+
+impl Activity {
+    /// The endpoint on the logging node's side of the channel.
+    #[inline]
+    pub fn local_endpoint(&self) -> EndpointV4 {
+        if self.ty.is_send_like() {
+            self.channel.src
+        } else {
+            self.channel.dst
+        }
+    }
+
+    /// The remote peer's endpoint.
+    #[inline]
+    pub fn peer_endpoint(&self) -> EndpointV4 {
+        if self.ty.is_send_like() {
+            self.channel.dst
+        } else {
+            self.channel.src
+        }
+    }
+}
+
+impl fmt::Display for Activity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} {} {} {}",
+            self.ts, self.ctx, self.ty, self.channel, self.size
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ep(s: &str) -> EndpointV4 {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn priority_order_matches_paper_rule2() {
+        // BEGIN < SEND < END < RECEIVE (§4.1 Rule 2).
+        assert!(ActivityType::Begin.priority() < ActivityType::Send.priority());
+        assert!(ActivityType::Send.priority() < ActivityType::End.priority());
+        assert!(ActivityType::End.priority() < ActivityType::Receive.priority());
+    }
+
+    #[test]
+    fn send_like_receive_like_partition() {
+        for ty in [
+            ActivityType::Begin,
+            ActivityType::Send,
+            ActivityType::End,
+            ActivityType::Receive,
+        ] {
+            assert!(ty.is_send_like() != ty.is_receive_like(), "{ty:?}");
+        }
+    }
+
+    #[test]
+    fn endpoint_parse_roundtrip() {
+        let e = ep("10.1.2.3:8080");
+        assert_eq!(e.ip, Ipv4Addr::new(10, 1, 2, 3));
+        assert_eq!(e.port, 8080);
+        assert_eq!(e.to_string().parse::<EndpointV4>().unwrap(), e);
+    }
+
+    #[test]
+    fn endpoint_parse_rejects_garbage() {
+        assert!("10.0.0.1".parse::<EndpointV4>().is_err());
+        assert!("10.0.0:80".parse::<EndpointV4>().is_err());
+        assert!("10.0.0.1:notaport".parse::<EndpointV4>().is_err());
+        assert!("10.0.0.1:99999".parse::<EndpointV4>().is_err());
+    }
+
+    #[test]
+    fn channel_reversed_is_involution() {
+        let c = Channel::new(ep("1.1.1.1:10"), ep("2.2.2.2:20"));
+        assert_eq!(c.reversed().reversed(), c);
+        assert_eq!(c.reversed().src, c.dst);
+    }
+
+    #[test]
+    fn local_time_arithmetic() {
+        let t = LocalTime::from_nanos(1_500);
+        assert_eq!(t + Nanos::from_micros(1), LocalTime::from_nanos(2_500));
+        assert_eq!(t.saturating_since(LocalTime::from_nanos(2_000)), Nanos::ZERO);
+        assert_eq!(t.saturating_since(LocalTime::from_nanos(500)), Nanos(1_000));
+        assert_eq!(t.signed_since(LocalTime::from_nanos(2_000)), -500);
+    }
+
+    #[test]
+    fn nanos_display_units() {
+        assert_eq!(Nanos(5).to_string(), "5ns");
+        assert_eq!(Nanos::from_micros(2).to_string(), "2.000us");
+        assert_eq!(Nanos::from_millis(3).to_string(), "3.000ms");
+        assert_eq!(Nanos::from_secs(4).to_string(), "4.000s");
+    }
+
+    #[test]
+    fn local_and_peer_endpoints() {
+        let ch = Channel::new(ep("10.0.0.1:4001"), ep("10.0.0.2:9000"));
+        let ctx = ContextId::new("web", "httpd", 1, 1);
+        let send = Activity {
+            ty: ActivityType::Send,
+            ts: LocalTime::ZERO,
+            ctx: ctx.clone(),
+            channel: ch,
+            size: 1,
+            tag: 0,
+        };
+        assert_eq!(send.local_endpoint(), ch.src);
+        assert_eq!(send.peer_endpoint(), ch.dst);
+        let recv = Activity { ty: ActivityType::Receive, ..send.clone() };
+        assert_eq!(recv.local_endpoint(), ch.dst);
+        assert_eq!(recv.peer_endpoint(), ch.src);
+    }
+}

@@ -1,0 +1,465 @@
+//! End-to-end performance debugging (§5.4).
+//!
+//! The paper's workflow: compute the average causal path of the most
+//! frequent pattern, visualize the **latency percentages of components**
+//! (Fig. 15/17), and localize problems from how those percentages change
+//! between a normal run and an abnormal one:
+//!
+//! * an internal component (`P2P`) rising sharply → tier `P` is slow
+//!   (e.g. the injected EJB delay or the locked database table);
+//! * an interaction (`P2Q`) rising while `Q2Q` does not → queueing in
+//!   front of tier `Q` (e.g. the undersized JBoss `MaxThreads` pool) or
+//!   a degraded network adjacent to the tiers involved.
+//!
+//! [`DiffReport`] computes the change table and [`Diagnosis`] encodes
+//! those rules.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::activity::Nanos;
+use crate::cag::{Cag, Component};
+use crate::pattern::{PatternAggregator, PatternKey, PatternStats};
+
+/// Latency breakdown of one causal path pattern (one bar group of
+/// Fig. 15).
+#[derive(Debug, Clone)]
+pub struct BreakdownReport {
+    /// The pattern this breakdown describes.
+    pub pattern: PatternKey,
+    /// Canonical signature (for display / debugging).
+    pub signature: String,
+    /// Number of requests aggregated.
+    pub count: u64,
+    /// Mean total servicing latency.
+    pub mean_total: Nanos,
+    /// Mean absolute latency per component.
+    pub components: BTreeMap<Component, Nanos>,
+    /// Latency percentage per component.
+    pub percentages: BTreeMap<Component, f64>,
+}
+
+impl BreakdownReport {
+    /// Breakdown of a pattern's statistics.
+    pub fn from_stats(stats: &PatternStats) -> Self {
+        BreakdownReport {
+            pattern: stats.key,
+            signature: stats.signature.clone(),
+            count: stats.count,
+            mean_total: stats.mean_total(),
+            components: stats.mean_components(),
+            percentages: stats.latency_percentages(),
+        }
+    }
+
+    /// Breakdown of the most frequent pattern among `cags` (the paper
+    /// analyzes ViewItem, the most frequent RUBiS request).
+    pub fn dominant(cags: &[Cag]) -> Option<Self> {
+        let mut agg = PatternAggregator::new();
+        agg.add_all(cags);
+        agg.dominant().map(Self::from_stats)
+    }
+
+    /// The percentage for a component, 0.0 when absent.
+    pub fn pct(&self, component: &Component) -> f64 {
+        self.percentages.get(component).copied().unwrap_or(0.0)
+    }
+
+    /// Formats a paper-style table of latency percentages.
+    pub fn format_table(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "pattern {} ({} requests, mean total {})\n",
+            self.pattern, self.count, self.mean_total
+        ));
+        s.push_str(&format!("{:<24} {:>12} {:>8}\n", "component", "mean", "pct"));
+        for (c, lat) in &self.components {
+            s.push_str(&format!(
+                "{:<24} {:>12} {:>7.1}%\n",
+                c.to_string(),
+                lat.to_string(),
+                self.pct(c)
+            ));
+        }
+        s
+    }
+}
+
+/// One row of a latency-percentage comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffRow {
+    /// The component.
+    pub component: Component,
+    /// Percentage in the baseline run.
+    pub before_pct: f64,
+    /// Percentage in the run under analysis.
+    pub after_pct: f64,
+    /// `after - before` in percentage points.
+    pub delta: f64,
+}
+
+/// Comparison of two breakdowns (normal vs. abnormal run), sorted by
+/// descending percentage-point increase.
+#[derive(Debug, Clone)]
+pub struct DiffReport {
+    /// Rows sorted by descending delta.
+    pub rows: Vec<DiffRow>,
+    /// Mean totals of both runs (for context: did latency grow at all?).
+    pub before_total: Nanos,
+    /// Mean total of the run under analysis.
+    pub after_total: Nanos,
+}
+
+impl DiffReport {
+    /// Compares two breakdowns of the *same* pattern.
+    pub fn between(baseline: &BreakdownReport, current: &BreakdownReport) -> Self {
+        let mut keys: Vec<Component> = baseline
+            .percentages
+            .keys()
+            .chain(current.percentages.keys())
+            .cloned()
+            .collect();
+        keys.sort();
+        keys.dedup();
+        let mut rows: Vec<DiffRow> = keys
+            .into_iter()
+            .map(|c| {
+                let b = baseline.pct(&c);
+                let a = current.pct(&c);
+                DiffRow { component: c, before_pct: b, after_pct: a, delta: a - b }
+            })
+            .collect();
+        rows.sort_by(|x, y| y.delta.partial_cmp(&x.delta).unwrap_or(std::cmp::Ordering::Equal));
+        DiffReport {
+            rows,
+            before_total: baseline.mean_total,
+            after_total: current.mean_total,
+        }
+    }
+
+    /// The row for a component, if present.
+    pub fn row(&self, component: &Component) -> Option<&DiffRow> {
+        self.rows.iter().find(|r| r.component == *component)
+    }
+
+    /// Formats a paper-style change table.
+    pub fn format_table(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "mean total: {} -> {}\n{:<24} {:>8} {:>8} {:>8}\n",
+            self.before_total, self.after_total, "component", "before", "after", "delta"
+        ));
+        for r in &self.rows {
+            s.push_str(&format!(
+                "{:<24} {:>7.1}% {:>7.1}% {:>+7.1}\n",
+                r.component.to_string(),
+                r.before_pct,
+                r.after_pct,
+                r.delta
+            ));
+        }
+        s
+    }
+}
+
+/// What kind of culprit the localization points at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SuspectKind {
+    /// Time grew inside one tier's processing (`P2P`).
+    TierInternal(String),
+    /// Time grew queueing/transiting between two tiers; usually an
+    /// undersized pool or connector in front of `to`.
+    Interaction {
+        /// Upstream program.
+        from: String,
+        /// Downstream program (where requests queue).
+        to: String,
+    },
+    /// Several interactions adjacent to one tier grew while its internal
+    /// time did not: its network is suspect (abnormal case 3).
+    TierNetwork(String),
+}
+
+impl fmt::Display for SuspectKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SuspectKind::TierInternal(p) => write!(f, "tier `{p}` internal processing"),
+            SuspectKind::Interaction { from, to } => {
+                write!(f, "interaction `{from}` -> `{to}`")
+            }
+            SuspectKind::TierNetwork(p) => write!(f, "network of tier `{p}`"),
+        }
+    }
+}
+
+/// A localized performance problem.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnosis {
+    /// The component whose growth triggered the diagnosis.
+    pub trigger: Component,
+    /// Percentage-point growth of the trigger.
+    pub delta: f64,
+    /// What the evidence points at.
+    pub suspect: SuspectKind,
+    /// Human-readable reasoning, mirroring §5.4's arguments.
+    pub explanation: String,
+}
+
+impl Diagnosis {
+    /// Applies the §5.4 localization rules to a diff report.
+    ///
+    /// `min_delta` is the minimum percentage-point increase considered a
+    /// signal (the paper reacts to changes of tens of points; a few
+    /// points of drift is normal).
+    pub fn localize(diff: &DiffReport, min_delta: f64) -> Option<Diagnosis> {
+        let top = diff.rows.first()?;
+        if top.delta < min_delta {
+            return None;
+        }
+        let c = &top.component;
+        if c.is_internal() {
+            let p = c.from.to_string();
+            return Some(Diagnosis {
+                trigger: c.clone(),
+                delta: top.delta,
+                suspect: SuspectKind::TierInternal(p.clone()),
+                explanation: format!(
+                    "latency percentage of {} increased by {:.1} points; time is \
+                     spent inside `{p}` itself, so `{p}` is in question",
+                    c, top.delta
+                ),
+            });
+        }
+        // Interaction P2Q grew. Check Q's internal time.
+        let q = c.to.to_string();
+        let p = c.from.to_string();
+        let q_internal = Component::new(q.clone(), q.clone());
+        let q_internal_delta = diff.row(&q_internal).map_or(0.0, |r| r.delta);
+        if q_internal_delta >= min_delta {
+            return Some(Diagnosis {
+                trigger: c.clone(),
+                delta: top.delta,
+                suspect: SuspectKind::TierInternal(q.clone()),
+                explanation: format!(
+                    "both the interaction {} (+{:.1}) and the internal time {} \
+                     (+{:.1}) grew: `{q}` is slow and backs up its input",
+                    c, top.delta, q_internal, q_internal_delta
+                ),
+            });
+        }
+        // Count how many interactions adjacent to each of P and Q grew.
+        let grown_adjacent = |tier: &str| {
+            diff.rows
+                .iter()
+                .filter(|r| {
+                    !r.component.is_internal()
+                        && r.delta > min_delta / 4.0
+                        && (&*r.component.from == tier || &*r.component.to == tier)
+                })
+                .count()
+        };
+        let p_adj = grown_adjacent(&p);
+        let q_adj = grown_adjacent(&q);
+        // §5.4.2 abnormal case 3: three of the four interactions around
+        // the second tier grew while java2java fell to ~0 → its network.
+        for (tier, adj) in [(&q, q_adj), (&p, p_adj)] {
+            let internal = Component::new(tier.clone(), tier.clone());
+            let internal_delta = diff.row(&internal).map_or(0.0, |r| r.delta);
+            if adj >= 2 && internal_delta <= 0.0 {
+                return Some(Diagnosis {
+                    trigger: c.clone(),
+                    delta: top.delta,
+                    suspect: SuspectKind::TierNetwork(tier.clone()),
+                    explanation: format!(
+                        "{adj} interactions adjacent to `{tier}` grew while {internal} \
+                         did not ({internal_delta:+.1}): the network of `{tier}` is in \
+                         question"
+                    ),
+                });
+            }
+        }
+        Some(Diagnosis {
+            trigger: c.clone(),
+            delta: top.delta,
+            suspect: SuspectKind::Interaction { from: p.clone(), to: q.clone() },
+            explanation: format!(
+                "the interaction {} grew by {:.1} points while `{q}` internal time \
+                 did not: requests queue between `{p}` and `{q}` — check the \
+                 connector/thread pool of `{q}`",
+                c, top.delta
+            ),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(pairs: &[(&str, &str, f64)], total_ms: u64) -> BreakdownReport {
+        let total = Nanos::from_millis(total_ms);
+        let mut components = BTreeMap::new();
+        let mut percentages = BTreeMap::new();
+        for &(f, t, pct) in pairs {
+            let c = Component::new(f, t);
+            components.insert(c.clone(), Nanos((total.as_nanos() as f64 * pct / 100.0) as u64));
+            percentages.insert(c, pct);
+        }
+        BreakdownReport {
+            pattern: PatternKey(1),
+            signature: "(test)".into(),
+            count: 100,
+            mean_total: total,
+            components,
+            percentages,
+        }
+    }
+
+    fn normal() -> BreakdownReport {
+        report(
+            &[
+                ("httpd", "httpd", 8.0),
+                ("httpd", "java", 1.0),
+                ("java", "httpd", 4.0),
+                ("java", "java", 9.0),
+                ("java", "mysqld", 26.0),
+                ("mysqld", "java", 37.0),
+                ("mysqld", "mysqld", 12.0),
+            ],
+            50,
+        )
+    }
+
+    #[test]
+    fn diff_sorted_by_delta() {
+        let ejb_delay = report(
+            &[
+                ("httpd", "httpd", 5.0),
+                ("httpd", "java", 1.0),
+                ("java", "httpd", 3.0),
+                ("java", "java", 45.0),
+                ("java", "mysqld", 16.0),
+                ("mysqld", "java", 22.0),
+                ("mysqld", "mysqld", 7.0),
+            ],
+            120,
+        );
+        let diff = DiffReport::between(&normal(), &ejb_delay);
+        assert_eq!(diff.rows[0].component, Component::new("java", "java"));
+        assert!((diff.rows[0].delta - 36.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn localizes_internal_tier_delay() {
+        // Abnormal case 1: EJB delay → java2java 9% → 45%.
+        let abnormal = report(&[("java", "java", 45.0), ("mysqld", "mysqld", 8.0)], 120);
+        let diff = DiffReport::between(&normal(), &abnormal);
+        let d = Diagnosis::localize(&diff, 10.0).expect("diagnosis");
+        assert_eq!(d.suspect, SuspectKind::TierInternal("java".into()));
+    }
+
+    #[test]
+    fn localizes_database_lock() {
+        // Abnormal case 2: mysqld2mysqld 12→22, java2mysqld 26→36.
+        let abnormal = report(
+            &[
+                ("httpd", "httpd", 5.0),
+                ("java", "java", 6.0),
+                ("java", "mysqld", 36.0),
+                ("mysqld", "java", 28.0),
+                ("mysqld", "mysqld", 22.0),
+            ],
+            110,
+        );
+        let diff = DiffReport::between(&normal(), &abnormal);
+        let d = Diagnosis::localize(&diff, 9.0).expect("diagnosis");
+        // java2mysqld (+10) triggers, but mysqld internal also grew →
+        // tier mysqld.
+        assert_eq!(d.suspect, SuspectKind::TierInternal("mysqld".into()));
+    }
+
+    #[test]
+    fn localizes_network_degradation() {
+        // Abnormal case 3: interactions adjacent to java grow, java2java
+        // falls to ~0.
+        let abnormal = report(
+            &[
+                ("httpd", "httpd", 3.0),
+                ("httpd", "java", 2.0),
+                ("java", "httpd", 8.0),
+                ("java", "java", 0.5),
+                ("java", "mysqld", 47.0),
+                ("mysqld", "java", 37.0),
+                ("mysqld", "mysqld", 5.0),
+            ],
+            130,
+        );
+        let diff = DiffReport::between(&normal(), &abnormal);
+        let d = Diagnosis::localize(&diff, 10.0).expect("diagnosis");
+        assert_eq!(d.suspect, SuspectKind::TierNetwork("java".into()));
+    }
+
+    #[test]
+    fn localizes_thread_pool_queueing() {
+        // Fig. 15: httpd2java 46% → 80%, java internal flat.
+        let abnormal = report(
+            &[
+                ("httpd", "httpd", 6.0),
+                ("httpd", "java", 80.0),
+                ("java", "httpd", 2.0),
+                ("java", "java", 4.0),
+                ("java", "mysqld", 3.0),
+                ("mysqld", "java", 4.0),
+                ("mysqld", "mysqld", 1.0),
+            ],
+            200,
+        );
+        let diff = DiffReport::between(&normal(), &abnormal);
+        let d = Diagnosis::localize(&diff, 10.0).expect("diagnosis");
+        match d.suspect {
+            SuspectKind::Interaction { ref from, ref to } => {
+                assert_eq!(from, "httpd");
+                assert_eq!(to, "java");
+            }
+            other => panic!("expected interaction, got {other:?}"),
+        }
+        assert!(d.explanation.contains("thread pool"));
+    }
+
+    #[test]
+    fn no_diagnosis_below_threshold() {
+        let slightly_off = report(
+            &[
+                ("httpd", "httpd", 9.0),
+                ("java", "java", 10.0),
+                ("java", "mysqld", 25.0),
+                ("mysqld", "java", 37.0),
+                ("mysqld", "mysqld", 12.0),
+            ],
+            52,
+        );
+        let diff = DiffReport::between(&normal(), &slightly_off);
+        assert!(Diagnosis::localize(&diff, 10.0).is_none());
+    }
+
+    #[test]
+    fn tables_render() {
+        let n = normal();
+        let t = n.format_table();
+        assert!(t.contains("mysqld2mysqld"));
+        assert!(t.contains('%'));
+        let diff = DiffReport::between(&n, &n);
+        let dt = diff.format_table();
+        assert!(dt.contains("delta"));
+    }
+
+    #[test]
+    fn diff_handles_disjoint_components() {
+        let a = report(&[("httpd", "httpd", 50.0)], 10);
+        let b = report(&[("java", "java", 50.0)], 10);
+        let diff = DiffReport::between(&a, &b);
+        assert_eq!(diff.rows.len(), 2);
+        assert_eq!(diff.row(&Component::new("httpd", "httpd")).unwrap().delta, -50.0);
+        assert_eq!(diff.row(&Component::new("java", "java")).unwrap().delta, 50.0);
+    }
+}

@@ -1,0 +1,421 @@
+//! Component activity graphs (§3.2).
+//!
+//! A CAG is a directed acyclic graph whose vertices are activities and
+//! whose edges are *adjacent context relations* (x happened right before
+//! y in the same execution entity) or *message relations* (x sent the
+//! message that y received). Every vertex has at most two parents, and
+//! only a RECEIVE vertex can have two: one context parent and one message
+//! parent.
+//!
+//! Edges are stored as parent links on each vertex, which makes the
+//! ≤2-parents invariant structural.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::activity::{ActivityType, Channel, ContextId, LocalTime, Nanos};
+
+/// The kind of a causal edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EdgeKind {
+    /// Adjacent context relation (same execution entity).
+    Context,
+    /// Message relation (SEND → RECEIVE of the same message).
+    Message,
+}
+
+impl fmt::Display for EdgeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            EdgeKind::Context => "context",
+            EdgeKind::Message => "message",
+        })
+    }
+}
+
+/// One vertex of a CAG: a (possibly merged) activity.
+///
+/// Kernel-level segmentation makes SEND/RECEIVE matching an n-to-n
+/// relation (§4.2, Fig. 4); the engine merges consecutive same-channel
+/// segments into a single vertex, accumulating `size` and `tags`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Vertex {
+    /// Activity type.
+    pub ty: ActivityType,
+    /// Timestamp of the first merged segment (local clock).
+    pub ts: LocalTime,
+    /// Timestamp of the last merged segment (equals `ts` when unmerged).
+    pub ts_last: LocalTime,
+    /// Execution-entity context.
+    pub ctx: ContextId,
+    /// Directed channel of the underlying kernel calls.
+    pub channel: Channel,
+    /// Total bytes across merged segments.
+    pub size: u64,
+    /// Ground-truth tags of all merged segments (evaluation only).
+    pub tags: Vec<u64>,
+    /// Context parent (index into `Cag::vertices`).
+    pub ctx_parent: Option<usize>,
+    /// Message parent (only ever set on RECEIVE vertices).
+    pub msg_parent: Option<usize>,
+}
+
+impl Vertex {
+    /// Number of parents (0, 1 or 2).
+    #[inline]
+    pub fn parent_count(&self) -> usize {
+        usize::from(self.ctx_parent.is_some()) + usize::from(self.msg_parent.is_some())
+    }
+}
+
+/// A latency component: either processing inside one program (`P2P`) or
+/// an interaction between two programs (`P2Q`) — the categories of
+/// Figs. 15 and 17 (`httpd2httpd`, `httpd2java`, ...).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Component {
+    /// Program on the parent side of the edge.
+    pub from: Arc<str>,
+    /// Program on the child side of the edge.
+    pub to: Arc<str>,
+}
+
+impl Component {
+    /// Builds a component from two program names.
+    pub fn new(from: impl Into<Arc<str>>, to: impl Into<Arc<str>>) -> Self {
+        Component { from: from.into(), to: to.into() }
+    }
+
+    /// True for `P2P` components (time spent inside one tier).
+    pub fn is_internal(&self) -> bool {
+        self.from == self.to
+    }
+}
+
+impl fmt::Display for Component {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}2{}", self.from, self.to)
+    }
+}
+
+/// A causal edge extracted from a CAG, with its latency attribution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CagEdge {
+    /// Parent vertex index.
+    pub from: usize,
+    /// Child vertex index.
+    pub to: usize,
+    /// Context or message relation.
+    pub kind: EdgeKind,
+    /// Latency of the edge: child ts − parent ts, saturated at zero.
+    ///
+    /// Context edges compare timestamps of the same node and are
+    /// accurate; message edges compare timestamps across nodes and
+    /// include clock skew (the paper makes the same caveat).
+    pub latency: Nanos,
+    /// Component the latency is attributed to, e.g. `httpd2httpd`
+    /// (context edge inside httpd) or `httpd2java` (message edge).
+    pub component: Component,
+}
+
+/// A component activity graph: the causal path of one request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cag {
+    /// Correlator-assigned id (monotonically increasing).
+    pub id: u64,
+    /// Vertices in insertion (causal) order; vertex 0 is the BEGIN root.
+    pub vertices: Vec<Vertex>,
+    /// Whether an END activity closed this CAG.
+    pub finished: bool,
+}
+
+impl Cag {
+    /// The BEGIN root vertex.
+    pub fn root(&self) -> &Vertex {
+        &self.vertices[0]
+    }
+
+    /// The END vertex, if the CAG is finished.
+    pub fn end(&self) -> Option<&Vertex> {
+        self.vertices.iter().rev().find(|v| v.ty == ActivityType::End)
+    }
+
+    /// Total servicing latency: END ts − BEGIN ts.
+    ///
+    /// Both timestamps come from the frontend node, so the value is
+    /// accurate (no cross-node skew).
+    pub fn total_latency(&self) -> Option<Nanos> {
+        self.end().map(|e| e.ts.saturating_since(self.root().ts))
+    }
+
+    /// Iterates over all causal edges with latency attribution.
+    pub fn edges(&self) -> impl Iterator<Item = CagEdge> + '_ {
+        self.vertices.iter().enumerate().flat_map(move |(i, v)| {
+            let ctx = v.ctx_parent.map(move |p| self.make_edge(p, i, EdgeKind::Context));
+            let msg = v.msg_parent.map(move |p| self.make_edge(p, i, EdgeKind::Message));
+            ctx.into_iter().chain(msg)
+        })
+    }
+
+    fn make_edge(&self, from: usize, to: usize, kind: EdgeKind) -> CagEdge {
+        let (p, c) = (&self.vertices[from], &self.vertices[to]);
+        let latency = c.ts.saturating_since(p.ts);
+        CagEdge { from, to, kind, latency, component: component_label(p, c, kind) }
+    }
+
+    /// Edges with non-overlapping latency attribution: context edges
+    /// into a two-parent RECEIVE are skipped, because they span the whole
+    /// nested downstream call whose time is already attributed to the
+    /// interior edges. With this exclusion the per-component latencies of
+    /// a linear request path partition the total servicing time — the
+    /// quantity behind the latency percentages of Figs. 15 and 17.
+    pub fn attributed_edges(&self) -> impl Iterator<Item = CagEdge> + '_ {
+        self.edges().filter(move |e| {
+            e.kind == EdgeKind::Message || self.vertices[e.to].msg_parent.is_none()
+        })
+    }
+
+    /// Sum of attributed edge latencies per component.
+    pub fn component_latencies(&self) -> BTreeMap<Component, Nanos> {
+        let mut map = BTreeMap::new();
+        for e in self.attributed_edges() {
+            *map.entry(e.component).or_insert(Nanos::ZERO) += e.latency;
+        }
+        map
+    }
+
+    /// All ground-truth tags across all vertices, sorted (evaluation
+    /// helper; the algorithm itself never reads tags).
+    pub fn sorted_tags(&self) -> Vec<u64> {
+        let mut tags: Vec<u64> =
+            self.vertices.iter().flat_map(|v| v.tags.iter().copied()).collect();
+        tags.sort_unstable();
+        tags
+    }
+
+    /// Checks the structural invariants of §3.2:
+    ///
+    /// 1. parent indices point backwards (acyclicity by construction),
+    /// 2. every vertex has ≤ 2 parents,
+    /// 3. only RECEIVE vertices have a message parent together with a
+    ///    context parent,
+    /// 4. message parents are SEND-like, on the same channel,
+    /// 5. context parents share the vertex's context,
+    /// 6. vertex 0 (and only vertex 0) is a BEGIN in a finished CAG
+    ///    rooted at an access point.
+    ///
+    /// Returns the first violation found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.vertices.is_empty() {
+            return Err("empty CAG".into());
+        }
+        for (i, v) in self.vertices.iter().enumerate() {
+            if let Some(p) = v.ctx_parent {
+                if p >= i {
+                    return Err(format!("vertex {i}: context parent {p} not earlier"));
+                }
+                let pv = &self.vertices[p];
+                if pv.ctx != v.ctx {
+                    return Err(format!("vertex {i}: context parent in different context"));
+                }
+            }
+            if let Some(p) = v.msg_parent {
+                if p >= i {
+                    return Err(format!("vertex {i}: message parent {p} not earlier"));
+                }
+                if !v.ty.is_receive_like() {
+                    return Err(format!("vertex {i}: non-receive has message parent"));
+                }
+                let pv = &self.vertices[p];
+                if !pv.ty.is_send_like() {
+                    return Err(format!("vertex {i}: message parent is not a send"));
+                }
+                if pv.channel != v.channel {
+                    return Err(format!("vertex {i}: message parent on different channel"));
+                }
+            }
+            if v.parent_count() == 2 && v.ty != ActivityType::Receive {
+                return Err(format!("vertex {i}: two parents on non-RECEIVE"));
+            }
+            if i == 0 {
+                if v.parent_count() != 0 {
+                    return Err("root has parents".into());
+                }
+            } else if v.parent_count() == 0 {
+                return Err(format!("vertex {i}: unreachable (no parents)"));
+            }
+        }
+        if self.vertices[0].ty != ActivityType::Begin {
+            return Err("root is not BEGIN".into());
+        }
+        if self.finished && self.end().is_none() {
+            return Err("finished CAG without END".into());
+        }
+        Ok(())
+    }
+}
+
+/// Component for an edge: `P2P` for a context edge inside program `P`,
+/// `P2Q` for a message edge from program `P` to program `Q`.
+pub fn component_label(parent: &Vertex, child: &Vertex, _kind: EdgeKind) -> Component {
+    Component {
+        from: Arc::clone(&parent.ctx.program),
+        to: Arc::clone(&child.ctx.program),
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    //! Hand-built CAGs for unit tests across modules.
+    use super::*;
+    use crate::activity::EndpointV4;
+
+    pub fn ep(s: &str) -> EndpointV4 {
+        s.parse().unwrap()
+    }
+
+    pub fn vertex(
+        ty: ActivityType,
+        ts: u64,
+        host: &str,
+        prog: &str,
+        tid: u32,
+        channel: Channel,
+        ctx_parent: Option<usize>,
+        msg_parent: Option<usize>,
+    ) -> Vertex {
+        Vertex {
+            ty,
+            ts: LocalTime::from_nanos(ts),
+            ts_last: LocalTime::from_nanos(ts),
+            ctx: ContextId::new(host, prog, 1, tid),
+            channel,
+            size: 100,
+            tags: vec![],
+            ctx_parent,
+            msg_parent,
+        }
+    }
+
+    /// A minimal two-tier CAG:
+    /// BEGIN(web) → SEND(web→app) → RECEIVE(app) → SEND(app→web)
+    /// → RECEIVE(web) → END(web), with proper double-parent RECEIVEs.
+    pub fn two_tier_cag() -> Cag {
+        let client = Channel::new(ep("192.168.0.9:5000"), ep("10.0.0.1:80"));
+        let fwd = Channel::new(ep("10.0.0.1:4001"), ep("10.0.0.2:9000"));
+        let back = fwd.reversed();
+        let vertices = vec![
+            vertex(ActivityType::Begin, 1_000, "web", "httpd", 7, client, None, None),
+            vertex(ActivityType::Send, 2_000, "web", "httpd", 7, fwd, Some(0), None),
+            vertex(ActivityType::Receive, 2_500, "app", "java", 21, fwd, None, Some(1)),
+            vertex(ActivityType::Send, 4_000, "app", "java", 21, back, Some(2), None),
+            vertex(ActivityType::Receive, 4_400, "web", "httpd", 7, back, Some(1), Some(3)),
+            vertex(ActivityType::End, 5_000, "web", "httpd", 7, client.reversed(), Some(4), None),
+        ];
+        Cag { id: 1, vertices, finished: true }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_support::*;
+    use super::*;
+
+    #[test]
+    fn two_tier_cag_is_valid() {
+        let cag = two_tier_cag();
+        cag.validate().expect("valid CAG");
+    }
+
+    #[test]
+    fn total_latency_is_end_minus_begin() {
+        let cag = two_tier_cag();
+        assert_eq!(cag.total_latency(), Some(Nanos(4_000)));
+    }
+
+    #[test]
+    fn edges_have_expected_components() {
+        let cag = two_tier_cag();
+        let comps: Vec<(String, u64)> = cag
+            .edges()
+            .map(|e| (e.component.to_string(), e.latency.as_nanos()))
+            .collect();
+        assert!(comps.contains(&("httpd2httpd".into(), 1_000))); // BEGIN→SEND
+        assert!(comps.contains(&("httpd2java".into(), 500))); // SEND→RECEIVE
+        assert!(comps.contains(&("java2java".into(), 1_500))); // RECEIVE→SEND
+        assert!(comps.contains(&("java2httpd".into(), 400))); // SEND→RECEIVE back
+        // httpd RECEIVE has both a message parent and a context parent.
+        assert_eq!(comps.len(), 6);
+    }
+
+    #[test]
+    fn component_latencies_aggregate() {
+        let cag = two_tier_cag();
+        let lat = cag.component_latencies();
+        // httpd context edges: BEGIN→SEND (1000) + RECEIVE→END (600); the
+        // SEND→RECEIVE context edge (2400) spans the nested java call and
+        // is excluded from attribution.
+        assert_eq!(lat[&Component::new("httpd", "httpd")], Nanos(1_000 + 600));
+        assert_eq!(lat[&Component::new("httpd", "java")], Nanos(500));
+    }
+
+    #[test]
+    fn attributed_latencies_partition_total() {
+        let cag = two_tier_cag();
+        let total: u64 = cag
+            .component_latencies()
+            .values()
+            .map(|n| n.as_nanos())
+            .sum();
+        assert_eq!(Some(Nanos(total)), cag.total_latency());
+    }
+
+    #[test]
+    fn validate_rejects_two_parents_on_send() {
+        let mut cag = two_tier_cag();
+        cag.vertices[3].msg_parent = Some(1);
+        assert!(cag.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_forward_parent() {
+        let mut cag = two_tier_cag();
+        cag.vertices[1].ctx_parent = Some(5);
+        assert!(cag.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_cross_context_ctx_parent() {
+        let mut cag = two_tier_cag();
+        cag.vertices[3].ctx_parent = Some(1); // java send claiming httpd parent
+        assert!(cag.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_non_begin_root() {
+        let mut cag = two_tier_cag();
+        cag.vertices[0].ty = ActivityType::Receive;
+        assert!(cag.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_unreachable_vertex() {
+        let mut cag = two_tier_cag();
+        cag.vertices[1].ctx_parent = None;
+        assert!(cag.validate().is_err());
+    }
+
+    #[test]
+    fn sorted_tags_collects_merged_segments() {
+        let mut cag = two_tier_cag();
+        cag.vertices[1].tags = vec![5, 3];
+        cag.vertices[2].tags = vec![4];
+        assert_eq!(cag.sorted_tags(), vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn end_is_last_end_vertex() {
+        let cag = two_tier_cag();
+        assert_eq!(cag.end().unwrap().ts, LocalTime::from_nanos(5_000));
+    }
+}

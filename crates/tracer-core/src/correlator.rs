@@ -1,0 +1,576 @@
+//! The PreciseTracer facade: configuration, offline correlation and the
+//! streaming (online) variant.
+//!
+//! The offline [`Correlator`] mirrors the paper's evaluation setup
+//! ("all experiments are done offline"): it takes a complete set of raw
+//! records, groups them per node, and drives the
+//! [`crate::ranker::Ranker`]/[`crate::engine::Engine`]
+//! loop to completion. [`StreamingCorrelator`] is the online extension
+//! the paper leaves as future work: records are pushed incrementally and
+//! finished CAGs are polled out with bounded memory.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::access::{AccessPointSpec, Classifier};
+use crate::activity::{Activity, Nanos};
+use crate::cag::Cag;
+use crate::engine::Engine;
+use crate::error::TraceError;
+use crate::filter::FilterSet;
+use crate::metrics::CorrelatorMetrics;
+use crate::ranker::{RankStep, Ranker};
+use crate::raw::RawRecord;
+
+pub use crate::engine::EngineOptions;
+pub use crate::ranker::RankerOptions;
+
+/// Full correlator configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorrelatorConfig {
+    /// Access points: frontend ports + internal IPs (§3.1).
+    pub access: AccessPointSpec,
+    /// Attribute-based noise filters (§4.3 way 1).
+    pub filters: FilterSet,
+    /// Ranker options, including the sliding time window.
+    pub ranker: RankerOptions,
+    /// Engine options, including ablation switches.
+    pub engine: EngineOptions,
+    /// Sample the memory gauge once every this many candidates.
+    pub mem_sample_every: u64,
+}
+
+impl CorrelatorConfig {
+    /// A default configuration for a service with the given access spec.
+    pub fn new(access: AccessPointSpec) -> Self {
+        CorrelatorConfig {
+            access,
+            filters: FilterSet::new(),
+            ranker: RankerOptions::default(),
+            engine: EngineOptions::default(),
+            mem_sample_every: 64,
+        }
+    }
+
+    /// Sets the sliding time window.
+    pub fn with_window(mut self, window: Nanos) -> Self {
+        self.ranker.window = window;
+        self
+    }
+
+    /// Sets the attribute filters.
+    pub fn with_filters(mut self, filters: FilterSet) -> Self {
+        self.filters = filters;
+        self
+    }
+
+    /// Sets the ranker options wholesale.
+    pub fn with_ranker(mut self, ranker: RankerOptions) -> Self {
+        self.ranker = ranker;
+        self
+    }
+
+    /// Sets the engine options wholesale.
+    pub fn with_engine(mut self, engine: EngineOptions) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Config`] when the window is zero or no
+    /// access point is configured.
+    pub fn validate(&self) -> Result<(), TraceError> {
+        if self.ranker.window == Nanos::ZERO {
+            return Err(TraceError::config("sliding time window must be > 0"));
+        }
+        if self.access.is_empty() {
+            return Err(TraceError::config(
+                "no frontend port configured; no request would ever BEGIN",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The result of a correlation run.
+#[derive(Debug, Clone, Default)]
+pub struct CorrelationOutput {
+    /// Completed causal paths, in completion order.
+    pub cags: Vec<Cag>,
+    /// Deformed paths still open when input ended (lost activities).
+    pub unfinished: Vec<Cag>,
+    /// Counters, memory gauge and wall time.
+    pub metrics: CorrelatorMetrics,
+    /// The first few activities discarded by `is_noise` (diagnostics;
+    /// the full count is in `metrics.ranker.noise_discards`).
+    pub noise_samples: Vec<Activity>,
+}
+
+/// How many noise victims are kept for diagnostics.
+const NOISE_SAMPLE_CAP: usize = 32;
+
+/// Offline correlator (paper §5 operating mode).
+#[derive(Debug)]
+pub struct Correlator {
+    config: CorrelatorConfig,
+}
+
+impl Correlator {
+    /// Creates a correlator with the given configuration.
+    pub fn new(config: CorrelatorConfig) -> Self {
+        Correlator { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CorrelatorConfig {
+        &self.config
+    }
+
+    /// Correlates a complete set of raw records into CAGs.
+    ///
+    /// Records may arrive in any order; they are grouped by hostname and
+    /// sorted by local timestamp per node (the paper's "first round"
+    /// sort).
+    ///
+    /// # Errors
+    ///
+    /// Returns a configuration error when [`CorrelatorConfig::validate`]
+    /// fails.
+    pub fn correlate(&self, records: Vec<RawRecord>) -> Result<CorrelationOutput, TraceError> {
+        self.config.validate()?;
+        let classifier = Classifier::new(self.config.access.clone());
+        let mut metrics = CorrelatorMetrics {
+            records_in: records.len() as u64,
+            ..CorrelatorMetrics::default()
+        };
+
+        // Group per node; BTreeMap gives deterministic host order.
+        let mut streams: BTreeMap<Arc<str>, Vec<Activity>> = BTreeMap::new();
+        for rec in &records {
+            let act = classifier.classify(rec);
+            if !self.config.filters.admits(&act) {
+                metrics.filtered_out += 1;
+                continue;
+            }
+            streams.entry(Arc::clone(&rec.hostname)).or_default().push(act);
+        }
+        // Step 1 (§4): per-node sort by local timestamps.
+        let mut stream_vec: Vec<(Arc<str>, Vec<Activity>)> = Vec::new();
+        for (host, mut acts) in streams {
+            acts.sort_by_key(|a| a.ts);
+            stream_vec.push((host, acts));
+        }
+
+        let ranker = Ranker::from_streams(self.config.ranker, stream_vec);
+        let engine = Engine::new(self.config.engine.clone());
+        let (output, _ranker, _engine) =
+            run_loop(ranker, engine, metrics, self.config.mem_sample_every);
+        Ok(output)
+    }
+
+    /// Correlates pre-classified activity streams (one per host, each
+    /// sorted by local time). Used by harnesses that synthesize
+    /// activities directly.
+    ///
+    /// # Errors
+    ///
+    /// Returns a configuration error when the window is zero.
+    pub fn correlate_activities(
+        &self,
+        streams: Vec<(Arc<str>, Vec<Activity>)>,
+    ) -> Result<CorrelationOutput, TraceError> {
+        if self.config.ranker.window == Nanos::ZERO {
+            return Err(TraceError::config("sliding time window must be > 0"));
+        }
+        let mut metrics = CorrelatorMetrics::default();
+        let mut kept: Vec<(Arc<str>, Vec<Activity>)> = Vec::new();
+        for (host, acts) in streams {
+            metrics.records_in += acts.len() as u64;
+            let mut v: Vec<Activity> = acts
+                .into_iter()
+                .filter(|a| {
+                    let ok = self.config.filters.admits(a);
+                    if !ok {
+                        metrics.filtered_out += 1;
+                    }
+                    ok
+                })
+                .collect();
+            v.sort_by_key(|a| a.ts);
+            kept.push((host, v));
+        }
+        let ranker = Ranker::from_streams(self.config.ranker, kept);
+        let engine = Engine::new(self.config.engine.clone());
+        let (output, _r, _e) = run_loop(ranker, engine, metrics, self.config.mem_sample_every);
+        Ok(output)
+    }
+}
+
+/// Drives ranker and engine to exhaustion; shared by offline and
+/// streaming paths.
+fn run_loop(
+    mut ranker: Ranker,
+    mut engine: Engine,
+    mut metrics: CorrelatorMetrics,
+    sample_every: u64,
+) -> (CorrelationOutput, Ranker, Engine) {
+    let start = Instant::now();
+    let mut since_sample = 0u64;
+    let mut noise_samples = Vec::new();
+    let mut cags = Vec::new();
+    loop {
+        match ranker.rank(&engine) {
+            RankStep::Candidate(a) => {
+                engine.deliver(a);
+                since_sample += 1;
+                if since_sample >= sample_every.max(1) {
+                    since_sample = 0;
+                    // Completed paths stream out (the tool writes them to
+                    // its output); the memory gauge therefore measures
+                    // the *working* state the window bounds: ranker
+                    // buffers, index maps and unfinished CAGs.
+                    cags.extend(engine.take_sealed());
+                    let cur = ranker.approx_bytes() + engine.approx_bytes();
+                    metrics.peak_bytes = metrics.peak_bytes.max(cur);
+                }
+            }
+            RankStep::Noise(a) => {
+                if noise_samples.len() < NOISE_SAMPLE_CAP {
+                    noise_samples.push(a);
+                }
+            }
+            RankStep::NeedInput | RankStep::Exhausted => break,
+        }
+    }
+    metrics.wall = start.elapsed();
+    metrics.final_bytes = ranker.approx_bytes() + engine.approx_bytes();
+    metrics.peak_bytes = metrics.peak_bytes.max(metrics.final_bytes);
+    cags.extend(engine.take_finished());
+    let unfinished = engine.take_unfinished();
+    metrics.cags_finished = cags.len() as u64;
+    metrics.cags_unfinished = unfinished.len() as u64;
+    metrics.ranker = *ranker.counters();
+    metrics.engine = *engine.counters();
+    (CorrelationOutput { cags, unfinished, metrics, noise_samples }, ranker, engine)
+}
+
+/// Online correlation: push records as they arrive, poll finished CAGs.
+///
+/// # Examples
+///
+/// ```
+/// use tracer_core::prelude::*;
+///
+/// # fn main() -> Result<(), TraceError> {
+/// let access = AccessPointSpec::new([80], ["10.0.0.1".parse().unwrap()]);
+/// let mut sc = StreamingCorrelator::new(CorrelatorConfig::new(access))?;
+/// sc.push(
+///     "1000 web httpd 7 7 RECEIVE 192.168.0.9:5000-10.0.0.1:80 120"
+///         .parse::<RawRecord>()?,
+/// );
+/// sc.push(
+///     "2000 web httpd 7 7 SEND 10.0.0.1:80-192.168.0.9:5000 512"
+///         .parse::<RawRecord>()?,
+/// );
+/// let done = sc.finish();
+/// assert_eq!(done.cags.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct StreamingCorrelator {
+    classifier: Classifier,
+    filters: FilterSet,
+    ranker: Ranker,
+    engine: Engine,
+    metrics: CorrelatorMetrics,
+    mem_sample_every: u64,
+    since_sample: u64,
+    started: Instant,
+    noise_samples: Vec<Activity>,
+}
+
+impl StreamingCorrelator {
+    /// Creates a streaming correlator.
+    ///
+    /// # Errors
+    ///
+    /// Returns a configuration error when [`CorrelatorConfig::validate`]
+    /// fails.
+    pub fn new(config: CorrelatorConfig) -> Result<Self, TraceError> {
+        config.validate()?;
+        Ok(StreamingCorrelator {
+            classifier: Classifier::new(config.access.clone()),
+            filters: config.filters.clone(),
+            ranker: Ranker::new(config.ranker),
+            engine: Engine::new(config.engine.clone()),
+            metrics: CorrelatorMetrics::default(),
+            mem_sample_every: config.mem_sample_every,
+            since_sample: 0,
+            started: Instant::now(),
+            noise_samples: Vec::new(),
+        })
+    }
+
+    /// Pushes one raw record (routed to its node's queue).
+    pub fn push(&mut self, rec: RawRecord) {
+        self.metrics.records_in += 1;
+        let act = self.classifier.classify(&rec);
+        if !self.filters.admits(&act) {
+            self.metrics.filtered_out += 1;
+            return;
+        }
+        self.ranker.push(act);
+    }
+
+    /// Declares a node's stream complete.
+    pub fn close_host(&mut self, host: &str) {
+        self.ranker.close_host(host);
+    }
+
+    /// Runs the correlation loop until more input is needed, returning
+    /// any CAGs completed in the meantime.
+    pub fn poll(&mut self) -> Vec<Cag> {
+        loop {
+            match self.ranker.rank(&self.engine) {
+                RankStep::Candidate(a) => {
+                    self.engine.deliver(a);
+                    self.since_sample += 1;
+                    if self.since_sample >= self.mem_sample_every.max(1) {
+                        self.since_sample = 0;
+                        let cur = self.ranker.approx_bytes() + self.engine.approx_bytes();
+                        self.metrics.peak_bytes = self.metrics.peak_bytes.max(cur);
+                    }
+                }
+                RankStep::Noise(a) => {
+                    if self.noise_samples.len() < NOISE_SAMPLE_CAP {
+                        self.noise_samples.push(a);
+                    }
+                }
+                RankStep::NeedInput | RankStep::Exhausted => break,
+            }
+        }
+        // Only sealed CAGs leave: a just-finished CAG may still receive
+        // trailing END segments (chunked responses).
+        let cags = self.engine.take_sealed();
+        self.metrics.cags_finished += cags.len() as u64;
+        cags
+    }
+
+    /// Current approximate resident bytes (window buffers + engine
+    /// state) — the online-memory guarantee of the streaming mode.
+    pub fn approx_bytes(&self) -> usize {
+        self.ranker.approx_bytes() + self.engine.approx_bytes()
+    }
+
+    /// Closes all streams, drains everything and returns the final
+    /// output (finished CAGs from this call only, plus deformed paths).
+    pub fn finish(mut self) -> CorrelationOutput {
+        self.ranker.close_all();
+        let mut cags = self.poll();
+        // Flush CAGs still held for potential trailing-END amendment.
+        let flushed = self.engine.take_finished();
+        self.metrics.cags_finished += flushed.len() as u64;
+        cags.extend(flushed);
+        let unfinished = self.engine.take_unfinished();
+        let mut metrics = self.metrics;
+        metrics.wall = self.started.elapsed();
+        metrics.final_bytes = self.ranker.approx_bytes() + self.engine.approx_bytes();
+        metrics.peak_bytes = metrics.peak_bytes.max(metrics.final_bytes);
+        metrics.cags_unfinished = unfinished.len() as u64;
+        metrics.ranker = *self.ranker.counters();
+        metrics.engine = *self.engine.counters();
+        CorrelationOutput { cags, unfinished, metrics, noise_samples: self.noise_samples }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::raw::parse_log;
+
+    fn access() -> AccessPointSpec {
+        AccessPointSpec::new(
+            [80],
+            [
+                "10.0.0.1".parse().unwrap(),
+                "10.0.0.2".parse().unwrap(),
+                "10.0.0.3".parse().unwrap(),
+            ],
+        )
+    }
+
+    /// A full three-tier request in TCP_TRACE format, interleaved across
+    /// nodes with skewed clocks.
+    fn three_tier_log() -> &'static str {
+        "\
+        1000 web httpd 7 7 RECEIVE 192.168.0.9:5000-10.0.0.1:80 120\n\
+        2000 web httpd 7 7 SEND 10.0.0.1:4001-10.0.0.2:8009 64\n\
+        500900 app java 9 21 RECEIVE 10.0.0.1:4001-10.0.0.2:8009 64\n\
+        501500 app java 9 21 SEND 10.0.0.2:4101-10.0.0.3:3306 32\n\
+        901900 db mysqld 5 55 RECEIVE 10.0.0.2:4101-10.0.0.3:3306 32\n\
+        903000 db mysqld 5 55 SEND 10.0.0.3:3306-10.0.0.2:4101 800\n\
+        503600 app java 9 21 RECEIVE 10.0.0.3:3306-10.0.0.2:4101 800\n\
+        504000 app java 9 21 SEND 10.0.0.2:8009-10.0.0.1:4001 256\n\
+        4500 web httpd 7 7 RECEIVE 10.0.0.2:8009-10.0.0.1:4001 256\n\
+        5000 web httpd 7 7 SEND 10.0.0.1:80-192.168.0.9:5000 512\n\
+        "
+    }
+
+    #[test]
+    fn offline_three_tier_roundtrip() {
+        let records = parse_log(three_tier_log()).unwrap();
+        let out = Correlator::new(CorrelatorConfig::new(access()))
+            .correlate(records)
+            .unwrap();
+        assert_eq!(out.cags.len(), 1);
+        assert!(out.unfinished.is_empty());
+        let cag = &out.cags[0];
+        cag.validate().expect("valid");
+        assert_eq!(cag.vertices.len(), 10);
+        assert_eq!(out.metrics.cags_finished, 1);
+        assert_eq!(out.metrics.ranker.noise_discards, 0);
+    }
+
+    #[test]
+    fn rejects_zero_window() {
+        let cfg = CorrelatorConfig::new(access()).with_window(Nanos::ZERO);
+        assert!(Correlator::new(cfg).correlate(Vec::new()).is_err());
+    }
+
+    #[test]
+    fn rejects_missing_access_points() {
+        let cfg = CorrelatorConfig::new(AccessPointSpec::default());
+        assert!(Correlator::new(cfg).correlate(Vec::new()).is_err());
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted_per_node() {
+        let mut records = parse_log(three_tier_log()).unwrap();
+        records.reverse();
+        let out = Correlator::new(CorrelatorConfig::new(access()))
+            .correlate(records)
+            .unwrap();
+        assert_eq!(out.cags.len(), 1);
+        out.cags[0].validate().expect("valid");
+    }
+
+    #[test]
+    fn tiny_window_still_correct_under_skew() {
+        // Window 1ns, node clocks skewed by ~0.5ms and ~0.9ms: the window
+        // is per-node local time, so correctness is unaffected (§4.1).
+        let records = parse_log(three_tier_log()).unwrap();
+        let cfg = CorrelatorConfig::new(access()).with_window(Nanos(1));
+        let out = Correlator::new(cfg).correlate(records).unwrap();
+        assert_eq!(out.cags.len(), 1);
+        out.cags[0].validate().expect("valid");
+    }
+
+    #[test]
+    fn noise_from_untraced_peer_is_discarded() {
+        let mut log = three_tier_log().to_owned();
+        // A MySQL client on an untraced host talks to the database; the
+        // mysqld-side receive has no matching traced send.
+        log.push_str("902000 db mysqld 5 77 RECEIVE 172.16.9.9:6000-10.0.0.3:3306 48\n");
+        log.push_str("902500 db mysqld 5 77 SEND 10.0.0.3:3306-172.16.9.9:6000 99\n");
+        let out = Correlator::new(CorrelatorConfig::new(access()))
+            .correlate(parse_log(&log).unwrap())
+            .unwrap();
+        assert_eq!(out.cags.len(), 1);
+        assert_eq!(out.cags[0].vertices.len(), 10);
+        assert_eq!(out.metrics.ranker.noise_discards, 1);
+        assert_eq!(out.metrics.engine.orphan_vertices, 1);
+        // The real path is untouched by the noise.
+        assert_eq!(out.metrics.cags_unfinished, 0);
+    }
+
+    #[test]
+    fn attribute_filter_removes_program_noise() {
+        let mut log = three_tier_log().to_owned();
+        log.push_str("600 web sshd 99 99 RECEIVE 172.16.9.9:7000-10.0.0.1:22 500\n");
+        log.push_str("700 web sshd 99 99 SEND 10.0.0.1:22-172.16.9.9:7000 500\n");
+        let cfg = CorrelatorConfig::new(access())
+            .with_filters(FilterSet::new().drop_program("sshd"));
+        let out = Correlator::new(cfg).correlate(parse_log(&log).unwrap()).unwrap();
+        assert_eq!(out.metrics.filtered_out, 2);
+        assert_eq!(out.cags.len(), 1);
+    }
+
+    #[test]
+    fn lost_end_yields_unfinished_cag() {
+        let log: String = three_tier_log()
+            .lines()
+            .filter(|l| !l.contains("10.0.0.1:80-192.168.0.9:5000"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let out = Correlator::new(CorrelatorConfig::new(access()))
+            .correlate(parse_log(&log).unwrap())
+            .unwrap();
+        assert_eq!(out.cags.len(), 0);
+        assert_eq!(out.unfinished.len(), 1);
+        assert_eq!(out.unfinished[0].vertices.len(), 9);
+    }
+
+    #[test]
+    fn streaming_matches_offline() {
+        let records = parse_log(three_tier_log()).unwrap();
+        let offline = Correlator::new(CorrelatorConfig::new(access()))
+            .correlate(records.clone())
+            .unwrap();
+        let mut sc = StreamingCorrelator::new(CorrelatorConfig::new(access())).unwrap();
+        let mut streamed = Vec::new();
+        for r in records {
+            sc.push(r);
+            streamed.extend(sc.poll());
+        }
+        let done = sc.finish();
+        streamed.extend(done.cags);
+        assert_eq!(streamed.len(), offline.cags.len());
+        assert_eq!(
+            streamed[0].sorted_tags(),
+            offline.cags[0].sorted_tags()
+        );
+        assert_eq!(streamed[0].vertices.len(), offline.cags[0].vertices.len());
+    }
+
+    #[test]
+    fn streaming_memory_stays_bounded() {
+        // Push many sequential requests; with a 10ms window the resident
+        // set must not grow with the request count.
+        let access = AccessPointSpec::new([80], ["10.0.0.1".parse().unwrap()]);
+        let mut sc = StreamingCorrelator::new(CorrelatorConfig::new(access)).unwrap();
+        let mut peak = 0usize;
+        for i in 0..1_000u64 {
+            let t0 = i * 1_000_000;
+            sc.push(
+                format!("{} web httpd 7 7 RECEIVE 192.168.0.9:5000-10.0.0.1:80 100", t0)
+                    .parse()
+                    .unwrap(),
+            );
+            sc.push(
+                format!("{} web httpd 7 7 SEND 10.0.0.1:80-192.168.0.9:5000 200", t0 + 500)
+                    .parse()
+                    .unwrap(),
+            );
+            let _ = sc.poll();
+            peak = peak.max(sc.approx_bytes());
+        }
+        let out = sc.finish();
+        assert_eq!(out.metrics.records_in, 2_000);
+        assert!(peak < 64 * 1024, "resident {peak} bytes should stay small");
+    }
+
+    #[test]
+    fn metrics_wall_time_is_measured() {
+        let records = parse_log(three_tier_log()).unwrap();
+        let out = Correlator::new(CorrelatorConfig::new(access()))
+            .correlate(records)
+            .unwrap();
+        // Wall time is nonzero-ish; just check the field is plumbed.
+        assert!(out.metrics.wall.as_nanos() > 0);
+    }
+}

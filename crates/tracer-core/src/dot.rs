@@ -1,0 +1,106 @@
+//! Graphviz DOT export of CAGs and average causal paths, for visual
+//! debugging (the paper's Fig. 1 rendering).
+
+use std::fmt::Write as _;
+
+use crate::cag::{Cag, EdgeKind};
+use crate::pattern::AveragePath;
+
+/// Renders a CAG as a Graphviz digraph. Context relations are solid
+/// (red in the paper), message relations dashed (blue).
+///
+/// # Examples
+///
+/// ```
+/// # use tracer_core::dot::cag_to_dot;
+/// # use tracer_core::cag::Cag;
+/// let cag = Cag { id: 0, vertices: vec![], finished: false };
+/// let dot = cag_to_dot(&cag);
+/// assert!(dot.starts_with("digraph"));
+/// ```
+pub fn cag_to_dot(cag: &Cag) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph cag_{} {{", cag.id);
+    let _ = writeln!(s, "  rankdir=LR;");
+    let _ = writeln!(s, "  node [shape=box, fontsize=10];");
+    for (i, v) in cag.vertices.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "  v{} [label=\"{}\\n{}:{}\\nt={} size={}\"];",
+            i, v.ty, v.ctx.hostname, v.ctx.program, v.ts, v.size
+        );
+    }
+    for e in cag.edges() {
+        let style = match e.kind {
+            EdgeKind::Context => "solid\", color=\"red",
+            EdgeKind::Message => "dashed\", color=\"blue",
+        };
+        let _ = writeln!(
+            s,
+            "  v{} -> v{} [style=\"{}\", label=\"{}\"];",
+            e.from, e.to, style, e.latency
+        );
+    }
+    s.push_str("}\n");
+    s
+}
+
+/// Renders an average causal path: the exemplar structure annotated with
+/// the pattern's mean edge latencies.
+pub fn average_path_to_dot(path: &AveragePath) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph pattern_{:x} {{", path.key.0);
+    let _ = writeln!(s, "  rankdir=LR;");
+    let _ = writeln!(s, "  label=\"{} requests, mean total {}\";", path.count, path.mean_total);
+    let _ = writeln!(s, "  node [shape=box, fontsize=10];");
+    for (i, v) in path.exemplar.vertices.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "  v{} [label=\"{}\\n{}:{}\"];",
+            i, v.ty, v.ctx.hostname, v.ctx.program
+        );
+    }
+    for e in path.exemplar.edges() {
+        let style = match e.kind {
+            EdgeKind::Context => "solid\", color=\"red",
+            EdgeKind::Message => "dashed\", color=\"blue",
+        };
+        let comp = &e.component;
+        let pct = path.percentages.get(comp).copied().unwrap_or(0.0);
+        let _ = writeln!(
+            s,
+            "  v{} -> v{} [style=\"{}\", label=\"{} {:.1}%\"];",
+            e.from, e.to, style, comp, pct
+        );
+    }
+    s.push_str("}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cag::test_support::two_tier_cag;
+    use crate::pattern::PatternAggregator;
+
+    #[test]
+    fn cag_dot_contains_vertices_and_edges() {
+        let dot = cag_to_dot(&two_tier_cag());
+        assert!(dot.contains("digraph cag_1"));
+        assert!(dot.contains("BEGIN"));
+        assert!(dot.contains("dashed"));
+        assert!(dot.contains("v0 -> v1"));
+        assert_eq!(dot.matches("->").count(), 6);
+    }
+
+    #[test]
+    fn average_path_dot_renders_percentages() {
+        let mut agg = PatternAggregator::new();
+        let cag = two_tier_cag();
+        agg.add(&cag);
+        let paths = agg.average_paths();
+        let dot = average_path_to_dot(&paths[0]);
+        assert!(dot.contains('%'));
+        assert!(dot.contains("httpd2java"));
+    }
+}

@@ -1,0 +1,944 @@
+//! The correlation engine (§4.2, Fig. 3).
+//!
+//! The engine consumes *candidate* activities chosen by the
+//! [`Ranker`](crate::ranker::Ranker) and assembles them into CAGs using
+//! two index maps:
+//!
+//! * **mmap** — message identifier (directed channel) → unmatched SEND
+//!   vertices with their remaining unreceived byte counts. TCP delivers
+//!   bytes FIFO per direction, so a per-channel FIFO of pending sends is
+//!   the faithful generalization of the paper's single-entry description.
+//! * **cmap** — context identifier → the latest activity observed in that
+//!   execution entity.
+//!
+//! SEND/RECEIVE matching is n-to-n (Fig. 4): consecutive same-channel
+//! SEND segments merge into one vertex accumulating bytes, and RECEIVE
+//! segments decrement the pending byte count, materializing the RECEIVE
+//! vertex when it reaches zero.
+//!
+//! The thread-reuse hazard (§4.2 lines 29-32) is handled by adding the
+//! context edge into a RECEIVE only when message parent and context
+//! parent belong to the same CAG; [`EngineOptions::thread_reuse_check`]
+//! can disable the check to reproduce the failure mode as an ablation.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::mem::size_of;
+
+use crate::activity::{Activity, ActivityType, Channel, ContextId};
+use crate::cag::{Cag, Vertex};
+use crate::ranker::MatchOracle;
+
+/// Tunables and ablation switches for the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineOptions {
+    /// Merge consecutive same-channel SEND (and BEGIN/END) segments into
+    /// one vertex by message size (§4.2, Fig. 4). Disabling this is the
+    /// EXT-2 "no segment merging" ablation.
+    pub merge_segments: bool,
+    /// Add the context edge into a RECEIVE only when both parents are in
+    /// the same CAG (§4.2 lines 29-32). Disabling reproduces the
+    /// thread-pool mis-correlation the paper warns about.
+    pub thread_reuse_check: bool,
+    /// Merge trailing END segments into the already-output CAG.
+    pub amend_finished: bool,
+    /// Maximum unmatched pending sends retained in `mmap` before the
+    /// oldest are evicted (bounds memory under send-side noise).
+    pub pending_cap: usize,
+    /// Maximum orphan (non-CAG) vertices retained for context chains.
+    pub orphan_cap: usize,
+    /// Maximum unfinished CAGs retained before the oldest are abandoned.
+    pub unfinished_cap: usize,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            merge_segments: true,
+            thread_reuse_check: true,
+            amend_finished: true,
+            pending_cap: 1 << 20,
+            orphan_cap: 1 << 20,
+            unfinished_cap: 1 << 20,
+        }
+    }
+}
+
+/// Counters describing everything the engine did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineCounters {
+    /// Candidate activities delivered to the engine.
+    pub delivered: u64,
+    /// CAGs opened by BEGIN activities.
+    pub cags_opened: u64,
+    /// CAGs closed by END activities.
+    pub cags_finished: u64,
+    /// SEND segments merged into an existing vertex.
+    pub send_merges: u64,
+    /// BEGIN segments merged into an existing root.
+    pub begin_merges: u64,
+    /// END segments merged into an already-finished CAG.
+    pub end_amends: u64,
+    /// RECEIVE segments that only decremented a pending send.
+    pub partial_receives: u64,
+    /// RECEIVE activities that found no pending send (should be zero
+    /// when the ranker's noise handling is on).
+    pub unmatched_receives: u64,
+    /// RECEIVEs that consumed bytes across two pending messages
+    /// (receiver coalesced across message boundaries — an assumption
+    /// violation that deforms the CAG).
+    pub cross_message_receives: u64,
+    /// END activities with no usable context parent.
+    pub unmatched_ends: u64,
+    /// Context edges suppressed by the thread-reuse same-CAG check.
+    pub reuse_suppressed_edges: u64,
+    /// Vertices that landed in the orphan pool (noise chains).
+    pub orphan_vertices: u64,
+    /// Pending sends evicted by `pending_cap`.
+    pub evicted_pendings: u64,
+    /// Orphans evicted by `orphan_cap`.
+    pub evicted_orphans: u64,
+    /// Unfinished CAGs abandoned by `unfinished_cap`.
+    pub abandoned_cags: u64,
+}
+
+/// Where the latest activity of a context lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VRef {
+    /// Vertex `v` of CAG `cag` (which may since have finished).
+    Cag { cag: u64, v: usize },
+    /// Orphan vertex (not part of any CAG).
+    Orphan { id: u64 },
+}
+
+/// An unmatched (or partially matched) SEND in the mmap.
+#[derive(Debug, Clone)]
+struct Pending {
+    vref: VRef,
+    remaining: u64,
+    /// Ground-truth tags of receive segments consumed so far.
+    recv_tags: Vec<u64>,
+}
+
+/// Minimal vertex data kept for orphan chains (noise traffic from traced
+/// contexts, e.g. a MySQL client session sharing the database).
+#[derive(Debug, Clone)]
+struct Orphan {
+    ty: ActivityType,
+    channel: Channel,
+    size: u64,
+}
+
+/// A snapshot of parent-vertex facts needed for merge decisions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Resolved {
+    /// In an unfinished CAG.
+    Open { cag: u64, v: usize, ty: ActivityType, channel: Channel },
+    /// In a finished CAG still buffered for amendment.
+    Closed { cag: u64, v: usize, ty: ActivityType, channel: Channel },
+    /// An orphan vertex.
+    Orphan { id: u64, ty: ActivityType, channel: Channel },
+    /// The reference points at evicted/drained state.
+    Stale,
+}
+
+/// The CAG construction engine.
+#[derive(Debug)]
+pub struct Engine {
+    opts: EngineOptions,
+    unfinished: BTreeMap<u64, Cag>,
+    finished: Vec<Cag>,
+    finished_index: HashMap<u64, usize>,
+    mmap: HashMap<Channel, VecDeque<Pending>>,
+    mmap_order: VecDeque<Channel>,
+    pending_count: usize,
+    cmap: HashMap<ContextId, VRef>,
+    orphans: BTreeMap<u64, Orphan>,
+    next_cag_id: u64,
+    next_orphan_id: u64,
+    counters: EngineCounters,
+    /// Incremental byte accounting for Fig. 11.
+    vertex_count: usize,
+    tag_count: usize,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new(EngineOptions::default())
+    }
+}
+
+impl Engine {
+    /// Creates an engine with the given options.
+    pub fn new(opts: EngineOptions) -> Self {
+        Engine {
+            opts,
+            unfinished: BTreeMap::new(),
+            finished: Vec::new(),
+            finished_index: HashMap::new(),
+            mmap: HashMap::new(),
+            mmap_order: VecDeque::new(),
+            pending_count: 0,
+            cmap: HashMap::new(),
+            orphans: BTreeMap::new(),
+            next_cag_id: 0,
+            next_orphan_id: 0,
+            counters: EngineCounters::default(),
+            vertex_count: 0,
+            tag_count: 0,
+        }
+    }
+
+    /// The engine's activity counters.
+    pub fn counters(&self) -> &EngineCounters {
+        &self.counters
+    }
+
+    /// Number of CAGs still under construction.
+    pub fn unfinished_len(&self) -> usize {
+        self.unfinished.len()
+    }
+
+    /// Number of finished CAGs awaiting [`Engine::take_finished`].
+    pub fn finished_len(&self) -> usize {
+        self.finished.len()
+    }
+
+    /// Removes and returns all finished CAGs, oldest first.
+    pub fn take_finished(&mut self) -> Vec<Cag> {
+        self.finished_index.clear();
+        std::mem::take(&mut self.finished)
+    }
+
+    /// Removes and returns only the finished CAGs that can no longer be
+    /// amended by trailing END segments: a CAG is *sealed* once its END
+    /// vertex is no longer the latest activity of its context (the
+    /// execution entity moved on to other work). Used by the streaming
+    /// correlator so that incremental polling yields the same CAGs as an
+    /// offline run.
+    pub fn take_sealed(&mut self) -> Vec<Cag> {
+        let finished = std::mem::take(&mut self.finished);
+        self.finished_index.clear();
+        let mut out = Vec::new();
+        for cag in finished {
+            let end_idx = cag.vertices.len() - 1;
+            let end = &cag.vertices[end_idx];
+            let still_latest = end.ty == ActivityType::End
+                && self.cmap.get(&end.ctx)
+                    == Some(&VRef::Cag { cag: cag.id, v: end_idx });
+            if still_latest {
+                self.finished_index.insert(cag.id, self.finished.len());
+                self.finished.push(cag);
+            } else {
+                out.push(cag);
+            }
+        }
+        out
+    }
+
+    /// Abandons and returns all unfinished CAGs (used at end of stream to
+    /// surface deformed paths caused by lost activities).
+    pub fn take_unfinished(&mut self) -> Vec<Cag> {
+        let cags: Vec<Cag> = std::mem::take(&mut self.unfinished).into_values().collect();
+        self.vertex_count -= cags.iter().map(|c| c.vertices.len()).sum::<usize>();
+        self.tag_count -= cags
+            .iter()
+            .flat_map(|c| c.vertices.iter())
+            .map(|v| v.tags.len())
+            .sum::<usize>();
+        cags
+    }
+
+    /// Approximate resident bytes of all engine state (index maps,
+    /// unfinished CAGs, buffered finished CAGs, orphans). Used for the
+    /// Fig. 11 memory experiment.
+    pub fn approx_bytes(&self) -> usize {
+        let vert = self.vertex_count * size_of::<Vertex>() + self.tag_count * 8;
+        let pend = self.pending_count * (size_of::<Pending>() + size_of::<Channel>());
+        let cmap = self.cmap.len() * (size_of::<ContextId>() + size_of::<VRef>() + 32);
+        let orph = self.orphans.len() * (size_of::<Orphan>() + 16);
+        let fin: usize = self
+            .finished
+            .iter()
+            .map(|c| c.vertices.len() * size_of::<Vertex>())
+            .sum();
+        vert + pend + cmap + orph + fin
+    }
+
+    fn resolve(&self, vref: VRef) -> Resolved {
+        match vref {
+            VRef::Cag { cag, v } => {
+                if let Some(c) = self.unfinished.get(&cag) {
+                    let vx = &c.vertices[v];
+                    Resolved::Open { cag, v, ty: vx.ty, channel: vx.channel }
+                } else if let Some(&idx) = self.finished_index.get(&cag) {
+                    let vx = &self.finished[idx].vertices[v];
+                    Resolved::Closed { cag, v, ty: vx.ty, channel: vx.channel }
+                } else {
+                    Resolved::Stale
+                }
+            }
+            VRef::Orphan { id } => match self.orphans.get(&id) {
+                Some(o) => Resolved::Orphan { id, ty: o.ty, channel: o.channel },
+                None => Resolved::Stale,
+            },
+        }
+    }
+
+    fn resolve_ctx(&self, ctx: &ContextId) -> Option<Resolved> {
+        self.cmap.get(ctx).map(|&r| self.resolve(r))
+    }
+
+    fn vertex_from(a: &Activity, ctx_parent: Option<usize>, msg_parent: Option<usize>) -> Vertex {
+        Vertex {
+            ty: a.ty,
+            ts: a.ts,
+            ts_last: a.ts,
+            ctx: a.ctx.clone(),
+            channel: a.channel,
+            size: a.size,
+            tags: if a.tag != 0 { vec![a.tag] } else { Vec::new() },
+            ctx_parent,
+            msg_parent,
+        }
+    }
+
+    fn push_vertex(&mut self, cag: u64, vertex: Vertex) -> usize {
+        self.vertex_count += 1;
+        self.tag_count += vertex.tags.len();
+        let c = self.unfinished.get_mut(&cag).expect("push into open CAG");
+        c.vertices.push(vertex);
+        c.vertices.len() - 1
+    }
+
+    fn new_orphan(&mut self, a: &Activity) -> u64 {
+        let id = self.next_orphan_id;
+        self.next_orphan_id += 1;
+        self.orphans
+            .insert(id, Orphan { ty: a.ty, channel: a.channel, size: a.size });
+        self.counters.orphan_vertices += 1;
+        while self.orphans.len() > self.opts.orphan_cap {
+            self.orphans.pop_first();
+            self.counters.evicted_orphans += 1;
+        }
+        id
+    }
+
+    fn push_pending(&mut self, channel: Channel, pending: Pending) {
+        self.mmap.entry(channel).or_default().push_back(pending);
+        self.mmap_order.push_back(channel);
+        self.pending_count += 1;
+        while self.pending_count > self.opts.pending_cap {
+            // Evict the globally oldest pending send.
+            if let Some(ch) = self.mmap_order.pop_front() {
+                if let Some(q) = self.mmap.get_mut(&ch) {
+                    if q.pop_front().is_some() {
+                        self.pending_count -= 1;
+                        self.counters.evicted_pendings += 1;
+                    }
+                    if q.is_empty() {
+                        self.mmap.remove(&ch);
+                    }
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Processes one candidate activity — the body of the `correlate`
+    /// procedure in Fig. 3.
+    pub fn deliver(&mut self, a: Activity) {
+        self.counters.delivered += 1;
+        match a.ty {
+            ActivityType::Begin => self.on_begin(a),
+            ActivityType::End => self.on_end(a),
+            ActivityType::Send => self.on_send(a),
+            ActivityType::Receive => self.on_receive(a),
+        }
+    }
+
+    fn on_begin(&mut self, a: Activity) {
+        // Chunked client request: merge into the open root (line 15-16
+        // applied to BEGIN, see access module docs).
+        if self.opts.merge_segments {
+            if let Some(Resolved::Open { cag, v, ty, channel }) = self.resolve_ctx(&a.ctx) {
+                if ty == ActivityType::Begin && channel == a.channel {
+                    let vx = &mut self.unfinished.get_mut(&cag).expect("open").vertices[v];
+                    vx.size += a.size;
+                    vx.ts_last = a.ts;
+                    if a.tag != 0 {
+                        vx.tags.push(a.tag);
+                        self.tag_count += 1;
+                    }
+                    self.counters.begin_merges += 1;
+                    return;
+                }
+            }
+        }
+        let id = self.next_cag_id;
+        self.next_cag_id += 1;
+        let root = Self::vertex_from(&a, None, None);
+        self.vertex_count += 1;
+        self.tag_count += root.tags.len();
+        self.unfinished
+            .insert(id, Cag { id, vertices: vec![root], finished: false });
+        self.counters.cags_opened += 1;
+        self.cmap.insert(a.ctx, VRef::Cag { cag: id, v: 0 });
+        while self.unfinished.len() > self.opts.unfinished_cap {
+            if let Some((_, c)) = self.unfinished.pop_first() {
+                self.vertex_count -= c.vertices.len();
+                self.tag_count -=
+                    c.vertices.iter().map(|v| v.tags.len()).sum::<usize>();
+                self.counters.abandoned_cags += 1;
+            }
+        }
+    }
+
+    fn on_end(&mut self, a: Activity) {
+        match self.resolve_ctx(&a.ctx) {
+            Some(Resolved::Open { cag, v, .. }) => {
+                let vertex = Self::vertex_from(&a, Some(v), None);
+                let idx = self.push_vertex(cag, vertex);
+                self.cmap
+                    .insert(a.ctx, VRef::Cag { cag, v: idx });
+                // Output the CAG (line 10).
+                let mut done = self.unfinished.remove(&cag).expect("open");
+                done.finished = true;
+                self.finished_index.insert(cag, self.finished.len());
+                // The vertices move from "unfinished" accounting into the
+                // finished buffer, which approx_bytes counts separately.
+                self.vertex_count -= done.vertices.len();
+                self.tag_count -=
+                    done.vertices.iter().map(|v| v.tags.len()).sum::<usize>();
+                self.finished.push(done);
+                self.counters.cags_finished += 1;
+            }
+            Some(Resolved::Closed { cag, v, ty, channel })
+                if self.opts.amend_finished
+                    && self.opts.merge_segments
+                    && ty == ActivityType::End
+                    && channel == a.channel =>
+            {
+                // Trailing chunk of a chunked response.
+                let idx = self.finished_index[&cag];
+                let vx = &mut self.finished[idx].vertices[v];
+                vx.size += a.size;
+                vx.ts_last = a.ts;
+                if a.tag != 0 {
+                    vx.tags.push(a.tag);
+                }
+                self.counters.end_amends += 1;
+            }
+            _ => {
+                // END with no BEGIN in its context (lost BEGIN or noise
+                // send to a frontend port): keep the chain as an orphan.
+                self.counters.unmatched_ends += 1;
+                let id = self.new_orphan(&a);
+                self.cmap.insert(a.ctx, VRef::Orphan { id });
+            }
+        }
+    }
+
+    fn on_send(&mut self, a: Activity) {
+        let parent = self.resolve_ctx(&a.ctx);
+        // Lines 15-16: consecutive same-channel sends merge by size.
+        if self.opts.merge_segments {
+            match parent {
+                Some(Resolved::Open { cag, v, ty, channel })
+                    if ty.is_send_like() && channel == a.channel =>
+                {
+                    let vx = &mut self.unfinished.get_mut(&cag).expect("open").vertices[v];
+                    vx.size += a.size;
+                    vx.ts_last = a.ts;
+                    if a.tag != 0 {
+                        vx.tags.push(a.tag);
+                        self.tag_count += 1;
+                    }
+                    self.extend_pending(a.channel, VRef::Cag { cag, v }, a.size);
+                    self.counters.send_merges += 1;
+                    return;
+                }
+                Some(Resolved::Orphan { id, ty, channel })
+                    if ty.is_send_like() && channel == a.channel =>
+                {
+                    if let Some(o) = self.orphans.get_mut(&id) {
+                        o.size += a.size;
+                    }
+                    self.extend_pending(a.channel, VRef::Orphan { id }, a.size);
+                    self.counters.send_merges += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        // Lines 17-20: new SEND vertex with a context edge when the
+        // context parent is in an open CAG; otherwise an orphan chain.
+        let vref = match parent {
+            Some(Resolved::Open { cag, v, .. }) => {
+                let vertex = Self::vertex_from(&a, Some(v), None);
+                let idx = self.push_vertex(cag, vertex);
+                VRef::Cag { cag, v: idx }
+            }
+            _ => VRef::Orphan { id: self.new_orphan(&a) },
+        };
+        self.push_pending(
+            a.channel,
+            Pending { vref, remaining: a.size, recv_tags: Vec::new() },
+        );
+        self.cmap.insert(a.ctx, vref);
+    }
+
+    /// Adds `size` bytes to the pending entry of a merged send vertex, or
+    /// opens a new pending when the previous bytes were fully received
+    /// already (send/receive pipelining).
+    fn extend_pending(&mut self, channel: Channel, vref: VRef, size: u64) {
+        if let Some(q) = self.mmap.get_mut(&channel) {
+            if let Some(back) = q.back_mut() {
+                if back.vref == vref {
+                    back.remaining += size;
+                    return;
+                }
+            }
+        }
+        self.push_pending(channel, Pending { vref, remaining: size, recv_tags: Vec::new() });
+    }
+
+    fn on_receive(&mut self, a: Activity) {
+        let Some(q) = self.mmap.get_mut(&a.channel) else {
+            self.counters.unmatched_receives += 1;
+            return;
+        };
+        let Some(front) = q.front_mut() else {
+            self.counters.unmatched_receives += 1;
+            return;
+        };
+        // Line 25: parent_msg.size -= current.size.
+        if a.size < front.remaining {
+            front.remaining -= a.size;
+            if a.tag != 0 {
+                front.recv_tags.push(a.tag);
+            }
+            self.counters.partial_receives += 1;
+            return;
+        }
+        // The receive completes (and possibly overruns) the front message.
+        let mut need = a.size - front.remaining;
+        let mut done = q.pop_front().expect("front exists");
+        self.pending_count -= 1;
+        while need > 0 {
+            // Receiver coalesced bytes across message boundaries; consume
+            // further pendings (assumption violation, counted).
+            self.counters.cross_message_receives += 1;
+            match q.front_mut() {
+                Some(nxt) if need < nxt.remaining => {
+                    nxt.remaining -= need;
+                    need = 0;
+                }
+                Some(_) => {
+                    let p = q.pop_front().expect("front exists");
+                    self.pending_count -= 1;
+                    need -= p.remaining;
+                }
+                None => {
+                    self.counters.unmatched_receives += 1;
+                    break;
+                }
+            }
+        }
+        if q.is_empty() {
+            self.mmap.remove(&a.channel);
+        }
+        // Lines 26-33: materialize the RECEIVE vertex. The vertex's tags
+        // are the receive segments consumed along the way plus this one
+        // (added by `vertex_from`).
+        let tags = std::mem::take(&mut done.recv_tags);
+        match self.resolve(done.vref) {
+            Resolved::Open { cag: msg_cag, v: msg_v, .. } => {
+                let ctx_parent = self.receive_ctx_parent(&a, msg_cag);
+                match ctx_parent {
+                    CtxParent::SameCag(p) | CtxParent::None(p) => {
+                        let mut vertex = Self::vertex_from(&a, p, Some(msg_v));
+                        let own = std::mem::take(&mut vertex.tags);
+                        vertex.tags = tags;
+                        vertex.tags.extend(own);
+                        let idx = self.push_vertex(msg_cag, vertex);
+                        self.cmap.insert(a.ctx, VRef::Cag { cag: msg_cag, v: idx });
+                    }
+                    CtxParent::ForeignCag { cag, v } => {
+                        // Ablation only (thread_reuse_check = false):
+                        // reproduce the mis-correlation by following the
+                        // stale context chain instead of the message.
+                        let mut vertex = Self::vertex_from(&a, Some(v), None);
+                        let own = std::mem::take(&mut vertex.tags);
+                        vertex.tags = tags;
+                        vertex.tags.extend(own);
+                        let idx = self.push_vertex(cag, vertex);
+                        self.cmap.insert(a.ctx, VRef::Cag { cag, v: idx });
+                    }
+                }
+            }
+            Resolved::Orphan { id, .. } => {
+                // Noise chain: the receive continues the orphan chain.
+                let _ = id;
+                let oid = self.new_orphan(&a);
+                self.cmap.insert(a.ctx, VRef::Orphan { id: oid });
+            }
+            Resolved::Closed { .. } | Resolved::Stale => {
+                self.counters.unmatched_receives += 1;
+            }
+        }
+    }
+
+    fn receive_ctx_parent(&mut self, a: &Activity, msg_cag: u64) -> CtxParent {
+        match self.resolve_ctx(&a.ctx) {
+            Some(Resolved::Open { cag, v, .. }) => {
+                if cag == msg_cag {
+                    CtxParent::SameCag(Some(v))
+                } else if self.opts.thread_reuse_check {
+                    // Lines 29-32: parents in different CAGs → no context
+                    // edge (thread reuse in a pool).
+                    self.counters.reuse_suppressed_edges += 1;
+                    CtxParent::None(None)
+                } else {
+                    CtxParent::ForeignCag { cag, v }
+                }
+            }
+            Some(Resolved::Closed { .. }) | Some(Resolved::Orphan { .. }) => {
+                // The previous activity of this execution entity belongs
+                // to an already-completed request (pool thread reused) or
+                // to a noise chain: same-CAG check fails either way.
+                self.counters.reuse_suppressed_edges += 1;
+                CtxParent::None(None)
+            }
+            _ => CtxParent::None(None),
+        }
+    }
+}
+
+enum CtxParent {
+    SameCag(Option<usize>),
+    None(Option<usize>),
+    ForeignCag { cag: u64, v: usize },
+}
+
+impl MatchOracle for Engine {
+    fn rule1_matches(&self, a: &Activity) -> bool {
+        self.mmap
+            .get(&a.channel)
+            .and_then(|q| q.front())
+            .is_some_and(|p| p.remaining >= a.size)
+    }
+
+    fn has_any_pending(&self, a: &Activity) -> bool {
+        self.mmap.get(&a.channel).is_some_and(|q| !q.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activity::{EndpointV4, LocalTime};
+
+    fn ep(s: &str) -> EndpointV4 {
+        s.parse().unwrap()
+    }
+
+    fn act(
+        ty: ActivityType,
+        ts: u64,
+        host: &str,
+        prog: &str,
+        tid: u32,
+        src: &str,
+        dst: &str,
+        size: u64,
+        tag: u64,
+    ) -> Activity {
+        Activity {
+            ty,
+            ts: LocalTime::from_nanos(ts),
+            ctx: ContextId::new(host, prog, 1, tid),
+            channel: Channel::new(ep(src), ep(dst)),
+            size,
+            tag,
+        }
+    }
+
+    const CLIENT: &str = "192.168.0.9:5000";
+    const WEB_FRONT: &str = "10.0.0.1:80";
+    const WEB_OUT: &str = "10.0.0.1:4001";
+    const APP_IN: &str = "10.0.0.2:9000";
+
+    fn two_tier_request(e: &mut Engine) {
+        e.deliver(act(ActivityType::Begin, 1_000, "web", "httpd", 7, CLIENT, WEB_FRONT, 120, 1));
+        e.deliver(act(ActivityType::Send, 2_000, "web", "httpd", 7, WEB_OUT, APP_IN, 64, 2));
+        e.deliver(act(ActivityType::Receive, 2_500, "app", "java", 21, WEB_OUT, APP_IN, 64, 3));
+        e.deliver(act(ActivityType::Send, 4_000, "app", "java", 21, APP_IN, WEB_OUT, 256, 4));
+        e.deliver(act(ActivityType::Receive, 4_400, "web", "httpd", 7, APP_IN, WEB_OUT, 256, 5));
+        e.deliver(act(ActivityType::End, 5_000, "web", "httpd", 7, WEB_FRONT, CLIENT, 512, 6));
+    }
+
+    #[test]
+    fn builds_a_complete_two_tier_cag() {
+        let mut e = Engine::default();
+        two_tier_request(&mut e);
+        assert_eq!(e.finished_len(), 1);
+        assert_eq!(e.unfinished_len(), 0);
+        let cags = e.take_finished();
+        let cag = &cags[0];
+        cag.validate().expect("valid");
+        assert_eq!(cag.vertices.len(), 6);
+        assert_eq!(cag.sorted_tags(), vec![1, 2, 3, 4, 5, 6]);
+        // The httpd response RECEIVE has two parents.
+        let recv = &cag.vertices[4];
+        assert_eq!(recv.parent_count(), 2);
+    }
+
+    #[test]
+    fn take_finished_drains() {
+        let mut e = Engine::default();
+        two_tier_request(&mut e);
+        assert_eq!(e.take_finished().len(), 1);
+        assert_eq!(e.take_finished().len(), 0);
+    }
+
+    #[test]
+    fn merges_chunked_sends_by_size() {
+        // Sender writes 900 + 544; receiver reads 512 + 512 + 420 (Fig. 4).
+        let mut e = Engine::default();
+        e.deliver(act(ActivityType::Begin, 1_000, "web", "httpd", 7, CLIENT, WEB_FRONT, 120, 1));
+        e.deliver(act(ActivityType::Send, 2_000, "web", "httpd", 7, WEB_OUT, APP_IN, 900, 2));
+        e.deliver(act(ActivityType::Send, 2_100, "web", "httpd", 7, WEB_OUT, APP_IN, 544, 3));
+        e.deliver(act(ActivityType::Receive, 2_500, "app", "java", 21, WEB_OUT, APP_IN, 512, 4));
+        e.deliver(act(ActivityType::Receive, 2_600, "app", "java", 21, WEB_OUT, APP_IN, 512, 5));
+        e.deliver(act(ActivityType::Receive, 2_700, "app", "java", 21, WEB_OUT, APP_IN, 420, 6));
+        e.deliver(act(ActivityType::Send, 4_000, "app", "java", 21, APP_IN, WEB_OUT, 256, 7));
+        e.deliver(act(ActivityType::Receive, 4_400, "web", "httpd", 7, APP_IN, WEB_OUT, 256, 8));
+        e.deliver(act(ActivityType::End, 5_000, "web", "httpd", 7, WEB_FRONT, CLIENT, 512, 9));
+        let cags = e.take_finished();
+        assert_eq!(cags.len(), 1);
+        let cag = &cags[0];
+        cag.validate().expect("valid");
+        // 900+544 merged into one SEND vertex; 512+512+420 into one RECEIVE.
+        assert_eq!(cag.vertices.len(), 6);
+        let send = &cag.vertices[1];
+        assert_eq!(send.size, 1444);
+        assert_eq!(send.tags, vec![2, 3]);
+        let recv = &cag.vertices[2];
+        assert_eq!(recv.size, 420); // size of the completing segment
+        assert_eq!(recv.tags, vec![4, 5, 6]);
+        assert_eq!(recv.ts, LocalTime::from_nanos(2_700)); // completion time
+        assert_eq!(e.counters().send_merges, 1);
+        assert_eq!(e.counters().partial_receives, 2);
+    }
+
+    #[test]
+    fn thread_reuse_check_suppresses_cross_cag_context_edge() {
+        let mut e = Engine::default();
+        // Request 1 completes through app thread 21.
+        two_tier_request(&mut e);
+        // Request 2 from a different web worker reuses app thread 21.
+        e.deliver(act(ActivityType::Begin, 11_000, "web", "httpd", 8, "192.168.0.9:5001", WEB_FRONT, 120, 11));
+        e.deliver(act(ActivityType::Send, 12_000, "web", "httpd", 8, "10.0.0.1:4002", APP_IN, 64, 12));
+        e.deliver(act(ActivityType::Receive, 12_500, "app", "java", 21, "10.0.0.1:4002", APP_IN, 64, 13));
+        e.deliver(act(ActivityType::Send, 14_000, "app", "java", 21, APP_IN, "10.0.0.1:4002", 256, 14));
+        e.deliver(act(ActivityType::Receive, 14_400, "web", "httpd", 8, APP_IN, "10.0.0.1:4002", 256, 15));
+        e.deliver(act(ActivityType::End, 15_000, "web", "httpd", 8, WEB_FRONT, "192.168.0.9:5001", 512, 16));
+        let cags = e.take_finished();
+        assert_eq!(cags.len(), 2);
+        for c in &cags {
+            c.validate().expect("valid");
+        }
+        // The app RECEIVE of request 2 must not have a context edge from
+        // request 1's chain.
+        let r2 = &cags[1];
+        let recv = &r2.vertices[2];
+        assert_eq!(recv.ty, ActivityType::Receive);
+        assert_eq!(recv.msg_parent, Some(1));
+        assert_eq!(recv.ctx_parent, None);
+        assert_eq!(e.counters().reuse_suppressed_edges, 1);
+        assert_eq!(r2.sorted_tags(), vec![11, 12, 13, 14, 15, 16]);
+    }
+
+    #[test]
+    fn disabling_thread_reuse_check_corrupts_paths() {
+        let mut e = Engine::new(EngineOptions {
+            thread_reuse_check: false,
+            ..EngineOptions::default()
+        });
+        two_tier_request(&mut e);
+        e.deliver(act(ActivityType::Begin, 11_000, "web", "httpd", 8, "192.168.0.9:5001", WEB_FRONT, 120, 11));
+        e.deliver(act(ActivityType::Send, 12_000, "web", "httpd", 8, "10.0.0.1:4002", APP_IN, 64, 12));
+        // app thread 21 reused: its cmap still points into CAG 1 (finished).
+        e.deliver(act(ActivityType::Receive, 12_500, "app", "java", 21, "10.0.0.1:4002", APP_IN, 64, 13));
+        // With the check disabled the receive follows the stale context
+        // chain; since CAG 1 is already finished the resolve is Closed and
+        // the check cannot even misfire here — exercise the in-flight case:
+        // request 3 starts before request 2 finishes.
+        let finished = e.take_finished().len();
+        assert_eq!(finished, 1);
+    }
+
+    #[test]
+    fn chunked_begin_merges_into_root() {
+        let mut e = Engine::default();
+        e.deliver(act(ActivityType::Begin, 1_000, "web", "httpd", 7, CLIENT, WEB_FRONT, 100, 1));
+        e.deliver(act(ActivityType::Begin, 1_050, "web", "httpd", 7, CLIENT, WEB_FRONT, 60, 2));
+        e.deliver(act(ActivityType::End, 5_000, "web", "httpd", 7, WEB_FRONT, CLIENT, 512, 3));
+        let cags = e.take_finished();
+        assert_eq!(cags.len(), 1, "chunked request must open exactly one CAG");
+        assert_eq!(cags[0].vertices[0].size, 160);
+        assert_eq!(e.counters().begin_merges, 1);
+    }
+
+    #[test]
+    fn keep_alive_connection_opens_new_cag_after_end() {
+        let mut e = Engine::default();
+        e.deliver(act(ActivityType::Begin, 1_000, "web", "httpd", 7, CLIENT, WEB_FRONT, 100, 1));
+        e.deliver(act(ActivityType::End, 2_000, "web", "httpd", 7, WEB_FRONT, CLIENT, 512, 2));
+        // Second request on the same connection and context.
+        e.deliver(act(ActivityType::Begin, 3_000, "web", "httpd", 7, CLIENT, WEB_FRONT, 100, 3));
+        e.deliver(act(ActivityType::End, 4_000, "web", "httpd", 7, WEB_FRONT, CLIENT, 512, 4));
+        assert_eq!(e.take_finished().len(), 2);
+        assert_eq!(e.counters().begin_merges, 0);
+    }
+
+    #[test]
+    fn trailing_end_chunks_amend_finished_cag() {
+        let mut e = Engine::default();
+        e.deliver(act(ActivityType::Begin, 1_000, "web", "httpd", 7, CLIENT, WEB_FRONT, 100, 1));
+        e.deliver(act(ActivityType::End, 2_000, "web", "httpd", 7, WEB_FRONT, CLIENT, 512, 2));
+        e.deliver(act(ActivityType::End, 2_100, "web", "httpd", 7, WEB_FRONT, CLIENT, 488, 3));
+        let cags = e.take_finished();
+        assert_eq!(cags.len(), 1);
+        let end = cags[0].end().unwrap();
+        assert_eq!(end.size, 1000);
+        assert_eq!(end.ts, LocalTime::from_nanos(2_000)); // first chunk is the STOP
+        assert_eq!(end.ts_last, LocalTime::from_nanos(2_100));
+        assert_eq!(e.counters().end_amends, 1);
+    }
+
+    #[test]
+    fn unmatched_receive_is_counted_not_crashed() {
+        let mut e = Engine::default();
+        e.deliver(act(ActivityType::Receive, 1_000, "db", "mysqld", 9, "9.9.9.9:1000", "10.0.0.3:3306", 64, 0));
+        assert_eq!(e.counters().unmatched_receives, 1);
+        assert_eq!(e.unfinished_len(), 0);
+    }
+
+    #[test]
+    fn noise_send_chain_stays_orphan() {
+        let mut e = Engine::default();
+        // A mysqld connection thread serving a noise client: sends with no
+        // BEGIN context.
+        e.deliver(act(ActivityType::Send, 1_000, "db", "mysqld", 99, "10.0.0.3:3306", "9.9.9.9:1000", 64, 0));
+        e.deliver(act(ActivityType::Send, 1_100, "db", "mysqld", 99, "10.0.0.3:3306", "9.9.9.9:1000", 64, 0));
+        assert_eq!(e.counters().orphan_vertices, 1); // second send merged
+        assert_eq!(e.counters().send_merges, 1);
+        assert_eq!(e.unfinished_len(), 0);
+        assert_eq!(e.finished_len(), 0);
+    }
+
+    #[test]
+    fn pipelined_sends_after_full_receive_reopen_pending() {
+        let mut e = Engine::default();
+        e.deliver(act(ActivityType::Begin, 1_000, "web", "httpd", 7, CLIENT, WEB_FRONT, 100, 1));
+        e.deliver(act(ActivityType::Send, 2_000, "web", "httpd", 7, WEB_OUT, APP_IN, 64, 2));
+        e.deliver(act(ActivityType::Receive, 2_500, "app", "java", 21, WEB_OUT, APP_IN, 64, 3));
+        // httpd sends a second chunk on the same channel *after* the first
+        // was fully received; it merges into the same vertex but needs a
+        // fresh pending entry.
+        e.deliver(act(ActivityType::Send, 2_600, "web", "httpd", 7, WEB_OUT, APP_IN, 32, 4));
+        e.deliver(act(ActivityType::Receive, 2_700, "app", "java", 21, WEB_OUT, APP_IN, 32, 5));
+        // The second receive matched the reopened pending but its message
+        // parent resolves into the same open CAG (the merged send vertex).
+        e.deliver(act(ActivityType::Send, 3_000, "app", "java", 21, APP_IN, WEB_OUT, 16, 6));
+        e.deliver(act(ActivityType::Receive, 3_200, "web", "httpd", 7, APP_IN, WEB_OUT, 16, 7));
+        e.deliver(act(ActivityType::End, 4_000, "web", "httpd", 7, WEB_FRONT, CLIENT, 10, 8));
+        let cags = e.take_finished();
+        assert_eq!(cags.len(), 1);
+        cags[0].validate().expect("valid");
+        assert_eq!(cags[0].sorted_tags(), vec![1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn cross_message_coalescing_is_detected() {
+        // Two distinct pending messages on one channel (an intervening
+        // send on another channel breaks vertex merging); the receiver
+        // then coalesces bytes of both into one recv() — an assumption
+        // violation the engine must detect rather than mis-correlate.
+        let mut e = Engine::default();
+        e.deliver(act(ActivityType::Begin, 1_000, "web", "httpd", 7, CLIENT, WEB_FRONT, 100, 1));
+        e.deliver(act(ActivityType::Send, 2_000, "web", "httpd", 7, WEB_OUT, APP_IN, 32, 2));
+        e.deliver(act(ActivityType::Send, 2_100, "web", "httpd", 7, "10.0.0.1:4009", "10.0.0.9:700", 10, 3));
+        e.deliver(act(ActivityType::Send, 2_200, "web", "httpd", 7, WEB_OUT, APP_IN, 48, 4));
+        // 40 bytes spans the 32-byte message plus 8 bytes of the next.
+        e.deliver(act(ActivityType::Receive, 2_700, "app", "java", 21, WEB_OUT, APP_IN, 40, 5));
+        assert_eq!(e.counters().cross_message_receives, 1);
+    }
+
+    #[test]
+    fn pending_cap_evicts_oldest() {
+        let mut e = Engine::new(EngineOptions { pending_cap: 2, ..EngineOptions::default() });
+        for i in 0..4u64 {
+            e.deliver(act(
+                ActivityType::Send,
+                1_000 + i,
+                "db",
+                "mysqld",
+                90 + i as u32,
+                "10.0.0.3:3306",
+                "9.9.9.9:1000",
+                64,
+                0,
+            ));
+        }
+        assert_eq!(e.counters().evicted_pendings, 2);
+    }
+
+    #[test]
+    fn match_oracle_reflects_mmap() {
+        let mut e = Engine::default();
+        let recv = act(ActivityType::Receive, 3_000, "app", "java", 21, WEB_OUT, APP_IN, 64, 0);
+        assert!(!e.rule1_matches(&recv));
+        assert!(!e.has_any_pending(&recv));
+        e.deliver(act(ActivityType::Begin, 1_000, "web", "httpd", 7, CLIENT, WEB_FRONT, 100, 1));
+        e.deliver(act(ActivityType::Send, 2_000, "web", "httpd", 7, WEB_OUT, APP_IN, 64, 2));
+        assert!(e.rule1_matches(&recv));
+        assert!(e.has_any_pending(&recv));
+        // A receive larger than the pending bytes does not qualify under
+        // Rule 1 (its remaining SEND segments must pop first), but the
+        // channel still has a pending send.
+        let big = act(ActivityType::Receive, 3_000, "app", "java", 21, WEB_OUT, APP_IN, 900, 0);
+        assert!(!e.rule1_matches(&big));
+        assert!(e.has_any_pending(&big));
+    }
+
+    #[test]
+    fn approx_bytes_grows_with_state() {
+        let mut e = Engine::default();
+        let empty = e.approx_bytes();
+        two_tier_request(&mut e);
+        assert!(e.approx_bytes() > empty);
+    }
+
+    #[test]
+    fn unfinished_cap_abandons_oldest() {
+        let mut e = Engine::new(EngineOptions { unfinished_cap: 2, ..EngineOptions::default() });
+        for i in 0..4u64 {
+            e.deliver(act(
+                ActivityType::Begin,
+                1_000 + i,
+                "web",
+                "httpd",
+                7 + i as u32,
+                "192.168.0.9:5000",
+                WEB_FRONT,
+                100,
+                0,
+            ));
+        }
+        assert_eq!(e.unfinished_len(), 2);
+        assert_eq!(e.counters().abandoned_cags, 2);
+    }
+}

@@ -1,0 +1,82 @@
+//! Error types for the tracer.
+
+use std::fmt;
+
+/// Errors produced by parsing, configuration and correlation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TraceError {
+    /// A TCP_TRACE log line could not be parsed.
+    Parse {
+        /// The offending input fragment (truncated).
+        input: String,
+        /// What went wrong.
+        reason: String,
+    },
+    /// The correlator configuration is invalid.
+    Config(String),
+    /// Streaming correlation was used after `finish()`.
+    Finished,
+}
+
+impl TraceError {
+    /// Constructs a parse error, truncating long inputs.
+    pub fn parse(input: &str, reason: impl Into<String>) -> Self {
+        let mut input = input.to_owned();
+        if input.len() > 120 {
+            input.truncate(120);
+            input.push_str("...");
+        }
+        TraceError::Parse { input, reason: reason.into() }
+    }
+
+    /// Constructs a configuration error.
+    pub fn config(reason: impl Into<String>) -> Self {
+        TraceError::Config(reason.into())
+    }
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Parse { input, reason } => {
+                write!(f, "cannot parse trace record {input:?}: {reason}")
+            }
+            TraceError::Config(reason) => write!(f, "invalid configuration: {reason}"),
+            TraceError::Finished => write!(f, "streaming correlator already finished"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = TraceError::parse("xyz", "missing field");
+        let s = e.to_string();
+        assert!(s.contains("xyz"));
+        assert!(s.contains("missing field"));
+        assert!(s.starts_with(char::is_lowercase));
+    }
+
+    #[test]
+    fn parse_error_truncates_long_input() {
+        let long = "a".repeat(500);
+        if let TraceError::Parse { input, .. } = TraceError::parse(&long, "r") {
+            assert!(input.len() <= 123);
+            assert!(input.ends_with("..."));
+        } else {
+            panic!("wrong variant");
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TraceError>();
+    }
+}

@@ -1,0 +1,223 @@
+//! Attribute-based noise filters (§4.3).
+//!
+//! "The ranker handles noise activities in two ways: 1) filters noise
+//! activities according to their attributes, including program name, IP
+//! and port. 2) If activities can not be filtered with the attributes,
+//! the ranker checks them with the `is_noise` function."
+//!
+//! This module implements way 1). Way 2) — `is_noise` — lives in the
+//! [`ranker`](crate::ranker) because it needs the ranker buffer and the
+//! engine's `mmap`.
+
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+use crate::activity::Activity;
+
+/// One attribute predicate; an activity matched by any *drop* rule is
+/// discarded before ranking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FilterRule {
+    /// Drop activities produced by this program (e.g. `sshd`, `rlogin`).
+    DropProgram(Arc<str>),
+    /// Drop activities whose remote peer has this IP.
+    DropPeerIp(Ipv4Addr),
+    /// Drop activities whose remote peer uses this port (e.g. 22).
+    DropPeerPort(u16),
+    /// Drop activities whose local endpoint uses this port.
+    DropLocalPort(u16),
+    /// Drop activities logged on this host.
+    DropHost(Arc<str>),
+    /// Keep **only** activities from these programs (applied after the
+    /// drop rules; an empty allow list keeps everything).
+    KeepPrograms(Vec<Arc<str>>),
+}
+
+/// An ordered set of attribute filters.
+///
+/// # Examples
+///
+/// ```
+/// use tracer_core::{FilterRule, FilterSet};
+/// let filters = FilterSet::new()
+///     .drop_program("sshd")
+///     .drop_program("rlogind")
+///     .drop_peer_port(22);
+/// assert_eq!(filters.rules().len(), 3);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FilterSet {
+    rules: Vec<FilterRule>,
+}
+
+impl FilterSet {
+    /// An empty filter set that admits everything.
+    pub fn new() -> Self {
+        FilterSet::default()
+    }
+
+    /// The configured rules, in application order.
+    pub fn rules(&self) -> &[FilterRule] {
+        &self.rules
+    }
+
+    /// Adds an arbitrary rule.
+    pub fn with_rule(mut self, rule: FilterRule) -> Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Drops activities of the named program.
+    pub fn drop_program(self, program: impl Into<Arc<str>>) -> Self {
+        self.with_rule(FilterRule::DropProgram(program.into()))
+    }
+
+    /// Drops activities whose peer has the given IP.
+    pub fn drop_peer_ip(self, ip: Ipv4Addr) -> Self {
+        self.with_rule(FilterRule::DropPeerIp(ip))
+    }
+
+    /// Drops activities whose peer uses the given port.
+    pub fn drop_peer_port(self, port: u16) -> Self {
+        self.with_rule(FilterRule::DropPeerPort(port))
+    }
+
+    /// Drops activities whose local endpoint uses the given port.
+    pub fn drop_local_port(self, port: u16) -> Self {
+        self.with_rule(FilterRule::DropLocalPort(port))
+    }
+
+    /// Drops all activities logged on the given host.
+    pub fn drop_host(self, host: impl Into<Arc<str>>) -> Self {
+        self.with_rule(FilterRule::DropHost(host.into()))
+    }
+
+    /// Keeps only activities of the given programs.
+    pub fn keep_programs<I, S>(self, programs: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<Arc<str>>,
+    {
+        self.with_rule(FilterRule::KeepPrograms(
+            programs.into_iter().map(Into::into).collect(),
+        ))
+    }
+
+    /// Whether the activity survives all filters.
+    pub fn admits(&self, a: &Activity) -> bool {
+        for rule in &self.rules {
+            match rule {
+                FilterRule::DropProgram(p) => {
+                    if a.ctx.program == *p {
+                        return false;
+                    }
+                }
+                FilterRule::DropPeerIp(ip) => {
+                    if a.peer_endpoint().ip == *ip {
+                        return false;
+                    }
+                }
+                FilterRule::DropPeerPort(port) => {
+                    if a.peer_endpoint().port == *port {
+                        return false;
+                    }
+                }
+                FilterRule::DropLocalPort(port) => {
+                    if a.local_endpoint().port == *port {
+                        return false;
+                    }
+                }
+                FilterRule::DropHost(h) => {
+                    if a.ctx.hostname == *h {
+                        return false;
+                    }
+                }
+                FilterRule::KeepPrograms(list) => {
+                    if !list.is_empty() && !list.contains(&a.ctx.program) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activity::{ActivityType, Channel, ContextId, EndpointV4, LocalTime};
+
+    fn act(program: &str, host: &str, ty: ActivityType, src: &str, dst: &str) -> Activity {
+        Activity {
+            ty,
+            ts: LocalTime::ZERO,
+            ctx: ContextId::new(host, program, 1, 1),
+            channel: Channel::new(
+                src.parse::<EndpointV4>().unwrap(),
+                dst.parse::<EndpointV4>().unwrap(),
+            ),
+            size: 1,
+            tag: 0,
+        }
+    }
+
+    #[test]
+    fn empty_set_admits_everything() {
+        let f = FilterSet::new();
+        assert!(f.admits(&act("sshd", "n1", ActivityType::Send, "1.1.1.1:1", "2.2.2.2:2")));
+    }
+
+    #[test]
+    fn drop_program_by_name() {
+        let f = FilterSet::new().drop_program("sshd");
+        assert!(!f.admits(&act("sshd", "n1", ActivityType::Send, "1.1.1.1:1", "2.2.2.2:2")));
+        assert!(f.admits(&act("httpd", "n1", ActivityType::Send, "1.1.1.1:1", "2.2.2.2:2")));
+    }
+
+    #[test]
+    fn drop_peer_ip_uses_direction() {
+        let noisy: Ipv4Addr = "9.9.9.9".parse().unwrap();
+        let f = FilterSet::new().drop_peer_ip(noisy);
+        // SEND to noisy peer: peer is dst.
+        assert!(!f.admits(&act("mysqld", "db", ActivityType::Send, "1.1.1.1:1", "9.9.9.9:2")));
+        // RECEIVE from noisy peer: peer is src.
+        assert!(!f.admits(&act("mysqld", "db", ActivityType::Receive, "9.9.9.9:2", "1.1.1.1:1")));
+        // Noisy IP on the local side does not match a *peer* rule.
+        assert!(f.admits(&act("mysqld", "db", ActivityType::Send, "9.9.9.9:1", "1.1.1.1:2")));
+    }
+
+    #[test]
+    fn drop_peer_and_local_ports() {
+        let f = FilterSet::new().drop_peer_port(22).drop_local_port(514);
+        assert!(!f.admits(&act("x", "n1", ActivityType::Send, "1.1.1.1:9", "2.2.2.2:22")));
+        assert!(!f.admits(&act("x", "n1", ActivityType::Send, "1.1.1.1:514", "2.2.2.2:9")));
+        assert!(f.admits(&act("x", "n1", ActivityType::Send, "1.1.1.1:9", "2.2.2.2:9")));
+    }
+
+    #[test]
+    fn keep_programs_allowlist() {
+        let f = FilterSet::new().keep_programs(["httpd", "java", "mysqld"]);
+        assert!(f.admits(&act("java", "n1", ActivityType::Send, "1.1.1.1:1", "2.2.2.2:2")));
+        assert!(!f.admits(&act("scp", "n1", ActivityType::Send, "1.1.1.1:1", "2.2.2.2:2")));
+    }
+
+    #[test]
+    fn drop_host_rule() {
+        let f = FilterSet::new().drop_host("bastion");
+        assert!(!f.admits(&act("x", "bastion", ActivityType::Send, "1.1.1.1:1", "2.2.2.2:2")));
+        assert!(f.admits(&act("x", "web", ActivityType::Send, "1.1.1.1:1", "2.2.2.2:2")));
+    }
+
+    #[test]
+    fn rules_compose() {
+        let f = FilterSet::new()
+            .drop_program("sshd")
+            .keep_programs(["httpd", "sshd"]);
+        // Drop rule wins even though sshd is in the allowlist.
+        assert!(!f.admits(&act("sshd", "n1", ActivityType::Send, "1.1.1.1:1", "2.2.2.2:2")));
+        assert!(f.admits(&act("httpd", "n1", ActivityType::Send, "1.1.1.1:1", "2.2.2.2:2")));
+        assert!(!f.admits(&act("java", "n1", ActivityType::Send, "1.1.1.1:1", "2.2.2.2:2")));
+    }
+}

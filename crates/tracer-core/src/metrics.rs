@@ -1,0 +1,89 @@
+//! Correlation metrics: counters, wall time and the memory gauge used by
+//! the Fig. 11 experiment.
+
+use std::time::Duration;
+
+use crate::engine::EngineCounters;
+use crate::ranker::RankerCounters;
+
+/// Everything PreciseTracer can report about one correlation run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CorrelatorMetrics {
+    /// Raw records presented to the correlator.
+    pub records_in: u64,
+    /// Records dropped by the attribute filters (§4.3 way 1).
+    pub filtered_out: u64,
+    /// Ranker counters (Rules 1/2, swaps, boosts, `is_noise` discards).
+    pub ranker: RankerCounters,
+    /// Engine counters (merges, matches, evictions).
+    pub engine: EngineCounters,
+    /// Completed causal paths output.
+    pub cags_finished: u64,
+    /// Deformed paths abandoned at end of input (lost END activities).
+    pub cags_unfinished: u64,
+    /// Peak approximate resident bytes of ranker buffers + engine state
+    /// (sampled once per candidate).
+    pub peak_bytes: usize,
+    /// Approximate resident bytes when correlation ended.
+    pub final_bytes: usize,
+    /// Wall-clock time spent inside the correlation loop.
+    pub wall: Duration,
+}
+
+impl CorrelatorMetrics {
+    /// Correlation throughput in candidates per second (0 when the run
+    /// was too fast to measure).
+    pub fn candidates_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.ranker.candidates as f64 / secs
+        }
+    }
+
+    /// A compact one-line summary for logs.
+    pub fn summary(&self) -> String {
+        format!(
+            "in={} filtered={} candidates={} cags={} unfinished={} noise={} swaps={} peak_mem={}B wall={:?}",
+            self.records_in,
+            self.filtered_out,
+            self.ranker.candidates,
+            self.cags_finished,
+            self.cags_unfinished,
+            self.ranker.noise_discards,
+            self.ranker.swaps,
+            self.peak_bytes,
+            self.wall,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_handles_zero_wall() {
+        let m = CorrelatorMetrics::default();
+        assert_eq!(m.candidates_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn throughput_computes() {
+        let mut m = CorrelatorMetrics::default();
+        m.ranker.candidates = 500;
+        m.wall = Duration::from_millis(250);
+        assert!((m.candidates_per_sec() - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_mentions_key_fields() {
+        let mut m = CorrelatorMetrics::default();
+        m.records_in = 42;
+        m.cags_finished = 7;
+        let s = m.summary();
+        assert!(s.contains("in=42"));
+        assert!(s.contains("cags=7"));
+    }
+}

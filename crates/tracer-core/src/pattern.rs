@@ -1,0 +1,447 @@
+//! Causal path patterns (§3.2).
+//!
+//! "We can classify CAGs into different causal path patterns according
+//! to the shapes of CAGs ... Each causal path pattern is composed of a
+//! series of isomorphic CAGs, where similar vertices represent
+//! activities of the same type with the same context information. For a
+//! causal path pattern, we aggregate and average n isomorphic CAGs to
+//! compute an average causal path."
+//!
+//! Isomorphism is decided on a **canonical signature**: a deterministic
+//! DFS over the CAG where vertices are labelled `(type, hostname,
+//! program)` — pids/tids are excluded because every request is serviced
+//! by different pool members — and children are visited in a sorted
+//! order, so any two isomorphic CAGs produce the identical signature
+//! string regardless of construction order.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+use crate::activity::Nanos;
+use crate::cag::{Cag, Component, EdgeKind};
+
+/// Opaque identifier of a causal path pattern (hash of the canonical
+/// signature).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PatternKey(pub u64);
+
+impl fmt::Display for PatternKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// Computes the canonical signature of a CAG.
+///
+/// Returns the pattern key, the human-readable signature string and the
+/// canonical visiting order of vertex indices.
+pub fn canonical_signature(cag: &Cag) -> (PatternKey, String, Vec<usize>) {
+    // Build child lists from parent links.
+    let n = cag.vertices.len();
+    let mut children: Vec<Vec<(usize, EdgeKind)>> = vec![Vec::new(); n];
+    for (i, v) in cag.vertices.iter().enumerate() {
+        if let Some(p) = v.ctx_parent {
+            children[p].push((i, EdgeKind::Context));
+        }
+        if let Some(p) = v.msg_parent {
+            children[p].push((i, EdgeKind::Message));
+        }
+    }
+    let label = |i: usize| {
+        let v = &cag.vertices[i];
+        format!("{}|{}|{}", v.ty, v.ctx.hostname, v.ctx.program)
+    };
+    // Sort children deterministically by (kind, label) so isomorphic
+    // graphs traverse identically.
+    for (i, ch) in children.iter_mut().enumerate() {
+        let _ = i;
+        ch.sort_by(|a, b| {
+            (a.1, label(a.0))
+                .cmp(&(b.1, label(b.0)))
+                .then(a.0.cmp(&b.0))
+        });
+    }
+    let mut sig = String::new();
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    let mut discovered: Vec<Option<usize>> = vec![None; n];
+    // Iterative DFS from the root (vertex 0).
+    let mut stack: Vec<(usize, Option<EdgeKind>, bool)> = vec![(0, None, false)];
+    while let Some((i, via, exit)) = stack.pop() {
+        if exit {
+            sig.push(')');
+            continue;
+        }
+        match via {
+            None => {}
+            Some(EdgeKind::Context) => sig.push_str(" c"),
+            Some(EdgeKind::Message) => sig.push_str(" m"),
+        }
+        if let Some(d) = discovered[i] {
+            // Second parent of a RECEIVE: reference, don't re-expand.
+            sig.push_str(&format!("^{d}"));
+            continue;
+        }
+        discovered[i] = Some(order.len());
+        order.push(i);
+        sig.push('(');
+        sig.push_str(&label(i));
+        stack.push((i, via, true));
+        for &(c, kind) in children[i].iter().rev() {
+            stack.push((c, Some(kind), false));
+        }
+    }
+    // Vertices unreachable from the root (cannot happen for valid CAGs,
+    // but keep the signature total anyway).
+    for (i, d) in discovered.iter_mut().enumerate() {
+        if d.is_none() {
+            *d = Some(order.len());
+            order.push(i);
+            sig.push_str(&format!(" orphan({})", label(i)));
+        }
+    }
+    let mut h = DefaultHasher::new();
+    sig.hash(&mut h);
+    (PatternKey(h.finish()), sig, order)
+}
+
+/// Accumulated statistics for one pattern.
+#[derive(Debug, Clone)]
+pub struct PatternStats {
+    /// Pattern identifier.
+    pub key: PatternKey,
+    /// Canonical signature string.
+    pub signature: String,
+    /// Number of isomorphic CAGs aggregated.
+    pub count: u64,
+    /// A representative CAG (the first one seen).
+    pub exemplar: Cag,
+    /// Sum of total latencies.
+    total_sum: u128,
+    /// Sum of per-component attributed latencies.
+    component_sums: BTreeMap<Component, u128>,
+    /// Sum of per-edge latencies keyed by canonical (from, to, kind).
+    edge_sums: HashMap<(usize, usize, EdgeKind), u128>,
+}
+
+impl PatternStats {
+    /// Mean total servicing latency.
+    pub fn mean_total(&self) -> Nanos {
+        if self.count == 0 {
+            Nanos::ZERO
+        } else {
+            Nanos((self.total_sum / self.count as u128) as u64)
+        }
+    }
+
+    /// Mean latency per component (the averaged causal path content).
+    pub fn mean_components(&self) -> BTreeMap<Component, Nanos> {
+        self.component_sums
+            .iter()
+            .map(|(k, &v)| (k.clone(), Nanos((v / self.count.max(1) as u128) as u64)))
+            .collect()
+    }
+
+    /// Latency percentage per component: mean component latency over
+    /// mean total latency × 100 (Figs. 15 and 17).
+    pub fn latency_percentages(&self) -> BTreeMap<Component, f64> {
+        let total = self.mean_total().as_nanos() as f64;
+        self.mean_components()
+            .into_iter()
+            .map(|(k, v)| {
+                let pct = if total > 0.0 { v.as_nanos() as f64 / total * 100.0 } else { 0.0 };
+                (k, pct)
+            })
+            .collect()
+    }
+
+    /// Mean latency per canonical edge.
+    pub fn mean_edges(&self) -> BTreeMap<(usize, usize, EdgeKind), Nanos> {
+        self.edge_sums
+            .iter()
+            .map(|(&k, &v)| (k, Nanos((v / self.count.max(1) as u128) as u64)))
+            .collect()
+    }
+}
+
+/// The average causal path of a pattern: the exemplar structure plus
+/// averaged latencies.
+#[derive(Debug, Clone)]
+pub struct AveragePath {
+    /// Pattern identifier.
+    pub key: PatternKey,
+    /// Canonical signature.
+    pub signature: String,
+    /// Number of aggregated CAGs.
+    pub count: u64,
+    /// Representative structure.
+    pub exemplar: Cag,
+    /// Mean total latency.
+    pub mean_total: Nanos,
+    /// Mean latency per component.
+    pub components: BTreeMap<Component, Nanos>,
+    /// Latency percentage per component.
+    pub percentages: BTreeMap<Component, f64>,
+}
+
+/// Groups CAGs into patterns and computes average causal paths.
+#[derive(Debug, Default)]
+pub struct PatternAggregator {
+    patterns: HashMap<PatternKey, PatternStats>,
+}
+
+impl PatternAggregator {
+    /// Creates an empty aggregator.
+    pub fn new() -> Self {
+        PatternAggregator::default()
+    }
+
+    /// Adds one finished CAG.
+    pub fn add(&mut self, cag: &Cag) {
+        let (key, signature, order) = canonical_signature(cag);
+        // Canonical rank of each vertex.
+        let mut rank = vec![0usize; cag.vertices.len()];
+        for (r, &i) in order.iter().enumerate() {
+            rank[i] = r;
+        }
+        let total = cag.total_latency().unwrap_or(Nanos::ZERO);
+        let stats = self
+            .patterns
+            .entry(key)
+            .or_insert_with(|| PatternStats {
+                key,
+                signature,
+                count: 0,
+                exemplar: cag.clone(),
+                total_sum: 0,
+                component_sums: BTreeMap::new(),
+                edge_sums: HashMap::new(),
+            });
+        stats.count += 1;
+        stats.total_sum += total.as_nanos() as u128;
+        for (comp, lat) in cag.component_latencies() {
+            *stats.component_sums.entry(comp).or_insert(0) += lat.as_nanos() as u128;
+        }
+        for e in cag.attributed_edges() {
+            *stats
+                .edge_sums
+                .entry((rank[e.from], rank[e.to], e.kind))
+                .or_insert(0) += e.latency.as_nanos() as u128;
+        }
+    }
+
+    /// Adds many CAGs.
+    pub fn add_all<'a>(&mut self, cags: impl IntoIterator<Item = &'a Cag>) {
+        for c in cags {
+            self.add(c);
+        }
+    }
+
+    /// Builds an aggregator over a set of CAGs in one step.
+    pub fn from_cags<'a>(cags: impl IntoIterator<Item = &'a Cag>) -> Self {
+        let mut agg = PatternAggregator::new();
+        agg.add_all(cags);
+        agg
+    }
+
+    /// Number of distinct patterns.
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// True when no CAG has been added.
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+
+    /// Pattern statistics sorted by descending count (most frequent
+    /// request type first, like the paper's ViewItem analysis).
+    pub fn patterns(&self) -> Vec<&PatternStats> {
+        let mut v: Vec<&PatternStats> = self.patterns.values().collect();
+        v.sort_by(|a, b| b.count.cmp(&a.count).then(a.key.cmp(&b.key)));
+        v
+    }
+
+    /// The statistics of a specific pattern.
+    pub fn get(&self, key: PatternKey) -> Option<&PatternStats> {
+        self.patterns.get(&key)
+    }
+
+    /// The most frequent pattern, if any.
+    pub fn dominant(&self) -> Option<&PatternStats> {
+        self.patterns().into_iter().next()
+    }
+
+    /// Average causal paths, by descending frequency.
+    pub fn average_paths(&self) -> Vec<AveragePath> {
+        self.patterns()
+            .into_iter()
+            .map(|s| AveragePath {
+                key: s.key,
+                signature: s.signature.clone(),
+                count: s.count,
+                exemplar: s.exemplar.clone(),
+                mean_total: s.mean_total(),
+                components: s.mean_components(),
+                percentages: s.latency_percentages(),
+            })
+            .collect()
+    }
+
+    /// Flags patterns that look like *deformed* CAGs (§5.2: lost
+    /// activities deform paths): patterns whose count is below
+    /// `fraction` of the dominant pattern's count.
+    pub fn deformed(&self, fraction: f64) -> Vec<&PatternStats> {
+        let Some(max) = self.patterns.values().map(|s| s.count).max() else {
+            return Vec::new();
+        };
+        let threshold = (max as f64 * fraction).ceil() as u64;
+        self.patterns()
+            .into_iter()
+            .filter(|s| s.count < threshold)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activity::{ActivityType, Channel, LocalTime};
+    use crate::cag::test_support::{ep, two_tier_cag, vertex};
+
+    fn shifted(cag: &Cag, delta: u64, stretch: u64) -> Cag {
+        let mut c = cag.clone();
+        c.id += 1000;
+        for (k, v) in c.vertices.iter_mut().enumerate() {
+            let t = v.ts.as_nanos() + delta + stretch * k as u64;
+            v.ts = LocalTime::from_nanos(t);
+            v.ts_last = v.ts;
+            v.ctx.tid += 17; // different pool thread, same pattern
+        }
+        c
+    }
+
+    #[test]
+    fn isomorphic_cags_share_a_key() {
+        let a = two_tier_cag();
+        let b = shifted(&a, 5_000, 3);
+        let (ka, _, _) = canonical_signature(&a);
+        let (kb, _, _) = canonical_signature(&b);
+        assert_eq!(ka, kb);
+    }
+
+    #[test]
+    fn different_shapes_get_different_keys() {
+        let a = two_tier_cag();
+        let mut b = a.clone();
+        // Drop the backend round trip: different shape.
+        b.vertices.truncate(2);
+        b.vertices.push(vertex(
+            ActivityType::End,
+            5_000,
+            "web",
+            "httpd",
+            7,
+            Channel::new(ep("10.0.0.1:80"), ep("192.168.0.9:5000")),
+            Some(1),
+            None,
+        ));
+        let (ka, _, _) = canonical_signature(&a);
+        let (kb, _, _) = canonical_signature(&b);
+        assert_ne!(ka, kb);
+    }
+
+    #[test]
+    fn different_programs_get_different_keys() {
+        let a = two_tier_cag();
+        let mut b = a.clone();
+        for v in &mut b.vertices[2..4] {
+            v.ctx.program = "tomcat".into();
+        }
+        let (ka, _, _) = canonical_signature(&a);
+        let (kb, _, _) = canonical_signature(&b);
+        assert_ne!(ka, kb);
+    }
+
+    #[test]
+    fn signature_string_mentions_structure() {
+        let (_, sig, order) = canonical_signature(&two_tier_cag());
+        assert!(sig.contains("BEGIN|web|httpd"));
+        assert!(sig.contains(" m("));
+        assert_eq!(order.len(), 6);
+        assert_eq!(order[0], 0);
+    }
+
+    #[test]
+    fn aggregator_averages_latencies() {
+        let a = two_tier_cag(); // total latency 4000
+        let b = shifted(&a, 0, 400); // stretched: END at 5000+400*5=7000, BEGIN 1000 → total 6000
+        let mut agg = PatternAggregator::new();
+        agg.add_all([&a, &b]);
+        assert_eq!(agg.len(), 1);
+        let s = agg.dominant().unwrap();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.mean_total(), Nanos(5_000));
+        let comps = s.mean_components();
+        assert!(comps.contains_key(&Component::new("httpd", "java")));
+        // Percentages sum to ~100 for linear paths.
+        let sum: f64 = s.latency_percentages().values().sum();
+        assert!((sum - 100.0).abs() < 1.0, "sum={sum}");
+    }
+
+    #[test]
+    fn average_paths_sorted_by_frequency() {
+        let a = two_tier_cag();
+        let mut short = a.clone();
+        short.vertices.truncate(1);
+        short.vertices[0].ctx_parent = None;
+        short.finished = false;
+        let mut agg = PatternAggregator::new();
+        agg.add(&a);
+        agg.add(&shifted(&a, 10, 1));
+        agg.add(&shifted(&a, 20, 2));
+        agg.add(&short);
+        let paths = agg.average_paths();
+        assert_eq!(paths.len(), 2);
+        assert_eq!(paths[0].count, 3);
+        assert_eq!(paths[1].count, 1);
+    }
+
+    #[test]
+    fn deformed_patterns_flagged_by_rarity() {
+        let a = two_tier_cag();
+        let mut agg = PatternAggregator::new();
+        for i in 0..99 {
+            agg.add(&shifted(&a, i, 0));
+        }
+        let mut deformed = a.clone();
+        deformed.vertices.truncate(4); // lost tail
+        deformed.finished = false;
+        agg.add(&deformed);
+        let flagged = agg.deformed(0.1);
+        assert_eq!(flagged.len(), 1);
+        assert_eq!(flagged[0].count, 1);
+    }
+
+    #[test]
+    fn mean_edges_keyed_canonically() {
+        let a = two_tier_cag();
+        let mut agg = PatternAggregator::new();
+        agg.add(&a);
+        let s = agg.dominant().unwrap();
+        let edges = s.mean_edges();
+        // 6 edges total, one excluded from attribution (ctx into the
+        // two-parent receive).
+        assert_eq!(edges.len(), 5);
+    }
+
+    #[test]
+    fn empty_aggregator_behaves() {
+        let agg = PatternAggregator::new();
+        assert!(agg.is_empty());
+        assert!(agg.dominant().is_none());
+        assert!(agg.average_paths().is_empty());
+        assert!(agg.deformed(0.5).is_empty());
+    }
+}

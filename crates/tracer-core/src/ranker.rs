@@ -1,0 +1,850 @@
+//! Candidate selection — the ranker (§4.1, §4.3).
+//!
+//! Activities logged on different nodes are fetched into per-node queues
+//! when their local timestamps fall within a **sliding time window**.
+//! Because every queue is ordered by its own node's clock, the window is
+//! independent of clock skew: each queue simply holds at most a
+//! window's worth of *its own* local time, and the algorithm never
+//! compares timestamps across nodes for correctness (§4.1: the window
+//! "could be any value larger than 0").
+//!
+//! The ranker then repeatedly picks a *candidate* among the queue heads:
+//!
+//! * **Rule 1** — a RECEIVE head whose matching unmatched SEND is already
+//!   in the engine's `mmap` is the candidate.
+//! * **Rule 2** — otherwise the head with the lowest type priority
+//!   (`BEGIN < SEND < END < RECEIVE`) is the candidate.
+//!
+//! When every head is a RECEIVE and none matches (`Rule 1` failed), the
+//! ranker is *stuck*. Two disturbances cause this (§4.3):
+//!
+//! * **concurrency disturbance** — on multi-processor nodes the matching
+//!   SEND can be queued *behind* another head RECEIVE; the ranker swaps
+//!   the blocking head with its successor (Fig. 6) until the SEND
+//!   surfaces;
+//! * **noise** — a RECEIVE from an untraced peer has no matching SEND at
+//!   all; after optionally extending the fetch window
+//!   ([`RankerOptions::fetch_boost`]) the ranker discards it, which is
+//!   exactly the paper's `is_noise` predicate (no match in `mmap`, no
+//!   match in the ranker buffer).
+
+use std::collections::{HashMap, VecDeque};
+use std::mem::size_of;
+use std::sync::Arc;
+
+use crate::activity::{Activity, ActivityType, Nanos};
+
+/// Lets the ranker ask the engine about the `mmap` state (Rule 1 /
+/// `is_noise`).
+pub trait MatchOracle {
+    /// True when `X -m> a` holds for an unmatched SEND `X` already in
+    /// the `mmap` — i.e. the front pending send on `a`'s channel has at
+    /// least `a.size` unreceived bytes. The byte condition matters with
+    /// chunked messages (Fig. 4): popping a RECEIVE whose bytes span a
+    /// SEND segment that has not been delivered yet would break the
+    /// size-based matching, so such a RECEIVE must wait for Rule 2 to
+    /// pop the remaining SEND segments first.
+    fn rule1_matches(&self, a: &Activity) -> bool;
+
+    /// True when *any* unmatched send exists on `a`'s channel —
+    /// `is_noise` is only true when there is none at all.
+    fn has_any_pending(&self, a: &Activity) -> bool;
+}
+
+/// A [`MatchOracle`] that never matches; useful for tests and for running
+/// the ranker standalone.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoOracle;
+
+impl MatchOracle for NoOracle {
+    fn rule1_matches(&self, _a: &Activity) -> bool {
+        false
+    }
+
+    fn has_any_pending(&self, _a: &Activity) -> bool {
+        false
+    }
+}
+
+/// Ranker tunables and ablation switches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RankerOptions {
+    /// Sliding time window (per-node local time span held in the buffer).
+    pub window: Nanos,
+    /// Enable concurrency-disturbance head swapping (§4.3, Fig. 6).
+    /// Disabling is the EXT-2 "no swap" ablation.
+    pub swap: bool,
+    /// Maximum number of window doublings when stuck, before declaring
+    /// the blocking RECEIVE noise. The boosted window must be able to
+    /// cover the service's in-flight span (roughly its worst response
+    /// time), or matchable receives behind a noise blocker could be
+    /// misdeclared noise; 2^16 x window is ample for any practical
+    /// window. 0 reproduces the paper's strict buffer-only `is_noise`.
+    pub fetch_boost: u32,
+    /// Discard unmatched RECEIVEs (`is_noise`). When disabled they are
+    /// delivered to the engine, which counts them as unmatched.
+    pub noise_discard: bool,
+}
+
+impl Default for RankerOptions {
+    fn default() -> Self {
+        RankerOptions {
+            window: Nanos::from_millis(10),
+            swap: true,
+            fetch_boost: 16,
+            noise_discard: true,
+        }
+    }
+}
+
+/// Counters describing the ranker's work.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RankerCounters {
+    /// Activities accepted into per-node queues.
+    pub enqueued: u64,
+    /// Candidates handed to the engine.
+    pub candidates: u64,
+    /// Candidates chosen by Rule 1.
+    pub rule1: u64,
+    /// Candidates chosen by Rule 2.
+    pub rule2: u64,
+    /// Head swaps performed for concurrency disturbances.
+    pub swaps: u64,
+    /// Window extensions performed while stuck.
+    pub fetch_boosts: u64,
+    /// RECEIVEs discarded as noise (`is_noise`).
+    pub noise_discards: u64,
+    /// Blocked RECEIVEs force-delivered although their pending send had
+    /// too few bytes (lost SEND records; produces a deformed CAG rather
+    /// than silently dropping the path).
+    pub forced_deliveries: u64,
+    /// High-water mark of buffered activities across all queues.
+    pub peak_buffered: usize,
+}
+
+/// One step of ranking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RankStep {
+    /// The next candidate activity for the engine.
+    Candidate(Activity),
+    /// An unmatched RECEIVE discarded by `is_noise`.
+    Noise(Activity),
+    /// Streaming mode: a queue is still open and the ranker cannot
+    /// safely decide; push more input or close the sources.
+    NeedInput,
+    /// All sources are closed and drained.
+    Exhausted,
+}
+
+#[derive(Debug)]
+struct NodeQueue {
+    host: Arc<str>,
+    /// Activities inside the sliding window, ordered by local time.
+    buf: VecDeque<Activity>,
+    /// Staged activities not yet fetched (the "log on disk").
+    incoming: VecDeque<Activity>,
+    /// No more input will ever arrive for this node.
+    closed: bool,
+}
+
+impl NodeQueue {
+    fn head(&self) -> Option<&Activity> {
+        self.buf.front()
+    }
+}
+
+/// How deep the stuck-resolution fallback scan looks into each queue for
+/// deliverable RECEIVE/BEGIN/END activities buried behind blockers.
+const SWAP_SCAN_DEPTH: usize = 64;
+
+/// The ranker: per-node queues plus the candidate-selection rules.
+#[derive(Debug)]
+pub struct Ranker {
+    opts: RankerOptions,
+    queues: Vec<NodeQueue>,
+    by_host: HashMap<Arc<str>, usize>,
+    boost_level: u32,
+    counters: RankerCounters,
+    buffered: usize,
+    /// Count of SEND activities per channel anywhere in the ranker
+    /// (staged or buffered), so the stuck path can decide `is_noise` in
+    /// O(1): a RECEIVE whose channel has no pending send in the engine
+    /// *and* no send anywhere in the remaining input can never match.
+    send_index: HashMap<crate::activity::Channel, u32>,
+}
+
+impl Ranker {
+    /// Creates an empty streaming ranker; queues appear as hosts are
+    /// first pushed.
+    pub fn new(opts: RankerOptions) -> Self {
+        Ranker {
+            opts,
+            queues: Vec::new(),
+            by_host: HashMap::new(),
+            boost_level: 0,
+            counters: RankerCounters::default(),
+            buffered: 0,
+            send_index: HashMap::new(),
+        }
+    }
+
+    /// Creates an offline ranker over complete per-node streams (each
+    /// stream must be sorted by local timestamp; hosts are ordered
+    /// deterministically by name).
+    pub fn from_streams(
+        opts: RankerOptions,
+        mut streams: Vec<(Arc<str>, Vec<Activity>)>,
+    ) -> Self {
+        streams.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut r = Ranker::new(opts);
+        for (host, acts) in streams {
+            for a in acts {
+                r.push(a);
+            }
+            r.close_host(&host);
+        }
+        r.close_all();
+        r
+    }
+
+    /// The ranker's counters.
+    pub fn counters(&self) -> &RankerCounters {
+        &self.counters
+    }
+
+    /// Approximate resident bytes of all queue buffers (the quantity the
+    /// sliding window bounds; staged input is "the log on disk" and is
+    /// not counted).
+    pub fn approx_bytes(&self) -> usize {
+        self.buffered * (size_of::<Activity>() + 24)
+    }
+
+    /// Number of activities currently inside the window buffers.
+    pub fn buffered_len(&self) -> usize {
+        self.buffered
+    }
+
+    /// Hostnames with a queue, in queue order.
+    pub fn hosts(&self) -> impl Iterator<Item = &str> {
+        self.queues.iter().map(|q| &*q.host)
+    }
+
+    /// Stages one activity (routed by its context's hostname). Input for
+    /// a given host must arrive in local-timestamp order; out-of-order
+    /// records are re-sorted into the staging queue.
+    pub fn push(&mut self, a: Activity) {
+        let qi = self.queue_index(&a.ctx.hostname);
+        let q = &mut self.queues[qi];
+        // Per-node logs are produced in local-time order; tolerate small
+        // inversions (e.g. concatenated per-CPU buffers) by insertion.
+        if a.ty == ActivityType::Send {
+            *self.send_index.entry(a.channel).or_insert(0) += 1;
+        }
+        let pos = q
+            .incoming
+            .iter()
+            .rposition(|x| x.ts <= a.ts)
+            .map(|p| p + 1)
+            .unwrap_or(0);
+        if pos == q.incoming.len() {
+            q.incoming.push_back(a);
+        } else {
+            q.incoming.insert(pos, a);
+        }
+        self.counters.enqueued += 1;
+    }
+
+    /// Declares a host's stream complete.
+    pub fn close_host(&mut self, host: &str) {
+        if let Some(&qi) = self.by_host.get(host) {
+            self.queues[qi].closed = true;
+        }
+    }
+
+    /// Declares every stream complete (offline mode).
+    pub fn close_all(&mut self) {
+        for q in &mut self.queues {
+            q.closed = true;
+        }
+    }
+
+    fn queue_index(&mut self, host: &Arc<str>) -> usize {
+        if let Some(&qi) = self.by_host.get(host) {
+            return qi;
+        }
+        let qi = self.queues.len();
+        self.queues.push(NodeQueue {
+            host: Arc::clone(host),
+            buf: VecDeque::new(),
+            incoming: VecDeque::new(),
+            closed: false,
+        });
+        self.by_host.insert(Arc::clone(host), qi);
+        qi
+    }
+
+    fn effective_window(&self) -> Nanos {
+        Nanos(self.opts.window.0.saturating_mul(1u64 << self.boost_level.min(40)))
+    }
+
+    /// Moves staged activities into the window buffer.
+    fn refill(&mut self) {
+        let w = self.effective_window();
+        let mut moved = 0usize;
+        for q in &mut self.queues {
+            while let Some(next) = q.incoming.front() {
+                let fits = match q.buf.front() {
+                    None => true,
+                    Some(front) => next.ts.saturating_since(front.ts) <= w,
+                };
+                if !fits {
+                    break;
+                }
+                let a = q.incoming.pop_front().expect("peeked");
+                q.buf.push_back(a);
+                moved += 1;
+            }
+        }
+        self.buffered += moved;
+        self.counters.peak_buffered = self.counters.peak_buffered.max(self.buffered);
+    }
+
+    fn pop(&mut self, qi: usize) -> Activity {
+        let a = self.queues[qi].buf.pop_front().expect("head exists");
+        if a.ty == ActivityType::Send {
+            if let Some(n) = self.send_index.get_mut(&a.channel) {
+                *n -= 1;
+                if *n == 0 {
+                    self.send_index.remove(&a.channel);
+                }
+            }
+        }
+        self.buffered -= 1;
+        self.boost_level = 0;
+        a
+    }
+
+    /// Chooses the next candidate (§4.1 Rules 1 and 2, §4.3 disturbance
+    /// handling). `oracle` is the engine's `mmap` view.
+    pub fn rank(&mut self, oracle: &dyn MatchOracle) -> RankStep {
+        let mut swap_budget = self.buffered + 64;
+        loop {
+            self.refill();
+            // Rule 1: a RECEIVE head whose SEND is already in the mmap.
+            let mut any_head = false;
+            let mut rule1_pick: Option<usize> = None;
+            for (qi, q) in self.queues.iter().enumerate() {
+                if let Some(h) = q.head() {
+                    any_head = true;
+                    if h.ty == ActivityType::Receive && oracle.rule1_matches(h) {
+                        rule1_pick = Some(qi);
+                        break;
+                    }
+                }
+            }
+            if let Some(qi) = rule1_pick {
+                self.counters.rule1 += 1;
+                self.counters.candidates += 1;
+                return RankStep::Candidate(self.pop(qi));
+            }
+            if !any_head {
+                if self.queues.iter().all(|q| q.closed && q.incoming.is_empty()) {
+                    return RankStep::Exhausted;
+                }
+                // Some queue is open but empty; try fetching again later.
+                return RankStep::NeedInput;
+            }
+            // Rule 2: the head with the lowest priority wins; ties break
+            // on local timestamp then queue order for determinism.
+            let (qi, head_ty) = self
+                .queues
+                .iter()
+                .enumerate()
+                .filter_map(|(qi, q)| q.head().map(|h| (qi, h)))
+                .min_by_key(|(qi, h)| (h.ty.priority(), h.ts, *qi))
+                .map(|(qi, h)| (qi, h.ty))
+                .expect("some head exists");
+            if head_ty != ActivityType::Receive {
+                self.counters.rule2 += 1;
+                self.counters.candidates += 1;
+                return RankStep::Candidate(self.pop(qi));
+            }
+            // Stuck: every head is an unmatched RECEIVE.
+            if self.opts.swap && swap_budget > 0 && self.try_swap(oracle) {
+                swap_budget -= 1;
+                continue;
+            }
+            // Could the winner ever match? Only if the engine holds a
+            // partial pending for its channel or a SEND on its channel
+            // still exists somewhere in the input. If so, extend the
+            // window until that send surfaces; if not, it is noise and
+            // boosting would be wasted work.
+            let (winner_matchable, winner_has_pending) = match self.queues[qi].head() {
+                Some(h) => (
+                    oracle.has_any_pending(h) || self.send_index.contains_key(&h.channel),
+                    oracle.has_any_pending(h),
+                ),
+                None => (false, false),
+            };
+            if winner_matchable && self.boost_fetch() {
+                continue;
+            }
+            if self.queues.iter().any(|q| !q.closed) {
+                return RankStep::NeedInput;
+            }
+            let victim = self.pop(qi);
+            if winner_has_pending {
+                // A pending send exists but cannot cover this receive:
+                // its remaining SEND segments were lost. Force-deliver
+                // so the engine produces a (deformed) path instead of
+                // silently losing it.
+                self.counters.forced_deliveries += 1;
+                self.counters.candidates += 1;
+                return RankStep::Candidate(victim);
+            }
+            // is_noise: no match in mmap (Rule 1 failed) and no match in
+            // the ranker buffer (try_swap found none).
+            if self.opts.noise_discard {
+                self.counters.noise_discards += 1;
+                return RankStep::Noise(victim);
+            }
+            self.counters.rule2 += 1;
+            self.counters.candidates += 1;
+            return RankStep::Candidate(victim);
+        }
+    }
+
+    /// Resolves a stuck state by bubbling a *deliverable* buffered
+    /// activity one position towards its queue head (the Fig. 6 swap).
+    ///
+    /// Deliverable means: a SEND matching a blocked head RECEIVE's
+    /// channel, a RECEIVE that already matches the `mmap` (Rule 1), or a
+    /// BEGIN/END (which never wait on a message relation). The swap is
+    /// only legal past a predecessor from a **different execution
+    /// entity**: activities of the same context are causally ordered by
+    /// their queue position (the per-CPU reordering of Fig. 6 can only
+    /// interleave different threads), so swapping within a context would
+    /// fabricate a causal inversion.
+    fn try_swap(&mut self, oracle: &dyn MatchOracle) -> bool {
+        let heads: Vec<crate::activity::Channel> = self
+            .queues
+            .iter()
+            .filter_map(|q| q.head())
+            .filter(|h| h.ty == ActivityType::Receive)
+            .map(|h| h.channel)
+            .collect();
+        // Is any blocked head's SEND buffered at all? The index makes the
+        // common noise case (no match anywhere) O(1).
+        let any_send = heads.iter().any(|ch| self.send_index.contains_key(ch));
+        for q in &mut self.queues {
+            let len = q.buf.len();
+            for k in 1..len {
+                let a = &q.buf[k];
+                let deliverable = match a.ty {
+                    // Matching SENDs are worth a full-depth search, but
+                    // only when the index says one exists.
+                    ActivityType::Send => any_send && heads.contains(&a.channel),
+                    // Other deliverables surface as blockers ahead of
+                    // them are resolved; a bounded look-ahead suffices.
+                    ActivityType::Receive => k < SWAP_SCAN_DEPTH && oracle.rule1_matches(a),
+                    ActivityType::Begin | ActivityType::End => k < SWAP_SCAN_DEPTH,
+                };
+                if !deliverable {
+                    continue;
+                }
+                // Promotion to the head is the net effect of the paper's
+                // repeated adjacent swaps; it is legal only if every
+                // crossed predecessor belongs to a different execution
+                // entity (same-context activities are causally ordered).
+                if q.buf.iter().take(k).all(|p| p.ctx != a.ctx) {
+                    let item = q.buf.remove(k).expect("index in bounds");
+                    q.buf.push_front(item);
+                    self.counters.swaps += k as u64;
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Repeatedly doubles the effective window and refetches until
+    /// something new enters a buffer or the boost cap is reached.
+    fn boost_fetch(&mut self) -> bool {
+        if self.queues.iter().all(|q| q.incoming.is_empty()) {
+            // Nothing to fetch no matter the window.
+            return false;
+        }
+        while self.boost_level < self.opts.fetch_boost {
+            self.boost_level += 1;
+            self.counters.fetch_boosts += 1;
+            let before = self.buffered;
+            self.refill();
+            if self.buffered > before {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activity::{Channel, ContextId, EndpointV4, LocalTime};
+
+    fn ep(s: &str) -> EndpointV4 {
+        s.parse().unwrap()
+    }
+
+    fn act(ty: ActivityType, ts: u64, host: &str, src: &str, dst: &str) -> Activity {
+        act_tid(ty, ts, host, 1, src, dst)
+    }
+
+    /// Like `act` but on an explicit thread (Fig. 6 concurrency involves
+    /// different execution entities on different CPUs).
+    fn act_tid(
+        ty: ActivityType,
+        ts: u64,
+        host: &str,
+        tid: u32,
+        src: &str,
+        dst: &str,
+    ) -> Activity {
+        Activity {
+            ty,
+            ts: LocalTime::from_nanos(ts),
+            ctx: ContextId::new(host, "prog", 1, tid),
+            channel: Channel::new(ep(src), ep(dst)),
+            size: 100,
+            tag: 0,
+        }
+    }
+
+    /// Oracle backed by a set of channels with pending sends (assumed to
+    /// fully cover any receive).
+    struct SetOracle(std::collections::HashSet<Channel>);
+
+    impl MatchOracle for SetOracle {
+        fn rule1_matches(&self, a: &Activity) -> bool {
+            self.0.contains(&a.channel)
+        }
+
+        fn has_any_pending(&self, a: &Activity) -> bool {
+            self.0.contains(&a.channel)
+        }
+    }
+
+    fn drain(r: &mut Ranker, oracle: &dyn MatchOracle) -> Vec<RankStep> {
+        let mut out = Vec::new();
+        loop {
+            let s = r.rank(oracle);
+            let stop = matches!(s, RankStep::Exhausted | RankStep::NeedInput);
+            out.push(s);
+            if stop {
+                return out;
+            }
+        }
+    }
+
+    #[test]
+    fn rule2_priority_orders_heads() {
+        // Three queues with BEGIN / SEND / RECEIVE heads: BEGIN pops first,
+        // then SEND, and the unmatched RECEIVE is eventually noise.
+        let streams = vec![
+            (
+                Arc::from("a"),
+                vec![act(ActivityType::Begin, 100, "a", "9.9.9.9:1", "10.0.0.1:80")],
+            ),
+            (
+                Arc::from("b"),
+                vec![act(ActivityType::Send, 50, "b", "10.0.0.2:1", "10.0.0.3:2")],
+            ),
+            (
+                Arc::from("c"),
+                vec![act(ActivityType::Receive, 10, "c", "8.8.8.8:1", "10.0.0.3:9")],
+            ),
+        ];
+        let mut r = Ranker::from_streams(RankerOptions::default(), streams);
+        let steps = drain(&mut r, &NoOracle);
+        let tys: Vec<String> = steps.iter().map(|s| format!("{s:?}")).collect();
+        assert!(tys[0].contains("Begin"), "{tys:?}");
+        assert!(tys[1].contains("Send"), "{tys:?}");
+        assert!(matches!(steps[2], RankStep::Noise(_)), "{tys:?}");
+        assert!(matches!(steps[3], RankStep::Exhausted));
+    }
+
+    #[test]
+    fn rule1_pops_matched_receive_before_lower_priority_heads() {
+        let recv = act(ActivityType::Receive, 10, "b", "10.0.0.1:5", "10.0.0.2:6");
+        let streams = vec![
+            (
+                Arc::from("a"),
+                vec![act(ActivityType::Begin, 1, "a", "9.9.9.9:1", "10.0.0.1:80")],
+            ),
+            (Arc::from("b"), vec![recv.clone()]),
+        ];
+        let mut r = Ranker::from_streams(RankerOptions::default(), streams);
+        let oracle = SetOracle([recv.channel].into_iter().collect());
+        // Rule 1 beats the BEGIN even though BEGIN has lower priority.
+        match r.rank(&oracle) {
+            RankStep::Candidate(a) => assert_eq!(a.ty, ActivityType::Receive),
+            other => panic!("expected candidate, got {other:?}"),
+        }
+        assert_eq!(r.counters().rule1, 1);
+    }
+
+    #[test]
+    fn within_queue_order_is_preserved() {
+        let streams = vec![(
+            Arc::from("a"),
+            vec![
+                act(ActivityType::Send, 10, "a", "10.0.0.1:1", "10.0.0.2:2"),
+                act(ActivityType::Send, 20, "a", "10.0.0.1:3", "10.0.0.2:4"),
+            ],
+        )];
+        let mut r = Ranker::from_streams(RankerOptions::default(), streams);
+        let a = match r.rank(&NoOracle) {
+            RankStep::Candidate(a) => a,
+            o => panic!("{o:?}"),
+        };
+        assert_eq!(a.ts, LocalTime::from_nanos(10));
+    }
+
+    #[test]
+    fn concurrency_disturbance_resolved_by_swap() {
+        // Fig. 6: two 2-CPU nodes, each head RECEIVE blocked on the SEND
+        // behind the other queue's head; the concurrent activities run
+        // in different threads (CPUs).
+        let n1r = act_tid(ActivityType::Receive, 100, "n1", 10, "10.0.0.2:9", "10.0.0.1:8");
+        let n1s = act_tid(ActivityType::Send, 101, "n1", 11, "10.0.0.1:8", "10.0.0.2:9");
+        let n2r = act_tid(ActivityType::Receive, 200, "n2", 20, "10.0.0.1:8", "10.0.0.2:9");
+        let n2s = act_tid(ActivityType::Send, 201, "n2", 21, "10.0.0.2:9", "10.0.0.1:8");
+        // Wire up channels so each receive matches the other node's send:
+        // n1's receive r01,2-style ← n2's send; n2's receive ← n1's send.
+        let streams = vec![
+            (Arc::from("n1"), vec![n1r.clone(), n1s.clone()]),
+            (Arc::from("n2"), vec![n2r.clone(), n2s.clone()]),
+        ];
+        let mut r = Ranker::from_streams(RankerOptions::default(), streams);
+        let mut sent: std::collections::HashSet<Channel> = Default::default();
+        let mut order = Vec::new();
+        loop {
+            let step = r.rank(&SetOracle(sent.clone()));
+            match step {
+                RankStep::Candidate(a) => {
+                    if a.ty == ActivityType::Send {
+                        sent.insert(a.channel);
+                    }
+                    order.push(a);
+                }
+                RankStep::Noise(a) => panic!("false noise discard of {a}"),
+                RankStep::Exhausted => break,
+                RankStep::NeedInput => panic!("offline ranker asked for input"),
+            }
+        }
+        assert_eq!(order.len(), 4);
+        assert!(r.counters().swaps >= 1, "swap must have fired");
+        // Every receive must come after its matching send.
+        for (i, a) in order.iter().enumerate() {
+            if a.ty == ActivityType::Receive {
+                assert!(
+                    order[..i]
+                        .iter()
+                        .any(|b| b.ty == ActivityType::Send && b.channel == a.channel),
+                    "receive before its send"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn swap_disabled_falls_back_to_noise() {
+        let n1r = act_tid(ActivityType::Receive, 100, "n1", 10, "10.0.0.2:9", "10.0.0.1:8");
+        let n1s = act_tid(ActivityType::Send, 101, "n1", 11, "10.0.0.1:8", "10.0.0.2:9");
+        let n2r = act_tid(ActivityType::Receive, 200, "n2", 20, "10.0.0.1:8", "10.0.0.2:9");
+        let n2s = act_tid(ActivityType::Send, 201, "n2", 21, "10.0.0.2:9", "10.0.0.1:8");
+        let streams = vec![
+            (Arc::from("n1"), vec![n1r, n1s]),
+            (Arc::from("n2"), vec![n2r, n2s]),
+        ];
+        let opts = RankerOptions { swap: false, ..RankerOptions::default() };
+        let mut r = Ranker::from_streams(opts, streams);
+        let steps = drain(&mut r, &NoOracle);
+        assert!(
+            steps.iter().any(|s| matches!(s, RankStep::Noise(_))),
+            "without swap the deadlock breaks by (wrongly) discarding: {steps:?}"
+        );
+    }
+
+    #[test]
+    fn window_bounds_buffer() {
+        // 1000 activities spaced 1ms, window 10ms → buffer stays small.
+        let acts: Vec<Activity> = (0..1000)
+            .map(|i| {
+                act(
+                    ActivityType::Send,
+                    i * 1_000_000,
+                    "a",
+                    "10.0.0.1:1",
+                    "10.0.0.2:2",
+                )
+            })
+            .collect();
+        let mut r = Ranker::from_streams(
+            RankerOptions { window: Nanos::from_millis(10), ..Default::default() },
+            vec![(Arc::from("a"), acts)],
+        );
+        let mut n = 0;
+        while let RankStep::Candidate(_) = r.rank(&NoOracle) {
+            n += 1;
+        }
+        assert_eq!(n, 1000);
+        assert!(
+            r.counters().peak_buffered <= 12,
+            "peak {} too large",
+            r.counters().peak_buffered
+        );
+    }
+
+    #[test]
+    fn larger_window_buffers_more() {
+        let mk = |w: Nanos| {
+            let acts: Vec<Activity> = (0..1000)
+                .map(|i| act(ActivityType::Send, i * 1_000_000, "a", "10.0.0.1:1", "10.0.0.2:2"))
+                .collect();
+            let mut r = Ranker::from_streams(
+                RankerOptions { window: w, ..Default::default() },
+                vec![(Arc::from("a"), acts)],
+            );
+            while let RankStep::Candidate(_) = r.rank(&NoOracle) {}
+            r.counters().peak_buffered
+        };
+        assert!(mk(Nanos::from_millis(100)) > mk(Nanos::from_millis(10)));
+    }
+
+    #[test]
+    fn streaming_need_input_then_progress() {
+        let mut r = Ranker::new(RankerOptions::default());
+        r.push(act(ActivityType::Send, 10, "a", "10.0.0.1:1", "10.0.0.2:2"));
+        // One activity, host open: the ranker can pop it (it's a SEND).
+        match r.rank(&NoOracle) {
+            RankStep::Candidate(a) => assert_eq!(a.ty, ActivityType::Send),
+            o => panic!("{o:?}"),
+        }
+        // Nothing left but the host is open → NeedInput.
+        assert_eq!(r.rank(&NoOracle), RankStep::NeedInput);
+        r.close_all();
+        assert_eq!(r.rank(&NoOracle), RankStep::Exhausted);
+    }
+
+    #[test]
+    fn stuck_receive_waits_for_open_queue() {
+        // A receive whose send may still arrive on an open queue must not
+        // be discarded as noise.
+        let mut r = Ranker::new(RankerOptions::default());
+        let recv = act(ActivityType::Receive, 10, "b", "10.0.0.1:5", "10.0.0.2:6");
+        r.push(recv.clone());
+        r.close_host("b");
+        let send = act(ActivityType::Send, 500, "a", "10.0.0.1:5", "10.0.0.2:6");
+        r.push(send.clone());
+        // Queue "a" open: the ranker pops the send (Rule 2).
+        match r.rank(&NoOracle) {
+            RankStep::Candidate(a) => assert_eq!(a.ty, ActivityType::Send),
+            o => panic!("{o:?}"),
+        }
+        // Now the receive matches via the oracle.
+        let oracle = SetOracle([recv.channel].into_iter().collect());
+        match r.rank(&oracle) {
+            RankStep::Candidate(a) => assert_eq!(a.ty, ActivityType::Receive),
+            o => panic!("{o:?}"),
+        }
+    }
+
+    #[test]
+    fn out_of_order_push_is_resorted() {
+        let mut r = Ranker::new(RankerOptions::default());
+        r.push(act(ActivityType::Send, 100, "a", "10.0.0.1:1", "10.0.0.2:2"));
+        r.push(act(ActivityType::Send, 50, "a", "10.0.0.1:3", "10.0.0.2:4"));
+        r.close_all();
+        let first = match r.rank(&NoOracle) {
+            RankStep::Candidate(a) => a.ts,
+            o => panic!("{o:?}"),
+        };
+        assert_eq!(first, LocalTime::from_nanos(50));
+    }
+
+    #[test]
+    fn fetch_boost_finds_send_beyond_window() {
+        // Mutually blocked receives whose matching sends sit far beyond
+        // the 1ms window behind them (heavy skew): only the bounded
+        // window boost can surface the sends.
+        let streams = vec![
+            (
+                Arc::from("a"),
+                vec![
+                    act_tid(ActivityType::Receive, 1_000_000, "a", 10, "10.0.0.2:7", "10.0.0.1:6"),
+                    act_tid(ActivityType::Send, 40_000_000, "a", 11, "10.0.0.1:6", "10.0.0.2:7"),
+                ],
+            ),
+            (
+                Arc::from("b"),
+                vec![
+                    act_tid(ActivityType::Receive, 900_000, "b", 20, "10.0.0.1:6", "10.0.0.2:7"),
+                    act_tid(
+                        ActivityType::Send,
+                        30_000_000,
+                        "b",
+                        21,
+                        "10.0.0.2:7",
+                        "10.0.0.1:6",
+                    ),
+                ],
+            ),
+        ];
+        let opts = RankerOptions { window: Nanos::from_millis(1), ..Default::default() };
+        let mut r = Ranker::from_streams(opts, streams);
+        // Drive with a stateful oracle simulating the engine.
+        let mut sent: std::collections::HashSet<Channel> = Default::default();
+        let mut got = Vec::new();
+        loop {
+            match r.rank(&SetOracle(sent.clone())) {
+                RankStep::Candidate(a) => {
+                    if a.ty == ActivityType::Send {
+                        sent.insert(a.channel);
+                    }
+                    got.push(a);
+                }
+                RankStep::Noise(a) => panic!("false noise: {a}"),
+                RankStep::Exhausted => break,
+                RankStep::NeedInput => panic!("offline NeedInput"),
+            }
+        }
+        assert_eq!(got.len(), 4);
+        assert!(r.counters().fetch_boosts > 0);
+    }
+
+    #[test]
+    fn noise_discard_can_be_disabled() {
+        let streams = vec![(
+            Arc::from("c"),
+            vec![act(ActivityType::Receive, 10, "c", "8.8.8.8:1", "10.0.0.3:9")],
+        )];
+        let opts = RankerOptions { noise_discard: false, ..Default::default() };
+        let mut r = Ranker::from_streams(opts, streams);
+        match r.rank(&NoOracle) {
+            RankStep::Candidate(a) => assert_eq!(a.ty, ActivityType::Receive),
+            o => panic!("{o:?}"),
+        }
+    }
+
+    #[test]
+    fn approx_bytes_tracks_buffered() {
+        let mut r = Ranker::new(RankerOptions::default());
+        assert_eq!(r.approx_bytes(), 0);
+        r.push(act(ActivityType::Send, 10, "a", "10.0.0.1:1", "10.0.0.2:2"));
+        r.close_all();
+        // Not yet fetched into the buffer; rank() fetches then pops.
+        let _ = r.rank(&NoOracle);
+        assert_eq!(r.buffered_len(), 0);
+    }
+}

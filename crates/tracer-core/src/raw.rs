@@ -1,0 +1,248 @@
+//! The raw `TCP_TRACE` record format (§3.1).
+//!
+//! The paper's SystemTap module logs one line per kernel `tcp_sendmsg` /
+//! `tcp_recvmsg` call:
+//!
+//! ```text
+//! timestamp hostname program_name ProcessID ThreadID SEND/RECEIVE sender_ip:port-receiver_ip:port message_size
+//! ```
+//!
+//! [`RawRecord`] parses and formats exactly this shape (timestamps in
+//! integer nanoseconds). PreciseTracer then transforms raw records into
+//! typed [`Activity`](crate::activity::Activity) tuples via
+//! [`access::Classifier`](crate::access::Classifier).
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::activity::{Channel, ContextId, EndpointV4, LocalTime};
+use crate::error::TraceError;
+
+/// Direction of a raw kernel TCP activity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RawOp {
+    /// `tcp_sendmsg` — the logging node is the sender.
+    Send,
+    /// `tcp_recvmsg` — the logging node is the receiver.
+    Receive,
+}
+
+impl fmt::Display for RawOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RawOp::Send => "SEND",
+            RawOp::Receive => "RECEIVE",
+        })
+    }
+}
+
+impl std::str::FromStr for RawOp {
+    type Err = TraceError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "SEND" => Ok(RawOp::Send),
+            "RECEIVE" => Ok(RawOp::Receive),
+            other => Err(TraceError::parse(other, "expected SEND or RECEIVE")),
+        }
+    }
+}
+
+/// One raw probe record in the original `TCP_TRACE` format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawRecord {
+    /// Local timestamp (nanoseconds on the logging node's clock).
+    pub ts: LocalTime,
+    /// Hostname of the logging node.
+    pub hostname: Arc<str>,
+    /// Program (executable) name.
+    pub program: Arc<str>,
+    /// Process ID.
+    pub pid: u32,
+    /// Thread ID.
+    pub tid: u32,
+    /// SEND or RECEIVE.
+    pub op: RawOp,
+    /// Sender endpoint of the TCP channel.
+    pub src: EndpointV4,
+    /// Receiver endpoint of the TCP channel.
+    pub dst: EndpointV4,
+    /// Bytes transferred by this kernel call.
+    pub size: u64,
+    /// Opaque ground-truth tag (0 = untagged); not part of the text
+    /// format, used only by evaluation harnesses.
+    pub tag: u64,
+}
+
+impl RawRecord {
+    /// The directed channel (sender → receiver).
+    #[inline]
+    pub fn channel(&self) -> Channel {
+        Channel::new(self.src, self.dst)
+    }
+
+    /// The execution-entity context of the record.
+    #[inline]
+    pub fn context(&self) -> ContextId {
+        ContextId {
+            hostname: Arc::clone(&self.hostname),
+            program: Arc::clone(&self.program),
+            pid: self.pid,
+            tid: self.tid,
+        }
+    }
+
+    /// Parses one `TCP_TRACE` log line.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Parse`] when the line does not have exactly
+    /// the eight whitespace-separated fields of the TCP_TRACE format or a
+    /// field is malformed.
+    pub fn parse_line(line: &str) -> Result<Self, TraceError> {
+        let mut it = line.split_ascii_whitespace();
+        let mut next = |what: &str| {
+            it.next()
+                .ok_or_else(|| TraceError::parse(line, format!("missing field: {what}")))
+        };
+        let ts: u64 = next("timestamp")?
+            .parse()
+            .map_err(|_| TraceError::parse(line, "bad timestamp"))?;
+        let hostname = next("hostname")?.to_owned();
+        let program = next("program")?.to_owned();
+        let pid: u32 = next("pid")?
+            .parse()
+            .map_err(|_| TraceError::parse(line, "bad pid"))?;
+        let tid: u32 = next("tid")?
+            .parse()
+            .map_err(|_| TraceError::parse(line, "bad tid"))?;
+        let op: RawOp = next("op")?.parse()?;
+        let chan = next("channel")?;
+        let (src, dst) = chan
+            .split_once('-')
+            .ok_or_else(|| TraceError::parse(line, "channel missing '-'"))?;
+        let src: EndpointV4 = src.parse()?;
+        let dst: EndpointV4 = dst.parse()?;
+        let size: u64 = next("size")?
+            .parse()
+            .map_err(|_| TraceError::parse(line, "bad size"))?;
+        if it.next().is_some() {
+            return Err(TraceError::parse(line, "trailing fields"));
+        }
+        Ok(RawRecord {
+            ts: LocalTime::from_nanos(ts),
+            hostname: hostname.into(),
+            program: program.into(),
+            pid,
+            tid,
+            op,
+            src,
+            dst,
+            size,
+            tag: 0,
+        })
+    }
+}
+
+impl fmt::Display for RawRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} {} {} {} {} {}-{} {}",
+            self.ts, self.hostname, self.program, self.pid, self.tid, self.op, self.src,
+            self.dst, self.size
+        )
+    }
+}
+
+impl std::str::FromStr for RawRecord {
+    type Err = TraceError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        RawRecord::parse_line(s)
+    }
+}
+
+/// Parses a whole TCP_TRACE log: one record per non-empty line; lines
+/// starting with `#` are comments.
+///
+/// # Errors
+///
+/// Returns the first parse error encountered.
+///
+/// # Examples
+///
+/// ```
+/// use tracer_core::raw::parse_log;
+/// let recs = parse_log("# comment\n100 web httpd 1 1 SEND 10.0.0.1:80-10.0.0.9:5000 42\n")?;
+/// assert_eq!(recs.len(), 1);
+/// assert_eq!(recs[0].size, 42);
+/// # Ok::<(), tracer_core::TraceError>(())
+/// ```
+pub fn parse_log(text: &str) -> Result<Vec<RawRecord>, TraceError> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(RawRecord::parse_line)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LINE: &str = "123456789 node2 java 4242 4250 RECEIVE 10.0.0.1:33000-10.0.0.2:8009 1448";
+
+    #[test]
+    fn parse_roundtrip() {
+        let r = RawRecord::parse_line(LINE).unwrap();
+        assert_eq!(r.ts, LocalTime::from_nanos(123_456_789));
+        assert_eq!(&*r.hostname, "node2");
+        assert_eq!(&*r.program, "java");
+        assert_eq!(r.pid, 4242);
+        assert_eq!(r.tid, 4250);
+        assert_eq!(r.op, RawOp::Receive);
+        assert_eq!(r.src.port, 33000);
+        assert_eq!(r.dst.port, 8009);
+        assert_eq!(r.size, 1448);
+        assert_eq!(r.to_string(), LINE);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        for bad in [
+            "",
+            "only three fields here",
+            "x node2 java 4242 4250 RECEIVE 10.0.0.1:33000-10.0.0.2:8009 1448",
+            "1 node2 java nope 4250 RECEIVE 10.0.0.1:33000-10.0.0.2:8009 1448",
+            "1 node2 java 1 2 RECV 10.0.0.1:33000-10.0.0.2:8009 1448",
+            "1 node2 java 1 2 RECEIVE 10.0.0.1:33000+10.0.0.2:8009 1448",
+            "1 node2 java 1 2 RECEIVE 10.0.0.1:33000-10.0.0.2:8009 nan",
+            "1 node2 java 1 2 RECEIVE 10.0.0.1:33000-10.0.0.2:8009 1448 extra",
+        ] {
+            assert!(RawRecord::parse_line(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parse_log_skips_comments_and_blank_lines() {
+        let text = format!("# header\n\n{LINE}\n  \n{LINE}\n");
+        let recs = parse_log(&text).unwrap();
+        assert_eq!(recs.len(), 2);
+    }
+
+    #[test]
+    fn context_and_channel_accessors() {
+        let r = RawRecord::parse_line(LINE).unwrap();
+        let ctx = r.context();
+        assert_eq!(&*ctx.hostname, "node2");
+        assert_eq!(ctx.tid, 4250);
+        assert_eq!(r.channel().dst.port, 8009);
+    }
+
+    #[test]
+    fn from_str_trait_works() {
+        let r: RawRecord = LINE.parse().unwrap();
+        assert_eq!(r.size, 1448);
+    }
+}

@@ -1,0 +1,78 @@
+//! Precise vs probabilistic black-box tracing (related work, §6.1).
+//!
+//! ```sh
+//! cargo run --release --example baseline_shootout
+//! ```
+//!
+//! Runs the same TCP_TRACE log through three analyzers:
+//! * **PreciseTracer** — per-request causal paths, exact;
+//! * **WAP5-style nesting** — per-process most-recent heuristic;
+//! * **Project5-style convolution** — aggregate per-hop delay only.
+//!
+//! As concurrency rises, nesting's path accuracy collapses while
+//! PreciseTracer stays exact; convolution never produces paths at all
+//! but still estimates hop delays.
+
+use precisetracer::baselines::{estimate_delay, ConvolutionConfig};
+use precisetracer::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "{:>8} {:>10} {:>14} {:>14}",
+        "clients", "requests", "precise", "wap5-nesting"
+    );
+    for clients in [5usize, 50, 150, 400] {
+        let out = rubis::run(rubis::ExperimentConfig::quick(clients, 20));
+        let (_, precise) = out.correlate(Nanos::from_millis(10))?;
+        let inferred = infer_paths(&out.records, &out.access_spec(), &NestingConfig::default());
+        let truth_sets: Vec<Vec<u64>> = out
+            .truth
+            .requests()
+            .filter(|r| r.completed.is_some() && !r.records.is_empty())
+            .map(|r| {
+                let mut v = r.records.clone();
+                v.sort_unstable();
+                v
+            })
+            .collect();
+        let paths: Vec<Vec<u64>> = inferred.into_iter().map(|p| p.tags).collect();
+        let nest = evaluate_baseline(&paths, &truth_sets);
+        println!(
+            "{:>8} {:>10} {:>13.1}% {:>13.1}%",
+            clients,
+            precise.logged_requests,
+            precise.accuracy() * 100.0,
+            nest.accuracy() * 100.0
+        );
+    }
+
+    // Project5-style convolution: estimate the httpd→java hop delay from
+    // the message streams alone and compare with the CAG-measured truth.
+    let out = rubis::run(rubis::ExperimentConfig::quick(100, 20));
+    let (corr, _) = out.correlate(Nanos::from_millis(10))?;
+    let sends: Vec<u64> = out
+        .records
+        .iter()
+        .filter(|r| &*r.hostname == "web1" && r.dst.port == 8009)
+        .map(|r| r.ts.as_nanos())
+        .collect();
+    let recvs: Vec<u64> = out
+        .records
+        .iter()
+        .filter(|r| &*r.hostname == "app1" && r.dst.port == 8009)
+        .map(|r| r.ts.as_nanos())
+        .collect();
+    let est = estimate_delay(&sends, &recvs, &ConvolutionConfig::default());
+    // Ground truth from the precise CAGs: mean httpd2java edge latency.
+    let breakdown = BreakdownReport::dominant(&corr.cags).expect("patterns");
+    let true_hop = breakdown
+        .components
+        .get(&Component::new("httpd", "java"))
+        .copied()
+        .unwrap_or(Nanos::ZERO);
+    println!("\nProject5-style convolution on the httpd->java hop:");
+    println!("  estimated delay: {:?} ms", est.map(|ns| ns as f64 / 1e6));
+    println!("  CAG-measured mean: {:.1} ms", true_hop.as_nanos() as f64 / 1e6);
+    println!("  (convolution yields one aggregate number; no per-request paths, no patterns)");
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! Bottleneck hunting: the §5.4.1 MaxThreads misconfiguration story.
+//!
+//! ```sh
+//! cargo run --release --example bottleneck_hunt
+//! ```
+//!
+//! Reproduces the paper's debugging session: throughput degrades as
+//! clients grow, CPU looks fine everywhere, and traditional metrics
+//! don't explain why. PreciseTracer's latency percentages point at the
+//! httpd→java interaction; raising the JBoss `MaxThreads` from 40 to
+//! 250 fixes it.
+
+use precisetracer::prelude::*;
+
+fn run_at(clients: usize, max_threads: usize) -> (f64, f64, BreakdownReport) {
+    let mut cfg = rubis::ExperimentConfig::quick(clients, 30);
+    cfg.spec = cfg.spec.with_max_threads(max_threads);
+    let out = rubis::run(cfg);
+    let tp = out.service.throughput();
+    let rt_ms = out.service.rt_mean().as_nanos() as f64 / 1e6;
+    let (corr, acc) = out.correlate(Nanos::from_millis(10)).expect("config");
+    assert!(acc.is_perfect(), "tracing accuracy regression: {acc:?}");
+    let breakdown = BreakdownReport::dominant(&corr.cags).expect("pattern");
+    (tp, rt_ms, breakdown)
+}
+
+fn main() {
+    println!("== symptom: throughput stalls, response time grows (MaxThreads=40) ==");
+    let mut baseline: Option<BreakdownReport> = None;
+    let mut suspect: Option<BreakdownReport> = None;
+    for clients in [200usize, 500, 800] {
+        let (tp, rt, b) = run_at(clients, 40);
+        println!("  {clients:>4} clients: {tp:>6.1} req/s, mean RT {rt:>7.1} ms");
+        if clients == 200 {
+            baseline = Some(b);
+        } else if clients == 800 {
+            suspect = Some(b);
+        }
+    }
+    let baseline = baseline.expect("ran");
+    let suspect = suspect.expect("ran");
+
+    println!("\n== latency percentages, 200 vs 800 clients ==");
+    let diff = DiffReport::between(&baseline, &suspect);
+    print!("{}", diff.format_table());
+
+    println!("== automatic localization ==");
+    match Diagnosis::localize(&diff, 10.0) {
+        Some(d) => {
+            println!("  trigger:  {} ({:+.1} points)", d.trigger, d.delta);
+            println!("  suspect:  {}", d.suspect);
+            println!("  because:  {}", d.explanation);
+        }
+        None => println!("  nothing significant found"),
+    }
+
+    println!("\n== fix: MaxThreads=250 (the paper's remedy) ==");
+    for clients in [500usize, 800] {
+        let (tp40, rt40, _) = run_at(clients, 40);
+        let (tp250, rt250, _) = run_at(clients, 250);
+        println!(
+            "  {clients:>4} clients: TP {tp40:>6.1} -> {tp250:>6.1} req/s, RT {rt40:>7.1} -> {rt250:>7.1} ms"
+        );
+    }
+}

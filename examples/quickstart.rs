@@ -1,0 +1,65 @@
+//! Quickstart: trace a small simulated RUBiS session end-to-end.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Runs 100 emulated clients against the three-tier service, correlates
+//! the TCP_TRACE log into component activity graphs, verifies path
+//! accuracy against ground truth, and prints the latency breakdown of
+//! the dominant causal path pattern.
+
+use precisetracer::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Simulate a session: 100 clients, ~40s steady state.
+    let cfg = rubis::ExperimentConfig::quick(100, 40);
+    println!(
+        "simulating {} clients, {} mix, session {}...",
+        cfg.clients,
+        cfg.mix.name,
+        cfg.phases.total()
+    );
+    let out = rubis::run(cfg);
+    println!(
+        "  {} requests completed, {} probe records, {} sim events",
+        out.service.completed,
+        out.records.len(),
+        out.sim_events
+    );
+
+    // 2. Correlate with a 10ms sliding window.
+    let (corr, accuracy) = out.correlate(Nanos::from_millis(10))?;
+    println!(
+        "  correlated {} causal paths ({} unfinished), accuracy {:.2}% ({} requests)",
+        corr.cags.len(),
+        corr.unfinished.len(),
+        accuracy.accuracy() * 100.0,
+        accuracy.logged_requests
+    );
+    println!("  correlator: {}", corr.metrics.summary());
+
+    // 3. Pattern analysis: the averaged causal path of the most frequent
+    //    request class, with per-component latency percentages (Fig. 15).
+    let mut agg = PatternAggregator::new();
+    agg.add_all(&corr.cags);
+    println!("\n{} causal path patterns:", agg.len());
+    for path in agg.average_paths().iter().take(5) {
+        println!(
+            "  pattern {}: {} requests, mean total {}",
+            path.key, path.count, path.mean_total
+        );
+    }
+    let dominant = BreakdownReport::dominant(&corr.cags).expect("at least one pattern");
+    println!("\nlatency percentages of the dominant pattern:");
+    print!("{}", dominant.format_table());
+
+    // 4. Render one CAG as Graphviz DOT (paste into `dot -Tsvg`).
+    if let Some(cag) = corr.cags.first() {
+        let dot = precisetracer::tracer::dot::cag_to_dot(cag);
+        println!("\nfirst CAG in DOT format ({} vertices):", cag.vertices.len());
+        println!("{}", &dot[..dot.len().min(400)]);
+        println!("... (truncated)");
+    }
+    Ok(())
+}

@@ -1,0 +1,229 @@
+//! `pt` — the PreciseTracer command-line tool.
+//!
+//! Mirrors the workflow of the paper's tool on real or simulated
+//! TCP_TRACE logs:
+//!
+//! ```text
+//! pt simulate --clients 100 --seconds 30 [--noise] [--seed N] --out trace.log
+//! pt correlate trace.log --port 80 --internal 10.0.0.1,10.0.0.2,10.0.0.3 [--window-ms 10]
+//! pt patterns  trace.log --port 80 --internal ... [--dot pattern.dot]
+//! pt diff      normal.log abnormal.log --port 80 --internal ...
+//! ```
+//!
+//! `simulate` writes a log from the built-in RUBiS model; the other
+//! commands work on any log in the TCP_TRACE text format, including
+//! ones captured by a real SystemTap probe.
+
+use std::net::Ipv4Addr;
+use std::process::ExitCode;
+
+use precisetracer::prelude::*;
+use precisetracer::tracer::dot::average_path_to_dot;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let rest = &args[1..];
+    let result = match cmd.as_str() {
+        "simulate" => simulate(rest),
+        "correlate" => correlate_cmd(rest),
+        "patterns" => patterns_cmd(rest),
+        "diff" => diff_cmd(rest),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("pt: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+pt — precise request tracing for multi-tier services of black boxes
+
+USAGE:
+  pt simulate  --clients N [--seconds S] [--seed N] [--noise] [--skew-ms N] --out FILE
+  pt correlate FILE --port P --internal IP[,IP...] [--window-ms W]
+  pt patterns  FILE --port P --internal IP[,IP...] [--window-ms W] [--dot FILE]
+  pt diff      BASELINE_FILE CURRENT_FILE --port P --internal IP[,IP...] [--window-ms W]
+
+The log format is the paper's TCP_TRACE text format:
+  timestamp hostname program pid tid SEND|RECEIVE sip:sport-dip:dport size";
+
+/// Pulls `--name value` out of an argument list.
+fn opt(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn positional(args: &[String], n: usize) -> Option<&String> {
+    args.iter()
+        .enumerate()
+        .filter(|(i, a)| {
+            !a.starts_with("--")
+                && (*i == 0 || !args[i - 1].starts_with("--") || flag_like(&args[i - 1]))
+        })
+        .map(|(_, a)| a)
+        .nth(n)
+}
+
+fn flag_like(a: &str) -> bool {
+    matches!(a, "--noise")
+}
+
+fn access_from(args: &[String]) -> Result<AccessPointSpec, String> {
+    let port: u16 = opt(args, "--port")
+        .ok_or("missing --port")?
+        .parse()
+        .map_err(|_| "bad --port")?;
+    let internal = opt(args, "--internal").ok_or("missing --internal")?;
+    let ips: Result<Vec<Ipv4Addr>, _> = internal.split(',').map(str::parse).collect();
+    let ips = ips.map_err(|_| "bad --internal list")?;
+    Ok(AccessPointSpec::new([port], ips))
+}
+
+fn window_from(args: &[String]) -> Result<Nanos, String> {
+    let ms: u64 = opt(args, "--window-ms")
+        .unwrap_or_else(|| "10".into())
+        .parse()
+        .map_err(|_| "bad --window-ms")?;
+    Ok(Nanos::from_millis(ms))
+}
+
+fn load(path: &str) -> Result<Vec<RawRecord>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    parse_log(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn correlate_file(
+    path: &str,
+    args: &[String],
+) -> Result<(CorrelationOutput, AccessPointSpec), String> {
+    let access = access_from(args)?;
+    let window = window_from(args)?;
+    let records = load(path)?;
+    let config = CorrelatorConfig::new(access.clone()).with_window(window);
+    let out = Correlator::new(config)
+        .correlate(records)
+        .map_err(|e| e.to_string())?;
+    Ok((out, access))
+}
+
+fn simulate(args: &[String]) -> Result<(), String> {
+    let clients: usize = opt(args, "--clients")
+        .ok_or("missing --clients")?
+        .parse()
+        .map_err(|_| "bad --clients")?;
+    let seconds: u64 = opt(args, "--seconds")
+        .unwrap_or_else(|| "30".into())
+        .parse()
+        .map_err(|_| "bad --seconds")?;
+    let out_path = opt(args, "--out").ok_or("missing --out")?;
+    let mut cfg = rubis::ExperimentConfig::quick(clients, seconds);
+    if let Some(seed) = opt(args, "--seed") {
+        cfg.seed = seed.parse().map_err(|_| "bad --seed")?;
+    }
+    if let Some(skew) = opt(args, "--skew-ms") {
+        cfg.spec = cfg.spec.with_skew_ms(skew.parse().map_err(|_| "bad --skew-ms")?);
+    }
+    if flag(args, "--noise") {
+        cfg.noise = rubis::NoiseSpec { ssh_msgs_per_sec: 40.0, mysql_msgs_per_sec: 150.0 };
+    }
+    let out = rubis::run(cfg);
+    let mut text = String::new();
+    for r in &out.records {
+        text.push_str(&r.to_string());
+        text.push('\n');
+    }
+    std::fs::write(&out_path, text).map_err(|e| format!("{out_path}: {e}"))?;
+    println!(
+        "wrote {} records to {out_path} ({} requests completed, frontend {}:{}, internal {},{},{})",
+        out.records.len(),
+        out.service.completed,
+        out.spec.web.ip,
+        out.spec.web.port,
+        out.spec.web.ip,
+        out.spec.app.ip,
+        out.spec.db.ip,
+    );
+    Ok(())
+}
+
+fn correlate_cmd(args: &[String]) -> Result<(), String> {
+    let path = positional(args, 0).ok_or("missing log file")?;
+    let (out, _) = correlate_file(path, args)?;
+    println!("correlated {} causal paths ({} deformed/unfinished)", out.cags.len(), out.unfinished.len());
+    println!("{}", out.metrics.summary());
+    if !out.noise_samples.is_empty() {
+        println!("sample noise discards:");
+        for a in out.noise_samples.iter().take(5) {
+            println!("  {a}");
+        }
+    }
+    let latencies: Vec<f64> = out
+        .cags
+        .iter()
+        .filter_map(|c| c.total_latency())
+        .map(|n| n.as_nanos() as f64 / 1e6)
+        .collect();
+    if !latencies.is_empty() {
+        let mean = latencies.iter().sum::<f64>() / latencies.len() as f64;
+        println!("mean request latency: {mean:.2} ms over {} paths", latencies.len());
+    }
+    Ok(())
+}
+
+fn patterns_cmd(args: &[String]) -> Result<(), String> {
+    let path = positional(args, 0).ok_or("missing log file")?;
+    let (out, _) = correlate_file(path, args)?;
+    let agg = PatternAggregator::from_cags(&out.cags);
+    println!("{} patterns over {} paths:", agg.len(), out.cags.len());
+    for p in agg.average_paths() {
+        println!(
+            "\npattern {} — {} requests, mean total {}",
+            p.key, p.count, p.mean_total
+        );
+        for (c, pct) in &p.percentages {
+            println!("  {:<22} {:>6.1}%", c.to_string(), pct);
+        }
+    }
+    if let Some(dot_path) = opt(args, "--dot") {
+        let paths = agg.average_paths();
+        let dom = paths.first().ok_or("no pattern to render")?;
+        std::fs::write(&dot_path, average_path_to_dot(dom))
+            .map_err(|e| format!("{dot_path}: {e}"))?;
+        println!("\nwrote dominant average path to {dot_path}");
+    }
+    Ok(())
+}
+
+fn diff_cmd(args: &[String]) -> Result<(), String> {
+    let base_path = positional(args, 0).ok_or("missing baseline log")?;
+    let cur_path = positional(args, 1).ok_or("missing current log")?;
+    let (base, _) = correlate_file(base_path, args)?;
+    let (cur, _) = correlate_file(cur_path, args)?;
+    let b = BreakdownReport::dominant(&base.cags).ok_or("no patterns in baseline")?;
+    let c = BreakdownReport::dominant(&cur.cags).ok_or("no patterns in current")?;
+    let diff = DiffReport::between(&b, &c);
+    print!("{}", diff.format_table());
+    match Diagnosis::localize(&diff, 8.0) {
+        Some(d) => println!("\ndiagnosis: {} — {}", d.suspect, d.explanation),
+        None => println!("\ndiagnosis: no significant change"),
+    }
+    Ok(())
+}

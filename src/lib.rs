@@ -1,0 +1,50 @@
+//! # precisetracer — precise request tracing for multi-tier services of black boxes
+//!
+//! A full reproduction of *"Precise Request Tracing and Performance
+//! Debugging for Multi-tier Services of Black Boxes"* (Zhang, Zhan, Li,
+//! Wang, Meng, Sang — DSN 2009), including every substrate the paper's
+//! evaluation depends on:
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`tracer`] (`tracer-core`) | the paper's contribution: activity model, precise Ranker + Engine correlation, component activity graphs (CAGs), causal path patterns, latency-percentage analysis and fault localization |
+//! | [`sim`] (`simnet`) | discrete-event substrate: skewed clocks, TCP-like channels with MSS segmentation, CPU/thread/lock resources |
+//! | [`rubis`] (`multitier`) | the RUBiS-like three-tier deployment with a TCP_TRACE-equivalent probe, ground truth, faults and noise |
+//! | [`baselines`] (`baseline`) | WAP5-style nesting and Project5-style convolution comparators |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use precisetracer::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // 1. Run a small simulated RUBiS session (50 emulated clients).
+//! let out = rubis::run(rubis::ExperimentConfig::quick(8, 6));
+//!
+//! // 2. Correlate its TCP_TRACE log into causal paths.
+//! let (corr, accuracy) = out.correlate(Nanos::from_millis(10))?;
+//! assert!(accuracy.is_perfect());
+//!
+//! // 3. Analyze: latency percentages of the dominant request pattern.
+//! let breakdown = BreakdownReport::dominant(&corr.cags).expect("patterns");
+//! println!("{}", breakdown.format_table());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use baseline as baselines;
+pub use multitier as rubis;
+pub use simnet as sim;
+pub use tracer_core as tracer;
+
+/// One-stop imports for examples and applications.
+pub mod prelude {
+    pub use baseline::{self as baselines, evaluate as evaluate_baseline, infer_paths, NestingConfig};
+    pub use multitier::{self as rubis, ExperimentConfig, Fault, Mix, NoiseSpec, Phases, ServiceSpec};
+    pub use simnet::{Dist, SimDur, SimTime};
+    pub use tracer_core::prelude::*;
+    pub use tracer_core::pattern::PatternAggregator;
+}

@@ -1,0 +1,100 @@
+//! Integration tests for the `pt` command-line tool: the end-user
+//! workflow of simulating (or capturing) a TCP_TRACE log and analyzing
+//! it from the shell.
+
+use std::process::Command;
+
+fn pt() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_pt"))
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("pt-cli-test-{}-{name}", std::process::id()));
+    p
+}
+
+const INTERNAL: &str = "10.0.0.1,10.0.0.2,10.0.0.3";
+
+#[test]
+fn simulate_correlate_patterns_diff_roundtrip() {
+    let log = tmp("trace.log");
+    let dot = tmp("pattern.dot");
+
+    // simulate
+    let out = pt()
+        .args(["simulate", "--clients", "10", "--seconds", "8", "--seed", "3"])
+        .args(["--out", log.to_str().unwrap()])
+        .output()
+        .expect("run pt simulate");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = std::fs::read_to_string(&log).unwrap();
+    assert!(text.lines().count() > 100, "log should have records");
+
+    // correlate
+    let out = pt()
+        .args(["correlate", log.to_str().unwrap(), "--port", "80", "--internal", INTERNAL])
+        .output()
+        .expect("run pt correlate");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("causal paths"), "{stdout}");
+    assert!(stdout.contains("mean request latency"), "{stdout}");
+
+    // patterns + dot export
+    let out = pt()
+        .args(["patterns", log.to_str().unwrap(), "--port", "80", "--internal", INTERNAL])
+        .args(["--dot", dot.to_str().unwrap()])
+        .output()
+        .expect("run pt patterns");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("patterns over"), "{stdout}");
+    assert!(stdout.contains("httpd2java"), "{stdout}");
+    let dot_text = std::fs::read_to_string(&dot).unwrap();
+    assert!(dot_text.starts_with("digraph"));
+
+    // diff against itself: no significant change
+    let out = pt()
+        .args([
+            "diff",
+            log.to_str().unwrap(),
+            log.to_str().unwrap(),
+            "--port",
+            "80",
+            "--internal",
+            INTERNAL,
+        ])
+        .output()
+        .expect("run pt diff");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("no significant change"), "{stdout}");
+
+    let _ = std::fs::remove_file(log);
+    let _ = std::fs::remove_file(dot);
+}
+
+#[test]
+fn missing_arguments_fail_cleanly() {
+    let out = pt().output().expect("run pt");
+    assert!(!out.status.success());
+    let out = pt().args(["correlate"]).output().expect("run");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("missing"), "{err}");
+    let out = pt()
+        .args(["correlate", "/nonexistent.log", "--port", "80", "--internal", "10.0.0.1"])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = pt().args(["--help"]).output().expect("run");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("USAGE"));
+    assert!(stdout.contains("TCP_TRACE"));
+}

@@ -1,0 +1,214 @@
+//! End-to-end integration: simulate → trace → analyze, across the
+//! paper's experimental dimensions at reduced scale.
+
+use precisetracer::prelude::*;
+
+fn quick(clients: usize, secs: u64) -> rubis::ExperimentConfig {
+    rubis::ExperimentConfig::quick(clients, secs)
+}
+
+#[test]
+fn accuracy_is_perfect_across_windows() {
+    let out = rubis::run(quick(20, 12));
+    for window in [
+        Nanos::from_millis(1),
+        Nanos::from_millis(10),
+        Nanos::from_millis(100),
+        Nanos::from_secs(10),
+    ] {
+        let (corr, acc) = out.correlate(window).unwrap();
+        assert!(acc.is_perfect(), "window {window}: {acc:?}");
+        assert_eq!(corr.cags.len() as u64, acc.logged_requests);
+    }
+}
+
+#[test]
+fn accuracy_is_perfect_across_skews() {
+    for skew_ms in [1i64, 50, 200, 500] {
+        let mut cfg = quick(10, 10);
+        cfg.spec = cfg.spec.with_skew_ms(skew_ms);
+        let out = rubis::run(cfg);
+        let (_, acc) = out.correlate(Nanos::from_millis(1)).unwrap();
+        assert!(acc.is_perfect(), "skew {skew_ms}: {acc:?}");
+    }
+}
+
+#[test]
+fn accuracy_is_perfect_under_combined_noise() {
+    let mut cfg = quick(12, 10);
+    cfg.noise = rubis::NoiseSpec { ssh_msgs_per_sec: 80.0, mysql_msgs_per_sec: 200.0 };
+    let out = rubis::run(cfg);
+    let (corr, acc) = out.correlate(Nanos::from_millis(2)).unwrap();
+    assert!(acc.is_perfect(), "{acc:?}");
+    assert!(corr.metrics.ranker.noise_discards > 50);
+}
+
+#[test]
+fn every_cag_is_structurally_valid() {
+    let out = rubis::run(quick(15, 10));
+    let (corr, _) = out.correlate(Nanos::from_millis(10)).unwrap();
+    for cag in &corr.cags {
+        cag.validate().unwrap_or_else(|e| panic!("CAG {}: {e}", cag.id));
+        assert!(cag.finished);
+        assert!(cag.total_latency().is_some());
+    }
+}
+
+#[test]
+fn text_roundtrip_preserves_correlation() {
+    // Serialize the probe log to the TCP_TRACE text format and re-parse:
+    // the same paths must come out (modulo ground-truth tags, which the
+    // text format does not carry).
+    let out = rubis::run(quick(6, 8));
+    let text: String = out.records.iter().map(|r| format!("{r}\n")).collect();
+    let reparsed = parse_log(&text).unwrap();
+    assert_eq!(reparsed.len(), out.records.len());
+    let config = out.correlator_config(Nanos::from_millis(10));
+    let corr_text = Correlator::new(config).correlate(reparsed).unwrap();
+    let (corr_orig, acc) = out.correlate(Nanos::from_millis(10)).unwrap();
+    assert!(acc.is_perfect());
+    assert_eq!(corr_text.cags.len(), corr_orig.cags.len());
+    for (a, b) in corr_text.cags.iter().zip(&corr_orig.cags) {
+        assert_eq!(a.vertices.len(), b.vertices.len());
+    }
+}
+
+#[test]
+fn streaming_equals_offline_on_real_logs() {
+    let out = rubis::run(quick(8, 8));
+    let (offline, acc) = out.correlate(Nanos::from_millis(10)).unwrap();
+    assert!(acc.is_perfect());
+    let mut sc = StreamingCorrelator::new(out.correlator_config(Nanos::from_millis(10))).unwrap();
+    // Push in log order (interleaved across nodes), polling as we go.
+    let mut sorted = out.records.clone();
+    sorted.sort_by_key(|r| r.ts);
+    let mut cags = Vec::new();
+    for r in sorted {
+        sc.push(r);
+        cags.extend(sc.poll());
+    }
+    let fin = sc.finish();
+    cags.extend(fin.cags);
+    assert_eq!(cags.len(), offline.cags.len());
+    let mut off_tags: Vec<Vec<u64>> = offline.cags.iter().map(|c| c.sorted_tags()).collect();
+    let mut str_tags: Vec<Vec<u64>> = cags.iter().map(|c| c.sorted_tags()).collect();
+    off_tags.sort();
+    str_tags.sort();
+    assert_eq!(off_tags, str_tags);
+}
+
+#[test]
+fn pattern_census_matches_request_mix() {
+    // Four structurally distinct classes exist in Browse_Only: static
+    // (no backend), 1-query, 2-query and 3-query paths.
+    let out = rubis::run(quick(25, 15));
+    let (corr, _) = out.correlate(Nanos::from_millis(10)).unwrap();
+    let mut agg = PatternAggregator::new();
+    agg.add_all(&corr.cags);
+    assert_eq!(agg.len(), 4, "expected 4 shape classes");
+    let counts: Vec<u64> = agg.patterns().iter().map(|p| p.count).collect();
+    let total: u64 = counts.iter().sum();
+    assert_eq!(total as usize, corr.cags.len());
+    // The 2-query class (ViewItem + Search + UserInfo ≈ 68% of weight)
+    // must dominate.
+    assert!(counts[0] as f64 / total as f64 > 0.5, "{counts:?}");
+}
+
+#[test]
+fn max_threads_bottleneck_appears_and_fix_works() {
+    // Reduced-scale Fig. 15/16: with MaxThreads=8 and enough clients,
+    // the httpd→java share explodes; raising the pool fixes it.
+    let run_with = |mt: usize| {
+        let mut cfg = quick(60, 15);
+        cfg.spec = cfg.spec.with_max_threads(mt);
+        let out = rubis::run(cfg);
+        let (corr, acc) = out.correlate(Nanos::from_millis(10)).unwrap();
+        assert!(acc.is_perfect());
+        let b = BreakdownReport::dominant(&corr.cags).unwrap();
+        (out.service.rt_mean(), b.pct(&Component::new("httpd", "java")))
+    };
+    let (rt_small, pct_small) = run_with(8);
+    let (rt_big, pct_big) = run_with(250);
+    assert!(
+        pct_small > pct_big + 10.0,
+        "undersized pool must inflate httpd2java: {pct_small:.1}% vs {pct_big:.1}%"
+    );
+    assert!(rt_small > rt_big, "{rt_small} vs {rt_big}");
+}
+
+#[test]
+fn fault_signatures_localize() {
+    let breakdown = |faults: Vec<Fault>| {
+        let mut cfg = quick(60, 15);
+        for f in faults {
+            cfg.spec = cfg.spec.with_fault(f);
+        }
+        let out = rubis::run(cfg);
+        let (corr, acc) = out.correlate(Nanos::from_millis(10)).unwrap();
+        assert!(acc.is_perfect());
+        BreakdownReport::dominant(&corr.cags).unwrap()
+    };
+    let normal = breakdown(vec![]);
+    // EJB delay → java internal.
+    let ejb = breakdown(vec![Fault::EjbDelay { delay: Dist::Exp { mean: 80e6 } }]);
+    let d = Diagnosis::localize(&DiffReport::between(&normal, &ejb), 8.0).expect("diagnosis");
+    assert_eq!(d.suspect, SuspectKind::TierInternal("java".into()), "{d:?}");
+    // Degraded NIC → java network.
+    let net = breakdown(vec![Fault::AppNetDegrade { bps: 10_000_000 }]);
+    let d = Diagnosis::localize(&DiffReport::between(&normal, &net), 5.0).expect("diagnosis");
+    assert_eq!(d.suspect, SuspectKind::TierNetwork("java".into()), "{d:?}");
+}
+
+#[test]
+fn probe_overhead_is_small_but_nonzero() {
+    let run_with = |tracing: bool| {
+        let mut cfg = quick(40, 15);
+        cfg.spec = cfg.spec.with_tracing(tracing);
+        rubis::run(cfg)
+    };
+    let off = run_with(false);
+    let on = run_with(true);
+    assert_eq!(off.records.len(), 0);
+    assert!(!on.records.is_empty());
+    let rt_off = off.service.rt_mean().as_nanos() as f64;
+    let rt_on = on.service.rt_mean().as_nanos() as f64;
+    // Overhead exists but stays well under the paper's 30% bound.
+    assert!(rt_on < rt_off * 1.30, "rt {rt_off} -> {rt_on}");
+}
+
+#[test]
+fn deformed_paths_are_detected_when_records_are_lost() {
+    // Drop all mysqld records (a "lost activities" scenario): paths
+    // deform but the correlator does not hallucinate complete ones.
+    let out = rubis::run(quick(8, 8));
+    let lossy: Vec<_> = out
+        .records
+        .iter()
+        .filter(|r| &*r.hostname != "db1")
+        .cloned()
+        .collect();
+    let config = out.correlator_config(Nanos::from_millis(10));
+    let corr = Correlator::new(config).correlate(lossy).unwrap();
+    let acc = out.truth.evaluate(&corr.cags);
+    // No path can be correct (every backend request lost its db records),
+    // except pure-static requests that never touch the database.
+    for cag in &corr.cags {
+        cag.validate().unwrap();
+    }
+    assert!(acc.accuracy() < 1.0);
+}
+
+#[test]
+fn accuracy_survives_skew_noise_and_tiny_window_combined() {
+    // Regression test: heavy clock skew + noise + a 1ms window +
+    // in-flight spans far exceeding the window. A receive blocked
+    // behind noise must not be declared noise while its matching send
+    // is still in the input (the anywhere-send index decides is_noise).
+    let mut cfg = quick(60, 8);
+    cfg.spec = cfg.spec.with_skew_ms(250);
+    cfg.noise = rubis::NoiseSpec { ssh_msgs_per_sec: 40.0, mysql_msgs_per_sec: 80.0 };
+    let out = rubis::run(cfg);
+    let (corr, acc) = out.correlate(Nanos::from_millis(1)).unwrap();
+    assert!(acc.is_perfect(), "{acc:?} ({})", corr.metrics.summary());
+    assert_eq!(corr.metrics.ranker.forced_deliveries, 0);
+}

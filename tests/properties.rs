@@ -1,0 +1,97 @@
+//! Property-based tests over the whole pipeline: for arbitrary
+//! workloads, seeds, topology parameters and windows within the paper's
+//! assumptions, tracing must stay exact and CAGs well-formed.
+
+use precisetracer::prelude::*;
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = rubis::ExperimentConfig> {
+    (
+        2usize..24,           // clients
+        6u64..14,             // steady seconds
+        0u64..4,              // mix selector (0-1 browse, 2-3 default)
+        any::<u64>(),         // seed
+        0i64..400,            // skew ms
+        prop::bool::ANY,      // noise
+        1u64..200,            // window ms (chosen later)
+    )
+        .prop_map(|(clients, secs, mix, seed, skew, noise, _w)| {
+            let mut cfg = rubis::ExperimentConfig::quick(clients, secs);
+            if mix >= 2 {
+                cfg.mix = rubis::Mix::default_mix();
+            }
+            cfg.seed = seed;
+            cfg.spec = cfg.spec.with_skew_ms(skew);
+            if noise {
+                cfg.noise = rubis::NoiseSpec {
+                    ssh_msgs_per_sec: 30.0,
+                    mysql_msgs_per_sec: 60.0,
+                };
+            }
+            cfg
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// The paper's headline: 100% path accuracy, no false positives, no
+    /// false negatives — for any workload within the assumptions.
+    #[test]
+    fn accuracy_is_always_perfect(cfg in arb_config(), window_ms in 1u64..200) {
+        let out = rubis::run(cfg);
+        let (corr, acc) = out.correlate(Nanos::from_millis(window_ms)).unwrap();
+        prop_assert!(acc.is_perfect(), "{acc:?} ({})", corr.metrics.summary());
+        // Structural invariants hold for every produced CAG.
+        for cag in &corr.cags {
+            prop_assert!(cag.validate().is_ok());
+        }
+    }
+
+    /// Total servicing latency always equals the sum of attributed
+    /// component latencies (the partition property behind Fig. 15).
+    #[test]
+    fn component_latencies_partition_total(seed in any::<u64>()) {
+        let mut cfg = rubis::ExperimentConfig::quick(6, 6);
+        cfg.seed = seed;
+        let out = rubis::run(cfg);
+        let (corr, _) = out.correlate(Nanos::from_millis(10)).unwrap();
+        for cag in &corr.cags {
+            let total = cag.total_latency().unwrap();
+            let sum: u64 = cag
+                .component_latencies()
+                .values()
+                .map(|n| n.as_nanos())
+                .sum();
+            prop_assert_eq!(total.as_nanos(), sum, "CAG {}", cag.id);
+        }
+    }
+
+    /// The correlator is deterministic: same log, same window → same
+    /// paths.
+    #[test]
+    fn correlation_is_deterministic(seed in any::<u64>()) {
+        let mut cfg = rubis::ExperimentConfig::quick(5, 6);
+        cfg.seed = seed;
+        let out = rubis::run(cfg);
+        let (a, _) = out.correlate(Nanos::from_millis(10)).unwrap();
+        let (b, _) = out.correlate(Nanos::from_millis(10)).unwrap();
+        let ta: Vec<Vec<u64>> = a.cags.iter().map(|c| c.sorted_tags()).collect();
+        let tb: Vec<Vec<u64>> = b.cags.iter().map(|c| c.sorted_tags()).collect();
+        prop_assert_eq!(ta, tb);
+    }
+
+    /// Isomorphic classification is stable: every CAG of the same request
+    /// type with the same query count lands in the same pattern.
+    #[test]
+    fn patterns_are_stable_across_seeds(seed in any::<u64>()) {
+        let mut cfg = rubis::ExperimentConfig::quick(8, 8);
+        cfg.seed = seed;
+        let out = rubis::run(cfg);
+        let (corr, _) = out.correlate(Nanos::from_millis(10)).unwrap();
+        let mut agg = PatternAggregator::new();
+        agg.add_all(&corr.cags);
+        // Browse_Only has exactly 4 structural classes.
+        prop_assert!(agg.len() <= 4, "got {} patterns", agg.len());
+    }
+}
