@@ -45,7 +45,11 @@ pub fn evaluate(inferred: &[Vec<u64>], truth: &[Vec<u64>]) -> BaselineAccuracy {
             _ => wrong += 1,
         }
     }
-    BaselineAccuracy { requests: truth.len() as u64, correct, wrong }
+    BaselineAccuracy {
+        requests: truth.len() as u64,
+        correct,
+        wrong,
+    }
 }
 
 #[cfg(test)]

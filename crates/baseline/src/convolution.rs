@@ -19,7 +19,10 @@ pub struct ConvolutionConfig {
 
 impl Default for ConvolutionConfig {
     fn default() -> Self {
-        ConvolutionConfig { bin_ns: 1_000_000, max_lag_bins: 2_000 }
+        ConvolutionConfig {
+            bin_ns: 1_000_000,
+            max_lag_bins: 2_000,
+        }
     }
 }
 
@@ -74,7 +77,10 @@ mod tests {
 
     #[test]
     fn recovers_constant_delay() {
-        let cfg = ConvolutionConfig { bin_ns: 1_000, max_lag_bins: 100 };
+        let cfg = ConvolutionConfig {
+            bin_ns: 1_000,
+            max_lag_bins: 100,
+        };
         let input: Vec<u64> = (0..200u64).map(|i| i * 37_000).collect();
         let output: Vec<u64> = input.iter().map(|t| t + 12_000).collect();
         let d = estimate_delay(&input, &output, &cfg).unwrap();
@@ -83,7 +89,10 @@ mod tests {
 
     #[test]
     fn recovers_delay_with_jitter() {
-        let cfg = ConvolutionConfig { bin_ns: 1_000, max_lag_bins: 100 };
+        let cfg = ConvolutionConfig {
+            bin_ns: 1_000,
+            max_lag_bins: 100,
+        };
         let input: Vec<u64> = (0..500u64).map(|i| i * 41_000).collect();
         let output: Vec<u64> = input
             .iter()
@@ -105,7 +114,10 @@ mod tests {
     fn uncorrelated_streams_give_low_quality_answer() {
         // The algorithm always answers something when mass overlaps —
         // Project5's known weakness: it cannot tell you it is guessing.
-        let cfg = ConvolutionConfig { bin_ns: 1_000, max_lag_bins: 50 };
+        let cfg = ConvolutionConfig {
+            bin_ns: 1_000,
+            max_lag_bins: 50,
+        };
         let input: Vec<u64> = (0..50u64).map(|i| i * 7_000).collect();
         let output: Vec<u64> = (0..50u64).map(|i| 1_000_000 + i * 13_000).collect();
         // No panic; any Option is acceptable.

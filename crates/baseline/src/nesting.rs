@@ -34,7 +34,10 @@ pub struct NestingConfig {
 
 impl Default for NestingConfig {
     fn default() -> Self {
-        NestingConfig { max_causal_gap: 10_000_000_000, merge_gap: 2_000_000 }
+        NestingConfig {
+            max_causal_gap: 10_000_000_000,
+            merge_gap: 2_000_000,
+        }
     }
 }
 
@@ -105,7 +108,10 @@ pub fn infer_paths(
                     let m = &mut messages[last.msg];
                     if m.send_proc.1 == rec.pid
                         && m.recv_ts.is_none()
-                        && rec.ts.as_nanos().saturating_sub(last.last_send_ts.as_nanos())
+                        && rec
+                            .ts
+                            .as_nanos()
+                            .saturating_sub(last.last_send_ts.as_nanos())
                             <= config.merge_gap
                     {
                         m.tags.push(rec.tag);
@@ -124,7 +130,11 @@ pub fn infer_paths(
                     is_begin: false,
                     is_end: act.ty == ActivityType::End,
                 });
-                q.push(Pending { msg, remaining: rec.size, last_send_ts: rec.ts });
+                q.push(Pending {
+                    msg,
+                    remaining: rec.size,
+                    last_send_ts: rec.ts,
+                });
             }
             ActivityType::Receive | ActivityType::Begin => {
                 if act.ty == ActivityType::Begin {
@@ -142,7 +152,9 @@ pub fn infer_paths(
                     let _ = msg;
                     continue;
                 }
-                let Some(q) = pendings.get_mut(&chan) else { continue };
+                let Some(q) = pendings.get_mut(&chan) else {
+                    continue;
+                };
                 if q.is_empty() {
                     continue; // noise receive
                 }
@@ -181,15 +193,15 @@ pub fn infer_paths(
         if m.is_begin {
             continue;
         }
-        let Some(inc) = incoming.get(&m.send_proc) else { continue };
+        let Some(inc) = incoming.get(&m.send_proc) else {
+            continue;
+        };
         // Most recent incoming message of the sending process whose
         // receive completed at or before this send.
         let mut best: Option<usize> = None;
         for &j in inc {
             let r = messages[j].recv_ts.expect("indexed by recv_ts");
-            if r <= m.send_ts
-                && m.send_ts.as_nanos() - r.as_nanos() <= config.max_causal_gap
-            {
+            if r <= m.send_ts && m.send_ts.as_nanos() - r.as_nanos() <= config.max_causal_gap {
                 best = Some(j);
             } else if r > m.send_ts {
                 break;
@@ -218,7 +230,10 @@ pub fn infer_paths(
         }
         tags.sort_unstable();
         tags.dedup();
-        paths.push(InferredPath { tags, root_ts: m.send_ts });
+        paths.push(InferredPath {
+            tags,
+            root_ts: m.send_ts,
+        });
     }
     paths
 }
@@ -286,7 +301,10 @@ mod tests {
             .iter()
             .filter(|p| p.tags == expected1 || p.tags == expected2)
             .count();
-        assert!(correct < 2, "nesting should err on interleaved load: {paths:?}");
+        assert!(
+            correct < 2,
+            "nesting should err on interleaved load: {paths:?}"
+        );
     }
 
     #[test]

@@ -9,7 +9,10 @@ use tracer_core::{Correlator, Nanos};
 fn bench(c: &mut Criterion) {
     let mut cfg = ExperimentConfig::quick(60, 8);
     cfg.spec = cfg.spec.with_skew_ms(250);
-    cfg.noise = NoiseSpec { ssh_msgs_per_sec: 40.0, mysql_msgs_per_sec: 80.0 };
+    cfg.noise = NoiseSpec {
+        ssh_msgs_per_sec: 40.0,
+        mysql_msgs_per_sec: 80.0,
+    };
     let out = multitier::run(cfg);
     let config = out.correlator_config(Nanos::from_millis(1));
     let mut g = c.benchmark_group("accuracy");

@@ -20,12 +20,16 @@ fn bench(c: &mut Criterion) {
         })
         .collect();
     // One-off accuracy comparison for the report.
-    let paths: Vec<Vec<u64>> = infer_paths(&out.records, &out.access_spec(), &NestingConfig::default())
-        .into_iter()
-        .map(|p| p.tags)
-        .collect();
+    let paths: Vec<Vec<u64>> =
+        infer_paths(&out.records, &out.access_spec(), &NestingConfig::default())
+            .into_iter()
+            .map(|p| p.tags)
+            .collect();
     let nest_acc = evaluate(&paths, &truth_sets);
-    println!("ext1: nesting accuracy at this load = {:.1}%", nest_acc.accuracy() * 100.0);
+    println!(
+        "ext1: nesting accuracy at this load = {:.1}%",
+        nest_acc.accuracy() * 100.0
+    );
 
     let mut g = c.benchmark_group("ext1_baseline");
     g.sample_size(10);
@@ -39,9 +43,7 @@ fn bench(c: &mut Criterion) {
         })
     });
     g.bench_function("nesting", |b| {
-        b.iter(|| {
-            infer_paths(&out.records, &out.access_spec(), &NestingConfig::default()).len()
-        })
+        b.iter(|| infer_paths(&out.records, &out.access_spec(), &NestingConfig::default()).len())
     });
     g.finish();
 }

@@ -7,14 +7,20 @@ use tracer_core::{Correlator, CorrelatorConfig, EngineOptions, Nanos, RankerOpti
 
 fn bench(c: &mut Criterion) {
     let mut cfg = ExperimentConfig::quick(80, 8);
-    cfg.noise = NoiseSpec { ssh_msgs_per_sec: 60.0, mysql_msgs_per_sec: 300.0 };
+    cfg.noise = NoiseSpec {
+        ssh_msgs_per_sec: 60.0,
+        mysql_msgs_per_sec: 300.0,
+    };
     let out = multitier::run(cfg);
     let base = out.correlator_config(Nanos::from_millis(2));
     let variants: Vec<(&str, CorrelatorConfig)> = vec![
         ("full", base.clone()),
         (
             "no_swap",
-            base.clone().with_ranker(RankerOptions { swap: false, ..base.ranker }),
+            base.clone().with_ranker(RankerOptions {
+                swap: false,
+                ..base.ranker
+            }),
         ),
         (
             // Boost capped: without merging, multi-segment receives can
@@ -25,12 +31,17 @@ fn bench(c: &mut Criterion) {
                     merge_segments: false,
                     ..base.engine.clone()
                 })
-                .with_ranker(RankerOptions { fetch_boost: 2, ..base.ranker }),
+                .with_ranker(RankerOptions {
+                    fetch_boost: 2,
+                    ..base.ranker
+                }),
         ),
         (
             "no_noise_discard",
-            base.clone()
-                .with_ranker(RankerOptions { noise_discard: false, ..base.ranker }),
+            base.clone().with_ranker(RankerOptions {
+                noise_discard: false,
+                ..base.ranker
+            }),
         ),
     ];
     let mut g = c.benchmark_group("ext2_ablation");

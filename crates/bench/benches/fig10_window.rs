@@ -11,15 +11,19 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     for window_ms in [1u64, 100, 10_000] {
         let config = out.correlator_config(Nanos::from_millis(window_ms));
-        g.bench_with_input(BenchmarkId::new("window_ms", window_ms), &config, |b, cfg| {
-            b.iter(|| {
-                Correlator::new(cfg.clone())
-                    .correlate(out.records.clone())
-                    .expect("config")
-                    .cags
-                    .len()
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("window_ms", window_ms),
+            &config,
+            |b, cfg| {
+                b.iter(|| {
+                    Correlator::new(cfg.clone())
+                        .correlate(out.records.clone())
+                        .expect("config")
+                        .cags
+                        .len()
+                })
+            },
+        );
     }
     g.finish();
 }

@@ -10,7 +10,9 @@ fn bench(c: &mut Criterion) {
     let out = multitier::run(ExperimentConfig::quick(150, 10));
     for window_ms in [1u64, 1_000, 100_000] {
         let config = out.correlator_config(Nanos::from_millis(window_ms));
-        let corr = Correlator::new(config).correlate(out.records.clone()).expect("config");
+        let corr = Correlator::new(config)
+            .correlate(out.records.clone())
+            .expect("config");
         println!(
             "fig11: window {:>6} ms -> peak memory {:>12} bytes",
             window_ms, corr.metrics.peak_bytes
@@ -20,15 +22,19 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     for window_ms in [1u64, 100_000] {
         let config = out.correlator_config(Nanos::from_millis(window_ms));
-        g.bench_with_input(BenchmarkId::new("window_ms", window_ms), &config, |b, cfg| {
-            b.iter(|| {
-                Correlator::new(cfg.clone())
-                    .correlate(out.records.clone())
-                    .expect("config")
-                    .metrics
-                    .peak_bytes
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("window_ms", window_ms),
+            &config,
+            |b, cfg| {
+                b.iter(|| {
+                    Correlator::new(cfg.clone())
+                        .correlate(out.records.clone())
+                        .expect("config")
+                        .metrics
+                        .peak_bytes
+                })
+            },
+        );
     }
     g.finish();
 }

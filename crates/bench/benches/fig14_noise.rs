@@ -9,7 +9,10 @@ fn bench(c: &mut Criterion) {
     let clean = multitier::run(ExperimentConfig::quick(100, 8));
     let noisy = {
         let mut cfg = ExperimentConfig::quick(100, 8);
-        cfg.noise = NoiseSpec { ssh_msgs_per_sec: 100.0, mysql_msgs_per_sec: 800.0 };
+        cfg.noise = NoiseSpec {
+            ssh_msgs_per_sec: 100.0,
+            mysql_msgs_per_sec: 800.0,
+        };
         multitier::run(cfg)
     };
     let mut g = c.benchmark_group("fig14_noise");

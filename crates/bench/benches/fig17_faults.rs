@@ -18,7 +18,9 @@ fn breakdown(faults: Vec<Fault>) -> BreakdownReport {
 
 fn bench(c: &mut Criterion) {
     let normal = breakdown(vec![]);
-    let faulty = breakdown(vec![Fault::EjbDelay { delay: Dist::Exp { mean: 80e6 } }]);
+    let faulty = breakdown(vec![Fault::EjbDelay {
+        delay: Dist::Exp { mean: 80e6 },
+    }]);
     let mut g = c.benchmark_group("fig17_faults");
     g.sample_size(30);
     g.bench_function("diff_and_localize", |b| {

@@ -17,8 +17,8 @@ use multitier::{Fault, Mix, NoiseSpec};
 use pt_bench::{experiment, header, paper_noise, row, run_and_trace, Scale};
 use simnet::Dist;
 use tracer_core::{
-    BreakdownReport, Component, Correlator, CorrelatorConfig, Diagnosis, DiffReport,
-    EngineOptions, FilterSet, Nanos, RankerOptions,
+    BreakdownReport, Component, Correlator, CorrelatorConfig, Diagnosis, DiffReport, EngineOptions,
+    FilterSet, Nanos, RankerOptions,
 };
 
 fn main() {
@@ -28,8 +28,8 @@ fn main() {
     let mut wanted: Vec<String> = args.into_iter().filter(|a| a != "--quick").collect();
     if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
         wanted = [
-            "acc", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
-            "fig16", "fig17", "ext1", "ext2",
+            "acc", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
+            "fig17", "ext1", "ext2",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -71,7 +71,11 @@ fn figs8_to_11(scale: Scale, wanted: &[String]) {
     for clients in scale.client_sweep() {
         let cfg = experiment(scale, clients);
         let rt = run_and_trace(cfg, Nanos::from_millis(10));
-        assert!(rt.accuracy.is_perfect(), "accuracy regression: {:?}", rt.accuracy);
+        assert!(
+            rt.accuracy.is_perfect(),
+            "accuracy regression: {:?}",
+            rt.accuracy
+        );
         fig8_rows.push((clients, rt.out.service.completed));
         fig9_rows.push((rt.out.service.completed, rt.correlation_time.as_secs_f64()));
         if (want("fig10") || want("fig11")) && [200, 500, 800].contains(&clients) {
@@ -106,7 +110,10 @@ fn figs8_to_11(scale: Scale, wanted: &[String]) {
         println!("\n== Fig. 10: correlation time vs sliding window ==");
         let mut cols = vec!["window_ms".to_string()];
         cols.extend(fig10.keys().map(|c| format!("{c}_clients_s")));
-        println!("{}", header(&cols.iter().map(|s| s.as_str()).collect::<Vec<_>>()));
+        println!(
+            "{}",
+            header(&cols.iter().map(|s| s.as_str()).collect::<Vec<_>>())
+        );
         for (i, &w) in windows_ms.iter().enumerate() {
             let mut cells = vec![w.to_string()];
             for rows in fig10.values() {
@@ -119,7 +126,10 @@ fn figs8_to_11(scale: Scale, wanted: &[String]) {
         println!("\n== Fig. 11: correlator peak memory vs sliding window ==");
         let mut cols = vec!["window_ms".to_string()];
         cols.extend(fig11.keys().map(|c| format!("{c}_clients_MB")));
-        println!("{}", header(&cols.iter().map(|s| s.as_str()).collect::<Vec<_>>()));
+        println!(
+            "{}",
+            header(&cols.iter().map(|s| s.as_str()).collect::<Vec<_>>())
+        );
         for (i, &w) in windows_ms.iter().enumerate() {
             let mut cells = vec![w.to_string()];
             for rows in fig11.values() {
@@ -137,8 +147,11 @@ fn acc(scale: Scale) {
         "{}",
         header(&["clients", "window", "skew_ms", "noise", "requests", "accuracy"])
     );
-    let clients_list: &[usize] =
-        if scale == Scale::Paper { &[100, 500, 1000] } else { &[50, 200] };
+    let clients_list: &[usize] = if scale == Scale::Paper {
+        &[100, 500, 1000]
+    } else {
+        &[50, 200]
+    };
     for &clients in clients_list {
         for (window, skew_ms, noise) in [
             (Nanos::from_millis(1), 1i64, false),
@@ -178,7 +191,15 @@ fn figs12_13(scale: Scale) {
     println!("\n== Figs. 12/13: RUBiS throughput & response time, probe enabled vs disabled ==");
     println!(
         "{}",
-        header(&["clients", "tp_off", "tp_on", "tp_ovh%", "rt_off_ms", "rt_on_ms", "rt_ovh%"])
+        header(&[
+            "clients",
+            "tp_off",
+            "tp_on",
+            "tp_ovh%",
+            "rt_off_ms",
+            "rt_on_ms",
+            "rt_ovh%"
+        ])
     );
     let mut max_tp_ovh: f64 = 0.0;
     let mut max_rt_ovh: f64 = 0.0;
@@ -219,9 +240,15 @@ fn figs12_13(scale: Scale) {
 /// Fig. 14: correlation time with and without ~200K noise activities.
 fn fig14(scale: Scale) {
     println!("\n== Fig. 14: noise tolerance (window 2ms) ==");
-    println!("{}", header(&["clients", "no_noise_s", "noise_s", "noise_records"]));
-    let clients_list: &[usize] =
-        if scale == Scale::Paper { &[100, 300, 500, 700, 900] } else { &[100, 300] };
+    println!(
+        "{}",
+        header(&["clients", "no_noise_s", "noise_s", "noise_records"])
+    );
+    let clients_list: &[usize] = if scale == Scale::Paper {
+        &[100, 300, 500, 700, 900]
+    } else {
+        &[100, 300]
+    };
     for &clients in clients_list {
         let base = {
             let cfg = experiment(scale, clients);
@@ -258,7 +285,10 @@ fn percent_table(title: &str, columns: Vec<(String, BreakdownReport)>) {
     comps.sort();
     let mut cols = vec!["component".to_string()];
     cols.extend(columns.iter().map(|(n, _)| n.clone()));
-    println!("{}", header(&cols.iter().map(|s| s.as_str()).collect::<Vec<_>>()));
+    println!(
+        "{}",
+        header(&cols.iter().map(|s| s.as_str()).collect::<Vec<_>>())
+    );
     for c in &comps {
         let mut cells = vec![c.to_string()];
         for (_, b) in &columns {
@@ -277,8 +307,11 @@ fn percent_table(title: &str, columns: Vec<(String, BreakdownReport)>) {
 /// Fig. 15: latency percentages of the dominant (ViewItem-class)
 /// pattern as clients rise, MaxThreads = 40.
 fn fig15(scale: Scale) {
-    let clients_list: &[usize] =
-        if scale == Scale::Paper { &[500, 600, 700, 800] } else { &[300, 500] };
+    let clients_list: &[usize] = if scale == Scale::Paper {
+        &[500, 600, 700, 800]
+    } else {
+        &[300, 500]
+    };
     let mut cols = Vec::new();
     for &clients in clients_list {
         let rt = run_and_trace(experiment(scale, clients), Nanos::from_millis(10));
@@ -296,7 +329,13 @@ fn fig16(scale: Scale) {
     println!("\n== Fig. 16: MaxThreads 40 vs 250 ==");
     println!(
         "{}",
-        header(&["clients", "TP_MT40", "TP_MT250", "RT_MT40_ms", "RT_MT250_ms"])
+        header(&[
+            "clients",
+            "TP_MT40",
+            "TP_MT250",
+            "RT_MT40_ms",
+            "RT_MT250_ms"
+        ])
     );
     for clients in scale.client_sweep() {
         let run = |mt: usize| {
@@ -326,13 +365,20 @@ fn fig17(scale: Scale) {
         ("normal", vec![]),
         (
             "EJB_Delay",
-            vec![Fault::EjbDelay { delay: Dist::Exp { mean: 60e6 } }],
+            vec![Fault::EjbDelay {
+                delay: Dist::Exp { mean: 60e6 },
+            }],
         ),
         (
             "DataBase_Lock",
-            vec![Fault::DbLock { hold: Dist::Exp { mean: 4e6 } }],
+            vec![Fault::DbLock {
+                hold: Dist::Exp { mean: 4e6 },
+            }],
         ),
-        ("EJB_Network", vec![Fault::AppNetDegrade { bps: 10_000_000 }]),
+        (
+            "EJB_Network",
+            vec![Fault::AppNetDegrade { bps: 10_000_000 }],
+        ),
     ];
     let mut cols = Vec::new();
     for (name, faults) in &cases {
@@ -344,7 +390,10 @@ fn fig17(scale: Scale) {
         let b = BreakdownReport::dominant(&rt.corr.cags).expect("dominant pattern");
         cols.push((name.to_string(), b));
     }
-    percent_table("Fig. 17: latency percentages for abnormal cases", cols.clone());
+    percent_table(
+        "Fig. 17: latency percentages for abnormal cases",
+        cols.clone(),
+    );
     // §5.4 localization on each abnormal case.
     println!("\n-- automatic localization (§5.4 reasoning) --");
     let normal = &cols[0].1;
@@ -364,8 +413,11 @@ fn ext1(scale: Scale) {
         "{}",
         header(&["clients", "requests", "precise_acc", "nesting_acc"])
     );
-    let clients_list: &[usize] =
-        if scale == Scale::Paper { &[10, 100, 400, 800] } else { &[10, 100, 300] };
+    let clients_list: &[usize] = if scale == Scale::Paper {
+        &[10, 100, 400, 800]
+    } else {
+        &[10, 100, 300]
+    };
     for &clients in clients_list {
         let rt = run_and_trace(experiment(scale, clients), Nanos::from_millis(10));
         let inferred = infer_paths(
@@ -428,7 +480,10 @@ fn ext2(scale: Scale) {
                         merge_segments: false,
                         ..base.engine.clone()
                     })
-                    .with_ranker(RankerOptions { fetch_boost: 2, ..base.ranker }),
+                    .with_ranker(RankerOptions {
+                        fetch_boost: 2,
+                        ..base.ranker
+                    }),
             ),
             (
                 "no thread-reuse check",
@@ -469,7 +524,9 @@ fn ext2(scale: Scale) {
     let filtered = out
         .correlator_config(Nanos::from_millis(2))
         .with_filters(FilterSet::new().drop_program("sshd"));
-    let corr = Correlator::new(filtered).correlate(out.records.clone()).expect("config");
+    let corr = Correlator::new(filtered)
+        .correlate(out.records.clone())
+        .expect("config");
     let acc = out.truth.evaluate(&corr.cags);
     println!(
         "{}",

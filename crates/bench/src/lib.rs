@@ -75,7 +75,12 @@ pub fn trace_only(out: ExperimentOutput, window: Nanos) -> RunAndTrace {
     let t = Instant::now();
     let (corr, accuracy) = out.correlate(window).expect("valid correlator config");
     let correlation_time = t.elapsed();
-    RunAndTrace { out, corr, accuracy, correlation_time }
+    RunAndTrace {
+        out,
+        corr,
+        accuracy,
+        correlation_time,
+    }
 }
 
 /// The Browse_Only mix (sugar re-export for benches).

@@ -134,7 +134,12 @@ pub fn run(cfg: ExperimentConfig) -> ExperimentOutput {
     sim.run();
     let events = sim.events_processed();
     let world = sim.world;
-    let RubisWorld { probe, truth, metrics, .. } = world;
+    let RubisWorld {
+        probe,
+        truth,
+        metrics,
+        ..
+    } = world;
     ExperimentOutput {
         clients,
         records: probe.into_records(),
@@ -182,7 +187,10 @@ mod tests {
     #[test]
     fn accuracy_holds_with_noise() {
         let mut cfg = ExperimentConfig::quick(6, 8);
-        cfg.noise = NoiseSpec { ssh_msgs_per_sec: 40.0, mysql_msgs_per_sec: 40.0 };
+        cfg.noise = NoiseSpec {
+            ssh_msgs_per_sec: 40.0,
+            mysql_msgs_per_sec: 40.0,
+        };
         let out = run(cfg);
         let (corr, acc) = out.correlate(Nanos::from_millis(2)).unwrap();
         assert!(acc.is_perfect(), "{acc:?}");
@@ -206,8 +214,11 @@ mod tests {
         let out = run(ExperimentConfig::quick(8, 10));
         let (corr, _) = out.correlate(Nanos::from_millis(10)).unwrap();
         let breakdown = BreakdownReport::dominant(&corr.cags).expect("some pattern");
-        let comps: Vec<String> =
-            breakdown.percentages.keys().map(|c| c.to_string()).collect();
+        let comps: Vec<String> = breakdown
+            .percentages
+            .keys()
+            .map(|c| c.to_string())
+            .collect();
         assert!(comps.iter().any(|c| c == "httpd2java"), "{comps:?}");
         assert!(comps.iter().any(|c| c == "java2mysqld"), "{comps:?}");
         assert!(comps.iter().any(|c| c == "mysqld2mysqld"), "{comps:?}");

@@ -45,7 +45,11 @@ pub struct TruthCollector {
 impl TruthCollector {
     /// An empty collector.
     pub fn new() -> Self {
-        TruthCollector { requests: HashMap::new(), next_id: 1, noise_records: 0 }
+        TruthCollector {
+            requests: HashMap::new(),
+            next_id: 1,
+            noise_records: 0,
+        }
     }
 
     /// Registers a new request; returns its id.
@@ -54,7 +58,13 @@ impl TruthCollector {
         self.next_id += 1;
         self.requests.insert(
             id,
-            RequestTruth { id, type_idx, issued, completed: None, records: Vec::new() },
+            RequestTruth {
+                id,
+                type_idx,
+                issued,
+                completed: None,
+                records: Vec::new(),
+            },
         );
         id
     }
@@ -96,7 +106,10 @@ impl TruthCollector {
 
     /// Number of completed requests.
     pub fn completed_count(&self) -> u64 {
-        self.requests.values().filter(|r| r.completed.is_some()).count() as u64
+        self.requests
+            .values()
+            .filter(|r| r.completed.is_some())
+            .count() as u64
     }
 
     /// Total noise records observed.

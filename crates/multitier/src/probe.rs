@@ -38,7 +38,13 @@ impl ProbeSink {
     /// A sink for the given traced nodes.
     pub fn new(nodes: Vec<ProbedNode>, enabled: bool) -> Self {
         let records = nodes.iter().map(|_| Vec::new()).collect();
-        ProbeSink { nodes, records, next_uid: 1, enabled, total: 0 }
+        ProbeSink {
+            nodes,
+            records,
+            next_uid: 1,
+            enabled,
+            total: 0,
+        }
     }
 
     /// Whether the probe is armed (disabled probes cost nothing and log
@@ -116,8 +122,14 @@ mod tests {
     fn sink(enabled: bool) -> ProbeSink {
         ProbeSink::new(
             vec![
-                ProbedNode { hostname: "web1".into(), clock: ClockModel::with_offset_ms(100) },
-                ProbedNode { hostname: "db1".into(), clock: ClockModel::synchronized() },
+                ProbedNode {
+                    hostname: "web1".into(),
+                    clock: ClockModel::with_offset_ms(100),
+                },
+                ProbedNode {
+                    hostname: "db1".into(),
+                    clock: ClockModel::synchronized(),
+                },
             ],
             enabled,
         )
@@ -170,8 +182,28 @@ mod tests {
     fn uids_are_unique_across_nodes() {
         let mut s = sink(true);
         let prog: Arc<str> = "x".into();
-        let a = s.log(0, SimTime(1), &prog, 1, 1, RawOp::Send, ep("1.1.1.1:1"), ep("2.2.2.2:2"), 1);
-        let b = s.log(1, SimTime(2), &prog, 1, 1, RawOp::Receive, ep("1.1.1.1:1"), ep("2.2.2.2:2"), 1);
+        let a = s.log(
+            0,
+            SimTime(1),
+            &prog,
+            1,
+            1,
+            RawOp::Send,
+            ep("1.1.1.1:1"),
+            ep("2.2.2.2:2"),
+            1,
+        );
+        let b = s.log(
+            1,
+            SimTime(2),
+            &prog,
+            1,
+            1,
+            RawOp::Receive,
+            ep("1.1.1.1:1"),
+            ep("2.2.2.2:2"),
+            1,
+        );
         assert_ne!(a, b);
         assert_eq!(s.total(), 2);
     }

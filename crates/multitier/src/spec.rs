@@ -51,22 +51,47 @@ impl RequestType {
             queries,
             touches_items,
             is_write: false,
-            req_size: Dist::Uniform { lo: 300.0, hi: 700.0 },
-            backend_req_size: Dist::Uniform { lo: 400.0, hi: 900.0 },
-            query_size: Dist::Uniform { lo: 150.0, hi: 400.0 },
-            result_size: Dist::Pareto { lo: 800.0, hi: 24_000.0, alpha: 1.3 },
-            page_size: Dist::Uniform { lo: 5_000.0, hi: 14_000.0 },
-            httpd_cpu: Dist::Exp { mean: 2_200_000.0 },         // ~2.2ms
-            java_cpu: Dist::LogNormal { median: 7_800_000.0, sigma: 0.3 }, // ~8.2ms
-            mysql_cpu: Dist::Exp { mean: 2_200_000.0 },         // ~2.2ms
+            req_size: Dist::Uniform {
+                lo: 300.0,
+                hi: 700.0,
+            },
+            backend_req_size: Dist::Uniform {
+                lo: 400.0,
+                hi: 900.0,
+            },
+            query_size: Dist::Uniform {
+                lo: 150.0,
+                hi: 400.0,
+            },
+            result_size: Dist::Pareto {
+                lo: 800.0,
+                hi: 24_000.0,
+                alpha: 1.3,
+            },
+            page_size: Dist::Uniform {
+                lo: 5_000.0,
+                hi: 14_000.0,
+            },
+            httpd_cpu: Dist::Exp { mean: 2_200_000.0 }, // ~2.2ms
+            java_cpu: Dist::LogNormal {
+                median: 7_800_000.0,
+                sigma: 0.3,
+            }, // ~8.2ms
+            mysql_cpu: Dist::Exp { mean: 2_200_000.0 }, // ~2.2ms
         }
     }
 
     fn write(name: &'static str, weight: u32, queries: u32) -> Self {
         let mut t = Self::browse(name, weight, queries, true);
         t.is_write = true;
-        t.result_size = Dist::Uniform { lo: 200.0, hi: 800.0 };
-        t.page_size = Dist::Uniform { lo: 2_000.0, hi: 6_000.0 };
+        t.result_size = Dist::Uniform {
+            lo: 200.0,
+            hi: 800.0,
+        };
+        t.page_size = Dist::Uniform {
+            lo: 2_000.0,
+            hi: 6_000.0,
+        };
         t.mysql_cpu = Dist::Exp { mean: 3_200_000.0 };
         t
     }
@@ -86,7 +111,10 @@ impl Mix {
     pub fn browse_only() -> Mix {
         let mut home = RequestType::browse("Home", 10, 0, false);
         home.uses_backend = false;
-        home.page_size = Dist::Uniform { lo: 2_000.0, hi: 5_000.0 };
+        home.page_size = Dist::Uniform {
+            lo: 2_000.0,
+            hi: 5_000.0,
+        };
         Mix {
             name: "Browse_Only",
             types: vec![
@@ -109,7 +137,10 @@ impl Mix {
         types.push(RequestType::write("StoreBid", 7, 3));
         types.push(RequestType::write("StoreComment", 4, 2));
         types.push(RequestType::write("RegisterItem", 4, 3));
-        Mix { name: "Default", types }
+        Mix {
+            name: "Default",
+            types,
+        }
     }
 
     /// Samples a request type index.
@@ -167,7 +198,10 @@ pub struct NoiseSpec {
 
 impl Default for NoiseSpec {
     fn default() -> Self {
-        NoiseSpec { ssh_msgs_per_sec: 0.0, mysql_msgs_per_sec: 0.0 }
+        NoiseSpec {
+            ssh_msgs_per_sec: 0.0,
+            mysql_msgs_per_sec: 0.0,
+        }
     }
 }
 
@@ -281,8 +315,14 @@ impl ServiceSpec {
             ],
             max_threads: 40,
             keepalive_linger: SimDur::from_millis(380),
-            conn_setup: Dist::LogNormal { median: 15_000_000.0, sigma: 0.25 }, // ~15ms
-            conn_setup_cpu: Dist::LogNormal { median: 5_500_000.0, sigma: 0.25 }, // ~5.7ms
+            conn_setup: Dist::LogNormal {
+                median: 15_000_000.0,
+                sigma: 0.25,
+            }, // ~15ms
+            conn_setup_cpu: Dist::LogNormal {
+                median: 5_500_000.0,
+                sigma: 0.25,
+            }, // ~5.7ms
             db_tokens: 4,
             db_dispatch: Dist::Exp { mean: 5_000_000.0 }, // ~5ms
             app_write_chunk: 4096,
@@ -450,8 +490,12 @@ mod tests {
     #[test]
     fn fault_accessors() {
         let s = ServiceSpec::paper_default()
-            .with_fault(Fault::EjbDelay { delay: Dist::Constant(1.0) })
-            .with_fault(Fault::DbLock { hold: Dist::Constant(2.0) })
+            .with_fault(Fault::EjbDelay {
+                delay: Dist::Constant(1.0),
+            })
+            .with_fault(Fault::DbLock {
+                hold: Dist::Constant(2.0),
+            })
             .with_fault(Fault::AppNetDegrade { bps: 10_000_000 });
         assert!(s.ejb_delay().is_some());
         assert!(s.db_lock().is_some());
@@ -480,6 +524,10 @@ mod tests {
     #[test]
     fn noise_spec_any() {
         assert!(!NoiseSpec::none().any());
-        assert!(NoiseSpec { ssh_msgs_per_sec: 1.0, ..NoiseSpec::none() }.any());
+        assert!(NoiseSpec {
+            ssh_msgs_per_sec: 1.0,
+            ..NoiseSpec::none()
+        }
+        .any());
     }
 }

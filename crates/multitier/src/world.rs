@@ -17,8 +17,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use simnet::tcp::ReadResult;
 use simnet::{
-    Addr, ClockModel, Dist, FifoResource, Gate, PortAlloc, RecvBuffer, Scheduler, SimDur,
-    SimTime, Wire, WireParams, World,
+    Addr, ClockModel, Dist, FifoResource, Gate, PortAlloc, RecvBuffer, Scheduler, SimDur, SimTime,
+    Wire, WireParams, World,
 };
 use tracer_core::raw::RawOp;
 use tracer_core::EndpointV4;
@@ -338,8 +338,12 @@ impl RubisWorld {
             (0..cfg.clients)
                 .map(|w| Worker::new(1000 + w as u32, 1000 + w as u32))
                 .collect::<Vec<_>>(),
-            (0..spec.app.workers).map(|w| Worker::new(2000, 2001 + w as u32)).collect(),
-            (0..spec.db.workers).map(|w| Worker::new(3000, 3001 + w as u32)).collect(),
+            (0..spec.app.workers)
+                .map(|w| Worker::new(2000, 2001 + w as u32))
+                .collect(),
+            (0..spec.db.workers)
+                .map(|w| Worker::new(3000, 3001 + w as u32))
+                .collect(),
         ];
         let app_free: Vec<usize> = (0..spec.app.workers).rev().collect();
         let cpus = vec![
@@ -418,7 +422,10 @@ impl RubisWorld {
             sched.at(start, Ev::ClientStart(i));
         }
         if self.cfg.noise.ssh_msgs_per_sec > 0.0 {
-            sched.after(self.noise_gap(self.cfg.noise.ssh_msgs_per_sec / 2.0), Ev::NoiseSsh);
+            sched.after(
+                self.noise_gap(self.cfg.noise.ssh_msgs_per_sec / 2.0),
+                Ev::NoiseSsh,
+            );
         }
         if self.cfg.noise.mysql_msgs_per_sec > 0.0 {
             let noise_node = self.node_ips.len() - 1;
@@ -431,7 +438,10 @@ impl RubisWorld {
             );
             self.conns[conn as usize].acceptor = Attach::NoiseDb(self.noise_tid);
             self.noise_conn = Some(conn);
-            sched.after(self.noise_gap(self.cfg.noise.mysql_msgs_per_sec / 2.0), Ev::NoiseMysql);
+            sched.after(
+                self.noise_gap(self.cfg.noise.mysql_msgs_per_sec / 2.0),
+                Ev::NoiseMysql,
+            );
         }
     }
 
@@ -461,12 +471,16 @@ impl RubisWorld {
         let base = self.cfg.spec.wire;
         let bw = self.nic_bps[a].min(self.nic_bps[b]);
         self.wires.entry((a, b)).or_insert_with(|| {
-            Wire::new(WireParams { bandwidth_bps: bw, ..base })
+            Wire::new(WireParams {
+                bandwidth_bps: bw,
+                ..base
+            })
         })
     }
 
     /// Sends a logical message; emits SEND probe records when the sender
     /// is a traced tier, and schedules segment arrivals.
+    #[allow(clippy::too_many_arguments)]
     fn send_message(
         &mut self,
         sched: &mut Scheduler<Ev>,
@@ -492,9 +506,11 @@ impl RubisWorld {
         if traced {
             let chunk = self.cfg.spec.app_write_chunk.max(1);
             let (program, pid, tid) = match (sender_worker, noise_tid) {
-                (Some((t, w)), _) => {
-                    (Arc::clone(&self.programs[t]), self.workers[t][w].pid, self.workers[t][w].tid)
-                }
+                (Some((t, w)), _) => (
+                    Arc::clone(&self.programs[t]),
+                    self.workers[t][w].pid,
+                    self.workers[t][w].tid,
+                ),
                 (None, Some(tid)) => (Arc::clone(&self.programs[DB]), 3000, tid),
                 _ => unreachable!("traced sender must be a worker or noise thread"),
             };
@@ -526,10 +542,19 @@ impl RubisWorld {
         }
         self.conns[conn_id as usize].buf(dir).push_message(size);
         let mut rng = std::mem::replace(&mut self.rng, StdRng::seed_from_u64(0));
-        let plans = self.wire_for(src_node, dst_node).transmit(now, size, &mut rng);
+        let plans = self
+            .wire_for(src_node, dst_node)
+            .transmit(now, size, &mut rng);
         self.rng = rng;
         for p in plans {
-            sched.at(p.at, Ev::Seg { conn: conn_id, dir, bytes: p.bytes });
+            sched.at(
+                p.at,
+                Ev::Seg {
+                    conn: conn_id,
+                    dir,
+                    bytes: p.bytes,
+                },
+            );
         }
     }
 
@@ -546,7 +571,10 @@ impl RubisWorld {
         if self.probe.enabled() {
             let (src, dst) = self.conns[conn_id as usize].channel(dir);
             let req = self.workers[tier][widx].req.or_else(|| {
-                self.conns[conn_id as usize].fwd_reqs.front().map(|&(r, _)| r)
+                self.conns[conn_id as usize]
+                    .fwd_reqs
+                    .front()
+                    .map(|&(r, _)| r)
             });
             let program = Arc::clone(&self.programs[tier]);
             let (pid, tid) = (self.workers[tier][widx].pid, self.workers[tier][widx].tid);
@@ -615,7 +643,9 @@ impl RubisWorld {
     }
 
     fn client_complete(&mut self, sched: &mut Scheduler<Ev>, now: SimTime, ci: usize) {
-        let Some(req) = self.clients[ci].req.take() else { return };
+        let Some(req) = self.clients[ci].req.take() else {
+            return;
+        };
         self.truth.complete(req, now);
         let rt = now.since(self.clients[ci].issued_at);
         self.metrics.on_complete(now, rt);
@@ -630,7 +660,9 @@ impl RubisWorld {
     // ----- httpd (tier 0) ------------------------------------------------
 
     fn web_on_request_data(&mut self, sched: &mut Scheduler<Ev>, now: SimTime, conn: u64) {
-        let Attach::Worker(_, w) = self.conns[conn as usize].acceptor else { return };
+        let Attach::Worker(_, w) = self.conns[conn as usize].acceptor else {
+            return;
+        };
         if self.workers[WEB][w].phase == Phase::Idle {
             self.workers[WEB][w].phase = Phase::RecvRequest;
             self.workers[WEB][w].conn = Some(conn);
@@ -670,7 +702,9 @@ impl RubisWorld {
                         Addr::new(self.node_ips[APP], self.cfg.spec.app.port),
                     );
                     self.conns[conn as usize].opener = Attach::Worker(WEB, w);
-                    self.conns[conn as usize].fwd_reqs.push_back((req.unwrap_or(0), rtype));
+                    self.conns[conn as usize]
+                        .fwd_reqs
+                        .push_back((req.unwrap_or(0), rtype));
                     let size = self.sample(self.cfg.mix.types[rtype].backend_req_size);
                     self.workers[WEB][w].phase = Phase::AwaitResult;
                     self.workers[WEB][w].reading = Some((conn, Dir::Rev));
@@ -695,7 +729,16 @@ impl RubisWorld {
         let rtype = self.workers[WEB][w].rtype;
         let req = self.workers[WEB][w].req;
         let size = self.sample(self.cfg.mix.types[rtype].page_size);
-        self.send_message(sched, now, client_conn, Dir::Rev, size, req, Some((WEB, w)), None);
+        self.send_message(
+            sched,
+            now,
+            client_conn,
+            Dir::Rev,
+            size,
+            req,
+            Some((WEB, w)),
+            None,
+        );
         let wk = &mut self.workers[WEB][w];
         wk.phase = Phase::Idle;
         wk.req = None;
@@ -722,7 +765,10 @@ impl RubisWorld {
 
     fn app_start_worker(&mut self, sched: &mut Scheduler<Ev>, now: SimTime, conn: u64) {
         let _ = now;
-        let w = self.app_free.pop().expect("connector pool grants never exceed workers");
+        let w = self
+            .app_free
+            .pop()
+            .expect("connector pool grants never exceed workers");
         self.conns[conn as usize].acceptor = Attach::Worker(APP, w);
         let setup = self.sample_dur(self.cfg.spec.conn_setup);
         let wk = &mut self.workers[APP][w];
@@ -731,7 +777,14 @@ impl RubisWorld {
         wk.reading = Some((conn, Dir::Fwd));
         wk.epoch += 1;
         let epoch = wk.epoch;
-        sched.after(setup, Ev::Delay { tier: APP, worker: w, epoch });
+        sched.after(
+            setup,
+            Ev::Delay {
+                tier: APP,
+                worker: w,
+                epoch,
+            },
+        );
     }
 
     fn app_continue_recv(&mut self, sched: &mut Scheduler<Ev>, now: SimTime, w: usize) {
@@ -770,7 +823,14 @@ impl RubisWorld {
                     wk.phase = Phase::EjbDelay;
                     wk.epoch += 1;
                     let epoch = wk.epoch;
-                    sched.after(d, Ev::Delay { tier: APP, worker: w, epoch });
+                    sched.after(
+                        d,
+                        Ev::Delay {
+                            tier: APP,
+                            worker: w,
+                            epoch,
+                        },
+                    );
                 } else {
                     self.app_next_step(sched, now, w);
                 }
@@ -815,7 +875,9 @@ impl RubisWorld {
             }
         };
         let size = self.sample(self.cfg.mix.types[rtype].query_size);
-        self.conns[conn as usize].fwd_reqs.push_back((req.unwrap_or(0), rtype));
+        self.conns[conn as usize]
+            .fwd_reqs
+            .push_back((req.unwrap_or(0), rtype));
         self.workers[APP][w].phase = Phase::AwaitResult;
         self.workers[APP][w].reading = Some((conn, Dir::Rev));
         self.send_message(sched, now, conn, Dir::Fwd, size, req, Some((APP, w)), None);
@@ -823,8 +885,7 @@ impl RubisWorld {
 
     fn db_worker_for_conn(&mut self, _conn: u64) -> usize {
         // One mysqld thread per connection; find a never-used slot.
-        let idx = self
-            .workers[DB]
+        let idx = self.workers[DB]
             .iter()
             .position(|wk| wk.conn.is_none() && wk.phase == Phase::Idle && wk.reading.is_none())
             .expect("mysqld thread-per-connection pool exhausted");
@@ -882,7 +943,9 @@ impl RubisWorld {
     // ----- MySQL (tier 2) ----------------------------------------------------
 
     fn db_on_query_data(&mut self, sched: &mut Scheduler<Ev>, now: SimTime, conn: u64) {
-        let Attach::Worker(_, w) = self.conns[conn as usize].acceptor else { return };
+        let Attach::Worker(_, w) = self.conns[conn as usize].acceptor else {
+            return;
+        };
         match self.workers[DB][w].phase {
             Phase::Idle => {
                 let wk = &mut self.workers[DB][w];
@@ -904,7 +967,14 @@ impl RubisWorld {
         wk.phase = Phase::DispatchDelay;
         wk.epoch += 1;
         let epoch = wk.epoch;
-        sched.after(d, Ev::Delay { tier: DB, worker: w, epoch });
+        sched.after(
+            d,
+            Ev::Delay {
+                tier: DB,
+                worker: w,
+                epoch,
+            },
+        );
     }
 
     /// After the dispatch delay: if the query needs the locked `items`
@@ -952,7 +1022,12 @@ impl RubisWorld {
         wk.rtype = rtype;
         wk.pending_cpu = SimDur(cpu);
         if self.workers[DB][w].holds_lock {
-            let hold = self.cfg.spec.db_lock().copied().expect("lock held implies fault");
+            let hold = self
+                .cfg
+                .spec
+                .db_lock()
+                .copied()
+                .expect("lock held implies fault");
             let extra = self.sample_dur(hold);
             self.workers[DB][w].pending_cpu += extra;
         }
@@ -1001,7 +1076,17 @@ impl RubisWorld {
         let program: Arc<str> = "sshd".into();
         let peer = EndpointV4::new(Ipv4Addr::new(172, 16, 0, 50), 52_000);
         let local = EndpointV4::new(self.node_ips[WEB], 22);
-        let uid1 = self.probe.log(WEB, now, &program, 500, 500, RawOp::Receive, peer, local, 96);
+        let uid1 = self.probe.log(
+            WEB,
+            now,
+            &program,
+            500,
+            500,
+            RawOp::Receive,
+            peer,
+            local,
+            96,
+        );
         self.truth.note_noise(uid1);
         let uid2 = self.probe.log(
             WEB,
@@ -1052,7 +1137,16 @@ impl RubisWorld {
         // Respond with a small result after a fixed 300us "query".
         let at = SimTime(now.as_nanos() + 300_000);
         let size = 200 + self.sample(Dist::Uniform { lo: 0.0, hi: 700.0 });
-        self.send_message(sched, at.max(now), conn, Dir::Rev, size, None, None, Some(tid));
+        self.send_message(
+            sched,
+            at.max(now),
+            conn,
+            Dir::Rev,
+            size,
+            None,
+            None,
+            Some(tid),
+        );
     }
 
     // ----- event dispatch ----------------------------------------------------
@@ -1106,7 +1200,14 @@ impl RubisWorld {
         }
     }
 
-    fn on_delay(&mut self, sched: &mut Scheduler<Ev>, now: SimTime, tier: usize, w: usize, epoch: u64) {
+    fn on_delay(
+        &mut self,
+        sched: &mut Scheduler<Ev>,
+        now: SimTime,
+        tier: usize,
+        w: usize,
+        epoch: u64,
+    ) {
         if self.workers[tier][w].epoch != epoch {
             return;
         }
@@ -1139,7 +1240,11 @@ fn split_cpu(total_ns: u64, queries: u32) -> (SimDur, SimDur, SimDur) {
     let pre = total_ns * 4 / 10;
     let post = total_ns * 2 / 10;
     let mid_total = total_ns - pre - post;
-    (SimDur(pre), SimDur(mid_total / queries as u64), SimDur(post))
+    (
+        SimDur(pre),
+        SimDur(mid_total / queries as u64),
+        SimDur(post),
+    )
 }
 
 impl World for RubisWorld {
@@ -1159,7 +1264,11 @@ impl World for RubisWorld {
                     _ => unreachable!(),
                 }
             }
-            Ev::Delay { tier, worker, epoch } => self.on_delay(sched, now, tier, worker, epoch),
+            Ev::Delay {
+                tier,
+                worker,
+                epoch,
+            } => self.on_delay(sched, now, tier, worker, epoch),
             Ev::LingerCheck { worker, epoch } => {
                 if self.workers[APP][worker].epoch == epoch
                     && self.workers[APP][worker].phase == Phase::Linger
@@ -1230,7 +1339,10 @@ mod tests {
                     .map(|p| p[0].ts.as_nanos() - p[1].ts.as_nanos())
                     .max()
                     .unwrap();
-                assert!(max_inv < 1_000_000, "{host}: inversion {max_inv}ns too large");
+                assert!(
+                    max_inv < 1_000_000,
+                    "{host}: inversion {max_inv}ns too large"
+                );
             }
         }
     }
@@ -1241,8 +1353,10 @@ mod tests {
         let mut by_req: HashMap<u64, Vec<Arc<str>>> = HashMap::new();
         let truth: Vec<_> = w.truth.requests().cloned().collect();
         let recs = w.probe.into_records();
-        let uid_host: HashMap<u64, Arc<str>> =
-            recs.iter().map(|r| (r.tag, Arc::clone(&r.hostname))).collect();
+        let uid_host: HashMap<u64, Arc<str>> = recs
+            .iter()
+            .map(|r| (r.tag, Arc::clone(&r.hostname)))
+            .collect();
         for t in truth {
             if t.completed.is_none() {
                 continue;
@@ -1273,9 +1387,16 @@ mod tests {
     #[test]
     fn noise_generators_emit_untagged_records() {
         let mut cfg = tiny_config(3);
-        cfg.noise = NoiseSpec { ssh_msgs_per_sec: 50.0, mysql_msgs_per_sec: 50.0 };
+        cfg.noise = NoiseSpec {
+            ssh_msgs_per_sec: 50.0,
+            mysql_msgs_per_sec: 50.0,
+        };
         let w = run(cfg);
-        assert!(w.truth.noise_records() > 10, "noise={}", w.truth.noise_records());
+        assert!(
+            w.truth.noise_records() > 10,
+            "noise={}",
+            w.truth.noise_records()
+        );
     }
 
     #[test]

@@ -18,24 +18,36 @@ pub struct ClockModel {
 
 impl Default for ClockModel {
     fn default() -> Self {
-        ClockModel { offset_ns: 0, drift_ppm: 0.0 }
+        ClockModel {
+            offset_ns: 0,
+            drift_ppm: 0.0,
+        }
     }
 }
 
 impl ClockModel {
     /// A perfectly synchronized clock.
     pub const fn synchronized() -> Self {
-        ClockModel { offset_ns: 0, drift_ppm: 0.0 }
+        ClockModel {
+            offset_ns: 0,
+            drift_ppm: 0.0,
+        }
     }
 
     /// A clock with a constant skew.
     pub const fn with_offset_ns(offset_ns: i64) -> Self {
-        ClockModel { offset_ns, drift_ppm: 0.0 }
+        ClockModel {
+            offset_ns,
+            drift_ppm: 0.0,
+        }
     }
 
     /// A clock with a constant skew in milliseconds.
     pub const fn with_offset_ms(ms: i64) -> Self {
-        ClockModel { offset_ns: ms * 1_000_000, drift_ppm: 0.0 }
+        ClockModel {
+            offset_ns: ms * 1_000_000,
+            drift_ppm: 0.0,
+        }
     }
 
     /// Adds drift to the clock.

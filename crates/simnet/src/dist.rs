@@ -128,7 +128,10 @@ mod tests {
 
     #[test]
     fn lognormal_median_close() {
-        let d = Dist::LogNormal { median: 10.0, sigma: 0.5 };
+        let d = Dist::LogNormal {
+            median: 10.0,
+            sigma: 0.5,
+        };
         let mut rng = StdRng::seed_from_u64(1);
         let mut v: Vec<f64> = (0..20_001).map(|_| d.sample(&mut rng)).collect();
         v.sort_by(|a, b| a.partial_cmp(b).unwrap());
@@ -151,9 +154,16 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         for d in [
             Dist::Exp { mean: 1.0 },
-            Dist::LogNormal { median: 1.0, sigma: 2.0 },
+            Dist::LogNormal {
+                median: 1.0,
+                sigma: 2.0,
+            },
             Dist::Uniform { lo: 0.0, hi: 1.0 },
-            Dist::Pareto { lo: 1.0, hi: 100.0, alpha: 1.3 },
+            Dist::Pareto {
+                lo: 1.0,
+                hi: 100.0,
+                alpha: 1.3,
+            },
         ] {
             for _ in 0..1000 {
                 assert!(d.sample(&mut rng) >= 0.0);
@@ -169,7 +179,11 @@ mod tests {
 
     #[test]
     fn pareto_bounded() {
-        let d = Dist::Pareto { lo: 2.0, hi: 50.0, alpha: 1.5 };
+        let d = Dist::Pareto {
+            lo: 2.0,
+            hi: 50.0,
+            alpha: 1.5,
+        };
         let mut rng = StdRng::seed_from_u64(8);
         for _ in 0..5000 {
             let v = d.sample(&mut rng);

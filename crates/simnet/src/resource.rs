@@ -132,7 +132,9 @@ impl<T> Default for Gate<T> {
 impl<T> Gate<T> {
     /// An unlocked gate.
     pub fn new() -> Self {
-        Gate { inner: FifoResource::new(1) }
+        Gate {
+            inner: FifoResource::new(1),
+        }
     }
 
     /// True when unlocked with no queue.

@@ -55,7 +55,11 @@ pub struct Scheduler<E> {
 
 impl<E> Default for Scheduler<E> {
     fn default() -> Self {
-        Scheduler { heap: BinaryHeap::new(), next_seq: 0, now: SimTime::ZERO }
+        Scheduler {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
     }
 }
 
@@ -95,7 +99,11 @@ pub struct Simulator<W: World> {
 impl<W: World> Simulator<W> {
     /// Creates a simulator with an empty queue at time zero.
     pub fn new(world: W) -> Self {
-        Simulator { world, sched: Scheduler::default(), events_processed: 0 }
+        Simulator {
+            world,
+            sched: Scheduler::default(),
+            events_processed: 0,
+        }
     }
 
     /// Seeds initial events before running.
@@ -115,7 +123,9 @@ impl<W: World> Simulator<W> {
 
     /// Processes a single event; returns false when the queue is empty.
     pub fn step(&mut self) -> bool {
-        let Some(s) = self.sched.heap.pop() else { return false };
+        let Some(s) = self.sched.heap.pop() else {
+            return false;
+        };
         debug_assert!(s.at >= self.sched.now, "time must not go backwards");
         self.sched.now = s.at;
         self.events_processed += 1;
@@ -168,7 +178,10 @@ mod tests {
         sim.scheduler().at(SimTime(100), 1);
         sim.scheduler().at(SimTime(200), 2);
         sim.run();
-        assert_eq!(sim.world.seen, vec![(100, 1), (110, 99), (200, 2), (300, 3)]);
+        assert_eq!(
+            sim.world.seen,
+            vec![(100, 1), (110, 99), (200, 2), (300, 3)]
+        );
         assert_eq!(sim.events_processed(), 4);
     }
 

@@ -17,7 +17,13 @@ pub struct OnlineStats {
 impl OnlineStats {
     /// An empty accumulator.
     pub fn new() -> Self {
-        OnlineStats { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Adds one observation.
@@ -92,7 +98,10 @@ impl Default for Histogram {
 impl Histogram {
     /// An empty histogram.
     pub fn new() -> Self {
-        Histogram { buckets: vec![0; HIST_BUCKETS], total: 0 }
+        Histogram {
+            buckets: vec![0; HIST_BUCKETS],
+            total: 0,
+        }
     }
 
     fn index(value: f64) -> usize {
@@ -157,7 +166,10 @@ impl RateSeries {
     /// Panics when the bin width is zero.
     pub fn new(bin: SimDur) -> Self {
         assert!(bin.as_nanos() > 0, "bin width must be positive");
-        RateSeries { bin, counts: Vec::new() }
+        RateSeries {
+            bin,
+            counts: Vec::new(),
+        }
     }
 
     /// Counts one event at `t`.
@@ -187,12 +199,7 @@ impl RateSeries {
         }
         let a = (from.as_nanos() / self.bin.as_nanos()) as usize;
         let b = to.as_nanos().div_ceil(self.bin.as_nanos()) as usize;
-        let n: u64 = self
-            .counts
-            .iter()
-            .skip(a)
-            .take(b.saturating_sub(a))
-            .sum();
+        let n: u64 = self.counts.iter().skip(a).take(b.saturating_sub(a)).sum();
         n as f64 / to.since(from).as_secs_f64()
     }
 }
@@ -266,7 +273,13 @@ mod tests {
         let mut r = RateSeries::new(SimDur::from_secs(1));
         r.record(SimTime(500_000_000));
         r.record(SimTime(2_500_000_000));
-        assert_eq!(r.mean_rate_between(SimTime(2_000_000_000), SimTime(3_000_000_000)), 1.0);
-        assert_eq!(r.mean_rate_between(SimTime(9_000_000_000), SimTime(9_000_000_000)), 0.0);
+        assert_eq!(
+            r.mean_rate_between(SimTime(2_000_000_000), SimTime(3_000_000_000)),
+            1.0
+        );
+        assert_eq!(
+            r.mean_rate_between(SimTime(9_000_000_000), SimTime(9_000_000_000)),
+            0.0
+        );
     }
 }

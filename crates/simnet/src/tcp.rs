@@ -67,7 +67,11 @@ impl PortAlloc {
     /// Returns a fresh ephemeral port, wrapping within 32768..61000.
     pub fn next_port(&mut self) -> u16 {
         let p = self.next;
-        self.next = if self.next >= 60_999 { 32_768 } else { self.next + 1 };
+        self.next = if self.next >= 60_999 {
+            32_768
+        } else {
+            self.next + 1
+        };
         p
     }
 }
@@ -90,7 +94,10 @@ impl Default for WireParams {
     fn default() -> Self {
         WireParams {
             latency: SimDur::from_micros(120),
-            jitter: Dist::Uniform { lo: 0.0, hi: 20_000.0 }, // up to 20us
+            jitter: Dist::Uniform {
+                lo: 0.0,
+                hi: 20_000.0,
+            }, // up to 20us
             bandwidth_bps: 100_000_000,
             mss: 1448,
         }
@@ -128,7 +135,11 @@ pub struct Wire {
 impl Wire {
     /// A wire with the given parameters.
     pub fn new(params: WireParams) -> Self {
-        Wire { params, next_free_tx: SimTime::ZERO, bytes_sent: 0 }
+        Wire {
+            params,
+            next_free_tx: SimTime::ZERO,
+            bytes_sent: 0,
+        }
     }
 
     /// Plans the wire segments for an application send of `bytes` at
@@ -150,7 +161,10 @@ impl Wire {
             let seg = left.min(self.params.mss as u64);
             left -= seg;
             tx += self.params.tx_time(seg);
-            out.push(SegmentPlan { at: tx + self.params.latency + jitter, bytes: seg });
+            out.push(SegmentPlan {
+                at: tx + self.params.latency + jitter,
+                bytes: seg,
+            });
         }
         self.next_free_tx = tx;
         out
@@ -191,7 +205,10 @@ impl RecvBuffer {
 
     /// A buffer whose reads may span messages (stress mode).
     pub fn with_coalescing() -> Self {
-        RecvBuffer { coalesce_across_messages: true, ..RecvBuffer::default() }
+        RecvBuffer {
+            coalesce_across_messages: true,
+            ..RecvBuffer::default()
+        }
     }
 
     /// Declares a logical message of `size` bytes entering the pipe.
@@ -226,13 +243,18 @@ impl RecvBuffer {
     pub fn read(&mut self) -> ReadResult {
         let mut take = self.readable();
         if take == 0 {
-            return ReadResult { bytes: 0, messages_completed: 0 };
+            return ReadResult {
+                bytes: 0,
+                messages_completed: 0,
+            };
         }
         self.arrived -= take;
         let mut completed = 0;
         let bytes = take;
         while take > 0 {
-            let Some(front) = self.bounds.front_mut() else { break };
+            let Some(front) = self.bounds.front_mut() else {
+                break;
+            };
             if take >= *front {
                 take -= *front;
                 self.bounds.pop_front();
@@ -242,7 +264,10 @@ impl RecvBuffer {
                 take = 0;
             }
         }
-        ReadResult { bytes, messages_completed: completed }
+        ReadResult {
+            bytes,
+            messages_completed: completed,
+        }
     }
 
     /// Number of logical messages still in flight (partially arrived or
@@ -298,13 +323,19 @@ mod tests {
     fn bandwidth_decrease_slows_arrivals() {
         let fast = {
             let mut w = Wire::new(quiet_params());
-            w.transmit(SimTime::ZERO, 10_000, &mut rng()).last().unwrap().at
+            w.transmit(SimTime::ZERO, 10_000, &mut rng())
+                .last()
+                .unwrap()
+                .at
         };
         let slow = {
             let mut p = quiet_params();
             p.bandwidth_bps = 10_000_000; // the EJB_Network fault
             let mut w = Wire::new(p);
-            w.transmit(SimTime::ZERO, 10_000, &mut rng()).last().unwrap().at
+            w.transmit(SimTime::ZERO, 10_000, &mut rng())
+                .last()
+                .unwrap()
+                .at
         };
         assert!(slow.as_nanos() > 5 * fast.as_nanos());
     }
@@ -314,7 +345,10 @@ mod tests {
         let mut w = Wire::new(quiet_params());
         let a = w.transmit(SimTime::ZERO, 1448, &mut rng());
         let b = w.transmit(SimTime::ZERO, 1448, &mut rng());
-        assert!(b[0].at > a[0].at, "second message must queue behind the first");
+        assert!(
+            b[0].at > a[0].at,
+            "second message must queue behind the first"
+        );
     }
 
     #[test]

@@ -109,14 +109,12 @@ impl Classifier {
     pub fn classify(&self, r: &RawRecord) -> Activity {
         let ty = match r.op {
             RawOp::Receive
-                if self.spec.is_frontend_port(r.dst.port)
-                    && !self.spec.is_internal(r.src.ip) =>
+                if self.spec.is_frontend_port(r.dst.port) && !self.spec.is_internal(r.src.ip) =>
             {
                 ActivityType::Begin
             }
             RawOp::Send
-                if self.spec.is_frontend_port(r.src.port)
-                    && !self.spec.is_internal(r.dst.ip) =>
+                if self.spec.is_frontend_port(r.src.port) && !self.spec.is_internal(r.dst.ip) =>
             {
                 ActivityType::End
             }
@@ -153,7 +151,9 @@ mod tests {
     #[test]
     fn receive_from_client_on_frontend_is_begin() {
         let c = Classifier::new(spec());
-        let a = c.classify(&rec("1 web httpd 1 1 RECEIVE 192.168.0.9:5000-10.0.0.1:80 10"));
+        let a = c.classify(&rec(
+            "1 web httpd 1 1 RECEIVE 192.168.0.9:5000-10.0.0.1:80 10",
+        ));
         assert_eq!(a.ty, ActivityType::Begin);
     }
 
@@ -169,7 +169,9 @@ mod tests {
         let c = Classifier::new(spec());
         let s = c.classify(&rec("1 web httpd 1 1 SEND 10.0.0.1:4001-10.0.0.2:9000 10"));
         assert_eq!(s.ty, ActivityType::Send);
-        let r = c.classify(&rec("1 app java 2 2 RECEIVE 10.0.0.1:4001-10.0.0.2:9000 10"));
+        let r = c.classify(&rec(
+            "1 app java 2 2 RECEIVE 10.0.0.1:4001-10.0.0.2:9000 10",
+        ));
         assert_eq!(r.ty, ActivityType::Receive);
     }
 
@@ -206,7 +208,9 @@ mod tests {
     fn empty_spec_classifies_everything_as_kernel_types() {
         let c = Classifier::new(AccessPointSpec::default());
         assert!(c.spec().is_empty());
-        let a = c.classify(&rec("1 web httpd 1 1 RECEIVE 192.168.0.9:5000-10.0.0.1:80 10"));
+        let a = c.classify(&rec(
+            "1 web httpd 1 1 RECEIVE 192.168.0.9:5000-10.0.0.1:80 10",
+        ));
         assert_eq!(a.ty, ActivityType::Receive);
     }
 }

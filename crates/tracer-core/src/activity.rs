@@ -273,7 +273,10 @@ impl Channel {
     /// The same connection in the opposite direction.
     #[inline]
     pub const fn reversed(self) -> Channel {
-        Channel { src: self.dst, dst: self.src }
+        Channel {
+            src: self.dst,
+            dst: self.src,
+        }
     }
 }
 
@@ -305,13 +308,22 @@ impl ContextId {
         pid: u32,
         tid: u32,
     ) -> Self {
-        ContextId { hostname: hostname.into(), program: program.into(), pid, tid }
+        ContextId {
+            hostname: hostname.into(),
+            program: program.into(),
+            pid,
+            tid,
+        }
     }
 }
 
 impl fmt::Display for ContextId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}/{}[{}:{}]", self.hostname, self.program, self.pid, self.tid)
+        write!(
+            f,
+            "{}/{}[{}:{}]",
+            self.hostname, self.program, self.pid, self.tid
+        )
     }
 }
 
@@ -423,7 +435,10 @@ mod tests {
     fn local_time_arithmetic() {
         let t = LocalTime::from_nanos(1_500);
         assert_eq!(t + Nanos::from_micros(1), LocalTime::from_nanos(2_500));
-        assert_eq!(t.saturating_since(LocalTime::from_nanos(2_000)), Nanos::ZERO);
+        assert_eq!(
+            t.saturating_since(LocalTime::from_nanos(2_000)),
+            Nanos::ZERO
+        );
         assert_eq!(t.saturating_since(LocalTime::from_nanos(500)), Nanos(1_000));
         assert_eq!(t.signed_since(LocalTime::from_nanos(2_000)), -500);
     }
@@ -450,7 +465,10 @@ mod tests {
         };
         assert_eq!(send.local_endpoint(), ch.src);
         assert_eq!(send.peer_endpoint(), ch.dst);
-        let recv = Activity { ty: ActivityType::Receive, ..send.clone() };
+        let recv = Activity {
+            ty: ActivityType::Receive,
+            ..send.clone()
+        };
         assert_eq!(recv.local_endpoint(), ch.dst);
         assert_eq!(recv.peer_endpoint(), ch.src);
     }

@@ -72,7 +72,10 @@ impl BreakdownReport {
             "pattern {} ({} requests, mean total {})\n",
             self.pattern, self.count, self.mean_total
         ));
-        s.push_str(&format!("{:<24} {:>12} {:>8}\n", "component", "mean", "pct"));
+        s.push_str(&format!(
+            "{:<24} {:>12} {:>8}\n",
+            "component", "mean", "pct"
+        ));
         for (c, lat) in &self.components {
             s.push_str(&format!(
                 "{:<24} {:>12} {:>7.1}%\n",
@@ -126,10 +129,19 @@ impl DiffReport {
             .map(|c| {
                 let b = baseline.pct(&c);
                 let a = current.pct(&c);
-                DiffRow { component: c, before_pct: b, after_pct: a, delta: a - b }
+                DiffRow {
+                    component: c,
+                    before_pct: b,
+                    after_pct: a,
+                    delta: a - b,
+                }
             })
             .collect();
-        rows.sort_by(|x, y| y.delta.partial_cmp(&x.delta).unwrap_or(std::cmp::Ordering::Equal));
+        rows.sort_by(|x, y| {
+            y.delta
+                .partial_cmp(&x.delta)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         DiffReport {
             rows,
             before_total: baseline.mean_total,
@@ -281,7 +293,10 @@ impl Diagnosis {
         Some(Diagnosis {
             trigger: c.clone(),
             delta: top.delta,
-            suspect: SuspectKind::Interaction { from: p.clone(), to: q.clone() },
+            suspect: SuspectKind::Interaction {
+                from: p.clone(),
+                to: q.clone(),
+            },
             explanation: format!(
                 "the interaction {} grew by {:.1} points while `{q}` internal time \
                  did not: requests queue between `{p}` and `{q}` — check the \
@@ -302,7 +317,10 @@ mod tests {
         let mut percentages = BTreeMap::new();
         for &(f, t, pct) in pairs {
             let c = Component::new(f, t);
-            components.insert(c.clone(), Nanos((total.as_nanos() as f64 * pct / 100.0) as u64));
+            components.insert(
+                c.clone(),
+                Nanos((total.as_nanos() as f64 * pct / 100.0) as u64),
+            );
             percentages.insert(c, pct);
         }
         BreakdownReport {
@@ -459,7 +477,13 @@ mod tests {
         let b = report(&[("java", "java", 50.0)], 10);
         let diff = DiffReport::between(&a, &b);
         assert_eq!(diff.rows.len(), 2);
-        assert_eq!(diff.row(&Component::new("httpd", "httpd")).unwrap().delta, -50.0);
-        assert_eq!(diff.row(&Component::new("java", "java")).unwrap().delta, 50.0);
+        assert_eq!(
+            diff.row(&Component::new("httpd", "httpd")).unwrap().delta,
+            -50.0
+        );
+        assert_eq!(
+            diff.row(&Component::new("java", "java")).unwrap().delta,
+            50.0
+        );
     }
 }

@@ -83,7 +83,10 @@ pub struct Component {
 impl Component {
     /// Builds a component from two program names.
     pub fn new(from: impl Into<Arc<str>>, to: impl Into<Arc<str>>) -> Self {
-        Component { from: from.into(), to: to.into() }
+        Component {
+            from: from.into(),
+            to: to.into(),
+        }
     }
 
     /// True for `P2P` components (time spent inside one tier).
@@ -137,7 +140,10 @@ impl Cag {
 
     /// The END vertex, if the CAG is finished.
     pub fn end(&self) -> Option<&Vertex> {
-        self.vertices.iter().rev().find(|v| v.ty == ActivityType::End)
+        self.vertices
+            .iter()
+            .rev()
+            .find(|v| v.ty == ActivityType::End)
     }
 
     /// Total servicing latency: END ts − BEGIN ts.
@@ -151,8 +157,12 @@ impl Cag {
     /// Iterates over all causal edges with latency attribution.
     pub fn edges(&self) -> impl Iterator<Item = CagEdge> + '_ {
         self.vertices.iter().enumerate().flat_map(move |(i, v)| {
-            let ctx = v.ctx_parent.map(move |p| self.make_edge(p, i, EdgeKind::Context));
-            let msg = v.msg_parent.map(move |p| self.make_edge(p, i, EdgeKind::Message));
+            let ctx = v
+                .ctx_parent
+                .map(move |p| self.make_edge(p, i, EdgeKind::Context));
+            let msg = v
+                .msg_parent
+                .map(move |p| self.make_edge(p, i, EdgeKind::Message));
             ctx.into_iter().chain(msg)
         })
     }
@@ -160,7 +170,13 @@ impl Cag {
     fn make_edge(&self, from: usize, to: usize, kind: EdgeKind) -> CagEdge {
         let (p, c) = (&self.vertices[from], &self.vertices[to]);
         let latency = c.ts.saturating_since(p.ts);
-        CagEdge { from, to, kind, latency, component: component_label(p, c, kind) }
+        CagEdge {
+            from,
+            to,
+            kind,
+            latency,
+            component: component_label(p, c, kind),
+        }
     }
 
     /// Edges with non-overlapping latency attribution: context edges
@@ -187,8 +203,11 @@ impl Cag {
     /// All ground-truth tags across all vertices, sorted (evaluation
     /// helper; the algorithm itself never reads tags).
     pub fn sorted_tags(&self) -> Vec<u64> {
-        let mut tags: Vec<u64> =
-            self.vertices.iter().flat_map(|v| v.tags.iter().copied()).collect();
+        let mut tags: Vec<u64> = self
+            .vertices
+            .iter()
+            .flat_map(|v| v.tags.iter().copied())
+            .collect();
         tags.sort_unstable();
         tags
     }
@@ -274,6 +293,7 @@ pub(crate) mod test_support {
         s.parse().unwrap()
     }
 
+    #[allow(clippy::too_many_arguments)]
     pub fn vertex(
         ty: ActivityType,
         ts: u64,
@@ -305,14 +325,72 @@ pub(crate) mod test_support {
         let fwd = Channel::new(ep("10.0.0.1:4001"), ep("10.0.0.2:9000"));
         let back = fwd.reversed();
         let vertices = vec![
-            vertex(ActivityType::Begin, 1_000, "web", "httpd", 7, client, None, None),
-            vertex(ActivityType::Send, 2_000, "web", "httpd", 7, fwd, Some(0), None),
-            vertex(ActivityType::Receive, 2_500, "app", "java", 21, fwd, None, Some(1)),
-            vertex(ActivityType::Send, 4_000, "app", "java", 21, back, Some(2), None),
-            vertex(ActivityType::Receive, 4_400, "web", "httpd", 7, back, Some(1), Some(3)),
-            vertex(ActivityType::End, 5_000, "web", "httpd", 7, client.reversed(), Some(4), None),
+            vertex(
+                ActivityType::Begin,
+                1_000,
+                "web",
+                "httpd",
+                7,
+                client,
+                None,
+                None,
+            ),
+            vertex(
+                ActivityType::Send,
+                2_000,
+                "web",
+                "httpd",
+                7,
+                fwd,
+                Some(0),
+                None,
+            ),
+            vertex(
+                ActivityType::Receive,
+                2_500,
+                "app",
+                "java",
+                21,
+                fwd,
+                None,
+                Some(1),
+            ),
+            vertex(
+                ActivityType::Send,
+                4_000,
+                "app",
+                "java",
+                21,
+                back,
+                Some(2),
+                None,
+            ),
+            vertex(
+                ActivityType::Receive,
+                4_400,
+                "web",
+                "httpd",
+                7,
+                back,
+                Some(1),
+                Some(3),
+            ),
+            vertex(
+                ActivityType::End,
+                5_000,
+                "web",
+                "httpd",
+                7,
+                client.reversed(),
+                Some(4),
+                None,
+            ),
         ];
-        Cag { id: 1, vertices, finished: true }
+        Cag {
+            id: 1,
+            vertices,
+            finished: true,
+        }
     }
 }
 
@@ -344,7 +422,7 @@ mod tests {
         assert!(comps.contains(&("httpd2java".into(), 500))); // SEND→RECEIVE
         assert!(comps.contains(&("java2java".into(), 1_500))); // RECEIVE→SEND
         assert!(comps.contains(&("java2httpd".into(), 400))); // SEND→RECEIVE back
-        // httpd RECEIVE has both a message parent and a context parent.
+                                                              // httpd RECEIVE has both a message parent and a context parent.
         assert_eq!(comps.len(), 6);
     }
 

@@ -156,7 +156,10 @@ impl Correlator {
                 metrics.filtered_out += 1;
                 continue;
             }
-            streams.entry(Arc::clone(&rec.hostname)).or_default().push(act);
+            streams
+                .entry(Arc::clone(&rec.hostname))
+                .or_default()
+                .push(act);
         }
         // Step 1 (§4): per-node sort by local timestamps.
         let mut stream_vec: Vec<(Arc<str>, Vec<Activity>)> = Vec::new();
@@ -255,7 +258,16 @@ fn run_loop(
     metrics.cags_unfinished = unfinished.len() as u64;
     metrics.ranker = *ranker.counters();
     metrics.engine = *engine.counters();
-    (CorrelationOutput { cags, unfinished, metrics, noise_samples }, ranker, engine)
+    (
+        CorrelationOutput {
+            cags,
+            unfinished,
+            metrics,
+            noise_samples,
+        },
+        ranker,
+        engine,
+    )
 }
 
 /// Online correlation: push records as they arrive, poll finished CAGs.
@@ -384,7 +396,12 @@ impl StreamingCorrelator {
         metrics.cags_unfinished = unfinished.len() as u64;
         metrics.ranker = *self.ranker.counters();
         metrics.engine = *self.engine.counters();
-        CorrelationOutput { cags, unfinished, metrics, noise_samples: self.noise_samples }
+        CorrelationOutput {
+            cags,
+            unfinished,
+            metrics,
+            noise_samples: self.noise_samples,
+        }
     }
 }
 
@@ -493,9 +510,11 @@ mod tests {
         let mut log = three_tier_log().to_owned();
         log.push_str("600 web sshd 99 99 RECEIVE 172.16.9.9:7000-10.0.0.1:22 500\n");
         log.push_str("700 web sshd 99 99 SEND 10.0.0.1:22-172.16.9.9:7000 500\n");
-        let cfg = CorrelatorConfig::new(access())
-            .with_filters(FilterSet::new().drop_program("sshd"));
-        let out = Correlator::new(cfg).correlate(parse_log(&log).unwrap()).unwrap();
+        let cfg =
+            CorrelatorConfig::new(access()).with_filters(FilterSet::new().drop_program("sshd"));
+        let out = Correlator::new(cfg)
+            .correlate(parse_log(&log).unwrap())
+            .unwrap();
         assert_eq!(out.metrics.filtered_out, 2);
         assert_eq!(out.cags.len(), 1);
     }
@@ -530,10 +549,7 @@ mod tests {
         let done = sc.finish();
         streamed.extend(done.cags);
         assert_eq!(streamed.len(), offline.cags.len());
-        assert_eq!(
-            streamed[0].sorted_tags(),
-            offline.cags[0].sorted_tags()
-        );
+        assert_eq!(streamed[0].sorted_tags(), offline.cags[0].sorted_tags());
         assert_eq!(streamed[0].vertices.len(), offline.cags[0].vertices.len());
     }
 
@@ -547,14 +563,20 @@ mod tests {
         for i in 0..1_000u64 {
             let t0 = i * 1_000_000;
             sc.push(
-                format!("{} web httpd 7 7 RECEIVE 192.168.0.9:5000-10.0.0.1:80 100", t0)
-                    .parse()
-                    .unwrap(),
+                format!(
+                    "{} web httpd 7 7 RECEIVE 192.168.0.9:5000-10.0.0.1:80 100",
+                    t0
+                )
+                .parse()
+                .unwrap(),
             );
             sc.push(
-                format!("{} web httpd 7 7 SEND 10.0.0.1:80-192.168.0.9:5000 200", t0 + 500)
-                    .parse()
-                    .unwrap(),
+                format!(
+                    "{} web httpd 7 7 SEND 10.0.0.1:80-192.168.0.9:5000 200",
+                    t0 + 500
+                )
+                .parse()
+                .unwrap(),
             );
             let _ = sc.poll();
             peak = peak.max(sc.approx_bytes());

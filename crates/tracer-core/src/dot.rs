@@ -51,7 +51,11 @@ pub fn average_path_to_dot(path: &AveragePath) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "digraph pattern_{:x} {{", path.key.0);
     let _ = writeln!(s, "  rankdir=LR;");
-    let _ = writeln!(s, "  label=\"{} requests, mean total {}\";", path.count, path.mean_total);
+    let _ = writeln!(
+        s,
+        "  label=\"{} requests, mean total {}\";",
+        path.count, path.mean_total
+    );
     let _ = writeln!(s, "  node [shape=box, fontsize=10];");
     for (i, v) in path.exemplar.vertices.iter().enumerate() {
         let _ = writeln!(

@@ -132,11 +132,25 @@ struct Orphan {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Resolved {
     /// In an unfinished CAG.
-    Open { cag: u64, v: usize, ty: ActivityType, channel: Channel },
+    Open {
+        cag: u64,
+        v: usize,
+        ty: ActivityType,
+        channel: Channel,
+    },
     /// In a finished CAG still buffered for amendment.
-    Closed { cag: u64, v: usize, ty: ActivityType, channel: Channel },
+    Closed {
+        cag: u64,
+        v: usize,
+        ty: ActivityType,
+        channel: Channel,
+    },
     /// An orphan vertex.
-    Orphan { id: u64, ty: ActivityType, channel: Channel },
+    Orphan {
+        id: u64,
+        ty: ActivityType,
+        channel: Channel,
+    },
     /// The reference points at evicted/drained state.
     Stale,
 }
@@ -224,7 +238,10 @@ impl Engine {
             let end = &cag.vertices[end_idx];
             let still_latest = end.ty == ActivityType::End
                 && self.cmap.get(&end.ctx)
-                    == Some(&VRef::Cag { cag: cag.id, v: end_idx });
+                    == Some(&VRef::Cag {
+                        cag: cag.id,
+                        v: end_idx,
+                    });
             if still_latest {
                 self.finished_index.insert(cag.id, self.finished.len());
                 self.finished.push(cag);
@@ -269,16 +286,30 @@ impl Engine {
             VRef::Cag { cag, v } => {
                 if let Some(c) = self.unfinished.get(&cag) {
                     let vx = &c.vertices[v];
-                    Resolved::Open { cag, v, ty: vx.ty, channel: vx.channel }
+                    Resolved::Open {
+                        cag,
+                        v,
+                        ty: vx.ty,
+                        channel: vx.channel,
+                    }
                 } else if let Some(&idx) = self.finished_index.get(&cag) {
                     let vx = &self.finished[idx].vertices[v];
-                    Resolved::Closed { cag, v, ty: vx.ty, channel: vx.channel }
+                    Resolved::Closed {
+                        cag,
+                        v,
+                        ty: vx.ty,
+                        channel: vx.channel,
+                    }
                 } else {
                     Resolved::Stale
                 }
             }
             VRef::Orphan { id } => match self.orphans.get(&id) {
-                Some(o) => Resolved::Orphan { id, ty: o.ty, channel: o.channel },
+                Some(o) => Resolved::Orphan {
+                    id,
+                    ty: o.ty,
+                    channel: o.channel,
+                },
                 None => Resolved::Stale,
             },
         }
@@ -313,8 +344,14 @@ impl Engine {
     fn new_orphan(&mut self, a: &Activity) -> u64 {
         let id = self.next_orphan_id;
         self.next_orphan_id += 1;
-        self.orphans
-            .insert(id, Orphan { ty: a.ty, channel: a.channel, size: a.size });
+        self.orphans.insert(
+            id,
+            Orphan {
+                ty: a.ty,
+                channel: a.channel,
+                size: a.size,
+            },
+        );
         self.counters.orphan_vertices += 1;
         while self.orphans.len() > self.opts.orphan_cap {
             self.orphans.pop_first();
@@ -361,7 +398,13 @@ impl Engine {
         // Chunked client request: merge into the open root (line 15-16
         // applied to BEGIN, see access module docs).
         if self.opts.merge_segments {
-            if let Some(Resolved::Open { cag, v, ty, channel }) = self.resolve_ctx(&a.ctx) {
+            if let Some(Resolved::Open {
+                cag,
+                v,
+                ty,
+                channel,
+            }) = self.resolve_ctx(&a.ctx)
+            {
                 if ty == ActivityType::Begin && channel == a.channel {
                     let vx = &mut self.unfinished.get_mut(&cag).expect("open").vertices[v];
                     vx.size += a.size;
@@ -380,15 +423,20 @@ impl Engine {
         let root = Self::vertex_from(&a, None, None);
         self.vertex_count += 1;
         self.tag_count += root.tags.len();
-        self.unfinished
-            .insert(id, Cag { id, vertices: vec![root], finished: false });
+        self.unfinished.insert(
+            id,
+            Cag {
+                id,
+                vertices: vec![root],
+                finished: false,
+            },
+        );
         self.counters.cags_opened += 1;
         self.cmap.insert(a.ctx, VRef::Cag { cag: id, v: 0 });
         while self.unfinished.len() > self.opts.unfinished_cap {
             if let Some((_, c)) = self.unfinished.pop_first() {
                 self.vertex_count -= c.vertices.len();
-                self.tag_count -=
-                    c.vertices.iter().map(|v| v.tags.len()).sum::<usize>();
+                self.tag_count -= c.vertices.iter().map(|v| v.tags.len()).sum::<usize>();
                 self.counters.abandoned_cags += 1;
             }
         }
@@ -399,8 +447,7 @@ impl Engine {
             Some(Resolved::Open { cag, v, .. }) => {
                 let vertex = Self::vertex_from(&a, Some(v), None);
                 let idx = self.push_vertex(cag, vertex);
-                self.cmap
-                    .insert(a.ctx, VRef::Cag { cag, v: idx });
+                self.cmap.insert(a.ctx, VRef::Cag { cag, v: idx });
                 // Output the CAG (line 10).
                 let mut done = self.unfinished.remove(&cag).expect("open");
                 done.finished = true;
@@ -408,16 +455,19 @@ impl Engine {
                 // The vertices move from "unfinished" accounting into the
                 // finished buffer, which approx_bytes counts separately.
                 self.vertex_count -= done.vertices.len();
-                self.tag_count -=
-                    done.vertices.iter().map(|v| v.tags.len()).sum::<usize>();
+                self.tag_count -= done.vertices.iter().map(|v| v.tags.len()).sum::<usize>();
                 self.finished.push(done);
                 self.counters.cags_finished += 1;
             }
-            Some(Resolved::Closed { cag, v, ty, channel })
-                if self.opts.amend_finished
-                    && self.opts.merge_segments
-                    && ty == ActivityType::End
-                    && channel == a.channel =>
+            Some(Resolved::Closed {
+                cag,
+                v,
+                ty,
+                channel,
+            }) if self.opts.amend_finished
+                && self.opts.merge_segments
+                && ty == ActivityType::End
+                && channel == a.channel =>
             {
                 // Trailing chunk of a chunked response.
                 let idx = self.finished_index[&cag];
@@ -444,9 +494,12 @@ impl Engine {
         // Lines 15-16: consecutive same-channel sends merge by size.
         if self.opts.merge_segments {
             match parent {
-                Some(Resolved::Open { cag, v, ty, channel })
-                    if ty.is_send_like() && channel == a.channel =>
-                {
+                Some(Resolved::Open {
+                    cag,
+                    v,
+                    ty,
+                    channel,
+                }) if ty.is_send_like() && channel == a.channel => {
                     let vx = &mut self.unfinished.get_mut(&cag).expect("open").vertices[v];
                     vx.size += a.size;
                     vx.ts_last = a.ts;
@@ -479,11 +532,17 @@ impl Engine {
                 let idx = self.push_vertex(cag, vertex);
                 VRef::Cag { cag, v: idx }
             }
-            _ => VRef::Orphan { id: self.new_orphan(&a) },
+            _ => VRef::Orphan {
+                id: self.new_orphan(&a),
+            },
         };
         self.push_pending(
             a.channel,
-            Pending { vref, remaining: a.size, recv_tags: Vec::new() },
+            Pending {
+                vref,
+                remaining: a.size,
+                recv_tags: Vec::new(),
+            },
         );
         self.cmap.insert(a.ctx, vref);
     }
@@ -500,7 +559,14 @@ impl Engine {
                 }
             }
         }
-        self.push_pending(channel, Pending { vref, remaining: size, recv_tags: Vec::new() });
+        self.push_pending(
+            channel,
+            Pending {
+                vref,
+                remaining: size,
+                recv_tags: Vec::new(),
+            },
+        );
     }
 
     fn on_receive(&mut self, a: Activity) {
@@ -553,7 +619,11 @@ impl Engine {
         // (added by `vertex_from`).
         let tags = std::mem::take(&mut done.recv_tags);
         match self.resolve(done.vref) {
-            Resolved::Open { cag: msg_cag, v: msg_v, .. } => {
+            Resolved::Open {
+                cag: msg_cag,
+                v: msg_v,
+                ..
+            } => {
                 let ctx_parent = self.receive_ctx_parent(&a, msg_cag);
                 match ctx_parent {
                     CtxParent::SameCag(p) | CtxParent::None(p) => {
@@ -562,7 +632,13 @@ impl Engine {
                         vertex.tags = tags;
                         vertex.tags.extend(own);
                         let idx = self.push_vertex(msg_cag, vertex);
-                        self.cmap.insert(a.ctx, VRef::Cag { cag: msg_cag, v: idx });
+                        self.cmap.insert(
+                            a.ctx,
+                            VRef::Cag {
+                                cag: msg_cag,
+                                v: idx,
+                            },
+                        );
                     }
                     CtxParent::ForeignCag { cag, v } => {
                         // Ablation only (thread_reuse_check = false):
@@ -643,6 +719,7 @@ mod tests {
         s.parse().unwrap()
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn act(
         ty: ActivityType,
         ts: u64,
@@ -670,12 +747,72 @@ mod tests {
     const APP_IN: &str = "10.0.0.2:9000";
 
     fn two_tier_request(e: &mut Engine) {
-        e.deliver(act(ActivityType::Begin, 1_000, "web", "httpd", 7, CLIENT, WEB_FRONT, 120, 1));
-        e.deliver(act(ActivityType::Send, 2_000, "web", "httpd", 7, WEB_OUT, APP_IN, 64, 2));
-        e.deliver(act(ActivityType::Receive, 2_500, "app", "java", 21, WEB_OUT, APP_IN, 64, 3));
-        e.deliver(act(ActivityType::Send, 4_000, "app", "java", 21, APP_IN, WEB_OUT, 256, 4));
-        e.deliver(act(ActivityType::Receive, 4_400, "web", "httpd", 7, APP_IN, WEB_OUT, 256, 5));
-        e.deliver(act(ActivityType::End, 5_000, "web", "httpd", 7, WEB_FRONT, CLIENT, 512, 6));
+        e.deliver(act(
+            ActivityType::Begin,
+            1_000,
+            "web",
+            "httpd",
+            7,
+            CLIENT,
+            WEB_FRONT,
+            120,
+            1,
+        ));
+        e.deliver(act(
+            ActivityType::Send,
+            2_000,
+            "web",
+            "httpd",
+            7,
+            WEB_OUT,
+            APP_IN,
+            64,
+            2,
+        ));
+        e.deliver(act(
+            ActivityType::Receive,
+            2_500,
+            "app",
+            "java",
+            21,
+            WEB_OUT,
+            APP_IN,
+            64,
+            3,
+        ));
+        e.deliver(act(
+            ActivityType::Send,
+            4_000,
+            "app",
+            "java",
+            21,
+            APP_IN,
+            WEB_OUT,
+            256,
+            4,
+        ));
+        e.deliver(act(
+            ActivityType::Receive,
+            4_400,
+            "web",
+            "httpd",
+            7,
+            APP_IN,
+            WEB_OUT,
+            256,
+            5,
+        ));
+        e.deliver(act(
+            ActivityType::End,
+            5_000,
+            "web",
+            "httpd",
+            7,
+            WEB_FRONT,
+            CLIENT,
+            512,
+            6,
+        ));
     }
 
     #[test]
@@ -706,15 +843,105 @@ mod tests {
     fn merges_chunked_sends_by_size() {
         // Sender writes 900 + 544; receiver reads 512 + 512 + 420 (Fig. 4).
         let mut e = Engine::default();
-        e.deliver(act(ActivityType::Begin, 1_000, "web", "httpd", 7, CLIENT, WEB_FRONT, 120, 1));
-        e.deliver(act(ActivityType::Send, 2_000, "web", "httpd", 7, WEB_OUT, APP_IN, 900, 2));
-        e.deliver(act(ActivityType::Send, 2_100, "web", "httpd", 7, WEB_OUT, APP_IN, 544, 3));
-        e.deliver(act(ActivityType::Receive, 2_500, "app", "java", 21, WEB_OUT, APP_IN, 512, 4));
-        e.deliver(act(ActivityType::Receive, 2_600, "app", "java", 21, WEB_OUT, APP_IN, 512, 5));
-        e.deliver(act(ActivityType::Receive, 2_700, "app", "java", 21, WEB_OUT, APP_IN, 420, 6));
-        e.deliver(act(ActivityType::Send, 4_000, "app", "java", 21, APP_IN, WEB_OUT, 256, 7));
-        e.deliver(act(ActivityType::Receive, 4_400, "web", "httpd", 7, APP_IN, WEB_OUT, 256, 8));
-        e.deliver(act(ActivityType::End, 5_000, "web", "httpd", 7, WEB_FRONT, CLIENT, 512, 9));
+        e.deliver(act(
+            ActivityType::Begin,
+            1_000,
+            "web",
+            "httpd",
+            7,
+            CLIENT,
+            WEB_FRONT,
+            120,
+            1,
+        ));
+        e.deliver(act(
+            ActivityType::Send,
+            2_000,
+            "web",
+            "httpd",
+            7,
+            WEB_OUT,
+            APP_IN,
+            900,
+            2,
+        ));
+        e.deliver(act(
+            ActivityType::Send,
+            2_100,
+            "web",
+            "httpd",
+            7,
+            WEB_OUT,
+            APP_IN,
+            544,
+            3,
+        ));
+        e.deliver(act(
+            ActivityType::Receive,
+            2_500,
+            "app",
+            "java",
+            21,
+            WEB_OUT,
+            APP_IN,
+            512,
+            4,
+        ));
+        e.deliver(act(
+            ActivityType::Receive,
+            2_600,
+            "app",
+            "java",
+            21,
+            WEB_OUT,
+            APP_IN,
+            512,
+            5,
+        ));
+        e.deliver(act(
+            ActivityType::Receive,
+            2_700,
+            "app",
+            "java",
+            21,
+            WEB_OUT,
+            APP_IN,
+            420,
+            6,
+        ));
+        e.deliver(act(
+            ActivityType::Send,
+            4_000,
+            "app",
+            "java",
+            21,
+            APP_IN,
+            WEB_OUT,
+            256,
+            7,
+        ));
+        e.deliver(act(
+            ActivityType::Receive,
+            4_400,
+            "web",
+            "httpd",
+            7,
+            APP_IN,
+            WEB_OUT,
+            256,
+            8,
+        ));
+        e.deliver(act(
+            ActivityType::End,
+            5_000,
+            "web",
+            "httpd",
+            7,
+            WEB_FRONT,
+            CLIENT,
+            512,
+            9,
+        ));
         let cags = e.take_finished();
         assert_eq!(cags.len(), 1);
         let cag = &cags[0];
@@ -738,12 +965,72 @@ mod tests {
         // Request 1 completes through app thread 21.
         two_tier_request(&mut e);
         // Request 2 from a different web worker reuses app thread 21.
-        e.deliver(act(ActivityType::Begin, 11_000, "web", "httpd", 8, "192.168.0.9:5001", WEB_FRONT, 120, 11));
-        e.deliver(act(ActivityType::Send, 12_000, "web", "httpd", 8, "10.0.0.1:4002", APP_IN, 64, 12));
-        e.deliver(act(ActivityType::Receive, 12_500, "app", "java", 21, "10.0.0.1:4002", APP_IN, 64, 13));
-        e.deliver(act(ActivityType::Send, 14_000, "app", "java", 21, APP_IN, "10.0.0.1:4002", 256, 14));
-        e.deliver(act(ActivityType::Receive, 14_400, "web", "httpd", 8, APP_IN, "10.0.0.1:4002", 256, 15));
-        e.deliver(act(ActivityType::End, 15_000, "web", "httpd", 8, WEB_FRONT, "192.168.0.9:5001", 512, 16));
+        e.deliver(act(
+            ActivityType::Begin,
+            11_000,
+            "web",
+            "httpd",
+            8,
+            "192.168.0.9:5001",
+            WEB_FRONT,
+            120,
+            11,
+        ));
+        e.deliver(act(
+            ActivityType::Send,
+            12_000,
+            "web",
+            "httpd",
+            8,
+            "10.0.0.1:4002",
+            APP_IN,
+            64,
+            12,
+        ));
+        e.deliver(act(
+            ActivityType::Receive,
+            12_500,
+            "app",
+            "java",
+            21,
+            "10.0.0.1:4002",
+            APP_IN,
+            64,
+            13,
+        ));
+        e.deliver(act(
+            ActivityType::Send,
+            14_000,
+            "app",
+            "java",
+            21,
+            APP_IN,
+            "10.0.0.1:4002",
+            256,
+            14,
+        ));
+        e.deliver(act(
+            ActivityType::Receive,
+            14_400,
+            "web",
+            "httpd",
+            8,
+            APP_IN,
+            "10.0.0.1:4002",
+            256,
+            15,
+        ));
+        e.deliver(act(
+            ActivityType::End,
+            15_000,
+            "web",
+            "httpd",
+            8,
+            WEB_FRONT,
+            "192.168.0.9:5001",
+            512,
+            16,
+        ));
         let cags = e.take_finished();
         assert_eq!(cags.len(), 2);
         for c in &cags {
@@ -767,10 +1054,40 @@ mod tests {
             ..EngineOptions::default()
         });
         two_tier_request(&mut e);
-        e.deliver(act(ActivityType::Begin, 11_000, "web", "httpd", 8, "192.168.0.9:5001", WEB_FRONT, 120, 11));
-        e.deliver(act(ActivityType::Send, 12_000, "web", "httpd", 8, "10.0.0.1:4002", APP_IN, 64, 12));
+        e.deliver(act(
+            ActivityType::Begin,
+            11_000,
+            "web",
+            "httpd",
+            8,
+            "192.168.0.9:5001",
+            WEB_FRONT,
+            120,
+            11,
+        ));
+        e.deliver(act(
+            ActivityType::Send,
+            12_000,
+            "web",
+            "httpd",
+            8,
+            "10.0.0.1:4002",
+            APP_IN,
+            64,
+            12,
+        ));
         // app thread 21 reused: its cmap still points into CAG 1 (finished).
-        e.deliver(act(ActivityType::Receive, 12_500, "app", "java", 21, "10.0.0.1:4002", APP_IN, 64, 13));
+        e.deliver(act(
+            ActivityType::Receive,
+            12_500,
+            "app",
+            "java",
+            21,
+            "10.0.0.1:4002",
+            APP_IN,
+            64,
+            13,
+        ));
         // With the check disabled the receive follows the stale context
         // chain; since CAG 1 is already finished the resolve is Closed and
         // the check cannot even misfire here — exercise the in-flight case:
@@ -782,9 +1099,39 @@ mod tests {
     #[test]
     fn chunked_begin_merges_into_root() {
         let mut e = Engine::default();
-        e.deliver(act(ActivityType::Begin, 1_000, "web", "httpd", 7, CLIENT, WEB_FRONT, 100, 1));
-        e.deliver(act(ActivityType::Begin, 1_050, "web", "httpd", 7, CLIENT, WEB_FRONT, 60, 2));
-        e.deliver(act(ActivityType::End, 5_000, "web", "httpd", 7, WEB_FRONT, CLIENT, 512, 3));
+        e.deliver(act(
+            ActivityType::Begin,
+            1_000,
+            "web",
+            "httpd",
+            7,
+            CLIENT,
+            WEB_FRONT,
+            100,
+            1,
+        ));
+        e.deliver(act(
+            ActivityType::Begin,
+            1_050,
+            "web",
+            "httpd",
+            7,
+            CLIENT,
+            WEB_FRONT,
+            60,
+            2,
+        ));
+        e.deliver(act(
+            ActivityType::End,
+            5_000,
+            "web",
+            "httpd",
+            7,
+            WEB_FRONT,
+            CLIENT,
+            512,
+            3,
+        ));
         let cags = e.take_finished();
         assert_eq!(cags.len(), 1, "chunked request must open exactly one CAG");
         assert_eq!(cags[0].vertices[0].size, 160);
@@ -794,11 +1141,51 @@ mod tests {
     #[test]
     fn keep_alive_connection_opens_new_cag_after_end() {
         let mut e = Engine::default();
-        e.deliver(act(ActivityType::Begin, 1_000, "web", "httpd", 7, CLIENT, WEB_FRONT, 100, 1));
-        e.deliver(act(ActivityType::End, 2_000, "web", "httpd", 7, WEB_FRONT, CLIENT, 512, 2));
+        e.deliver(act(
+            ActivityType::Begin,
+            1_000,
+            "web",
+            "httpd",
+            7,
+            CLIENT,
+            WEB_FRONT,
+            100,
+            1,
+        ));
+        e.deliver(act(
+            ActivityType::End,
+            2_000,
+            "web",
+            "httpd",
+            7,
+            WEB_FRONT,
+            CLIENT,
+            512,
+            2,
+        ));
         // Second request on the same connection and context.
-        e.deliver(act(ActivityType::Begin, 3_000, "web", "httpd", 7, CLIENT, WEB_FRONT, 100, 3));
-        e.deliver(act(ActivityType::End, 4_000, "web", "httpd", 7, WEB_FRONT, CLIENT, 512, 4));
+        e.deliver(act(
+            ActivityType::Begin,
+            3_000,
+            "web",
+            "httpd",
+            7,
+            CLIENT,
+            WEB_FRONT,
+            100,
+            3,
+        ));
+        e.deliver(act(
+            ActivityType::End,
+            4_000,
+            "web",
+            "httpd",
+            7,
+            WEB_FRONT,
+            CLIENT,
+            512,
+            4,
+        ));
         assert_eq!(e.take_finished().len(), 2);
         assert_eq!(e.counters().begin_merges, 0);
     }
@@ -806,9 +1193,39 @@ mod tests {
     #[test]
     fn trailing_end_chunks_amend_finished_cag() {
         let mut e = Engine::default();
-        e.deliver(act(ActivityType::Begin, 1_000, "web", "httpd", 7, CLIENT, WEB_FRONT, 100, 1));
-        e.deliver(act(ActivityType::End, 2_000, "web", "httpd", 7, WEB_FRONT, CLIENT, 512, 2));
-        e.deliver(act(ActivityType::End, 2_100, "web", "httpd", 7, WEB_FRONT, CLIENT, 488, 3));
+        e.deliver(act(
+            ActivityType::Begin,
+            1_000,
+            "web",
+            "httpd",
+            7,
+            CLIENT,
+            WEB_FRONT,
+            100,
+            1,
+        ));
+        e.deliver(act(
+            ActivityType::End,
+            2_000,
+            "web",
+            "httpd",
+            7,
+            WEB_FRONT,
+            CLIENT,
+            512,
+            2,
+        ));
+        e.deliver(act(
+            ActivityType::End,
+            2_100,
+            "web",
+            "httpd",
+            7,
+            WEB_FRONT,
+            CLIENT,
+            488,
+            3,
+        ));
         let cags = e.take_finished();
         assert_eq!(cags.len(), 1);
         let end = cags[0].end().unwrap();
@@ -821,7 +1238,17 @@ mod tests {
     #[test]
     fn unmatched_receive_is_counted_not_crashed() {
         let mut e = Engine::default();
-        e.deliver(act(ActivityType::Receive, 1_000, "db", "mysqld", 9, "9.9.9.9:1000", "10.0.0.3:3306", 64, 0));
+        e.deliver(act(
+            ActivityType::Receive,
+            1_000,
+            "db",
+            "mysqld",
+            9,
+            "9.9.9.9:1000",
+            "10.0.0.3:3306",
+            64,
+            0,
+        ));
         assert_eq!(e.counters().unmatched_receives, 1);
         assert_eq!(e.unfinished_len(), 0);
     }
@@ -831,8 +1258,28 @@ mod tests {
         let mut e = Engine::default();
         // A mysqld connection thread serving a noise client: sends with no
         // BEGIN context.
-        e.deliver(act(ActivityType::Send, 1_000, "db", "mysqld", 99, "10.0.0.3:3306", "9.9.9.9:1000", 64, 0));
-        e.deliver(act(ActivityType::Send, 1_100, "db", "mysqld", 99, "10.0.0.3:3306", "9.9.9.9:1000", 64, 0));
+        e.deliver(act(
+            ActivityType::Send,
+            1_000,
+            "db",
+            "mysqld",
+            99,
+            "10.0.0.3:3306",
+            "9.9.9.9:1000",
+            64,
+            0,
+        ));
+        e.deliver(act(
+            ActivityType::Send,
+            1_100,
+            "db",
+            "mysqld",
+            99,
+            "10.0.0.3:3306",
+            "9.9.9.9:1000",
+            64,
+            0,
+        ));
         assert_eq!(e.counters().orphan_vertices, 1); // second send merged
         assert_eq!(e.counters().send_merges, 1);
         assert_eq!(e.unfinished_len(), 0);
@@ -842,19 +1289,99 @@ mod tests {
     #[test]
     fn pipelined_sends_after_full_receive_reopen_pending() {
         let mut e = Engine::default();
-        e.deliver(act(ActivityType::Begin, 1_000, "web", "httpd", 7, CLIENT, WEB_FRONT, 100, 1));
-        e.deliver(act(ActivityType::Send, 2_000, "web", "httpd", 7, WEB_OUT, APP_IN, 64, 2));
-        e.deliver(act(ActivityType::Receive, 2_500, "app", "java", 21, WEB_OUT, APP_IN, 64, 3));
+        e.deliver(act(
+            ActivityType::Begin,
+            1_000,
+            "web",
+            "httpd",
+            7,
+            CLIENT,
+            WEB_FRONT,
+            100,
+            1,
+        ));
+        e.deliver(act(
+            ActivityType::Send,
+            2_000,
+            "web",
+            "httpd",
+            7,
+            WEB_OUT,
+            APP_IN,
+            64,
+            2,
+        ));
+        e.deliver(act(
+            ActivityType::Receive,
+            2_500,
+            "app",
+            "java",
+            21,
+            WEB_OUT,
+            APP_IN,
+            64,
+            3,
+        ));
         // httpd sends a second chunk on the same channel *after* the first
         // was fully received; it merges into the same vertex but needs a
         // fresh pending entry.
-        e.deliver(act(ActivityType::Send, 2_600, "web", "httpd", 7, WEB_OUT, APP_IN, 32, 4));
-        e.deliver(act(ActivityType::Receive, 2_700, "app", "java", 21, WEB_OUT, APP_IN, 32, 5));
+        e.deliver(act(
+            ActivityType::Send,
+            2_600,
+            "web",
+            "httpd",
+            7,
+            WEB_OUT,
+            APP_IN,
+            32,
+            4,
+        ));
+        e.deliver(act(
+            ActivityType::Receive,
+            2_700,
+            "app",
+            "java",
+            21,
+            WEB_OUT,
+            APP_IN,
+            32,
+            5,
+        ));
         // The second receive matched the reopened pending but its message
         // parent resolves into the same open CAG (the merged send vertex).
-        e.deliver(act(ActivityType::Send, 3_000, "app", "java", 21, APP_IN, WEB_OUT, 16, 6));
-        e.deliver(act(ActivityType::Receive, 3_200, "web", "httpd", 7, APP_IN, WEB_OUT, 16, 7));
-        e.deliver(act(ActivityType::End, 4_000, "web", "httpd", 7, WEB_FRONT, CLIENT, 10, 8));
+        e.deliver(act(
+            ActivityType::Send,
+            3_000,
+            "app",
+            "java",
+            21,
+            APP_IN,
+            WEB_OUT,
+            16,
+            6,
+        ));
+        e.deliver(act(
+            ActivityType::Receive,
+            3_200,
+            "web",
+            "httpd",
+            7,
+            APP_IN,
+            WEB_OUT,
+            16,
+            7,
+        ));
+        e.deliver(act(
+            ActivityType::End,
+            4_000,
+            "web",
+            "httpd",
+            7,
+            WEB_FRONT,
+            CLIENT,
+            10,
+            8,
+        ));
         let cags = e.take_finished();
         assert_eq!(cags.len(), 1);
         cags[0].validate().expect("valid");
@@ -868,18 +1395,71 @@ mod tests {
         // then coalesces bytes of both into one recv() — an assumption
         // violation the engine must detect rather than mis-correlate.
         let mut e = Engine::default();
-        e.deliver(act(ActivityType::Begin, 1_000, "web", "httpd", 7, CLIENT, WEB_FRONT, 100, 1));
-        e.deliver(act(ActivityType::Send, 2_000, "web", "httpd", 7, WEB_OUT, APP_IN, 32, 2));
-        e.deliver(act(ActivityType::Send, 2_100, "web", "httpd", 7, "10.0.0.1:4009", "10.0.0.9:700", 10, 3));
-        e.deliver(act(ActivityType::Send, 2_200, "web", "httpd", 7, WEB_OUT, APP_IN, 48, 4));
+        e.deliver(act(
+            ActivityType::Begin,
+            1_000,
+            "web",
+            "httpd",
+            7,
+            CLIENT,
+            WEB_FRONT,
+            100,
+            1,
+        ));
+        e.deliver(act(
+            ActivityType::Send,
+            2_000,
+            "web",
+            "httpd",
+            7,
+            WEB_OUT,
+            APP_IN,
+            32,
+            2,
+        ));
+        e.deliver(act(
+            ActivityType::Send,
+            2_100,
+            "web",
+            "httpd",
+            7,
+            "10.0.0.1:4009",
+            "10.0.0.9:700",
+            10,
+            3,
+        ));
+        e.deliver(act(
+            ActivityType::Send,
+            2_200,
+            "web",
+            "httpd",
+            7,
+            WEB_OUT,
+            APP_IN,
+            48,
+            4,
+        ));
         // 40 bytes spans the 32-byte message plus 8 bytes of the next.
-        e.deliver(act(ActivityType::Receive, 2_700, "app", "java", 21, WEB_OUT, APP_IN, 40, 5));
+        e.deliver(act(
+            ActivityType::Receive,
+            2_700,
+            "app",
+            "java",
+            21,
+            WEB_OUT,
+            APP_IN,
+            40,
+            5,
+        ));
         assert_eq!(e.counters().cross_message_receives, 1);
     }
 
     #[test]
     fn pending_cap_evicts_oldest() {
-        let mut e = Engine::new(EngineOptions { pending_cap: 2, ..EngineOptions::default() });
+        let mut e = Engine::new(EngineOptions {
+            pending_cap: 2,
+            ..EngineOptions::default()
+        });
         for i in 0..4u64 {
             e.deliver(act(
                 ActivityType::Send,
@@ -899,17 +1479,57 @@ mod tests {
     #[test]
     fn match_oracle_reflects_mmap() {
         let mut e = Engine::default();
-        let recv = act(ActivityType::Receive, 3_000, "app", "java", 21, WEB_OUT, APP_IN, 64, 0);
+        let recv = act(
+            ActivityType::Receive,
+            3_000,
+            "app",
+            "java",
+            21,
+            WEB_OUT,
+            APP_IN,
+            64,
+            0,
+        );
         assert!(!e.rule1_matches(&recv));
         assert!(!e.has_any_pending(&recv));
-        e.deliver(act(ActivityType::Begin, 1_000, "web", "httpd", 7, CLIENT, WEB_FRONT, 100, 1));
-        e.deliver(act(ActivityType::Send, 2_000, "web", "httpd", 7, WEB_OUT, APP_IN, 64, 2));
+        e.deliver(act(
+            ActivityType::Begin,
+            1_000,
+            "web",
+            "httpd",
+            7,
+            CLIENT,
+            WEB_FRONT,
+            100,
+            1,
+        ));
+        e.deliver(act(
+            ActivityType::Send,
+            2_000,
+            "web",
+            "httpd",
+            7,
+            WEB_OUT,
+            APP_IN,
+            64,
+            2,
+        ));
         assert!(e.rule1_matches(&recv));
         assert!(e.has_any_pending(&recv));
         // A receive larger than the pending bytes does not qualify under
         // Rule 1 (its remaining SEND segments must pop first), but the
         // channel still has a pending send.
-        let big = act(ActivityType::Receive, 3_000, "app", "java", 21, WEB_OUT, APP_IN, 900, 0);
+        let big = act(
+            ActivityType::Receive,
+            3_000,
+            "app",
+            "java",
+            21,
+            WEB_OUT,
+            APP_IN,
+            900,
+            0,
+        );
         assert!(!e.rule1_matches(&big));
         assert!(e.has_any_pending(&big));
     }
@@ -924,7 +1544,10 @@ mod tests {
 
     #[test]
     fn unfinished_cap_abandons_oldest() {
-        let mut e = Engine::new(EngineOptions { unfinished_cap: 2, ..EngineOptions::default() });
+        let mut e = Engine::new(EngineOptions {
+            unfinished_cap: 2,
+            ..EngineOptions::default()
+        });
         for i in 0..4u64 {
             e.deliver(act(
                 ActivityType::Begin,

@@ -27,7 +27,10 @@ impl TraceError {
             input.truncate(120);
             input.push_str("...");
         }
-        TraceError::Parse { input, reason: reason.into() }
+        TraceError::Parse {
+            input,
+            reason: reason.into(),
+        }
     }
 
     /// Constructs a configuration error.

@@ -166,14 +166,32 @@ mod tests {
     #[test]
     fn empty_set_admits_everything() {
         let f = FilterSet::new();
-        assert!(f.admits(&act("sshd", "n1", ActivityType::Send, "1.1.1.1:1", "2.2.2.2:2")));
+        assert!(f.admits(&act(
+            "sshd",
+            "n1",
+            ActivityType::Send,
+            "1.1.1.1:1",
+            "2.2.2.2:2"
+        )));
     }
 
     #[test]
     fn drop_program_by_name() {
         let f = FilterSet::new().drop_program("sshd");
-        assert!(!f.admits(&act("sshd", "n1", ActivityType::Send, "1.1.1.1:1", "2.2.2.2:2")));
-        assert!(f.admits(&act("httpd", "n1", ActivityType::Send, "1.1.1.1:1", "2.2.2.2:2")));
+        assert!(!f.admits(&act(
+            "sshd",
+            "n1",
+            ActivityType::Send,
+            "1.1.1.1:1",
+            "2.2.2.2:2"
+        )));
+        assert!(f.admits(&act(
+            "httpd",
+            "n1",
+            ActivityType::Send,
+            "1.1.1.1:1",
+            "2.2.2.2:2"
+        )));
     }
 
     #[test]
@@ -181,33 +199,93 @@ mod tests {
         let noisy: Ipv4Addr = "9.9.9.9".parse().unwrap();
         let f = FilterSet::new().drop_peer_ip(noisy);
         // SEND to noisy peer: peer is dst.
-        assert!(!f.admits(&act("mysqld", "db", ActivityType::Send, "1.1.1.1:1", "9.9.9.9:2")));
+        assert!(!f.admits(&act(
+            "mysqld",
+            "db",
+            ActivityType::Send,
+            "1.1.1.1:1",
+            "9.9.9.9:2"
+        )));
         // RECEIVE from noisy peer: peer is src.
-        assert!(!f.admits(&act("mysqld", "db", ActivityType::Receive, "9.9.9.9:2", "1.1.1.1:1")));
+        assert!(!f.admits(&act(
+            "mysqld",
+            "db",
+            ActivityType::Receive,
+            "9.9.9.9:2",
+            "1.1.1.1:1"
+        )));
         // Noisy IP on the local side does not match a *peer* rule.
-        assert!(f.admits(&act("mysqld", "db", ActivityType::Send, "9.9.9.9:1", "1.1.1.1:2")));
+        assert!(f.admits(&act(
+            "mysqld",
+            "db",
+            ActivityType::Send,
+            "9.9.9.9:1",
+            "1.1.1.1:2"
+        )));
     }
 
     #[test]
     fn drop_peer_and_local_ports() {
         let f = FilterSet::new().drop_peer_port(22).drop_local_port(514);
-        assert!(!f.admits(&act("x", "n1", ActivityType::Send, "1.1.1.1:9", "2.2.2.2:22")));
-        assert!(!f.admits(&act("x", "n1", ActivityType::Send, "1.1.1.1:514", "2.2.2.2:9")));
-        assert!(f.admits(&act("x", "n1", ActivityType::Send, "1.1.1.1:9", "2.2.2.2:9")));
+        assert!(!f.admits(&act(
+            "x",
+            "n1",
+            ActivityType::Send,
+            "1.1.1.1:9",
+            "2.2.2.2:22"
+        )));
+        assert!(!f.admits(&act(
+            "x",
+            "n1",
+            ActivityType::Send,
+            "1.1.1.1:514",
+            "2.2.2.2:9"
+        )));
+        assert!(f.admits(&act(
+            "x",
+            "n1",
+            ActivityType::Send,
+            "1.1.1.1:9",
+            "2.2.2.2:9"
+        )));
     }
 
     #[test]
     fn keep_programs_allowlist() {
         let f = FilterSet::new().keep_programs(["httpd", "java", "mysqld"]);
-        assert!(f.admits(&act("java", "n1", ActivityType::Send, "1.1.1.1:1", "2.2.2.2:2")));
-        assert!(!f.admits(&act("scp", "n1", ActivityType::Send, "1.1.1.1:1", "2.2.2.2:2")));
+        assert!(f.admits(&act(
+            "java",
+            "n1",
+            ActivityType::Send,
+            "1.1.1.1:1",
+            "2.2.2.2:2"
+        )));
+        assert!(!f.admits(&act(
+            "scp",
+            "n1",
+            ActivityType::Send,
+            "1.1.1.1:1",
+            "2.2.2.2:2"
+        )));
     }
 
     #[test]
     fn drop_host_rule() {
         let f = FilterSet::new().drop_host("bastion");
-        assert!(!f.admits(&act("x", "bastion", ActivityType::Send, "1.1.1.1:1", "2.2.2.2:2")));
-        assert!(f.admits(&act("x", "web", ActivityType::Send, "1.1.1.1:1", "2.2.2.2:2")));
+        assert!(!f.admits(&act(
+            "x",
+            "bastion",
+            ActivityType::Send,
+            "1.1.1.1:1",
+            "2.2.2.2:2"
+        )));
+        assert!(f.admits(&act(
+            "x",
+            "web",
+            ActivityType::Send,
+            "1.1.1.1:1",
+            "2.2.2.2:2"
+        )));
     }
 
     #[test]
@@ -216,8 +294,26 @@ mod tests {
             .drop_program("sshd")
             .keep_programs(["httpd", "sshd"]);
         // Drop rule wins even though sshd is in the allowlist.
-        assert!(!f.admits(&act("sshd", "n1", ActivityType::Send, "1.1.1.1:1", "2.2.2.2:2")));
-        assert!(f.admits(&act("httpd", "n1", ActivityType::Send, "1.1.1.1:1", "2.2.2.2:2")));
-        assert!(!f.admits(&act("java", "n1", ActivityType::Send, "1.1.1.1:1", "2.2.2.2:2")));
+        assert!(!f.admits(&act(
+            "sshd",
+            "n1",
+            ActivityType::Send,
+            "1.1.1.1:1",
+            "2.2.2.2:2"
+        )));
+        assert!(f.admits(&act(
+            "httpd",
+            "n1",
+            ActivityType::Send,
+            "1.1.1.1:1",
+            "2.2.2.2:2"
+        )));
+        assert!(!f.admits(&act(
+            "java",
+            "n1",
+            ActivityType::Send,
+            "1.1.1.1:1",
+            "2.2.2.2:2"
+        )));
     }
 }

@@ -81,7 +81,7 @@ pub use activity::{Activity, ActivityType, Channel, ContextId, EndpointV4, Local
 pub use analysis::{BreakdownReport, Diagnosis, DiffReport, SuspectKind};
 pub use cag::{Cag, Component, EdgeKind, Vertex};
 pub use correlator::{
-    Correlator, CorrelatorConfig, CorrelationOutput, EngineOptions, RankerOptions,
+    CorrelationOutput, Correlator, CorrelatorConfig, EngineOptions, RankerOptions,
     StreamingCorrelator,
 };
 pub use engine::Engine;
@@ -101,11 +101,12 @@ pub mod prelude {
     pub use crate::analysis::{BreakdownReport, Diagnosis, DiffReport, SuspectKind};
     pub use crate::cag::{Cag, Component, EdgeKind, Vertex};
     pub use crate::correlator::{
-        Correlator, CorrelatorConfig, CorrelationOutput, StreamingCorrelator,
+        CorrelationOutput, Correlator, CorrelatorConfig, EngineOptions, RankerOptions,
+        StreamingCorrelator,
     };
     pub use crate::error::TraceError;
     pub use crate::filter::{FilterRule, FilterSet};
     pub use crate::metrics::CorrelatorMetrics;
-    pub use crate::pattern::{AveragePath, PatternAggregator};
+    pub use crate::pattern::{AveragePath, PatternAggregator, PatternKey};
     pub use crate::raw::{parse_log, RawOp, RawRecord};
 }

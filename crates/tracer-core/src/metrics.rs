@@ -79,9 +79,11 @@ mod tests {
 
     #[test]
     fn summary_mentions_key_fields() {
-        let mut m = CorrelatorMetrics::default();
-        m.records_in = 42;
-        m.cags_finished = 7;
+        let m = CorrelatorMetrics {
+            records_in: 42,
+            cags_finished: 7,
+            ..Default::default()
+        };
         let s = m.summary();
         assert!(s.contains("in=42"));
         assert!(s.contains("cags=7"));

@@ -150,7 +150,11 @@ impl PatternStats {
         self.mean_components()
             .into_iter()
             .map(|(k, v)| {
-                let pct = if total > 0.0 { v.as_nanos() as f64 / total * 100.0 } else { 0.0 };
+                let pct = if total > 0.0 {
+                    v.as_nanos() as f64 / total * 100.0
+                } else {
+                    0.0
+                };
                 (k, pct)
             })
             .collect()
@@ -206,18 +210,15 @@ impl PatternAggregator {
             rank[i] = r;
         }
         let total = cag.total_latency().unwrap_or(Nanos::ZERO);
-        let stats = self
-            .patterns
-            .entry(key)
-            .or_insert_with(|| PatternStats {
-                key,
-                signature,
-                count: 0,
-                exemplar: cag.clone(),
-                total_sum: 0,
-                component_sums: BTreeMap::new(),
-                edge_sums: HashMap::new(),
-            });
+        let stats = self.patterns.entry(key).or_insert_with(|| PatternStats {
+            key,
+            signature,
+            count: 0,
+            exemplar: cag.clone(),
+            total_sum: 0,
+            component_sums: BTreeMap::new(),
+            edge_sums: HashMap::new(),
+        });
         stats.count += 1;
         stats.total_sum += total.as_nanos() as u128;
         for (comp, lat) in cag.component_latencies() {

@@ -191,10 +191,7 @@ impl Ranker {
     /// Creates an offline ranker over complete per-node streams (each
     /// stream must be sorted by local timestamp; hosts are ordered
     /// deterministically by name).
-    pub fn from_streams(
-        opts: RankerOptions,
-        mut streams: Vec<(Arc<str>, Vec<Activity>)>,
-    ) -> Self {
+    pub fn from_streams(opts: RankerOptions, mut streams: Vec<(Arc<str>, Vec<Activity>)>) -> Self {
         streams.sort_by(|a, b| a.0.cmp(&b.0));
         let mut r = Ranker::new(opts);
         for (host, acts) in streams {
@@ -284,7 +281,12 @@ impl Ranker {
     }
 
     fn effective_window(&self) -> Nanos {
-        Nanos(self.opts.window.0.saturating_mul(1u64 << self.boost_level.min(40)))
+        Nanos(
+            self.opts
+                .window
+                .0
+                .saturating_mul(1u64 << self.boost_level.min(40)),
+        )
     }
 
     /// Moves staged activities into the window buffer.
@@ -348,7 +350,11 @@ impl Ranker {
                 return RankStep::Candidate(self.pop(qi));
             }
             if !any_head {
-                if self.queues.iter().all(|q| q.closed && q.incoming.is_empty()) {
+                if self
+                    .queues
+                    .iter()
+                    .all(|q| q.closed && q.incoming.is_empty())
+                {
                     return RankStep::Exhausted;
                 }
                 // Some queue is open but empty; try fetching again later.
@@ -502,14 +508,7 @@ mod tests {
 
     /// Like `act` but on an explicit thread (Fig. 6 concurrency involves
     /// different execution entities on different CPUs).
-    fn act_tid(
-        ty: ActivityType,
-        ts: u64,
-        host: &str,
-        tid: u32,
-        src: &str,
-        dst: &str,
-    ) -> Activity {
+    fn act_tid(ty: ActivityType, ts: u64, host: &str, tid: u32, src: &str, dst: &str) -> Activity {
         Activity {
             ty,
             ts: LocalTime::from_nanos(ts),
@@ -553,7 +552,13 @@ mod tests {
         let streams = vec![
             (
                 Arc::from("a"),
-                vec![act(ActivityType::Begin, 100, "a", "9.9.9.9:1", "10.0.0.1:80")],
+                vec![act(
+                    ActivityType::Begin,
+                    100,
+                    "a",
+                    "9.9.9.9:1",
+                    "10.0.0.1:80",
+                )],
             ),
             (
                 Arc::from("b"),
@@ -561,7 +566,13 @@ mod tests {
             ),
             (
                 Arc::from("c"),
-                vec![act(ActivityType::Receive, 10, "c", "8.8.8.8:1", "10.0.0.3:9")],
+                vec![act(
+                    ActivityType::Receive,
+                    10,
+                    "c",
+                    "8.8.8.8:1",
+                    "10.0.0.3:9",
+                )],
             ),
         ];
         let mut r = Ranker::from_streams(RankerOptions::default(), streams);
@@ -615,10 +626,38 @@ mod tests {
         // Fig. 6: two 2-CPU nodes, each head RECEIVE blocked on the SEND
         // behind the other queue's head; the concurrent activities run
         // in different threads (CPUs).
-        let n1r = act_tid(ActivityType::Receive, 100, "n1", 10, "10.0.0.2:9", "10.0.0.1:8");
-        let n1s = act_tid(ActivityType::Send, 101, "n1", 11, "10.0.0.1:8", "10.0.0.2:9");
-        let n2r = act_tid(ActivityType::Receive, 200, "n2", 20, "10.0.0.1:8", "10.0.0.2:9");
-        let n2s = act_tid(ActivityType::Send, 201, "n2", 21, "10.0.0.2:9", "10.0.0.1:8");
+        let n1r = act_tid(
+            ActivityType::Receive,
+            100,
+            "n1",
+            10,
+            "10.0.0.2:9",
+            "10.0.0.1:8",
+        );
+        let n1s = act_tid(
+            ActivityType::Send,
+            101,
+            "n1",
+            11,
+            "10.0.0.1:8",
+            "10.0.0.2:9",
+        );
+        let n2r = act_tid(
+            ActivityType::Receive,
+            200,
+            "n2",
+            20,
+            "10.0.0.1:8",
+            "10.0.0.2:9",
+        );
+        let n2s = act_tid(
+            ActivityType::Send,
+            201,
+            "n2",
+            21,
+            "10.0.0.2:9",
+            "10.0.0.1:8",
+        );
         // Wire up channels so each receive matches the other node's send:
         // n1's receive r01,2-style ← n2's send; n2's receive ← n1's send.
         let streams = vec![
@@ -659,15 +698,46 @@ mod tests {
 
     #[test]
     fn swap_disabled_falls_back_to_noise() {
-        let n1r = act_tid(ActivityType::Receive, 100, "n1", 10, "10.0.0.2:9", "10.0.0.1:8");
-        let n1s = act_tid(ActivityType::Send, 101, "n1", 11, "10.0.0.1:8", "10.0.0.2:9");
-        let n2r = act_tid(ActivityType::Receive, 200, "n2", 20, "10.0.0.1:8", "10.0.0.2:9");
-        let n2s = act_tid(ActivityType::Send, 201, "n2", 21, "10.0.0.2:9", "10.0.0.1:8");
+        let n1r = act_tid(
+            ActivityType::Receive,
+            100,
+            "n1",
+            10,
+            "10.0.0.2:9",
+            "10.0.0.1:8",
+        );
+        let n1s = act_tid(
+            ActivityType::Send,
+            101,
+            "n1",
+            11,
+            "10.0.0.1:8",
+            "10.0.0.2:9",
+        );
+        let n2r = act_tid(
+            ActivityType::Receive,
+            200,
+            "n2",
+            20,
+            "10.0.0.1:8",
+            "10.0.0.2:9",
+        );
+        let n2s = act_tid(
+            ActivityType::Send,
+            201,
+            "n2",
+            21,
+            "10.0.0.2:9",
+            "10.0.0.1:8",
+        );
         let streams = vec![
             (Arc::from("n1"), vec![n1r, n1s]),
             (Arc::from("n2"), vec![n2r, n2s]),
         ];
-        let opts = RankerOptions { swap: false, ..RankerOptions::default() };
+        let opts = RankerOptions {
+            swap: false,
+            ..RankerOptions::default()
+        };
         let mut r = Ranker::from_streams(opts, streams);
         let steps = drain(&mut r, &NoOracle);
         assert!(
@@ -691,7 +761,10 @@ mod tests {
             })
             .collect();
         let mut r = Ranker::from_streams(
-            RankerOptions { window: Nanos::from_millis(10), ..Default::default() },
+            RankerOptions {
+                window: Nanos::from_millis(10),
+                ..Default::default()
+            },
             vec![(Arc::from("a"), acts)],
         );
         let mut n = 0;
@@ -710,10 +783,21 @@ mod tests {
     fn larger_window_buffers_more() {
         let mk = |w: Nanos| {
             let acts: Vec<Activity> = (0..1000)
-                .map(|i| act(ActivityType::Send, i * 1_000_000, "a", "10.0.0.1:1", "10.0.0.2:2"))
+                .map(|i| {
+                    act(
+                        ActivityType::Send,
+                        i * 1_000_000,
+                        "a",
+                        "10.0.0.1:1",
+                        "10.0.0.2:2",
+                    )
+                })
                 .collect();
             let mut r = Ranker::from_streams(
-                RankerOptions { window: w, ..Default::default() },
+                RankerOptions {
+                    window: w,
+                    ..Default::default()
+                },
                 vec![(Arc::from("a"), acts)],
             );
             while let RankStep::Candidate(_) = r.rank(&NoOracle) {}
@@ -763,7 +847,13 @@ mod tests {
     #[test]
     fn out_of_order_push_is_resorted() {
         let mut r = Ranker::new(RankerOptions::default());
-        r.push(act(ActivityType::Send, 100, "a", "10.0.0.1:1", "10.0.0.2:2"));
+        r.push(act(
+            ActivityType::Send,
+            100,
+            "a",
+            "10.0.0.1:1",
+            "10.0.0.2:2",
+        ));
         r.push(act(ActivityType::Send, 50, "a", "10.0.0.1:3", "10.0.0.2:4"));
         r.close_all();
         let first = match r.rank(&NoOracle) {
@@ -782,14 +872,35 @@ mod tests {
             (
                 Arc::from("a"),
                 vec![
-                    act_tid(ActivityType::Receive, 1_000_000, "a", 10, "10.0.0.2:7", "10.0.0.1:6"),
-                    act_tid(ActivityType::Send, 40_000_000, "a", 11, "10.0.0.1:6", "10.0.0.2:7"),
+                    act_tid(
+                        ActivityType::Receive,
+                        1_000_000,
+                        "a",
+                        10,
+                        "10.0.0.2:7",
+                        "10.0.0.1:6",
+                    ),
+                    act_tid(
+                        ActivityType::Send,
+                        40_000_000,
+                        "a",
+                        11,
+                        "10.0.0.1:6",
+                        "10.0.0.2:7",
+                    ),
                 ],
             ),
             (
                 Arc::from("b"),
                 vec![
-                    act_tid(ActivityType::Receive, 900_000, "b", 20, "10.0.0.1:6", "10.0.0.2:7"),
+                    act_tid(
+                        ActivityType::Receive,
+                        900_000,
+                        "b",
+                        20,
+                        "10.0.0.1:6",
+                        "10.0.0.2:7",
+                    ),
                     act_tid(
                         ActivityType::Send,
                         30_000_000,
@@ -801,7 +912,10 @@ mod tests {
                 ],
             ),
         ];
-        let opts = RankerOptions { window: Nanos::from_millis(1), ..Default::default() };
+        let opts = RankerOptions {
+            window: Nanos::from_millis(1),
+            ..Default::default()
+        };
         let mut r = Ranker::from_streams(opts, streams);
         // Drive with a stateful oracle simulating the engine.
         let mut sent: std::collections::HashSet<Channel> = Default::default();
@@ -827,9 +941,18 @@ mod tests {
     fn noise_discard_can_be_disabled() {
         let streams = vec![(
             Arc::from("c"),
-            vec![act(ActivityType::Receive, 10, "c", "8.8.8.8:1", "10.0.0.3:9")],
+            vec![act(
+                ActivityType::Receive,
+                10,
+                "c",
+                "8.8.8.8:1",
+                "10.0.0.3:9",
+            )],
         )];
-        let opts = RankerOptions { noise_discard: false, ..Default::default() };
+        let opts = RankerOptions {
+            noise_discard: false,
+            ..Default::default()
+        };
         let mut r = Ranker::from_streams(opts, streams);
         match r.rank(&NoOracle) {
             RankStep::Candidate(a) => assert_eq!(a.ty, ActivityType::Receive),

@@ -149,8 +149,15 @@ impl fmt::Display for RawRecord {
         write!(
             f,
             "{} {} {} {} {} {} {}-{} {}",
-            self.ts, self.hostname, self.program, self.pid, self.tid, self.op, self.src,
-            self.dst, self.size
+            self.ts,
+            self.hostname,
+            self.program,
+            self.pid,
+            self.tid,
+            self.op,
+            self.src,
+            self.dst,
+            self.size
         )
     }
 }

@@ -109,7 +109,17 @@ impl Gen {
         let mut i = 0;
         while sent < size {
             let n = part.min(size - sent);
-            self.rec(req, from.0, offsets, t_send + i * 2_000, from.1, RawOp::Send, src, dst, n);
+            self.rec(
+                req,
+                from.0,
+                offsets,
+                t_send + i * 2_000,
+                from.1,
+                RawOp::Send,
+                src,
+                dst,
+                n,
+            );
             sent += n;
             i += 1;
         }
@@ -119,7 +129,17 @@ impl Gen {
         let mut j = 0;
         while read < size {
             let n = if j == 0 { first } else { size - read };
-            self.rec(req, to.0, offsets, t_recv + j * 3_000, to.1, RawOp::Receive, src, dst, n);
+            self.rec(
+                req,
+                to.0,
+                offsets,
+                t_recv + j * 3_000,
+                to.1,
+                RawOp::Receive,
+                src,
+                dst,
+                n,
+            );
             read += n;
             j += 1;
         }
@@ -130,7 +150,11 @@ impl Gen {
 /// and ports, respecting the paper's one-request-per-entity assumption.
 fn build(s: &Synth) -> (Vec<RawRecord>, Vec<Vec<u64>>) {
     use tracer_core::raw::RawOp;
-    let mut g = Gen { records: Vec::new(), truth: vec![Vec::new(); s.starts.len()], uid: 1 };
+    let mut g = Gen {
+        records: Vec::new(),
+        truth: vec![Vec::new(); s.starts.len()],
+        uid: 1,
+    };
     let o = &s.offsets;
     let ep = |ip: &str, port: u16| EndpointV4::new(ip.parse().unwrap(), port);
     for (r, &t0) in s.starts.iter().enumerate() {
@@ -149,10 +173,32 @@ fn build(s: &Synth) -> (Vec<RawRecord>, Vec<Vec<u64>>) {
         t += 50_000;
         if q > 0 {
             // web → app request.
-            g.message(r, o, (0, tid), (1, tid), web_out, app_in, t, t + 200_000, 600, parts);
+            g.message(
+                r,
+                o,
+                (0, tid),
+                (1, tid),
+                web_out,
+                app_in,
+                t,
+                t + 200_000,
+                600,
+                parts,
+            );
             t += 400_000;
             for _ in 0..q {
-                g.message(r, o, (1, tid), (2, tid), app_out, db_in, t, t + 150_000, 250, parts);
+                g.message(
+                    r,
+                    o,
+                    (1, tid),
+                    (2, tid),
+                    app_out,
+                    db_in,
+                    t,
+                    t + 150_000,
+                    250,
+                    parts,
+                );
                 t += 300_000;
                 g.message(
                     r,
@@ -169,14 +215,35 @@ fn build(s: &Synth) -> (Vec<RawRecord>, Vec<Vec<u64>>) {
                 t += 300_000;
             }
             // app → web response.
-            g.message(r, o, (1, tid), (0, tid), app_in, web_out, t, t + 200_000, 5_000, parts);
+            g.message(
+                r,
+                o,
+                (1, tid),
+                (0, tid),
+                app_in,
+                web_out,
+                t,
+                t + 200_000,
+                5_000,
+                parts,
+            );
             t += 400_000;
         } else {
             t += 500_000;
         }
         // END: response to the client in two chunks.
         g.rec(r, 0, o, t, tid, RawOp::Send, web_front, client, 2_048);
-        g.rec(r, 0, o, t + 2_000, tid, RawOp::Send, web_front, client, 1_024);
+        g.rec(
+            r,
+            0,
+            o,
+            t + 2_000,
+            tid,
+            RawOp::Send,
+            web_front,
+            client,
+            1_024,
+        );
     }
     let mut truth: Vec<Vec<u64>> = g.truth;
     for t in &mut truth {

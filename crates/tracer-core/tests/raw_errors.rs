@@ -1,0 +1,113 @@
+//! Error-path coverage for `raw::parse_log`: malformed TCP_TRACE lines
+//! must surface as typed [`TraceError`] variants — never panics — and
+//! the error must identify both the offending line and the reason.
+
+use tracer_core::prelude::*;
+use tracer_core::TraceError;
+
+/// Parses `line` expecting a `TraceError::Parse` and returns its reason.
+fn parse_err(line: &str) -> String {
+    match parse_log(line) {
+        Err(TraceError::Parse { input, reason }) => {
+            // Depending on which field failed, the error echoes either
+            // the whole line or just the offending fragment.
+            assert!(
+                line.contains(input.trim_end_matches("...")),
+                "error should echo the offending input: {input:?} vs {line:?}"
+            );
+            reason
+        }
+        Err(other) => panic!("expected TraceError::Parse for {line:?}, got {other:?}"),
+        Ok(recs) => panic!("expected parse failure for {line:?}, got {recs:?}"),
+    }
+}
+
+const VALID: &str = "1000 web httpd 7 7 RECEIVE 192.168.0.9:5000-10.0.0.1:80 120";
+
+#[test]
+fn missing_fields_name_the_first_absent_one() {
+    assert!(parse_err("1000").contains("missing field: hostname"));
+    assert!(parse_err("1000 web").contains("missing field: program"));
+    assert!(parse_err("1000 web httpd").contains("missing field: pid"));
+    assert!(parse_err("1000 web httpd 7").contains("missing field: tid"));
+    assert!(parse_err("1000 web httpd 7 7").contains("missing field: op"));
+    assert!(parse_err("1000 web httpd 7 7 RECEIVE").contains("missing field: channel"));
+    assert!(
+        parse_err("1000 web httpd 7 7 RECEIVE 192.168.0.9:5000-10.0.0.1:80")
+            .contains("missing field: size")
+    );
+}
+
+#[test]
+fn malformed_scalar_fields_are_typed_parse_errors() {
+    assert!(parse_err(&VALID.replace("1000 ", "12.5 ")).contains("bad timestamp"));
+    assert!(parse_err(&VALID.replace(" 7 7 ", " seven 7 ")).contains("bad pid"));
+    assert!(parse_err(&VALID.replace(" 7 7 ", " 7 -1 ")).contains("bad tid"));
+    assert!(parse_err(&VALID.replace(" 120", " lots")).contains("bad size"));
+    assert!(parse_err(&VALID.replace(" 120", " 120 extra")).contains("trailing fields"));
+}
+
+#[test]
+fn bad_op_is_rejected() {
+    let reason = parse_err(&VALID.replace("RECEIVE", "RECV"));
+    assert!(reason.contains("expected SEND or RECEIVE"), "{reason}");
+}
+
+#[test]
+fn bad_endpoints_are_rejected() {
+    // No '-' separating the two endpoints.
+    assert!(parse_err(&VALID.replace('-', "+")).contains("channel missing '-'"));
+    // Endpoint without a port.
+    assert!(parse_err(&VALID.replace("192.168.0.9:5000", "192.168.0.9"))
+        .contains("endpoint missing ':'"));
+    // Non-numeric and out-of-range IP octets.
+    assert!(parse_err(&VALID.replace("192.168.0.9", "192.168.0.x")).contains("bad IPv4 address"));
+    assert!(parse_err(&VALID.replace("192.168.0.9", "300.0.0.1")).contains("bad IPv4 address"));
+    // Port outside u16.
+    assert!(parse_err(&VALID.replace(":5000", ":70000")).contains("bad port"));
+}
+
+#[test]
+fn first_bad_line_aborts_a_multi_line_parse() {
+    let text = format!("{VALID}\nnot a record\n{VALID}\n");
+    match parse_log(&text) {
+        Err(TraceError::Parse { input, .. }) => assert!(input.starts_with("not a record")),
+        other => panic!("expected parse error, got {other:?}"),
+    }
+}
+
+#[test]
+fn error_display_is_stable_for_cli_assertions() {
+    let err = parse_log("garbage line").unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("cannot parse trace record"), "{msg}");
+    assert!(msg.contains("garbage line"), "{msg}");
+}
+
+/// Out-of-order timestamps are *not* a parse error: the paper's probe
+/// merges per-node logs, so the ranker re-sorts within its window. The
+/// full pipeline must accept a shuffled log without panicking and still
+/// correlate it exactly.
+#[test]
+fn out_of_order_timestamps_parse_and_correlate() {
+    let log = "\
+2000 web httpd 7 7 SEND 10.0.0.1:4001-10.0.0.2:9000 64
+1000 web httpd 7 7 RECEIVE 192.168.0.9:5000-10.0.0.1:80 120
+4000 app java 9 21 SEND 10.0.0.2:9000-10.0.0.1:4001 256
+2500 app java 9 21 RECEIVE 10.0.0.1:4001-10.0.0.2:9000 64
+5000 web httpd 7 7 SEND 10.0.0.1:80-192.168.0.9:5000 512
+4400 web httpd 7 7 RECEIVE 10.0.0.2:9000-10.0.0.1:4001 256
+";
+    let records = parse_log(log).expect("out-of-order lines still parse");
+    assert_eq!(records.len(), 6);
+    let access = AccessPointSpec::new(
+        [80],
+        ["10.0.0.1".parse().unwrap(), "10.0.0.2".parse().unwrap()],
+    );
+    let out = Correlator::new(CorrelatorConfig::new(access))
+        .correlate(records)
+        .expect("shuffled log correlates without error");
+    assert_eq!(out.cags.len(), 1);
+    assert_eq!(out.cags[0].vertices.len(), 6);
+    assert!(out.cags[0].validate().is_ok());
+}

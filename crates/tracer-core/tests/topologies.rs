@@ -31,8 +31,11 @@ impl Log {
     ) -> u64 {
         self.uid += 1;
         self.tags.push(self.uid);
-        writeln!(self.text, "{ts} {host} {prog} {tid} {tid} {op} {src}-{dst} {size}")
-            .expect("write to string");
+        writeln!(
+            self.text,
+            "{ts} {host} {prog} {tid} {tid} {op} {src}-{dst} {size}"
+        )
+        .expect("write to string");
         self.uid
     }
 
@@ -48,7 +51,10 @@ impl Log {
 fn correlate(log: &Log, internal: &[&str]) -> CorrelationOutput {
     let access = AccessPointSpec::new(
         [80],
-        internal.iter().map(|s| s.parse().unwrap()).collect::<Vec<_>>(),
+        internal
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect::<Vec<_>>(),
     );
     Correlator::new(CorrelatorConfig::new(access))
         .correlate(log.records())
@@ -62,27 +68,81 @@ fn five_tier_chain_traces_exactly() {
     let hosts = ["t1", "t2", "t3", "t4", "t5"];
     let ips = ["10.0.0.1", "10.0.0.2", "10.0.0.3", "10.0.0.4", "10.0.0.5"];
     let mut t = 1_000u64;
-    log.rec(t, "t1", "p1", 7, "RECEIVE", "192.168.0.9:5000", "10.0.0.1:80", 200);
+    log.rec(
+        t,
+        "t1",
+        "p1",
+        7,
+        "RECEIVE",
+        "192.168.0.9:5000",
+        "10.0.0.1:80",
+        200,
+    );
     // Forward path.
     for i in 0..4 {
         t += 1_000;
         let src = format!("{}:40{i}", ips[i]);
         let dst = format!("{}:9000", ips[i + 1]);
-        log.rec(t, hosts[i], &format!("p{}", i + 1), 7, "SEND", &src, &dst, 100 + i as u64);
+        log.rec(
+            t,
+            hosts[i],
+            &format!("p{}", i + 1),
+            7,
+            "SEND",
+            &src,
+            &dst,
+            100 + i as u64,
+        );
         t += 500;
-        log.rec(t, hosts[i + 1], &format!("p{}", i + 2), 7, "RECEIVE", &src, &dst, 100 + i as u64);
+        log.rec(
+            t,
+            hosts[i + 1],
+            &format!("p{}", i + 2),
+            7,
+            "RECEIVE",
+            &src,
+            &dst,
+            100 + i as u64,
+        );
     }
     // Return path.
     for i in (0..4).rev() {
         t += 1_000;
         let src = format!("{}:9000", ips[i + 1]);
         let dst = format!("{}:40{i}", ips[i]);
-        log.rec(t, hosts[i + 1], &format!("p{}", i + 2), 7, "SEND", &src, &dst, 300 + i as u64);
+        log.rec(
+            t,
+            hosts[i + 1],
+            &format!("p{}", i + 2),
+            7,
+            "SEND",
+            &src,
+            &dst,
+            300 + i as u64,
+        );
         t += 500;
-        log.rec(t, hosts[i], &format!("p{}", i + 1), 7, "RECEIVE", &src, &dst, 300 + i as u64);
+        log.rec(
+            t,
+            hosts[i],
+            &format!("p{}", i + 1),
+            7,
+            "RECEIVE",
+            &src,
+            &dst,
+            300 + i as u64,
+        );
     }
     t += 1_000;
-    log.rec(t, "t1", "p1", 7, "SEND", "10.0.0.1:80", "192.168.0.9:5000", 999);
+    log.rec(
+        t,
+        "t1",
+        "p1",
+        7,
+        "SEND",
+        "10.0.0.1:80",
+        "192.168.0.9:5000",
+        999,
+    );
     let out = correlate(&log, &ips);
     assert_eq!(out.cags.len(), 1);
     let cag = &out.cags[0];
@@ -100,22 +160,148 @@ fn fan_out_to_two_backends_builds_branching_cag() {
     // The app tier sends two queries to two *different* databases before
     // reading either answer (parallel fan-out), then joins.
     let mut log = Log::default();
-    log.rec(1_000, "web", "httpd", 7, "RECEIVE", "192.168.0.9:5000", "10.0.0.1:80", 200);
-    log.rec(2_000, "web", "httpd", 7, "SEND", "10.0.0.1:401", "10.0.0.2:9000", 100);
-    log.rec(2_500, "app", "java", 9, "RECEIVE", "10.0.0.1:401", "10.0.0.2:9000", 100);
+    log.rec(
+        1_000,
+        "web",
+        "httpd",
+        7,
+        "RECEIVE",
+        "192.168.0.9:5000",
+        "10.0.0.1:80",
+        200,
+    );
+    log.rec(
+        2_000,
+        "web",
+        "httpd",
+        7,
+        "SEND",
+        "10.0.0.1:401",
+        "10.0.0.2:9000",
+        100,
+    );
+    log.rec(
+        2_500,
+        "app",
+        "java",
+        9,
+        "RECEIVE",
+        "10.0.0.1:401",
+        "10.0.0.2:9000",
+        100,
+    );
     // Fan-out: two sends back-to-back on different channels.
-    log.rec(3_000, "app", "java", 9, "SEND", "10.0.0.2:500", "10.0.0.3:3306", 50);
-    log.rec(3_100, "app", "java", 9, "SEND", "10.0.0.2:501", "10.0.0.4:3306", 60);
-    log.rec(3_500, "dbA", "mysqld", 11, "RECEIVE", "10.0.0.2:500", "10.0.0.3:3306", 50);
-    log.rec(3_600, "dbB", "mysqld", 12, "RECEIVE", "10.0.0.2:501", "10.0.0.4:3306", 60);
-    log.rec(4_000, "dbA", "mysqld", 11, "SEND", "10.0.0.3:3306", "10.0.0.2:500", 500);
-    log.rec(4_100, "dbB", "mysqld", 12, "SEND", "10.0.0.4:3306", "10.0.0.2:501", 600);
+    log.rec(
+        3_000,
+        "app",
+        "java",
+        9,
+        "SEND",
+        "10.0.0.2:500",
+        "10.0.0.3:3306",
+        50,
+    );
+    log.rec(
+        3_100,
+        "app",
+        "java",
+        9,
+        "SEND",
+        "10.0.0.2:501",
+        "10.0.0.4:3306",
+        60,
+    );
+    log.rec(
+        3_500,
+        "dbA",
+        "mysqld",
+        11,
+        "RECEIVE",
+        "10.0.0.2:500",
+        "10.0.0.3:3306",
+        50,
+    );
+    log.rec(
+        3_600,
+        "dbB",
+        "mysqld",
+        12,
+        "RECEIVE",
+        "10.0.0.2:501",
+        "10.0.0.4:3306",
+        60,
+    );
+    log.rec(
+        4_000,
+        "dbA",
+        "mysqld",
+        11,
+        "SEND",
+        "10.0.0.3:3306",
+        "10.0.0.2:500",
+        500,
+    );
+    log.rec(
+        4_100,
+        "dbB",
+        "mysqld",
+        12,
+        "SEND",
+        "10.0.0.4:3306",
+        "10.0.0.2:501",
+        600,
+    );
     // Join: answers read in reverse order.
-    log.rec(4_700, "app", "java", 9, "RECEIVE", "10.0.0.4:3306", "10.0.0.2:501", 600);
-    log.rec(4_800, "app", "java", 9, "RECEIVE", "10.0.0.3:3306", "10.0.0.2:500", 500);
-    log.rec(5_000, "app", "java", 9, "SEND", "10.0.0.2:9000", "10.0.0.1:401", 900);
-    log.rec(5_400, "web", "httpd", 7, "RECEIVE", "10.0.0.2:9000", "10.0.0.1:401", 900);
-    log.rec(6_000, "web", "httpd", 7, "SEND", "10.0.0.1:80", "192.168.0.9:5000", 999);
+    log.rec(
+        4_700,
+        "app",
+        "java",
+        9,
+        "RECEIVE",
+        "10.0.0.4:3306",
+        "10.0.0.2:501",
+        600,
+    );
+    log.rec(
+        4_800,
+        "app",
+        "java",
+        9,
+        "RECEIVE",
+        "10.0.0.3:3306",
+        "10.0.0.2:500",
+        500,
+    );
+    log.rec(
+        5_000,
+        "app",
+        "java",
+        9,
+        "SEND",
+        "10.0.0.2:9000",
+        "10.0.0.1:401",
+        900,
+    );
+    log.rec(
+        5_400,
+        "web",
+        "httpd",
+        7,
+        "RECEIVE",
+        "10.0.0.2:9000",
+        "10.0.0.1:401",
+        900,
+    );
+    log.rec(
+        6_000,
+        "web",
+        "httpd",
+        7,
+        "SEND",
+        "10.0.0.1:80",
+        "192.168.0.9:5000",
+        999,
+    );
     let out = correlate(&log, &["10.0.0.1", "10.0.0.2", "10.0.0.3", "10.0.0.4"]);
     assert_eq!(out.cags.len(), 1, "{}", out.metrics.summary());
     let cag = &out.cags[0];
@@ -140,8 +326,26 @@ fn iterative_single_tier_server() {
     for i in 0..5u64 {
         let t0 = 1_000 + i * 100_000;
         let client = format!("192.168.0.9:{}", 5000 + i);
-        let a = log.rec(t0, "web", "httpd", 7, "RECEIVE", &client, "10.0.0.1:80", 120);
-        let b = log.rec(t0 + 2_000, "web", "httpd", 7, "SEND", "10.0.0.1:80", &client, 512);
+        let a = log.rec(
+            t0,
+            "web",
+            "httpd",
+            7,
+            "RECEIVE",
+            &client,
+            "10.0.0.1:80",
+            120,
+        );
+        let b = log.rec(
+            t0 + 2_000,
+            "web",
+            "httpd",
+            7,
+            "SEND",
+            "10.0.0.1:80",
+            &client,
+            512,
+        );
         expected.push(vec![a, b]);
     }
     let out = correlate(&log, &["10.0.0.1"]);
@@ -156,28 +360,208 @@ fn pattern_separates_fanout_from_chain() {
     // isomorphism classes even with identical vertex counts.
     use tracer_core::pattern::canonical_signature;
     let mut fan = Log::default();
-    fan.rec(1_000, "web", "httpd", 7, "RECEIVE", "192.168.0.9:5000", "10.0.0.1:80", 200);
-    fan.rec(3_000, "web", "httpd", 7, "SEND", "10.0.0.1:500", "10.0.0.3:3306", 50);
-    fan.rec(3_100, "web", "httpd", 7, "SEND", "10.0.0.1:501", "10.0.0.3:3307", 60);
-    fan.rec(3_500, "db", "mysqld", 11, "RECEIVE", "10.0.0.1:500", "10.0.0.3:3306", 50);
-    fan.rec(3_600, "db", "mysqld", 12, "RECEIVE", "10.0.0.1:501", "10.0.0.3:3307", 60);
-    fan.rec(4_000, "db", "mysqld", 11, "SEND", "10.0.0.3:3306", "10.0.0.1:500", 500);
-    fan.rec(4_100, "db", "mysqld", 12, "SEND", "10.0.0.3:3307", "10.0.0.1:501", 600);
-    fan.rec(4_700, "web", "httpd", 7, "RECEIVE", "10.0.0.3:3306", "10.0.0.1:500", 500);
-    fan.rec(4_800, "web", "httpd", 7, "RECEIVE", "10.0.0.3:3307", "10.0.0.1:501", 600);
-    fan.rec(6_000, "web", "httpd", 7, "SEND", "10.0.0.1:80", "192.168.0.9:5000", 999);
+    fan.rec(
+        1_000,
+        "web",
+        "httpd",
+        7,
+        "RECEIVE",
+        "192.168.0.9:5000",
+        "10.0.0.1:80",
+        200,
+    );
+    fan.rec(
+        3_000,
+        "web",
+        "httpd",
+        7,
+        "SEND",
+        "10.0.0.1:500",
+        "10.0.0.3:3306",
+        50,
+    );
+    fan.rec(
+        3_100,
+        "web",
+        "httpd",
+        7,
+        "SEND",
+        "10.0.0.1:501",
+        "10.0.0.3:3307",
+        60,
+    );
+    fan.rec(
+        3_500,
+        "db",
+        "mysqld",
+        11,
+        "RECEIVE",
+        "10.0.0.1:500",
+        "10.0.0.3:3306",
+        50,
+    );
+    fan.rec(
+        3_600,
+        "db",
+        "mysqld",
+        12,
+        "RECEIVE",
+        "10.0.0.1:501",
+        "10.0.0.3:3307",
+        60,
+    );
+    fan.rec(
+        4_000,
+        "db",
+        "mysqld",
+        11,
+        "SEND",
+        "10.0.0.3:3306",
+        "10.0.0.1:500",
+        500,
+    );
+    fan.rec(
+        4_100,
+        "db",
+        "mysqld",
+        12,
+        "SEND",
+        "10.0.0.3:3307",
+        "10.0.0.1:501",
+        600,
+    );
+    fan.rec(
+        4_700,
+        "web",
+        "httpd",
+        7,
+        "RECEIVE",
+        "10.0.0.3:3306",
+        "10.0.0.1:500",
+        500,
+    );
+    fan.rec(
+        4_800,
+        "web",
+        "httpd",
+        7,
+        "RECEIVE",
+        "10.0.0.3:3307",
+        "10.0.0.1:501",
+        600,
+    );
+    fan.rec(
+        6_000,
+        "web",
+        "httpd",
+        7,
+        "SEND",
+        "10.0.0.1:80",
+        "192.168.0.9:5000",
+        999,
+    );
 
     let mut chain = Log::default();
-    chain.rec(1_000, "web", "httpd", 7, "RECEIVE", "192.168.0.9:5000", "10.0.0.1:80", 200);
-    chain.rec(3_000, "web", "httpd", 7, "SEND", "10.0.0.1:500", "10.0.0.3:3306", 50);
-    chain.rec(3_500, "db", "mysqld", 11, "RECEIVE", "10.0.0.1:500", "10.0.0.3:3306", 50);
-    chain.rec(4_000, "db", "mysqld", 11, "SEND", "10.0.0.3:3306", "10.0.0.1:500", 500);
-    chain.rec(4_200, "web", "httpd", 7, "RECEIVE", "10.0.0.3:3306", "10.0.0.1:500", 500);
-    chain.rec(4_300, "web", "httpd", 7, "SEND", "10.0.0.1:501", "10.0.0.3:3307", 60);
-    chain.rec(4_600, "db", "mysqld", 12, "RECEIVE", "10.0.0.1:501", "10.0.0.3:3307", 60);
-    chain.rec(5_000, "db", "mysqld", 12, "SEND", "10.0.0.3:3307", "10.0.0.1:501", 600);
-    chain.rec(5_300, "web", "httpd", 7, "RECEIVE", "10.0.0.3:3307", "10.0.0.1:501", 600);
-    chain.rec(6_000, "web", "httpd", 7, "SEND", "10.0.0.1:80", "192.168.0.9:5000", 999);
+    chain.rec(
+        1_000,
+        "web",
+        "httpd",
+        7,
+        "RECEIVE",
+        "192.168.0.9:5000",
+        "10.0.0.1:80",
+        200,
+    );
+    chain.rec(
+        3_000,
+        "web",
+        "httpd",
+        7,
+        "SEND",
+        "10.0.0.1:500",
+        "10.0.0.3:3306",
+        50,
+    );
+    chain.rec(
+        3_500,
+        "db",
+        "mysqld",
+        11,
+        "RECEIVE",
+        "10.0.0.1:500",
+        "10.0.0.3:3306",
+        50,
+    );
+    chain.rec(
+        4_000,
+        "db",
+        "mysqld",
+        11,
+        "SEND",
+        "10.0.0.3:3306",
+        "10.0.0.1:500",
+        500,
+    );
+    chain.rec(
+        4_200,
+        "web",
+        "httpd",
+        7,
+        "RECEIVE",
+        "10.0.0.3:3306",
+        "10.0.0.1:500",
+        500,
+    );
+    chain.rec(
+        4_300,
+        "web",
+        "httpd",
+        7,
+        "SEND",
+        "10.0.0.1:501",
+        "10.0.0.3:3307",
+        60,
+    );
+    chain.rec(
+        4_600,
+        "db",
+        "mysqld",
+        12,
+        "RECEIVE",
+        "10.0.0.1:501",
+        "10.0.0.3:3307",
+        60,
+    );
+    chain.rec(
+        5_000,
+        "db",
+        "mysqld",
+        12,
+        "SEND",
+        "10.0.0.3:3307",
+        "10.0.0.1:501",
+        600,
+    );
+    chain.rec(
+        5_300,
+        "web",
+        "httpd",
+        7,
+        "RECEIVE",
+        "10.0.0.3:3307",
+        "10.0.0.1:501",
+        600,
+    );
+    chain.rec(
+        6_000,
+        "web",
+        "httpd",
+        7,
+        "SEND",
+        "10.0.0.1:80",
+        "192.168.0.9:5000",
+        999,
+    );
 
     let internal = &["10.0.0.1", "10.0.0.3"];
     let a = correlate(&fan, internal);

@@ -72,7 +72,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .unwrap_or(Nanos::ZERO);
     println!("\nProject5-style convolution on the httpd->java hop:");
     println!("  estimated delay: {:?} ms", est.map(|ns| ns as f64 / 1e6));
-    println!("  CAG-measured mean: {:.1} ms", true_hop.as_nanos() as f64 / 1e6);
+    println!(
+        "  CAG-measured mean: {:.1} ms",
+        true_hop.as_nanos() as f64 / 1e6
+    );
     println!("  (convolution yields one aggregate number; no per-request paths, no patterns)");
     Ok(())
 }

@@ -30,11 +30,15 @@ fn main() {
     let cases: Vec<(&str, Fault)> = vec![
         (
             "abnormal 1: EJB_Delay (random delay injected in tier 2)",
-            Fault::EjbDelay { delay: Dist::Exp { mean: 60e6 } },
+            Fault::EjbDelay {
+                delay: Dist::Exp { mean: 60e6 },
+            },
         ),
         (
             "abnormal 2: DataBase_Lock (items table locked)",
-            Fault::DbLock { hold: Dist::Exp { mean: 5e6 } },
+            Fault::DbLock {
+                hold: Dist::Exp { mean: 5e6 },
+            },
         ),
         (
             "abnormal 3: EJB_Network (JBoss NIC at 10 Mbps)",

@@ -20,7 +20,10 @@ use std::time::Instant;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let clients = 100;
     let mut cfg = rubis::ExperimentConfig::quick(clients, 30);
-    cfg.noise = rubis::NoiseSpec { ssh_msgs_per_sec: 60.0, mysql_msgs_per_sec: 400.0 };
+    cfg.noise = rubis::NoiseSpec {
+        ssh_msgs_per_sec: 60.0,
+        mysql_msgs_per_sec: 400.0,
+    };
     println!("simulating {clients} clients plus noise generators...");
     let out = rubis::run(cfg);
     println!(
@@ -36,7 +39,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (plain, acc) = out.correlate(window)?;
     let plain_time = t.elapsed();
     println!("\nwithout attribute filters:");
-    println!("  accuracy {:.1}%  (is_noise discarded {} activities)",
+    println!(
+        "  accuracy {:.1}%  (is_noise discarded {} activities)",
         acc.accuracy() * 100.0,
         plain.metrics.ranker.noise_discards
     );

@@ -57,7 +57,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 4. Render one CAG as Graphviz DOT (paste into `dot -Tsvg`).
     if let Some(cag) = corr.cags.first() {
         let dot = precisetracer::tracer::dot::cag_to_dot(cag);
-        println!("\nfirst CAG in DOT format ({} vertices):", cag.vertices.len());
+        println!(
+            "\nfirst CAG in DOT format ({} vertices):",
+            cag.vertices.len()
+        );
         println!("{}", &dot[..dot.len().min(400)]);
         println!("... (truncated)");
     }

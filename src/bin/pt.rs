@@ -139,10 +139,15 @@ fn simulate(args: &[String]) -> Result<(), String> {
         cfg.seed = seed.parse().map_err(|_| "bad --seed")?;
     }
     if let Some(skew) = opt(args, "--skew-ms") {
-        cfg.spec = cfg.spec.with_skew_ms(skew.parse().map_err(|_| "bad --skew-ms")?);
+        cfg.spec = cfg
+            .spec
+            .with_skew_ms(skew.parse().map_err(|_| "bad --skew-ms")?);
     }
     if flag(args, "--noise") {
-        cfg.noise = rubis::NoiseSpec { ssh_msgs_per_sec: 40.0, mysql_msgs_per_sec: 150.0 };
+        cfg.noise = rubis::NoiseSpec {
+            ssh_msgs_per_sec: 40.0,
+            mysql_msgs_per_sec: 150.0,
+        };
     }
     let out = rubis::run(cfg);
     let mut text = String::new();
@@ -167,7 +172,11 @@ fn simulate(args: &[String]) -> Result<(), String> {
 fn correlate_cmd(args: &[String]) -> Result<(), String> {
     let path = positional(args, 0).ok_or("missing log file")?;
     let (out, _) = correlate_file(path, args)?;
-    println!("correlated {} causal paths ({} deformed/unfinished)", out.cags.len(), out.unfinished.len());
+    println!(
+        "correlated {} causal paths ({} deformed/unfinished)",
+        out.cags.len(),
+        out.unfinished.len()
+    );
     println!("{}", out.metrics.summary());
     if !out.noise_samples.is_empty() {
         println!("sample noise discards:");
@@ -183,7 +192,10 @@ fn correlate_cmd(args: &[String]) -> Result<(), String> {
         .collect();
     if !latencies.is_empty() {
         let mean = latencies.iter().sum::<f64>() / latencies.len() as f64;
-        println!("mean request latency: {mean:.2} ms over {} paths", latencies.len());
+        println!(
+            "mean request latency: {mean:.2} ms over {} paths",
+            latencies.len()
+        );
     }
     Ok(())
 }

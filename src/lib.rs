@@ -42,9 +42,13 @@ pub use tracer_core as tracer;
 
 /// One-stop imports for examples and applications.
 pub mod prelude {
-    pub use baseline::{self as baselines, evaluate as evaluate_baseline, infer_paths, NestingConfig};
-    pub use multitier::{self as rubis, ExperimentConfig, Fault, Mix, NoiseSpec, Phases, ServiceSpec};
+    pub use baseline::{
+        self as baselines, evaluate as evaluate_baseline, infer_paths, NestingConfig,
+    };
+    pub use multitier::{
+        self as rubis, ExperimentConfig, Fault, Mix, NoiseSpec, Phases, ServiceSpec,
+    };
     pub use simnet::{Dist, SimDur, SimTime};
-    pub use tracer_core::prelude::*;
     pub use tracer_core::pattern::PatternAggregator;
+    pub use tracer_core::prelude::*;
 }

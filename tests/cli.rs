@@ -8,32 +8,67 @@ fn pt() -> Command {
     Command::new(env!("CARGO_BIN_EXE_pt"))
 }
 
-fn tmp(name: &str) -> std::path::PathBuf {
-    let mut p = std::env::temp_dir();
-    p.push(format!("pt-cli-test-{}-{name}", std::process::id()));
-    p
+/// A temp-file path that is removed when dropped, so failing tests
+/// don't leave artifacts behind in the system temp directory.
+struct TmpFile(std::path::PathBuf);
+
+impl TmpFile {
+    fn new(name: &str) -> Self {
+        let mut p = std::env::temp_dir();
+        p.push(format!("pt-cli-test-{}-{name}", std::process::id()));
+        TmpFile(p)
+    }
+
+    fn as_str(&self) -> &str {
+        self.0.to_str().unwrap()
+    }
+}
+
+impl Drop for TmpFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
 }
 
 const INTERNAL: &str = "10.0.0.1,10.0.0.2,10.0.0.3";
 
 #[test]
 fn simulate_correlate_patterns_diff_roundtrip() {
-    let log = tmp("trace.log");
-    let dot = tmp("pattern.dot");
+    let log = TmpFile::new("trace.log");
+    let dot = TmpFile::new("pattern.dot");
 
     // simulate
     let out = pt()
-        .args(["simulate", "--clients", "10", "--seconds", "8", "--seed", "3"])
-        .args(["--out", log.to_str().unwrap()])
+        .args([
+            "simulate",
+            "--clients",
+            "10",
+            "--seconds",
+            "8",
+            "--seed",
+            "3",
+        ])
+        .args(["--out", log.as_str()])
         .output()
         .expect("run pt simulate");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
-    let text = std::fs::read_to_string(&log).unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&log.0).unwrap();
     assert!(text.lines().count() > 100, "log should have records");
 
     // correlate
     let out = pt()
-        .args(["correlate", log.to_str().unwrap(), "--port", "80", "--internal", INTERNAL])
+        .args([
+            "correlate",
+            log.as_str(),
+            "--port",
+            "80",
+            "--internal",
+            INTERNAL,
+        ])
         .output()
         .expect("run pt correlate");
     assert!(out.status.success());
@@ -43,51 +78,129 @@ fn simulate_correlate_patterns_diff_roundtrip() {
 
     // patterns + dot export
     let out = pt()
-        .args(["patterns", log.to_str().unwrap(), "--port", "80", "--internal", INTERNAL])
-        .args(["--dot", dot.to_str().unwrap()])
+        .args([
+            "patterns",
+            log.as_str(),
+            "--port",
+            "80",
+            "--internal",
+            INTERNAL,
+        ])
+        .args(["--dot", dot.as_str()])
         .output()
         .expect("run pt patterns");
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("patterns over"), "{stdout}");
     assert!(stdout.contains("httpd2java"), "{stdout}");
-    let dot_text = std::fs::read_to_string(&dot).unwrap();
+    let dot_text = std::fs::read_to_string(&dot.0).unwrap();
     assert!(dot_text.starts_with("digraph"));
 
     // diff against itself: no significant change
     let out = pt()
-        .args([
-            "diff",
-            log.to_str().unwrap(),
-            log.to_str().unwrap(),
-            "--port",
-            "80",
-            "--internal",
-            INTERNAL,
-        ])
+        .args(["diff", log.as_str(), log.as_str()])
+        .args(["--port", "80", "--internal", INTERNAL])
         .output()
         .expect("run pt diff");
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("no significant change"), "{stdout}");
+}
 
-    let _ = std::fs::remove_file(log);
-    let _ = std::fs::remove_file(dot);
+fn stderr_of(args: &[&str]) -> String {
+    let out = pt().args(args).output().expect("run pt");
+    assert!(!out.status.success(), "expected failure for {args:?}");
+    String::from_utf8_lossy(&out.stderr).into_owned()
 }
 
 #[test]
-fn missing_arguments_fail_cleanly() {
-    let out = pt().output().expect("run pt");
-    assert!(!out.status.success());
-    let out = pt().args(["correlate"]).output().expect("run");
-    assert!(!out.status.success());
-    let err = String::from_utf8_lossy(&out.stderr);
-    assert!(err.contains("missing"), "{err}");
-    let out = pt()
-        .args(["correlate", "/nonexistent.log", "--port", "80", "--internal", "10.0.0.1"])
-        .output()
-        .expect("run");
-    assert!(!out.status.success());
+fn no_arguments_prints_usage_to_stderr() {
+    let err = stderr_of(&[]);
+    assert!(err.contains("USAGE"), "{err}");
+}
+
+#[test]
+fn unknown_command_names_itself() {
+    let err = stderr_of(&["frobnicate"]);
+    assert!(err.contains("unknown command"), "{err}");
+    assert!(err.contains("frobnicate"), "{err}");
+    assert!(err.contains("USAGE"), "{err}");
+}
+
+#[test]
+fn missing_required_flags_are_reported_by_name() {
+    let err = stderr_of(&["correlate"]);
+    assert!(err.contains("missing log file"), "{err}");
+    let err = stderr_of(&["correlate", "/nonexistent.log"]);
+    assert!(err.contains("missing --port"), "{err}");
+    let err = stderr_of(&["correlate", "/nonexistent.log", "--port", "80"]);
+    assert!(err.contains("missing --internal"), "{err}");
+    let err = stderr_of(&["simulate", "--clients", "5"]);
+    assert!(err.contains("missing --out"), "{err}");
+    let err = stderr_of(&["simulate"]);
+    assert!(err.contains("missing --clients"), "{err}");
+}
+
+#[test]
+fn malformed_flag_values_are_reported_by_name() {
+    let err = stderr_of(&[
+        "correlate",
+        "/nonexistent.log",
+        "--port",
+        "eighty",
+        "--internal",
+        INTERNAL,
+    ]);
+    assert!(err.contains("bad --port"), "{err}");
+    let err = stderr_of(&[
+        "correlate",
+        "/nonexistent.log",
+        "--port",
+        "80",
+        "--internal",
+        "10.0.0.999",
+    ]);
+    assert!(err.contains("bad --internal"), "{err}");
+    let err = stderr_of(&[
+        "correlate",
+        "/nonexistent.log",
+        "--port",
+        "80",
+        "--internal",
+        INTERNAL,
+        "--window-ms",
+        "soon",
+    ]);
+    assert!(err.contains("bad --window-ms"), "{err}");
+}
+
+#[test]
+fn missing_input_file_reports_path_and_os_error() {
+    let err = stderr_of(&[
+        "correlate",
+        "/nonexistent.log",
+        "--port",
+        "80",
+        "--internal",
+        INTERNAL,
+    ]);
+    assert!(err.contains("/nonexistent.log"), "{err}");
+    assert!(err.contains("No such file"), "{err}");
+}
+
+#[test]
+fn unparsable_log_reports_parse_error() {
+    let bad = TmpFile::new("bad.log");
+    std::fs::write(&bad.0, "this is not a TCP_TRACE log\n").unwrap();
+    let err = stderr_of(&[
+        "correlate",
+        bad.as_str(),
+        "--port",
+        "80",
+        "--internal",
+        INTERNAL,
+    ]);
+    assert!(err.contains("cannot parse trace record"), "{err}");
 }
 
 #[test]

@@ -36,7 +36,10 @@ fn accuracy_is_perfect_across_skews() {
 #[test]
 fn accuracy_is_perfect_under_combined_noise() {
     let mut cfg = quick(12, 10);
-    cfg.noise = rubis::NoiseSpec { ssh_msgs_per_sec: 80.0, mysql_msgs_per_sec: 200.0 };
+    cfg.noise = rubis::NoiseSpec {
+        ssh_msgs_per_sec: 80.0,
+        mysql_msgs_per_sec: 200.0,
+    };
     let out = rubis::run(cfg);
     let (corr, acc) = out.correlate(Nanos::from_millis(2)).unwrap();
     assert!(acc.is_perfect(), "{acc:?}");
@@ -48,7 +51,8 @@ fn every_cag_is_structurally_valid() {
     let out = rubis::run(quick(15, 10));
     let (corr, _) = out.correlate(Nanos::from_millis(10)).unwrap();
     for cag in &corr.cags {
-        cag.validate().unwrap_or_else(|e| panic!("CAG {}: {e}", cag.id));
+        cag.validate()
+            .unwrap_or_else(|e| panic!("CAG {}: {e}", cag.id));
         assert!(cag.finished);
         assert!(cag.total_latency().is_some());
     }
@@ -125,7 +129,10 @@ fn max_threads_bottleneck_appears_and_fix_works() {
         let (corr, acc) = out.correlate(Nanos::from_millis(10)).unwrap();
         assert!(acc.is_perfect());
         let b = BreakdownReport::dominant(&corr.cags).unwrap();
-        (out.service.rt_mean(), b.pct(&Component::new("httpd", "java")))
+        (
+            out.service.rt_mean(),
+            b.pct(&Component::new("httpd", "java")),
+        )
     };
     let (rt_small, pct_small) = run_with(8);
     let (rt_big, pct_big) = run_with(250);
@@ -150,7 +157,9 @@ fn fault_signatures_localize() {
     };
     let normal = breakdown(vec![]);
     // EJB delay → java internal.
-    let ejb = breakdown(vec![Fault::EjbDelay { delay: Dist::Exp { mean: 80e6 } }]);
+    let ejb = breakdown(vec![Fault::EjbDelay {
+        delay: Dist::Exp { mean: 80e6 },
+    }]);
     let d = Diagnosis::localize(&DiffReport::between(&normal, &ejb), 8.0).expect("diagnosis");
     assert_eq!(d.suspect, SuspectKind::TierInternal("java".into()), "{d:?}");
     // Degraded NIC → java network.
@@ -206,7 +215,10 @@ fn accuracy_survives_skew_noise_and_tiny_window_combined() {
     // is still in the input (the anywhere-send index decides is_noise).
     let mut cfg = quick(60, 8);
     cfg.spec = cfg.spec.with_skew_ms(250);
-    cfg.noise = rubis::NoiseSpec { ssh_msgs_per_sec: 40.0, mysql_msgs_per_sec: 80.0 };
+    cfg.noise = rubis::NoiseSpec {
+        ssh_msgs_per_sec: 40.0,
+        mysql_msgs_per_sec: 80.0,
+    };
     let out = rubis::run(cfg);
     let (corr, acc) = out.correlate(Nanos::from_millis(1)).unwrap();
     assert!(acc.is_perfect(), "{acc:?} ({})", corr.metrics.summary());

@@ -1,0 +1,254 @@
+//! Golden-trace regression harness.
+//!
+//! Every `tests/golden/*.log` file is a TCP_TRACE log (hand-written or
+//! captured with `pt simulate`) whose second-to-parse line is a
+//! directive comment:
+//!
+//! ```text
+//! #! port=80 internal=10.0.0.1,10.0.0.2 window_ms=10
+//! ```
+//!
+//! The harness correlates the log and renders the full correlation
+//! result — CAG count, per-CAG vertex structure, latencies, pattern
+//! keys, and latency-percentage tables — into a canonical text form
+//! that must match the checked-in `<case>.golden` file **byte for
+//! byte**. Any change to Ranker/Engine/pattern behavior that alters a
+//! correlation result fails these tests; intentional changes are
+//! re-blessed with:
+//!
+//! ```text
+//! PT_GOLDEN_REGEN=1 cargo test --test golden
+//! ```
+
+use std::fmt::Write as _;
+use std::net::Ipv4Addr;
+use std::path::{Path, PathBuf};
+
+use precisetracer::prelude::*;
+
+/// Correlator settings extracted from a case's `#!` directive line.
+struct Directive {
+    access: AccessPointSpec,
+    window: Nanos,
+}
+
+fn parse_directive(text: &str, path: &Path) -> Directive {
+    let line = text
+        .lines()
+        .find(|l| l.starts_with("#!"))
+        .unwrap_or_else(|| panic!("{}: missing #! directive line", path.display()));
+    let mut port: Option<u16> = None;
+    let mut internal: Vec<Ipv4Addr> = Vec::new();
+    let mut window_ms: u64 = 10;
+    for kv in line.trim_start_matches("#!").split_ascii_whitespace() {
+        let (k, v) = kv
+            .split_once('=')
+            .unwrap_or_else(|| panic!("{}: bad directive token {kv:?}", path.display()));
+        match k {
+            "port" => port = Some(v.parse().expect("directive port")),
+            "internal" => {
+                internal = v
+                    .split(',')
+                    .map(|ip| ip.parse().expect("directive internal ip"))
+                    .collect();
+            }
+            "window_ms" => window_ms = v.parse().expect("directive window_ms"),
+            other => panic!("{}: unknown directive key {other:?}", path.display()),
+        }
+    }
+    Directive {
+        access: AccessPointSpec::new([port.expect("directive needs port=")], internal),
+        window: Nanos::from_millis(window_ms),
+    }
+}
+
+/// Renders a correlation result into the canonical golden text: every
+/// field here is deterministic for a fixed input log (no wall-clock or
+/// allocation-dependent values).
+fn render(out: &CorrelationOutput) -> String {
+    let mut s = String::new();
+    let m = &out.metrics;
+    writeln!(
+        s,
+        "records_in={} filtered_out={} cags={} unfinished={}",
+        m.records_in,
+        m.filtered_out,
+        out.cags.len(),
+        out.unfinished.len()
+    )
+    .unwrap();
+
+    for cag in &out.cags {
+        let total = cag
+            .total_latency()
+            .map(|n| n.as_nanos().to_string())
+            .unwrap_or_else(|| "-".into());
+        writeln!(
+            s,
+            "cag id={} finished={} vertices={} total_ns={}",
+            cag.id,
+            cag.finished,
+            cag.vertices.len(),
+            total
+        )
+        .unwrap();
+        for (i, v) in cag.vertices.iter().enumerate() {
+            writeln!(
+                s,
+                "  v{i} {} ts={} ctx={}/{}/{}/{} chan={} size={} ctx_parent={} msg_parent={}",
+                v.ty,
+                v.ts,
+                v.ctx.hostname,
+                v.ctx.program,
+                v.ctx.pid,
+                v.ctx.tid,
+                v.channel,
+                v.size,
+                v.ctx_parent
+                    .map(|p| p.to_string())
+                    .unwrap_or_else(|| "-".into()),
+                v.msg_parent
+                    .map(|p| p.to_string())
+                    .unwrap_or_else(|| "-".into()),
+            )
+            .unwrap();
+        }
+        for (component, latency) in cag.component_latencies() {
+            writeln!(s, "  component {component} {}ns", latency.as_nanos()).unwrap();
+        }
+    }
+
+    let agg = PatternAggregator::from_cags(&out.cags);
+    writeln!(s, "patterns={}", agg.len()).unwrap();
+    for p in agg.average_paths() {
+        writeln!(
+            s,
+            "pattern key={} count={} vertices={} mean_total_ns={}",
+            p.key,
+            p.count,
+            p.exemplar.vertices.len(),
+            p.mean_total.as_nanos()
+        )
+        .unwrap();
+        writeln!(s, "  signature {}", p.signature).unwrap();
+        for (component, pct) in &p.percentages {
+            writeln!(s, "  {component} {pct:.4}%").unwrap();
+        }
+    }
+    s
+}
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn run_case(name: &str) -> (String, PathBuf) {
+    let log_path = golden_dir().join(format!("{name}.log"));
+    let text = std::fs::read_to_string(&log_path)
+        .unwrap_or_else(|e| panic!("{}: {e}", log_path.display()));
+    let directive = parse_directive(&text, &log_path);
+    let records = parse_log(&text).expect("golden log must parse");
+    assert!(!records.is_empty(), "{name}: empty golden log");
+    let config = CorrelatorConfig::new(directive.access).with_window(directive.window);
+    let out = Correlator::new(config)
+        .correlate(records)
+        .expect("golden log must correlate");
+    for cag in &out.cags {
+        cag.validate()
+            .unwrap_or_else(|e| panic!("{name}: invalid CAG {}: {e}", cag.id));
+    }
+    (render(&out), golden_dir().join(format!("{name}.golden")))
+}
+
+fn check_case(name: &str) {
+    let (got, golden_path) = run_case(name);
+    if std::env::var_os("PT_GOLDEN_REGEN").is_some() {
+        std::fs::write(&golden_path, &got).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(&golden_path).unwrap_or_else(|e| {
+        panic!(
+            "{}: {e}\n(run `PT_GOLDEN_REGEN=1 cargo test --test golden` to bless)",
+            golden_path.display()
+        )
+    });
+    assert!(
+        got == want,
+        "{name}: correlation output diverged from {}\n\
+         --- got ---\n{got}\n--- want ---\n{want}\n\
+         If this change is intentional, re-bless with \
+         `PT_GOLDEN_REGEN=1 cargo test --test golden`.",
+        golden_path.display()
+    );
+}
+
+#[test]
+fn golden_static_single() {
+    check_case("static_single");
+}
+
+#[test]
+fn golden_three_tier_single() {
+    check_case("three_tier_single");
+}
+
+#[test]
+fn golden_interleaved_chunked() {
+    check_case("interleaved_chunked");
+}
+
+#[test]
+fn golden_sim_c4_s5_seed11() {
+    check_case("sim_c4_s5_seed11");
+}
+
+#[test]
+fn golden_sim_c6_s6_seed42_noise() {
+    check_case("sim_c6_s6_seed42_noise");
+}
+
+/// Every case in tests/golden/ must be wired to a named #[test] above,
+/// so a new corpus file cannot be silently skipped.
+#[test]
+fn golden_corpus_is_fully_covered() {
+    let known = [
+        "static_single",
+        "three_tier_single",
+        "interleaved_chunked",
+        "sim_c4_s5_seed11",
+        "sim_c6_s6_seed42_noise",
+    ];
+    let mut found: Vec<String> = std::fs::read_dir(golden_dir())
+        .expect("tests/golden")
+        .filter_map(|e| {
+            let p = e.ok()?.path();
+            (p.extension()? == "log").then(|| p.file_stem().unwrap().to_string_lossy().into_owned())
+        })
+        .collect();
+    found.sort();
+    let mut expected: Vec<String> = known.iter().map(|s| s.to_string()).collect();
+    expected.sort();
+    assert_eq!(
+        found, expected,
+        "add a #[test] wrapper for each new golden case"
+    );
+}
+
+/// The harness must actually be able to fail: perturbing a single
+/// vertex size in a correlation result changes the canonical rendering.
+#[test]
+fn golden_rendering_detects_perturbation() {
+    let log_path = golden_dir().join("three_tier_single.log");
+    let text = std::fs::read_to_string(&log_path).unwrap();
+    let directive = parse_directive(&text, &log_path);
+    let records = parse_log(&text).unwrap();
+    let config = CorrelatorConfig::new(directive.access).with_window(directive.window);
+    let mut out = Correlator::new(config).correlate(records).unwrap();
+    let baseline = render(&out);
+    out.cags[0].vertices[0].size += 1;
+    let perturbed = render(&out);
+    assert_ne!(
+        baseline, perturbed,
+        "rendering must be sensitive to vertex data"
+    );
+}

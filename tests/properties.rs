@@ -7,13 +7,13 @@ use proptest::prelude::*;
 
 fn arb_config() -> impl Strategy<Value = rubis::ExperimentConfig> {
     (
-        2usize..24,           // clients
-        6u64..14,             // steady seconds
-        0u64..4,              // mix selector (0-1 browse, 2-3 default)
-        any::<u64>(),         // seed
-        0i64..400,            // skew ms
-        prop::bool::ANY,      // noise
-        1u64..200,            // window ms (chosen later)
+        2usize..24,      // clients
+        6u64..14,        // steady seconds
+        0u64..4,         // mix selector (0-1 browse, 2-3 default)
+        any::<u64>(),    // seed
+        0i64..400,       // skew ms
+        prop::bool::ANY, // noise
+        1u64..200,       // window ms (chosen later)
     )
         .prop_map(|(clients, secs, mix, seed, skew, noise, _w)| {
             let mut cfg = rubis::ExperimentConfig::quick(clients, secs);

@@ -1,0 +1,242 @@
+//! Offline vendored stub of the `criterion` crate.
+//!
+//! The registry is unreachable in this environment, so the `harness =
+//! false` bench targets link against this minimal measurement harness
+//! instead. It mirrors the API subset the benches use — groups,
+//! `bench_with_input` / `bench_function`, throughput annotations,
+//! `criterion_group!` / `criterion_main!` — and reports a mean
+//! wall-clock time per iteration on stdout. No statistics, plots, or
+//! HTML reports; swap in the real crate when the build has network.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier (re-export of `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level harness state.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    /// Substring filter from the command line (`cargo bench -- FILTER`).
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Applies command-line configuration (stub: captures an optional
+    /// benchmark-name substring filter and ignores harness flags).
+    pub fn configure_from_args(mut self) -> Self {
+        self.filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a closure outside of any group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        self.run_one(&name, 10, None, f);
+        self
+    }
+
+    fn run_one<F>(&self, id: &str, samples: usize, throughput: Option<&Throughput>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        for _ in 0..samples {
+            f(&mut bencher);
+        }
+        let mean = if bencher.iters == 0 {
+            Duration::ZERO
+        } else {
+            bencher.elapsed / bencher.iters as u32
+        };
+        match throughput {
+            Some(Throughput::Elements(n)) if !mean.is_zero() => {
+                let rate = *n as f64 / mean.as_secs_f64();
+                println!("bench: {id:<48} {mean:>12.2?}/iter  {rate:>14.0} elem/s");
+            }
+            Some(Throughput::Bytes(n)) if !mean.is_zero() => {
+                let rate = *n as f64 / mean.as_secs_f64();
+                println!("bench: {id:<48} {mean:>12.2?}/iter  {rate:>14.0} B/s");
+            }
+            _ => println!("bench: {id:<48} {mean:>12.2?}/iter"),
+        }
+    }
+
+    /// Prints the final summary (stub: nothing to aggregate).
+    pub fn final_summary(&mut self) {}
+}
+
+/// How work per iteration is reported.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many logical elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// Identifier for one parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Combines a function name and a parameter display.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many times each bench closure is invoked.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotates subsequent benches with a throughput figure.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `f` against a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let throughput = self.throughput;
+        self.criterion
+            .run_one(&full, self.sample_size, throughput.as_ref(), |b| {
+                f(b, input)
+            });
+        self
+    }
+
+    /// Benchmarks a closure with no explicit input.
+    pub fn bench_function<F>(&mut self, name: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        let throughput = self.throughput;
+        self.criterion
+            .run_one(&full, self.sample_size, throughput.as_ref(), |b| f(b));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Timer handed to each bench closure.
+#[derive(Debug)]
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times one execution of `routine` (the real crate runs many; one
+    /// per sample keeps the offline stub fast).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        let out = routine();
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+        black_box(out);
+    }
+}
+
+/// Bundles bench functions into a callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}
+
+/// Generates `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_filters() {
+        let mut c = Criterion::default();
+        let mut ran = 0u32;
+        {
+            let mut g = c.benchmark_group("grp");
+            g.sample_size(3);
+            g.throughput(Throughput::Elements(10));
+            g.bench_with_input(BenchmarkId::new("f", 1), &2u32, |b, &x| {
+                b.iter(|| x + 1);
+                ran += 1;
+            });
+            g.finish();
+        }
+        assert_eq!(ran, 3);
+    }
+}
