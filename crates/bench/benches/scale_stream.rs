@@ -1,0 +1,82 @@
+//! `scale_stream` bench: correlation throughput at the ROADMAP's
+//! paper scale — one simulated session of ≥10⁶ TCP_TRACE records
+//! (~30k requests + ~300k noise activities, skewed clocks), driven
+//! through the batch drain and through the streaming path under an
+//! explicit memory budget.
+//!
+//! The interesting numbers (also recorded per-commit by
+//! `repro --quick --json scale` into `BENCH_baseline.json`):
+//! records/s for each mode, and the peak resident bytes of the
+//! streaming run, which must stay under the configured budget.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use multitier::ExperimentConfig;
+use tracer_core::{Correlator, Nanos, StreamingCorrelator};
+
+/// Streaming memory budget: comfortably above the scenario's natural
+/// working set (~2 MiB), so the budget bounds the run without evicting
+/// live paths.
+const BUDGET: usize = 8 << 20;
+
+fn bench(c: &mut Criterion) {
+    let out = multitier::run(ExperimentConfig::scale());
+    assert!(
+        out.records.len() >= 1_000_000,
+        "scale scenario must produce >= 10^6 records, got {}",
+        out.records.len()
+    );
+    let config = out.correlator_config(Nanos::from_millis(10));
+
+    let mut g = c.benchmark_group("scale_stream");
+    g.sample_size(2);
+    g.throughput(Throughput::Elements(out.records.len() as u64));
+
+    g.bench_function("batch_1M", |b| {
+        b.iter(|| {
+            Correlator::new(config.clone())
+                .correlate(out.records.clone())
+                .expect("valid config")
+                .cags
+                .len()
+        })
+    });
+
+    g.bench_function("stream_1M_budget8MiB", |b| {
+        b.iter(|| {
+            let mut sc = StreamingCorrelator::new(config.clone().with_memory_budget(BUDGET))
+                .expect("valid config");
+            let mut cags = 0usize;
+            for (i, rec) in out.records.iter().cloned().enumerate() {
+                sc.push(rec).expect("not finished");
+                if i % 4096 == 0 {
+                    cags += sc.poll().expect("not finished").len();
+                }
+            }
+            let fin = sc.finish().expect("single finish");
+            cags += fin.cags.len();
+            assert!(
+                fin.metrics.peak_bytes <= BUDGET,
+                "peak {} bytes exceeds the {} byte budget",
+                fin.metrics.peak_bytes,
+                BUDGET
+            );
+            cags
+        })
+    });
+
+    g.bench_function("stream_1M_adaptive_window", |b| {
+        b.iter(|| {
+            let cfg = config.clone().with_adaptive_window();
+            Correlator::new(cfg)
+                .correlate(out.records.clone())
+                .expect("valid config")
+                .cags
+                .len()
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

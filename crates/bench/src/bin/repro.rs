@@ -1,13 +1,17 @@
 //! Regenerates every table and figure of the PreciseTracer evaluation
-//! (§5) plus the two extension experiments from DESIGN.md.
+//! (§5) plus the two extension experiments from DESIGN.md and the
+//! paper-scale streaming stress run.
 //!
 //! ```text
-//! repro [--quick] [all|acc|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|fig17|ext1|ext2]...
+//! repro [--quick] [--json] [all|acc|fig8|...|fig17|ext1|ext2|scale]...
 //! ```
 //!
 //! `--quick` shrinks the sessions (smoke mode); the default regenerates
 //! at the paper's session length (2 min up-ramp, 7.5 min runtime, 1 min
-//! down-ramp).
+//! down-ramp). `--json` additionally writes the headline numbers of the
+//! instrumented experiments (`fig9`, `scale`) to `BENCH_baseline.json`
+//! in the current directory — the per-commit bench baseline checked
+//! into the repository (see README "Bench baselines").
 
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -18,28 +22,65 @@ use pt_bench::{experiment, header, paper_noise, row, run_and_trace, Scale};
 use simnet::Dist;
 use tracer_core::{
     BreakdownReport, Component, Correlator, CorrelatorConfig, Diagnosis, DiffReport, EngineOptions,
-    FilterSet, Nanos, RankerOptions,
+    FilterSet, Nanos, RankerOptions, StreamingCorrelator,
 };
+
+/// Flat metric collection for `BENCH_baseline.json`.
+#[derive(Default)]
+struct Baseline(Vec<(String, f64)>);
+
+impl Baseline {
+    fn rec(&mut self, key: impl Into<String>, value: f64) {
+        self.0.push((key.into(), value));
+    }
+
+    /// Writes the collected metrics as a flat, sorted JSON object —
+    /// trivially diffable between commits.
+    fn write(&self, path: &str) {
+        let mut entries = self.0.clone();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut s = String::from("{\n");
+        for (i, (k, v)) in entries.iter().enumerate() {
+            let val = if v.fract() == 0.0 && v.abs() < 1e15 {
+                format!("{}", *v as i64)
+            } else {
+                format!("{v:.4}")
+            };
+            let comma = if i + 1 < entries.len() { "," } else { "" };
+            s.push_str(&format!("  \"{k}\": {val}{comma}\n"));
+        }
+        s.push_str("}\n");
+        match std::fs::write(path, s) {
+            Ok(()) => eprintln!("wrote bench baseline to {path}"),
+            Err(e) => eprintln!("cannot write {path}: {e}"),
+        }
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
     let scale = if quick { Scale::Quick } else { Scale::Paper };
-    let mut wanted: Vec<String> = args.into_iter().filter(|a| a != "--quick").collect();
+    let mut wanted: Vec<String> = args
+        .into_iter()
+        .filter(|a| a != "--quick" && a != "--json")
+        .collect();
     if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
         wanted = [
             "acc", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
-            "fig17", "ext1", "ext2",
+            "fig17", "ext1", "ext2", "scale",
         ]
         .iter()
         .map(|s| s.to_string())
         .collect();
     }
+    let mut base = Baseline::default();
     let t0 = Instant::now();
     for w in &wanted {
         match w.as_str() {
             "acc" => acc(scale),
-            "fig8" | "fig9" | "fig10" | "fig11" => figs8_to_11(scale, &wanted),
+            "fig8" | "fig9" | "fig10" | "fig11" => figs8_to_11(scale, &wanted, &mut base),
             "fig12" | "fig13" => figs12_13(scale),
             "fig14" => fig14(scale),
             "fig15" => fig15(scale),
@@ -47,15 +88,172 @@ fn main() {
             "fig17" => fig17(scale),
             "ext1" => ext1(scale),
             "ext2" => ext2(scale),
+            "scale" => scale_stream(&mut base),
             other => eprintln!("unknown experiment id: {other}"),
         }
+    }
+    if json {
+        base.write("BENCH_baseline.json");
     }
     eprintln!("\ntotal wall time: {:?}", t0.elapsed());
 }
 
+/// The paper-scale streaming stress run (ROADMAP north star): a ≥10⁶
+/// record session correlated (a) in batch, (b) through the streaming
+/// path under an explicit memory budget, (c) with the adaptive window,
+/// and (d) under a deliberately starved budget to demonstrate counted
+/// eviction. Panics if accuracy degrades, the budget is exceeded, or
+/// the scenario shrinks below 10⁶ records — the CI scale smoke runs
+/// exactly this.
+fn scale_stream(base: &mut Baseline) {
+    println!("\n== SCALE: 10^6-record session, streaming-first pipeline ==");
+    let t = Instant::now();
+    let out = multitier::run(multitier::ExperimentConfig::scale());
+    let sim_secs = t.elapsed().as_secs_f64();
+    let records = out.records.len();
+    assert!(
+        records >= 1_000_000,
+        "scale scenario must produce >= 10^6 records, got {records}"
+    );
+
+    // (a) Batch drain.
+    let t = Instant::now();
+    let (corr, acc) = out.correlate(Nanos::from_millis(10)).expect("valid config");
+    let batch_secs = t.elapsed().as_secs_f64();
+    assert!(acc.is_perfect(), "batch accuracy regression: {acc:?}");
+
+    // (b) Streaming under an 8 MiB budget (well above the ~2 MiB
+    // natural working set: the budget must bound, not distort).
+    const BUDGET: usize = 8 << 20;
+    let t = Instant::now();
+    let mut sc = StreamingCorrelator::new(
+        out.correlator_config(Nanos::from_millis(10))
+            .with_memory_budget(BUDGET),
+    )
+    .expect("valid config");
+    let mut cags = Vec::new();
+    for (i, rec) in out.records.iter().cloned().enumerate() {
+        sc.push(rec).expect("not finished");
+        if i % 4096 == 0 {
+            cags.extend(sc.poll().expect("not finished"));
+        }
+    }
+    let fin = sc.finish().expect("single finish");
+    cags.extend(fin.cags);
+    let stream_secs = t.elapsed().as_secs_f64();
+    assert!(
+        fin.metrics.peak_bytes <= BUDGET,
+        "streaming peak {} bytes exceeds the {BUDGET} byte budget",
+        fin.metrics.peak_bytes
+    );
+    assert_eq!(fin.metrics.engine.budget_evicted_cags, 0);
+    let sacc = out.truth.evaluate(&cags);
+    assert!(sacc.is_perfect(), "streaming accuracy regression: {sacc:?}");
+
+    // (c) Adaptive window instead of the hand-tuned 10 ms knob.
+    let t = Instant::now();
+    let (acorr, aacc) = out
+        .correlate_with(
+            out.correlator_config(Nanos::from_millis(10))
+                .with_adaptive_window(),
+        )
+        .expect("valid config");
+    let adaptive_secs = t.elapsed().as_secs_f64();
+    assert!(aacc.is_perfect(), "adaptive accuracy regression: {aacc:?}");
+    assert!(acorr.metrics.ranker.window_updates > 0);
+
+    // (d) Starved budget: evictions must be counted, never silent, and
+    // the resident set must still respect the budget at sampling points.
+    let (tight, _) = out
+        .correlate_with(
+            out.correlator_config(Nanos::from_millis(10))
+                .with_memory_budget(1 << 20),
+        )
+        .expect("valid config");
+    assert!(
+        tight.metrics.engine.budget_evicted_cags > 0,
+        "a 1 MiB budget must force evictions"
+    );
+    // Even starved below the working set, the resident state stays near
+    // the budget: sheddable state is evicted and the ranker's buffer
+    // cap backstops stuck-state window boosts. What remains is the
+    // unsheddable floor (unsealed finished paths + live contexts).
+    assert!(
+        tight.metrics.peak_bytes <= 2 << 20,
+        "starved-budget peak {} bytes should stay near the 1 MiB budget",
+        tight.metrics.peak_bytes
+    );
+
+    println!(
+        "{}",
+        header(&["mode", "records", "corr_s", "rec/s", "peak_MB", "evicted"])
+    );
+    let mb = |b: usize| b as f64 / 1e6;
+    for (mode, secs, peak, evicted) in [
+        ("batch", batch_secs, corr.metrics.peak_bytes, 0u64),
+        ("stream_8MiB", stream_secs, fin.metrics.peak_bytes, 0),
+        ("adaptive", adaptive_secs, acorr.metrics.peak_bytes, 0),
+        (
+            "tight_1MiB",
+            f64::NAN,
+            tight.metrics.peak_bytes,
+            tight.metrics.engine.budget_evicted_cags,
+        ),
+    ] {
+        println!(
+            "{}",
+            row(&[
+                mode.to_string(),
+                records.to_string(),
+                if secs.is_nan() {
+                    "-".into()
+                } else {
+                    format!("{secs:.3}")
+                },
+                if secs.is_nan() {
+                    "-".into()
+                } else {
+                    format!("{:.0}", records as f64 / secs)
+                },
+                format!("{:.2}", mb(peak)),
+                evicted.to_string(),
+            ])
+        );
+    }
+    println!(
+        "sim {sim_secs:.2}s, {} requests, {} swap crossings, {} adaptive window updates",
+        out.service.completed, corr.metrics.ranker.swaps, acorr.metrics.ranker.window_updates,
+    );
+
+    base.rec("scale.records", records as f64);
+    base.rec("scale.requests", out.service.completed as f64);
+    base.rec("scale.sim_secs", sim_secs);
+    base.rec("scale.batch_corr_secs", batch_secs);
+    base.rec(
+        "scale.batch_records_per_sec",
+        records as f64 / batch_secs.max(1e-9),
+    );
+    base.rec(
+        "scale.batch_swap_crossings",
+        corr.metrics.ranker.swaps as f64,
+    );
+    base.rec("scale.stream_corr_secs", stream_secs);
+    base.rec("scale.stream_peak_bytes", fin.metrics.peak_bytes as f64);
+    base.rec("scale.stream_budget_bytes", BUDGET as f64);
+    base.rec("scale.adaptive_corr_secs", adaptive_secs);
+    base.rec(
+        "scale.adaptive_window_updates",
+        acorr.metrics.ranker.window_updates as f64,
+    );
+    base.rec(
+        "scale.tight_budget_evicted_cags",
+        tight.metrics.engine.budget_evicted_cags as f64,
+    );
+}
+
 /// Deduplicates the fig8-11 family (they share the same runs) so asking
 /// for several of them only simulates once.
-fn figs8_to_11(scale: Scale, wanted: &[String]) {
+fn figs8_to_11(scale: Scale, wanted: &[String], base: &mut Baseline) {
     use std::sync::OnceLock;
     static DONE: OnceLock<()> = OnceLock::new();
     if DONE.set(()).is_err() {
@@ -78,6 +276,10 @@ fn figs8_to_11(scale: Scale, wanted: &[String]) {
         );
         fig8_rows.push((clients, rt.out.service.completed));
         fig9_rows.push((rt.out.service.completed, rt.correlation_time.as_secs_f64()));
+        base.rec(
+            format!("fig9.corr_secs.c{clients}"),
+            rt.correlation_time.as_secs_f64(),
+        );
         if (want("fig10") || want("fig11")) && [200, 500, 800].contains(&clients) {
             for &w in &windows_ms {
                 let t = Instant::now();

@@ -52,6 +52,23 @@ impl ExperimentConfig {
         c.think = Dist::Exp { mean: 1.5e9 };
         c
     }
+
+    /// The paper-scale streaming stress scenario: one session producing
+    /// **≥10⁶ TCP_TRACE records** (about 30k requests from 1000 hot
+    /// clients plus ~300k noise activities), with skewed clocks and a
+    /// widened JBoss pool so the service itself is not the bottleneck.
+    /// Used by the `scale_stream` bench and the CI scale smoke to
+    /// exercise correlation at the ROADMAP's heavy-traffic scale.
+    pub fn scale() -> Self {
+        let mut c = Self::quick(1_000, 120);
+        c.think = Dist::Exp { mean: 100.0e6 };
+        c.spec = c.spec.with_skew_ms(50).with_max_threads(250);
+        c.noise = NoiseSpec {
+            ssh_msgs_per_sec: 50.0,
+            mysql_msgs_per_sec: 2_500.0,
+        };
+        c
+    }
 }
 
 /// Everything a run produces.

@@ -1,13 +1,26 @@
-//! The PreciseTracer facade: configuration, offline correlation and the
-//! streaming (online) variant.
+//! The PreciseTracer facade: configuration and the streaming-first
+//! correlation pipeline.
 //!
-//! The offline [`Correlator`] mirrors the paper's evaluation setup
-//! ("all experiments are done offline"): it takes a complete set of raw
-//! records, groups them per node, and drives the
-//! [`crate::ranker::Ranker`]/[`crate::engine::Engine`]
-//! loop to completion. [`StreamingCorrelator`] is the online extension
-//! the paper leaves as future work: records are pushed incrementally and
-//! finished CAGs are polled out with bounded memory.
+//! [`StreamingCorrelator`] is the one true correlation path: records are
+//! pushed incrementally (`push` → `poll` → `finish`), candidates flow
+//! through the [`crate::ranker::Ranker`]/[`crate::engine::Engine`] loop,
+//! and completed CAGs stream out with bounded memory. The offline
+//! [`Correlator`] — the paper's evaluation setup ("all experiments are
+//! done offline") — is a thin drain over the streaming path: it groups a
+//! complete record set per node, sorts each node by local time (the
+//! "first round" sort), pushes everything and finishes. Batch and online
+//! correlation therefore can never diverge.
+//!
+//! Sealed CAGs are extracted at fixed candidate-count boundaries (every
+//! [`CorrelatorConfig::mem_sample_every`] candidates), **not** at poll
+//! boundaries, so emission is a function of the candidate sequence
+//! alone, never of poll cadence. The candidate sequence itself is
+//! arrival-independent whenever ranking starts with the input staged
+//! (push everything, then poll/finish — what the batch drain does):
+//! that mode is byte-identical to batch for any log. Polling *between*
+//! pushes of overlapping multi-host traffic can reorder emission —
+//! an online ranker cannot see records that have not arrived — but the
+//! produced CAGs are the same (pinned by the streaming property tests).
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -24,7 +37,7 @@ use crate::ranker::{RankStep, Ranker};
 use crate::raw::RawRecord;
 
 pub use crate::engine::EngineOptions;
-pub use crate::ranker::RankerOptions;
+pub use crate::ranker::{RankerOptions, WindowPolicy};
 
 /// Full correlator configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -37,8 +50,16 @@ pub struct CorrelatorConfig {
     pub ranker: RankerOptions,
     /// Engine options, including ablation switches.
     pub engine: EngineOptions,
-    /// Sample the memory gauge once every this many candidates.
+    /// Sample the memory gauge (and extract sealed CAGs / enforce the
+    /// memory budget) once every this many candidates.
     pub mem_sample_every: u64,
+    /// Explicit resident-memory budget in bytes for the correlation
+    /// state (window buffers + engine maps, per `approx_bytes`). When
+    /// exceeded at a sampling point, the stalest unfinished CAGs are
+    /// deterministically evicted until the state fits again; evictions
+    /// are surfaced in [`crate::engine::EngineCounters`]. `None`
+    /// disables budget enforcement.
+    pub memory_budget: Option<usize>,
 }
 
 impl CorrelatorConfig {
@@ -50,12 +71,32 @@ impl CorrelatorConfig {
             ranker: RankerOptions::default(),
             engine: EngineOptions::default(),
             mem_sample_every: 64,
+            memory_budget: None,
         }
     }
 
     /// Sets the sliding time window.
     pub fn with_window(mut self, window: Nanos) -> Self {
         self.ranker.window = window;
+        self
+    }
+
+    /// Sets the window policy (static knob vs adaptive latency
+    /// tracking).
+    pub fn with_window_policy(mut self, policy: WindowPolicy) -> Self {
+        self.ranker.window_policy = policy;
+        self
+    }
+
+    /// Enables adaptive windowing with the default `p99 × 4` policy
+    /// clamped to `[1ms, 10s]`.
+    pub fn with_adaptive_window(self) -> Self {
+        self.with_window_policy(WindowPolicy::adaptive_default())
+    }
+
+    /// Sets the explicit resident-memory budget in bytes.
+    pub fn with_memory_budget(mut self, bytes: usize) -> Self {
+        self.memory_budget = Some(bytes);
         self
     }
 
@@ -77,6 +118,35 @@ impl CorrelatorConfig {
         self
     }
 
+    /// Validates the window settings alone (used by harnesses that feed
+    /// pre-classified activities and need no access points).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Config`] when the static window is zero or
+    /// the adaptive clamp bounds are degenerate.
+    pub fn validate_window(&self) -> Result<(), TraceError> {
+        match self.ranker.window_policy {
+            WindowPolicy::Static => {
+                if self.ranker.window == Nanos::ZERO {
+                    return Err(TraceError::config("sliding time window must be > 0"));
+                }
+            }
+            WindowPolicy::Adaptive { slack, min, max } => {
+                if min == Nanos::ZERO {
+                    return Err(TraceError::config("adaptive window min must be > 0"));
+                }
+                if max < min {
+                    return Err(TraceError::config("adaptive window max must be >= min"));
+                }
+                if slack == 0 {
+                    return Err(TraceError::config("adaptive window slack must be > 0"));
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Validates the configuration.
     ///
     /// # Errors
@@ -84,9 +154,7 @@ impl CorrelatorConfig {
     /// Returns [`TraceError::Config`] when the window is zero or no
     /// access point is configured.
     pub fn validate(&self) -> Result<(), TraceError> {
-        if self.ranker.window == Nanos::ZERO {
-            return Err(TraceError::config("sliding time window must be > 0"));
-        }
+        self.validate_window()?;
         if self.access.is_empty() {
             return Err(TraceError::config(
                 "no frontend port configured; no request would ever BEGIN",
@@ -130,147 +198,78 @@ impl Correlator {
         &self.config
     }
 
-    /// Correlates a complete set of raw records into CAGs.
+    /// Correlates a complete set of raw records into CAGs by draining
+    /// them through the streaming path (push → finish).
     ///
     /// Records may arrive in any order; they are grouped by hostname and
     /// sorted by local timestamp per node (the paper's "first round"
-    /// sort).
+    /// sort) before being pushed, then every host is closed and the
+    /// stream finished. There is no batch-specific correlation logic:
+    /// whatever the streaming path produces is the batch result.
     ///
     /// # Errors
     ///
     /// Returns a configuration error when [`CorrelatorConfig::validate`]
     /// fails.
     pub fn correlate(&self, records: Vec<RawRecord>) -> Result<CorrelationOutput, TraceError> {
-        self.config.validate()?;
-        let classifier = Classifier::new(self.config.access.clone());
-        let mut metrics = CorrelatorMetrics {
-            records_in: records.len() as u64,
-            ..CorrelatorMetrics::default()
-        };
-
+        let mut sc = StreamingCorrelator::new(self.config.clone())?;
         // Group per node; BTreeMap gives deterministic host order.
-        let mut streams: BTreeMap<Arc<str>, Vec<Activity>> = BTreeMap::new();
-        for rec in &records {
-            let act = classifier.classify(rec);
-            if !self.config.filters.admits(&act) {
-                metrics.filtered_out += 1;
-                continue;
-            }
+        let mut streams: BTreeMap<Arc<str>, Vec<RawRecord>> = BTreeMap::new();
+        for rec in records {
             streams
                 .entry(Arc::clone(&rec.hostname))
                 .or_default()
-                .push(act);
+                .push(rec);
         }
-        // Step 1 (§4): per-node sort by local timestamps.
-        let mut stream_vec: Vec<(Arc<str>, Vec<Activity>)> = Vec::new();
-        for (host, mut acts) in streams {
-            acts.sort_by_key(|a| a.ts);
-            stream_vec.push((host, acts));
+        for (host, mut recs) in streams {
+            // Step 1 (§4): per-node sort by local timestamps.
+            recs.sort_by_key(|r| r.ts);
+            for rec in recs {
+                sc.push(rec)?;
+            }
+            sc.close_host(&host)?;
         }
-
-        let ranker = Ranker::from_streams(self.config.ranker, stream_vec);
-        let engine = Engine::new(self.config.engine.clone());
-        let (output, _ranker, _engine) =
-            run_loop(ranker, engine, metrics, self.config.mem_sample_every);
-        Ok(output)
+        sc.finish()
     }
 
     /// Correlates pre-classified activity streams (one per host, each
-    /// sorted by local time). Used by harnesses that synthesize
-    /// activities directly.
+    /// sorted by local time) through the same streaming path. Used by
+    /// harnesses that synthesize activities directly.
     ///
     /// # Errors
     ///
-    /// Returns a configuration error when the window is zero.
+    /// Returns a configuration error when the window settings are
+    /// invalid.
     pub fn correlate_activities(
         &self,
         streams: Vec<(Arc<str>, Vec<Activity>)>,
     ) -> Result<CorrelationOutput, TraceError> {
-        if self.config.ranker.window == Nanos::ZERO {
-            return Err(TraceError::config("sliding time window must be > 0"));
-        }
-        let mut metrics = CorrelatorMetrics::default();
-        let mut kept: Vec<(Arc<str>, Vec<Activity>)> = Vec::new();
-        for (host, acts) in streams {
-            metrics.records_in += acts.len() as u64;
-            let mut v: Vec<Activity> = acts
-                .into_iter()
-                .filter(|a| {
-                    let ok = self.config.filters.admits(a);
-                    if !ok {
-                        metrics.filtered_out += 1;
-                    }
-                    ok
-                })
-                .collect();
-            v.sort_by_key(|a| a.ts);
-            kept.push((host, v));
-        }
-        let ranker = Ranker::from_streams(self.config.ranker, kept);
-        let engine = Engine::new(self.config.engine.clone());
-        let (output, _r, _e) = run_loop(ranker, engine, metrics, self.config.mem_sample_every);
-        Ok(output)
-    }
-}
-
-/// Drives ranker and engine to exhaustion; shared by offline and
-/// streaming paths.
-fn run_loop(
-    mut ranker: Ranker,
-    mut engine: Engine,
-    mut metrics: CorrelatorMetrics,
-    sample_every: u64,
-) -> (CorrelationOutput, Ranker, Engine) {
-    let start = Instant::now();
-    let mut since_sample = 0u64;
-    let mut noise_samples = Vec::new();
-    let mut cags = Vec::new();
-    loop {
-        match ranker.rank(&engine) {
-            RankStep::Candidate(a) => {
-                engine.deliver(a);
-                since_sample += 1;
-                if since_sample >= sample_every.max(1) {
-                    since_sample = 0;
-                    // Completed paths stream out (the tool writes them to
-                    // its output); the memory gauge therefore measures
-                    // the *working* state the window bounds: ranker
-                    // buffers, index maps and unfinished CAGs.
-                    cags.extend(engine.take_sealed());
-                    let cur = ranker.approx_bytes() + engine.approx_bytes();
-                    metrics.peak_bytes = metrics.peak_bytes.max(cur);
-                }
+        let mut sc = StreamingCorrelator::for_activities(self.config.clone())?;
+        let mut sorted = streams;
+        sorted.sort_by(|a, b| a.0.cmp(&b.0));
+        for (host, mut acts) in sorted {
+            acts.sort_by_key(|a| a.ts);
+            for act in acts {
+                sc.push_activity(act)?;
             }
-            RankStep::Noise(a) => {
-                if noise_samples.len() < NOISE_SAMPLE_CAP {
-                    noise_samples.push(a);
-                }
-            }
-            RankStep::NeedInput | RankStep::Exhausted => break,
+            sc.close_host(&host)?;
         }
+        sc.finish()
     }
-    metrics.wall = start.elapsed();
-    metrics.final_bytes = ranker.approx_bytes() + engine.approx_bytes();
-    metrics.peak_bytes = metrics.peak_bytes.max(metrics.final_bytes);
-    cags.extend(engine.take_finished());
-    let unfinished = engine.take_unfinished();
-    metrics.cags_finished = cags.len() as u64;
-    metrics.cags_unfinished = unfinished.len() as u64;
-    metrics.ranker = *ranker.counters();
-    metrics.engine = *engine.counters();
-    (
-        CorrelationOutput {
-            cags,
-            unfinished,
-            metrics,
-            noise_samples,
-        },
-        ranker,
-        engine,
-    )
 }
 
 /// Online correlation: push records as they arrive, poll finished CAGs.
+///
+/// This is the **primary** correlation path; [`Correlator::correlate`]
+/// is a thin batch drain over it. Sealed CAGs leave the engine at fixed
+/// candidate-count boundaries, so poll cadence never affects emission;
+/// pushing the whole input before the first poll reproduces the batch
+/// output byte-for-byte, and interleaved polling yields the same CAGs
+/// (possibly emitted in a different order — see the module docs).
+///
+/// After [`StreamingCorrelator::finish`] the correlator is spent:
+/// every further `push`/`poll`/`close_host`/`finish` returns
+/// [`TraceError::Finished`].
 ///
 /// # Examples
 ///
@@ -283,13 +282,14 @@ fn run_loop(
 /// sc.push(
 ///     "1000 web httpd 7 7 RECEIVE 192.168.0.9:5000-10.0.0.1:80 120"
 ///         .parse::<RawRecord>()?,
-/// );
+/// )?;
 /// sc.push(
 ///     "2000 web httpd 7 7 SEND 10.0.0.1:80-192.168.0.9:5000 512"
 ///         .parse::<RawRecord>()?,
-/// );
-/// let done = sc.finish();
+/// )?;
+/// let done = sc.finish()?;
 /// assert_eq!(done.cags.len(), 1);
+/// assert_eq!(sc.poll(), Err(TraceError::Finished));
 /// # Ok(())
 /// # }
 /// ```
@@ -301,9 +301,20 @@ pub struct StreamingCorrelator {
     engine: Engine,
     metrics: CorrelatorMetrics,
     mem_sample_every: u64,
+    memory_budget: Option<usize>,
     since_sample: u64,
     started: Instant,
     noise_samples: Vec<Activity>,
+    /// Sealed CAGs extracted at sampling boundaries, awaiting the next
+    /// `poll`/`finish`.
+    ready: Vec<Cag>,
+    /// Context count after the last budget-pressure context GC, so the
+    /// O(contexts) sweep only reruns once enough new entries piled up.
+    last_prune_contexts: usize,
+    /// `PT_BUDGET_DEBUG` was set: trace budget pressure to stderr.
+    debug_budget: bool,
+    /// Set by `finish`; all further calls return `TraceError::Finished`.
+    finished: bool,
 }
 
 impl StreamingCorrelator {
@@ -315,38 +326,125 @@ impl StreamingCorrelator {
     /// fails.
     pub fn new(config: CorrelatorConfig) -> Result<Self, TraceError> {
         config.validate()?;
-        Ok(StreamingCorrelator {
+        Ok(Self::build(config))
+    }
+
+    /// Creates a streaming correlator for pre-classified activities
+    /// (window validation only; no access points needed because
+    /// `push_activity` never classifies).
+    pub(crate) fn for_activities(config: CorrelatorConfig) -> Result<Self, TraceError> {
+        config.validate_window()?;
+        Ok(Self::build(config))
+    }
+
+    fn build(config: CorrelatorConfig) -> Self {
+        let mut ranker_opts = config.ranker;
+        // The budget backstops the window buffers too: stuck-state
+        // boosts must not fetch past it.
+        if ranker_opts.buffer_cap_bytes.is_none() {
+            ranker_opts.buffer_cap_bytes = config.memory_budget;
+        }
+        StreamingCorrelator {
             classifier: Classifier::new(config.access.clone()),
             filters: config.filters.clone(),
-            ranker: Ranker::new(config.ranker),
+            ranker: Ranker::new(ranker_opts),
             engine: Engine::new(config.engine.clone()),
             metrics: CorrelatorMetrics::default(),
             mem_sample_every: config.mem_sample_every,
+            memory_budget: config.memory_budget,
             since_sample: 0,
             started: Instant::now(),
             noise_samples: Vec::new(),
-        })
+            ready: Vec::new(),
+            last_prune_contexts: 0,
+            debug_budget: std::env::var_os("PT_BUDGET_DEBUG").is_some(),
+            finished: false,
+        }
+    }
+
+    /// Sets the explicit resident-memory budget in bytes (builder-style
+    /// override of [`CorrelatorConfig::memory_budget`]), including the
+    /// ranker's buffer byte cap that backstops stuck-state window
+    /// boosts.
+    #[must_use]
+    pub fn with_memory_budget(mut self, bytes: usize) -> Self {
+        self.memory_budget = Some(bytes);
+        self.ranker.set_buffer_cap(Some(bytes));
+        self
+    }
+
+    fn guard(&self) -> Result<(), TraceError> {
+        if self.finished {
+            Err(TraceError::Finished)
+        } else {
+            Ok(())
+        }
     }
 
     /// Pushes one raw record (routed to its node's queue).
-    pub fn push(&mut self, rec: RawRecord) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Finished`] after [`Self::finish`].
+    pub fn push(&mut self, rec: RawRecord) -> Result<(), TraceError> {
+        self.guard()?;
         self.metrics.records_in += 1;
         let act = self.classifier.classify(&rec);
         if !self.filters.admits(&act) {
             self.metrics.filtered_out += 1;
-            return;
+            return Ok(());
         }
         self.ranker.push(act);
+        Ok(())
     }
 
-    /// Declares a node's stream complete.
-    pub fn close_host(&mut self, host: &str) {
-        self.ranker.close_host(host);
+    /// Pushes one pre-classified activity (no access-point
+    /// classification; attribute filters still apply).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Finished`] after [`Self::finish`].
+    pub fn push_activity(&mut self, act: Activity) -> Result<(), TraceError> {
+        self.guard()?;
+        self.metrics.records_in += 1;
+        if !self.filters.admits(&act) {
+            self.metrics.filtered_out += 1;
+            return Ok(());
+        }
+        self.ranker.push(act);
+        Ok(())
+    }
+
+    /// Declares a node's stream complete. Returns `Ok(false)` when the
+    /// host is unknown (no record of it was ever pushed) — a no-op, not
+    /// an error, because a host's records may legitimately all have been
+    /// filtered out.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Finished`] after [`Self::finish`].
+    pub fn close_host(&mut self, host: &str) -> Result<bool, TraceError> {
+        self.guard()?;
+        Ok(self.ranker.close_host(host))
     }
 
     /// Runs the correlation loop until more input is needed, returning
-    /// any CAGs completed in the meantime.
-    pub fn poll(&mut self) -> Vec<Cag> {
+    /// the CAGs sealed at sampling boundaries in the meantime.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Finished`] after [`Self::finish`].
+    pub fn poll(&mut self) -> Result<Vec<Cag>, TraceError> {
+        self.guard()?;
+        self.pump();
+        Ok(std::mem::take(&mut self.ready))
+    }
+
+    /// Drives the ranker/engine loop until it needs input or the
+    /// sources are exhausted. Sealed CAGs are extracted — and the memory
+    /// budget enforced — only at candidate-count sampling boundaries, so
+    /// the emitted sequence does not depend on poll cadence.
+    fn pump(&mut self) {
         loop {
             match self.ranker.rank(&self.engine) {
                 RankStep::Candidate(a) => {
@@ -354,8 +452,7 @@ impl StreamingCorrelator {
                     self.since_sample += 1;
                     if self.since_sample >= self.mem_sample_every.max(1) {
                         self.since_sample = 0;
-                        let cur = self.ranker.approx_bytes() + self.engine.approx_bytes();
-                        self.metrics.peak_bytes = self.metrics.peak_bytes.max(cur);
+                        self.sample();
                     }
                 }
                 RankStep::Noise(a) => {
@@ -366,11 +463,47 @@ impl StreamingCorrelator {
                 RankStep::NeedInput | RankStep::Exhausted => break,
             }
         }
-        // Only sealed CAGs leave: a just-finished CAG may still receive
-        // trailing END segments (chunked responses).
-        let cags = self.engine.take_sealed();
-        self.metrics.cags_finished += cags.len() as u64;
-        cags
+    }
+
+    /// One sampling boundary: extract sealed CAGs (completed paths
+    /// stream out, so the memory gauge measures the *working* state the
+    /// window bounds), enforce the memory budget, update the gauge.
+    fn sample(&mut self) {
+        let sealed = self.engine.take_sealed();
+        self.metrics.cags_finished += sealed.len() as u64;
+        self.ready.extend(sealed);
+        if let Some(budget) = self.memory_budget {
+            while self.ranker.approx_bytes() + self.engine.approx_bytes() > budget {
+                // Deterministic shedding: stalest unfinished CAG, then
+                // oldest orphans/pendings; counted, never silent.
+                if !self.engine.shed_one() {
+                    // Nothing evictable left; reclaim dead context-map
+                    // entries, but only once enough piled up since the
+                    // last sweep (the sweep is O(contexts)).
+                    if self.engine.context_count() >= self.last_prune_contexts + 1_024 {
+                        self.engine.prune_stale_contexts();
+                        self.last_prune_contexts = self.engine.context_count();
+                    }
+                    if self.debug_budget {
+                        eprintln!(
+                            "over budget after shed: ranker={} engine={:?}",
+                            self.ranker.approx_bytes(),
+                            self.engine.approx_breakdown()
+                        );
+                    }
+                    break;
+                }
+            }
+        }
+        let cur = self.ranker.approx_bytes() + self.engine.approx_bytes();
+        if self.debug_budget && cur > self.metrics.peak_bytes {
+            eprintln!(
+                "peak -> {cur} (ranker={} engine={:?})",
+                self.ranker.approx_bytes(),
+                self.engine.approx_breakdown()
+            );
+        }
+        self.metrics.peak_bytes = self.metrics.peak_bytes.max(cur);
     }
 
     /// Current approximate resident bytes (window buffers + engine
@@ -379,29 +512,49 @@ impl StreamingCorrelator {
         self.ranker.approx_bytes() + self.engine.approx_bytes()
     }
 
+    /// The current base sliding window (static, or the latest adaptive
+    /// estimate).
+    pub fn current_window(&self) -> Nanos {
+        self.ranker.current_window()
+    }
+
     /// Closes all streams, drains everything and returns the final
-    /// output (finished CAGs from this call only, plus deformed paths).
-    pub fn finish(mut self) -> CorrelationOutput {
+    /// output (remaining finished CAGs plus deformed paths). The
+    /// correlator is spent afterwards: every further call returns
+    /// [`TraceError::Finished`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Finished`] when called twice.
+    pub fn finish(&mut self) -> Result<CorrelationOutput, TraceError> {
+        self.guard()?;
+        self.finished = true;
         self.ranker.close_all();
-        let mut cags = self.poll();
+        self.pump();
+        let mut cags = std::mem::take(&mut self.ready);
         // Flush CAGs still held for potential trailing-END amendment.
         let flushed = self.engine.take_finished();
         self.metrics.cags_finished += flushed.len() as u64;
         cags.extend(flushed);
         let unfinished = self.engine.take_unfinished();
-        let mut metrics = self.metrics;
+        let mut metrics = std::mem::take(&mut self.metrics);
         metrics.wall = self.started.elapsed();
         metrics.final_bytes = self.ranker.approx_bytes() + self.engine.approx_bytes();
         metrics.peak_bytes = metrics.peak_bytes.max(metrics.final_bytes);
-        metrics.cags_unfinished = unfinished.len() as u64;
+        // Deformed paths = those still open at end of input plus those
+        // the memory budget evicted along the way (the evicted ones are
+        // dropped, not returned — holding them would defeat the budget
+        // — but they must not vanish from the count).
+        metrics.cags_unfinished =
+            unfinished.len() as u64 + self.engine.counters().budget_evicted_cags;
         metrics.ranker = *self.ranker.counters();
         metrics.engine = *self.engine.counters();
-        CorrelationOutput {
+        Ok(CorrelationOutput {
             cags,
             unfinished,
             metrics,
-            noise_samples: self.noise_samples,
-        }
+            noise_samples: std::mem::take(&mut self.noise_samples),
+        })
     }
 }
 
@@ -543,10 +696,10 @@ mod tests {
         let mut sc = StreamingCorrelator::new(CorrelatorConfig::new(access())).unwrap();
         let mut streamed = Vec::new();
         for r in records {
-            sc.push(r);
-            streamed.extend(sc.poll());
+            sc.push(r).unwrap();
+            streamed.extend(sc.poll().unwrap());
         }
-        let done = sc.finish();
+        let done = sc.finish().unwrap();
         streamed.extend(done.cags);
         assert_eq!(streamed.len(), offline.cags.len());
         assert_eq!(streamed[0].sorted_tags(), offline.cags[0].sorted_tags());
@@ -569,7 +722,8 @@ mod tests {
                 )
                 .parse()
                 .unwrap(),
-            );
+            )
+            .unwrap();
             sc.push(
                 format!(
                     "{} web httpd 7 7 SEND 10.0.0.1:80-192.168.0.9:5000 200",
@@ -577,13 +731,218 @@ mod tests {
                 )
                 .parse()
                 .unwrap(),
-            );
-            let _ = sc.poll();
+            )
+            .unwrap();
+            let _ = sc.poll().unwrap();
             peak = peak.max(sc.approx_bytes());
         }
-        let out = sc.finish();
+        let out = sc.finish().unwrap();
         assert_eq!(out.metrics.records_in, 2_000);
         assert!(peak < 64 * 1024, "resident {peak} bytes should stay small");
+    }
+
+    #[test]
+    fn poll_cadence_does_not_change_output() {
+        // The tentpole guarantee: any chunking of the same input yields
+        // byte-identical results. Compare per-record polling against one
+        // big push with a single finish.
+        let records = parse_log(three_tier_log()).unwrap();
+        let batch = Correlator::new(CorrelatorConfig::new(access()))
+            .correlate(records.clone())
+            .unwrap();
+        let mut sc = StreamingCorrelator::new(CorrelatorConfig::new(access())).unwrap();
+        let mut streamed = Vec::new();
+        for r in records {
+            sc.push(r).unwrap();
+            streamed.extend(sc.poll().unwrap());
+        }
+        let done = sc.finish().unwrap();
+        streamed.extend(done.cags);
+        let fmt = |cags: &[Cag]| {
+            cags.iter()
+                .map(|c| format!("{}:{:?}", c.id, c.sorted_tags()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(fmt(&streamed), fmt(&batch.cags));
+        assert_eq!(done.unfinished.len(), batch.unfinished.len());
+    }
+
+    #[test]
+    fn api_after_finish_returns_finished_error() {
+        let mut sc = StreamingCorrelator::new(CorrelatorConfig::new(access())).unwrap();
+        sc.push(
+            "1000 web httpd 7 7 RECEIVE 192.168.0.9:5000-10.0.0.1:80 120"
+                .parse()
+                .unwrap(),
+        )
+        .unwrap();
+        let out = sc.finish().unwrap();
+        assert_eq!(out.metrics.records_in, 1);
+        // Every entry point is consistently poisoned — no consume-by-move
+        // footgun, no panic.
+        let rec: RawRecord = "2000 web httpd 7 7 SEND 10.0.0.1:80-192.168.0.9:5000 512"
+            .parse()
+            .unwrap();
+        assert_eq!(sc.push(rec), Err(TraceError::Finished));
+        assert_eq!(sc.poll(), Err(TraceError::Finished));
+        assert_eq!(sc.close_host("web"), Err(TraceError::Finished));
+        assert!(matches!(sc.finish(), Err(TraceError::Finished)));
+    }
+
+    #[test]
+    fn close_host_on_unknown_host_is_a_noop() {
+        let mut sc = StreamingCorrelator::new(CorrelatorConfig::new(access())).unwrap();
+        assert_eq!(sc.close_host("nonexistent"), Ok(false));
+        sc.push(
+            "1000 web httpd 7 7 RECEIVE 192.168.0.9:5000-10.0.0.1:80 120"
+                .parse()
+                .unwrap(),
+        )
+        .unwrap();
+        assert_eq!(sc.close_host("web"), Ok(true));
+        assert_eq!(sc.close_host("still-unknown"), Ok(false));
+        // Closing an unknown host must not fabricate an empty open queue
+        // that would wedge the drain.
+        let out = sc.finish().unwrap();
+        assert_eq!(out.metrics.records_in, 1);
+    }
+
+    #[test]
+    fn memory_budget_evicts_stalest_unfinished_cags() {
+        // Open many never-ending requests (BEGIN, no END): unfinished
+        // CAGs accumulate until the budget forces deterministic eviction
+        // of the oldest ones, surfaced in the engine counters.
+        let access = AccessPointSpec::new([80], ["10.0.0.1".parse().unwrap()]);
+        let mut cfg = CorrelatorConfig::new(access).with_memory_budget(8 * 1024);
+        cfg.mem_sample_every = 8;
+        let mut sc = StreamingCorrelator::new(cfg).unwrap();
+        for i in 0..2_000u64 {
+            sc.push(
+                format!(
+                    "{} web httpd 7 7 RECEIVE 192.168.0.9:{}-10.0.0.1:80 100",
+                    i * 1_000_000,
+                    5_000 + (i % 50_000),
+                )
+                .parse()
+                .unwrap(),
+            )
+            .unwrap();
+            let _ = sc.poll().unwrap();
+        }
+        assert!(
+            sc.approx_bytes() <= 8 * 1024,
+            "resident {} bytes exceeds the 8 KiB budget",
+            sc.approx_bytes()
+        );
+        let out = sc.finish().unwrap();
+        assert!(
+            out.metrics.engine.budget_evicted_cags > 0,
+            "evictions must be surfaced in the counters: {:?}",
+            out.metrics.engine
+        );
+        assert!(out.metrics.peak_bytes <= 8 * 1024 + 4 * 1024);
+    }
+
+    #[test]
+    fn without_budget_the_same_load_grows_past_it() {
+        // Sanity check for the test above: the eviction is what keeps
+        // the resident set under the budget.
+        let access = AccessPointSpec::new([80], ["10.0.0.1".parse().unwrap()]);
+        let mut cfg = CorrelatorConfig::new(access);
+        cfg.mem_sample_every = 8;
+        let mut sc = StreamingCorrelator::new(cfg).unwrap();
+        for i in 0..2_000u64 {
+            sc.push(
+                format!(
+                    "{} web httpd 7 7 RECEIVE 192.168.0.9:{}-10.0.0.1:80 100",
+                    i * 1_000_000,
+                    5_000 + (i % 50_000),
+                )
+                .parse()
+                .unwrap(),
+            )
+            .unwrap();
+            let _ = sc.poll().unwrap();
+        }
+        assert!(sc.approx_bytes() > 8 * 1024);
+        let out = sc.finish().unwrap();
+        assert_eq!(out.metrics.engine.budget_evicted_cags, 0);
+    }
+
+    #[test]
+    fn adaptive_window_tracks_observed_latency() {
+        // 2000 two-tier requests with ~2ms backend round trips: the
+        // adaptive window must record RTT samples, recompute itself, and
+        // stay within its clamp bounds while correlating perfectly.
+        let access = AccessPointSpec::new(
+            [80],
+            ["10.0.0.1".parse().unwrap(), "10.0.0.2".parse().unwrap()],
+        );
+        let cfg = CorrelatorConfig::new(access).with_adaptive_window();
+        let mut sc = StreamingCorrelator::new(cfg).unwrap();
+        for i in 0..2_000u64 {
+            let t0 = i * 10_000_000;
+            for line in [
+                format!(
+                    "{} web httpd 7 7 RECEIVE 192.168.0.9:5000-10.0.0.1:80 100",
+                    t0
+                ),
+                format!(
+                    "{} web httpd 7 7 SEND 10.0.0.1:4001-10.0.0.2:9000 64",
+                    t0 + 100_000
+                ),
+                format!(
+                    "{} app java 9 21 RECEIVE 10.0.0.1:4001-10.0.0.2:9000 64",
+                    t0 + 200_000
+                ),
+                format!(
+                    "{} app java 9 21 SEND 10.0.0.2:9000-10.0.0.1:4001 256",
+                    t0 + 1_900_000
+                ),
+                format!(
+                    "{} web httpd 7 7 RECEIVE 10.0.0.2:9000-10.0.0.1:4001 256",
+                    t0 + 2_100_000
+                ),
+                format!(
+                    "{} web httpd 7 7 SEND 10.0.0.1:80-192.168.0.9:5000 512",
+                    t0 + 2_200_000
+                ),
+            ] {
+                sc.push(line.parse().unwrap()).unwrap();
+            }
+            let _ = sc.poll().unwrap();
+        }
+        let w = sc.current_window();
+        let out = sc.finish().unwrap();
+        assert!(
+            out.metrics.ranker.window_updates > 0,
+            "window never adapted"
+        );
+        assert!(out.metrics.ranker.rtt_samples > 1_000);
+        assert!(
+            w >= Nanos::from_millis(1) && w <= Nanos::from_secs(10),
+            "window {w} escaped its clamp"
+        );
+        assert_eq!(out.metrics.cags_finished, 2_000);
+        assert_eq!(out.metrics.cags_unfinished, 0);
+    }
+
+    #[test]
+    fn adaptive_config_rejects_degenerate_bounds() {
+        let access = AccessPointSpec::new([80], ["10.0.0.1".parse().unwrap()]);
+        let bad =
+            CorrelatorConfig::new(access.clone()).with_window_policy(WindowPolicy::Adaptive {
+                slack: 4,
+                min: Nanos::from_millis(10),
+                max: Nanos::from_millis(1),
+            });
+        assert!(StreamingCorrelator::new(bad).is_err());
+        let zero_slack = CorrelatorConfig::new(access).with_window_policy(WindowPolicy::Adaptive {
+            slack: 0,
+            min: Nanos::from_millis(1),
+            max: Nanos::from_secs(1),
+        });
+        assert!(StreamingCorrelator::new(zero_slack).is_err());
     }
 
     #[test]

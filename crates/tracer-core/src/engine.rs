@@ -21,11 +21,12 @@
 //! parent belong to the same CAG; [`EngineOptions::thread_reuse_check`]
 //! can disable the check to reproduce the failure mode as an ablation.
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::mem::size_of;
 
 use crate::activity::{Activity, ActivityType, Channel, ContextId};
 use crate::cag::{Cag, Vertex};
+use crate::fasthash::FxHashMap;
 use crate::ranker::MatchOracle;
 
 /// Tunables and ablation switches for the engine.
@@ -99,6 +100,13 @@ pub struct EngineCounters {
     pub evicted_orphans: u64,
     /// Unfinished CAGs abandoned by `unfinished_cap`.
     pub abandoned_cags: u64,
+    /// Stale unfinished CAGs evicted by the streaming correlator's
+    /// explicit memory budget (`with_memory_budget`).
+    pub budget_evicted_cags: u64,
+    /// Vertices dropped with those budget-evicted CAGs.
+    pub budget_evicted_vertices: u64,
+    /// Dead `cmap` entries dropped by the budget-pressure context GC.
+    pub pruned_contexts: u64,
 }
 
 /// Where the latest activity of a context lives.
@@ -161,11 +169,11 @@ pub struct Engine {
     opts: EngineOptions,
     unfinished: BTreeMap<u64, Cag>,
     finished: Vec<Cag>,
-    finished_index: HashMap<u64, usize>,
-    mmap: HashMap<Channel, VecDeque<Pending>>,
+    finished_index: FxHashMap<u64, usize>,
+    mmap: FxHashMap<Channel, VecDeque<Pending>>,
     mmap_order: VecDeque<Channel>,
     pending_count: usize,
-    cmap: HashMap<ContextId, VRef>,
+    cmap: FxHashMap<ContextId, VRef>,
     orphans: BTreeMap<u64, Orphan>,
     next_cag_id: u64,
     next_orphan_id: u64,
@@ -188,11 +196,11 @@ impl Engine {
             opts,
             unfinished: BTreeMap::new(),
             finished: Vec::new(),
-            finished_index: HashMap::new(),
-            mmap: HashMap::new(),
+            finished_index: FxHashMap::default(),
+            mmap: FxHashMap::default(),
             mmap_order: VecDeque::new(),
             pending_count: 0,
-            cmap: HashMap::new(),
+            cmap: FxHashMap::default(),
             orphans: BTreeMap::new(),
             next_cag_id: 0,
             next_orphan_id: 0,
@@ -252,6 +260,83 @@ impl Engine {
         out
     }
 
+    /// Evicts the *stalest* unfinished CAG (the one opened longest ago)
+    /// under memory-budget pressure. The eviction is deterministic
+    /// (CAG ids are assigned in BEGIN delivery order) and counted in
+    /// [`EngineCounters::budget_evicted_cags`]; the streaming
+    /// correlator folds the count into `cags_unfinished`, but the path
+    /// itself is dropped — retaining it would defeat the budget.
+    /// Returns `None` when no CAG is under construction.
+    pub fn evict_stalest_unfinished(&mut self) -> Option<Cag> {
+        let (_, cag) = self.unfinished.pop_first()?;
+        self.vertex_count -= cag.vertices.len();
+        self.tag_count -= cag.vertices.iter().map(|v| v.tags.len()).sum::<usize>();
+        self.counters.budget_evicted_cags += 1;
+        self.counters.budget_evicted_vertices += cag.vertices.len() as u64;
+        Some(cag)
+    }
+
+    /// Sheds one unit of evictable state under memory-budget pressure,
+    /// in deterministic priority order: the stalest unfinished CAG,
+    /// then the oldest orphan chain, then the oldest pending send.
+    /// Returns `false` when nothing evictable remains (the floor —
+    /// `cmap` and the window buffers — is not sheddable).
+    ///
+    /// Order rationale: unfinished CAGs go first because the budget
+    /// contract targets *stale* half-built paths (lost-activity
+    /// leftovers grow without bound under endless input); orphans and
+    /// pendings follow so a starved budget still converges instead of
+    /// the orphan pool absorbing the freed space. A `mmap_order` entry
+    /// whose pending was already consumed sheds nothing but still
+    /// returns `true`; the caller's loop terminates because the order
+    /// queue itself shrinks.
+    pub fn shed_one(&mut self) -> bool {
+        if self.evict_stalest_unfinished().is_some() {
+            return true;
+        }
+        if let Some((_, _)) = self.orphans.pop_first() {
+            self.counters.evicted_orphans += 1;
+            return true;
+        }
+        if let Some(ch) = self.mmap_order.pop_front() {
+            if let Some(q) = self.mmap.get_mut(&ch) {
+                if q.pop_front().is_some() {
+                    self.pending_count -= 1;
+                    self.counters.evicted_pendings += 1;
+                }
+                if q.is_empty() {
+                    self.mmap.remove(&ch);
+                }
+            }
+            return true;
+        }
+        false
+    }
+
+    /// Number of context-map entries currently held.
+    pub fn context_count(&self) -> usize {
+        self.cmap.len()
+    }
+
+    /// Drops `cmap` entries that no longer resolve to live state
+    /// (their CAG/orphan was drained or evicted). Behavior-neutral:
+    /// every consumer treats a [`Resolved::Stale`] entry exactly like
+    /// an absent one — this only reclaims the memory. Returns the
+    /// number pruned; counted in [`EngineCounters::pruned_contexts`].
+    pub fn prune_stale_contexts(&mut self) -> usize {
+        let dead: Vec<ContextId> = self
+            .cmap
+            .iter()
+            .filter(|&(_, &vref)| matches!(self.resolve(vref), Resolved::Stale))
+            .map(|(ctx, _)| ctx.clone())
+            .collect();
+        for ctx in &dead {
+            self.cmap.remove(ctx);
+        }
+        self.counters.pruned_contexts += dead.len() as u64;
+        dead.len()
+    }
+
     /// Abandons and returns all unfinished CAGs (used at end of stream to
     /// surface deformed paths caused by lost activities).
     pub fn take_unfinished(&mut self) -> Vec<Cag> {
@@ -269,8 +354,18 @@ impl Engine {
     /// unfinished CAGs, buffered finished CAGs, orphans). Used for the
     /// Fig. 11 memory experiment.
     pub fn approx_bytes(&self) -> usize {
+        self.approx_breakdown().iter().sum()
+    }
+
+    /// Approximate resident bytes split by component, in the order
+    /// `(unfinished vertices+tags, pendings, cmap, orphans, finished
+    /// buffer)` — diagnostics for memory-budget tuning. The pending
+    /// figure includes the eviction-order queue (kept within 2× the
+    /// live pending count by lazy compaction).
+    pub fn approx_breakdown(&self) -> [usize; 5] {
         let vert = self.vertex_count * size_of::<Vertex>() + self.tag_count * 8;
-        let pend = self.pending_count * (size_of::<Pending>() + size_of::<Channel>());
+        let pend = self.pending_count * (size_of::<Pending>() + size_of::<Channel>())
+            + self.mmap_order.len() * size_of::<Channel>();
         let cmap = self.cmap.len() * (size_of::<ContextId>() + size_of::<VRef>() + 32);
         let orph = self.orphans.len() * (size_of::<Orphan>() + 16);
         let fin: usize = self
@@ -278,7 +373,7 @@ impl Engine {
             .iter()
             .map(|c| c.vertices.len() * size_of::<Vertex>())
             .sum();
-        vert + pend + cmap + orph + fin
+        [vert, pend, cmap, orph, fin]
     }
 
     fn resolve(&self, vref: VRef) -> Resolved {
@@ -360,10 +455,40 @@ impl Engine {
         id
     }
 
+    /// Rebuilds `mmap_order` to hold exactly one entry per live pending.
+    ///
+    /// Entries are appended per SEND but the normal RECEIVE consume
+    /// path drains only `mmap`, so on long streams the order queue
+    /// accumulates stale entries without bound. The live pendings of a
+    /// channel are its *newest* occurrences (pops consume oldest
+    /// first), so a back-to-front sweep keeping the last `q.len()`
+    /// occurrences per channel — order otherwise preserved — restores
+    /// the oldest-first eviction order exactly. Amortized O(1): runs
+    /// only when stale entries outnumber live ones.
+    fn compact_mmap_order(&mut self) {
+        let mut keep_left: FxHashMap<Channel, usize> = FxHashMap::default();
+        for (ch, q) in &self.mmap {
+            keep_left.insert(*ch, q.len());
+        }
+        let mut kept: VecDeque<Channel> = VecDeque::with_capacity(self.pending_count);
+        while let Some(ch) = self.mmap_order.pop_back() {
+            if let Some(n) = keep_left.get_mut(&ch) {
+                if *n > 0 {
+                    *n -= 1;
+                    kept.push_front(ch);
+                }
+            }
+        }
+        self.mmap_order = kept;
+    }
+
     fn push_pending(&mut self, channel: Channel, pending: Pending) {
         self.mmap.entry(channel).or_default().push_back(pending);
         self.mmap_order.push_back(channel);
         self.pending_count += 1;
+        if self.mmap_order.len() > 2 * self.pending_count + 1_024 {
+            self.compact_mmap_order();
+        }
         while self.pending_count > self.opts.pending_cap {
             // Evict the globally oldest pending send.
             if let Some(ch) = self.mmap_order.pop_front() {

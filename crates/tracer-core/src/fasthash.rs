@@ -1,0 +1,122 @@
+//! A fast, **deterministic** hasher for the correlation hot paths.
+//!
+//! The Ranker and Engine index maps (`mmap`, `cmap`, the send indexes)
+//! are hit on every candidate — the stuck-resolution scan alone performs
+//! dozens of lookups per noise record. `std`'s default SipHash is
+//! DoS-resistant but costs several times more per 16-byte key than
+//! needed here, and its per-process random seed makes map iteration
+//! order nondeterministic (the correlator never iterates these maps for
+//! output, but determinism is still a nice property for debugging).
+//!
+//! This is the Fx multiply-xor construction (as used by rustc): not
+//! collision-resistant against adversaries, which is acceptable because
+//! keys are channels/contexts from a trace under analysis, not untrusted
+//! network input with an attacker targeting the analyst's hash table.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` state plugging [`FxHasher`] in.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with the fast deterministic hasher.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The Fx multiply-xor hasher.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, mut bytes: &[u8]) {
+        while bytes.len() >= 8 {
+            self.add(u64::from_le_bytes(bytes[..8].try_into().expect("8")));
+            bytes = &bytes[8..];
+        }
+        if bytes.len() >= 4 {
+            self.add(u64::from(u32::from_le_bytes(
+                bytes[..4].try_into().expect("4"),
+            )));
+            bytes = &bytes[4..];
+        }
+        for &b in bytes {
+            self.add(u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_across_builders() {
+        let c: crate::activity::Channel = crate::activity::Channel::new(
+            "10.0.0.1:80".parse().unwrap(),
+            "10.0.0.2:9000".parse().unwrap(),
+        );
+        assert_eq!(hash_of(&c), hash_of(&c));
+    }
+
+    #[test]
+    fn distinguishes_close_keys() {
+        let a: crate::activity::EndpointV4 = "10.0.0.1:80".parse().unwrap();
+        let b: crate::activity::EndpointV4 = "10.0.0.1:81".parse().unwrap();
+        assert_ne!(hash_of(&a), hash_of(&b));
+    }
+
+    #[test]
+    fn map_works_as_drop_in() {
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        for i in 0..1_000u64 {
+            m.insert(i, i * 2);
+        }
+        assert_eq!(m.get(&500), Some(&1_000));
+        assert_eq!(m.len(), 1_000);
+    }
+}

@@ -70,6 +70,7 @@ pub mod correlator;
 pub mod dot;
 pub mod engine;
 pub mod error;
+pub mod fasthash;
 pub mod filter;
 pub mod metrics;
 pub mod pattern;
@@ -82,7 +83,7 @@ pub use analysis::{BreakdownReport, Diagnosis, DiffReport, SuspectKind};
 pub use cag::{Cag, Component, EdgeKind, Vertex};
 pub use correlator::{
     CorrelationOutput, Correlator, CorrelatorConfig, EngineOptions, RankerOptions,
-    StreamingCorrelator,
+    StreamingCorrelator, WindowPolicy,
 };
 pub use engine::Engine;
 pub use error::TraceError;
@@ -102,7 +103,7 @@ pub mod prelude {
     pub use crate::cag::{Cag, Component, EdgeKind, Vertex};
     pub use crate::correlator::{
         CorrelationOutput, Correlator, CorrelatorConfig, EngineOptions, RankerOptions,
-        StreamingCorrelator,
+        StreamingCorrelator, WindowPolicy,
     };
     pub use crate::error::TraceError;
     pub use crate::filter::{FilterRule, FilterSet};

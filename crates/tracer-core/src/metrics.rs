@@ -19,7 +19,10 @@ pub struct CorrelatorMetrics {
     pub engine: EngineCounters,
     /// Completed causal paths output.
     pub cags_finished: u64,
-    /// Deformed paths abandoned at end of input (lost END activities).
+    /// Deformed paths: still open at end of input (lost END
+    /// activities) plus any evicted mid-stream by the memory budget
+    /// (`engine.budget_evicted_cags`), which are counted here but not
+    /// returned — retaining them would defeat the budget.
     pub cags_unfinished: u64,
     /// Peak approximate resident bytes of ranker buffers + engine state
     /// (sampled once per candidate).

@@ -28,11 +28,13 @@
 //!   exactly the paper's `is_noise` predicate (no match in `mmap`, no
 //!   match in the ranker buffer).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeSet, VecDeque};
 use std::mem::size_of;
+use std::net::Ipv4Addr;
 use std::sync::Arc;
 
-use crate::activity::{Activity, ActivityType, Nanos};
+use crate::activity::{Activity, ActivityType, Channel, ContextId, LocalTime, Nanos};
+use crate::fasthash::FxHashMap;
 
 /// Lets the ranker ask the engine about the `mmap` state (Rule 1 /
 /// `is_noise`).
@@ -66,11 +68,52 @@ impl MatchOracle for NoOracle {
     }
 }
 
+/// How the sliding time window is chosen.
+///
+/// `Static` uses [`RankerOptions::window`] verbatim (the paper's fixed
+/// `--window-ms` knob, swept by hand in Fig. 10). `Adaptive` derives the
+/// window online from observed per-channel round-trip latencies: each
+/// node's SEND→RECEIVE round trip on a channel pair is measured in that
+/// node's *own* local time (so clock skew cancels), aggregated per
+/// `(src ip, dst ip)` pair, and the window tracks
+/// `p99 × slack`, clamped to `[min, max]`. This automates the §4.3
+/// accuracy-vs-memory trade-off: the window follows the service's
+/// in-flight span instead of being a hand-tuned constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowPolicy {
+    /// Fixed window from [`RankerOptions::window`].
+    Static,
+    /// Window follows observed per-channel latency quantiles.
+    Adaptive {
+        /// Multiplier applied to the p99 round-trip latency.
+        slack: u32,
+        /// Lower clamp (also the starting window before any samples).
+        min: Nanos,
+        /// Upper clamp.
+        max: Nanos,
+    },
+}
+
+impl WindowPolicy {
+    /// The default adaptive policy: `p99 × 4`, clamped to
+    /// `[1ms, 10s]`.
+    pub const fn adaptive_default() -> Self {
+        WindowPolicy::Adaptive {
+            slack: 4,
+            min: Nanos::from_millis(1),
+            max: Nanos::from_secs(10),
+        }
+    }
+}
+
 /// Ranker tunables and ablation switches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RankerOptions {
     /// Sliding time window (per-node local time span held in the buffer).
     pub window: Nanos,
+    /// How the effective window is derived (static knob vs adaptive
+    /// latency tracking). `Static` preserves `window` as-is.
+    pub window_policy: WindowPolicy,
     /// Enable concurrency-disturbance head swapping (§4.3, Fig. 6).
     /// Disabling is the EXT-2 "no swap" ablation.
     pub swap: bool,
@@ -84,15 +127,25 @@ pub struct RankerOptions {
     /// Discard unmatched RECEIVEs (`is_noise`). When disabled they are
     /// delivered to the engine, which counts them as unmatched.
     pub noise_discard: bool,
+    /// Hard cap on the window buffers, in approximate bytes. Normally
+    /// `None` (the sliding window is the bound); the streaming
+    /// correlator sets it to the memory budget so stuck-state window
+    /// boosts cannot blow past the budget — refills then stop at the
+    /// cap (each queue always keeps a head, so the drain still makes
+    /// progress; blocked receives fall through to the noise/forced
+    /// paths instead of buffering without bound).
+    pub buffer_cap_bytes: Option<usize>,
 }
 
 impl Default for RankerOptions {
     fn default() -> Self {
         RankerOptions {
             window: Nanos::from_millis(10),
+            window_policy: WindowPolicy::Static,
             swap: true,
             fetch_boost: 16,
             noise_discard: true,
+            buffer_cap_bytes: None,
         }
     }
 }
@@ -120,6 +173,10 @@ pub struct RankerCounters {
     pub forced_deliveries: u64,
     /// High-water mark of buffered activities across all queues.
     pub peak_buffered: usize,
+    /// Round-trip latency samples observed for adaptive windowing.
+    pub rtt_samples: u64,
+    /// Times the adaptive window was recomputed from the quantiles.
+    pub window_updates: u64,
 }
 
 /// One step of ranking.
@@ -136,33 +193,151 @@ pub enum RankStep {
     Exhausted,
 }
 
+/// Seq-number origin for window buffers. Sequence numbers increase at
+/// the back of a buffer and *decrease* below the current front when a
+/// stuck-resolution promotion moves an activity to the head, so the
+/// origin leaves ample room on both sides.
+const SEQ_BASE: u64 = 1 << 40;
+
+/// Approximate resident bytes per buffered activity (the `(seq,
+/// Activity)` slot plus, for sends, the per-channel index entry);
+/// shared by `approx_bytes` and the buffer byte cap.
+const PER_BUFFERED_BYTES: usize = size_of::<(u64, Activity)>() + 40;
+
 #[derive(Debug)]
 struct NodeQueue {
     host: Arc<str>,
-    /// Activities inside the sliding window, ordered by local time.
-    buf: VecDeque<Activity>,
+    /// Activities inside the sliding window, ordered by local time, each
+    /// tagged with a buffer sequence number. Sequence numbers are
+    /// strictly increasing front-to-back at all times: refills append
+    /// with increasing seqs and promotions re-enter at `front seq - 1`,
+    /// so `seq` order always equals buffer-position order.
+    buf: VecDeque<(u64, Activity)>,
     /// Staged activities not yet fetched (the "log on disk").
     incoming: VecDeque<Activity>,
     /// No more input will ever arrive for this node.
     closed: bool,
+    /// Next sequence number for a back append.
+    next_seq: u64,
+    /// Tombstones: seqs promoted out of the middle of `buf` that the
+    /// front has not yet advanced past. Needed to map a live seq to its
+    /// current buffer index in O(log n + promotions-in-flight).
+    removed: BTreeSet<u64>,
 }
 
 impl NodeQueue {
     fn head(&self) -> Option<&Activity> {
-        self.buf.front()
+        self.buf.front().map(|(_, a)| a)
+    }
+
+    fn front_seq(&self) -> Option<u64> {
+        self.buf.front().map(|(s, _)| *s)
+    }
+
+    /// Current buffer index of a live seq: its rank among live seqs.
+    fn position_of(&self, seq: u64) -> usize {
+        let front = self.front_seq().expect("position in non-empty buffer");
+        (seq - front) as usize - self.removed.range(front..seq).count()
+    }
+
+    /// True when an activity of `ctx` is buffered ahead of position `k`
+    /// (same-context activities are causally ordered; crossing one in a
+    /// swap would fabricate a causal inversion). O(k), but only ever run
+    /// on an actual promotion candidate — never on the failed-scan path.
+    fn ctx_blocked(&self, ctx: &ContextId, k: usize) -> bool {
+        self.buf.iter().take(k).any(|(_, p)| p.ctx == *ctx)
     }
 }
 
 /// How deep the stuck-resolution fallback scan looks into each queue for
 /// deliverable RECEIVE/BEGIN/END activities buried behind blockers.
+/// (Matching SENDs are found at any depth via the per-channel index.)
 const SWAP_SCAN_DEPTH: usize = 64;
+
+/// Cap on in-flight round-trip measurements kept for adaptive windowing.
+const RTT_OPEN_CAP: usize = 65_536;
+
+/// Cap on distinct `(src ip, dst ip)` latency histograms; pairs beyond
+/// it are simply not tracked (bounds memory under internal-IP churn).
+const HIST_PAIR_CAP: usize = 1_024;
+
+/// Recompute the adaptive window once per this many RTT samples.
+const ADAPT_EVERY: u64 = 256;
+
+/// Online latency-quantile tracking for [`WindowPolicy::Adaptive`].
+///
+/// Round trips are measured per node in that node's own local time
+/// (SEND ts on a channel → RECEIVE ts on the reversed channel), so the
+/// estimate is skew-free, and aggregated into power-of-two histograms
+/// per `(src ip, dst ip)` pair.
+#[derive(Debug, Default)]
+struct AdaptiveState {
+    /// Open round trips: outbound channel → local SEND timestamp.
+    rtt_open: FxHashMap<Channel, LocalTime>,
+    /// Latency histograms (bucket i counts samples < 2^i ns).
+    hists: FxHashMap<(Ipv4Addr, Ipv4Addr), [u64; 64]>,
+    /// Samples seen since the last window recomputation.
+    since_update: u64,
+    /// The current adaptive window (clamped p99 × slack).
+    current: Nanos,
+}
+
+impl AdaptiveState {
+    /// p99 of one histogram, as a power-of-two upper bound.
+    fn p99_of(hist: &[u64; 64]) -> Option<u64> {
+        let total: u64 = hist.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let threshold = (total * 99).div_ceil(100);
+        let mut seen = 0u64;
+        for (bucket, &n) in hist.iter().enumerate() {
+            seen += n;
+            if seen >= threshold {
+                return Some(1u64 << bucket.min(62));
+            }
+        }
+        None
+    }
+
+    /// The window target: the largest per-link request round trip.
+    ///
+    /// Each *directed* `(src ip, dst ip)` pair holds homogeneous
+    /// samples, but only one direction of a link measures a true
+    /// request→response round trip; the opposite direction pairs a
+    /// node's response SEND with its RECEIVE of the *next* request on a
+    /// persistent connection — an inter-request idle gap, which under
+    /// light load is the think time, not a latency. The smaller
+    /// directed p99 of a link is therefore the request RTT (a gap is
+    /// bounded below by the RTT it straddles); the window takes the max
+    /// of those minima across links.
+    fn worst_p99(&self) -> Option<Nanos> {
+        let mut worst: Option<u64> = None;
+        for (&(a, b), hist) in &self.hists {
+            let Some(p) = Self::p99_of(hist) else {
+                continue;
+            };
+            let rtt = match self.hists.get(&(b, a)).and_then(Self::p99_of) {
+                Some(q) => p.min(q),
+                None => p,
+            };
+            worst = Some(worst.map_or(rtt, |w| w.max(rtt)));
+        }
+        worst.map(Nanos)
+    }
+}
 
 /// The ranker: per-node queues plus the candidate-selection rules.
 #[derive(Debug)]
 pub struct Ranker {
     opts: RankerOptions,
     queues: Vec<NodeQueue>,
-    by_host: HashMap<Arc<str>, usize>,
+    by_host: FxHashMap<Arc<str>, usize>,
+    /// Queue indexes in lexicographic host order: every cross-queue scan
+    /// and tie-break uses this order, so candidate selection does not
+    /// depend on the order in which hosts first appeared in the input
+    /// (batch and streaming ingestion agree byte-for-byte).
+    order: Vec<usize>,
     boost_level: u32,
     counters: RankerCounters,
     buffered: usize,
@@ -170,21 +345,45 @@ pub struct Ranker {
     /// (staged or buffered), so the stuck path can decide `is_noise` in
     /// O(1): a RECEIVE whose channel has no pending send in the engine
     /// *and* no send anywhere in the remaining input can never match.
-    send_index: HashMap<crate::activity::Channel, u32>,
+    send_index: FxHashMap<Channel, u32>,
+    /// Time-ordered index of *buffered* SENDs per channel: `(queue, seq)`
+    /// pairs, where within a queue seq order equals buffer-position (and
+    /// local-time) order. Lets the stuck path jump straight to a blocked
+    /// head's matching SEND in O(log n) instead of scanning a window's
+    /// worth of buffered activities.
+    buf_sends: FxHashMap<Channel, BTreeSet<(u32, u64)>>,
+    /// Latency tracking for the adaptive window policy.
+    adaptive: AdaptiveState,
+    /// Scratch buffers reused across `try_swap` calls (the stuck path
+    /// runs once per noise discard; per-call allocations add up).
+    scratch_channels: Vec<Channel>,
+    scratch_cands: Vec<usize>,
 }
 
 impl Ranker {
     /// Creates an empty streaming ranker; queues appear as hosts are
     /// first pushed.
     pub fn new(opts: RankerOptions) -> Self {
+        let current = match opts.window_policy {
+            WindowPolicy::Static => opts.window,
+            WindowPolicy::Adaptive { min, .. } => min,
+        };
         Ranker {
             opts,
             queues: Vec::new(),
-            by_host: HashMap::new(),
+            by_host: FxHashMap::default(),
+            order: Vec::new(),
             boost_level: 0,
             counters: RankerCounters::default(),
             buffered: 0,
-            send_index: HashMap::new(),
+            send_index: FxHashMap::default(),
+            buf_sends: FxHashMap::default(),
+            adaptive: AdaptiveState {
+                current,
+                ..AdaptiveState::default()
+            },
+            scratch_channels: Vec::new(),
+            scratch_cands: Vec::new(),
         }
     }
 
@@ -209,11 +408,38 @@ impl Ranker {
         &self.counters
     }
 
-    /// Approximate resident bytes of all queue buffers (the quantity the
-    /// sliding window bounds; staged input is "the log on disk" and is
-    /// not counted).
+    /// Approximate resident bytes of all queue buffers and their indexes
+    /// (the quantity the sliding window bounds; staged input is "the log
+    /// on disk" and is not counted).
     pub fn approx_bytes(&self) -> usize {
-        self.buffered * (size_of::<Activity>() + 24)
+        // Per buffered activity: the (seq, Activity) slot plus (for
+        // sends) the per-channel index entry.
+        self.buffered * PER_BUFFERED_BYTES
+            + self.adaptive.rtt_open.len() * (size_of::<Channel>() + size_of::<LocalTime>() + 16)
+            + self.adaptive.hists.len() * (size_of::<(Ipv4Addr, Ipv4Addr)>() + 512 + 16)
+    }
+
+    /// Overrides the buffer byte cap after construction (used when the
+    /// memory budget is supplied through the streaming correlator's
+    /// builder rather than through the configuration).
+    pub fn set_buffer_cap(&mut self, bytes: Option<usize>) {
+        self.opts.buffer_cap_bytes = bytes;
+    }
+
+    /// True when the buffer byte cap is what stops further fetching.
+    fn cap_blocked(&self) -> bool {
+        self.opts
+            .buffer_cap_bytes
+            .is_some_and(|b| self.buffered >= (b / PER_BUFFERED_BYTES).max(1))
+    }
+
+    /// The current base sliding window (before any stuck-state boost):
+    /// the static knob, or the latest adaptive estimate.
+    pub fn current_window(&self) -> Nanos {
+        match self.opts.window_policy {
+            WindowPolicy::Static => self.opts.window,
+            WindowPolicy::Adaptive { .. } => self.adaptive.current,
+        }
     }
 
     /// Number of activities currently inside the window buffers.
@@ -251,10 +477,15 @@ impl Ranker {
         self.counters.enqueued += 1;
     }
 
-    /// Declares a host's stream complete.
-    pub fn close_host(&mut self, host: &str) {
-        if let Some(&qi) = self.by_host.get(host) {
-            self.queues[qi].closed = true;
+    /// Declares a host's stream complete. Returns `false` when no
+    /// activity of that host was ever pushed (nothing to close).
+    pub fn close_host(&mut self, host: &str) -> bool {
+        match self.by_host.get(host) {
+            Some(&qi) => {
+                self.queues[qi].closed = true;
+                true
+            }
+            None => false,
         }
     }
 
@@ -275,27 +506,45 @@ impl Ranker {
             buf: VecDeque::new(),
             incoming: VecDeque::new(),
             closed: false,
+            next_seq: SEQ_BASE,
+            removed: BTreeSet::new(),
         });
         self.by_host.insert(Arc::clone(host), qi);
+        // Keep the scan order sorted by host name, independent of
+        // arrival order.
+        let pos = self
+            .order
+            .partition_point(|&i| self.queues[i].host < self.queues[qi].host);
+        self.order.insert(pos, qi);
         qi
     }
 
     fn effective_window(&self) -> Nanos {
         Nanos(
-            self.opts
-                .window
+            self.current_window()
                 .0
                 .saturating_mul(1u64 << self.boost_level.min(40)),
         )
     }
 
-    /// Moves staged activities into the window buffer.
+    /// Moves staged activities into the window buffer, indexing each one.
     fn refill(&mut self) {
         let w = self.effective_window();
+        let cap = self
+            .opts
+            .buffer_cap_bytes
+            .map(|b| (b / PER_BUFFERED_BYTES).max(1))
+            .unwrap_or(usize::MAX);
+        let mut total = self.buffered;
         let mut moved = 0usize;
-        for q in &mut self.queues {
+        for (qi, q) in self.queues.iter_mut().enumerate() {
             while let Some(next) = q.incoming.front() {
-                let fits = match q.buf.front() {
+                // The byte cap backstops stuck-state window boosts; a
+                // queue may always hold a head so the drain progresses.
+                if total >= cap && !q.buf.is_empty() {
+                    break;
+                }
+                let fits = match q.head() {
                     None => true,
                     Some(front) => next.ts.saturating_since(front.ts) <= w,
                 };
@@ -303,17 +552,37 @@ impl Ranker {
                     break;
                 }
                 let a = q.incoming.pop_front().expect("peeked");
-                q.buf.push_back(a);
+                let seq = q.next_seq;
+                q.next_seq += 1;
+                if a.ty == ActivityType::Send {
+                    self.buf_sends
+                        .entry(a.channel)
+                        .or_default()
+                        .insert((qi as u32, seq));
+                }
+                q.buf.push_back((seq, a));
                 moved += 1;
+                total += 1;
             }
         }
         self.buffered += moved;
         self.counters.peak_buffered = self.counters.peak_buffered.max(self.buffered);
     }
 
+    /// Drops a buffered send from the per-channel index.
+    fn unindex_send(&mut self, qi: usize, channel: Channel, seq: u64) {
+        if let Some(set) = self.buf_sends.get_mut(&channel) {
+            set.remove(&(qi as u32, seq));
+            if set.is_empty() {
+                self.buf_sends.remove(&channel);
+            }
+        }
+    }
+
     fn pop(&mut self, qi: usize) -> Activity {
-        let a = self.queues[qi].buf.pop_front().expect("head exists");
+        let (seq, a) = self.queues[qi].buf.pop_front().expect("head exists");
         if a.ty == ActivityType::Send {
+            self.unindex_send(qi, a.channel, seq);
             if let Some(n) = self.send_index.get_mut(&a.channel) {
                 *n -= 1;
                 if *n == 0 {
@@ -321,9 +590,77 @@ impl Ranker {
                 }
             }
         }
+        // Tombstones behind the new front are spent.
+        let q = &mut self.queues[qi];
+        if !q.removed.is_empty() {
+            match q.front_seq() {
+                Some(front) => q.removed = q.removed.split_off(&front),
+                None => q.removed.clear(),
+            }
+        }
         self.buffered -= 1;
         self.boost_level = 0;
+        self.observe(&a);
         a
+    }
+
+    /// Feeds one popped candidate into the adaptive-window latency
+    /// tracker: a SEND opens a round trip on its channel, the RECEIVE on
+    /// the reversed channel closes it (both timestamps are local to the
+    /// same node, so skew cancels).
+    fn observe(&mut self, a: &Activity) {
+        if self.opts.window_policy == WindowPolicy::Static {
+            return;
+        }
+        match a.ty {
+            ActivityType::Send => {
+                if self.adaptive.rtt_open.len() >= RTT_OPEN_CAP
+                    && !self.adaptive.rtt_open.contains_key(&a.channel)
+                {
+                    // One-shot channels whose reversed-channel RECEIVE
+                    // never arrives would otherwise fill the map and
+                    // freeze the tracker for the rest of the session;
+                    // dropping the stale set loses at most one sample
+                    // per live channel, which traffic replenishes.
+                    self.adaptive.rtt_open.clear();
+                }
+                self.adaptive.rtt_open.insert(a.channel, a.ts);
+            }
+            ActivityType::Receive => {
+                let out = a.channel.reversed();
+                if let Some(t0) = self.adaptive.rtt_open.remove(&out) {
+                    let key = (out.src.ip, out.dst.ip);
+                    if self.adaptive.hists.len() >= HIST_PAIR_CAP
+                        && !self.adaptive.hists.contains_key(&key)
+                    {
+                        return;
+                    }
+                    let rtt = a.ts.saturating_since(t0);
+                    let bucket = (64 - rtt.0.leading_zeros() as usize).min(63);
+                    let hist = self.adaptive.hists.entry(key).or_insert([0u64; 64]);
+                    hist[bucket] += 1;
+                    self.counters.rtt_samples += 1;
+                    self.adaptive.since_update += 1;
+                    if self.adaptive.since_update >= ADAPT_EVERY {
+                        self.adaptive.since_update = 0;
+                        self.update_adaptive_window();
+                    }
+                }
+            }
+            ActivityType::Begin | ActivityType::End => {}
+        }
+    }
+
+    /// Recomputes the adaptive window from the per-pair p99 quantiles.
+    fn update_adaptive_window(&mut self) {
+        let WindowPolicy::Adaptive { slack, min, max } = self.opts.window_policy else {
+            return;
+        };
+        if let Some(p99) = self.adaptive.worst_p99() {
+            let want = Nanos(p99.0.saturating_mul(u64::from(slack.max(1))));
+            self.adaptive.current = Nanos(want.0.clamp(min.0, max.0));
+            self.counters.window_updates += 1;
+        }
     }
 
     /// Chooses the next candidate (§4.1 Rules 1 and 2, §4.3 disturbance
@@ -333,10 +670,12 @@ impl Ranker {
         loop {
             self.refill();
             // Rule 1: a RECEIVE head whose SEND is already in the mmap.
+            // Queues are scanned in host-name order so the choice is
+            // independent of input arrival order.
             let mut any_head = false;
             let mut rule1_pick: Option<usize> = None;
-            for (qi, q) in self.queues.iter().enumerate() {
-                if let Some(h) = q.head() {
+            for &qi in &self.order {
+                if let Some(h) = self.queues[qi].head() {
                     any_head = true;
                     if h.ty == ActivityType::Receive && oracle.rule1_matches(h) {
                         rule1_pick = Some(qi);
@@ -361,13 +700,12 @@ impl Ranker {
                 return RankStep::NeedInput;
             }
             // Rule 2: the head with the lowest priority wins; ties break
-            // on local timestamp then queue order for determinism.
+            // on local timestamp then host order for determinism.
             let (qi, head_ty) = self
-                .queues
+                .order
                 .iter()
-                .enumerate()
-                .filter_map(|(qi, q)| q.head().map(|h| (qi, h)))
-                .min_by_key(|(qi, h)| (h.ty.priority(), h.ts, *qi))
+                .filter_map(|&qi| self.queues[qi].head().map(|h| (qi, h)))
+                .min_by_key(|(_, h)| (h.ty.priority(), h.ts))
                 .map(|(qi, h)| (qi, h.ty))
                 .expect("some head exists");
             if head_ty != ActivityType::Receive {
@@ -395,7 +733,14 @@ impl Ranker {
             if winner_matchable && self.boost_fetch() {
                 continue;
             }
-            if self.queues.iter().any(|q| !q.closed) {
+            // Open queues normally mean "wait for more input" — the
+            // missing SEND may still arrive. But when the buffer byte
+            // cap is the reason nothing can be fetched, waiting would
+            // stall a live stream forever while staged input piles up:
+            // under a cap, blocked receives fall through to the
+            // forced/noise paths instead (bounded memory wins over
+            // completeness, by configuration).
+            if self.queues.iter().any(|q| !q.closed) && !self.cap_blocked() {
                 return RankStep::NeedInput;
             }
             let victim = self.pop(qi);
@@ -421,7 +766,7 @@ impl Ranker {
     }
 
     /// Resolves a stuck state by bubbling a *deliverable* buffered
-    /// activity one position towards its queue head (the Fig. 6 swap).
+    /// activity to its queue head (the Fig. 6 swap).
     ///
     /// Deliverable means: a SEND matching a blocked head RECEIVE's
     /// channel, a RECEIVE that already matches the `mmap` (Rule 1), or a
@@ -431,46 +776,111 @@ impl Ranker {
     /// their queue position (the per-CPU reordering of Fig. 6 can only
     /// interleave different threads), so swapping within a context would
     /// fabricate a causal inversion.
+    ///
+    /// Matching SENDs are located through the per-channel `buf_sends`
+    /// index in O(log n) instead of scanning a window's worth of
+    /// buffered activities; RECEIVE/BEGIN/END deliverables surface as
+    /// blockers ahead of them are resolved, so a bounded
+    /// [`SWAP_SCAN_DEPTH`] look-ahead suffices for them. Queues are
+    /// visited in host order and, within a queue, candidates in buffer
+    /// position order — the same promotion the former full scan chose.
     fn try_swap(&mut self, oracle: &dyn MatchOracle) -> bool {
-        let heads: Vec<crate::activity::Channel> = self
-            .queues
+        let mut head_channels = std::mem::take(&mut self.scratch_channels);
+        head_channels.clear();
+        head_channels.extend(
+            self.order
+                .iter()
+                .filter_map(|&qi| self.queues[qi].head())
+                .filter(|h| h.ty == ActivityType::Receive)
+                .map(|h| h.channel),
+        );
+        // Is any blocked head's SEND in the ranker at all? The count
+        // index makes the common noise case (no match anywhere) O(1).
+        let any_send = head_channels
             .iter()
-            .filter_map(|q| q.head())
-            .filter(|h| h.ty == ActivityType::Receive)
-            .map(|h| h.channel)
-            .collect();
-        // Is any blocked head's SEND buffered at all? The index makes the
-        // common noise case (no match anywhere) O(1).
-        let any_send = heads.iter().any(|ch| self.send_index.contains_key(ch));
-        for q in &mut self.queues {
+            .any(|ch| self.send_index.contains_key(ch));
+        let mut cands = std::mem::take(&mut self.scratch_cands);
+        let mut promoted: Option<(usize, usize)> = None;
+        'queues: for oi in 0..self.order.len() {
+            let qi = self.order[oi];
+            let q = &self.queues[qi];
             let len = q.buf.len();
-            for k in 1..len {
-                let a = &q.buf[k];
-                let deliverable = match a.ty {
-                    // Matching SENDs are worth a full-depth search, but
-                    // only when the index says one exists.
-                    ActivityType::Send => any_send && heads.contains(&a.channel),
-                    // Other deliverables surface as blockers ahead of
-                    // them are resolved; a bounded look-ahead suffices.
-                    ActivityType::Receive => k < SWAP_SCAN_DEPTH && oracle.rule1_matches(a),
-                    ActivityType::Begin | ActivityType::End => k < SWAP_SCAN_DEPTH,
-                };
-                if !deliverable {
+            if len < 2 {
+                continue;
+            }
+            cands.clear();
+            // Candidate positions, ascending. Sends first from the
+            // index (seq order == position order within a queue) ...
+            if any_send {
+                for ch in &head_channels {
+                    if let Some(set) = self.buf_sends.get(ch) {
+                        let lo = (qi as u32, u64::MIN);
+                        let hi = (qi as u32, u64::MAX);
+                        cands.extend(set.range(lo..=hi).map(|(_, seq)| q.position_of(*seq)));
+                    }
+                }
+            }
+            // ... then the bounded look-ahead for the other types.
+            for (k, (_, a)) in q
+                .buf
+                .iter()
+                .enumerate()
+                .take(len.min(SWAP_SCAN_DEPTH))
+                .skip(1)
+            {
+                match a.ty {
+                    ActivityType::Receive if oracle.rule1_matches(a) => cands.push(k),
+                    ActivityType::Begin | ActivityType::End => cands.push(k),
+                    _ => {}
+                }
+            }
+            cands.sort_unstable();
+            cands.dedup();
+            for &k in &cands {
+                if k == 0 {
                     continue;
                 }
-                // Promotion to the head is the net effect of the paper's
-                // repeated adjacent swaps; it is legal only if every
-                // crossed predecessor belongs to a different execution
-                // entity (same-context activities are causally ordered).
-                if q.buf.iter().take(k).all(|p| p.ctx != a.ctx) {
-                    let item = q.buf.remove(k).expect("index in bounds");
-                    q.buf.push_front(item);
-                    self.counters.swaps += k as u64;
-                    return true;
+                let (_, a) = &q.buf[k];
+                if !q.ctx_blocked(&a.ctx, k) {
+                    promoted = Some((qi, k));
+                    break 'queues;
                 }
             }
         }
-        false
+        self.scratch_channels = head_channels;
+        self.scratch_cands = cands;
+        match promoted {
+            Some((qi, k)) => {
+                self.promote(qi, k);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Moves the buffered activity at position `k` of queue `qi` to the
+    /// queue head (the net effect of the paper's repeated adjacent
+    /// swaps), re-tagging it with a fresh front sequence number and
+    /// leaving a tombstone at its old seq.
+    fn promote(&mut self, qi: usize, k: usize) {
+        let q = &mut self.queues[qi];
+        let (seq, a) = q.buf.remove(k).expect("index in bounds");
+        let is_send = a.ty == ActivityType::Send;
+        let channel = a.channel;
+        if is_send {
+            self.unindex_send(qi, channel, seq);
+        }
+        let q = &mut self.queues[qi];
+        let new_seq = q.front_seq().expect("stuck queue has a head") - 1;
+        q.removed.insert(seq);
+        q.buf.push_front((new_seq, a));
+        if is_send {
+            self.buf_sends
+                .entry(channel)
+                .or_default()
+                .insert((qi as u32, new_seq));
+        }
+        self.counters.swaps += k as u64;
     }
 
     /// Repeatedly doubles the effective window and refetches until
@@ -744,6 +1154,77 @@ mod tests {
             steps.iter().any(|s| matches!(s, RankStep::Noise(_))),
             "without swap the deadlock breaks by (wrongly) discarding: {steps:?}"
         );
+    }
+
+    #[test]
+    fn buffer_cap_bounds_refill_despite_huge_window() {
+        // A 100s window would buffer all 1000 activities at once; the
+        // byte cap (the memory budget's backstop) keeps the buffer at
+        // ~10 entries while every activity is still delivered.
+        let acts: Vec<Activity> = (0..1000)
+            .map(|i| {
+                act(
+                    ActivityType::Send,
+                    i * 1_000_000,
+                    "a",
+                    "10.0.0.1:1",
+                    "10.0.0.2:2",
+                )
+            })
+            .collect();
+        let mut r = Ranker::from_streams(
+            RankerOptions {
+                window: Nanos::from_secs(100),
+                buffer_cap_bytes: Some(10 * PER_BUFFERED_BYTES),
+                ..Default::default()
+            },
+            vec![(Arc::from("a"), acts)],
+        );
+        let mut n = 0;
+        while let RankStep::Candidate(_) = r.rank(&NoOracle) {
+            n += 1;
+        }
+        assert_eq!(n, 1000);
+        assert!(
+            r.counters().peak_buffered <= 11,
+            "peak {} exceeds the cap",
+            r.counters().peak_buffered
+        );
+    }
+
+    #[test]
+    fn cap_blocked_stuck_state_does_not_stall_open_stream() {
+        // A live (open) queue whose head is an unmatched RECEIVE with
+        // its maybe-matching SEND staged beyond the byte cap: without
+        // the cap fall-through this would be NeedInput forever while
+        // staged input grows; with it, the blocker is discharged.
+        let mut r = Ranker::new(RankerOptions {
+            buffer_cap_bytes: Some(PER_BUFFERED_BYTES),
+            ..RankerOptions::default()
+        });
+        for i in 0..8u64 {
+            r.push(act(
+                ActivityType::Receive,
+                10 + i,
+                "a",
+                "8.8.8.8:1",
+                "10.0.0.3:9",
+            ));
+        }
+        // Host stays open; the capped ranker must still make progress.
+        let mut discharged = 0;
+        for _ in 0..8 {
+            match r.rank(&NoOracle) {
+                RankStep::Noise(_) | RankStep::Candidate(_) => discharged += 1,
+                RankStep::NeedInput => break,
+                RankStep::Exhausted => break,
+            }
+        }
+        assert!(
+            discharged >= 7,
+            "cap-blocked receives must discharge, got {discharged}"
+        );
+        assert!(r.counters().peak_buffered <= 2);
     }
 
     #[test]

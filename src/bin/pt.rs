@@ -52,9 +52,17 @@ pt — precise request tracing for multi-tier services of black boxes
 
 USAGE:
   pt simulate  --clients N [--seconds S] [--seed N] [--noise] [--skew-ms N] --out FILE
-  pt correlate FILE --port P --internal IP[,IP...] [--window-ms W]
-  pt patterns  FILE --port P --internal IP[,IP...] [--window-ms W] [--dot FILE]
-  pt diff      BASELINE_FILE CURRENT_FILE --port P --internal IP[,IP...] [--window-ms W]
+  pt correlate FILE --port P --internal IP[,IP...] [CORRELATION OPTIONS]
+  pt patterns  FILE --port P --internal IP[,IP...] [CORRELATION OPTIONS] [--dot FILE]
+  pt diff      BASELINE_FILE CURRENT_FILE --port P --internal IP[,IP...] [CORRELATION OPTIONS]
+
+CORRELATION OPTIONS:
+  --window-ms W        static sliding window in milliseconds (default 10)
+  --adaptive-window    derive the window online from per-channel latency
+                       quantiles (p99 x 4, clamped to [1ms, 10s]);
+                       overrides --window-ms
+  --memory-budget B    resident-memory budget in bytes (suffixes k/m/g);
+                       stalest unfinished paths are evicted beyond it
 
 The log format is the paper's TCP_TRACE text format:
   timestamp hostname program pid tid SEND|RECEIVE sip:sport-dip:dport size";
@@ -83,7 +91,7 @@ fn positional(args: &[String], n: usize) -> Option<&String> {
 }
 
 fn flag_like(a: &str) -> bool {
-    matches!(a, "--noise")
+    matches!(a, "--noise" | "--adaptive-window")
 }
 
 fn access_from(args: &[String]) -> Result<AccessPointSpec, String> {
@@ -105,6 +113,27 @@ fn window_from(args: &[String]) -> Result<Nanos, String> {
     Ok(Nanos::from_millis(ms))
 }
 
+/// Parses a byte count with optional k/m/g suffix (powers of 1024).
+fn parse_bytes(s: &str) -> Result<usize, String> {
+    let s = s.trim().to_ascii_lowercase();
+    let (digits, mult) = match s.strip_suffix(['k', 'm', 'g']) {
+        Some(d) => (
+            d,
+            match s.as_bytes()[s.len() - 1] {
+                b'k' => 1usize << 10,
+                b'm' => 1 << 20,
+                _ => 1 << 30,
+            },
+        ),
+        None => (s.as_str(), 1),
+    };
+    digits
+        .parse::<usize>()
+        .ok()
+        .and_then(|n| n.checked_mul(mult))
+        .ok_or_else(|| format!("bad --memory-budget {s:?}"))
+}
+
 fn load(path: &str) -> Result<Vec<RawRecord>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     parse_log(&text).map_err(|e| format!("{path}: {e}"))
@@ -117,7 +146,13 @@ fn correlate_file(
     let access = access_from(args)?;
     let window = window_from(args)?;
     let records = load(path)?;
-    let config = CorrelatorConfig::new(access.clone()).with_window(window);
+    let mut config = CorrelatorConfig::new(access.clone()).with_window(window);
+    if flag(args, "--adaptive-window") {
+        config = config.with_adaptive_window();
+    }
+    if let Some(budget) = opt(args, "--memory-budget") {
+        config = config.with_memory_budget(parse_bytes(&budget)?);
+    }
     let out = Correlator::new(config)
         .correlate(records)
         .map_err(|e| e.to_string())?;
@@ -178,6 +213,18 @@ fn correlate_cmd(args: &[String]) -> Result<(), String> {
         out.unfinished.len()
     );
     println!("{}", out.metrics.summary());
+    if out.metrics.ranker.rtt_samples > 0 {
+        println!(
+            "adaptive window: {} updates over {} rtt samples",
+            out.metrics.ranker.window_updates, out.metrics.ranker.rtt_samples
+        );
+    }
+    if out.metrics.engine.budget_evicted_cags > 0 {
+        println!(
+            "memory budget: evicted {} stale unfinished paths ({} vertices)",
+            out.metrics.engine.budget_evicted_cags, out.metrics.engine.budget_evicted_vertices
+        );
+    }
     if !out.noise_samples.is_empty() {
         println!("sample noise discards:");
         for a in out.noise_samples.iter().take(5) {

@@ -175,6 +175,66 @@ fn malformed_flag_values_are_reported_by_name() {
 }
 
 #[test]
+fn adaptive_window_and_memory_budget_flags_work() {
+    let log = TmpFile::new("adaptive.log");
+    let out = pt()
+        .args([
+            "simulate",
+            "--clients",
+            "8",
+            "--seconds",
+            "8",
+            "--seed",
+            "9",
+        ])
+        .args(["--out", log.as_str()])
+        .output()
+        .expect("run pt simulate");
+    assert!(out.status.success());
+
+    // Adaptive windowing on a real log: must correlate and report the
+    // adaptive-window activity line.
+    let out = pt()
+        .args(["correlate", log.as_str(), "--port", "80"])
+        .args(["--internal", INTERNAL])
+        .args(["--adaptive-window"])
+        .output()
+        .expect("run pt correlate --adaptive-window");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("causal paths"), "{stdout}");
+    assert!(stdout.contains("adaptive window:"), "{stdout}");
+
+    // A generous budget changes nothing; the run still succeeds.
+    let out = pt()
+        .args(["correlate", log.as_str(), "--port", "80"])
+        .args(["--internal", INTERNAL])
+        .args(["--memory-budget", "64m"])
+        .output()
+        .expect("run pt correlate --memory-budget");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("causal paths"), "{stdout}");
+
+    // Malformed budget is reported by name.
+    let err = stderr_of(&[
+        "correlate",
+        log.as_str(),
+        "--port",
+        "80",
+        "--internal",
+        INTERNAL,
+        "--memory-budget",
+        "lots",
+    ]);
+    assert!(err.contains("bad --memory-budget"), "{err}");
+}
+
+#[test]
 fn missing_input_file_reports_path_and_os_error() {
     let err = stderr_of(&[
         "correlate",

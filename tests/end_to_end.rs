@@ -88,10 +88,10 @@ fn streaming_equals_offline_on_real_logs() {
     sorted.sort_by_key(|r| r.ts);
     let mut cags = Vec::new();
     for r in sorted {
-        sc.push(r);
-        cags.extend(sc.poll());
+        sc.push(r).unwrap();
+        cags.extend(sc.poll().unwrap());
     }
-    let fin = sc.finish();
+    let fin = sc.finish().unwrap();
     cags.extend(fin.cags);
     assert_eq!(cags.len(), offline.cags.len());
     let mut off_tags: Vec<Vec<u64>> = offline.cags.iter().map(|c| c.sorted_tags()).collect();

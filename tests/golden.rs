@@ -160,6 +160,65 @@ fn run_case(name: &str) -> (String, PathBuf) {
     (render(&out), golden_dir().join(format!("{name}.golden")))
 }
 
+/// How a streaming golden case feeds the correlator.
+enum Feed {
+    /// Push one record at a time in log order, polling after every
+    /// push. Byte-exact against the batch golden when requests do not
+    /// overlap: the ranker never has to guess about records that exist
+    /// in the log but have not arrived yet.
+    PollEveryRecord,
+    /// Push everything in log order (interleaved across hosts, no
+    /// `close_host`), then poll, then finish. Byte-exact against the
+    /// batch golden for any log: ranking starts with the same staged
+    /// input the batch drain sees. For concurrent logs, polling
+    /// *between* pushes can only reorder CAG *emission* (the batch
+    /// ranker sees the future; an online one cannot) — content equality
+    /// for that mode is pinned by the permutation property test.
+    PushAllThenPoll,
+}
+
+/// Runs a golden case through the **streaming** API instead of the
+/// batch drain. The output must be byte-identical to the batch golden.
+fn run_case_streaming(name: &str, feed: Feed) -> (String, PathBuf) {
+    let log_path = golden_dir().join(format!("{name}.log"));
+    let text = std::fs::read_to_string(&log_path)
+        .unwrap_or_else(|e| panic!("{}: {e}", log_path.display()));
+    let directive = parse_directive(&text, &log_path);
+    let records = parse_log(&text).expect("golden log must parse");
+    let config = CorrelatorConfig::new(directive.access).with_window(directive.window);
+    let mut sc = StreamingCorrelator::new(config).expect("valid streaming config");
+    let mut cags = Vec::new();
+    for rec in records {
+        sc.push(rec).expect("push before finish");
+        if matches!(feed, Feed::PollEveryRecord) {
+            cags.extend(sc.poll().expect("poll before finish"));
+        }
+    }
+    cags.extend(sc.poll().expect("poll before finish"));
+    let mut out = sc.finish().expect("single finish");
+    cags.extend(std::mem::take(&mut out.cags));
+    out.cags = cags;
+    for cag in &out.cags {
+        cag.validate()
+            .unwrap_or_else(|e| panic!("{name}: invalid streamed CAG {}: {e}", cag.id));
+    }
+    (render(&out), golden_dir().join(format!("{name}.golden")))
+}
+
+/// Asserts the streaming path reproduces the batch golden byte for
+/// byte (same `.golden` file — never re-blessed from this path).
+fn check_case_streaming(name: &str, feed: Feed) {
+    let (got, golden_path) = run_case_streaming(name, feed);
+    let want = std::fs::read_to_string(&golden_path)
+        .unwrap_or_else(|e| panic!("{}: {e}", golden_path.display()));
+    assert!(
+        got == want,
+        "{name}: STREAMING correlation diverged from the batch golden {}\n\
+         --- streamed ---\n{got}\n--- batch golden ---\n{want}",
+        golden_path.display()
+    );
+}
+
 fn check_case(name: &str) {
     let (got, golden_path) = run_case(name);
     if std::env::var_os("PT_GOLDEN_REGEN").is_some() {
@@ -205,6 +264,31 @@ fn golden_sim_c4_s5_seed11() {
 #[test]
 fn golden_sim_c6_s6_seed42_noise() {
     check_case("sim_c6_s6_seed42_noise");
+}
+
+#[test]
+fn golden_streaming_static_single() {
+    check_case_streaming("static_single", Feed::PollEveryRecord);
+}
+
+#[test]
+fn golden_streaming_three_tier_single() {
+    check_case_streaming("three_tier_single", Feed::PollEveryRecord);
+}
+
+#[test]
+fn golden_streaming_interleaved_chunked() {
+    check_case_streaming("interleaved_chunked", Feed::PollEveryRecord);
+}
+
+#[test]
+fn golden_streaming_sim_c4_s5_seed11() {
+    check_case_streaming("sim_c4_s5_seed11", Feed::PushAllThenPoll);
+}
+
+#[test]
+fn golden_streaming_sim_c6_s6_seed42_noise() {
+    check_case_streaming("sim_c6_s6_seed42_noise", Feed::PushAllThenPoll);
 }
 
 /// Every case in tests/golden/ must be wired to a named #[test] above,

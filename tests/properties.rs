@@ -32,6 +32,26 @@ fn arb_config() -> impl Strategy<Value = rubis::ExperimentConfig> {
         })
 }
 
+/// Sorted ground-truth tag sets of a CAG collection (order-insensitive
+/// content fingerprint).
+fn tag_sets(cags: &[Cag]) -> Vec<Vec<u64>> {
+    let mut t: Vec<Vec<u64>> = cags.iter().map(|c| c.sorted_tags()).collect();
+    t.sort();
+    t
+}
+
+/// Sorted (pattern key, count) census of a CAG collection.
+fn pattern_census(cags: &[Cag]) -> Vec<(String, u64)> {
+    let agg = PatternAggregator::from_cags(cags);
+    let mut p: Vec<(String, u64)> = agg
+        .patterns()
+        .iter()
+        .map(|p| (p.key.to_string(), p.count))
+        .collect();
+    p.sort();
+    p
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
 
@@ -79,6 +99,140 @@ proptest! {
         let ta: Vec<Vec<u64>> = a.cags.iter().map(|c| c.sorted_tags()).collect();
         let tb: Vec<Vec<u64>> = b.cags.iter().map(|c| c.sorted_tags()).collect();
         prop_assert_eq!(ta, tb);
+    }
+
+    /// Streaming-first invariant, part 1: for any record permutation
+    /// *within a host* (per-host logs may arrive shuffled, e.g.
+    /// concatenated per-CPU buffers), pushing the whole shuffled log
+    /// through the streaming API and finishing produces exactly the
+    /// batch path's CAGs on the *original* log — same count, same
+    /// ground-truth tag sets, same pattern keys and counts. The
+    /// insertion-sorting staging queues absorb the permutation.
+    #[test]
+    fn streaming_equals_batch_under_within_host_permutation(
+        seed in any::<u64>(),
+        noise in prop::bool::ANY,
+    ) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        let mut cfg = rubis::ExperimentConfig::quick(6, 6);
+        cfg.seed = seed;
+        if noise {
+            cfg.noise = rubis::NoiseSpec {
+                ssh_msgs_per_sec: 20.0,
+                mysql_msgs_per_sec: 40.0,
+            };
+        }
+        let out = rubis::run(cfg);
+        let batch = Correlator::new(out.correlator_config(Nanos::from_millis(10)))
+            .correlate(out.records.clone())
+            .unwrap();
+
+        // Shuffle the records of each host among that host's log slots.
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9e3779b97f4a7c15);
+        let mut per_host: std::collections::BTreeMap<String, Vec<RawRecord>> =
+            std::collections::BTreeMap::new();
+        for r in &out.records {
+            per_host.entry(r.hostname.to_string()).or_default().push(r.clone());
+        }
+        for records in per_host.values_mut() {
+            for i in (1..records.len()).rev() {
+                let j = rng.gen_range(0..i + 1);
+                records.swap(i, j);
+            }
+        }
+        let mut cursors: std::collections::BTreeMap<String, usize> =
+            per_host.keys().map(|h| (h.clone(), 0)).collect();
+        let permuted: Vec<RawRecord> = out
+            .records
+            .iter()
+            .map(|r| {
+                let c = cursors.get_mut(&*r.hostname).unwrap();
+                let rec = per_host[&*r.hostname][*c].clone();
+                *c += 1;
+                rec
+            })
+            .collect();
+
+        let mut sc =
+            StreamingCorrelator::new(out.correlator_config(Nanos::from_millis(10))).unwrap();
+        for rec in permuted {
+            sc.push(rec).unwrap();
+        }
+        let mut streamed = sc.poll().unwrap();
+        let fin = sc.finish().unwrap();
+        streamed.extend(fin.cags);
+
+        prop_assert_eq!(streamed.len(), batch.cags.len());
+        prop_assert_eq!(fin.unfinished.len(), batch.unfinished.len());
+        prop_assert_eq!(tag_sets(&streamed), tag_sets(&batch.cags));
+        prop_assert_eq!(pattern_census(&streamed), pattern_census(&batch.cags));
+    }
+
+    /// Streaming-first invariant, part 2: with per-host streams in local
+    /// time order (what a real probe emits), ANY cross-host arrival
+    /// interleaving and ANY poll cadence yield the batch path's CAGs —
+    /// same tag sets, same pattern keys and counts. Only the emission
+    /// *order* may differ, because an online ranker cannot see records
+    /// that have not arrived yet.
+    #[test]
+    fn streaming_content_invariant_under_arrival_interleaving(
+        seed in any::<u64>(),
+        chunk in 1usize..48,
+        noise in prop::bool::ANY,
+    ) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        let mut cfg = rubis::ExperimentConfig::quick(6, 6);
+        cfg.seed = seed;
+        if noise {
+            cfg.noise = rubis::NoiseSpec {
+                ssh_msgs_per_sec: 20.0,
+                mysql_msgs_per_sec: 40.0,
+            };
+        }
+        let out = rubis::run(cfg);
+        let batch = Correlator::new(out.correlator_config(Nanos::from_millis(10)))
+            .correlate(out.records.clone())
+            .unwrap();
+
+        // Random merge of the per-host streams (each stream kept in
+        // local-time order).
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x517cc1b727220a95);
+        let mut per_host: Vec<std::collections::VecDeque<RawRecord>> = {
+            let mut m: std::collections::BTreeMap<String, std::collections::VecDeque<RawRecord>> =
+                std::collections::BTreeMap::new();
+            let mut sorted = out.records.clone();
+            sorted.sort_by_key(|r| r.ts);
+            for r in sorted {
+                m.entry(r.hostname.to_string()).or_default().push_back(r);
+            }
+            m.into_values().collect()
+        };
+        let mut sc =
+            StreamingCorrelator::new(out.correlator_config(Nanos::from_millis(10))).unwrap();
+        let mut streamed = Vec::new();
+        let mut pushed = 0usize;
+        while !per_host.is_empty() {
+            let pick = rng.gen_range(0..per_host.len());
+            let rec = per_host[pick].pop_front().unwrap();
+            if per_host[pick].is_empty() {
+                per_host.swap_remove(pick);
+            }
+            sc.push(rec).unwrap();
+            pushed += 1;
+            if pushed.is_multiple_of(chunk) {
+                streamed.extend(sc.poll().unwrap());
+            }
+        }
+        let fin = sc.finish().unwrap();
+        streamed.extend(fin.cags);
+
+        prop_assert_eq!(streamed.len(), batch.cags.len());
+        prop_assert_eq!(tag_sets(&streamed), tag_sets(&batch.cags));
+        prop_assert_eq!(pattern_census(&streamed), pattern_census(&batch.cags));
     }
 
     /// Isomorphic classification is stable: every CAG of the same request
