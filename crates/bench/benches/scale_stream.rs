@@ -11,7 +11,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use multitier::ExperimentConfig;
-use tracer_core::{Correlator, Nanos, StreamingCorrelator};
+use tracer_core::{Correlator, Nanos, ShardedCorrelator, StreamingCorrelator};
 
 /// Streaming memory budget: comfortably above the scenario's natural
 /// working set (~2 MiB), so the budget bounds the run without evicting
@@ -69,6 +69,15 @@ fn bench(c: &mut Criterion) {
             let cfg = config.clone().with_adaptive_window();
             Correlator::new(cfg)
                 .correlate(out.records.clone())
+                .expect("valid config")
+                .cags
+                .len()
+        })
+    });
+
+    g.bench_function("sharded_1M_4shards", |b| {
+        b.iter(|| {
+            ShardedCorrelator::correlate(config.clone(), 4, out.records.clone())
                 .expect("valid config")
                 .cags
                 .len()

@@ -21,8 +21,9 @@ use multitier::{Fault, Mix, NoiseSpec};
 use pt_bench::{experiment, header, paper_noise, row, run_and_trace, Scale};
 use simnet::Dist;
 use tracer_core::{
-    BreakdownReport, Component, Correlator, CorrelatorConfig, Diagnosis, DiffReport, EngineOptions,
-    FilterSet, Nanos, RankerOptions, StreamingCorrelator,
+    BreakdownReport, Cag, Component, Correlator, CorrelatorConfig, Diagnosis, DiffReport,
+    EngineOptions, FilterSet, Nanos, PatternAggregator, RankerOptions, ShardedCorrelator,
+    StreamingCorrelator,
 };
 
 /// Flat metric collection for `BENCH_baseline.json`.
@@ -61,10 +62,35 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let json = args.iter().any(|a| a == "--json");
+    let shards: usize = match args.iter().position(|a| a == "--shards") {
+        None => 4,
+        Some(i) => args
+            .get(i + 1)
+            .unwrap_or_else(|| {
+                eprintln!("repro: missing value for --shards");
+                std::process::exit(2);
+            })
+            .parse()
+            .unwrap_or_else(|_| {
+                eprintln!("repro: bad --shards value");
+                std::process::exit(2);
+            }),
+    };
     let scale = if quick { Scale::Quick } else { Scale::Paper };
+    let mut skip_next = false;
     let mut wanted: Vec<String> = args
         .into_iter()
-        .filter(|a| a != "--quick" && a != "--json")
+        .filter(|a| {
+            if skip_next {
+                skip_next = false;
+                return false;
+            }
+            if a == "--shards" {
+                skip_next = true;
+                return false;
+            }
+            a != "--quick" && a != "--json"
+        })
         .collect();
     if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
         wanted = [
@@ -88,24 +114,103 @@ fn main() {
             "fig17" => fig17(scale),
             "ext1" => ext1(scale),
             "ext2" => ext2(scale),
-            "scale" => scale_stream(&mut base),
+            "scale" => scale_stream(&mut base, shards),
             other => eprintln!("unknown experiment id: {other}"),
         }
     }
     if json {
+        // Regression gate against the *checked-in* baseline: a
+        // sharded-speedup drop > 20% fails CI — and leaves the
+        // committed file untouched, so a rerun cannot ratchet the
+        // regressed number into the baseline.
+        if let Err(msg) = check_sharded_regression(&base, "BENCH_baseline.json") {
+            eprintln!("BENCH REGRESSION: {msg}");
+            eprintln!("baseline file left unchanged");
+            eprintln!("\ntotal wall time: {:?}", t0.elapsed());
+            std::process::exit(1);
+        }
         base.write("BENCH_baseline.json");
     }
     eprintln!("\ntotal wall time: {:?}", t0.elapsed());
 }
 
+/// Guards sharded throughput against regressions: compares the
+/// freshly measured `scale.sharded_speedup` (sharded vs batch in the
+/// *same run*, so machine speed and runner noise largely cancel)
+/// against the committed baseline file; errors when it regressed more
+/// than 20%. Core count does not cancel, but the committed baseline
+/// is recorded on a single-core container — the floor for the
+/// pipeline's work-reduction win — so multi-core runners only gain
+/// (reader/worker overlap) and the gate stays conservative. Missing
+/// files/keys (first run, partial experiment lists) pass silently.
+fn check_sharded_regression(base: &Baseline, path: &str) -> Result<(), String> {
+    let Some(&(_, current)) = base.0.iter().find(|(k, _)| k == "scale.sharded_speedup") else {
+        return Ok(());
+    };
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Ok(());
+    };
+    let Some(committed) = text
+        .lines()
+        .find(|l| l.contains("\"scale.sharded_speedup\""))
+        .and_then(|l| l.split(':').nth(1))
+        .and_then(|v| v.trim().trim_end_matches(',').parse::<f64>().ok())
+    else {
+        return Ok(());
+    };
+    if current < committed * 0.8 {
+        return Err(format!(
+            "scale.sharded_speedup {current:.2}x fell more than 20% below the \
+             committed baseline {committed:.2}x"
+        ));
+    }
+    eprintln!(
+        "sharded throughput gate: measured {current:.2}x batch vs committed {committed:.2}x — ok"
+    );
+    Ok(())
+}
+
+/// Order- and id-insensitive canonical fingerprint of a CAG set: one
+/// sorted string per CAG covering every vertex field. The sharded
+/// pipeline renumbers ids into canonical root order, so content
+/// equality with the batch path is asserted modulo id/stream position.
+fn cag_fingerprints(cags: &[Cag]) -> Vec<String> {
+    let mut v: Vec<String> = cags
+        .iter()
+        .map(|c| {
+            c.vertices
+                .iter()
+                .map(|x| {
+                    format!(
+                        "{}|{}|{}|{}|{}|{}|{:?}|{:?}|{:?};",
+                        x.ty,
+                        x.ts,
+                        x.ts_last,
+                        x.ctx,
+                        x.channel,
+                        x.size,
+                        x.tags,
+                        x.ctx_parent,
+                        x.msg_parent
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    v.sort();
+    v
+}
+
 /// The paper-scale streaming stress run (ROADMAP north star): a ≥10⁶
 /// record session correlated (a) in batch, (b) through the streaming
 /// path under an explicit memory budget, (c) with the adaptive window,
-/// and (d) under a deliberately starved budget to demonstrate counted
-/// eviction. Panics if accuracy degrades, the budget is exceeded, or
-/// the scenario shrinks below 10⁶ records — the CI scale smoke runs
+/// (d) under a deliberately starved budget to demonstrate counted
+/// eviction, and (e) through the sharded parallel pipeline, whose CAG
+/// content must equal the batch path's and whose throughput must beat
+/// it. Panics if accuracy degrades, the budget is exceeded, or the
+/// scenario shrinks below 10⁶ records — the CI scale smoke runs
 /// exactly this.
-fn scale_stream(base: &mut Baseline) {
+fn scale_stream(base: &mut Baseline, shards: usize) {
     println!("\n== SCALE: 10^6-record session, streaming-first pipeline ==");
     let t = Instant::now();
     let out = multitier::run(multitier::ExperimentConfig::scale());
@@ -121,6 +226,45 @@ fn scale_stream(base: &mut Baseline) {
     let (corr, acc) = out.correlate(Nanos::from_millis(10)).expect("valid config");
     let batch_secs = t.elapsed().as_secs_f64();
     assert!(acc.is_perfect(), "batch accuracy regression: {acc:?}");
+
+    // (e, measured back-to-back with batch) The sharded parallel
+    // pipeline: reader-side session routing feeding N direct-delivery
+    // engine workers, canonical merge.
+    let t = Instant::now();
+    let sharded = ShardedCorrelator::correlate(
+        out.correlator_config(Nanos::from_millis(10)),
+        shards,
+        out.records.clone(),
+    )
+    .expect("valid config");
+    let sharded_secs = t.elapsed().as_secs_f64();
+    let shacc = out.truth.evaluate(&sharded.cags);
+    assert!(shacc.is_perfect(), "sharded accuracy regression: {shacc:?}");
+    assert_eq!(
+        sharded.cags.len(),
+        corr.cags.len(),
+        "sharded CAG count diverged from batch"
+    );
+    assert_eq!(
+        cag_fingerprints(&sharded.cags),
+        cag_fingerprints(&corr.cags),
+        "sharded CAG content diverged from the single-threaded path"
+    );
+    let census = |cags: &[Cag]| {
+        let agg = PatternAggregator::from_cags(cags);
+        let mut p: Vec<(String, u64)> = agg
+            .patterns()
+            .iter()
+            .map(|p| (p.key.to_string(), p.count))
+            .collect();
+        p.sort();
+        p
+    };
+    assert_eq!(
+        census(&sharded.cags),
+        census(&corr.cags),
+        "sharded pattern output diverged from the single-threaded path"
+    );
 
     // (b) Streaming under an 8 MiB budget (well above the ~2 MiB
     // natural working set: the budget must bound, not distort).
@@ -189,10 +333,17 @@ fn scale_stream(base: &mut Baseline) {
         header(&["mode", "records", "corr_s", "rec/s", "peak_MB", "evicted"])
     );
     let mb = |b: usize| b as f64 / 1e6;
+    let sharded_label = format!("sharded_x{shards}");
     for (mode, secs, peak, evicted) in [
         ("batch", batch_secs, corr.metrics.peak_bytes, 0u64),
         ("stream_8MiB", stream_secs, fin.metrics.peak_bytes, 0),
         ("adaptive", adaptive_secs, acorr.metrics.peak_bytes, 0),
+        (
+            sharded_label.as_str(),
+            sharded_secs,
+            sharded.metrics.peak_bytes,
+            0,
+        ),
         (
             "tight_1MiB",
             f64::NAN,
@@ -224,6 +375,11 @@ fn scale_stream(base: &mut Baseline) {
         "sim {sim_secs:.2}s, {} requests, {} swap crossings, {} adaptive window updates",
         out.service.completed, corr.metrics.ranker.swaps, acorr.metrics.ranker.window_updates,
     );
+    println!(
+        "sharded x{shards}: {:.2}x batch throughput ({} reader noise discards, identical CAG/pattern output)",
+        batch_secs / sharded_secs.max(1e-9),
+        sharded.metrics.ranker.noise_discards,
+    );
 
     base.rec("scale.records", records as f64);
     base.rec("scale.requests", out.service.completed as f64);
@@ -249,6 +405,13 @@ fn scale_stream(base: &mut Baseline) {
         "scale.tight_budget_evicted_cags",
         tight.metrics.engine.budget_evicted_cags as f64,
     );
+    base.rec("scale.sharded_shards", shards as f64);
+    base.rec("scale.sharded_corr_secs", sharded_secs);
+    base.rec(
+        "scale.sharded_records_per_sec",
+        records as f64 / sharded_secs.max(1e-9),
+    );
+    base.rec("scale.sharded_speedup", batch_secs / sharded_secs.max(1e-9));
 }
 
 /// Deduplicates the fig8-11 family (they share the same runs) so asking

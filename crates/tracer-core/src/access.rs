@@ -24,8 +24,9 @@
 use std::collections::BTreeSet;
 use std::net::Ipv4Addr;
 
-use crate::activity::{Activity, ActivityType};
-use crate::raw::{RawOp, RawRecord};
+use crate::activity::{Activity, ActivityType, Channel, ContextId};
+use crate::intern::Interner;
+use crate::raw::{RawOp, RawRecord, RawRecordRef};
 
 /// Which frontend ports constitute request entry points, and which IPs
 /// belong to the service itself.
@@ -105,27 +106,57 @@ impl Classifier {
         &self.spec
     }
 
-    /// Transforms one raw record into a typed activity (§3.1).
-    pub fn classify(&self, r: &RawRecord) -> Activity {
-        let ty = match r.op {
+    /// The §3.1 type transformation alone, shared by the owned and
+    /// borrowing classification paths.
+    #[inline]
+    fn classify_op(
+        &self,
+        op: RawOp,
+        src: crate::activity::EndpointV4,
+        dst: crate::activity::EndpointV4,
+    ) -> ActivityType {
+        match op {
             RawOp::Receive
-                if self.spec.is_frontend_port(r.dst.port) && !self.spec.is_internal(r.src.ip) =>
+                if self.spec.is_frontend_port(dst.port) && !self.spec.is_internal(src.ip) =>
             {
                 ActivityType::Begin
             }
             RawOp::Send
-                if self.spec.is_frontend_port(r.src.port) && !self.spec.is_internal(r.dst.ip) =>
+                if self.spec.is_frontend_port(src.port) && !self.spec.is_internal(dst.ip) =>
             {
                 ActivityType::End
             }
             RawOp::Send => ActivityType::Send,
             RawOp::Receive => ActivityType::Receive,
-        };
+        }
+    }
+
+    /// Transforms one raw record into a typed activity (§3.1).
+    pub fn classify(&self, r: &RawRecord) -> Activity {
         Activity {
-            ty,
+            ty: self.classify_op(r.op, r.src, r.dst),
             ts: r.ts,
             ctx: r.context(),
             channel: r.channel(),
+            size: r.size,
+            tag: r.tag,
+        }
+    }
+
+    /// Transforms one **borrowed** raw record into a typed activity,
+    /// interning the hostname and program so the zero-copy ingest path
+    /// allocates nothing per record in steady state.
+    pub fn classify_ref(&self, r: &RawRecordRef<'_>, interner: &mut Interner) -> Activity {
+        Activity {
+            ty: self.classify_op(r.op, r.src, r.dst),
+            ts: r.ts,
+            ctx: ContextId {
+                hostname: interner.intern(r.hostname),
+                program: interner.intern(r.program),
+                pid: r.pid,
+                tid: r.tid,
+            },
+            channel: Channel::new(r.src, r.dst),
             size: r.size,
             tag: r.tag,
         }
@@ -202,6 +233,25 @@ mod tests {
         assert_eq!(a.size, 99);
         assert_eq!(a.ts.as_nanos(), 7);
         assert_eq!(a.ctx.pid, 3);
+    }
+
+    #[test]
+    fn classify_ref_matches_classify() {
+        use crate::raw::RawRecordRef;
+        let c = Classifier::new(spec());
+        let mut interner = Interner::new();
+        for line in [
+            "1 web httpd 1 1 RECEIVE 192.168.0.9:5000-10.0.0.1:80 10",
+            "1 web httpd 1 1 SEND 10.0.0.1:80-192.168.0.9:5000 10",
+            "1 web httpd 1 1 SEND 10.0.0.1:4001-10.0.0.2:9000 10",
+            "2 app java 2 2 RECEIVE 10.0.0.1:4001-10.0.0.2:9000 10",
+        ] {
+            let owned = c.classify(&rec(line));
+            let via_ref = c.classify_ref(&RawRecordRef::parse_line(line).unwrap(), &mut interner);
+            assert_eq!(owned, via_ref, "{line}");
+        }
+        // Interning is effective: both web records share one hostname Arc.
+        assert_eq!(interner.len(), 4); // web, httpd, app, java
     }
 
     #[test]

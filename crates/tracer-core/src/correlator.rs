@@ -60,6 +60,16 @@ pub struct CorrelatorConfig {
     /// are surfaced in [`crate::engine::EngineCounters`]. `None`
     /// disables budget enforcement.
     pub memory_budget: Option<usize>,
+    /// Sealing-latency bound (SLO) for streaming consumers: a finished
+    /// CAG normally leaves the engine only once its context moves on
+    /// (so trailing END chunks can still amend it), which under
+    /// keep-alive lulls can lag arbitrarily. With `Some(lag)`, any
+    /// finished CAG older than `lag` delivered candidates is
+    /// force-sealed at the next sampling boundary, surfaced in
+    /// [`crate::engine::EngineCounters::forced_seals`]. `None` (the
+    /// default) waits indefinitely — the only mode whose emission is
+    /// timing-independent, so goldens use it.
+    pub max_seal_lag: Option<u64>,
 }
 
 impl CorrelatorConfig {
@@ -72,6 +82,7 @@ impl CorrelatorConfig {
             engine: EngineOptions::default(),
             mem_sample_every: 64,
             memory_budget: None,
+            max_seal_lag: None,
         }
     }
 
@@ -97,6 +108,13 @@ impl CorrelatorConfig {
     /// Sets the explicit resident-memory budget in bytes.
     pub fn with_memory_budget(mut self, bytes: usize) -> Self {
         self.memory_budget = Some(bytes);
+        self
+    }
+
+    /// Bounds the sealing latency of finished CAGs to `lag` delivered
+    /// candidates (see [`CorrelatorConfig::max_seal_lag`]).
+    pub fn with_max_seal_lag(mut self, lag: u64) -> Self {
+        self.max_seal_lag = Some(lag);
         self
     }
 
@@ -302,12 +320,18 @@ pub struct StreamingCorrelator {
     metrics: CorrelatorMetrics,
     mem_sample_every: u64,
     memory_budget: Option<usize>,
+    max_seal_lag: Option<u64>,
     since_sample: u64,
     started: Instant,
     noise_samples: Vec<Activity>,
     /// Sealed CAGs extracted at sampling boundaries, awaiting the next
     /// `poll`/`finish`.
     ready: Vec<Cag>,
+    /// Direct-delivery mode: activities pushed are already valid
+    /// candidates (ordered and matched by an upstream ranker-equivalent
+    /// such as the sharded router) and go straight to the engine; the
+    /// in-process ranker is bypassed entirely.
+    direct: bool,
     /// Context count after the last budget-pressure context GC, so the
     /// O(contexts) sweep only reruns once enough new entries piled up.
     last_prune_contexts: usize,
@@ -337,6 +361,20 @@ impl StreamingCorrelator {
         Ok(Self::build(config))
     }
 
+    /// Creates a **direct-delivery** correlator: pushed activities are
+    /// already valid candidates — causally ordered per execution
+    /// entity, each RECEIVE fully covered by previously pushed SENDs,
+    /// noise removed — as produced by the sharded session router, so
+    /// they go straight to the engine without per-instance ranking.
+    /// Sampling, sealing, the memory budget and the context GC behave
+    /// exactly as in ranked mode.
+    pub(crate) fn direct_for_activities(config: CorrelatorConfig) -> Result<Self, TraceError> {
+        config.validate_window()?;
+        let mut sc = Self::build(config);
+        sc.direct = true;
+        Ok(sc)
+    }
+
     fn build(config: CorrelatorConfig) -> Self {
         let mut ranker_opts = config.ranker;
         // The budget backstops the window buffers too: stuck-state
@@ -352,10 +390,12 @@ impl StreamingCorrelator {
             metrics: CorrelatorMetrics::default(),
             mem_sample_every: config.mem_sample_every,
             memory_budget: config.memory_budget,
+            max_seal_lag: config.max_seal_lag,
             since_sample: 0,
             started: Instant::now(),
             noise_samples: Vec::new(),
             ready: Vec::new(),
+            direct: false,
             last_prune_contexts: 0,
             debug_budget: std::env::var_os("PT_BUDGET_DEBUG").is_some(),
             finished: false,
@@ -409,6 +449,16 @@ impl StreamingCorrelator {
         self.metrics.records_in += 1;
         if !self.filters.admits(&act) {
             self.metrics.filtered_out += 1;
+            return Ok(());
+        }
+        if self.direct {
+            // Already a valid candidate: deliver without ranking.
+            self.engine.deliver(act);
+            self.since_sample += 1;
+            if self.since_sample >= self.mem_sample_every.max(1) {
+                self.since_sample = 0;
+                self.sample();
+            }
             return Ok(());
         }
         self.ranker.push(act);
@@ -465,13 +515,27 @@ impl StreamingCorrelator {
         }
     }
 
+    /// How many new `cmap` entries accumulate between periodic
+    /// stale-context sweeps (each sweep is O(contexts)).
+    const CMAP_GC_GROWTH: usize = 1_024;
+
     /// One sampling boundary: extract sealed CAGs (completed paths
     /// stream out, so the memory gauge measures the *working* state the
     /// window bounds), enforce the memory budget, update the gauge.
     fn sample(&mut self) {
-        let sealed = self.engine.take_sealed();
+        let sealed = self.engine.take_sealed(self.max_seal_lag);
         self.metrics.cags_finished += sealed.len() as u64;
         self.ready.extend(sealed);
+        if self.memory_budget.is_none()
+            && self.engine.context_count() >= self.last_prune_contexts + Self::CMAP_GC_GROWTH
+        {
+            // Periodic context GC outside budget mode: endless-input
+            // runs without a budget must not grow dead cmap entries
+            // (behavior-neutral — only Stale entries are dropped —
+            // and surfaced in `EngineCounters::pruned_contexts`).
+            self.engine.prune_stale_contexts();
+            self.last_prune_contexts = self.engine.context_count();
+        }
         if let Some(budget) = self.memory_budget {
             while self.ranker.approx_bytes() + self.engine.approx_bytes() > budget {
                 // Deterministic shedding: stalest unfinished CAG, then
@@ -480,7 +544,9 @@ impl StreamingCorrelator {
                     // Nothing evictable left; reclaim dead context-map
                     // entries, but only once enough piled up since the
                     // last sweep (the sweep is O(contexts)).
-                    if self.engine.context_count() >= self.last_prune_contexts + 1_024 {
+                    if self.engine.context_count()
+                        >= self.last_prune_contexts + Self::CMAP_GC_GROWTH
+                    {
                         self.engine.prune_stale_contexts();
                         self.last_prune_contexts = self.engine.context_count();
                     }
@@ -549,6 +615,12 @@ impl StreamingCorrelator {
             unfinished.len() as u64 + self.engine.counters().budget_evicted_cags;
         metrics.ranker = *self.ranker.counters();
         metrics.engine = *self.engine.counters();
+        if self.direct {
+            // No in-process ranker ran; candidate selection happened
+            // upstream (one candidate per delivered activity).
+            metrics.ranker.enqueued = metrics.engine.delivered;
+            metrics.ranker.candidates = metrics.engine.delivered;
+        }
         Ok(CorrelationOutput {
             cags,
             unfinished,
@@ -943,6 +1015,120 @@ mod tests {
             max: Nanos::from_secs(1),
         });
         assert!(StreamingCorrelator::new(zero_slack).is_err());
+    }
+
+    #[test]
+    fn max_seal_lag_bounds_streaming_emission_latency() {
+        // One request completes, then its web thread goes idle while a
+        // long keep-alive lull of other traffic flows. Without the lag
+        // bound the sealed CAG only leaves at finish; with it, a poll
+        // mid-lull already returns it, counted in forced_seals.
+        let access = AccessPointSpec::new([80], ["10.0.0.1".parse().unwrap()]);
+        let run = |lag: Option<u64>| {
+            let mut cfg = CorrelatorConfig::new(access.clone());
+            cfg.mem_sample_every = 8;
+            cfg.max_seal_lag = lag;
+            let mut sc = StreamingCorrelator::new(cfg).unwrap();
+            sc.push(
+                "1000 web httpd 7 7 RECEIVE 192.168.0.9:5000-10.0.0.1:80 120"
+                    .parse()
+                    .unwrap(),
+            )
+            .unwrap();
+            sc.push(
+                "2000 web httpd 7 7 SEND 10.0.0.1:80-192.168.0.9:5000 512"
+                    .parse()
+                    .unwrap(),
+            )
+            .unwrap();
+            // The lull: another client's endless requests.
+            let mut early = 0usize;
+            for i in 0..200u64 {
+                let t = 10_000 + i * 2_000;
+                sc.push(
+                    format!("{t} web httpd 8 8 RECEIVE 192.168.0.7:6000-10.0.0.1:80 64")
+                        .parse()
+                        .unwrap(),
+                )
+                .unwrap();
+                sc.push(
+                    format!(
+                        "{} web httpd 8 8 SEND 10.0.0.1:80-192.168.0.7:6000 64",
+                        t + 500
+                    )
+                    .parse()
+                    .unwrap(),
+                )
+                .unwrap();
+                early += sc
+                    .poll()
+                    .unwrap()
+                    .iter()
+                    .filter(|c| c.vertices[0].ctx.tid == 7)
+                    .count();
+            }
+            let out = sc.finish().unwrap();
+            (early, out.metrics.engine.forced_seals)
+        };
+        let (early_unbounded, forced_unbounded) = run(None);
+        assert_eq!(early_unbounded, 0, "idle ctx must hold its CAG");
+        assert_eq!(forced_unbounded, 0);
+        let (early_bounded, forced_bounded) = run(Some(16));
+        assert_eq!(early_bounded, 1, "lag bound must emit within the SLO");
+        assert!(forced_bounded >= 1);
+    }
+
+    #[test]
+    fn periodic_context_gc_runs_without_memory_budget() {
+        // Endless churn: one reused web thread (whose next BEGIN seals
+        // the previous CAG) and a fresh backend thread per request.
+        // Once a CAG streams out, the backend thread's cmap entry is
+        // dead; without a budget, the periodic GC must reclaim them.
+        let access = AccessPointSpec::new(
+            [80],
+            ["10.0.0.1".parse().unwrap(), "10.0.0.2".parse().unwrap()],
+        );
+        let mut cfg = CorrelatorConfig::new(access);
+        cfg.mem_sample_every = 16;
+        let mut sc = StreamingCorrelator::new(cfg).unwrap();
+        for i in 0..4_000u64 {
+            let t0 = i * 1_000_000;
+            let port = 5_000 + (i % 50_000);
+            let tid = 100 + i;
+            for line in [
+                format!("{t0} web httpd 7 7 RECEIVE 192.168.0.9:{port}-10.0.0.1:80 100"),
+                format!(
+                    "{} web httpd 7 7 SEND 10.0.0.1:4001-10.0.0.2:9000 64",
+                    t0 + 100
+                ),
+                format!(
+                    "{} app java 9 {tid} RECEIVE 10.0.0.1:4001-10.0.0.2:9000 64",
+                    t0 + 200
+                ),
+                format!(
+                    "{} app java 9 {tid} SEND 10.0.0.2:9000-10.0.0.1:4001 32",
+                    t0 + 300
+                ),
+                format!(
+                    "{} web httpd 7 7 RECEIVE 10.0.0.2:9000-10.0.0.1:4001 32",
+                    t0 + 400
+                ),
+                format!(
+                    "{} web httpd 7 7 SEND 10.0.0.1:80-192.168.0.9:{port} 200",
+                    t0 + 500
+                ),
+            ] {
+                sc.push(line.parse().unwrap()).unwrap();
+            }
+            let _ = sc.poll().unwrap();
+        }
+        let out = sc.finish().unwrap();
+        assert_eq!(out.metrics.cags_finished, 4_000);
+        assert!(
+            out.metrics.engine.pruned_contexts > 0,
+            "periodic GC must reclaim dead contexts: {:?}",
+            out.metrics.engine
+        );
     }
 
     #[test]

@@ -105,8 +105,60 @@ pub struct EngineCounters {
     pub budget_evicted_cags: u64,
     /// Vertices dropped with those budget-evicted CAGs.
     pub budget_evicted_vertices: u64,
-    /// Dead `cmap` entries dropped by the budget-pressure context GC.
+    /// Dead `cmap` entries dropped by the context GC (budget pressure
+    /// or the periodic no-budget sweep).
     pub pruned_contexts: u64,
+    /// Finished CAGs force-sealed by the `max_seal_lag` bound before
+    /// their context moved on (trailing END chunks can no longer amend
+    /// them — the price of the sealing-latency SLO).
+    pub forced_seals: u64,
+}
+
+impl EngineCounters {
+    /// Folds another counter set into this one (all fields are sums).
+    /// Used to aggregate per-shard engines into one report.
+    pub fn absorb(&mut self, other: &EngineCounters) {
+        let EngineCounters {
+            delivered,
+            cags_opened,
+            cags_finished,
+            send_merges,
+            begin_merges,
+            end_amends,
+            partial_receives,
+            unmatched_receives,
+            cross_message_receives,
+            unmatched_ends,
+            reuse_suppressed_edges,
+            orphan_vertices,
+            evicted_pendings,
+            evicted_orphans,
+            abandoned_cags,
+            budget_evicted_cags,
+            budget_evicted_vertices,
+            pruned_contexts,
+            forced_seals,
+        } = other;
+        self.delivered += delivered;
+        self.cags_opened += cags_opened;
+        self.cags_finished += cags_finished;
+        self.send_merges += send_merges;
+        self.begin_merges += begin_merges;
+        self.end_amends += end_amends;
+        self.partial_receives += partial_receives;
+        self.unmatched_receives += unmatched_receives;
+        self.cross_message_receives += cross_message_receives;
+        self.unmatched_ends += unmatched_ends;
+        self.reuse_suppressed_edges += reuse_suppressed_edges;
+        self.orphan_vertices += orphan_vertices;
+        self.evicted_pendings += evicted_pendings;
+        self.evicted_orphans += evicted_orphans;
+        self.abandoned_cags += abandoned_cags;
+        self.budget_evicted_cags += budget_evicted_cags;
+        self.budget_evicted_vertices += budget_evicted_vertices;
+        self.pruned_contexts += pruned_contexts;
+        self.forced_seals += forced_seals;
+    }
 }
 
 /// Where the latest activity of a context lives.
@@ -169,6 +221,9 @@ pub struct Engine {
     opts: EngineOptions,
     unfinished: BTreeMap<u64, Cag>,
     finished: Vec<Cag>,
+    /// `counters.delivered` at the moment each `finished` entry closed,
+    /// index-aligned with `finished`; drives the `max_seal_lag` bound.
+    finished_at: Vec<u64>,
     finished_index: FxHashMap<u64, usize>,
     mmap: FxHashMap<Channel, VecDeque<Pending>>,
     mmap_order: VecDeque<Channel>,
@@ -196,6 +251,7 @@ impl Engine {
             opts,
             unfinished: BTreeMap::new(),
             finished: Vec::new(),
+            finished_at: Vec::new(),
             finished_index: FxHashMap::default(),
             mmap: FxHashMap::default(),
             mmap_order: VecDeque::new(),
@@ -228,6 +284,7 @@ impl Engine {
     /// Removes and returns all finished CAGs, oldest first.
     pub fn take_finished(&mut self) -> Vec<Cag> {
         self.finished_index.clear();
+        self.finished_at.clear();
         std::mem::take(&mut self.finished)
     }
 
@@ -237,11 +294,20 @@ impl Engine {
     /// execution entity moved on to other work). Used by the streaming
     /// correlator so that incremental polling yields the same CAGs as an
     /// offline run.
-    pub fn take_sealed(&mut self) -> Vec<Cag> {
+    ///
+    /// `max_lag` bounds the sealing latency: a finished CAG whose
+    /// context has *not* moved on is force-sealed anyway once more than
+    /// `max_lag` candidates were delivered since it finished (counted
+    /// in [`EngineCounters::forced_seals`]); any trailing END chunk
+    /// arriving later can no longer amend it. `None` waits indefinitely
+    /// (the default, and the only mode whose output is independent of
+    /// emission timing).
+    pub fn take_sealed(&mut self, max_lag: Option<u64>) -> Vec<Cag> {
         let finished = std::mem::take(&mut self.finished);
+        let finished_at = std::mem::take(&mut self.finished_at);
         self.finished_index.clear();
         let mut out = Vec::new();
-        for cag in finished {
+        for (cag, at) in finished.into_iter().zip(finished_at) {
             let end_idx = cag.vertices.len() - 1;
             let end = &cag.vertices[end_idx];
             let still_latest = end.ty == ActivityType::End
@@ -251,8 +317,14 @@ impl Engine {
                         v: end_idx,
                     });
             if still_latest {
-                self.finished_index.insert(cag.id, self.finished.len());
-                self.finished.push(cag);
+                if max_lag.is_some_and(|lag| self.counters.delivered.saturating_sub(at) > lag) {
+                    self.counters.forced_seals += 1;
+                    out.push(cag);
+                } else {
+                    self.finished_index.insert(cag.id, self.finished.len());
+                    self.finished.push(cag);
+                    self.finished_at.push(at);
+                }
             } else {
                 out.push(cag);
             }
@@ -582,6 +654,7 @@ impl Engine {
                 self.vertex_count -= done.vertices.len();
                 self.tag_count -= done.vertices.iter().map(|v| v.tags.len()).sum::<usize>();
                 self.finished.push(done);
+                self.finished_at.push(self.counters.delivered);
                 self.counters.cags_finished += 1;
             }
             Some(Resolved::Closed {
@@ -1657,6 +1730,89 @@ mod tests {
         );
         assert!(!e.rule1_matches(&big));
         assert!(e.has_any_pending(&big));
+    }
+
+    #[test]
+    fn take_sealed_holds_amendable_cag_until_ctx_moves() {
+        let mut e = Engine::default();
+        two_tier_request(&mut e);
+        // The END is still the latest activity of httpd/7: unsealed.
+        assert!(e.take_sealed(None).is_empty());
+        assert_eq!(e.finished_len(), 1);
+        // The context moves on (new request): now sealed.
+        e.deliver(act(
+            ActivityType::Begin,
+            9_000,
+            "web",
+            "httpd",
+            7,
+            CLIENT,
+            WEB_FRONT,
+            1,
+            0,
+        ));
+        assert_eq!(e.take_sealed(None).len(), 1);
+        assert_eq!(e.counters().forced_seals, 0);
+    }
+
+    #[test]
+    fn max_seal_lag_forces_emission_under_keep_alive_lull() {
+        let mut e = Engine::default();
+        two_tier_request(&mut e);
+        // Unrelated traffic ages the finished CAG past the lag bound.
+        for i in 0..8u64 {
+            e.deliver(act(
+                ActivityType::Send,
+                20_000 + i,
+                "db",
+                "mysqld",
+                90 + i as u32,
+                "10.0.0.3:3306",
+                "9.9.9.9:1000",
+                64,
+                0,
+            ));
+        }
+        // Without a bound the CAG would still wait for its context.
+        assert!(e.take_sealed(None).is_empty());
+        let sealed = e.take_sealed(Some(4));
+        assert_eq!(sealed.len(), 1);
+        assert_eq!(e.counters().forced_seals, 1);
+        // A trailing END chunk can no longer amend it: counted, orphaned.
+        e.deliver(act(
+            ActivityType::End,
+            30_000,
+            "web",
+            "httpd",
+            7,
+            WEB_FRONT,
+            CLIENT,
+            8,
+            0,
+        ));
+        assert_eq!(e.counters().end_amends, 0);
+        assert_eq!(e.counters().unmatched_ends, 1);
+    }
+
+    #[test]
+    fn counters_absorb_sums_fields() {
+        let mut a = EngineCounters {
+            delivered: 3,
+            cags_opened: 1,
+            forced_seals: 1,
+            ..EngineCounters::default()
+        };
+        let b = EngineCounters {
+            delivered: 4,
+            cags_opened: 2,
+            orphan_vertices: 5,
+            ..EngineCounters::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.delivered, 7);
+        assert_eq!(a.cags_opened, 3);
+        assert_eq!(a.orphan_vertices, 5);
+        assert_eq!(a.forced_seals, 1);
     }
 
     #[test]

@@ -13,6 +13,7 @@ use std::net::Ipv4Addr;
 use std::sync::Arc;
 
 use crate::activity::Activity;
+use crate::raw::RawRecordRef;
 
 /// One attribute predicate; an activity matched by any *drop* rule is
 /// discarded before ranking.
@@ -102,6 +103,56 @@ impl FilterSet {
         self.with_rule(FilterRule::KeepPrograms(
             programs.into_iter().map(Into::into).collect(),
         ))
+    }
+
+    /// Whether a **borrowed** raw record survives all filters, without
+    /// building an owned [`Activity`] first. Equivalent to classifying
+    /// and calling [`FilterSet::admits`]: the BEGIN/END transformation
+    /// never changes which side of the channel is local (BEGIN is
+    /// receive-like, END send-like), so peer/local endpoints are
+    /// derivable from the kernel op alone. The zero-copy ingest path
+    /// uses this to drop filtered records before interning anything.
+    pub fn admits_raw(&self, r: &RawRecordRef<'_>) -> bool {
+        let (local, peer) = if r.is_send() {
+            (r.src, r.dst)
+        } else {
+            (r.dst, r.src)
+        };
+        for rule in &self.rules {
+            match rule {
+                FilterRule::DropProgram(p) => {
+                    if r.program == &**p {
+                        return false;
+                    }
+                }
+                FilterRule::DropPeerIp(ip) => {
+                    if peer.ip == *ip {
+                        return false;
+                    }
+                }
+                FilterRule::DropPeerPort(port) => {
+                    if peer.port == *port {
+                        return false;
+                    }
+                }
+                FilterRule::DropLocalPort(port) => {
+                    if local.port == *port {
+                        return false;
+                    }
+                }
+                FilterRule::DropHost(h) => {
+                    if r.hostname == &**h {
+                        return false;
+                    }
+                }
+                FilterRule::KeepPrograms(list) => {
+                    if !list.is_empty() && !list.iter().any(|p| &**p == r.program) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
     }
 
     /// Whether the activity survives all filters.
@@ -286,6 +337,39 @@ mod tests {
             "1.1.1.1:1",
             "2.2.2.2:2"
         )));
+    }
+
+    #[test]
+    fn admits_raw_agrees_with_classified_admits() {
+        use crate::access::{AccessPointSpec, Classifier};
+        use crate::intern::Interner;
+        use crate::raw::RawRecordRef;
+        let classifier = Classifier::new(AccessPointSpec::new(
+            [80],
+            ["10.0.0.1".parse().unwrap(), "10.0.0.2".parse().unwrap()],
+        ));
+        let filters = FilterSet::new()
+            .drop_program("sshd")
+            .drop_peer_port(22)
+            .drop_local_port(514)
+            .drop_peer_ip("9.9.9.9".parse().unwrap())
+            .drop_host("bastion")
+            .keep_programs(["httpd", "java", "mysqld", "scp"]);
+        let mut interner = Interner::new();
+        for line in [
+            "1 web httpd 1 1 RECEIVE 192.168.0.9:5000-10.0.0.1:80 10",
+            "1 web sshd 9 9 RECEIVE 172.16.9.9:7000-10.0.0.1:22 10",
+            "1 web httpd 1 1 SEND 10.0.0.1:80-192.168.0.9:5000 10",
+            "1 db mysqld 5 5 SEND 10.0.0.2:3306-9.9.9.9:44 10",
+            "1 db mysqld 5 5 RECEIVE 9.9.9.9:44-10.0.0.2:3306 10",
+            "1 bastion scp 2 2 SEND 10.0.0.9:514-10.0.0.2:9000 10",
+            "1 web httpd 1 1 SEND 10.0.0.1:514-10.0.0.2:9000 10",
+            "1 web rsyslogd 1 1 SEND 10.0.0.1:601-10.0.0.2:9000 10",
+        ] {
+            let r = RawRecordRef::parse_line(line).unwrap();
+            let a = classifier.classify_ref(&r, &mut interner);
+            assert_eq!(filters.admits_raw(&r), filters.admits(&a), "{line}");
+        }
     }
 
     #[test]

@@ -72,10 +72,12 @@ pub mod engine;
 pub mod error;
 pub mod fasthash;
 pub mod filter;
+pub mod intern;
 pub mod metrics;
 pub mod pattern;
 pub mod ranker;
 pub mod raw;
+pub mod shard;
 
 pub use access::AccessPointSpec;
 pub use activity::{Activity, ActivityType, Channel, ContextId, EndpointV4, LocalTime, Nanos};
@@ -88,10 +90,12 @@ pub use correlator::{
 pub use engine::Engine;
 pub use error::TraceError;
 pub use filter::{FilterRule, FilterSet};
+pub use intern::Interner;
 pub use metrics::CorrelatorMetrics;
 pub use pattern::{AveragePath, PatternAggregator, PatternKey};
 pub use ranker::Ranker;
-pub use raw::{parse_log, RawOp, RawRecord};
+pub use raw::{parse_log, parse_log_iter, RawOp, RawRecord, RawRecordRef};
+pub use shard::ShardedCorrelator;
 
 /// Commonly used items, for glob import in examples and tests.
 pub mod prelude {
@@ -107,7 +111,9 @@ pub mod prelude {
     };
     pub use crate::error::TraceError;
     pub use crate::filter::{FilterRule, FilterSet};
+    pub use crate::intern::Interner;
     pub use crate::metrics::CorrelatorMetrics;
     pub use crate::pattern::{AveragePath, PatternAggregator, PatternKey};
-    pub use crate::raw::{parse_log, RawOp, RawRecord};
+    pub use crate::raw::{parse_log, parse_log_iter, RawOp, RawRecord, RawRecordRef};
+    pub use crate::shard::ShardedCorrelator;
 }

@@ -34,6 +34,21 @@ pub struct CorrelatorMetrics {
 }
 
 impl CorrelatorMetrics {
+    /// Folds one shard's metrics into this aggregate: counts are sums,
+    /// memory gauges are sums (shards are resident concurrently), and
+    /// wall time is the maximum (shards run in parallel).
+    pub fn absorb(&mut self, other: &CorrelatorMetrics) {
+        self.records_in += other.records_in;
+        self.filtered_out += other.filtered_out;
+        self.ranker.absorb(&other.ranker);
+        self.engine.absorb(&other.engine);
+        self.cags_finished += other.cags_finished;
+        self.cags_unfinished += other.cags_unfinished;
+        self.peak_bytes += other.peak_bytes;
+        self.final_bytes += other.final_bytes;
+        self.wall = self.wall.max(other.wall);
+    }
+
     /// Correlation throughput in candidates per second (0 when the run
     /// was too fast to measure).
     pub fn candidates_per_sec(&self) -> f64 {

@@ -179,6 +179,39 @@ pub struct RankerCounters {
     pub window_updates: u64,
 }
 
+impl RankerCounters {
+    /// Folds another counter set into this one: event counts are sums,
+    /// `peak_buffered` (a high-water mark of concurrently resident
+    /// state) is summed too — per-shard rankers are resident at the
+    /// same time, so the worst case is additive.
+    pub fn absorb(&mut self, other: &RankerCounters) {
+        let RankerCounters {
+            enqueued,
+            candidates,
+            rule1,
+            rule2,
+            swaps,
+            fetch_boosts,
+            noise_discards,
+            forced_deliveries,
+            peak_buffered,
+            rtt_samples,
+            window_updates,
+        } = other;
+        self.enqueued += enqueued;
+        self.candidates += candidates;
+        self.rule1 += rule1;
+        self.rule2 += rule2;
+        self.swaps += swaps;
+        self.fetch_boosts += fetch_boosts;
+        self.noise_discards += noise_discards;
+        self.forced_deliveries += forced_deliveries;
+        self.peak_buffered += peak_buffered;
+        self.rtt_samples += rtt_samples;
+        self.window_updates += window_updates;
+    }
+}
+
 /// One step of ranking.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RankStep {

@@ -17,6 +17,7 @@ use std::sync::Arc;
 
 use crate::activity::{Channel, ContextId, EndpointV4, LocalTime};
 use crate::error::TraceError;
+use crate::intern::Interner;
 
 /// Direction of a raw kernel TCP activity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -100,6 +101,65 @@ impl RawRecord {
     /// the eight whitespace-separated fields of the TCP_TRACE format or a
     /// field is malformed.
     pub fn parse_line(line: &str) -> Result<Self, TraceError> {
+        let mut interner = Interner::new();
+        RawRecordRef::parse_line(line).map(|r| r.to_owned_interned(&mut interner))
+    }
+}
+
+/// A zero-copy view of one `TCP_TRACE` log line: the string fields
+/// borrow from the input text, so parsing allocates nothing.
+///
+/// This is the ingest-side representation: a reader thread can parse,
+/// classify and filter records through `RawRecordRef` and only pay for
+/// owned strings ([`RawRecord`] / [`crate::activity::Activity`]) on the
+/// records that survive filtering — and even those go through an
+/// [`Interner`] so each distinct hostname/program is allocated once per
+/// session, not once per record.
+///
+/// # Examples
+///
+/// ```
+/// use tracer_core::raw::RawRecordRef;
+/// let r = RawRecordRef::parse_line(
+///     "1000 web httpd 7 7 SEND 10.0.0.1:80-192.168.0.9:5000 42",
+/// )?;
+/// assert_eq!(r.hostname, "web");
+/// assert_eq!(r.size, 42);
+/// # Ok::<(), tracer_core::TraceError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RawRecordRef<'a> {
+    /// Local timestamp (nanoseconds on the logging node's clock).
+    pub ts: LocalTime,
+    /// Hostname of the logging node (borrowed from the input line).
+    pub hostname: &'a str,
+    /// Program (executable) name (borrowed from the input line).
+    pub program: &'a str,
+    /// Process ID.
+    pub pid: u32,
+    /// Thread ID.
+    pub tid: u32,
+    /// SEND or RECEIVE.
+    pub op: RawOp,
+    /// Sender endpoint of the TCP channel.
+    pub src: EndpointV4,
+    /// Receiver endpoint of the TCP channel.
+    pub dst: EndpointV4,
+    /// Bytes transferred by this kernel call.
+    pub size: u64,
+    /// Opaque ground-truth tag (0 = untagged).
+    pub tag: u64,
+}
+
+impl<'a> RawRecordRef<'a> {
+    /// Parses one `TCP_TRACE` log line without allocating.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Parse`] when the line does not have exactly
+    /// the eight whitespace-separated fields of the TCP_TRACE format or a
+    /// field is malformed.
+    pub fn parse_line(line: &'a str) -> Result<Self, TraceError> {
         let mut it = line.split_ascii_whitespace();
         let mut next = |what: &str| {
             it.next()
@@ -108,8 +168,8 @@ impl RawRecord {
         let ts: u64 = next("timestamp")?
             .parse()
             .map_err(|_| TraceError::parse(line, "bad timestamp"))?;
-        let hostname = next("hostname")?.to_owned();
-        let program = next("program")?.to_owned();
+        let hostname = next("hostname")?;
+        let program = next("program")?;
         let pid: u32 = next("pid")?
             .parse()
             .map_err(|_| TraceError::parse(line, "bad pid"))?;
@@ -129,10 +189,10 @@ impl RawRecord {
         if it.next().is_some() {
             return Err(TraceError::parse(line, "trailing fields"));
         }
-        Ok(RawRecord {
+        Ok(RawRecordRef {
             ts: LocalTime::from_nanos(ts),
-            hostname: hostname.into(),
-            program: program.into(),
+            hostname,
+            program,
             pid,
             tid,
             op,
@@ -141,6 +201,37 @@ impl RawRecord {
             size,
             tag: 0,
         })
+    }
+
+    /// The directed channel (sender → receiver).
+    #[inline]
+    pub fn channel(&self) -> Channel {
+        Channel::new(self.src, self.dst)
+    }
+
+    /// True for kernel-level sends (the logging node is the sender);
+    /// BEGIN/END classification never changes this, so attribute
+    /// filters can be evaluated on the borrowed record.
+    #[inline]
+    pub fn is_send(&self) -> bool {
+        self.op == RawOp::Send
+    }
+
+    /// Converts to an owned [`RawRecord`], interning the hostname and
+    /// program so repeated values share one allocation.
+    pub fn to_owned_interned(&self, interner: &mut Interner) -> RawRecord {
+        RawRecord {
+            ts: self.ts,
+            hostname: interner.intern(self.hostname),
+            program: interner.intern(self.program),
+            pid: self.pid,
+            tid: self.tid,
+            op: self.op,
+            src: self.src,
+            dst: self.dst,
+            size: self.size,
+            tag: self.tag,
+        }
     }
 }
 
@@ -187,11 +278,34 @@ impl std::str::FromStr for RawRecord {
 /// # Ok::<(), tracer_core::TraceError>(())
 /// ```
 pub fn parse_log(text: &str) -> Result<Vec<RawRecord>, TraceError> {
+    let mut interner = Interner::new();
+    parse_log_iter(text)
+        .map(|r| r.map(|rr| rr.to_owned_interned(&mut interner)))
+        .collect()
+}
+
+/// Zero-copy iteration over a TCP_TRACE log: yields one borrowed
+/// [`RawRecordRef`] per non-empty, non-comment line, without allocating
+/// per record. This is the ingest path of the sharded pipeline: the
+/// reader thread parses, classifies and filters borrowed records and
+/// only materializes owned activities for the survivors.
+///
+/// # Examples
+///
+/// ```
+/// use tracer_core::raw::parse_log_iter;
+/// let n = parse_log_iter("# comment\n100 web httpd 1 1 SEND 10.0.0.1:80-10.0.0.9:5000 42\n")
+///     .filter_map(Result::ok)
+///     .count();
+/// assert_eq!(n, 1);
+/// ```
+pub fn parse_log_iter(
+    text: &str,
+) -> impl Iterator<Item = Result<RawRecordRef<'_>, TraceError>> + '_ {
     text.lines()
         .map(str::trim)
         .filter(|l| !l.is_empty() && !l.starts_with('#'))
-        .map(RawRecord::parse_line)
-        .collect()
+        .map(RawRecordRef::parse_line)
 }
 
 #[cfg(test)]
@@ -251,5 +365,49 @@ mod tests {
     fn from_str_trait_works() {
         let r: RawRecord = LINE.parse().unwrap();
         assert_eq!(r.size, 1448);
+    }
+
+    #[test]
+    fn ref_parse_matches_owned_parse() {
+        let r = RawRecordRef::parse_line(LINE).unwrap();
+        assert_eq!(r.hostname, "node2");
+        assert_eq!(r.program, "java");
+        assert!(!r.is_send());
+        assert_eq!(r.channel().dst.port, 8009);
+        let mut interner = Interner::new();
+        assert_eq!(
+            r.to_owned_interned(&mut interner),
+            RawRecord::parse_line(LINE).unwrap()
+        );
+    }
+
+    #[test]
+    fn ref_parse_rejects_what_owned_rejects() {
+        for bad in ["", "1 n p 1 2 RECV a-b 3", "1 n p 1 2 RECEIVE x 3"] {
+            assert_eq!(
+                RawRecordRef::parse_line(bad).is_err(),
+                RawRecord::parse_line(bad).is_err(),
+            );
+        }
+    }
+
+    #[test]
+    fn parse_log_interns_repeated_names() {
+        let text = format!("{LINE}\n{LINE}\n");
+        let recs = parse_log(&text).unwrap();
+        assert!(Arc::ptr_eq(&recs[0].hostname, &recs[1].hostname));
+        assert!(Arc::ptr_eq(&recs[0].program, &recs[1].program));
+    }
+
+    #[test]
+    fn parse_log_iter_skips_comments_and_borrows() {
+        let text = format!("# header\n\n{LINE}\n  \n{LINE}\n");
+        let refs: Vec<RawRecordRef<'_>> = parse_log_iter(&text).collect::<Result<_, _>>().unwrap();
+        assert_eq!(refs.len(), 2);
+        // Borrowed fields point into the original text buffer.
+        let start = text.as_ptr() as usize;
+        let end = start + text.len();
+        let p = refs[0].hostname.as_ptr() as usize;
+        assert!(p >= start && p < end);
     }
 }

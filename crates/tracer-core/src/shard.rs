@@ -1,0 +1,1193 @@
+//! Sharded parallel correlation (the follow-up paper's "online at
+//! scale" requirement).
+//!
+//! Candidate selection is inherently sequential *within* one
+//! access-point session, but sessions are independent: every activity
+//! of a request — its BEGIN at the access point, the internal
+//! SEND/RECEIVE cascade, the final END — belongs to exactly one client
+//! session. [`ShardedCorrelator`] exploits that:
+//!
+//! ```text
+//!            reader thread                     worker threads
+//!  text ─→ parse (zero-copy) ─→ classify ─→ ┌─ shard 0: StreamingCorrelator ─┐
+//!            + filter + route                ├─ shard 1: StreamingCorrelator ─┤─→ merge
+//!            (session affinity)              ├─ ...                           │  (canonical
+//!                                            └─ shard N-1 ──────────────────-┘   re-sequence)
+//! ```
+//!
+//! * The **reader** parses borrowed [`RawRecordRef`]s (no per-record
+//!   string allocations; hostnames/programs are interned), classifies
+//!   and filters them, and routes each surviving activity to a shard by
+//!   **client session**: the `src ip:port` of the BEGIN at the access
+//!   point, consistent-hashed over the shard count. Internal activities
+//!   follow their session through channel/context affinity tracking
+//!   (the reader is sequential, so the routing is deterministic).
+//! * Each **worker** owns a [`StreamingCorrelator`] fed through a
+//!   bounded SPSC channel (back-pressure bounds memory) and correlates
+//!   its shard's sessions while the reader keeps parsing.
+//! * The **merge** stage re-sequences the union of all sealed CAGs into
+//!   a canonical deterministic order — sorted by CAG root (the BEGIN's
+//!   timestamp, context and channel), ids renumbered sequentially — so
+//!   the output is byte-identical **regardless of shard count or thread
+//!   interleaving**: `--shards 1` and `--shards 64` produce the same
+//!   bytes. (One exception: a [`CorrelatorConfig::max_seal_lag`] bound
+//!   is evaluated against each shard's private candidate counter, so
+//!   *whether* a lulled path gets force-sealed before a trailing END
+//!   chunk arrives can depend on the partition — the SLO knob trades
+//!   cross-shard-count invariance for emission latency. Output for a
+//!   **fixed** shard count stays fully deterministic.)
+//!
+//! ## Relation to the single-shard paths
+//!
+//! Per-CAG *content* (vertices, edges, sizes, tags, latencies — and
+//! therefore every pattern/analysis result) is identical to the
+//! single-threaded [`Correlator`](crate::correlator::Correlator): a
+//! session's records meet exactly the same ranker/engine state whether
+//! or not unrelated sessions share the instance. Two well-understood
+//! presentation differences remain, both pinned by tests:
+//!
+//! * **Stream order**: the batch path emits CAGs in *seal* order, which
+//!   depends on where 64-candidate sampling boundaries fall in the
+//!   global candidate sequence — a quantity that only exists when all
+//!   sessions share one correlator. The sharded path instead emits in
+//!   the canonical root order above. On single-frontend-host logs the
+//!   renumbered ids coincide with the batch ids (both are BEGIN order),
+//!   so sorting the batch output by id yields the sharded bytes.
+//! * **Cross-session counters**: diagnostics counting interactions
+//!   *between* sessions (`reuse_suppressed_edges` when a pool thread's
+//!   previous session lives in another shard) can differ from the
+//!   single-shard run; additive per-session counters (records, CAGs,
+//!   merges, noise discards) sum exactly.
+
+use std::collections::VecDeque;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crate::access::Classifier;
+use crate::activity::{Activity, ActivityType, EndpointV4};
+use crate::cag::Cag;
+use crate::correlator::{CorrelationOutput, CorrelatorConfig, StreamingCorrelator};
+use crate::error::TraceError;
+use crate::fasthash::{FxBuildHasher, FxHashMap};
+use crate::filter::FilterSet;
+use crate::intern::Interner;
+use crate::metrics::CorrelatorMetrics;
+use crate::raw::{parse_log_iter, RawRecord, RawRecordRef};
+
+/// Activities per channel message (amortizes channel synchronization).
+const BATCH_RECORDS: usize = 4_096;
+
+/// Bounded channel capacity, in batches, per shard (back-pressure: the
+/// reader blocks instead of buffering unboundedly ahead of a slow
+/// worker).
+const CHANNEL_BATCHES: usize = 8;
+
+/// Upper bound for `shards = 0` (auto): beyond this the reader is the
+/// bottleneck and more workers only cost memory.
+const AUTO_SHARD_CAP: usize = 16;
+
+/// Hard cap on explicit shard counts: each shard is an OS thread plus
+/// a full correlator, and the single reader cannot feed more than this
+/// anyway. Requests beyond it are a configuration error, not a spawn
+/// storm.
+const MAX_SHARDS: usize = 256;
+
+/// How many reader-side noise victims are kept for diagnostics.
+const NOISE_SAMPLE_CAP: usize = 32;
+
+/// Google's jump consistent hash: maps `key` to a bucket in `[0, n)`
+/// such that growing `n` only moves ~`1/n` of the keys — resharding a
+/// live deployment migrates the minimum number of sessions.
+fn jump_hash(mut key: u64, n: u32) -> u32 {
+    let mut b: i64 = -1;
+    let mut j: i64 = 0;
+    while j < i64::from(n) {
+        b = j;
+        key = key.wrapping_mul(2_862_933_555_777_941_757).wrapping_add(1);
+        j = (((b.wrapping_add(1)) as f64) * ((1u64 << 31) as f64)
+            / (((key >> 33).wrapping_add(1)) as f64)) as i64;
+    }
+    b as u32
+}
+
+/// An undirected connection key: both directions of a TCP connection
+/// map to the same entry, so chatter with no session affinity routes
+/// both its directions to one shard.
+type ConnKey = (EndpointV4, EndpointV4);
+
+fn conn_key(src: EndpointV4, dst: EndpointV4) -> ConnKey {
+    if (src.ip, src.port) <= (dst.ip, dst.port) {
+        (src, dst)
+    } else {
+        (dst, src)
+    }
+}
+
+/// Per-directed-channel claim state — the router's miniature `mmap`,
+/// fused with the staged-send census so the hot path touches one map.
+#[derive(Debug, Default)]
+struct Claims {
+    /// FIFO of (shard, unreceived bytes) per pending send; TCP delivers
+    /// bytes in order per direction, so a RECEIVE belongs to the shard
+    /// of the front claim (the same soundness argument as the engine's
+    /// size-based SEND/RECEIVE matching).
+    queue: VecDeque<(u32, u64)>,
+    /// SEND activities staged but not yet routed: the future claims a
+    /// deferring RECEIVE may wait for.
+    staged: u32,
+    /// Shard of the most recent send on this channel, kept after the
+    /// queue drains so byte-count drift (coalesced or forced receives)
+    /// still routes follow-up records to the shard holding the
+    /// channel's engine state. `None` until a send is first routed.
+    last: Option<u32>,
+}
+
+/// Routing decision for one RECEIVE.
+enum RecvDecision {
+    /// Route to this shard.
+    Shard(u32),
+    /// Wait for the claiming send to be routed.
+    Defer,
+    /// No traced send on this channel exists anywhere: `is_noise`.
+    Noise,
+}
+
+/// One execution entity's staged (not yet routed) activities, in the
+/// thread's own serial order.
+#[derive(Debug)]
+struct CtxLane {
+    buf: VecDeque<Activity>,
+    /// Shard of the session this entity is currently working for.
+    affinity: Option<u32>,
+    /// Already in the runnable queue?
+    queued: bool,
+    /// Channel this lane is currently registered as a waiter on, so
+    /// repeated wake→re-defer cycles do not grow the waiter lists.
+    waiting_on: Option<crate::activity::Channel>,
+}
+
+/// Deterministic session router: a lightweight message-matching
+/// pre-pass that assigns every activity to the shard owning its client
+/// session, using only reader-side sequential state. It subsumes
+/// candidate selection for the sharded pipeline — workers deliver its
+/// output straight to their engines:
+///
+/// * A BEGIN/END names its session directly: the client endpoint at
+///   the access point, consistent-hashed to a shard.
+/// * A SEND inherits its thread's current session (claimed by the
+///   BEGIN, or by the RECEIVE that handed the request to the thread)
+///   and *claims* its channel's bytes for that shard.
+/// * A RECEIVE resolves only when previously routed claims fully cover
+///   it (Rule 1's byte-exactness), consuming them FIFO; otherwise it
+///   **defers** — a per-channel census of staged sends distinguishes
+///   "claim still coming" from genuine noise, which is discarded
+///   reader-side exactly like the ranker's `is_noise`.
+///
+/// Staged activities queue per **execution entity** (context), not per
+/// host: a thread's activities are causally serial, and threads depend
+/// on each other only through send→receive edges, which real traffic
+/// cannot make cyclic. Deferral therefore follows the causal DAG and —
+/// unlike host-level FIFO — cannot deadlock or head-of-line block
+/// independent threads; a deferred lane resumes when the claim it
+/// waits for is routed. Assignments are a pure function of the
+/// per-entity sequences and per-channel FIFOs, independent of
+/// push/pump interleaving.
+#[derive(Debug)]
+struct SessionRouter {
+    shards: u32,
+    hasher: FxBuildHasher,
+    lanes: Vec<CtxLane>,
+    by_ctx: FxHashMap<crate::activity::ContextId, usize>,
+    /// Lanes with potentially routable heads, FIFO (deterministic).
+    runnable: VecDeque<usize>,
+    /// Channel → lanes whose head RECEIVE waits for a claim on it.
+    waiters: FxHashMap<crate::activity::Channel, Vec<usize>>,
+    /// Directed channel → claim FIFO + staged-send census.
+    claims: FxHashMap<crate::activity::Channel, Claims>,
+    /// Staged activity count across lanes.
+    staged: usize,
+    /// Receives force-routed by the drift fallback (diagnostics; zero
+    /// on causally consistent input).
+    forced_routes: u64,
+    /// Receives discarded reader-side because their channel never
+    /// carries a traced send — precisely the ranker's `is_noise`
+    /// condition (no match in any `mmap`, no match in any buffer), so
+    /// they are dropped before ever being ranked.
+    noise_discards: u64,
+    /// First few noise victims, for diagnostics.
+    noise_samples: Vec<Activity>,
+}
+
+impl SessionRouter {
+    fn new(shards: u32) -> Self {
+        SessionRouter {
+            shards,
+            hasher: FxBuildHasher::default(),
+            lanes: Vec::new(),
+            by_ctx: FxHashMap::default(),
+            runnable: VecDeque::new(),
+            waiters: FxHashMap::default(),
+            claims: FxHashMap::default(),
+            staged: 0,
+            forced_routes: 0,
+            noise_discards: 0,
+            noise_samples: Vec::new(),
+        }
+    }
+
+    fn hash_to_shard<T: std::hash::Hash>(&self, key: &T) -> u32 {
+        use std::hash::BuildHasher;
+        jump_hash(self.hasher.hash_one(key), self.shards)
+    }
+
+    /// Stages one classified, filter-admitted activity on its entity's
+    /// lane. Small local-time inversions (e.g. concatenated per-CPU
+    /// buffers) are tolerated by insertion — O(1) for sorted input —
+    /// so callers can stage records in plain arrival order with no
+    /// grouping or sorting pass.
+    fn stage(&mut self, a: Activity) {
+        if a.ty == ActivityType::Send {
+            self.claims.entry(a.channel).or_default().staged += 1;
+        }
+        let lane = match self.by_ctx.get(&a.ctx) {
+            Some(&i) => i,
+            None => {
+                let i = self.lanes.len();
+                self.lanes.push(CtxLane {
+                    buf: VecDeque::new(),
+                    affinity: None,
+                    queued: false,
+                    waiting_on: None,
+                });
+                self.by_ctx.insert(a.ctx.clone(), i);
+                i
+            }
+        };
+        let buf = &mut self.lanes[lane].buf;
+        match buf.back() {
+            Some(last) if last.ts > a.ts => {
+                let pos = buf
+                    .iter()
+                    .rposition(|x| x.ts <= a.ts)
+                    .map(|p| p + 1)
+                    .unwrap_or(0);
+                buf.insert(pos, a);
+            }
+            _ => buf.push_back(a),
+        }
+        self.staged += 1;
+        if !self.lanes[lane].queued {
+            self.lanes[lane].queued = true;
+            self.runnable.push_back(lane);
+        }
+    }
+
+    fn wake(&mut self, channel: crate::activity::Channel) {
+        if self.waiters.is_empty() {
+            return;
+        }
+        if let Some(ws) = self.waiters.remove(&channel) {
+            for lane in ws {
+                // The registration is consumed; a re-defer must
+                // re-register.
+                self.lanes[lane].waiting_on = None;
+                if !self.lanes[lane].queued {
+                    self.lanes[lane].queued = true;
+                    self.runnable.push_back(lane);
+                }
+            }
+        }
+    }
+
+    /// Routes a SEND: session from the thread's affinity (noise chains
+    /// fall back to their channel's shard or hash), then claims the
+    /// channel's bytes for that shard.
+    fn route_send(&mut self, lane: usize, a: &Activity) -> u32 {
+        let s = match self.lanes[lane].affinity {
+            Some(s) => s,
+            // A send by an unclaimed thread opens a noise chain (or
+            // continues one on its connection).
+            None => match self.claims.get(&a.channel).and_then(|c| c.last) {
+                Some(s) => s,
+                None => self.hash_to_shard(&conn_key(a.channel.src, a.channel.dst)),
+            },
+        };
+        let c = self.claims.entry(a.channel).or_default();
+        c.staged -= 1;
+        c.queue.push_back((s, a.size.max(1)));
+        c.last = Some(s);
+        self.wake(a.channel);
+        s
+    }
+
+    /// Decides a RECEIVE against its channel's claim FIFO. Until input
+    /// ends, it resolves **only** when the claimed bytes fully cover it
+    /// — Rule 1's byte-exactness, mirrored: the remaining segments of
+    /// its message may simply not have arrived yet, and consuming a
+    /// half-present message would permanently shift the FIFO and hand
+    /// a later session's bytes to the wrong shard. With `final_input`,
+    /// partial coverage is consumed as-is (genuinely lost segments; the
+    /// engine counts the deformation the same way in every mode),
+    /// drained channels fall back to their last shard, and claimless
+    /// channels are noise.
+    fn decide_receive(&mut self, a: &Activity, final_input: bool) -> RecvDecision {
+        let Some(c) = self.claims.get_mut(&a.channel) else {
+            return if final_input {
+                RecvDecision::Noise
+            } else {
+                RecvDecision::Defer
+            };
+        };
+        let Some(&(front_shard, _)) = c.queue.front() else {
+            return if final_input && c.staged == 0 {
+                // Drained by byte drift; stay with the channel's shard
+                // (an entry with nothing staged has routed ≥ 1 send).
+                RecvDecision::Shard(c.last.unwrap_or(0))
+            } else {
+                RecvDecision::Defer
+            };
+        };
+        if a.size > c.queue.iter().map(|f| f.1).sum::<u64>() && (!final_input || c.staged > 0) {
+            // Partial coverage: the remaining segments either have not
+            // arrived yet or are staged on another lane and will route
+            // (waking this one). Consuming now would permanently shift
+            // the FIFO. Only when input is over AND no send is staged
+            // are the missing segments genuinely lost — then consume
+            // what exists, like the engine's forced-delivery path.
+            return RecvDecision::Defer;
+        }
+        let mut need = a.size;
+        while need > 0 {
+            match c.queue.front_mut() {
+                Some(f) if f.1 > need => {
+                    f.1 -= need;
+                    need = 0;
+                }
+                Some(f) => {
+                    need -= f.1;
+                    c.queue.pop_front();
+                }
+                None => break,
+            }
+        }
+        RecvDecision::Shard(front_shard)
+    }
+
+    /// Routes the lane's head activities until the lane empties or its
+    /// head must defer.
+    fn drain_lane(
+        &mut self,
+        lane: usize,
+        final_input: bool,
+        dispatch: &mut dyn FnMut(Activity, u32) -> Result<(), TraceError>,
+    ) -> Result<(), TraceError> {
+        while let Some(a) = self.lanes[lane].buf.pop_front() {
+            let shard = match a.ty {
+                // The session identity itself: the client endpoint at
+                // the access point (BEGIN: src is the client; END: dst).
+                ActivityType::Begin => self.hash_to_shard(&a.channel.src),
+                ActivityType::End => self.hash_to_shard(&a.channel.dst),
+                ActivityType::Send => self.route_send(lane, &a),
+                ActivityType::Receive => match self.decide_receive(&a, final_input) {
+                    RecvDecision::Shard(s) => s,
+                    RecvDecision::Defer => {
+                        // The claiming send is staged (or may still
+                        // arrive): wait for it. Register once per
+                        // channel — wake→re-defer cycles must not grow
+                        // the waiter list.
+                        if self.lanes[lane].waiting_on != Some(a.channel) {
+                            self.waiters.entry(a.channel).or_default().push(lane);
+                            self.lanes[lane].waiting_on = Some(a.channel);
+                        }
+                        self.lanes[lane].buf.push_front(a);
+                        return Ok(());
+                    }
+                    RecvDecision::Noise => {
+                        // Discarded before dispatch; the entity's
+                        // session affinity stays untouched, like the
+                        // engine's `cmap` would be.
+                        self.staged -= 1;
+                        self.noise_discards += 1;
+                        if self.noise_samples.len() < NOISE_SAMPLE_CAP {
+                            self.noise_samples.push(a);
+                        }
+                        continue;
+                    }
+                },
+            };
+            self.staged -= 1;
+            self.lanes[lane].affinity = Some(shard);
+            dispatch(a, shard)?;
+        }
+        Ok(())
+    }
+
+    /// Routes every currently routable staged activity, calling
+    /// `dispatch` for each `(activity, shard)` in a deterministic,
+    /// input-order-driven schedule. With `final_input`, remaining
+    /// deferred receives are settled (noise discarded; byte-drift
+    /// leftovers routed to their channel's shard), so the staging area
+    /// fully drains.
+    fn pump(
+        &mut self,
+        final_input: bool,
+        dispatch: &mut dyn FnMut(Activity, u32) -> Result<(), TraceError>,
+    ) -> Result<(), TraceError> {
+        if final_input {
+            // Lanes that deferred mid-stream are waiting on claims that
+            // may never come; with input closed they must all re-decide
+            // under final semantics (noise discard, drift fallback).
+            for lane in 0..self.lanes.len() {
+                if !self.lanes[lane].buf.is_empty() && !self.lanes[lane].queued {
+                    self.lanes[lane].queued = true;
+                    self.runnable.push_back(lane);
+                }
+            }
+        }
+        loop {
+            while let Some(lane) = self.runnable.pop_front() {
+                self.lanes[lane].queued = false;
+                self.drain_lane(lane, final_input, dispatch)?;
+            }
+            if !final_input || self.staged == 0 {
+                return Ok(());
+            }
+            // Input is complete yet a lane still waits: only possible
+            // when byte drift detached a receive from its claim (the
+            // causal send→receive graph itself is acyclic). Force the
+            // first such head onto its channel's shard and resume.
+            let Some(lane) = (0..self.lanes.len()).find(|&l| !self.lanes[l].buf.is_empty()) else {
+                return Ok(());
+            };
+            let a = self.lanes[lane].buf.pop_front().expect("nonempty");
+            self.staged -= 1;
+            self.forced_routes += 1;
+            let shard = match a.ty {
+                ActivityType::Send => self.route_send(lane, &a),
+                _ => match self.claims.get(&a.channel).and_then(|c| c.last) {
+                    Some(s) => s,
+                    None => self.hash_to_shard(&conn_key(a.channel.src, a.channel.dst)),
+                },
+            };
+            self.lanes[lane].affinity = Some(shard);
+            dispatch(a, shard)?;
+            if !self.lanes[lane].buf.is_empty() && !self.lanes[lane].queued {
+                self.lanes[lane].queued = true;
+                self.runnable.push_back(lane);
+            }
+        }
+    }
+}
+
+/// The sharded parallel correlation pipeline. See the module docs for
+/// the architecture and the output-order contract.
+///
+/// # Examples
+///
+/// ```
+/// use tracer_core::prelude::*;
+///
+/// # fn main() -> Result<(), TraceError> {
+/// let access = AccessPointSpec::new([80], ["10.0.0.1".parse().unwrap()]);
+/// let log = "\
+/// 1000 web httpd 7 7 RECEIVE 192.168.0.9:5000-10.0.0.1:80 120
+/// 2000 web httpd 7 7 SEND 10.0.0.1:80-192.168.0.9:5000 512
+/// ";
+/// let out = ShardedCorrelator::correlate_text(CorrelatorConfig::new(access), 4, log)?;
+/// assert_eq!(out.cags.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ShardedCorrelator {
+    classifier: Classifier,
+    filters: FilterSet,
+    interner: Interner,
+    router: SessionRouter,
+    /// Per-shard batch under construction.
+    pending: Vec<Vec<Activity>>,
+    txs: Vec<SyncSender<Vec<Activity>>>,
+    workers: Vec<JoinHandle<Result<CorrelationOutput, TraceError>>>,
+    records_in: u64,
+    filtered_out: u64,
+    started: Instant,
+    finished: bool,
+}
+
+impl ShardedCorrelator {
+    /// Spawns `shards` correlation workers (`0` = auto from
+    /// [`std::thread::available_parallelism`], capped at 16).
+    ///
+    /// A configured [`CorrelatorConfig::memory_budget`] is split evenly
+    /// across the shards, so the configured total still bounds the
+    /// pipeline's resident correlation state.
+    ///
+    /// # Errors
+    ///
+    /// Returns a configuration error when [`CorrelatorConfig::validate`]
+    /// fails.
+    pub fn new(config: CorrelatorConfig, shards: usize) -> Result<Self, TraceError> {
+        config.validate()?;
+        if shards > MAX_SHARDS {
+            return Err(TraceError::config(format!(
+                "shard count {shards} exceeds the maximum of {MAX_SHARDS}"
+            )));
+        }
+        let n = match shards {
+            0 => std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+                .min(AUTO_SHARD_CAP),
+            n => n,
+        };
+        let classifier = Classifier::new(config.access.clone());
+        let filters = config.filters.clone();
+        // Workers receive pre-classified, pre-filtered activities; the
+        // shared budget splits across them.
+        let mut shard_cfg = config;
+        shard_cfg.filters = FilterSet::new();
+        if let Some(b) = shard_cfg.memory_budget {
+            shard_cfg.memory_budget = Some((b / n).max(1));
+        }
+        let mut txs = Vec::with_capacity(n);
+        let mut workers = Vec::with_capacity(n);
+        for _ in 0..n {
+            // Direct delivery: the router already performed candidate
+            // selection (causal order, Rule-1 byte coverage, noise
+            // removal), so workers run the engine without re-ranking.
+            let sc = StreamingCorrelator::direct_for_activities(shard_cfg.clone())?;
+            let (tx, rx): (SyncSender<Vec<Activity>>, Receiver<Vec<Activity>>) =
+                sync_channel(CHANNEL_BATCHES);
+            txs.push(tx);
+            workers.push(std::thread::spawn(move || Self::worker(sc, rx)));
+        }
+        Ok(ShardedCorrelator {
+            classifier,
+            filters,
+            interner: Interner::new(),
+            router: SessionRouter::new(n as u32),
+            pending: vec![Vec::with_capacity(BATCH_RECORDS); n],
+            txs,
+            workers,
+            records_in: 0,
+            filtered_out: 0,
+            started: Instant::now(),
+            finished: false,
+        })
+    }
+
+    /// One shard's drain loop: correlate batches as they arrive,
+    /// stream sealed CAGs out, finish when the reader hangs up.
+    fn worker(
+        mut sc: StreamingCorrelator,
+        rx: Receiver<Vec<Activity>>,
+    ) -> Result<CorrelationOutput, TraceError> {
+        let mut cags = Vec::new();
+        for batch in rx {
+            for a in batch {
+                sc.push_activity(a)?;
+            }
+            cags.extend(sc.poll()?);
+        }
+        let mut out = sc.finish()?;
+        cags.append(&mut out.cags);
+        out.cags = cags;
+        Ok(out)
+    }
+
+    /// Number of shard workers.
+    pub fn shards(&self) -> usize {
+        self.txs.len()
+    }
+
+    fn guard(&self) -> Result<(), TraceError> {
+        if self.finished {
+            Err(TraceError::Finished)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Stages one activity and routes everything currently routable to
+    /// the workers. `final_input` additionally breaks stuck states so
+    /// the staging area fully drains.
+    fn pump_router(&mut self, final_input: bool) -> Result<(), TraceError> {
+        let ShardedCorrelator {
+            router,
+            pending,
+            txs,
+            ..
+        } = self;
+        let mut dispatch = |a: Activity, shard: u32| -> Result<(), TraceError> {
+            let shard = shard as usize;
+            pending[shard].push(a);
+            if pending[shard].len() >= BATCH_RECORDS {
+                let batch =
+                    std::mem::replace(&mut pending[shard], Vec::with_capacity(BATCH_RECORDS));
+                txs[shard]
+                    .send(batch)
+                    .map_err(|_| TraceError::config("shard worker terminated unexpectedly"))?;
+            }
+            Ok(())
+        };
+        router.pump(final_input, &mut dispatch)
+    }
+
+    fn flush_shard(&mut self, shard: usize) -> Result<(), TraceError> {
+        if self.pending[shard].is_empty() {
+            return Ok(());
+        }
+        let batch = std::mem::replace(&mut self.pending[shard], Vec::with_capacity(BATCH_RECORDS));
+        self.txs[shard]
+            .send(batch)
+            .map_err(|_| TraceError::config("shard worker terminated unexpectedly"))
+    }
+
+    /// Classifies, filters and stages one record without routing yet.
+    fn ingest(&mut self, rec: RawRecord) {
+        self.records_in += 1;
+        let act = self.classifier.classify(&rec);
+        if !self.filters.admits(&act) {
+            self.filtered_out += 1;
+            return;
+        }
+        self.router.stage(act);
+    }
+
+    /// Routes one owned raw record into the pipeline, streaming
+    /// everything currently routable to the workers.
+    ///
+    /// Records of one host must arrive in local-timestamp order (small
+    /// inversions are re-sorted, like the ranker's staging queues);
+    /// cross-host interleaving is free. For wholly unordered input use
+    /// [`Self::correlate`], which stages the complete set first.
+    ///
+    /// Mid-stream, a RECEIVE whose channel has no known send yet
+    /// defers inside the router — including untraced-peer noise, which
+    /// is only settled (discarded) at [`Self::finish`] because a
+    /// not-yet-arrived send is indistinguishable from one that never
+    /// existed. An endless noisy stream therefore grows router state
+    /// behind such heads; bounding that with an age-based settle rule
+    /// is a tracked follow-up (see ROADMAP "Sharded streaming
+    /// endurance").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Finished`] after [`Self::finish`], or a
+    /// configuration error when a shard worker died.
+    pub fn push(&mut self, rec: RawRecord) -> Result<(), TraceError> {
+        self.guard()?;
+        self.ingest(rec);
+        self.pump_router(false)
+    }
+
+    /// Parses and routes one TCP_TRACE log line through the zero-copy
+    /// ingest path: the record is filtered before any allocation and
+    /// its strings are interned.
+    ///
+    /// # Errors
+    ///
+    /// Returns a parse error for a malformed line, and
+    /// [`TraceError::Finished`] after [`Self::finish`].
+    pub fn push_line(&mut self, line: &str) -> Result<(), TraceError> {
+        self.guard()?;
+        let r = RawRecordRef::parse_line(line)?;
+        self.push_ref(&r)
+    }
+
+    /// Zero-copy counterpart of [`Self::ingest`]: filters the borrowed
+    /// record before any allocation, then interns and stages it.
+    fn stage_ref(&mut self, r: &RawRecordRef<'_>) {
+        self.records_in += 1;
+        if !self.filters.admits_raw(r) {
+            self.filtered_out += 1;
+            return;
+        }
+        let act = self.classifier.classify_ref(r, &mut self.interner);
+        self.router.stage(act);
+    }
+
+    fn push_ref(&mut self, r: &RawRecordRef<'_>) -> Result<(), TraceError> {
+        self.stage_ref(r);
+        self.pump_router(false)
+    }
+
+    /// Flushes all partial batches to the workers (they keep
+    /// correlating; use before a lull to bound shard input latency).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Finished`] after [`Self::finish`].
+    pub fn flush(&mut self) -> Result<(), TraceError> {
+        self.guard()?;
+        for shard in 0..self.pending.len() {
+            self.flush_shard(shard)?;
+        }
+        Ok(())
+    }
+
+    /// Closes the pipeline: flushes every batch, joins the workers and
+    /// merges their outputs into the canonical deterministic order (see
+    /// the module docs). The correlator is spent afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Finished`] when called twice and a
+    /// configuration error when a worker panicked.
+    pub fn finish(&mut self) -> Result<CorrelationOutput, TraceError> {
+        self.guard()?;
+        // Drain the router completely: with input closed, deferred
+        // receives resolve, stuck states break by promotion.
+        self.pump_router(true)?;
+        for shard in 0..self.pending.len() {
+            self.flush_shard(shard)?;
+        }
+        self.finished = true;
+        // Hang up: workers drain their queues and finish.
+        self.txs.clear();
+        let mut outputs = Vec::with_capacity(self.workers.len());
+        for handle in self.workers.drain(..) {
+            let out = handle
+                .join()
+                .map_err(|_| TraceError::config("shard worker panicked"))??;
+            outputs.push(out);
+        }
+        Ok(self.merge(outputs))
+    }
+
+    /// Canonical deterministic merge: the union of all shards' CAGs,
+    /// finished and unfinished alike, sorted by their root BEGIN
+    /// (timestamp, context, channel) and renumbered sequentially — the
+    /// same id a single-shard run assigns on single-frontend-host logs,
+    /// where BEGIN delivery order is BEGIN timestamp order.
+    fn merge(&mut self, outputs: Vec<CorrelationOutput>) -> CorrelationOutput {
+        let mut all: Vec<Cag> = Vec::new();
+        let mut metrics = CorrelatorMetrics {
+            records_in: self.records_in,
+            filtered_out: self.filtered_out,
+            ..CorrelatorMetrics::default()
+        };
+        // Reader-side noise discards join the ranker count so the
+        // merged total matches a single-shard run.
+        metrics.ranker.noise_discards = self.router.noise_discards;
+        let mut noise_samples = std::mem::take(&mut self.router.noise_samples);
+        for mut out in outputs {
+            all.append(&mut out.cags);
+            all.append(&mut out.unfinished);
+            // The reader already counted raw records and filter drops;
+            // worker-side records_in would double-count the survivors.
+            out.metrics.records_in = 0;
+            out.metrics.filtered_out = 0;
+            metrics.absorb(&out.metrics);
+            noise_samples.append(&mut out.noise_samples);
+            noise_samples.truncate(NOISE_SAMPLE_CAP);
+        }
+        all.sort_by(|a, b| {
+            let key = |c: &Cag| {
+                let r = &c.vertices[0];
+                (r.ts, r.ctx.clone(), r.channel, r.size, c.vertices.len())
+            };
+            key(a).cmp(&key(b))
+        });
+        let mut cags = Vec::with_capacity(all.len());
+        let mut unfinished = Vec::new();
+        for (i, mut cag) in all.into_iter().enumerate() {
+            cag.id = i as u64;
+            if cag.finished {
+                cags.push(cag);
+            } else {
+                unfinished.push(cag);
+            }
+        }
+        metrics.wall = self.started.elapsed();
+        CorrelationOutput {
+            cags,
+            unfinished,
+            metrics,
+            noise_samples,
+        }
+    }
+
+    /// Batch convenience: correlates a complete record set through the
+    /// sharded pipeline. Records may arrive in **any** order: the whole
+    /// set is staged first (the router's per-entity lanes re-sort it by
+    /// local time, like the batch drain's per-node sort), then routed
+    /// in one pass that overlaps the workers' correlation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a configuration error when the config is invalid.
+    pub fn correlate(
+        config: CorrelatorConfig,
+        shards: usize,
+        records: Vec<RawRecord>,
+    ) -> Result<CorrelationOutput, TraceError> {
+        let mut sc = ShardedCorrelator::new(config, shards)?;
+        for rec in records {
+            sc.ingest(rec);
+        }
+        sc.finish()
+    }
+
+    /// Batch convenience over a TCP_TRACE text log through the
+    /// zero-copy ingest path: records are parsed borrowed, filtered
+    /// before allocation, interned and staged; the routing pass then
+    /// streams them to the shards, which correlate while the router
+    /// keeps routing.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first parse error, or a configuration error.
+    pub fn correlate_text(
+        config: CorrelatorConfig,
+        shards: usize,
+        text: &str,
+    ) -> Result<CorrelationOutput, TraceError> {
+        let mut sc = ShardedCorrelator::new(config, shards)?;
+        for r in parse_log_iter(text) {
+            sc.stage_ref(&r?);
+        }
+        sc.finish()
+    }
+}
+
+/// Routing introspection for diagnostics and tests: runs only the
+/// reader-side router over a complete record set (grouped/sorted like
+/// [`ShardedCorrelator::correlate`]) and returns each activity with its
+/// shard assignment, in dispatch order.
+#[doc(hidden)]
+pub fn route_records(
+    config: &CorrelatorConfig,
+    shards: usize,
+    records: Vec<RawRecord>,
+) -> Result<Vec<(Activity, u32)>, TraceError> {
+    config.validate()?;
+    let classifier = Classifier::new(config.access.clone());
+    let filters = config.filters.clone();
+    let mut router = SessionRouter::new(shards.max(1) as u32);
+    let mut out = Vec::new();
+    let mut dispatch = |a: Activity, shard: u32| -> Result<(), TraceError> {
+        out.push((a, shard));
+        Ok(())
+    };
+    for rec in records {
+        let act = classifier.classify(&rec);
+        if filters.admits(&act) {
+            router.stage(act);
+        }
+    }
+    router.pump(true, &mut dispatch)?;
+    Ok(out)
+}
+
+/// Like [`route_records`] but pumping after every record, mirroring the
+/// streaming `push` flow. For per-host-ordered input it must produce
+/// identical assignments.
+#[doc(hidden)]
+pub fn route_records_streaming(
+    config: &CorrelatorConfig,
+    shards: usize,
+    records: Vec<RawRecord>,
+) -> Result<Vec<(Activity, u32)>, TraceError> {
+    config.validate()?;
+    let classifier = Classifier::new(config.access.clone());
+    let filters = config.filters.clone();
+    let mut router = SessionRouter::new(shards.max(1) as u32);
+    let mut out = Vec::new();
+    let mut dispatch = |a: Activity, shard: u32| -> Result<(), TraceError> {
+        out.push((a, shard));
+        Ok(())
+    };
+    for rec in records {
+        let act = classifier.classify(&rec);
+        if filters.admits(&act) {
+            router.stage(act);
+            router.pump(false, &mut dispatch)?;
+        }
+    }
+    router.pump(true, &mut dispatch)?;
+    Ok(out)
+}
+
+impl Drop for ShardedCorrelator {
+    fn drop(&mut self) {
+        // Hang up so abandoned workers terminate instead of blocking
+        // forever on their receive loops.
+        self.txs.clear();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::AccessPointSpec;
+    use crate::correlator::Correlator;
+    use crate::raw::parse_log;
+
+    fn access() -> AccessPointSpec {
+        AccessPointSpec::new(
+            [80],
+            [
+                "10.0.0.1".parse().unwrap(),
+                "10.0.0.2".parse().unwrap(),
+                "10.0.0.3".parse().unwrap(),
+            ],
+        )
+    }
+
+    /// Two interleaved three-tier requests from different clients plus
+    /// untraced-peer noise.
+    fn two_session_log() -> String {
+        let mut log = String::new();
+        for (client, base) in [("192.168.0.9:5000", 0u64), ("192.168.0.10:6000", 300)] {
+            let port = 4001 + base;
+            for line in [
+                format!(
+                    "{} web httpd 7 {} RECEIVE {client}-10.0.0.1:80 120",
+                    1000 + base,
+                    7 + base
+                ),
+                format!(
+                    "{} web httpd 7 {} SEND 10.0.0.1:{port}-10.0.0.2:8009 64",
+                    2000 + base,
+                    7 + base
+                ),
+                format!(
+                    "{} app java 9 {} RECEIVE 10.0.0.1:{port}-10.0.0.2:8009 64",
+                    500900 + base,
+                    21 + base
+                ),
+                format!(
+                    "{} app java 9 {} SEND 10.0.0.2:8009-10.0.0.1:{port} 256",
+                    504000 + base,
+                    21 + base
+                ),
+                format!(
+                    "{} web httpd 7 {} RECEIVE 10.0.0.2:8009-10.0.0.1:{port} 256",
+                    4500 + base,
+                    7 + base
+                ),
+                format!(
+                    "{} web httpd 7 {} SEND 10.0.0.1:80-{client} 512",
+                    5000 + base,
+                    7 + base
+                ),
+            ] {
+                log.push_str(&line);
+                log.push('\n');
+            }
+        }
+        log.push_str("902000 db mysqld 5 77 RECEIVE 172.16.9.9:6000-10.0.0.3:3306 48\n");
+        log.push_str("902500 db mysqld 5 77 SEND 10.0.0.3:3306-172.16.9.9:6000 99\n");
+        log
+    }
+
+    /// Content fingerprint that ignores stream order and ids.
+    fn fingerprint(out: &CorrelationOutput) -> Vec<String> {
+        let mut v: Vec<String> = out
+            .cags
+            .iter()
+            .map(|c| {
+                format!(
+                    "{:?}|{}",
+                    c.sorted_tags(),
+                    c.vertices
+                        .iter()
+                        .map(|x| format!(
+                            "{} {} {} {} {:?} {:?};",
+                            x.ty, x.ts, x.channel, x.size, x.ctx_parent, x.msg_parent
+                        ))
+                        .collect::<String>()
+                )
+            })
+            .collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn sharded_matches_batch_content_for_any_shard_count() {
+        let log = two_session_log();
+        let records = parse_log(&log).unwrap();
+        let batch = Correlator::new(CorrelatorConfig::new(access()))
+            .correlate(records.clone())
+            .unwrap();
+        for shards in [1, 2, 3, 4, 8] {
+            let out = ShardedCorrelator::correlate(
+                CorrelatorConfig::new(access()),
+                shards,
+                records.clone(),
+            )
+            .unwrap();
+            assert_eq!(out.cags.len(), batch.cags.len(), "shards={shards}");
+            assert_eq!(fingerprint(&out), fingerprint(&batch), "shards={shards}");
+            assert_eq!(out.metrics.records_in, batch.metrics.records_in);
+            assert_eq!(out.metrics.cags_finished, batch.metrics.cags_finished);
+            assert_eq!(
+                out.metrics.ranker.noise_discards,
+                batch.metrics.ranker.noise_discards
+            );
+            // Canonical order: ids are sequential in stream order.
+            let ids: Vec<u64> = out.cags.iter().map(|c| c.id).collect();
+            let mut sorted = ids.clone();
+            sorted.sort_unstable();
+            assert_eq!(ids, sorted, "shards={shards}");
+            for cag in &out.cags {
+                cag.validate().expect("valid sharded CAG");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_count_does_not_change_bytes() {
+        let log = two_session_log();
+        let base =
+            ShardedCorrelator::correlate_text(CorrelatorConfig::new(access()), 1, &log).unwrap();
+        for shards in [2, 4, 7] {
+            let out =
+                ShardedCorrelator::correlate_text(CorrelatorConfig::new(access()), shards, &log)
+                    .unwrap();
+            assert_eq!(
+                format!("{:?}", out.cags),
+                format!("{:?}", base.cags),
+                "shards={shards}"
+            );
+            assert_eq!(out.unfinished.len(), base.unfinished.len());
+        }
+    }
+
+    #[test]
+    fn text_and_record_ingest_agree() {
+        let log = two_session_log();
+        let records = parse_log(&log).unwrap();
+        let a =
+            ShardedCorrelator::correlate_text(CorrelatorConfig::new(access()), 3, &log).unwrap();
+        let b = ShardedCorrelator::correlate(CorrelatorConfig::new(access()), 3, records).unwrap();
+        assert_eq!(format!("{:?}", a.cags), format!("{:?}", b.cags));
+        assert_eq!(a.metrics.records_in, b.metrics.records_in);
+    }
+
+    #[test]
+    fn filters_apply_in_the_reader() {
+        let mut log = two_session_log();
+        log.push_str("600 web sshd 99 99 RECEIVE 172.16.9.9:7000-10.0.0.1:22 500\n");
+        let cfg =
+            CorrelatorConfig::new(access()).with_filters(FilterSet::new().drop_program("sshd"));
+        let out = ShardedCorrelator::correlate_text(cfg, 4, &log).unwrap();
+        assert_eq!(out.metrics.filtered_out, 1);
+        assert_eq!(out.cags.len(), 2);
+    }
+
+    #[test]
+    fn api_after_finish_returns_finished_error() {
+        let mut sc = ShardedCorrelator::new(CorrelatorConfig::new(access()), 2).unwrap();
+        sc.push_line("1000 web httpd 7 7 RECEIVE 192.168.0.9:5000-10.0.0.1:80 120")
+            .unwrap();
+        let out = sc.finish().unwrap();
+        assert_eq!(out.metrics.records_in, 1);
+        assert_eq!(out.unfinished.len(), 1);
+        let rec: RawRecord = "2000 web httpd 7 7 SEND 10.0.0.1:80-192.168.0.9:5000 512"
+            .parse()
+            .unwrap();
+        assert_eq!(sc.push(rec), Err(TraceError::Finished));
+        assert_eq!(sc.flush(), Err(TraceError::Finished));
+        assert!(matches!(sc.finish(), Err(TraceError::Finished)));
+    }
+
+    #[test]
+    fn zero_shards_resolves_to_auto() {
+        let sc = ShardedCorrelator::new(CorrelatorConfig::new(access()), 0).unwrap();
+        assert!(sc.shards() >= 1);
+        assert!(sc.shards() <= AUTO_SHARD_CAP);
+    }
+
+    fn fmt_routed(v: &[(Activity, u32)]) -> Vec<String> {
+        let mut s: Vec<String> = v.iter().map(|(a, sh)| format!("{a} -> {sh}")).collect();
+        s.sort();
+        s
+    }
+
+    #[test]
+    fn routing_is_independent_of_pump_interleaving() {
+        // The routing contract: for per-host-ordered input, assignments
+        // are a pure function of the per-entity sequences and
+        // per-channel claim FIFOs — staging everything before one
+        // final pump and pumping after every record must produce
+        // identical (activity, shard) streams.
+        let log = two_session_log();
+        let config = CorrelatorConfig::new(access());
+        let records = parse_log(&log).unwrap();
+        let batch = route_records(&config, 4, records.clone()).unwrap();
+        let streaming = route_records_streaming(&config, 4, records).unwrap();
+        assert_eq!(fmt_routed(&batch), fmt_routed(&streaming));
+    }
+
+    #[test]
+    fn stage_all_routing_absorbs_arbitrary_input_order() {
+        // The batch entry point stages the complete set first, so even
+        // fully reversed input (every lane built by insertion sort)
+        // routes identically to the in-order run.
+        let log = two_session_log();
+        let config = CorrelatorConfig::new(access());
+        let records = parse_log(&log).unwrap();
+        let in_order = route_records(&config, 4, records.clone()).unwrap();
+        let mut reversed = records;
+        reversed.reverse();
+        let rev = route_records(&config, 4, reversed).unwrap();
+        assert_eq!(fmt_routed(&in_order), fmt_routed(&rev));
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_before_spawning() {
+        let cfg = CorrelatorConfig::new(AccessPointSpec::default());
+        assert!(ShardedCorrelator::new(cfg, 4).is_err());
+    }
+
+    #[test]
+    fn jump_hash_is_stable_and_in_range() {
+        for key in 0..200u64 {
+            let b4 = jump_hash(key, 4);
+            let b5 = jump_hash(key, 5);
+            assert!(b4 < 4);
+            assert!(b5 < 5);
+            // Consistency: growing the shard count either keeps the
+            // bucket or moves the key to the new bucket range.
+            if b5 != b4 {
+                assert_eq!(b5, 4, "key {key} moved to an old bucket");
+            }
+        }
+        assert_eq!(jump_hash(42, 1), 0);
+    }
+
+    #[test]
+    fn memory_budget_splits_across_shards() {
+        // A tiny budget still bounds each shard; evictions are counted
+        // in the merged metrics.
+        let access = AccessPointSpec::new([80], ["10.0.0.1".parse().unwrap()]);
+        let mut cfg = CorrelatorConfig::new(access).with_memory_budget(16 * 1024);
+        cfg.mem_sample_every = 8;
+        let mut sc = ShardedCorrelator::new(cfg, 2).unwrap();
+        for i in 0..4_000u64 {
+            sc.push(
+                format!(
+                    "{} web httpd 7 7 RECEIVE 192.168.0.9:{}-10.0.0.1:80 100",
+                    i * 1_000_000,
+                    5_000 + (i % 50_000),
+                )
+                .parse()
+                .unwrap(),
+            )
+            .unwrap();
+        }
+        let out = sc.finish().unwrap();
+        assert!(out.metrics.engine.budget_evicted_cags > 0);
+        assert_eq!(
+            out.metrics.cags_unfinished,
+            out.unfinished.len() as u64 + out.metrics.engine.budget_evicted_cags
+        );
+    }
+}

@@ -63,54 +63,114 @@ CORRELATION OPTIONS:
                        overrides --window-ms
   --memory-budget B    resident-memory budget in bytes (suffixes k/m/g);
                        stalest unfinished paths are evicted beyond it
+  --shards N           correlate through the sharded parallel pipeline
+                       with N worker threads (0 = one per CPU core);
+                       output is in canonical root order, identical for
+                       every shard count (unless --max-seal-lag is set)
+  --max-seal-lag N     force-seal finished paths after N further
+                       candidates so streaming emission meets an SLO
+                       even under keep-alive lulls; with --shards the
+                       bound is per-shard, so results may vary with the
+                       shard count (still deterministic for a fixed N)
 
-The log format is the paper's TCP_TRACE text format:
+Flags may appear before or after positional arguments; unknown flags
+are rejected. The log format is the paper's TCP_TRACE text format:
   timestamp hostname program pid tid SEND|RECEIVE sip:sport-dip:dport size";
 
-/// Pulls `--name value` out of an argument list.
-fn opt(args: &[String], name: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
+/// A uniformly parsed argument list: positionals in order, `--name
+/// value` options, and boolean switches — position-independent, with
+/// unknown flags rejected up front.
+struct ParsedArgs {
+    positionals: Vec<String>,
+    options: std::collections::HashMap<&'static str, String>,
+    switches: std::collections::HashSet<&'static str>,
 }
 
-fn flag(args: &[String], name: &str) -> bool {
-    args.iter().any(|a| a == name)
+impl ParsedArgs {
+    /// Parses `args` against the allowed option/switch names.
+    fn parse(
+        args: &[String],
+        value_opts: &[&'static str],
+        bool_opts: &[&'static str],
+    ) -> Result<ParsedArgs, String> {
+        let mut parsed = ParsedArgs {
+            positionals: Vec::new(),
+            options: std::collections::HashMap::new(),
+            switches: std::collections::HashSet::new(),
+        };
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            if let Some(name) = value_opts.iter().find(|n| **n == a.as_str()) {
+                let v = it
+                    .next()
+                    .ok_or_else(|| format!("missing value for {name}"))?;
+                parsed.options.insert(name, v.clone());
+            } else if let Some(name) = bool_opts.iter().find(|n| **n == a.as_str()) {
+                parsed.switches.insert(name);
+            } else if a.starts_with("--") {
+                return Err(format!("unknown flag {a:?}\n{USAGE}"));
+            } else {
+                parsed.positionals.push(a.clone());
+            }
+        }
+        Ok(parsed)
+    }
+
+    fn opt(&self, name: &str) -> Option<&String> {
+        self.options.get(name)
+    }
+
+    fn flag(&self, name: &str) -> bool {
+        self.switches.contains(name)
+    }
+
+    fn positional(&self, n: usize) -> Option<&String> {
+        self.positionals.get(n)
+    }
+
+    /// Parses option `name` with `parse::<T>`, reporting it by name.
+    fn parse_opt<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, String> {
+        match self.opt(name) {
+            None => Ok(None),
+            Some(v) => v.parse().map(Some).map_err(|_| format!("bad {name}")),
+        }
+    }
 }
 
-fn positional(args: &[String], n: usize) -> Option<&String> {
-    args.iter()
-        .enumerate()
-        .filter(|(i, a)| {
-            !a.starts_with("--")
-                && (*i == 0 || !args[i - 1].starts_with("--") || flag_like(&args[i - 1]))
-        })
-        .map(|(_, a)| a)
-        .nth(n)
-}
+/// The correlation options shared by `correlate`, `patterns` and
+/// `diff`; `--dot` is patterns-only so the other subcommands reject it
+/// instead of silently ignoring it.
+const CORRELATE_VALUE_OPTS: &[&str] = &[
+    "--port",
+    "--internal",
+    "--window-ms",
+    "--memory-budget",
+    "--shards",
+    "--max-seal-lag",
+];
+const PATTERNS_VALUE_OPTS: &[&str] = &[
+    "--port",
+    "--internal",
+    "--window-ms",
+    "--memory-budget",
+    "--shards",
+    "--max-seal-lag",
+    "--dot",
+];
+const CORRELATE_BOOL_OPTS: &[&str] = &["--adaptive-window"];
 
-fn flag_like(a: &str) -> bool {
-    matches!(a, "--noise" | "--adaptive-window")
-}
-
-fn access_from(args: &[String]) -> Result<AccessPointSpec, String> {
-    let port: u16 = opt(args, "--port")
-        .ok_or("missing --port")?
-        .parse()
-        .map_err(|_| "bad --port")?;
-    let internal = opt(args, "--internal").ok_or("missing --internal")?;
+fn access_from(args: &ParsedArgs) -> Result<AccessPointSpec, String> {
+    let port: u16 = args.parse_opt("--port")?.ok_or("missing --port")?;
+    let internal = args.opt("--internal").ok_or("missing --internal")?;
     let ips: Result<Vec<Ipv4Addr>, _> = internal.split(',').map(str::parse).collect();
     let ips = ips.map_err(|_| "bad --internal list")?;
     Ok(AccessPointSpec::new([port], ips))
 }
 
-fn window_from(args: &[String]) -> Result<Nanos, String> {
-    let ms: u64 = opt(args, "--window-ms")
-        .unwrap_or_else(|| "10".into())
-        .parse()
-        .map_err(|_| "bad --window-ms")?;
-    Ok(Nanos::from_millis(ms))
+fn window_from(args: &ParsedArgs) -> Result<Nanos, String> {
+    Ok(Nanos::from_millis(
+        args.parse_opt("--window-ms")?.unwrap_or(10),
+    ))
 }
 
 /// Parses a byte count with optional k/m/g suffix (powers of 1024).
@@ -134,51 +194,66 @@ fn parse_bytes(s: &str) -> Result<usize, String> {
         .ok_or_else(|| format!("bad --memory-budget {s:?}"))
 }
 
-fn load(path: &str) -> Result<Vec<RawRecord>, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    parse_log(&text).map_err(|e| format!("{path}: {e}"))
-}
-
 fn correlate_file(
     path: &str,
-    args: &[String],
+    args: &ParsedArgs,
 ) -> Result<(CorrelationOutput, AccessPointSpec), String> {
+    // Validate every flag before touching the filesystem, so a bad
+    // flag is always reported by name.
     let access = access_from(args)?;
     let window = window_from(args)?;
-    let records = load(path)?;
     let mut config = CorrelatorConfig::new(access.clone()).with_window(window);
-    if flag(args, "--adaptive-window") {
+    if args.flag("--adaptive-window") {
         config = config.with_adaptive_window();
     }
-    if let Some(budget) = opt(args, "--memory-budget") {
-        config = config.with_memory_budget(parse_bytes(&budget)?);
+    if let Some(budget) = args.opt("--memory-budget") {
+        config = config.with_memory_budget(parse_bytes(budget)?);
     }
-    let out = Correlator::new(config)
-        .correlate(records)
-        .map_err(|e| e.to_string())?;
+    if let Some(lag) = args.parse_opt::<u64>("--max-seal-lag")? {
+        config = config.with_max_seal_lag(lag);
+    }
+    let shards = args.parse_opt::<usize>("--shards")?;
+    if shards.is_some() && (args.flag("--adaptive-window") || args.opt("--window-ms").is_some()) {
+        // The sharded router sequences by causal claims, not by a
+        // sliding time window; workers deliver directly to engines.
+        eprintln!(
+            "note: --shards does not use the sliding window; \
+             --window-ms/--adaptive-window only affect single-instance mode"
+        );
+    }
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let out = match shards {
+        // The sharded parallel pipeline ingests the text zero-copy and
+        // emits canonical root order (same bytes for any shard count).
+        Some(shards) => ShardedCorrelator::correlate_text(config, shards, &text)
+            .map_err(|e| format!("{path}: {e}"))?,
+        None => {
+            let records = parse_log(&text).map_err(|e| format!("{path}: {e}"))?;
+            Correlator::new(config)
+                .correlate(records)
+                .map_err(|e| e.to_string())?
+        }
+    };
     Ok((out, access))
 }
 
-fn simulate(args: &[String]) -> Result<(), String> {
-    let clients: usize = opt(args, "--clients")
-        .ok_or("missing --clients")?
-        .parse()
-        .map_err(|_| "bad --clients")?;
-    let seconds: u64 = opt(args, "--seconds")
-        .unwrap_or_else(|| "30".into())
-        .parse()
-        .map_err(|_| "bad --seconds")?;
-    let out_path = opt(args, "--out").ok_or("missing --out")?;
+fn simulate(raw: &[String]) -> Result<(), String> {
+    let args = ParsedArgs::parse(
+        raw,
+        &["--clients", "--seconds", "--seed", "--skew-ms", "--out"],
+        &["--noise"],
+    )?;
+    let clients: usize = args.parse_opt("--clients")?.ok_or("missing --clients")?;
+    let seconds: u64 = args.parse_opt("--seconds")?.unwrap_or(30);
+    let out_path = args.opt("--out").ok_or("missing --out")?.clone();
     let mut cfg = rubis::ExperimentConfig::quick(clients, seconds);
-    if let Some(seed) = opt(args, "--seed") {
-        cfg.seed = seed.parse().map_err(|_| "bad --seed")?;
+    if let Some(seed) = args.parse_opt("--seed")? {
+        cfg.seed = seed;
     }
-    if let Some(skew) = opt(args, "--skew-ms") {
-        cfg.spec = cfg
-            .spec
-            .with_skew_ms(skew.parse().map_err(|_| "bad --skew-ms")?);
+    if let Some(skew) = args.parse_opt("--skew-ms")? {
+        cfg.spec = cfg.spec.with_skew_ms(skew);
     }
-    if flag(args, "--noise") {
+    if args.flag("--noise") {
         cfg.noise = rubis::NoiseSpec {
             ssh_msgs_per_sec: 40.0,
             mysql_msgs_per_sec: 150.0,
@@ -204,9 +279,10 @@ fn simulate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn correlate_cmd(args: &[String]) -> Result<(), String> {
-    let path = positional(args, 0).ok_or("missing log file")?;
-    let (out, _) = correlate_file(path, args)?;
+fn correlate_cmd(raw: &[String]) -> Result<(), String> {
+    let args = ParsedArgs::parse(raw, CORRELATE_VALUE_OPTS, CORRELATE_BOOL_OPTS)?;
+    let path = args.positional(0).ok_or("missing log file")?;
+    let (out, _) = correlate_file(path, &args)?;
     println!(
         "correlated {} causal paths ({} deformed/unfinished)",
         out.cags.len(),
@@ -247,9 +323,10 @@ fn correlate_cmd(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn patterns_cmd(args: &[String]) -> Result<(), String> {
-    let path = positional(args, 0).ok_or("missing log file")?;
-    let (out, _) = correlate_file(path, args)?;
+fn patterns_cmd(raw: &[String]) -> Result<(), String> {
+    let args = ParsedArgs::parse(raw, PATTERNS_VALUE_OPTS, CORRELATE_BOOL_OPTS)?;
+    let path = args.positional(0).ok_or("missing log file")?;
+    let (out, _) = correlate_file(path, &args)?;
     let agg = PatternAggregator::from_cags(&out.cags);
     println!("{} patterns over {} paths:", agg.len(), out.cags.len());
     for p in agg.average_paths() {
@@ -261,21 +338,22 @@ fn patterns_cmd(args: &[String]) -> Result<(), String> {
             println!("  {:<22} {:>6.1}%", c.to_string(), pct);
         }
     }
-    if let Some(dot_path) = opt(args, "--dot") {
+    if let Some(dot_path) = args.opt("--dot") {
         let paths = agg.average_paths();
         let dom = paths.first().ok_or("no pattern to render")?;
-        std::fs::write(&dot_path, average_path_to_dot(dom))
+        std::fs::write(dot_path, average_path_to_dot(dom))
             .map_err(|e| format!("{dot_path}: {e}"))?;
         println!("\nwrote dominant average path to {dot_path}");
     }
     Ok(())
 }
 
-fn diff_cmd(args: &[String]) -> Result<(), String> {
-    let base_path = positional(args, 0).ok_or("missing baseline log")?;
-    let cur_path = positional(args, 1).ok_or("missing current log")?;
-    let (base, _) = correlate_file(base_path, args)?;
-    let (cur, _) = correlate_file(cur_path, args)?;
+fn diff_cmd(raw: &[String]) -> Result<(), String> {
+    let args = ParsedArgs::parse(raw, CORRELATE_VALUE_OPTS, CORRELATE_BOOL_OPTS)?;
+    let base_path = args.positional(0).ok_or("missing baseline log")?;
+    let cur_path = args.positional(1).ok_or("missing current log")?;
+    let (base, _) = correlate_file(base_path, &args)?;
+    let (cur, _) = correlate_file(cur_path, &args)?;
     let b = BreakdownReport::dominant(&base.cags).ok_or("no patterns in baseline")?;
     let c = BreakdownReport::dominant(&cur.cags).ok_or("no patterns in current")?;
     let diff = DiffReport::between(&b, &c);

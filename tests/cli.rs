@@ -235,6 +235,205 @@ fn adaptive_window_and_memory_budget_flags_work() {
 }
 
 #[test]
+fn sharded_correlation_flags_work_and_are_order_insensitive() {
+    let log = TmpFile::new("sharded.log");
+    let out = pt()
+        .args([
+            "simulate",
+            "--clients",
+            "10",
+            "--seconds",
+            "8",
+            "--seed",
+            "17",
+        ])
+        .args(["--out", log.as_str()])
+        .output()
+        .expect("run pt simulate");
+    assert!(out.status.success());
+
+    // Patterns output is content-deterministic, so the sharded pipeline
+    // must reproduce the single-threaded bytes for any shard count —
+    // and flag placement before/after the positional must not matter.
+    let baseline = pt()
+        .args([
+            "patterns",
+            log.as_str(),
+            "--port",
+            "80",
+            "--internal",
+            INTERNAL,
+        ])
+        .output()
+        .expect("run pt patterns");
+    assert!(baseline.status.success());
+    for shard_args in [
+        vec![
+            "patterns",
+            log.as_str(),
+            "--port",
+            "80",
+            "--internal",
+            INTERNAL,
+            "--shards",
+            "4",
+        ],
+        // Same flags, interleaved around the positional argument.
+        vec![
+            "patterns",
+            "--shards",
+            "4",
+            "--port",
+            "80",
+            log.as_str(),
+            "--internal",
+            INTERNAL,
+        ],
+        // Auto shard count.
+        vec![
+            "patterns",
+            log.as_str(),
+            "--port",
+            "80",
+            "--internal",
+            INTERNAL,
+            "--shards",
+            "0",
+        ],
+    ] {
+        let sharded = pt().args(&shard_args).output().expect("run pt patterns");
+        assert!(
+            sharded.status.success(),
+            "{}",
+            String::from_utf8_lossy(&sharded.stderr)
+        );
+        assert_eq!(
+            String::from_utf8_lossy(&sharded.stdout),
+            String::from_utf8_lossy(&baseline.stdout),
+            "sharded pattern output diverged for {shard_args:?}"
+        );
+    }
+
+    // correlate accepts the sealing-latency bound alongside shards.
+    let out = pt()
+        .args(["correlate", log.as_str(), "--port", "80"])
+        .args(["--internal", INTERNAL])
+        .args(["--shards", "2", "--max-seal-lag", "128"])
+        .output()
+        .expect("run pt correlate --shards --max-seal-lag");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("causal paths"), "{stdout}");
+}
+
+#[test]
+fn new_flags_are_validated_by_name() {
+    let err = stderr_of(&[
+        "correlate",
+        "/nonexistent.log",
+        "--port",
+        "80",
+        "--internal",
+        INTERNAL,
+        "--shards",
+        "many",
+    ]);
+    assert!(err.contains("bad --shards"), "{err}");
+    let err = stderr_of(&[
+        "correlate",
+        "/nonexistent.log",
+        "--port",
+        "80",
+        "--internal",
+        INTERNAL,
+        "--max-seal-lag",
+        "soon",
+    ]);
+    assert!(err.contains("bad --max-seal-lag"), "{err}");
+    // A value flag at the end of the line is reported, not ignored.
+    let err = stderr_of(&[
+        "correlate",
+        "/nonexistent.log",
+        "--port",
+        "80",
+        "--internal",
+        INTERNAL,
+        "--shards",
+    ]);
+    assert!(err.contains("missing value for --shards"), "{err}");
+}
+
+#[test]
+fn dot_flag_is_patterns_only() {
+    // correlate/diff must reject --dot instead of silently ignoring it
+    // (only patterns writes the file).
+    let err = stderr_of(&[
+        "correlate",
+        "/nonexistent.log",
+        "--port",
+        "80",
+        "--internal",
+        INTERNAL,
+        "--dot",
+        "/tmp/x.dot",
+    ]);
+    assert!(err.contains("unknown flag"), "{err}");
+    assert!(err.contains("--dot"), "{err}");
+}
+
+#[test]
+fn absurd_shard_counts_are_rejected_not_spawned() {
+    let log = TmpFile::new("capped.log");
+    std::fs::write(
+        &log.0,
+        "1000 web httpd 7 7 RECEIVE 192.168.0.9:5000-10.0.0.1:80 120\n",
+    )
+    .unwrap();
+    let err = stderr_of(&[
+        "correlate",
+        log.as_str(),
+        "--port",
+        "80",
+        "--internal",
+        INTERNAL,
+        "--shards",
+        "1000000",
+    ]);
+    assert!(err.contains("exceeds the maximum"), "{err}");
+}
+
+#[test]
+fn unknown_flags_are_rejected_not_ignored() {
+    let err = stderr_of(&[
+        "correlate",
+        "/nonexistent.log",
+        "--port",
+        "80",
+        "--internal",
+        INTERNAL,
+        "--frobnicate",
+    ]);
+    assert!(err.contains("unknown flag"), "{err}");
+    assert!(err.contains("--frobnicate"), "{err}");
+    // simulate rejects correlate-only flags instead of silently
+    // ignoring them.
+    let err = stderr_of(&[
+        "simulate",
+        "--clients",
+        "5",
+        "--out",
+        "/tmp/x",
+        "--shards",
+        "4",
+    ]);
+    assert!(err.contains("unknown flag"), "{err}");
+}
+
+#[test]
 fn missing_input_file_reports_path_and_os_error() {
     let err = stderr_of(&[
         "correlate",

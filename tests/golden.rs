@@ -219,6 +219,56 @@ fn check_case_streaming(name: &str, feed: Feed) {
     );
 }
 
+/// Runs a golden case through the **sharded** pipeline (zero-copy text
+/// ingest, N worker threads, canonical merge) and renders the result.
+fn run_case_sharded(name: &str, shards: usize) -> String {
+    let log_path = golden_dir().join(format!("{name}.log"));
+    let text = std::fs::read_to_string(&log_path)
+        .unwrap_or_else(|e| panic!("{}: {e}", log_path.display()));
+    let directive = parse_directive(&text, &log_path);
+    let config = CorrelatorConfig::new(directive.access).with_window(directive.window);
+    let out = ShardedCorrelator::correlate_text(config, shards, &text)
+        .expect("golden log must correlate sharded");
+    for cag in &out.cags {
+        cag.validate()
+            .unwrap_or_else(|e| panic!("{name}: invalid sharded CAG {}: {e}", cag.id));
+    }
+    render(&out)
+}
+
+/// The sharded pipeline emits CAGs in canonical root order with
+/// sequentially renumbered ids — on these single-frontend logs that is
+/// exactly the batch output sorted by id (batch assigns ids in BEGIN
+/// order). So the sharded rendering must byte-match the id-sorted
+/// rendering of the batch run that itself byte-matches the checked-in
+/// `.golden` file — and must be byte-identical for every shard count.
+fn check_case_sharded(name: &str) {
+    let (_, golden_path) = run_case(name); // asserts nothing; reuse paths
+    let log_path = golden_dir().join(format!("{name}.log"));
+    let text = std::fs::read_to_string(&log_path).unwrap();
+    let directive = parse_directive(&text, &log_path);
+    let records = parse_log(&text).unwrap();
+    let config = CorrelatorConfig::new(directive.access).with_window(directive.window);
+    let mut batch = Correlator::new(config).correlate(records).unwrap();
+    batch.cags.sort_by_key(|c| c.id);
+    let want = render(&batch);
+    let one = run_case_sharded(name, 1);
+    assert!(
+        one == want,
+        "{name}: sharded(1) diverged from canonicalized batch golden {}\n\
+         --- sharded ---\n{one}\n--- batch (id order) ---\n{want}",
+        golden_path.display()
+    );
+    for shards in [2, 4] {
+        let got = run_case_sharded(name, shards);
+        assert!(
+            got == one,
+            "{name}: sharded({shards}) bytes differ from sharded(1)\n\
+             --- shards={shards} ---\n{got}\n--- shards=1 ---\n{one}"
+        );
+    }
+}
+
 fn check_case(name: &str) {
     let (got, golden_path) = run_case(name);
     if std::env::var_os("PT_GOLDEN_REGEN").is_some() {
@@ -289,6 +339,31 @@ fn golden_streaming_sim_c4_s5_seed11() {
 #[test]
 fn golden_streaming_sim_c6_s6_seed42_noise() {
     check_case_streaming("sim_c6_s6_seed42_noise", Feed::PushAllThenPoll);
+}
+
+#[test]
+fn golden_sharded_static_single() {
+    check_case_sharded("static_single");
+}
+
+#[test]
+fn golden_sharded_three_tier_single() {
+    check_case_sharded("three_tier_single");
+}
+
+#[test]
+fn golden_sharded_interleaved_chunked() {
+    check_case_sharded("interleaved_chunked");
+}
+
+#[test]
+fn golden_sharded_sim_c4_s5_seed11() {
+    check_case_sharded("sim_c4_s5_seed11");
+}
+
+#[test]
+fn golden_sharded_sim_c6_s6_seed42_noise() {
+    check_case_sharded("sim_c6_s6_seed42_noise");
 }
 
 /// Every case in tests/golden/ must be wired to a named #[test] above,

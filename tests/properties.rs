@@ -235,6 +235,125 @@ proptest! {
         prop_assert_eq!(pattern_census(&streamed), pattern_census(&batch.cags));
     }
 
+    /// Sharded invariant, part 1: the sharded pipeline's output is
+    /// **byte-identical for every shard count** (the canonical merge
+    /// erases the partition), and its CAG content equals the
+    /// single-threaded batch path — same count, tag sets and patterns,
+    /// with the additive counters summing exactly.
+    #[test]
+    fn sharded_output_equals_single_shard_for_any_shard_count(
+        seed in any::<u64>(),
+        shards_a in 2usize..9,
+        shards_b in 2usize..9,
+        noise in prop::bool::ANY,
+    ) {
+        let mut cfg = rubis::ExperimentConfig::quick(6, 6);
+        cfg.seed = seed;
+        if noise {
+            cfg.noise = rubis::NoiseSpec {
+                ssh_msgs_per_sec: 20.0,
+                mysql_msgs_per_sec: 40.0,
+            };
+        }
+        let out = rubis::run(cfg);
+        let config = out.correlator_config(Nanos::from_millis(10));
+        let batch = Correlator::new(config.clone())
+            .correlate(out.records.clone())
+            .unwrap();
+        let single = ShardedCorrelator::correlate(config.clone(), 1, out.records.clone()).unwrap();
+        let render = |o: &CorrelationOutput| {
+            format!("{:?}\n{:?}", o.cags, o.unfinished)
+        };
+        for shards in [shards_a, shards_b] {
+            let sharded =
+                ShardedCorrelator::correlate(config.clone(), shards, out.records.clone()).unwrap();
+            // Determinism across shard counts: full byte equality,
+            // ids and stream order included.
+            prop_assert_eq!(
+                render(&sharded),
+                render(&single),
+                "shards={} diverged from shards=1",
+                shards
+            );
+            // Content equality with the single-threaded batch path.
+            prop_assert_eq!(sharded.cags.len(), batch.cags.len());
+            prop_assert_eq!(tag_sets(&sharded.cags), tag_sets(&batch.cags));
+            prop_assert_eq!(pattern_census(&sharded.cags), pattern_census(&batch.cags));
+            // Additive counters sum exactly across shards.
+            prop_assert_eq!(sharded.metrics.records_in, batch.metrics.records_in);
+            prop_assert_eq!(sharded.metrics.filtered_out, batch.metrics.filtered_out);
+            prop_assert_eq!(sharded.metrics.cags_finished, batch.metrics.cags_finished);
+            prop_assert_eq!(sharded.metrics.cags_unfinished, batch.metrics.cags_unfinished);
+            prop_assert_eq!(
+                sharded.metrics.ranker.noise_discards,
+                batch.metrics.ranker.noise_discards
+            );
+            for cag in &sharded.cags {
+                prop_assert!(cag.validate().is_ok());
+            }
+        }
+    }
+
+    /// Sharded invariant, part 2: the streaming push path — records
+    /// arriving in any per-host-ordered interleaving, in arbitrary
+    /// chunk sizes with flushes between chunks — produces exactly the
+    /// one-shot batch entry point's bytes. Session routing is a pure
+    /// function of the per-entity sequences and per-channel claim
+    /// FIFOs, so arrival interleaving cannot change the partition.
+    #[test]
+    fn sharded_streaming_chunks_equal_one_shot(
+        seed in any::<u64>(),
+        shards in 1usize..6,
+        chunk in 1usize..4096,
+    ) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        let mut cfg = rubis::ExperimentConfig::quick(5, 6);
+        cfg.seed = seed;
+        let out = rubis::run(cfg);
+        let config = out.correlator_config(Nanos::from_millis(10));
+        let oneshot =
+            ShardedCorrelator::correlate(config.clone(), shards, out.records.clone()).unwrap();
+
+        // Random cross-host interleaving, per-host order preserved.
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x2545f4914f6cdd1d);
+        let mut per_host: Vec<std::collections::VecDeque<RawRecord>> = {
+            let mut m: std::collections::BTreeMap<String, std::collections::VecDeque<RawRecord>> =
+                std::collections::BTreeMap::new();
+            let mut sorted = out.records.clone();
+            sorted.sort_by_key(|r| r.ts);
+            for r in sorted {
+                m.entry(r.hostname.to_string()).or_default().push_back(r);
+            }
+            m.into_values().collect()
+        };
+        let mut sc = ShardedCorrelator::new(config, shards).unwrap();
+        let mut pushed = 0usize;
+        while !per_host.is_empty() {
+            let pick = rng.gen_range(0..per_host.len());
+            let rec = per_host[pick].pop_front().unwrap();
+            if per_host[pick].is_empty() {
+                per_host.swap_remove(pick);
+            }
+            sc.push(rec).unwrap();
+            pushed += 1;
+            if pushed.is_multiple_of(chunk) {
+                sc.flush().unwrap();
+            }
+        }
+        let streamed = sc.finish().unwrap();
+        prop_assert_eq!(
+            format!("{:?}{:?}", streamed.cags, streamed.unfinished),
+            format!("{:?}{:?}", oneshot.cags, oneshot.unfinished)
+        );
+        prop_assert_eq!(streamed.metrics.records_in, oneshot.metrics.records_in);
+        prop_assert_eq!(
+            streamed.metrics.ranker.noise_discards,
+            oneshot.metrics.ranker.noise_discards
+        );
+    }
+
     /// Isomorphic classification is stable: every CAG of the same request
     /// type with the same query count lands in the same pattern.
     #[test]
