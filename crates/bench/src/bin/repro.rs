@@ -3,8 +3,16 @@
 //! paper-scale streaming stress run.
 //!
 //! ```text
-//! repro [--quick] [--json] [all|acc|fig8|...|fig17|ext1|ext2|scale]...
+//! repro [--quick] [--json] [--shards N] [--experiment ID]...
+//!       [all|acc|fig8|...|fig17|ext1|ext2|scale|lb|pooled|lossy]...
 //! ```
+//!
+//! `lb`, `pooled` and `lossy` regenerate the post-paper scenario
+//! families (replicated tiers behind a load balancer, connection
+//! pooling with entity reuse, lossy links with retransmission),
+//! reporting correlation precision/recall against ground truth for the
+//! batch and sharded pipelines. `--experiment ID` is an explicit alias
+//! for naming an experiment positionally.
 //!
 //! `--quick` shrinks the sessions (smoke mode); the default regenerates
 //! at the paper's session length (2 min up-ramp, 7.5 min runtime, 1 min
@@ -77,6 +85,19 @@ fn main() {
             }),
     };
     let scale = if quick { Scale::Quick } else { Scale::Paper };
+    // `--experiment ID` is sugar for the positional id.
+    let mut explicit: Vec<String> = Vec::new();
+    for (i, a) in args.iter().enumerate() {
+        if a == "--experiment" {
+            match args.get(i + 1) {
+                Some(v) => explicit.push(v.clone()),
+                None => {
+                    eprintln!("repro: missing value for --experiment");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
     let mut skip_next = false;
     let mut wanted: Vec<String> = args
         .into_iter()
@@ -85,17 +106,18 @@ fn main() {
                 skip_next = false;
                 return false;
             }
-            if a == "--shards" {
+            if a == "--shards" || a == "--experiment" {
                 skip_next = true;
                 return false;
             }
             a != "--quick" && a != "--json"
         })
         .collect();
+    wanted.extend(explicit);
     if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
         wanted = [
             "acc", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
-            "fig17", "ext1", "ext2", "scale",
+            "fig17", "ext1", "ext2", "scale", "lb", "pooled", "lossy",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -115,6 +137,7 @@ fn main() {
             "ext1" => ext1(scale),
             "ext2" => ext2(scale),
             "scale" => scale_stream(&mut base, shards),
+            "lb" | "pooled" | "lossy" => scenario(w, scale, shards, &mut base),
             other => eprintln!("unknown experiment id: {other}"),
         }
     }
@@ -412,6 +435,122 @@ fn scale_stream(base: &mut Baseline, shards: usize) {
         records as f64 / sharded_secs.max(1e-9),
     );
     base.rec("scale.sharded_speedup", batch_secs / sharded_secs.max(1e-9));
+}
+
+/// The post-paper scenario families (replicated tiers behind a load
+/// balancer, connection pooling with entity reuse, lossy links with
+/// retransmission): simulates the scenario, correlates through the
+/// batch and sharded pipelines, reports precision/recall against
+/// ground truth, and asserts the tier-1 floors (≥ 0.99; ≥ 0.95 at 1%
+/// loss) so CI smoke runs fail on any regression. Throughput lands
+/// under the `scale.*` baseline keys (informational; the regression
+/// gate stays on `scale.sharded_speedup` alone).
+fn scenario(id: &str, scale: Scale, shards: usize, base: &mut Baseline) {
+    let (mut cfg, window, floor) = match id {
+        "lb" => (
+            multitier::ExperimentConfig::lb(),
+            tracer_core::Nanos::from_millis(10),
+            0.99,
+        ),
+        "pooled" => (
+            multitier::ExperimentConfig::pooled(),
+            tracer_core::Nanos::from_millis(10),
+            0.99,
+        ),
+        _ => (
+            multitier::ExperimentConfig::lossy(),
+            tracer_core::Nanos::from_millis(100),
+            0.95,
+        ),
+    };
+    if scale == Scale::Paper {
+        cfg.clients = 200;
+        cfg.phases = multitier::Phases::quick(60);
+    }
+    println!("\n== scenario {id}: precision/recall vs ground truth ==");
+    let t = Instant::now();
+    let out = multitier::run(cfg);
+    let sim_secs = t.elapsed().as_secs_f64();
+    let records = out.records.len();
+
+    let t = Instant::now();
+    let (corr, acc) = out.correlate(window).expect("valid config");
+    let batch_secs = t.elapsed().as_secs_f64();
+    assert!(
+        acc.precision() >= floor && acc.recall() >= floor,
+        "{id}: batch precision {:.4} / recall {:.4} below {floor}: {acc:?}",
+        acc.precision(),
+        acc.recall()
+    );
+
+    let t = Instant::now();
+    let sharded =
+        ShardedCorrelator::correlate(out.correlator_config(window), shards, out.records.clone())
+            .expect("valid config");
+    let sharded_secs = t.elapsed().as_secs_f64();
+    let shacc = out.truth.evaluate(&sharded.cags);
+    assert!(
+        shacc.precision() >= floor && shacc.recall() >= floor,
+        "{id}: sharded precision {:.4} / recall {:.4} below {floor}: {shacc:?}",
+        shacc.precision(),
+        shacc.recall()
+    );
+    assert_eq!(
+        cag_fingerprints(&sharded.cags),
+        cag_fingerprints(&corr.cags),
+        "{id}: sharded CAG content diverged from batch"
+    );
+
+    println!(
+        "{}",
+        header(&[
+            "mode",
+            "records",
+            "corr_s",
+            "rec/s",
+            "precision",
+            "recall",
+            "retrans"
+        ])
+    );
+    for (mode, secs, a, retrans) in [
+        ("batch", batch_secs, &acc, corr.metrics.retrans_dropped),
+        (
+            "sharded",
+            sharded_secs,
+            &shacc,
+            sharded.metrics.retrans_dropped,
+        ),
+    ] {
+        println!(
+            "{}",
+            row(&[
+                mode.to_string(),
+                records.to_string(),
+                format!("{secs:.3}"),
+                format!("{:.0}", records as f64 / secs.max(1e-9)),
+                format!("{:.4}", a.precision()),
+                format!("{:.4}", a.recall()),
+                retrans.to_string(),
+            ])
+        );
+    }
+    println!(
+        "sim {sim_secs:.2}s, {} requests, {} noise records",
+        out.service.completed,
+        out.truth.noise_records()
+    );
+    base.rec(format!("scale.{id}_records"), records as f64);
+    base.rec(
+        format!("scale.{id}_records_per_sec"),
+        records as f64 / batch_secs.max(1e-9),
+    );
+    base.rec(
+        format!("scale.{id}_sharded_records_per_sec"),
+        records as f64 / sharded_secs.max(1e-9),
+    );
+    base.rec(format!("scale.{id}_precision"), acc.precision());
+    base.rec(format!("scale.{id}_recall"), acc.recall());
 }
 
 /// Deduplicates the fig8-11 family (they share the same runs) so asking

@@ -69,6 +69,66 @@ impl ExperimentConfig {
         };
         c
     }
+
+    /// Load-balanced multi-node tiers: two JBoss replicas behind a
+    /// round-robin balancer (per-request) and two MySQL replicas behind
+    /// least-connections (per-connection). One logical request now
+    /// crosses whichever replicas served it — four hosts' logs must
+    /// stitch into one path.
+    pub fn lb() -> Self {
+        let mut c = Self::quick(24, 12);
+        c.seed = 0x1b0001;
+        c.spec = c
+            .spec
+            .with_replicas(1, 2, crate::spec::LbPolicy::RoundRobin)
+            .with_replicas(2, 2, crate::spec::LbPolicy::LeastConnections);
+        c
+    }
+
+    /// Connection pooling with entity reuse beyond threads: all backend
+    /// requests multiplex over 3 persistent web→app connections shared
+    /// by every httpd process, and consecutive requests of one pooled
+    /// connection are serviced by different connector threads — the
+    /// paper's event-driven caveat, exercising Rule 1's byte-claims
+    /// path where execution entity ≠ connection.
+    pub fn pooled() -> Self {
+        let mut c = Self::quick(24, 12);
+        c.seed = 0x900_1ed;
+        c.spec = c.spec.with_pool(3);
+        c
+    }
+
+    /// Packet loss and retransmission: 1% per-segment loss on every
+    /// link, TCP-style backoff retransmit. Receives arrive late and
+    /// re-chunked; spurious retransmissions emit duplicate byte ranges
+    /// the probe's sniffer lane logs as `retrans` records the
+    /// correlator must discard.
+    pub fn lossy() -> Self {
+        Self::lossy_at(0.01)
+    }
+
+    /// [`ExperimentConfig::lossy`] with an explicit loss probability.
+    pub fn lossy_at(loss: f64) -> Self {
+        let mut c = Self::quick(16, 12);
+        c.seed = 0x105_5e5;
+        c.spec = c.spec.with_loss(loss);
+        c
+    }
+
+    /// Two web frontends: BEGIN activities now originate on different
+    /// hosts, which exercises the sharded router's documented
+    /// canonical-id divergence — batch ids follow BEGIN *delivery*
+    /// order (per-host streams drained host by host), while the sharded
+    /// merge renumbers by the global root order, so ids/stream order
+    /// may differ while CAG content stays identical.
+    pub fn multi_frontend() -> Self {
+        let mut c = Self::quick(16, 10);
+        c.seed = 0x000f_2027;
+        c.spec = c
+            .spec
+            .with_replicas(0, 2, crate::spec::LbPolicy::RoundRobin);
+        c
+    }
 }
 
 /// Everything a run produces.
@@ -89,13 +149,10 @@ pub struct ExperimentOutput {
 }
 
 impl ExperimentOutput {
-    /// The access-point spec matching the deployment (frontend port 80
-    /// on the web tier; all three tier IPs are internal).
+    /// The access-point spec matching the deployment (the frontend port
+    /// on every web replica; every tier replica's IP is internal).
     pub fn access_spec(&self) -> AccessPointSpec {
-        AccessPointSpec::new(
-            [self.spec.web.port],
-            [self.spec.web.ip, self.spec.app.ip, self.spec.db.ip],
-        )
+        AccessPointSpec::new([self.spec.web.port], self.spec.internal_ips())
     }
 
     /// A default correlator configuration for this deployment.
@@ -222,6 +279,95 @@ mod tests {
         let mut cfg = ExperimentConfig::quick(6, 8);
         cfg.mix = Mix::default_mix();
         let out = run(cfg);
+        let (_, acc) = out.correlate(Nanos::from_millis(10)).unwrap();
+        assert!(acc.is_perfect(), "{acc:?}");
+    }
+
+    #[test]
+    fn lb_preset_uses_every_replica_and_correlates() {
+        let out = run(ExperimentConfig::lb());
+        assert!(out.service.completed > 10);
+        // Requests really spread over both app and both db replicas.
+        let hosts: std::collections::BTreeSet<String> =
+            out.records.iter().map(|r| r.hostname.to_string()).collect();
+        for h in ["web1", "app1", "app2", "db1", "db2"] {
+            assert!(hosts.contains(h), "missing replica {h}: {hosts:?}");
+        }
+        let (_, acc) = out.correlate(Nanos::from_millis(10)).unwrap();
+        assert!(
+            acc.precision() >= 0.99 && acc.recall() >= 0.99,
+            "lb accuracy: {acc:?}"
+        );
+    }
+
+    #[test]
+    fn pooled_preset_reuses_connections_across_entities() {
+        let out = run(ExperimentConfig::pooled());
+        assert!(out.service.completed > 10);
+        // Few upstream channels carry many backend requests: count the
+        // distinct web→app source ports of java-received requests.
+        let app_ports: std::collections::BTreeSet<u16> = out
+            .records
+            .iter()
+            .filter(|r| &*r.program == "java" && r.dst.port == out.spec.app.port)
+            .map(|r| r.src.port)
+            .collect();
+        assert!(
+            !app_ports.is_empty() && app_ports.len() <= 3,
+            "pool must bound upstream connections: {app_ports:?}"
+        );
+        // Entity reuse beyond threads: one pooled channel is used by
+        // more than one httpd process.
+        let mut pids_per_port: std::collections::HashMap<u16, std::collections::BTreeSet<u32>> =
+            std::collections::HashMap::new();
+        for r in &out.records {
+            if &*r.program == "httpd" && r.dst.port == out.spec.app.port {
+                pids_per_port.entry(r.src.port).or_default().insert(r.pid);
+            }
+        }
+        assert!(
+            pids_per_port.values().any(|pids| pids.len() > 1),
+            "pooled connections must be shared across httpd processes: {pids_per_port:?}"
+        );
+        let (_, acc) = out.correlate(Nanos::from_millis(10)).unwrap();
+        assert!(
+            acc.precision() >= 0.99 && acc.recall() >= 0.99,
+            "pooled accuracy: {acc:?}"
+        );
+    }
+
+    #[test]
+    fn lossy_preset_emits_retrans_records_and_still_correlates() {
+        let out = run(ExperimentConfig::lossy());
+        assert!(out.service.completed > 10);
+        let retrans = out.records.iter().filter(|r| r.retrans).count();
+        assert!(retrans > 0, "1% loss must produce sniffer retrans records");
+        let (corr, acc) = out.correlate(Nanos::from_millis(100)).unwrap();
+        assert_eq!(corr.metrics.retrans_dropped, retrans as u64);
+        assert!(
+            acc.precision() >= 0.95 && acc.recall() >= 0.95,
+            "lossy accuracy: {acc:?}"
+        );
+    }
+
+    #[test]
+    fn multi_frontend_preset_spreads_begins_across_hosts() {
+        let out = run(ExperimentConfig::multi_frontend());
+        let spec = out.access_spec();
+        let mut begin_hosts = std::collections::BTreeSet::new();
+        for r in &out.records {
+            if r.op == tracer_core::raw::RawOp::Receive
+                && spec.is_frontend_port(r.dst.port)
+                && !spec.is_internal(r.src.ip)
+            {
+                begin_hosts.insert(r.hostname.to_string());
+            }
+        }
+        assert_eq!(
+            begin_hosts.len(),
+            2,
+            "BEGINs must originate on both frontends: {begin_hosts:?}"
+        );
         let (_, acc) = out.correlate(Nanos::from_millis(10)).unwrap();
         assert!(acc.is_perfect(), "{acc:?}");
     }

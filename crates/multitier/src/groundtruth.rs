@@ -181,6 +181,22 @@ impl AccuracyReport {
         self.correct_paths as f64 / self.logged_requests as f64
     }
 
+    /// Fraction of inferred paths that are correct:
+    /// `correct / (correct + false)`. 1.0 when nothing was inferred.
+    pub fn precision(&self) -> f64 {
+        let inferred = self.correct_paths + self.false_paths;
+        if inferred == 0 {
+            return 1.0;
+        }
+        self.correct_paths as f64 / inferred as f64
+    }
+
+    /// Fraction of logged requests recovered as a correct path — the
+    /// paper's path accuracy, under its information-retrieval name.
+    pub fn recall(&self) -> f64 {
+        self.accuracy()
+    }
+
     /// True when accuracy is exactly 100% with no false positives.
     pub fn is_perfect(&self) -> bool {
         self.false_paths == 0 && self.missing_paths == 0

@@ -48,5 +48,8 @@ pub use experiment::{run, ExperimentConfig, ExperimentOutput};
 pub use groundtruth::{AccuracyReport, RequestTruth, TruthCollector};
 pub use probe::{ProbeSink, ProbedNode};
 pub use report::ServiceMetrics;
-pub use spec::{Fault, Mix, NoiseSpec, Phases, RequestType, ServiceSpec, TierSpec};
+pub use spec::{
+    Fault, LbPolicy, Mix, NoiseSpec, Phases, PoolSpec, RequestType, ServiceSpec, TierSpec,
+    MAX_REPLICAS,
+};
 pub use world::{RubisWorld, WorldConfig};

@@ -73,6 +73,42 @@ impl ProbeSink {
         dst: EndpointV4,
         size: u64,
     ) -> u64 {
+        self.log_inner(node_idx, now, program, pid, tid, op, src, dst, size, false)
+    }
+
+    /// Logs the sniffer-lane record for a retransmitted (duplicate)
+    /// byte range: same schema, marked with the `retrans` attribute the
+    /// capture frontend derives from TCP sequence numbers.
+    #[allow(clippy::too_many_arguments)]
+    pub fn log_retrans(
+        &mut self,
+        node_idx: usize,
+        now: SimTime,
+        program: &Arc<str>,
+        pid: u32,
+        tid: u32,
+        op: RawOp,
+        src: EndpointV4,
+        dst: EndpointV4,
+        size: u64,
+    ) -> u64 {
+        self.log_inner(node_idx, now, program, pid, tid, op, src, dst, size, true)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn log_inner(
+        &mut self,
+        node_idx: usize,
+        now: SimTime,
+        program: &Arc<str>,
+        pid: u32,
+        tid: u32,
+        op: RawOp,
+        src: EndpointV4,
+        dst: EndpointV4,
+        size: u64,
+        retrans: bool,
+    ) -> u64 {
         if !self.enabled {
             return 0;
         }
@@ -91,6 +127,7 @@ impl ProbeSink {
             dst,
             size,
             tag: uid,
+            retrans,
         });
         uid
     }

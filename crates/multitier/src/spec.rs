@@ -217,21 +217,87 @@ impl NoiseSpec {
     }
 }
 
+/// Load-balancing policy for a replicated tier: how the upstream
+/// chooses among a tier's replicas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LbPolicy {
+    /// Strict rotation over the replicas.
+    RoundRobin,
+    /// The replica with the fewest open connections (lowest index on
+    /// ties).
+    LeastConnections,
+}
+
+/// Connection pooling at the web→app hop: requests multiplex over a
+/// small set of persistent upstream connections shared by **all**
+/// httpd worker processes, so the execution entity servicing a message
+/// is decoupled from the connection carrying it (the paper's
+/// event-driven caveat, §Discussion). Checkout is serialized — one
+/// in-flight request per pooled connection — which keeps the per-channel
+/// message sequence FIFO and therefore within the assumptions Rule 1
+/// needs; true interleaved multiplexing would break them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolSpec {
+    /// Persistent upstream connections per (web node, app node) pair.
+    pub connections: usize,
+}
+
+/// Most replicas a tier supports: each replica occupies a parallel /24
+/// (third octet += 10), so the paper-default third octets (0–3) leave
+/// room for 25 subnets before the octet overflows.
+pub const MAX_REPLICAS: usize = 25;
+
 /// Per-tier deployment description.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TierSpec {
     /// Program name as seen by the probe (`httpd`, `java`, `mysqld`).
     pub program: &'static str,
-    /// Hostname.
+    /// Hostname (replica 0; further replicas derive theirs via
+    /// [`TierSpec::replica_hostname`]).
     pub hostname: &'static str,
-    /// Node IP.
+    /// Node IP (replica 0; further replicas derive theirs via
+    /// [`TierSpec::replica_ip`]).
     pub ip: Ipv4Addr,
-    /// Worker limit (threads able to service requests concurrently).
+    /// Worker limit per replica (threads able to service requests
+    /// concurrently).
     pub workers: usize,
-    /// CPU cores on the node (the paper's nodes are 2-way SMPs).
+    /// CPU cores on each node (the paper's nodes are 2-way SMPs).
     pub cores: usize,
-    /// Listening port.
+    /// Listening port (shared by all replicas).
     pub port: u16,
+    /// Number of identical nodes behind the tier's load balancer
+    /// (1 = the paper's single-node tier).
+    pub replicas: usize,
+    /// How upstream callers pick a replica.
+    pub lb: LbPolicy,
+}
+
+impl TierSpec {
+    /// The IP of replica `r`: replica 0 keeps [`TierSpec::ip`]; each
+    /// further replica moves to a parallel subnet (third octet += 10),
+    /// keeping replica addresses collision-free across tiers. The
+    /// subnet scheme supports [`MAX_REPLICAS`] replicas per tier.
+    pub fn replica_ip(&self, r: usize) -> Ipv4Addr {
+        let [a, b, c, d] = self.ip.octets();
+        let subnet = c as usize + 10 * r;
+        assert!(
+            subnet <= u8::MAX as usize,
+            "replica {r} exceeds the tier's subnet space (max {MAX_REPLICAS} replicas)"
+        );
+        Ipv4Addr::new(a, b, subnet as u8, d)
+    }
+
+    /// The hostname of replica `r`: the base name with its numeric
+    /// suffix replaced by `r + 1` (`app1` → `app1`, `app2`, ...).
+    pub fn replica_hostname(&self, r: usize) -> String {
+        if r == 0 {
+            return self.hostname.to_string();
+        }
+        let base = self
+            .hostname
+            .trim_end_matches(|ch: char| ch.is_ascii_digit());
+        format!("{base}{}", r + 1)
+    }
 }
 
 /// The full service specification (three tiers plus clients).
@@ -277,6 +343,9 @@ pub struct ServiceSpec {
     pub clock_drift_ppm: [f64; 3],
     /// Injected faults.
     pub faults: Vec<Fault>,
+    /// Connection pooling at the web→app hop (`None` = the paper's
+    /// fresh-connection-per-request behaviour).
+    pub pool: Option<PoolSpec>,
 }
 
 impl ServiceSpec {
@@ -291,6 +360,8 @@ impl ServiceSpec {
                 workers: 1024,
                 cores: 2,
                 port: 80,
+                replicas: 1,
+                lb: LbPolicy::RoundRobin,
             },
             app: TierSpec {
                 program: "java",
@@ -299,6 +370,8 @@ impl ServiceSpec {
                 workers: 512,
                 cores: 2,
                 port: 8009,
+                replicas: 1,
+                lb: LbPolicy::RoundRobin,
             },
             db: TierSpec {
                 program: "mysqld",
@@ -307,6 +380,8 @@ impl ServiceSpec {
                 workers: 512,
                 cores: 2,
                 port: 3306,
+                replicas: 1,
+                lb: LbPolicy::RoundRobin,
             },
             client_ips: vec![
                 Ipv4Addr::new(192, 168, 0, 11),
@@ -335,7 +410,55 @@ impl ServiceSpec {
             clock_offsets_ns: [0, 60_000, -40_000],
             clock_drift_ppm: [0.0, 0.05, -0.03],
             faults: Vec::new(),
+            pool: None,
         }
+    }
+
+    /// Replicates a tier behind a load balancer (0 = web, 1 = app,
+    /// 2 = db).
+    pub fn with_replicas(mut self, tier: usize, replicas: usize, lb: LbPolicy) -> Self {
+        assert!(replicas >= 1, "a tier needs at least one node");
+        assert!(
+            replicas <= MAX_REPLICAS,
+            "the replica subnet scheme supports at most {MAX_REPLICAS} nodes per tier"
+        );
+        let t = match tier {
+            0 => &mut self.web,
+            1 => &mut self.app,
+            2 => &mut self.db,
+            _ => panic!("tier index out of range"),
+        };
+        t.replicas = replicas;
+        t.lb = lb;
+        self
+    }
+
+    /// Enables web→app connection pooling with `connections` persistent
+    /// upstream connections per (web node, app node) pair.
+    pub fn with_pool(mut self, connections: usize) -> Self {
+        assert!(connections >= 1, "a pool needs at least one connection");
+        self.pool = Some(PoolSpec { connections });
+        self
+    }
+
+    /// Sets a per-link segment-loss probability (TCP-style retransmit
+    /// with duplicate byte ranges and reordered delivery) on every
+    /// link.
+    pub fn with_loss(mut self, loss: f64) -> Self {
+        assert!((0.0..1.0).contains(&loss), "loss must be in [0, 1)");
+        self.wire.loss = loss;
+        self
+    }
+
+    /// Every service node IP across all tiers and replicas — the
+    /// internal-IP set of the deployment's access spec.
+    pub fn internal_ips(&self) -> Vec<Ipv4Addr> {
+        (0..3)
+            .flat_map(|t| {
+                let tier = self.tier(t);
+                (0..tier.replicas).map(move |r| tier.replica_ip(r))
+            })
+            .collect()
     }
 
     /// Returns the spec with a different `MaxThreads` (Fig. 16).
@@ -519,6 +642,56 @@ mod tests {
         let q = Phases::quick(20);
         assert_eq!(q.up, SimDur::from_secs(5));
         assert_eq!(q.down, SimDur::from_secs(2));
+    }
+
+    #[test]
+    fn replica_addresses_are_distinct_and_collision_free() {
+        let s = ServiceSpec::paper_default()
+            .with_replicas(0, 2, LbPolicy::RoundRobin)
+            .with_replicas(1, 3, LbPolicy::LeastConnections)
+            .with_replicas(2, 2, LbPolicy::RoundRobin);
+        let ips = s.internal_ips();
+        assert_eq!(ips.len(), 7);
+        let unique: std::collections::BTreeSet<_> = ips.iter().collect();
+        assert_eq!(unique.len(), 7, "replica IPs must not collide: {ips:?}");
+        assert_eq!(s.web.replica_ip(0), s.web.ip);
+        assert_eq!(s.app.replica_hostname(0), "app1");
+        assert_eq!(s.app.replica_hostname(1), "app2");
+        assert_eq!(s.app.replica_hostname(2), "app3");
+        assert_eq!(s.app.lb, LbPolicy::LeastConnections);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn replica_subnet_cap_is_enforced() {
+        let _ =
+            ServiceSpec::paper_default().with_replicas(1, MAX_REPLICAS + 1, LbPolicy::RoundRobin);
+    }
+
+    #[test]
+    fn replica_cap_boundary_is_collision_free() {
+        let s = ServiceSpec::paper_default()
+            .with_replicas(0, MAX_REPLICAS, LbPolicy::RoundRobin)
+            .with_replicas(1, MAX_REPLICAS, LbPolicy::RoundRobin)
+            .with_replicas(2, MAX_REPLICAS, LbPolicy::RoundRobin);
+        let ips = s.internal_ips();
+        let unique: std::collections::BTreeSet<_> = ips.iter().collect();
+        assert_eq!(unique.len(), 3 * MAX_REPLICAS);
+    }
+
+    #[test]
+    fn pool_and_loss_builders() {
+        let s = ServiceSpec::paper_default().with_pool(4).with_loss(0.01);
+        assert_eq!(s.pool, Some(PoolSpec { connections: 4 }));
+        assert!((s.wire.loss - 0.01).abs() < 1e-12);
+        assert!(ServiceSpec::paper_default().pool.is_none());
+        assert_eq!(ServiceSpec::paper_default().wire.loss, 0.0);
+    }
+
+    #[test]
+    fn single_replica_internal_ips_match_paper() {
+        let s = ServiceSpec::paper_default();
+        assert_eq!(s.internal_ips(), vec![s.web.ip, s.app.ip, s.db.ip]);
     }
 
     #[test]

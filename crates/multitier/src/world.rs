@@ -8,6 +8,30 @@
 //! connector thread, MySQL connection thread) services **one request at
 //! a time** — the paper's assumption 2 — and every kernel-level send
 //! and receive on a traced node emits a probe record.
+//!
+//! Beyond the paper's fixed testbed, three workload families stress the
+//! correlator where its rules are hardest:
+//!
+//! * **Replicated tiers behind a load balancer**
+//!   ([`TierSpec::replicas`](crate::spec::TierSpec) +
+//!   [`LbPolicy`](crate::spec::LbPolicy)): one logical tier becomes N
+//!   hosts with distinct IPs and hostnames; upstream callers pick a
+//!   replica per connection (web, db) or per request (app), so the
+//!   correlator must stitch each request across whichever replica
+//!   served it.
+//! * **Connection pooling** ([`PoolSpec`](crate::spec::PoolSpec)): the
+//!   web tier multiplexes backend requests over few persistent
+//!   connections shared by *all* httpd processes, and the app side
+//!   services consecutive requests of one connection with different
+//!   connector threads — execution entity ≠ connection on both ends
+//!   (the paper's event-driven caveat), exercising Rule 1's byte-claim
+//!   matching on reused channels.
+//! * **Packet loss and retransmission**
+//!   ([`WireParams::loss`](simnet::WireParams)): segments are dropped
+//!   and retransmitted with backoff, arriving late and out of order;
+//!   spurious retransmissions deliver duplicate byte ranges, which the
+//!   probe's sniffer lane logs as `retrans`-marked records the
+//!   correlator must discard.
 
 use std::collections::{HashMap, VecDeque};
 use std::net::Ipv4Addr;
@@ -60,6 +84,8 @@ pub enum Ev {
         conn: u64,
         /// Direction of the segment.
         dir: Dir,
+        /// Absolute stream offset of the segment's first byte.
+        offset: u64,
         /// Payload bytes.
         bytes: u64,
     },
@@ -126,6 +152,12 @@ struct Conn {
     fwd_reqs: VecDeque<(u64, usize)>,
     /// App-tier conns: whether a connector thread was requested.
     pool_queued: bool,
+    /// Stream bytes sent so far per direction (wire segment offsets).
+    fwd_off: u64,
+    rev_off: u64,
+    /// Pooled web→app conns survive their request and return to the
+    /// pool instead of being abandoned.
+    persistent: bool,
 }
 
 impl Conn {
@@ -144,11 +176,25 @@ impl Conn {
     }
 }
 
+/// One (web node, app node) connection pool: few persistent upstream
+/// connections multiplexing many logical requests, checkout-serialized.
+#[derive(Debug, Default)]
+struct UpstreamPool {
+    /// Idle pooled connections.
+    free: Vec<u64>,
+    /// Connections created so far (bounded by `PoolSpec::connections`).
+    created: usize,
+    /// Web workers blocked on a free connection, FIFO.
+    waiters: VecDeque<usize>,
+}
+
 /// Worker phases across all tiers (not every phase applies to every
 /// tier; see the per-tier flows in the module docs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Phase {
     Idle,
+    /// httpd: waiting for a pooled upstream connection.
+    PoolWait,
     /// MySQL: waiting for a database concurrency token.
     TokenWait,
     /// MySQL: dispatch latency between token grant and the read.
@@ -179,6 +225,10 @@ enum Phase {
 struct Worker {
     pid: u32,
     tid: u32,
+    /// Simulation node this worker runs on (a tier replica).
+    node: usize,
+    /// Replica index within the worker's tier.
+    replica: usize,
     phase: Phase,
     epoch: u64,
     /// Connection currently being serviced (tier side).
@@ -202,10 +252,12 @@ struct Worker {
 }
 
 impl Worker {
-    fn new(pid: u32, tid: u32) -> Self {
+    fn new(pid: u32, tid: u32, node: usize, replica: usize) -> Self {
         Worker {
             pid,
             tid,
+            node,
+            replica,
             phase: Phase::Idle,
             epoch: 0,
             conn: None,
@@ -263,16 +315,33 @@ pub struct RubisWorld {
     programs: [Arc<str>; 3],
     node_ips: Vec<Ipv4Addr>,
     nic_bps: Vec<u64>,
+    /// Replica counts per tier [web, app, db].
+    tier_replicas: [usize; 3],
+    /// Traced service node count (sum of all tier replicas); nodes
+    /// `0..service_nodes` are probed, clients and noise hosts follow.
+    service_nodes: usize,
     wires: HashMap<(usize, usize), Wire>,
     ports: Vec<PortAlloc>,
     conns: Vec<Conn>,
+    /// One CPU resource per service node.
     cpus: Vec<FifoResource<(usize, usize)>>,
-    thread_pool: FifoResource<u64>,
-    db_tokens: FifoResource<usize>,
-    items_gate: Gate<usize>,
+    /// JBoss connector pool (`MaxThreads`), one per app replica.
+    thread_pool: Vec<FifoResource<u64>>,
+    /// Database concurrency tokens, one set per db replica.
+    db_tokens: Vec<FifoResource<usize>>,
+    /// The locked `items` table, one gate per db replica.
+    items_gate: Vec<Gate<usize>>,
     workers: [Vec<Worker>; 3],
-    app_free: Vec<usize>,
+    /// Free connector threads per app replica.
+    app_free: Vec<Vec<usize>>,
     clients: Vec<Client>,
+    /// Round-robin cursors per tier.
+    lb_rr: [usize; 3],
+    /// Open-connection counts per tier per replica (feeds
+    /// least-connections balancing).
+    lb_open: [Vec<u64>; 3],
+    /// Web→app connection pools keyed by (web node, app node).
+    pools: HashMap<(usize, usize), UpstreamPool>,
     /// Probe sink (taken at the end of the run).
     pub probe: ProbeSink,
     /// Ground truth (taken at the end of the run).
@@ -289,68 +358,93 @@ impl RubisWorld {
     /// running.
     pub fn new(cfg: WorldConfig) -> Self {
         assert!(cfg.clients > 0, "need at least one client");
+        let spec = &cfg.spec;
+        let tier_replicas = [
+            spec.web.replicas.max(1),
+            spec.app.replicas.max(1),
+            spec.db.replicas.max(1),
+        ];
         assert!(
-            cfg.clients <= cfg.spec.web.workers,
+            cfg.clients <= spec.web.workers * tier_replicas[WEB],
             "httpd workers must cover all client connections"
         );
-        let spec = &cfg.spec;
+        let service_nodes = tier_replicas.iter().sum::<usize>();
         let programs = [
             Arc::<str>::from(spec.web.program),
             Arc::<str>::from(spec.app.program),
             Arc::<str>::from(spec.db.program),
         ];
-        // Nodes: 0 web, 1 app, 2 db, then client hosts, then noise host.
-        let mut node_ips = vec![spec.web.ip, spec.app.ip, spec.db.ip];
+        // Nodes: every tier replica in tier order (web*, app*, db*),
+        // then client hosts, then the noise host.
+        let mut node_ips = Vec::new();
+        let mut probed = Vec::new();
+        for (t, &reps) in tier_replicas.iter().enumerate() {
+            let tier = spec.tier(t);
+            for r in 0..reps {
+                node_ips.push(tier.replica_ip(r));
+                probed.push(ProbedNode {
+                    hostname: tier.replica_hostname(r).into(),
+                    clock: ClockModel {
+                        offset_ns: CLOCK_EPOCH_NS + spec.clock_offsets_ns[t],
+                        drift_ppm: spec.clock_drift_ppm[t],
+                    },
+                });
+            }
+        }
         node_ips.extend(spec.client_ips.iter().copied());
         node_ips.push(Ipv4Addr::new(172, 16, 0, 99)); // noise host
         let base_bw = spec.wire.bandwidth_bps;
         let mut nic_bps = vec![base_bw; node_ips.len()];
         if let Some(bps) = spec.app_net_bps() {
-            nic_bps[APP] = bps;
+            // The degraded-NIC fault hits the whole app tier.
+            let app_first = tier_replicas[WEB];
+            for node in nic_bps.iter_mut().skip(app_first).take(tier_replicas[APP]) {
+                *node = bps;
+            }
         }
-        let probe = ProbeSink::new(
-            vec![
-                ProbedNode {
-                    hostname: spec.web.hostname.into(),
-                    clock: ClockModel {
-                        offset_ns: CLOCK_EPOCH_NS + spec.clock_offsets_ns[0],
-                        drift_ppm: spec.clock_drift_ppm[0],
-                    },
-                },
-                ProbedNode {
-                    hostname: spec.app.hostname.into(),
-                    clock: ClockModel {
-                        offset_ns: CLOCK_EPOCH_NS + spec.clock_offsets_ns[1],
-                        drift_ppm: spec.clock_drift_ppm[1],
-                    },
-                },
-                ProbedNode {
-                    hostname: spec.db.hostname.into(),
-                    clock: ClockModel {
-                        offset_ns: CLOCK_EPOCH_NS + spec.clock_offsets_ns[2],
-                        drift_ppm: spec.clock_drift_ppm[2],
-                    },
-                },
-            ],
-            spec.tracing,
-        );
+        let probe = ProbeSink::new(probed, spec.tracing);
+        let node_of = |tier: usize, replica: usize| -> usize {
+            tier_replicas[..tier].iter().sum::<usize>() + replica
+        };
         let workers = [
+            // Web workers get their replica at ramp-up (client LB).
             (0..cfg.clients)
-                .map(|w| Worker::new(1000 + w as u32, 1000 + w as u32))
+                .map(|w| Worker::new(1000 + w as u32, 1000 + w as u32, node_of(WEB, 0), 0))
                 .collect::<Vec<_>>(),
-            (0..spec.app.workers)
-                .map(|w| Worker::new(2000, 2001 + w as u32))
+            (0..spec.app.workers * tier_replicas[APP])
+                .map(|w| {
+                    let replica = w / spec.app.workers;
+                    let local = (w % spec.app.workers) as u32;
+                    Worker::new(2000, 2001 + local, node_of(APP, replica), replica)
+                })
                 .collect(),
-            (0..spec.db.workers)
-                .map(|w| Worker::new(3000, 3001 + w as u32))
+            (0..spec.db.workers * tier_replicas[DB])
+                .map(|w| {
+                    let replica = w / spec.db.workers;
+                    let local = (w % spec.db.workers) as u32;
+                    Worker::new(3000, 3001 + local, node_of(DB, replica), replica)
+                })
                 .collect(),
         ];
-        let app_free: Vec<usize> = (0..spec.app.workers).rev().collect();
-        let cpus = vec![
-            FifoResource::new(spec.web.cores),
-            FifoResource::new(spec.app.cores),
-            FifoResource::new(spec.db.cores),
-        ];
+        let app_free: Vec<Vec<usize>> = (0..tier_replicas[APP])
+            .map(|r| {
+                (r * spec.app.workers..(r + 1) * spec.app.workers)
+                    .rev()
+                    .collect()
+            })
+            .collect();
+        let cpus = (0..service_nodes)
+            .map(|n| {
+                let t = if n < tier_replicas[WEB] {
+                    WEB
+                } else if n < tier_replicas[WEB] + tier_replicas[APP] {
+                    APP
+                } else {
+                    DB
+                };
+                FifoResource::new(spec.tier(t).cores)
+            })
+            .collect();
         let session_end = SimTime::ZERO + cfg.phases.total();
         let metrics = ServiceMetrics::new(cfg.phases);
         RubisWorld {
@@ -358,16 +452,29 @@ impl RubisWorld {
             programs,
             node_ips,
             nic_bps,
+            tier_replicas,
+            service_nodes,
             wires: HashMap::new(),
             ports: Vec::new(),
             conns: Vec::new(),
             cpus,
-            thread_pool: FifoResource::new(cfg.spec.max_threads),
-            db_tokens: FifoResource::new(cfg.spec.db_tokens),
-            items_gate: Gate::new(),
+            thread_pool: (0..tier_replicas[APP])
+                .map(|_| FifoResource::new(cfg.spec.max_threads))
+                .collect(),
+            db_tokens: (0..tier_replicas[DB])
+                .map(|_| FifoResource::new(cfg.spec.db_tokens))
+                .collect(),
+            items_gate: (0..tier_replicas[DB]).map(|_| Gate::new()).collect(),
             workers,
             app_free,
             clients: Vec::new(),
+            lb_rr: [0; 3],
+            lb_open: [
+                vec![0; tier_replicas[WEB]],
+                vec![0; tier_replicas[APP]],
+                vec![0; tier_replicas[DB]],
+            ],
+            pools: HashMap::new(),
             probe,
             truth: TruthCollector::new(),
             metrics,
@@ -375,6 +482,42 @@ impl RubisWorld {
             noise_tid: 3900,
             session_end,
             cfg,
+        }
+    }
+
+    /// The simulation node of a tier replica.
+    fn node_of(&self, tier: usize, replica: usize) -> usize {
+        self.tier_replicas[..tier].iter().sum::<usize>() + replica
+    }
+
+    /// The (tier, replica) of a service node.
+    fn tier_of_node(&self, node: usize) -> (usize, usize) {
+        let mut n = node;
+        for (t, &reps) in self.tier_replicas.iter().enumerate() {
+            if n < reps {
+                return (t, n);
+            }
+            n -= reps;
+        }
+        panic!("node {node} is not a service node");
+    }
+
+    /// Picks a replica of `tier` for a new connection/request per the
+    /// tier's load-balancing policy.
+    fn pick_replica(&mut self, tier: usize) -> usize {
+        let n = self.tier_replicas[tier];
+        if n == 1 {
+            return 0;
+        }
+        match self.cfg.spec.tier(tier).lb {
+            crate::spec::LbPolicy::RoundRobin => {
+                let r = self.lb_rr[tier] % n;
+                self.lb_rr[tier] += 1;
+                r
+            }
+            crate::spec::LbPolicy::LeastConnections => (0..n)
+                .min_by_key(|&r| (self.lb_open[tier][r], r))
+                .expect("tier has replicas"),
         }
     }
 
@@ -399,13 +542,20 @@ impl RubisWorld {
             let start = SimTime::ZERO + SimDur(up.as_nanos() * i as u64 / n as u64);
             let stop =
                 SimTime::ZERO + steady_end + SimDur(down.as_nanos() * (i as u64 + 1) / n as u64);
-            let node = 3 + (i % self.cfg.spec.client_ips.len());
+            let node = self.service_nodes + (i % self.cfg.spec.client_ips.len());
+            // The front-of-fleet load balancer assigns the client's
+            // keep-alive connection to a web replica.
+            let wr = self.pick_replica(WEB);
+            let web_node = self.node_of(WEB, wr);
+            self.lb_open[WEB][wr] += 1;
+            self.workers[WEB][i].node = web_node;
+            self.workers[WEB][i].replica = wr;
             let port = self.ports[node].next_port();
             let conn = self.open_conn(
                 node,
-                WEB,
+                web_node,
                 Addr::new(self.node_ips[node], port),
-                Addr::new(self.node_ips[WEB], self.cfg.spec.web.port),
+                Addr::new(self.node_ips[web_node], self.cfg.spec.web.port),
             );
             self.conns[conn as usize].opener = Attach::Client(i);
             // A dedicated prefork httpd process owns this keep-alive
@@ -429,12 +579,13 @@ impl RubisWorld {
         }
         if self.cfg.noise.mysql_msgs_per_sec > 0.0 {
             let noise_node = self.node_ips.len() - 1;
+            let db_node = self.node_of(DB, 0);
             let port = self.ports[noise_node].next_port();
             let conn = self.open_conn(
                 noise_node,
-                DB,
+                db_node,
                 Addr::new(self.node_ips[noise_node], port),
-                Addr::new(self.node_ips[DB], self.cfg.spec.db.port),
+                Addr::new(self.node_ips[db_node], self.cfg.spec.db.port),
             );
             self.conns[conn as usize].acceptor = Attach::NoiseDb(self.noise_tid);
             self.noise_conn = Some(conn);
@@ -463,6 +614,9 @@ impl RubisWorld {
             acceptor: Attach::None,
             fwd_reqs: VecDeque::new(),
             pool_queued: false,
+            fwd_off: 0,
+            rev_off: 0,
+            persistent: false,
         });
         id
     }
@@ -502,7 +656,7 @@ impl RubisWorld {
             }
         };
         // Probe: one SEND record per application write chunk.
-        let traced = src_node < 3 && self.probe.enabled();
+        let traced = src_node < self.service_nodes && self.probe.enabled();
         if traced {
             let chunk = self.cfg.spec.app_write_chunk.max(1);
             let (program, pid, tid) = match (sender_worker, noise_tid) {
@@ -540,7 +694,22 @@ impl RubisWorld {
                 i += 1;
             }
         }
-        self.conns[conn_id as usize].buf(dir).push_message(size);
+        let stream_off = {
+            let c = &mut self.conns[conn_id as usize];
+            c.buf(dir).push_message(size);
+            match dir {
+                Dir::Fwd => {
+                    let o = c.fwd_off;
+                    c.fwd_off += size;
+                    o
+                }
+                Dir::Rev => {
+                    let o = c.rev_off;
+                    c.rev_off += size;
+                    o
+                }
+            }
+        };
         let mut rng = std::mem::replace(&mut self.rng, StdRng::seed_from_u64(0));
         let plans = self
             .wire_for(src_node, dst_node)
@@ -552,6 +721,7 @@ impl RubisWorld {
                 Ev::Seg {
                     conn: conn_id,
                     dir,
+                    offset: stream_off + p.offset,
                     bytes: p.bytes,
                 },
             );
@@ -579,7 +749,7 @@ impl RubisWorld {
             let program = Arc::clone(&self.programs[tier]);
             let (pid, tid) = (self.workers[tier][widx].pid, self.workers[tier][widx].tid);
             let uid = self.probe.log(
-                tier,
+                self.workers[tier][widx].node,
                 now,
                 &program,
                 pid,
@@ -606,19 +776,21 @@ impl RubisWorld {
         SimDur(d.sample(&mut self.rng) as u64)
     }
 
-    /// Requests CPU for a worker; schedules `CpuDone` now or at grant.
+    /// Requests CPU on the worker's node; schedules `CpuDone` now or at
+    /// grant.
     fn cpu_request(&mut self, sched: &mut Scheduler<Ev>, tier: usize, widx: usize, hold: SimDur) {
         let debt = std::mem::take(&mut self.workers[tier][widx].overhead_debt);
         let hold = hold + SimDur(debt);
         self.workers[tier][widx].cpu_hold = hold;
-        if self.cpus[tier].acquire((tier, widx)) {
+        let node = self.workers[tier][widx].node;
+        if self.cpus[node].acquire((tier, widx)) {
             sched.after(hold, Ev::CpuDone { tier, worker: widx });
         }
     }
 
-    /// Releases a CPU core; grants the next waiter.
-    fn cpu_release(&mut self, sched: &mut Scheduler<Ev>, tier: usize) {
-        if let Some((t, w)) = self.cpus[tier].release() {
+    /// Releases a CPU core on `node`; grants the next waiter.
+    fn cpu_release(&mut self, sched: &mut Scheduler<Ev>, node: usize) {
+        if let Some((t, w)) = self.cpus[node].release() {
             let hold = self.workers[t][w].cpu_hold;
             sched.after(hold, Ev::CpuDone { tier: t, worker: w });
         }
@@ -691,24 +863,8 @@ impl RubisWorld {
         match self.workers[WEB][w].phase {
             Phase::CpuPre => {
                 let rtype = self.workers[WEB][w].rtype;
-                let req = self.workers[WEB][w].req;
                 if self.cfg.mix.types[rtype].uses_backend {
-                    // Open a fresh connection to the app connector.
-                    let port = self.ports[WEB].next_port();
-                    let conn = self.open_conn(
-                        WEB,
-                        APP,
-                        Addr::new(self.node_ips[WEB], port),
-                        Addr::new(self.node_ips[APP], self.cfg.spec.app.port),
-                    );
-                    self.conns[conn as usize].opener = Attach::Worker(WEB, w);
-                    self.conns[conn as usize]
-                        .fwd_reqs
-                        .push_back((req.unwrap_or(0), rtype));
-                    let size = self.sample(self.cfg.mix.types[rtype].backend_req_size);
-                    self.workers[WEB][w].phase = Phase::AwaitResult;
-                    self.workers[WEB][w].reading = Some((conn, Dir::Rev));
-                    self.send_message(sched, now, conn, Dir::Fwd, size, req, Some((WEB, w)), None);
+                    self.web_request_backend(sched, now, w);
                 } else {
                     self.web_respond(sched, now, w);
                 }
@@ -718,10 +874,108 @@ impl RubisWorld {
         }
     }
 
-    fn web_result_done(&mut self, sched: &mut Scheduler<Ev>, _now: SimTime, w: usize) {
+    /// Acquires an upstream connection to the app tier — per-request
+    /// load balancing over the app replicas, through the shared
+    /// connection pool when one is configured — and sends the backend
+    /// request, or parks the worker until a pooled connection frees up.
+    fn web_request_backend(&mut self, sched: &mut Scheduler<Ev>, now: SimTime, w: usize) {
+        let replica = self.pick_replica(APP);
+        let app_node = self.node_of(APP, replica);
+        let web_node = self.workers[WEB][w].node;
+        if self.cfg.spec.pool.is_some() {
+            match self.pool_checkout(web_node, app_node, w) {
+                Some(conn) => self.web_send_backend(sched, now, w, conn),
+                None => self.workers[WEB][w].phase = Phase::PoolWait,
+            }
+        } else {
+            // The paper's behaviour: a fresh connection per request.
+            let port = self.ports[web_node].next_port();
+            let conn = self.open_conn(
+                web_node,
+                app_node,
+                Addr::new(self.node_ips[web_node], port),
+                Addr::new(self.node_ips[app_node], self.cfg.spec.app.port),
+            );
+            self.lb_open[APP][replica] += 1;
+            self.web_send_backend(sched, now, w, conn);
+        }
+    }
+
+    /// Checks a pooled connection out of the (web node, app node) pool,
+    /// creating one if the pool is below capacity; `None` queues the
+    /// worker.
+    fn pool_checkout(&mut self, web_node: usize, app_node: usize, w: usize) -> Option<u64> {
+        let cap = self.cfg.spec.pool.expect("pool configured").connections;
+        let pool = self.pools.entry((web_node, app_node)).or_default();
+        if let Some(conn) = pool.free.pop() {
+            return Some(conn);
+        }
+        if pool.created >= cap {
+            pool.waiters.push_back(w);
+            return None;
+        }
+        pool.created += 1;
+        let port = self.ports[web_node].next_port();
+        let conn = self.open_conn(
+            web_node,
+            app_node,
+            Addr::new(self.node_ips[web_node], port),
+            Addr::new(self.node_ips[app_node], self.cfg.spec.app.port),
+        );
+        self.conns[conn as usize].persistent = true;
+        let (_, replica) = self.tier_of_node(app_node);
+        self.lb_open[APP][replica] += 1;
+        Some(conn)
+    }
+
+    /// Sends the worker's pending backend request over `conn`. With
+    /// pooling, consecutive requests of different httpd processes reuse
+    /// the same connection — the entity-reuse stress the pool exists
+    /// for.
+    fn web_send_backend(&mut self, sched: &mut Scheduler<Ev>, now: SimTime, w: usize, conn: u64) {
+        let rtype = self.workers[WEB][w].rtype;
+        let req = self.workers[WEB][w].req;
+        self.conns[conn as usize].opener = Attach::Worker(WEB, w);
+        self.conns[conn as usize]
+            .fwd_reqs
+            .push_back((req.unwrap_or(0), rtype));
+        let size = self.sample(self.cfg.mix.types[rtype].backend_req_size);
+        self.workers[WEB][w].phase = Phase::AwaitResult;
+        self.workers[WEB][w].reading = Some((conn, Dir::Rev));
+        self.send_message(sched, now, conn, Dir::Fwd, size, req, Some((WEB, w)), None);
+    }
+
+    fn web_result_done(&mut self, sched: &mut Scheduler<Ev>, now: SimTime, w: usize) {
+        if let Some((conn, Dir::Rev)) = self.workers[WEB][w].reading.take() {
+            self.backend_conn_done(sched, now, conn);
+        }
         self.workers[WEB][w].phase = Phase::CpuPost;
         let post = self.workers[WEB][w].cpu_post;
         self.cpu_request(sched, WEB, w, post);
+    }
+
+    /// The backend response is fully read: a pooled connection returns
+    /// to its pool (or hands off to the next queued worker directly); a
+    /// per-request connection is abandoned and its in-flight count
+    /// drops.
+    fn backend_conn_done(&mut self, sched: &mut Scheduler<Ev>, now: SimTime, conn: u64) {
+        let (src_node, dst_node, persistent) = {
+            let c = &self.conns[conn as usize];
+            (c.src_node, c.dst_node, c.persistent)
+        };
+        let (_, replica) = self.tier_of_node(dst_node);
+        if !persistent {
+            self.lb_open[APP][replica] -= 1;
+            return;
+        }
+        let pool = self
+            .pools
+            .get_mut(&(src_node, dst_node))
+            .expect("pooled conn has a pool");
+        match pool.waiters.pop_front() {
+            Some(next) => self.web_send_backend(sched, now, next, conn),
+            None => pool.free.push(conn),
+        }
     }
 
     fn web_respond(&mut self, sched: &mut Scheduler<Ev>, now: SimTime, w: usize) {
@@ -755,7 +1009,8 @@ impl RubisWorld {
     fn app_conn_arrival(&mut self, sched: &mut Scheduler<Ev>, now: SimTime, conn: u64) {
         if !self.conns[conn as usize].pool_queued {
             self.conns[conn as usize].pool_queued = true;
-            if self.thread_pool.acquire(conn) {
+            let (_, replica) = self.tier_of_node(self.conns[conn as usize].dst_node);
+            if self.thread_pool[replica].acquire(conn) {
                 self.app_start_worker(sched, now, conn);
             }
         }
@@ -765,8 +1020,8 @@ impl RubisWorld {
 
     fn app_start_worker(&mut self, sched: &mut Scheduler<Ev>, now: SimTime, conn: u64) {
         let _ = now;
-        let w = self
-            .app_free
+        let (_, replica) = self.tier_of_node(self.conns[conn as usize].dst_node);
+        let w = self.app_free[replica]
             .pop()
             .expect("connector pool grants never exceed workers");
         self.conns[conn as usize].acceptor = Attach::Worker(APP, w);
@@ -858,16 +1113,22 @@ impl RubisWorld {
         let conn = match self.workers[APP][w].mysql_conn {
             Some(c) => c,
             None => {
-                let port = self.ports[APP].next_port();
+                // Per-connection load balancing over the db replicas:
+                // the worker's persistent mysql connection pins to one.
+                let dbr = self.pick_replica(DB);
+                let db_node = self.node_of(DB, dbr);
+                let app_node = self.workers[APP][w].node;
+                let port = self.ports[app_node].next_port();
                 let c = self.open_conn(
-                    APP,
-                    DB,
-                    Addr::new(self.node_ips[APP], port),
-                    Addr::new(self.node_ips[DB], self.cfg.spec.db.port),
+                    app_node,
+                    db_node,
+                    Addr::new(self.node_ips[app_node], port),
+                    Addr::new(self.node_ips[db_node], self.cfg.spec.db.port),
                 );
+                self.lb_open[DB][dbr] += 1;
                 self.conns[c as usize].opener = Attach::Worker(APP, w);
-                // A dedicated mysqld connection thread services this
-                // connection for its lifetime.
+                // A dedicated mysqld connection thread on that replica
+                // services this connection for its lifetime.
                 let dbw = self.db_worker_for_conn(c);
                 self.conns[c as usize].acceptor = Attach::Worker(DB, dbw);
                 self.workers[APP][w].mysql_conn = Some(c);
@@ -883,11 +1144,16 @@ impl RubisWorld {
         self.send_message(sched, now, conn, Dir::Fwd, size, req, Some((APP, w)), None);
     }
 
-    fn db_worker_for_conn(&mut self, _conn: u64) -> usize {
-        // One mysqld thread per connection; find a never-used slot.
-        let idx = self.workers[DB]
+    fn db_worker_for_conn(&mut self, conn: u64) -> usize {
+        // One mysqld thread per connection on the replica the
+        // connection targets; find a never-used slot there.
+        let (_, replica) = self.tier_of_node(self.conns[conn as usize].dst_node);
+        let per = self.cfg.spec.db.workers;
+        let base = replica * per;
+        let idx = self.workers[DB][base..base + per]
             .iter()
             .position(|wk| wk.conn.is_none() && wk.phase == Phase::Idle && wk.reading.is_none())
+            .map(|i| base + i)
             .expect("mysqld thread-per-connection pool exhausted");
         self.workers[DB][idx].conn = Some(u64::MAX); // reserved marker, set on arrival
         idx
@@ -914,7 +1180,6 @@ impl RubisWorld {
         let wk = &mut self.workers[APP][w];
         wk.req = None;
         wk.reading = None;
-        wk.conn = None;
         wk.phase = Phase::Linger;
         wk.epoch += 1;
         let epoch = wk.epoch;
@@ -926,16 +1191,28 @@ impl RubisWorld {
         // slower -- the mechanism behind the paper's throughput decline
         // at 1000 clients (Fig. 8). The stretch is capped so overload
         // degrades gently instead of collapsing.
-        let backlog = self.thread_pool.queue_len().min(250) as u64;
+        let replica = self.workers[APP][w].replica;
+        let backlog = self.thread_pool[replica].queue_len().min(250) as u64;
         let linger = self.cfg.spec.keepalive_linger;
         let linger = SimDur(linger.as_nanos() + linger.as_nanos() * backlog / 1500);
         sched.after(linger, Ev::LingerCheck { worker: w, epoch });
     }
 
+    /// A lingering connector thread's keep-alive window expired: detach
+    /// the connection (a pooled connection's next request then re-enters
+    /// the connector queue — possibly dispatched to a *different*
+    /// thread, the entity-reuse the pool scenario stresses) and recycle
+    /// the thread.
     fn app_release_thread(&mut self, sched: &mut Scheduler<Ev>, now: SimTime, w: usize) {
+        let replica = self.workers[APP][w].replica;
+        if let Some(conn) = self.workers[APP][w].conn.take() {
+            self.conns[conn as usize].acceptor = Attach::None;
+            self.conns[conn as usize].pool_queued = false;
+        }
+        self.workers[APP][w].reading = None;
         self.workers[APP][w].phase = Phase::Idle;
-        self.app_free.push(w);
-        if let Some(conn) = self.thread_pool.release() {
+        self.app_free[replica].push(w);
+        if let Some(conn) = self.thread_pool[replica].release() {
             self.app_start_worker(sched, now, conn);
         }
     }
@@ -952,7 +1229,8 @@ impl RubisWorld {
                 wk.conn = Some(conn);
                 wk.reading = Some((conn, Dir::Fwd));
                 wk.phase = Phase::TokenWait;
-                if self.db_tokens.acquire(w) {
+                let replica = self.workers[DB][w].replica;
+                if self.db_tokens[replica].acquire(w) {
                     self.db_dispatch(sched, now, w);
                 }
             }
@@ -990,7 +1268,8 @@ impl RubisWorld {
                 .is_some_and(|&(_, rtype)| self.cfg.mix.types[rtype].touches_items);
         if locked {
             self.workers[DB][w].phase = Phase::LockWait;
-            if self.items_gate.acquire(w) {
+            let replica = self.workers[DB][w].replica;
+            if self.items_gate[replica].acquire(w) {
                 self.db_locked_recv(sched, now, w);
             }
         } else {
@@ -1047,9 +1326,10 @@ impl RubisWorld {
         let rtype = self.workers[DB][w].rtype;
         let size = self.sample(self.cfg.mix.types[rtype].result_size);
         self.send_message(sched, now, conn, Dir::Rev, size, req, Some((DB, w)), None);
+        let replica = self.workers[DB][w].replica;
         if self.workers[DB][w].holds_lock {
             self.workers[DB][w].holds_lock = false;
-            if let Some(w2) = self.items_gate.release() {
+            if let Some(w2) = self.items_gate[replica].release() {
                 self.db_locked_recv(sched, now, w2);
             }
         }
@@ -1057,7 +1337,7 @@ impl RubisWorld {
         wk.req = None;
         wk.phase = Phase::Idle;
         wk.reading = Some((conn, Dir::Fwd));
-        if let Some(w2) = self.db_tokens.release() {
+        if let Some(w2) = self.db_tokens[replica].release() {
             self.db_dispatch(sched, now, w2);
         }
         // If the next query already arrived (should not for in-model
@@ -1122,8 +1402,9 @@ impl RubisWorld {
         let r = self.conns[conn as usize].fwd_buf.read();
         let (src, dst) = self.conns[conn as usize].channel(Dir::Fwd);
         let program = Arc::clone(&self.programs[DB]);
+        let db_node = self.conns[conn as usize].dst_node;
         let uid = self.probe.log(
-            DB,
+            db_node,
             now,
             &program,
             3000,
@@ -1151,8 +1432,25 @@ impl RubisWorld {
 
     // ----- event dispatch ----------------------------------------------------
 
-    fn on_seg(&mut self, sched: &mut Scheduler<Ev>, now: SimTime, conn: u64, dir: Dir, bytes: u64) {
-        self.conns[conn as usize].buf(dir).on_arrival(bytes);
+    fn on_seg(
+        &mut self,
+        sched: &mut Scheduler<Ev>,
+        now: SimTime,
+        conn: u64,
+        dir: Dir,
+        offset: u64,
+        bytes: u64,
+    ) {
+        let ing = self.conns[conn as usize].buf(dir).on_segment(offset, bytes);
+        if ing.duplicate > 0 {
+            // The kernel discards retransmitted ranges before the
+            // application ever reads them; the probe's sniffer lane
+            // still logs the arrival, marked `retrans`.
+            self.log_duplicate_arrival(now, conn, dir, ing.duplicate);
+        }
+        if ing.fresh == 0 {
+            return;
+        }
         let side = match dir {
             Dir::Fwd => self.conns[conn as usize].acceptor,
             Dir::Rev => self.conns[conn as usize].opener,
@@ -1169,10 +1467,21 @@ impl RubisWorld {
                 (WEB, Dir::Fwd) => self.web_on_request_data(sched, now, conn),
                 (DB, Dir::Fwd) => self.db_on_query_data(sched, now, conn),
                 (APP, Dir::Fwd) => {
-                    // Request chunks arriving after the connector thread
-                    // started reading.
-                    if self.workers[APP][w].phase == Phase::RecvRequest {
-                        self.app_continue_recv(sched, now, w);
+                    match self.workers[APP][w].phase {
+                        // Request chunks arriving after the connector
+                        // thread started reading.
+                        Phase::RecvRequest => self.app_continue_recv(sched, now, w),
+                        // A pooled connection's next request lands while
+                        // its previous thread still lingers on the
+                        // keep-alive: hot reuse, no re-dispatch.
+                        Phase::Linger => {
+                            let wk = &mut self.workers[APP][w];
+                            wk.epoch += 1; // cancels the LingerCheck
+                            wk.phase = Phase::RecvRequest;
+                            wk.reading = Some((conn, Dir::Fwd));
+                            self.app_continue_recv(sched, now, w);
+                        }
+                        _ => {}
                     }
                 }
                 _ => {
@@ -1193,11 +1502,59 @@ impl RubisWorld {
                 }
             },
             Attach::None => {
-                if dir == Dir::Fwd && self.conns[conn as usize].dst_node == APP {
+                let dst = self.conns[conn as usize].dst_node;
+                if dir == Dir::Fwd && dst < self.service_nodes && self.tier_of_node(dst).0 == APP {
                     self.app_conn_arrival(sched, now, conn);
                 }
             }
         }
+    }
+
+    /// Logs the sniffer-visible record for a duplicate (retransmitted)
+    /// byte range arriving at a traced node. The record is marked
+    /// `retrans`; the correlator is expected to discard it, so ground
+    /// truth counts it as noise.
+    fn log_duplicate_arrival(&mut self, now: SimTime, conn: u64, dir: Dir, dup_bytes: u64) {
+        if !self.probe.enabled() {
+            return;
+        }
+        let (rx_node, side, src, dst) = {
+            let c = &self.conns[conn as usize];
+            let (s, d) = c.channel(dir);
+            match dir {
+                Dir::Fwd => (c.dst_node, c.acceptor, s, d),
+                Dir::Rev => (c.src_node, c.opener, s, d),
+            }
+        };
+        if rx_node >= self.service_nodes {
+            return; // untraced receiver (client emulator / noise host)
+        }
+        let (program, pid, tid) = match side {
+            Attach::Worker(t, w) => (
+                Arc::clone(&self.programs[t]),
+                self.workers[t][w].pid,
+                self.workers[t][w].tid,
+            ),
+            Attach::NoiseDb(tid) => (Arc::clone(&self.programs[DB]), 3000, tid),
+            // Not yet dispatched to a thread: the arrival is handled in
+            // softirq context, which a sniffer attributes to no thread.
+            Attach::None | Attach::Client(_) => {
+                let (t, _) = self.tier_of_node(rx_node);
+                (Arc::clone(&self.programs[t]), 0, 0)
+            }
+        };
+        let uid = self.probe.log_retrans(
+            rx_node,
+            now,
+            &program,
+            pid,
+            tid,
+            RawOp::Receive,
+            EndpointV4::new(src.ip, src.port),
+            EndpointV4::new(dst.ip, dst.port),
+            dup_bytes,
+        );
+        self.truth.note_noise(uid);
     }
 
     fn on_delay(
@@ -1254,9 +1611,15 @@ impl World for RubisWorld {
         match event {
             Ev::ClientStart(ci) => self.client_issue(sched, now, ci),
             Ev::ClientThink(ci) => self.client_issue(sched, now, ci),
-            Ev::Seg { conn, dir, bytes } => self.on_seg(sched, now, conn, dir, bytes),
+            Ev::Seg {
+                conn,
+                dir,
+                offset,
+                bytes,
+            } => self.on_seg(sched, now, conn, dir, offset, bytes),
             Ev::CpuDone { tier, worker } => {
-                self.cpu_release(sched, tier);
+                let node = self.workers[tier][worker].node;
+                self.cpu_release(sched, node);
                 match tier {
                     WEB => self.web_cpu_done(sched, now, worker),
                     APP => self.app_cpu_done(sched, now, worker),

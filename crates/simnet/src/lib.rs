@@ -34,5 +34,5 @@ pub use dist::Dist;
 pub use resource::{FifoResource, Gate};
 pub use sim::{Scheduler, Simulator, World};
 pub use stats::{Histogram, OnlineStats, RateSeries};
-pub use tcp::{Addr, PortAlloc, RecvBuffer, SegmentPlan, Wire, WireParams};
+pub use tcp::{Addr, PortAlloc, RecvBuffer, SegmentIngest, SegmentPlan, Wire, WireParams};
 pub use time::{SimDur, SimTime};

@@ -12,9 +12,18 @@
 //! * application reads do not cross logical message boundaries
 //!   (request/response protocols read exactly one message), unless the
 //!   [`RecvBuffer`] is built with coalescing allowed — a stress mode
-//!   that violates the paper's assumptions on purpose.
+//!   that violates the paper's assumptions on purpose,
+//! * **loss and retransmission**: with [`WireParams::loss`] > 0, wire
+//!   segments are dropped with that probability and retransmitted after
+//!   an exponentially backed-off [`WireParams::rto`]; delayed ACKs also
+//!   trigger *spurious* retransmissions whose duplicate byte ranges
+//!   arrive on top of the original. The receiver reassembles by stream
+//!   offset ([`RecvBuffer::on_segment`]): out-of-order segments are held
+//!   until the gap fills, duplicates are counted and discarded — exactly
+//!   what a kernel TCP receive queue does, while a sniffer on the wire
+//!   would still see every duplicate arrival.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::net::Ipv4Addr;
 
@@ -88,6 +97,14 @@ pub struct WireParams {
     pub bandwidth_bps: u64,
     /// Maximum segment size in bytes (1448 for Ethernet TCP).
     pub mss: u32,
+    /// Per-segment loss probability (0.0 = reliable link). Each lost
+    /// segment is retransmitted after [`WireParams::rto`] with
+    /// exponential backoff; a delivered segment whose ACK is "lost"
+    /// (same probability) is spuriously retransmitted, producing a
+    /// duplicate byte-range arrival.
+    pub loss: f64,
+    /// Retransmission timeout (base of the exponential backoff).
+    pub rto: SimDur,
 }
 
 impl Default for WireParams {
@@ -100,6 +117,8 @@ impl Default for WireParams {
             }, // up to 20us
             bandwidth_bps: 100_000_000,
             mss: 1448,
+            loss: 0.0,
+            rto: SimDur::from_millis(30),
         }
     }
 }
@@ -116,9 +135,16 @@ impl WireParams {
 pub struct SegmentPlan {
     /// Arrival time at the receiver's kernel.
     pub at: SimTime,
+    /// Byte offset of this segment within the transmitted message.
+    pub offset: u64,
     /// Payload bytes in this segment.
     pub bytes: u64,
 }
+
+/// Retransmission attempts are capped so simulation always terminates:
+/// after this many consecutive losses the segment is delivered anyway
+/// (a real TCP would keep trying far longer than any session lasts).
+const MAX_RETRANS: u32 = 6;
 
 /// One direction of a link; tracks when the transmitter is next free so
 /// that back-to-back messages serialize (this is what makes the 10 Mbps
@@ -143,8 +169,11 @@ impl Wire {
     }
 
     /// Plans the wire segments for an application send of `bytes` at
-    /// `now`. Returns per-segment arrival times, FIFO and
-    /// non-decreasing.
+    /// `now`. With a reliable link ([`WireParams::loss`] = 0) arrivals
+    /// are FIFO and non-decreasing; with loss, lost segments arrive
+    /// late (after RTO backoff, possibly reordered behind later
+    /// segments) and spurious retransmissions yield extra plans whose
+    /// byte ranges duplicate already-delivered ones.
     pub fn transmit<R: Rng + ?Sized>(
         &mut self,
         now: SimTime,
@@ -157,14 +186,44 @@ impl Wire {
         let mut tx = self.next_free_tx.max(now);
         let mut out = Vec::new();
         let mut left = bytes;
+        let mut offset = 0u64;
         while left > 0 {
             let seg = left.min(self.params.mss as u64);
             left -= seg;
             tx += self.params.tx_time(seg);
-            out.push(SegmentPlan {
-                at: tx + self.params.latency + jitter,
-                bytes: seg,
-            });
+            let base = tx + self.params.latency + jitter;
+            if self.params.loss > 0.0 {
+                // Count consecutive losses of this segment; each retry
+                // waits one more backoff step (rto, 2*rto, 4*rto, ...),
+                // so the delivery lags by rto * (2^attempts - 1).
+                let mut attempts = 0u32;
+                while attempts < MAX_RETRANS && rng.gen_bool(self.params.loss) {
+                    attempts += 1;
+                }
+                let lag = SimDur(self.params.rto.as_nanos() * ((1u64 << attempts) - 1));
+                out.push(SegmentPlan {
+                    at: base + lag,
+                    offset,
+                    bytes: seg,
+                });
+                // A first-try delivery whose ACK is lost is spuriously
+                // retransmitted: the duplicate range arrives one RTO
+                // later on top of the original.
+                if attempts == 0 && rng.gen_bool(self.params.loss) {
+                    out.push(SegmentPlan {
+                        at: base + self.params.rto,
+                        offset,
+                        bytes: seg,
+                    });
+                }
+            } else {
+                out.push(SegmentPlan {
+                    at: base,
+                    offset,
+                    bytes: seg,
+                });
+            }
+            offset += seg;
         }
         self.next_free_tx = tx;
         out
@@ -179,13 +238,30 @@ impl Wire {
 /// message boundary (unless coalescing mode is on).
 #[derive(Debug, Clone, Default)]
 pub struct RecvBuffer {
-    /// Bytes arrived but not yet read.
+    /// Contiguously delivered bytes not yet read.
     arrived: u64,
     /// Remaining unread bytes of each in-flight logical message, FIFO.
     bounds: VecDeque<u64>,
     /// Allow reads to cross message boundaries (assumption-violation
     /// stress mode).
     coalesce_across_messages: bool,
+    /// Next expected stream offset (the contiguous high-water mark).
+    expected: u64,
+    /// Out-of-order segments held for reassembly: offset → length,
+    /// non-adjacent after merging.
+    ooo: BTreeMap<u64, u64>,
+}
+
+/// What one segment arrival contributed to the receive queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SegmentIngest {
+    /// Bytes never seen before (delivered contiguously or held for
+    /// reassembly).
+    pub fresh: u64,
+    /// Bytes duplicating an already-delivered or already-held range —
+    /// what a retransmission looks like to the receiver's kernel, which
+    /// silently discards them (a wire sniffer still sees the arrival).
+    pub duplicate: u64,
 }
 
 /// Result of an application read.
@@ -217,9 +293,89 @@ impl RecvBuffer {
         self.bounds.push_back(size);
     }
 
-    /// Records the arrival of a wire segment.
+    /// Records the in-order arrival of a wire segment (reliable-link
+    /// convenience; equivalent to [`RecvBuffer::on_segment`] at the
+    /// contiguous high-water mark).
     pub fn on_arrival(&mut self, bytes: u64) {
-        self.arrived += bytes;
+        let at = self.expected;
+        self.on_segment(at, bytes);
+    }
+
+    /// Records the arrival of a wire segment carrying stream bytes
+    /// `[offset, offset + bytes)`. In-order segments extend the readable
+    /// prefix (and drain any now-contiguous held ranges); out-of-order
+    /// segments are held for reassembly; duplicated ranges are counted
+    /// and discarded, like a kernel TCP receive queue.
+    pub fn on_segment(&mut self, offset: u64, bytes: u64) -> SegmentIngest {
+        let mut ing = SegmentIngest::default();
+        let end = offset + bytes;
+        // The portion below the contiguous high-water mark was already
+        // delivered to the application side: pure duplicate.
+        let mut start = offset;
+        if start < self.expected {
+            let dup = self.expected.min(end) - start;
+            ing.duplicate += dup;
+            start += dup;
+        }
+        if start >= end {
+            return ing;
+        }
+        if start == self.expected {
+            // A spanning in-order segment may cover ranges already held
+            // for reassembly: those bytes were counted fresh when held
+            // and are duplicates now (the readable prefix itself only
+            // advances once either way).
+            let held: u64 = self
+                .ooo
+                .range(..end)
+                .filter(|(&o, &l)| o + l > start)
+                .map(|(&o, &l)| (o + l).min(end) - o.max(start))
+                .sum();
+            ing.fresh += (end - start) - held;
+            ing.duplicate += held;
+            self.arrived += end - start;
+            self.expected = end;
+            self.drain_contiguous();
+            return ing;
+        }
+        // Out of order: clip against ranges already held, then merge the
+        // remainder in.
+        let mut covered = 0u64;
+        let mut merged_start = start;
+        let mut merged_end = end;
+        let keys: Vec<u64> = self
+            .ooo
+            .range(..end)
+            .filter(|(&o, &l)| o + l >= start)
+            .map(|(&o, _)| o)
+            .collect();
+        for o in keys {
+            let l = self.ooo.remove(&o).expect("key just enumerated");
+            let e = o + l;
+            covered += e.min(end).saturating_sub(o.max(start));
+            merged_start = merged_start.min(o);
+            merged_end = merged_end.max(e);
+        }
+        ing.duplicate += covered;
+        ing.fresh += (end - start) - covered;
+        self.ooo.insert(merged_start, merged_end - merged_start);
+        ing
+    }
+
+    /// Promotes held ranges that became contiguous with the high-water
+    /// mark into the readable prefix.
+    fn drain_contiguous(&mut self) {
+        while let Some((&o, &l)) = self.ooo.first_key_value() {
+            if o > self.expected {
+                break;
+            }
+            self.ooo.remove(&o);
+            let e = o + l;
+            if e > self.expected {
+                self.arrived += e - self.expected;
+                self.expected = e;
+            }
+        }
     }
 
     /// Bytes the application could read right now.
@@ -293,6 +449,8 @@ mod tests {
             jitter: Dist::Constant(0.0),
             bandwidth_bps: 100_000_000,
             mss: 1448,
+            loss: 0.0,
+            rto: SimDur::from_millis(30),
         }
     }
 
@@ -420,6 +578,159 @@ mod tests {
         assert!(!rb.front_message_complete());
         rb.on_arrival(1);
         assert!(rb.front_message_complete());
+    }
+
+    #[test]
+    fn segments_carry_message_offsets() {
+        let mut w = Wire::new(quiet_params());
+        let segs = w.transmit(SimTime::ZERO, 4_000, &mut rng());
+        let offsets: Vec<u64> = segs.iter().map(|s| s.offset).collect();
+        assert_eq!(offsets, vec![0, 1448, 2896]);
+    }
+
+    #[test]
+    fn lossy_wire_delivers_every_byte_with_retransmit_lag() {
+        let mut p = quiet_params();
+        p.loss = 0.3;
+        let mut w = Wire::new(p);
+        let mut r = rng();
+        for _ in 0..50 {
+            let segs = w.transmit(SimTime::ZERO, 20_000, &mut r);
+            // Every byte of the message is delivered at least once.
+            let mut rb = RecvBuffer::new();
+            rb.push_message(20_000);
+            let mut dup = 0;
+            for s in &segs {
+                dup += rb.on_segment(s.offset, s.bytes).duplicate;
+            }
+            assert_eq!(rb.read().bytes, 20_000);
+            // Duplicates only come from spurious retransmissions.
+            let extra: u64 = segs.iter().map(|s| s.bytes).sum::<u64>() - 20_000;
+            assert_eq!(dup, extra);
+        }
+    }
+
+    #[test]
+    fn lossy_wire_produces_late_and_duplicate_arrivals() {
+        let mut p = quiet_params();
+        p.loss = 0.2;
+        let mut w = Wire::new(p);
+        let mut r = rng();
+        let mut late = 0u32;
+        let mut dups = 0u32;
+        for i in 0..200u64 {
+            let now = SimTime(i * 1_000_000_000);
+            let segs = w.transmit(now, 10_000, &mut r);
+            // Reordering: a segment arriving after a later-offset one.
+            late += segs.windows(2).filter(|p| p[0].at > p[1].at).count() as u32;
+            let mut seen = std::collections::HashSet::new();
+            dups += segs.iter().filter(|s| !seen.insert(s.offset)).count() as u32;
+        }
+        assert!(late > 0, "lossy wire must reorder deliveries");
+        assert!(dups > 0, "lossy wire must duplicate byte ranges");
+    }
+
+    #[test]
+    fn recv_buffer_reassembles_out_of_order_segments() {
+        let mut rb = RecvBuffer::new();
+        rb.push_message(300);
+        // Middle segment arrives first: held, not readable.
+        let i = rb.on_segment(100, 100);
+        assert_eq!(
+            i,
+            SegmentIngest {
+                fresh: 100,
+                duplicate: 0
+            }
+        );
+        assert_eq!(rb.readable(), 0);
+        // Head arrives: both become readable.
+        let i = rb.on_segment(0, 100);
+        assert_eq!(i.fresh, 100);
+        assert_eq!(rb.readable(), 200);
+        // Tail completes the message.
+        rb.on_segment(200, 100);
+        let r = rb.read();
+        assert_eq!(r.bytes, 300);
+        assert_eq!(r.messages_completed, 1);
+    }
+
+    #[test]
+    fn recv_buffer_counts_duplicates() {
+        let mut rb = RecvBuffer::new();
+        rb.push_message(400);
+        rb.on_segment(0, 200);
+        // Full duplicate of a delivered range.
+        assert_eq!(
+            rb.on_segment(0, 200),
+            SegmentIngest {
+                fresh: 0,
+                duplicate: 200
+            }
+        );
+        // Duplicate of a held out-of-order range.
+        rb.on_segment(300, 100);
+        assert_eq!(
+            rb.on_segment(300, 100),
+            SegmentIngest {
+                fresh: 0,
+                duplicate: 100
+            }
+        );
+        // Partial overlap with the delivered prefix.
+        assert_eq!(
+            rb.on_segment(100, 150),
+            SegmentIngest {
+                fresh: 50,
+                duplicate: 100
+            }
+        );
+        rb.on_segment(250, 50);
+        assert_eq!(rb.readable(), 400);
+        assert_eq!(rb.read().messages_completed, 1);
+    }
+
+    #[test]
+    fn spanning_in_order_segment_counts_held_overlap_as_duplicate() {
+        let mut rb = RecvBuffer::new();
+        rb.push_message(200);
+        // Middle range held out of order: fresh once.
+        assert_eq!(
+            rb.on_segment(100, 100),
+            SegmentIngest {
+                fresh: 100,
+                duplicate: 0
+            }
+        );
+        // A spanning retransmission covers it from the contiguous edge:
+        // only the head 100 bytes are new.
+        assert_eq!(
+            rb.on_segment(0, 200),
+            SegmentIngest {
+                fresh: 100,
+                duplicate: 100
+            }
+        );
+        assert_eq!(rb.readable(), 200);
+        let r = rb.read();
+        assert_eq!(r.bytes, 200);
+        assert_eq!(r.messages_completed, 1);
+    }
+
+    #[test]
+    fn on_arrival_remains_in_order_equivalent() {
+        let mut a = RecvBuffer::new();
+        let mut b = RecvBuffer::new();
+        for rbuf in [&mut a, &mut b] {
+            rbuf.push_message(100);
+            rbuf.push_message(50);
+        }
+        a.on_arrival(100);
+        a.on_arrival(50);
+        b.on_segment(0, 100);
+        b.on_segment(100, 50);
+        assert_eq!(a.readable(), b.readable());
+        assert_eq!(a.read(), b.read());
     }
 
     #[test]

@@ -429,6 +429,13 @@ impl StreamingCorrelator {
     pub fn push(&mut self, rec: RawRecord) -> Result<(), TraceError> {
         self.guard()?;
         self.metrics.records_in += 1;
+        if rec.retrans {
+            // A sniffer-marked retransmission duplicates bytes the
+            // kernel already delivered; admitting it would break Rule
+            // 1's byte exactness on the channel.
+            self.metrics.retrans_dropped += 1;
+            return Ok(());
+        }
         let act = self.classifier.classify(&rec);
         if !self.filters.admits(&act) {
             self.metrics.filtered_out += 1;

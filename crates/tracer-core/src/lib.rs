@@ -94,7 +94,7 @@ pub use intern::Interner;
 pub use metrics::CorrelatorMetrics;
 pub use pattern::{AveragePath, PatternAggregator, PatternKey};
 pub use ranker::Ranker;
-pub use raw::{parse_log, parse_log_iter, RawOp, RawRecord, RawRecordRef};
+pub use raw::{dedup_retransmissions, parse_log, parse_log_iter, RawOp, RawRecord, RawRecordRef};
 pub use shard::ShardedCorrelator;
 
 /// Commonly used items, for glob import in examples and tests.
@@ -114,6 +114,8 @@ pub mod prelude {
     pub use crate::intern::Interner;
     pub use crate::metrics::CorrelatorMetrics;
     pub use crate::pattern::{AveragePath, PatternAggregator, PatternKey};
-    pub use crate::raw::{parse_log, parse_log_iter, RawOp, RawRecord, RawRecordRef};
+    pub use crate::raw::{
+        dedup_retransmissions, parse_log, parse_log_iter, RawOp, RawRecord, RawRecordRef,
+    };
     pub use crate::shard::ShardedCorrelator;
 }

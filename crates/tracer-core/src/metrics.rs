@@ -13,6 +13,10 @@ pub struct CorrelatorMetrics {
     pub records_in: u64,
     /// Records dropped by the attribute filters (§4.3 way 1).
     pub filtered_out: u64,
+    /// Sniffer-marked retransmission records discarded at ingest
+    /// (duplicate byte ranges that would break Rule 1's byte
+    /// exactness).
+    pub retrans_dropped: u64,
     /// Ranker counters (Rules 1/2, swaps, boosts, `is_noise` discards).
     pub ranker: RankerCounters,
     /// Engine counters (merges, matches, evictions).
@@ -40,6 +44,7 @@ impl CorrelatorMetrics {
     pub fn absorb(&mut self, other: &CorrelatorMetrics) {
         self.records_in += other.records_in;
         self.filtered_out += other.filtered_out;
+        self.retrans_dropped += other.retrans_dropped;
         self.ranker.absorb(&other.ranker);
         self.engine.absorb(&other.engine);
         self.cags_finished += other.cags_finished;

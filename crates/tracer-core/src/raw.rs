@@ -11,6 +11,21 @@
 //! integer nanoseconds). PreciseTracer then transforms raw records into
 //! typed [`Activity`](crate::activity::Activity) tuples via
 //! [`access::Classifier`](crate::access::Classifier).
+//!
+//! ## Retransmission records
+//!
+//! The paper's probe hooks `tcp_recvmsg`, which never surfaces
+//! duplicate bytes — the kernel discards retransmitted ranges before
+//! the application reads. A **sniffer-based** probe (tcpdump-style)
+//! sees every wire arrival instead, including duplicated byte ranges
+//! from TCP retransmissions; its capture frontend performs the same
+//! sequence-number analysis tcpdump does and marks such records with a
+//! trailing `retrans` attribute. Correlation ingest discards marked
+//! records up front (counted in
+//! [`CorrelatorMetrics::retrans_dropped`](crate::metrics::CorrelatorMetrics)),
+//! restoring the byte-exactness Rule 1 depends on;
+//! [`dedup_retransmissions`] performs the same deduplication as a
+//! standalone pre-pass.
 
 use std::fmt;
 use std::sync::Arc;
@@ -73,6 +88,10 @@ pub struct RawRecord {
     /// Opaque ground-truth tag (0 = untagged); not part of the text
     /// format, used only by evaluation harnesses.
     pub tag: u64,
+    /// True when this record duplicates an already-captured byte range
+    /// (a TCP retransmission seen by a sniffer-based probe; marked by
+    /// the capture frontend with a trailing `retrans` attribute).
+    pub retrans: bool,
 }
 
 impl RawRecord {
@@ -149,6 +168,9 @@ pub struct RawRecordRef<'a> {
     pub size: u64,
     /// Opaque ground-truth tag (0 = untagged).
     pub tag: u64,
+    /// True when this record duplicates an already-captured byte range
+    /// (a sniffer-visible TCP retransmission).
+    pub retrans: bool,
 }
 
 impl<'a> RawRecordRef<'a> {
@@ -186,6 +208,11 @@ impl<'a> RawRecordRef<'a> {
         let size: u64 = next("size")?
             .parse()
             .map_err(|_| TraceError::parse(line, "bad size"))?;
+        let retrans = match it.next() {
+            None => false,
+            Some("retrans") => true,
+            Some(_) => return Err(TraceError::parse(line, "trailing fields")),
+        };
         if it.next().is_some() {
             return Err(TraceError::parse(line, "trailing fields"));
         }
@@ -200,6 +227,7 @@ impl<'a> RawRecordRef<'a> {
             dst,
             size,
             tag: 0,
+            retrans,
         })
     }
 
@@ -231,6 +259,7 @@ impl<'a> RawRecordRef<'a> {
             dst: self.dst,
             size: self.size,
             tag: self.tag,
+            retrans: self.retrans,
         }
     }
 }
@@ -249,7 +278,11 @@ impl fmt::Display for RawRecord {
             self.src,
             self.dst,
             self.size
-        )
+        )?;
+        if self.retrans {
+            f.write_str(" retrans")?;
+        }
+        Ok(())
     }
 }
 
@@ -308,6 +341,16 @@ pub fn parse_log_iter(
         .map(RawRecordRef::parse_line)
 }
 
+/// Drops the retransmitted byte-range records a sniffer-based probe
+/// marks with the `retrans` attribute, yielding the log a
+/// `tcp_recvmsg`-level probe would have produced. Correlation ingest
+/// performs the same deduplication internally, so correlating the raw
+/// log and correlating this pre-pass's output yield the same CAG set —
+/// the invariance pinned by `tests/properties.rs`.
+pub fn dedup_retransmissions(records: impl IntoIterator<Item = RawRecord>) -> Vec<RawRecord> {
+    records.into_iter().filter(|r| !r.retrans).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -343,6 +386,29 @@ mod tests {
         ] {
             assert!(RawRecord::parse_line(bad).is_err(), "should reject {bad:?}");
         }
+    }
+
+    #[test]
+    fn parse_retrans_marker_roundtrips() {
+        let line = format!("{LINE} retrans");
+        let r = RawRecord::parse_line(&line).unwrap();
+        assert!(r.retrans);
+        assert_eq!(r.to_string(), line);
+        let plain = RawRecord::parse_line(LINE).unwrap();
+        assert!(!plain.retrans);
+        // Anything else trailing is still rejected.
+        assert!(RawRecord::parse_line(&format!("{LINE} retransX")).is_err());
+        assert!(RawRecord::parse_line(&format!("{LINE} retrans retrans")).is_err());
+    }
+
+    #[test]
+    fn dedup_retransmissions_strips_marked_records() {
+        let raw = format!("{LINE}\n{LINE} retrans\n{LINE}\n");
+        let recs = parse_log(&raw).unwrap();
+        assert_eq!(recs.len(), 3);
+        let deduped = dedup_retransmissions(recs);
+        assert_eq!(deduped.len(), 2);
+        assert!(deduped.iter().all(|r| !r.retrans));
     }
 
     #[test]

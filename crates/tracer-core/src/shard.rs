@@ -59,7 +59,7 @@
 //!   single-shard run; additive per-session counters (records, CAGs,
 //!   merges, noise discards) sum exactly.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -143,6 +143,23 @@ struct Claims {
     last: Option<u32>,
 }
 
+/// Which lanes stage a given endpoint role (sender / receiver) of a
+/// directed channel. Almost every channel has exactly one entity per
+/// role (`order: None`, the fast path); connection pooling breaks that
+/// — many httpd processes send on one pooled channel, and consecutive
+/// requests are read by different connector threads. Claims must then
+/// be produced and consumed in the endpoint host's local-time order
+/// (TCP's byte order), not in lane-drain order, or one session's bytes
+/// would be claimed for another's shard.
+#[derive(Debug)]
+struct RoleOrder {
+    /// The single lane seen staging this role so far (exclusive mode).
+    lane: usize,
+    /// Shared mode: multiset of staged `(local time, lane)` activities
+    /// of this role; only the minimum may produce/consume claims.
+    order: Option<BTreeMap<(crate::activity::LocalTime, usize), u32>>,
+}
+
 /// Routing decision for one RECEIVE.
 enum RecvDecision {
     /// Route to this shard.
@@ -205,6 +222,13 @@ struct SessionRouter {
     waiters: FxHashMap<crate::activity::Channel, Vec<usize>>,
     /// Directed channel → claim FIFO + staged-send census.
     claims: FxHashMap<crate::activity::Channel, Claims>,
+    /// `(channel, is_send)` → which lanes stage that endpoint role
+    /// (shared-channel time ordering; see [`RoleOrder`]).
+    roles: FxHashMap<(crate::activity::Channel, bool), RoleOrder>,
+    /// True once any channel role went shared: until then `in_turn` /
+    /// `untrack` skip their map lookups entirely (the common,
+    /// unpooled case pays one stage-time lookup per send/receive).
+    any_shared: bool,
     /// Staged activity count across lanes.
     staged: usize,
     /// Receives force-routed by the drift fallback (diagnostics; zero
@@ -229,6 +253,8 @@ impl SessionRouter {
             runnable: VecDeque::new(),
             waiters: FxHashMap::default(),
             claims: FxHashMap::default(),
+            roles: FxHashMap::default(),
+            any_shared: false,
             staged: 0,
             forced_routes: 0,
             noise_discards: 0,
@@ -239,6 +265,52 @@ impl SessionRouter {
     fn hash_to_shard<T: std::hash::Hash>(&self, key: &T) -> u32 {
         use std::hash::BuildHasher;
         jump_hash(self.hasher.hash_one(key), self.shards)
+    }
+
+    /// Approximate resident bytes of the router's staging state: the
+    /// deferred/noise lanes (activities waiting for their claims or for
+    /// end-of-input noise settlement), the per-channel claim FIFOs and
+    /// waiter lists, and the noise samples. This is the state the
+    /// ROADMAP's "sharded streaming endurance" item bounds; an endless
+    /// noisy stream grows exactly these numbers.
+    fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let lanes: usize = self
+            .lanes
+            .iter()
+            .map(|l| size_of::<CtxLane>() + l.buf.len() * size_of::<Activity>())
+            .sum();
+        let claims: usize = self
+            .claims
+            .values()
+            .map(|c| {
+                size_of::<crate::activity::Channel>()
+                    + size_of::<Claims>()
+                    + c.queue.len() * size_of::<(u32, u64)>()
+            })
+            .sum();
+        let waiters: usize = self
+            .waiters
+            .values()
+            .map(|w| size_of::<crate::activity::Channel>() + w.len() * size_of::<usize>())
+            .sum();
+        let roles: usize = self
+            .roles
+            .values()
+            .map(|t| {
+                size_of::<(crate::activity::Channel, bool)>()
+                    + size_of::<RoleOrder>()
+                    + t.order.as_ref().map_or(0, |m| {
+                        m.len() * size_of::<((crate::activity::LocalTime, usize), u32)>()
+                    })
+            })
+            .sum();
+        lanes
+            + claims
+            + waiters
+            + roles
+            + self.by_ctx.len() * size_of::<(crate::activity::ContextId, usize)>()
+            + self.noise_samples.len() * size_of::<Activity>()
     }
 
     /// Stages one classified, filter-admitted activity on its entity's
@@ -264,6 +336,9 @@ impl SessionRouter {
                 i
             }
         };
+        if matches!(a.ty, ActivityType::Send | ActivityType::Receive) {
+            self.track_stage(lane, &a);
+        }
         let buf = &mut self.lanes[lane].buf;
         match buf.back() {
             Some(last) if last.ts > a.ts => {
@@ -295,6 +370,73 @@ impl SessionRouter {
                 if !self.lanes[lane].queued {
                     self.lanes[lane].queued = true;
                     self.runnable.push_back(lane);
+                }
+            }
+        }
+    }
+
+    /// Records a staged SEND/RECEIVE in its channel role's order
+    /// tracker; the first time a second lane appears in one role, the
+    /// role upgrades to shared mode and the exclusive lane's staged
+    /// activities are indexed.
+    fn track_stage(&mut self, lane: usize, a: &Activity) {
+        let key = (a.channel, a.ty == ActivityType::Send);
+        match self.roles.get_mut(&key) {
+            None => {
+                self.roles.insert(key, RoleOrder { lane, order: None });
+            }
+            Some(t) => {
+                if t.order.is_none() {
+                    if t.lane == lane {
+                        return;
+                    }
+                    let mut m = BTreeMap::new();
+                    for act in &self.lanes[t.lane].buf {
+                        if act.channel == a.channel && act.ty == a.ty {
+                            *m.entry((act.ts, t.lane)).or_insert(0u32) += 1;
+                        }
+                    }
+                    t.order = Some(m);
+                    self.any_shared = true;
+                }
+                *t.order
+                    .as_mut()
+                    .expect("just upgraded")
+                    .entry((a.ts, lane))
+                    .or_insert(0) += 1;
+            }
+        }
+    }
+
+    /// True when `a` is allowed to produce/consume claims now: on a
+    /// shared channel role, only the staged activity that is earliest
+    /// in the endpoint host's local time may act (TCP handed the bytes
+    /// over in that order).
+    fn in_turn(&self, lane: usize, a: &Activity) -> bool {
+        if !self.any_shared {
+            return true;
+        }
+        match self.roles.get(&(a.channel, a.ty == ActivityType::Send)) {
+            Some(RoleOrder { order: Some(m), .. }) => {
+                m.first_key_value().is_none_or(|(&k, _)| k == (a.ts, lane))
+            }
+            _ => true,
+        }
+    }
+
+    /// Removes a consumed (routed, discarded or force-routed)
+    /// SEND/RECEIVE from its role's order tracker.
+    fn untrack(&mut self, lane: usize, a: &Activity) {
+        if !self.any_shared || !matches!(a.ty, ActivityType::Send | ActivityType::Receive) {
+            return;
+        }
+        if let Some(RoleOrder { order: Some(m), .. }) =
+            self.roles.get_mut(&(a.channel, a.ty == ActivityType::Send))
+        {
+            if let Some(c) = m.get_mut(&(a.ts, lane)) {
+                *c -= 1;
+                if *c == 0 {
+                    m.remove(&(a.ts, lane));
                 }
             }
         }
@@ -383,14 +525,34 @@ impl SessionRouter {
         dispatch: &mut dyn FnMut(Activity, u32) -> Result<(), TraceError>,
     ) -> Result<(), TraceError> {
         while let Some(a) = self.lanes[lane].buf.pop_front() {
+            // Shared-channel time ordering: out of several entities
+            // staging the same channel role, only the earliest may
+            // act; later ones park until the channel's turn passes to
+            // them (consumptions wake the channel's waiters).
+            if matches!(a.ty, ActivityType::Send | ActivityType::Receive) && !self.in_turn(lane, &a)
+            {
+                if self.lanes[lane].waiting_on != Some(a.channel) {
+                    self.waiters.entry(a.channel).or_default().push(lane);
+                    self.lanes[lane].waiting_on = Some(a.channel);
+                }
+                self.lanes[lane].buf.push_front(a);
+                return Ok(());
+            }
             let shard = match a.ty {
                 // The session identity itself: the client endpoint at
                 // the access point (BEGIN: src is the client; END: dst).
                 ActivityType::Begin => self.hash_to_shard(&a.channel.src),
                 ActivityType::End => self.hash_to_shard(&a.channel.dst),
-                ActivityType::Send => self.route_send(lane, &a),
+                ActivityType::Send => {
+                    self.untrack(lane, &a);
+                    self.route_send(lane, &a)
+                }
                 ActivityType::Receive => match self.decide_receive(&a, final_input) {
-                    RecvDecision::Shard(s) => s,
+                    RecvDecision::Shard(s) => {
+                        self.untrack(lane, &a);
+                        self.wake(a.channel);
+                        s
+                    }
                     RecvDecision::Defer => {
                         // The claiming send is staged (or may still
                         // arrive): wait for it. Register once per
@@ -407,6 +569,8 @@ impl SessionRouter {
                         // Discarded before dispatch; the entity's
                         // session affinity stays untouched, like the
                         // engine's `cmap` would be.
+                        self.untrack(lane, &a);
+                        self.wake(a.channel);
                         self.staged -= 1;
                         self.noise_discards += 1;
                         if self.noise_samples.len() < NOISE_SAMPLE_CAP {
@@ -463,6 +627,7 @@ impl SessionRouter {
             let a = self.lanes[lane].buf.pop_front().expect("nonempty");
             self.staged -= 1;
             self.forced_routes += 1;
+            self.untrack(lane, &a);
             let shard = match a.ty {
                 ActivityType::Send => self.route_send(lane, &a),
                 _ => match self.claims.get(&a.channel).and_then(|c| c.last) {
@@ -470,6 +635,7 @@ impl SessionRouter {
                     None => self.hash_to_shard(&conn_key(a.channel.src, a.channel.dst)),
                 },
             };
+            self.wake(a.channel);
             self.lanes[lane].affinity = Some(shard);
             dispatch(a, shard)?;
             if !self.lanes[lane].buf.is_empty() && !self.lanes[lane].queued {
@@ -511,6 +677,7 @@ pub struct ShardedCorrelator {
     workers: Vec<JoinHandle<Result<CorrelationOutput, TraceError>>>,
     records_in: u64,
     filtered_out: u64,
+    retrans_dropped: u64,
     started: Instant,
     finished: bool,
 }
@@ -572,6 +739,7 @@ impl ShardedCorrelator {
             workers,
             records_in: 0,
             filtered_out: 0,
+            retrans_dropped: 0,
             started: Instant::now(),
             finished: false,
         })
@@ -599,6 +767,21 @@ impl ShardedCorrelator {
     /// Number of shard workers.
     pub fn shards(&self) -> usize {
         self.txs.len()
+    }
+
+    /// Approximate resident bytes of the reader-side routing state:
+    /// deferred/noise lanes, per-channel claim FIFOs, waiter lists and
+    /// undelivered shard batches. Worker-side correlation state is
+    /// bounded separately (per-shard memory budget); this gauge covers
+    /// the part only the router holds — the state that grows on an
+    /// endless stream with heavy untraced-peer noise.
+    pub fn approx_router_bytes(&self) -> usize {
+        self.router.approx_bytes()
+            + self
+                .pending
+                .iter()
+                .map(|b| b.len() * std::mem::size_of::<Activity>())
+                .sum::<usize>()
     }
 
     fn guard(&self) -> Result<(), TraceError> {
@@ -647,6 +830,10 @@ impl ShardedCorrelator {
     /// Classifies, filters and stages one record without routing yet.
     fn ingest(&mut self, rec: RawRecord) {
         self.records_in += 1;
+        if rec.retrans {
+            self.retrans_dropped += 1;
+            return;
+        }
         let act = self.classifier.classify(&rec);
         if !self.filters.admits(&act) {
             self.filtered_out += 1;
@@ -700,6 +887,10 @@ impl ShardedCorrelator {
     /// record before any allocation, then interns and stages it.
     fn stage_ref(&mut self, r: &RawRecordRef<'_>) {
         self.records_in += 1;
+        if r.retrans {
+            self.retrans_dropped += 1;
+            return;
+        }
         if !self.filters.admits_raw(r) {
             self.filtered_out += 1;
             return;
@@ -766,6 +957,7 @@ impl ShardedCorrelator {
         let mut metrics = CorrelatorMetrics {
             records_in: self.records_in,
             filtered_out: self.filtered_out,
+            retrans_dropped: self.retrans_dropped,
             ..CorrelatorMetrics::default()
         };
         // Reader-side noise discards join the ranker count so the
@@ -775,10 +967,12 @@ impl ShardedCorrelator {
         for mut out in outputs {
             all.append(&mut out.cags);
             all.append(&mut out.unfinished);
-            // The reader already counted raw records and filter drops;
-            // worker-side records_in would double-count the survivors.
+            // The reader already counted raw records and filter/retrans
+            // drops; worker-side records_in would double-count the
+            // survivors.
             out.metrics.records_in = 0;
             out.metrics.filtered_out = 0;
+            out.metrics.retrans_dropped = 0;
             metrics.absorb(&out.metrics);
             noise_samples.append(&mut out.noise_samples);
             noise_samples.truncate(NOISE_SAMPLE_CAP);
@@ -872,6 +1066,9 @@ pub fn route_records(
         Ok(())
     };
     for rec in records {
+        if rec.retrans {
+            continue;
+        }
         let act = classifier.classify(&rec);
         if filters.admits(&act) {
             router.stage(act);
@@ -900,6 +1097,9 @@ pub fn route_records_streaming(
         Ok(())
     };
     for rec in records {
+        if rec.retrans {
+            continue;
+        }
         let act = classifier.classify(&rec);
         if filters.admits(&act) {
             router.stage(act);
@@ -1139,6 +1339,101 @@ mod tests {
         reversed.reverse();
         let rev = route_records(&config, 4, reversed).unwrap();
         assert_eq!(fmt_routed(&in_order), fmt_routed(&rev));
+    }
+
+    #[test]
+    fn router_memory_grows_and_shrinks_across_deferred_claims() {
+        // A RECEIVE whose claiming SEND has not arrived defers on its
+        // lane; the router's memory gauge must reflect the deferred
+        // state and fall back once the claim routes it.
+        let config = CorrelatorConfig::new(access());
+        let classifier = Classifier::new(config.access.clone());
+        let mut router = SessionRouter::new(4);
+        let mut sink = |_a: Activity, _s: u32| -> Result<(), TraceError> { Ok(()) };
+        let mut feed = |router: &mut SessionRouter, line: String| {
+            let rec: RawRecord = line.parse().unwrap();
+            router.stage(classifier.classify(&rec));
+            router
+                .pump(false, &mut sink)
+                .expect("dispatch cannot fail here");
+        };
+        let send = |i: u64, t: u64| {
+            format!(
+                "{t} web httpd 7 {} SEND 10.0.0.1:{}-10.0.0.2:8009 64",
+                7 + i,
+                4001 + i
+            )
+        };
+        let recv = |i: u64, t: u64| {
+            format!(
+                "{t} app java 9 {} RECEIVE 10.0.0.1:{}-10.0.0.2:8009 64",
+                21 + i,
+                4001 + i
+            )
+        };
+
+        // Warm-up: one routed round per channel creates the lanes and
+        // claim entries that persist by design.
+        for i in 0..3u64 {
+            feed(&mut router, send(i, 1_000 + i));
+            feed(&mut router, recv(i, 2_000 + i));
+        }
+        let base = router.approx_bytes();
+
+        // A second round of receives arrives before its sends: each
+        // defers on its lane, growing router memory monotonically.
+        let mut grow = vec![base];
+        for i in 0..3u64 {
+            feed(&mut router, recv(i, 10_000 + i));
+            grow.push(router.approx_bytes());
+        }
+        assert!(
+            grow.windows(2).all(|w| w[0] < w[1]),
+            "deferred claims must grow router memory: {grow:?}"
+        );
+        let deferred = *grow.last().unwrap();
+
+        // The claiming sends arrive: deferred lanes drain and the
+        // gauge returns exactly to the warmed-up baseline.
+        for i in 0..3u64 {
+            feed(&mut router, send(i, 9_000 + i));
+        }
+        let drained = router.approx_bytes();
+        assert!(
+            drained < deferred,
+            "routed claims must shrink router memory: {deferred} -> {drained}"
+        );
+        assert_eq!(drained, base, "drained router returns to its baseline");
+        assert_eq!(router.staged, 0, "nothing may stay staged");
+    }
+
+    #[test]
+    fn sharded_reader_drops_retrans_like_the_streaming_path() {
+        let mut log = two_session_log();
+        log.push_str("4600 web httpd 7 7 RECEIVE 10.0.0.2:8009-10.0.0.1:4001 256 retrans\n");
+        let records = parse_log(&log).unwrap();
+        let batch = Correlator::new(CorrelatorConfig::new(access()))
+            .correlate(records.clone())
+            .unwrap();
+        let sharded =
+            ShardedCorrelator::correlate(CorrelatorConfig::new(access()), 3, records).unwrap();
+        assert_eq!(batch.metrics.retrans_dropped, 1);
+        assert_eq!(sharded.metrics.retrans_dropped, 1);
+        assert_eq!(sharded.cags.len(), batch.cags.len());
+        assert_eq!(fingerprint(&sharded), fingerprint(&batch));
+    }
+
+    #[test]
+    fn approx_router_bytes_is_exposed() {
+        let mut sc = ShardedCorrelator::new(CorrelatorConfig::new(access()), 2).unwrap();
+        let base = sc.approx_router_bytes();
+        // An orphan receive on an unclaimed channel defers in the
+        // router until finish.
+        sc.push_line("902000 db mysqld 5 77 RECEIVE 172.16.9.9:6000-10.0.0.3:3306 48")
+            .unwrap();
+        assert!(sc.approx_router_bytes() > base);
+        let out = sc.finish().unwrap();
+        assert_eq!(out.metrics.ranker.noise_discards, 1);
     }
 
     #[test]

@@ -83,6 +83,7 @@ impl Gen {
             dst,
             size,
             tag: uid,
+            retrans: false,
         });
     }
 

@@ -51,10 +51,23 @@ const USAGE: &str = "\
 pt — precise request tracing for multi-tier services of black boxes
 
 USAGE:
-  pt simulate  --clients N [--seconds S] [--seed N] [--noise] [--skew-ms N] --out FILE
+  pt simulate  --clients N [--seconds S] [--seed N] [--noise] [--skew-ms N]
+               [--web-replicas N] [--app-replicas N] [--db-replicas N]
+               [--lb-policy rr|least-conn] [--pool N] [--loss P] --out FILE
   pt correlate FILE --port P --internal IP[,IP...] [CORRELATION OPTIONS]
   pt patterns  FILE --port P --internal IP[,IP...] [CORRELATION OPTIONS] [--dot FILE]
   pt diff      BASELINE_FILE CURRENT_FILE --port P --internal IP[,IP...] [CORRELATION OPTIONS]
+
+SIMULATION OPTIONS:
+  --web-replicas N     web frontends behind the client load balancer
+  --app-replicas N     JBoss replicas behind the web tier's balancer
+  --db-replicas N      MySQL replicas behind the app tier's balancer
+  --lb-policy P        rr (round-robin, default) or least-conn, applied
+                       to every replicated tier
+  --pool N             multiplex backend requests over N persistent
+                       web->app connections shared across httpd workers
+  --loss P             per-segment loss probability (TCP retransmit with
+                       duplicate byte ranges; sniffer marks them retrans)
 
 CORRELATION OPTIONS:
   --window-ms W        static sliding window in milliseconds (default 10)
@@ -240,7 +253,19 @@ fn correlate_file(
 fn simulate(raw: &[String]) -> Result<(), String> {
     let args = ParsedArgs::parse(
         raw,
-        &["--clients", "--seconds", "--seed", "--skew-ms", "--out"],
+        &[
+            "--clients",
+            "--seconds",
+            "--seed",
+            "--skew-ms",
+            "--out",
+            "--web-replicas",
+            "--app-replicas",
+            "--db-replicas",
+            "--lb-policy",
+            "--pool",
+            "--loss",
+        ],
         &["--noise"],
     )?;
     let clients: usize = args.parse_opt("--clients")?.ok_or("missing --clients")?;
@@ -252,6 +277,41 @@ fn simulate(raw: &[String]) -> Result<(), String> {
     }
     if let Some(skew) = args.parse_opt("--skew-ms")? {
         cfg.spec = cfg.spec.with_skew_ms(skew);
+    }
+    let lb = match args.opt("--lb-policy").map(String::as_str) {
+        None | Some("rr") => rubis::LbPolicy::RoundRobin,
+        Some("least-conn") => rubis::LbPolicy::LeastConnections,
+        Some(other) => return Err(format!("bad --lb-policy {other:?} (rr|least-conn)")),
+    };
+    for (flag, tier) in [
+        ("--web-replicas", 0usize),
+        ("--app-replicas", 1),
+        ("--db-replicas", 2),
+    ] {
+        if let Some(n) = args.parse_opt::<usize>(flag)? {
+            if n == 0 {
+                return Err(format!("bad {flag}: a tier needs at least one node"));
+            }
+            if n > rubis::MAX_REPLICAS {
+                return Err(format!(
+                    "bad {flag}: the replica subnet scheme supports at most {} nodes per tier",
+                    rubis::MAX_REPLICAS
+                ));
+            }
+            cfg.spec = cfg.spec.with_replicas(tier, n, lb);
+        }
+    }
+    if let Some(conns) = args.parse_opt::<usize>("--pool")? {
+        if conns == 0 {
+            return Err("bad --pool: a pool needs at least one connection".into());
+        }
+        cfg.spec = cfg.spec.with_pool(conns);
+    }
+    if let Some(loss) = args.parse_opt::<f64>("--loss")? {
+        if !(0.0..1.0).contains(&loss) {
+            return Err("bad --loss: probability must be in [0, 1)".into());
+        }
+        cfg.spec = cfg.spec.with_loss(loss);
     }
     if args.flag("--noise") {
         cfg.noise = rubis::NoiseSpec {
@@ -266,15 +326,18 @@ fn simulate(raw: &[String]) -> Result<(), String> {
         text.push('\n');
     }
     std::fs::write(&out_path, text).map_err(|e| format!("{out_path}: {e}"))?;
+    let internal: Vec<String> = out
+        .spec
+        .internal_ips()
+        .iter()
+        .map(|ip| ip.to_string())
+        .collect();
     println!(
-        "wrote {} records to {out_path} ({} requests completed, frontend {}:{}, internal {},{},{})",
+        "wrote {} records to {out_path} ({} requests completed, frontend port {}, internal {})",
         out.records.len(),
         out.service.completed,
-        out.spec.web.ip,
         out.spec.web.port,
-        out.spec.web.ip,
-        out.spec.app.ip,
-        out.spec.db.ip,
+        internal.join(","),
     );
     Ok(())
 }

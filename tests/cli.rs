@@ -368,6 +368,129 @@ fn new_flags_are_validated_by_name() {
 }
 
 #[test]
+fn scenario_simulate_flags_roundtrip() {
+    // Replicated tiers: the simulate summary names every replica IP,
+    // and correlating with that internal list succeeds.
+    let log = TmpFile::new("scenario.log");
+    let out = pt()
+        .args([
+            "simulate",
+            "--clients",
+            "8",
+            "--seconds",
+            "6",
+            "--seed",
+            "5",
+        ])
+        .args(["--app-replicas", "2", "--db-replicas", "2"])
+        .args(["--lb-policy", "least-conn"])
+        .args(["--out", log.as_str()])
+        .output()
+        .expect("run pt simulate with replicas");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("10.0.10.2"), "{stdout}");
+    assert!(stdout.contains("10.0.10.3"), "{stdout}");
+    let out = pt()
+        .args(["correlate", log.as_str(), "--port", "80"])
+        .args([
+            "--internal",
+            "10.0.0.1,10.0.0.2,10.0.10.2,10.0.0.3,10.0.10.3",
+        ])
+        .output()
+        .expect("run pt correlate on lb log");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("causal paths"));
+
+    // Lossy links: the log carries retrans-marked records that parse.
+    let lossy = TmpFile::new("scenario-lossy.log");
+    let out = pt()
+        .args([
+            "simulate",
+            "--clients",
+            "8",
+            "--seconds",
+            "6",
+            "--seed",
+            "5",
+        ])
+        .args(["--loss", "0.02", "--pool", "2"])
+        .args(["--out", lossy.as_str()])
+        .output()
+        .expect("run pt simulate with loss");
+    assert!(out.status.success());
+    let text = std::fs::read_to_string(&lossy.0).unwrap();
+    assert!(
+        text.lines().any(|l| l.ends_with(" retrans")),
+        "no retrans records"
+    );
+    let out = pt()
+        .args(["correlate", lossy.as_str(), "--port", "80"])
+        .args(["--internal", INTERNAL, "--window-ms", "100"])
+        .output()
+        .expect("run pt correlate on lossy log");
+    assert!(out.status.success());
+
+    // Bad values are reported by name.
+    let err = stderr_of(&[
+        "simulate",
+        "--clients",
+        "5",
+        "--out",
+        "/tmp/x",
+        "--loss",
+        "1.5",
+    ]);
+    assert!(err.contains("bad --loss"), "{err}");
+    let err = stderr_of(&[
+        "simulate",
+        "--clients",
+        "5",
+        "--out",
+        "/tmp/x",
+        "--lb-policy",
+        "hash",
+    ]);
+    assert!(err.contains("bad --lb-policy"), "{err}");
+    let err = stderr_of(&[
+        "simulate",
+        "--clients",
+        "5",
+        "--out",
+        "/tmp/x",
+        "--pool",
+        "0",
+    ]);
+    assert!(err.contains("bad --pool"), "{err}");
+    let err = stderr_of(&[
+        "simulate",
+        "--clients",
+        "5",
+        "--out",
+        "/tmp/x",
+        "--app-replicas",
+        "0",
+    ]);
+    assert!(err.contains("bad --app-replicas"), "{err}");
+    // Above the subnet scheme's capacity: a clean CLI error, no panic.
+    let err = stderr_of(&[
+        "simulate",
+        "--clients",
+        "5",
+        "--out",
+        "/tmp/x",
+        "--web-replicas",
+        "26",
+    ]);
+    assert!(err.contains("bad --web-replicas"), "{err}");
+    assert!(err.contains("at most 25"), "{err}");
+}
+
+#[test]
 fn dot_flag_is_patterns_only() {
     // correlate/diff must reject --dot instead of silently ignoring it
     // (only patterns writes the file).

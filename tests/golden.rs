@@ -317,6 +317,21 @@ fn golden_sim_c6_s6_seed42_noise() {
 }
 
 #[test]
+fn golden_lb_2replica() {
+    check_case("lb_2replica");
+}
+
+#[test]
+fn golden_pooled_reuse() {
+    check_case("pooled_reuse");
+}
+
+#[test]
+fn golden_lossy_p01() {
+    check_case("lossy_p01");
+}
+
+#[test]
 fn golden_streaming_static_single() {
     check_case_streaming("static_single", Feed::PollEveryRecord);
 }
@@ -339,6 +354,21 @@ fn golden_streaming_sim_c4_s5_seed11() {
 #[test]
 fn golden_streaming_sim_c6_s6_seed42_noise() {
     check_case_streaming("sim_c6_s6_seed42_noise", Feed::PushAllThenPoll);
+}
+
+#[test]
+fn golden_streaming_lb_2replica() {
+    check_case_streaming("lb_2replica", Feed::PushAllThenPoll);
+}
+
+#[test]
+fn golden_streaming_pooled_reuse() {
+    check_case_streaming("pooled_reuse", Feed::PushAllThenPoll);
+}
+
+#[test]
+fn golden_streaming_lossy_p01() {
+    check_case_streaming("lossy_p01", Feed::PushAllThenPoll);
 }
 
 #[test]
@@ -366,6 +396,21 @@ fn golden_sharded_sim_c6_s6_seed42_noise() {
     check_case_sharded("sim_c6_s6_seed42_noise");
 }
 
+#[test]
+fn golden_sharded_lb_2replica() {
+    check_case_sharded("lb_2replica");
+}
+
+#[test]
+fn golden_sharded_pooled_reuse() {
+    check_case_sharded("pooled_reuse");
+}
+
+#[test]
+fn golden_sharded_lossy_p01() {
+    check_case_sharded("lossy_p01");
+}
+
 /// Every case in tests/golden/ must be wired to a named #[test] above,
 /// so a new corpus file cannot be silently skipped.
 #[test]
@@ -376,6 +421,9 @@ fn golden_corpus_is_fully_covered() {
         "interleaved_chunked",
         "sim_c4_s5_seed11",
         "sim_c6_s6_seed42_noise",
+        "lb_2replica",
+        "pooled_reuse",
+        "lossy_p01",
     ];
     let mut found: Vec<String> = std::fs::read_dir(golden_dir())
         .expect("tests/golden")

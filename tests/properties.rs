@@ -354,6 +354,78 @@ proptest! {
         );
     }
 
+    /// Retransmission invariance: for any lossy-run log, deduplicating
+    /// the sniffer-marked retransmitted byte-ranges before correlation
+    /// yields exactly the CAG set of correlating the raw log — the
+    /// correlator's ingest dedup is equivalent to the standalone
+    /// pre-pass, in every mode (batch and sharded).
+    #[test]
+    fn retransmission_dedup_is_correlation_invariant(
+        seed in any::<u64>(),
+        loss_millis in 5u64..25, // 0.5%..2.5% per-segment loss
+    ) {
+        let mut cfg = rubis::ExperimentConfig::lossy_at(loss_millis as f64 / 1000.0);
+        cfg.seed = seed;
+        cfg.clients = 6;
+        cfg.phases = rubis::Phases::quick(6);
+        let out = rubis::run(cfg);
+        let config = out.correlator_config(Nanos::from_millis(100));
+        let raw = Correlator::new(config.clone())
+            .correlate(out.records.clone())
+            .unwrap();
+        let deduped_records = dedup_retransmissions(out.records.clone());
+        prop_assert!(
+            deduped_records.len() <= out.records.len(),
+            "dedup never adds records"
+        );
+        let deduped = Correlator::new(config.clone())
+            .correlate(deduped_records.clone())
+            .unwrap();
+        prop_assert_eq!(raw.cags.len(), deduped.cags.len());
+        prop_assert_eq!(tag_sets(&raw.cags), tag_sets(&deduped.cags));
+        prop_assert_eq!(pattern_census(&raw.cags), pattern_census(&deduped.cags));
+        prop_assert_eq!(
+            raw.metrics.retrans_dropped,
+            (out.records.len() - deduped_records.len()) as u64
+        );
+        // The sharded reader performs the same dedup.
+        let sharded = ShardedCorrelator::correlate(config, 3, out.records.clone()).unwrap();
+        prop_assert_eq!(sharded.metrics.retrans_dropped, raw.metrics.retrans_dropped);
+        prop_assert_eq!(tag_sets(&sharded.cags), tag_sets(&raw.cags));
+    }
+
+    /// Shard-count byte-equality holds on all three new scenario
+    /// families: replicated tiers behind a load balancer, connection
+    /// pooling with entity reuse, and lossy links with retransmission.
+    #[test]
+    fn sharded_bytes_are_shard_count_invariant_on_new_scenarios(
+        seed in any::<u64>(),
+        scenario in 0usize..3,
+        shards in 2usize..6,
+    ) {
+        let mut cfg = match scenario {
+            0 => rubis::ExperimentConfig::lb(),
+            1 => rubis::ExperimentConfig::pooled(),
+            _ => rubis::ExperimentConfig::lossy(),
+        };
+        cfg.seed = seed;
+        cfg.clients = 8;
+        cfg.phases = rubis::Phases::quick(6);
+        let out = rubis::run(cfg);
+        let config = out.correlator_config(Nanos::from_millis(100));
+        let single =
+            ShardedCorrelator::correlate(config.clone(), 1, out.records.clone()).unwrap();
+        let sharded =
+            ShardedCorrelator::correlate(config, shards, out.records.clone()).unwrap();
+        prop_assert_eq!(
+            format!("{:?}{:?}", sharded.cags, sharded.unfinished),
+            format!("{:?}{:?}", single.cags, single.unfinished),
+            "scenario {} shards {} diverged", scenario, shards
+        );
+        prop_assert_eq!(sharded.metrics.records_in, single.metrics.records_in);
+        prop_assert_eq!(sharded.metrics.retrans_dropped, single.metrics.retrans_dropped);
+    }
+
     /// Isomorphic classification is stable: every CAG of the same request
     /// type with the same query count lands in the same pattern.
     #[test]

@@ -1,0 +1,131 @@
+//! Accuracy regression gates for the scenario families beyond the
+//! paper's fixed testbed: load-balanced multi-node tiers, connection
+//! pooling with entity reuse, packet loss with retransmission, and the
+//! multi-frontend deployment. Each test prints the measured
+//! precision/recall on failure, so a regression is immediately
+//! quantified.
+
+use precisetracer::prelude::*;
+
+/// Runs a preset and asserts precision/recall floors against ground
+/// truth, reporting the measured numbers on failure.
+fn assert_accuracy(name: &str, cfg: rubis::ExperimentConfig, window: Nanos, floor: f64) {
+    let out = rubis::run(cfg);
+    assert!(
+        out.service.completed > 10,
+        "{name}: scenario too small to be meaningful ({} requests)",
+        out.service.completed
+    );
+    let (corr, acc) = out.correlate(window).expect("valid correlator config");
+    assert!(
+        acc.precision() >= floor && acc.recall() >= floor,
+        "{name}: precision {:.4} / recall {:.4} below the {floor} floor \
+         (correct={}, false={}, missing={}, logged={}; {})",
+        acc.precision(),
+        acc.recall(),
+        acc.correct_paths,
+        acc.false_paths,
+        acc.missing_paths,
+        acc.logged_requests,
+        corr.metrics.summary()
+    );
+}
+
+#[test]
+fn lb_precision_recall_floor() {
+    assert_accuracy(
+        "lb",
+        rubis::ExperimentConfig::lb(),
+        Nanos::from_millis(10),
+        0.99,
+    );
+}
+
+#[test]
+fn pooled_precision_recall_floor() {
+    assert_accuracy(
+        "pooled",
+        rubis::ExperimentConfig::pooled(),
+        Nanos::from_millis(10),
+        0.99,
+    );
+}
+
+#[test]
+fn lossy_1pct_precision_recall_floor() {
+    // Retransmit lag spreads matching receives hundreds of ms from
+    // their sends, so the lossy gate uses a window covering the RTO
+    // backoff.
+    assert_accuracy(
+        "lossy 1%",
+        rubis::ExperimentConfig::lossy(),
+        Nanos::from_millis(100),
+        0.95,
+    );
+}
+
+#[test]
+fn sharded_matches_batch_accuracy_on_new_scenarios() {
+    // The sharded pipeline must reach the same accuracy as the batch
+    // path on every new scenario — in particular on pooling, where
+    // session routing must follow channel time order across entities.
+    for (name, cfg, window) in [
+        ("lb", rubis::ExperimentConfig::lb(), Nanos::from_millis(10)),
+        (
+            "pooled",
+            rubis::ExperimentConfig::pooled(),
+            Nanos::from_millis(10),
+        ),
+        (
+            "lossy",
+            rubis::ExperimentConfig::lossy(),
+            Nanos::from_millis(100),
+        ),
+    ] {
+        let out = rubis::run(cfg);
+        let (_, batch_acc) = out.correlate(window).unwrap();
+        let sharded =
+            ShardedCorrelator::correlate(out.correlator_config(window), 4, out.records.clone())
+                .unwrap();
+        let sharded_acc = out.truth.evaluate(&sharded.cags);
+        assert_eq!(
+            (
+                sharded_acc.correct_paths,
+                sharded_acc.false_paths,
+                sharded_acc.missing_paths
+            ),
+            (
+                batch_acc.correct_paths,
+                batch_acc.false_paths,
+                batch_acc.missing_paths
+            ),
+            "{name}: sharded accuracy diverged from batch"
+        );
+    }
+}
+
+#[test]
+fn multi_frontend_content_matches_batch_with_documented_id_divergence() {
+    // Two web frontends: the sharded merge renumbers CAGs by global
+    // root order while batch ids follow per-host BEGIN delivery order,
+    // so ids/stream order may legitimately differ (the documented
+    // canonical-id divergence) — but CAG content and accuracy must be
+    // identical.
+    let out = rubis::run(rubis::ExperimentConfig::multi_frontend());
+    let (batch, acc) = out.correlate(Nanos::from_millis(10)).unwrap();
+    assert!(acc.is_perfect(), "{acc:?}");
+    let sharded = ShardedCorrelator::correlate(
+        out.correlator_config(Nanos::from_millis(10)),
+        4,
+        out.records.clone(),
+    )
+    .unwrap();
+    let sharded_acc = out.truth.evaluate(&sharded.cags);
+    assert!(sharded_acc.is_perfect(), "{sharded_acc:?}");
+    let sets = |cags: &[Cag]| {
+        let mut t: Vec<Vec<u64>> = cags.iter().map(|c| c.sorted_tags()).collect();
+        t.sort();
+        t
+    };
+    assert_eq!(sets(&sharded.cags), sets(&batch.cags));
+}
