@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use multitier::{ExperimentConfig, NoiseSpec};
-use tracer_core::{Correlator, Nanos};
+use tracer_core::{Nanos, Pipeline, Source};
 
 fn bench(c: &mut Criterion) {
     let mut cfg = ExperimentConfig::quick(60, 8);
@@ -19,8 +19,9 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("trace_and_evaluate", |b| {
         b.iter(|| {
-            let corr = Correlator::new(config.clone())
-                .correlate(out.records.clone())
+            let corr = Pipeline::new((config.clone()).into())
+                .unwrap()
+                .run(Source::records(out.records.clone()))
                 .expect("config");
             let acc = out.truth.evaluate(&corr.cags);
             assert!(acc.is_perfect(), "{acc:?}");

@@ -4,7 +4,7 @@
 use baseline::{evaluate, infer_paths, NestingConfig};
 use criterion::{criterion_group, criterion_main, Criterion};
 use multitier::ExperimentConfig;
-use tracer_core::{Correlator, Nanos};
+use tracer_core::{Nanos, Pipeline, Source};
 
 fn bench(c: &mut Criterion) {
     let out = multitier::run(ExperimentConfig::quick(120, 8));
@@ -35,8 +35,9 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("precise", |b| {
         b.iter(|| {
-            Correlator::new(config.clone())
-                .correlate(out.records.clone())
+            Pipeline::new((config.clone()).into())
+                .unwrap()
+                .run(Source::records(out.records.clone()))
                 .expect("config")
                 .cags
                 .len()

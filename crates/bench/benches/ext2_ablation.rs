@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use multitier::{ExperimentConfig, NoiseSpec};
-use tracer_core::{Correlator, CorrelatorConfig, EngineOptions, Nanos, RankerOptions};
+use tracer_core::{CorrelatorConfig, EngineOptions, Nanos, Pipeline, RankerOptions, Source};
 
 fn bench(c: &mut Criterion) {
     let mut cfg = ExperimentConfig::quick(80, 8);
@@ -49,8 +49,9 @@ fn bench(c: &mut Criterion) {
     for (name, vcfg) in variants {
         g.bench_with_input(BenchmarkId::new("variant", name), &vcfg, |b, vc| {
             b.iter(|| {
-                Correlator::new(vc.clone())
-                    .correlate(out.records.clone())
+                Pipeline::new((vc.clone()).into())
+                    .unwrap()
+                    .run(Source::records(out.records.clone()))
                     .expect("config")
                     .cags
                     .len()

@@ -5,7 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use multitier::ExperimentConfig;
-use tracer_core::{Correlator, Nanos};
+use tracer_core::{Nanos, Pipeline, Source};
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig09_correlation");
@@ -19,8 +19,9 @@ fn bench(c: &mut Criterion) {
             &out,
             |b, out| {
                 b.iter(|| {
-                    let corr = Correlator::new(config.clone())
-                        .correlate(out.records.clone())
+                    let corr = Pipeline::new((config.clone()).into())
+                        .unwrap()
+                        .run(Source::records(out.records.clone()))
                         .expect("config");
                     assert_eq!(corr.cags.len() as u64, out.service.completed);
                     corr.cags.len()

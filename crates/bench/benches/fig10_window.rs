@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use multitier::ExperimentConfig;
-use tracer_core::{Correlator, Nanos};
+use tracer_core::{Nanos, Pipeline, Source};
 
 fn bench(c: &mut Criterion) {
     let out = multitier::run(ExperimentConfig::quick(150, 10));
@@ -16,8 +16,9 @@ fn bench(c: &mut Criterion) {
             &config,
             |b, cfg| {
                 b.iter(|| {
-                    Correlator::new(cfg.clone())
-                        .correlate(out.records.clone())
+                    Pipeline::new((cfg.clone()).into())
+                        .unwrap()
+                        .run(Source::records(out.records.clone()))
                         .expect("config")
                         .cags
                         .len()

@@ -4,14 +4,15 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use multitier::ExperimentConfig;
-use tracer_core::{Correlator, Nanos};
+use tracer_core::{Nanos, Pipeline, Source};
 
 fn bench(c: &mut Criterion) {
     let out = multitier::run(ExperimentConfig::quick(150, 10));
     for window_ms in [1u64, 1_000, 100_000] {
         let config = out.correlator_config(Nanos::from_millis(window_ms));
-        let corr = Correlator::new(config)
-            .correlate(out.records.clone())
+        let corr = Pipeline::new((config).into())
+            .unwrap()
+            .run(Source::records(out.records.clone()))
             .expect("config");
         println!(
             "fig11: window {:>6} ms -> peak memory {:>12} bytes",
@@ -27,8 +28,9 @@ fn bench(c: &mut Criterion) {
             &config,
             |b, cfg| {
                 b.iter(|| {
-                    Correlator::new(cfg.clone())
-                        .correlate(out.records.clone())
+                    Pipeline::new((cfg.clone()).into())
+                        .unwrap()
+                        .run(Source::records(out.records.clone()))
                         .expect("config")
                         .metrics
                         .peak_bytes

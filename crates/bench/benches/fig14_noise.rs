@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use multitier::{ExperimentConfig, NoiseSpec};
-use tracer_core::{Correlator, Nanos};
+use tracer_core::{Nanos, Pipeline, Source};
 
 fn bench(c: &mut Criterion) {
     let clean = multitier::run(ExperimentConfig::quick(100, 8));
@@ -21,8 +21,9 @@ fn bench(c: &mut Criterion) {
         let config = out.correlator_config(Nanos::from_millis(2));
         g.bench_with_input(BenchmarkId::new("correlate", name), out, |b, out| {
             b.iter(|| {
-                let corr = Correlator::new(config.clone())
-                    .correlate(out.records.clone())
+                let corr = Pipeline::new((config.clone()).into())
+                    .unwrap()
+                    .run(Source::records(out.records.clone()))
                     .expect("config");
                 let acc = out.truth.evaluate(&corr.cags);
                 assert!(acc.is_perfect(), "{acc:?}");

@@ -11,7 +11,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use multitier::ExperimentConfig;
-use tracer_core::{Correlator, Nanos, ShardedCorrelator, StreamingCorrelator};
+use tracer_core::{Mode, Nanos, Pipeline, PipelineConfig, Source};
 
 /// Streaming memory budget: comfortably above the scenario's natural
 /// working set (~2 MiB), so the budget bounds the run without evicting
@@ -33,8 +33,9 @@ fn bench(c: &mut Criterion) {
 
     g.bench_function("batch_1M", |b| {
         b.iter(|| {
-            Correlator::new(config.clone())
-                .correlate(out.records.clone())
+            Pipeline::new(config.clone().into())
+                .unwrap()
+                .run(Source::records(out.records.clone()))
                 .expect("valid config")
                 .cags
                 .len()
@@ -43,8 +44,13 @@ fn bench(c: &mut Criterion) {
 
     g.bench_function("stream_1M_budget8MiB", |b| {
         b.iter(|| {
-            let mut sc = StreamingCorrelator::new(config.clone().with_memory_budget(BUDGET))
-                .expect("valid config");
+            let mut sc = Pipeline::new(
+                PipelineConfig::from(config.clone().with_memory_budget(BUDGET))
+                    .with_mode(Mode::Streaming),
+            )
+            .unwrap()
+            .session()
+            .expect("valid config");
             let mut cags = 0usize;
             for (i, rec) in out.records.iter().cloned().enumerate() {
                 sc.push(rec).expect("not finished");
@@ -67,8 +73,9 @@ fn bench(c: &mut Criterion) {
     g.bench_function("stream_1M_adaptive_window", |b| {
         b.iter(|| {
             let cfg = config.clone().with_adaptive_window();
-            Correlator::new(cfg)
-                .correlate(out.records.clone())
+            Pipeline::new(cfg.into())
+                .unwrap()
+                .run(Source::records(out.records.clone()))
                 .expect("valid config")
                 .cags
                 .len()
@@ -77,7 +84,9 @@ fn bench(c: &mut Criterion) {
 
     g.bench_function("sharded_1M_4shards", |b| {
         b.iter(|| {
-            ShardedCorrelator::correlate(config.clone(), 4, out.records.clone())
+            Pipeline::new(PipelineConfig::from(config.clone()).with_mode(Mode::Sharded(4)))
+                .unwrap()
+                .run(Source::records(out.records.clone()))
                 .expect("valid config")
                 .cags
                 .len()

@@ -4,15 +4,16 @@
 //!
 //! ```text
 //! repro [--quick] [--json] [--shards N] [--experiment ID]...
-//!       [all|acc|fig8|...|fig17|ext1|ext2|scale|lb|pooled|lossy]...
+//!       [all|acc|fig8|...|fig17|ext1|ext2|scale|lb|pooled|lossy|partial]...
 //! ```
 //!
-//! `lb`, `pooled` and `lossy` regenerate the post-paper scenario
-//! families (replicated tiers behind a load balancer, connection
-//! pooling with entity reuse, lossy links with retransmission),
-//! reporting correlation precision/recall against ground truth for the
-//! batch and sharded pipelines. `--experiment ID` is an explicit alias
-//! for naming an experiment positionally.
+//! `lb`, `pooled`, `lossy` and `partial` regenerate the post-paper
+//! scenario families (replicated tiers behind a load balancer,
+//! connection pooling with entity reuse, lossy links with
+//! retransmission, and partial sniffer capture over the TCP_TRACE v2
+//! `seq=` lane), reporting correlation precision/recall against ground
+//! truth for the batch and sharded pipelines. `--experiment ID` is an
+//! explicit alias for naming an experiment positionally.
 //!
 //! `--quick` shrinks the sessions (smoke mode); the default regenerates
 //! at the paper's session length (2 min up-ramp, 7.5 min runtime, 1 min
@@ -29,9 +30,8 @@ use multitier::{Fault, Mix, NoiseSpec};
 use pt_bench::{experiment, header, paper_noise, row, run_and_trace, Scale};
 use simnet::Dist;
 use tracer_core::{
-    BreakdownReport, Cag, Component, Correlator, CorrelatorConfig, Diagnosis, DiffReport,
-    EngineOptions, FilterSet, Nanos, PatternAggregator, RankerOptions, ShardedCorrelator,
-    StreamingCorrelator,
+    BreakdownReport, Cag, Component, CorrelatorConfig, Diagnosis, DiffReport, EngineOptions,
+    FilterSet, Mode, Nanos, PatternAggregator, Pipeline, PipelineConfig, RankerOptions, Source,
 };
 
 /// Flat metric collection for `BENCH_baseline.json`.
@@ -117,7 +117,7 @@ fn main() {
     if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
         wanted = [
             "acc", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
-            "fig17", "ext1", "ext2", "scale", "lb", "pooled", "lossy",
+            "fig17", "ext1", "ext2", "scale", "lb", "pooled", "lossy", "partial",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -137,7 +137,7 @@ fn main() {
             "ext1" => ext1(scale),
             "ext2" => ext2(scale),
             "scale" => scale_stream(&mut base, shards),
-            "lb" | "pooled" | "lossy" => scenario(w, scale, shards, &mut base),
+            "lb" | "pooled" | "lossy" | "partial" => scenario(w, scale, shards, &mut base),
             other => eprintln!("unknown experiment id: {other}"),
         }
     }
@@ -254,11 +254,12 @@ fn scale_stream(base: &mut Baseline, shards: usize) {
     // pipeline: reader-side session routing feeding N direct-delivery
     // engine workers, canonical merge.
     let t = Instant::now();
-    let sharded = ShardedCorrelator::correlate(
-        out.correlator_config(Nanos::from_millis(10)),
-        shards,
-        out.records.clone(),
+    let sharded = Pipeline::new(
+        PipelineConfig::from(out.correlator_config(Nanos::from_millis(10)))
+            .with_mode(Mode::Sharded(shards)),
     )
+    .expect("valid config")
+    .run(Source::records(out.records.clone()))
     .expect("valid config");
     let sharded_secs = t.elapsed().as_secs_f64();
     let shacc = out.truth.evaluate(&sharded.cags);
@@ -293,10 +294,15 @@ fn scale_stream(base: &mut Baseline, shards: usize) {
     // natural working set: the budget must bound, not distort).
     const BUDGET: usize = 8 << 20;
     let t = Instant::now();
-    let mut sc = StreamingCorrelator::new(
-        out.correlator_config(Nanos::from_millis(10))
-            .with_memory_budget(BUDGET),
+    let mut sc = Pipeline::new(
+        PipelineConfig::from(
+            out.correlator_config(Nanos::from_millis(10))
+                .with_memory_budget(BUDGET),
+        )
+        .with_mode(Mode::Streaming),
     )
+    .expect("valid config")
+    .session()
     .expect("valid config");
     let mut cags = Vec::new();
     for (i, rec) in out.records.iter().cloned().enumerate() {
@@ -439,12 +445,13 @@ fn scale_stream(base: &mut Baseline, shards: usize) {
 
 /// The post-paper scenario families (replicated tiers behind a load
 /// balancer, connection pooling with entity reuse, lossy links with
-/// retransmission): simulates the scenario, correlates through the
-/// batch and sharded pipelines, reports precision/recall against
-/// ground truth, and asserts the tier-1 floors (≥ 0.99; ≥ 0.95 at 1%
-/// loss) so CI smoke runs fail on any regression. Throughput lands
-/// under the `scale.*` baseline keys (informational; the regression
-/// gate stays on `scale.sharded_speedup` alone).
+/// retransmission, partial sniffer capture over TCP_TRACE v2):
+/// simulates the scenario, correlates through the batch and sharded
+/// pipelines, reports precision/recall against ground truth, and
+/// asserts the tier-1 floors (≥ 0.99; ≥ 0.95 at 1% loss and at 2%
+/// capture drop) so CI smoke runs fail on any regression. Throughput
+/// lands under the `scale.*` baseline keys (informational; the
+/// regression gate stays on `scale.sharded_speedup` alone).
 fn scenario(id: &str, scale: Scale, shards: usize, base: &mut Baseline) {
     let (mut cfg, window, floor) = match id {
         "lb" => (
@@ -456,6 +463,11 @@ fn scenario(id: &str, scale: Scale, shards: usize, base: &mut Baseline) {
             multitier::ExperimentConfig::pooled(),
             tracer_core::Nanos::from_millis(10),
             0.99,
+        ),
+        "partial" => (
+            multitier::ExperimentConfig::partial(),
+            tracer_core::Nanos::from_millis(10),
+            0.95,
         ),
         _ => (
             multitier::ExperimentConfig::lossy(),
@@ -484,9 +496,12 @@ fn scenario(id: &str, scale: Scale, shards: usize, base: &mut Baseline) {
     );
 
     let t = Instant::now();
-    let sharded =
-        ShardedCorrelator::correlate(out.correlator_config(window), shards, out.records.clone())
-            .expect("valid config");
+    let sharded = Pipeline::new(
+        PipelineConfig::from(out.correlator_config(window)).with_mode(Mode::Sharded(shards)),
+    )
+    .expect("valid config")
+    .run(Source::records(out.records.clone()))
+    .expect("valid config");
     let sharded_secs = t.elapsed().as_secs_f64();
     let shacc = out.truth.evaluate(&sharded.cags);
     assert!(
@@ -536,9 +551,10 @@ fn scenario(id: &str, scale: Scale, shards: usize, base: &mut Baseline) {
         );
     }
     println!(
-        "sim {sim_secs:.2}s, {} requests, {} noise records",
+        "sim {sim_secs:.2}s, {} requests, {} noise records, {} capture-dropped records",
         out.service.completed,
-        out.truth.noise_records()
+        out.truth.noise_records(),
+        out.capture_dropped,
     );
     base.rec(format!("scale.{id}_records"), records as f64);
     base.rec(
@@ -1007,7 +1023,8 @@ fn ext2(scale: Scale) {
     };
     for (name, vcfg) in variants {
         let t = Instant::now();
-        let res = Correlator::new(vcfg).correlate(out.records.clone());
+        let res =
+            Pipeline::new(vcfg.into()).and_then(|p| p.run(Source::records(out.records.clone())));
         let secs = t.elapsed().as_secs_f64();
         match res {
             Ok(corr) => {
@@ -1028,8 +1045,9 @@ fn ext2(scale: Scale) {
     let filtered = out
         .correlator_config(Nanos::from_millis(2))
         .with_filters(FilterSet::new().drop_program("sshd"));
-    let corr = Correlator::new(filtered)
-        .correlate(out.records.clone())
+    let corr = Pipeline::new(filtered.into())
+        .expect("config")
+        .run(Source::records(out.records.clone()))
         .expect("config");
     let acc = out.truth.evaluate(&corr.cags);
     println!(

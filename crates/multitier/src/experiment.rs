@@ -115,6 +115,42 @@ impl ExperimentConfig {
         c
     }
 
+    /// [`ExperimentConfig::lossy`] captured through the sniffer-based
+    /// `TCP_TRACE v2` lane (lossless capture): every connection record
+    /// carries `seq=`, receives are reassembled per logical message,
+    /// and duplicate arrivals are logged as per-range `retrans`+`seq=`
+    /// records. The corpus behind the marker-vs-range dedup
+    /// equivalence property: offset arithmetic must drop exactly the
+    /// records the v1 marker flags.
+    pub fn lossy_v2() -> Self {
+        let mut c = Self::lossy();
+        c.spec = c.spec.with_sniffer_capture(0.0);
+        c
+    }
+
+    /// Partial capture: the sniffer lane at 2% per-segment capture
+    /// drop — see [`ExperimentConfig::partial_at`].
+    pub fn partial() -> Self {
+        Self::partial_at(0.02)
+    }
+
+    /// Partial capture with an explicit per-segment drop probability:
+    /// the v2 sniffer lane misses each wire segment with probability
+    /// `drop`; a record is lost only when every segment overlapping
+    /// its byte range was missed (interior gaps heal via `seq=`
+    /// arithmetic). Runs the payload-heavy
+    /// [`crate::spec::Mix::bulk_browse`] mix so every message spans
+    /// several segments, keeping whole-record loss quadratic in the
+    /// drop rate; ground-truth accuracy quantifies what the remaining
+    /// losses cost.
+    pub fn partial_at(drop: f64) -> Self {
+        let mut c = Self::quick(16, 12);
+        c.seed = 0x9a_271a1;
+        c.mix = Mix::bulk_browse();
+        c.spec = c.spec.with_sniffer_capture(drop);
+        c
+    }
+
     /// Two web frontends: BEGIN activities now originate on different
     /// hosts, which exercises the sharded router's documented
     /// canonical-id divergence — batch ids follow BEGIN *delivery*
@@ -144,6 +180,11 @@ pub struct ExperimentOutput {
     pub service: ServiceMetrics,
     /// Total simulation events processed.
     pub sim_events: u64,
+    /// Records the sniffer capture frontend missed entirely (partial
+    /// capture; 0 with the kernel probe or lossless capture). Missed
+    /// records never existed in the log and are excluded from ground
+    /// truth.
+    pub capture_dropped: u64,
     /// The service spec used (for access-point configuration).
     pub spec: ServiceSpec,
 }
@@ -173,7 +214,8 @@ impl ExperimentOutput {
         self.correlate_with(self.correlator_config(window))
     }
 
-    /// Correlates with a custom configuration (filters, ablations).
+    /// Correlates with a custom configuration (filters, ablations)
+    /// through the unified [`Pipeline`] facade in batch mode.
     ///
     /// # Errors
     ///
@@ -182,7 +224,19 @@ impl ExperimentOutput {
         &self,
         config: CorrelatorConfig,
     ) -> Result<(CorrelationOutput, AccuracyReport), TraceError> {
-        let out = Correlator::new(config).correlate(self.records.clone())?;
+        self.correlate_pipeline(PipelineConfig::from(config))
+    }
+
+    /// Correlates through the unified [`Pipeline`] facade in any mode.
+    ///
+    /// # Errors
+    ///
+    /// Propagates correlator configuration errors.
+    pub fn correlate_pipeline(
+        &self,
+        config: PipelineConfig,
+    ) -> Result<(CorrelationOutput, AccuracyReport), TraceError> {
+        let out = Pipeline::new(config)?.run(Source::records(self.records.clone()))?;
         let acc = self.truth.evaluate(&out.cags);
         Ok((out, acc))
     }
@@ -214,12 +268,14 @@ pub fn run(cfg: ExperimentConfig) -> ExperimentOutput {
         metrics,
         ..
     } = world;
+    let capture_dropped = probe.capture_dropped();
     ExperimentOutput {
         clients,
         records: probe.into_records(),
         truth,
         service: metrics,
         sim_events: events,
+        capture_dropped,
         spec,
     }
 }
@@ -347,6 +403,73 @@ mod tests {
         assert!(
             acc.precision() >= 0.95 && acc.recall() >= 0.95,
             "lossy accuracy: {acc:?}"
+        );
+    }
+
+    #[test]
+    fn lossy_v2_preset_emits_seq_on_every_connection_record() {
+        let out = run(ExperimentConfig::lossy_v2());
+        assert!(out.service.completed > 10);
+        assert_eq!(out.capture_dropped, 0, "lossless capture drops nothing");
+        let v2 = out.records.iter().filter(|r| r.seq.is_some()).count();
+        let retrans = out.records.iter().filter(|r| r.retrans).count();
+        assert!(retrans > 0, "1% loss must produce duplicate-range records");
+        // Only the ssh-noise fake records lack seq (there is no ssh
+        // noise in this preset, so every record carries it).
+        assert_eq!(v2, out.records.len());
+        // Every retrans record also carries its range offset.
+        assert!(out.records.iter().all(|r| !r.retrans || r.seq.is_some()));
+        let (corr, acc) = out.correlate(Nanos::from_millis(100)).unwrap();
+        assert_eq!(corr.metrics.v2_records, v2 as u64);
+        assert_eq!(corr.metrics.retrans_dropped, retrans as u64);
+        assert_eq!(corr.metrics.seq_dedup_ranges, retrans as u64);
+        assert!(
+            acc.precision() >= 0.95 && acc.recall() >= 0.95,
+            "lossy v2 accuracy: {acc:?}"
+        );
+    }
+
+    #[test]
+    fn partial_preset_drops_captures_yet_correlates_accurately() {
+        let out = run(ExperimentConfig::partial());
+        assert!(out.service.completed > 10);
+        assert!(
+            out.capture_dropped > 0,
+            "2% segment drop must lose some records"
+        );
+        assert!(out.records.iter().all(|r| r.seq.is_some()));
+        let (corr, acc) = out.correlate(Nanos::from_millis(10)).unwrap();
+        assert_eq!(corr.metrics.v2_records, out.records.len() as u64);
+        assert!(
+            acc.precision() >= 0.95 && acc.recall() >= 0.95,
+            "partial-capture accuracy: precision {:.4} recall {:.4} ({} records dropped) {acc:?}",
+            acc.precision(),
+            acc.recall(),
+            out.capture_dropped
+        );
+    }
+
+    #[test]
+    fn loss_and_capture_drop_combine_without_double_counting() {
+        // Wire loss (duplicate ranges, retrans-marked) on top of
+        // partial capture (records missing): a marked duplicate whose
+        // covering receive record was itself capture-dropped is
+        // uncovered at ingest — the marker must still drop it, or the
+        // duplicate bytes would enter correlation as a fresh receive.
+        let mut cfg = ExperimentConfig::partial_at(0.02);
+        cfg.spec = cfg.spec.with_loss(0.01);
+        let out = run(cfg);
+        assert!(out.service.completed > 10);
+        let marked = out.records.iter().filter(|r| r.retrans).count() as u64;
+        assert!(marked > 0, "loss must produce duplicate-range records");
+        let (corr, acc) = out.correlate(Nanos::from_millis(100)).unwrap();
+        assert_eq!(
+            corr.metrics.retrans_dropped, marked,
+            "every marked duplicate must be dropped, covered or not"
+        );
+        assert!(
+            acc.precision() >= 0.9 && acc.recall() >= 0.9,
+            "loss+drop accuracy: {acc:?}"
         );
     }
 

@@ -32,6 +32,13 @@ pub struct ProbeSink {
     next_uid: u64,
     enabled: bool,
     total: u64,
+    /// `TCP_TRACE v2` stream offset for the **next** logged record, set
+    /// by the sniffer-based capture frontend via [`ProbeSink::set_seq`]
+    /// and consumed by the next `log`/`log_retrans` call.
+    next_seq: Option<u64>,
+    /// Records the sniffer capture frontend missed entirely (partial
+    /// capture): never logged, uid 0, excluded from ground truth.
+    capture_dropped: u64,
 }
 
 impl ProbeSink {
@@ -44,6 +51,8 @@ impl ProbeSink {
             next_uid: 1,
             enabled,
             total: 0,
+            next_seq: None,
+            capture_dropped: 0,
         }
     }
 
@@ -56,6 +65,28 @@ impl ProbeSink {
     /// Total records logged.
     pub fn total(&self) -> u64 {
         self.total
+    }
+
+    /// Arms the v2 `seq=` attribute for the next logged record (the
+    /// sniffer lane's stream byte offset). One-shot: consumed by the
+    /// next `log`/`log_retrans` call.
+    pub fn set_seq(&mut self, seq: u64) {
+        self.next_seq = Some(seq);
+    }
+
+    /// Counts a record the sniffer capture frontend missed entirely
+    /// (every wire segment overlapping its byte range was dropped).
+    pub fn note_capture_dropped(&mut self) {
+        if self.enabled {
+            self.capture_dropped += 1;
+            // A dropped record must not leak its armed seq to the next.
+            self.next_seq = None;
+        }
+    }
+
+    /// Records lost to partial capture.
+    pub fn capture_dropped(&self) -> u64 {
+        self.capture_dropped
     }
 
     /// Logs one kernel send/receive on node `node_idx` and returns the
@@ -128,6 +159,7 @@ impl ProbeSink {
             size,
             tag: uid,
             retrans,
+            seq: self.next_seq.take(),
         });
         uid
     }

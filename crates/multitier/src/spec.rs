@@ -128,6 +128,42 @@ impl Mix {
         }
     }
 
+    /// Browse_Only with payload-heavy request/query bodies (a
+    /// content-rich API/POST workload): every logical message spans at
+    /// least three wire segments, so a partial-capture sniffer that
+    /// misses one segment of a record can still reconstruct it from
+    /// the surviving segments' `seq=` arithmetic — single-segment flows
+    /// would instead lose records linearly with the drop rate. Used by
+    /// the partial-capture scenario family.
+    pub fn bulk_browse() -> Mix {
+        let mut mix = Mix::browse_only();
+        mix.name = "Bulk_Browse";
+        for t in &mut mix.types {
+            t.req_size = Dist::Uniform {
+                lo: 3_000.0,
+                hi: 6_000.0,
+            };
+            t.backend_req_size = Dist::Uniform {
+                lo: 3_000.0,
+                hi: 6_000.0,
+            };
+            t.query_size = Dist::Uniform {
+                lo: 3_000.0,
+                hi: 5_000.0,
+            };
+            t.result_size = Dist::Pareto {
+                lo: 3_200.0,
+                hi: 24_000.0,
+                alpha: 1.3,
+            };
+            t.page_size = Dist::Uniform {
+                lo: 6_000.0,
+                hi: 16_000.0,
+            };
+        }
+        mix
+    }
+
     /// The read-write RUBiS workload of §5.1 (~15% writes).
     pub fn default_mix() -> Mix {
         let mut types = Mix::browse_only().types;
@@ -242,6 +278,30 @@ pub struct PoolSpec {
     pub connections: usize,
 }
 
+/// Sniffer-based capture lane (`TCP_TRACE v2`): instead of the kernel
+/// `tcp_recvmsg` probe, records are reconstructed from wire segments by
+/// a capture frontend that ships raw TCP stream offsets.
+///
+/// With this lane enabled, every connection-based record carries the v2
+/// `seq=` attribute; receive records are reassembled **per logical
+/// message** (the frontend aggregates a message's segment burst into
+/// one record, attributed to the thread reading the connection) rather
+/// than per kernel read; and duplicate arrivals are logged as one
+/// `retrans`+`seq=` record per contiguous duplicated sub-range —
+/// reported only once the duplicated bytes have been handed to the
+/// application, since an earlier duplicate is indistinguishable from
+/// reordering while the frontend is still reassembling the message.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CaptureSpec {
+    /// Per-wire-segment probability that the sniffer misses a segment.
+    /// A record survives capture unless **every** segment overlapping
+    /// its byte range was missed (the frontend heals interior gaps by
+    /// `seq=` arithmetic — TCP guarantees the kernel delivered the
+    /// bytes); a fully missed record is simply absent from the log and
+    /// from ground truth. `0.0` = lossless capture.
+    pub drop: f64,
+}
+
 /// Most replicas a tier supports: each replica occupies a parallel /24
 /// (third octet += 10), so the paper-default third octets (0–3) leave
 /// room for 25 subnets before the octet overflows.
@@ -346,6 +406,9 @@ pub struct ServiceSpec {
     /// Connection pooling at the web→app hop (`None` = the paper's
     /// fresh-connection-per-request behaviour).
     pub pool: Option<PoolSpec>,
+    /// Sniffer-based v2 capture lane (`None` = the paper's kernel
+    /// probe, v1 records).
+    pub capture: Option<CaptureSpec>,
 }
 
 impl ServiceSpec {
@@ -411,6 +474,7 @@ impl ServiceSpec {
             clock_drift_ppm: [0.0, 0.05, -0.03],
             faults: Vec::new(),
             pool: None,
+            capture: None,
         }
     }
 
@@ -447,6 +511,17 @@ impl ServiceSpec {
     pub fn with_loss(mut self, loss: f64) -> Self {
         assert!((0.0..1.0).contains(&loss), "loss must be in [0, 1)");
         self.wire.loss = loss;
+        self
+    }
+
+    /// Switches the probe to the sniffer-based `TCP_TRACE v2` capture
+    /// lane (see [`CaptureSpec`]): v2 `seq=` offsets on every
+    /// connection record, per-message receive reassembly, and — with
+    /// `drop > 0` — partial capture where each wire segment is missed
+    /// with that probability.
+    pub fn with_sniffer_capture(mut self, drop: f64) -> Self {
+        assert!((0.0..1.0).contains(&drop), "drop must be in [0, 1)");
+        self.capture = Some(CaptureSpec { drop });
         self
     }
 

@@ -38,7 +38,7 @@ use std::net::Ipv4Addr;
 use std::sync::Arc;
 
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use simnet::tcp::ReadResult;
 use simnet::{
     Addr, ClockModel, Dist, FifoResource, Gate, PortAlloc, RecvBuffer, Scheduler, SimDur, SimTime,
@@ -155,6 +155,15 @@ struct Conn {
     /// Stream bytes sent so far per direction (wire segment offsets).
     fwd_off: u64,
     rev_off: u64,
+    /// Sniffer lane (v2): stream bytes covered by already-logged
+    /// receive records per direction — the `seq=` of the next one.
+    fwd_read_off: u64,
+    rev_read_off: u64,
+    /// Sniffer lane (v2): bytes of the current in-progress message read
+    /// but not yet logged (the frontend reassembles one record per
+    /// logical message).
+    fwd_read_acc: u64,
+    rev_read_acc: u64,
     /// Pooled web→app conns survive their request and return to the
     /// pool instead of being abandoned.
     persistent: bool,
@@ -616,6 +625,10 @@ impl RubisWorld {
             pool_queued: false,
             fwd_off: 0,
             rev_off: 0,
+            fwd_read_off: 0,
+            rev_read_off: 0,
+            fwd_read_acc: 0,
+            rev_read_acc: 0,
             persistent: false,
         });
         id
@@ -655,45 +668,8 @@ impl RubisWorld {
                 Dir::Rev => (c.dst_node, c.src_node, s, d),
             }
         };
-        // Probe: one SEND record per application write chunk.
-        let traced = src_node < self.service_nodes && self.probe.enabled();
-        if traced {
-            let chunk = self.cfg.spec.app_write_chunk.max(1);
-            let (program, pid, tid) = match (sender_worker, noise_tid) {
-                (Some((t, w)), _) => (
-                    Arc::clone(&self.programs[t]),
-                    self.workers[t][w].pid,
-                    self.workers[t][w].tid,
-                ),
-                (None, Some(tid)) => (Arc::clone(&self.programs[DB]), 3000, tid),
-                _ => unreachable!("traced sender must be a worker or noise thread"),
-            };
-            let mut off = 0u64;
-            let mut i = 0u64;
-            while off < size {
-                let n = chunk.min(size - off);
-                let uid = self.probe.log(
-                    src_node,
-                    SimTime(now.as_nanos() + i * 2_000),
-                    &program,
-                    pid,
-                    tid,
-                    RawOp::Send,
-                    EndpointV4::new(src.ip, src.port),
-                    EndpointV4::new(dst.ip, dst.port),
-                    n,
-                );
-                match req {
-                    Some(r) => self.truth.attribute(r, uid),
-                    None => self.truth.note_noise(uid),
-                }
-                if let Some((t, w)) = sender_worker {
-                    self.workers[t][w].overhead_debt += self.cfg.spec.probe_cost.as_nanos();
-                }
-                off += n;
-                i += 1;
-            }
-        }
+        // The message's stream byte offset: the wire segment base and —
+        // in the v2 sniffer lane — the base of its send records' seq=.
         let stream_off = {
             let c = &mut self.conns[conn_id as usize];
             c.buf(dir).push_message(size);
@@ -710,6 +686,59 @@ impl RubisWorld {
                 }
             }
         };
+        // Probe: one SEND record per application write chunk.
+        let traced = src_node < self.service_nodes && self.probe.enabled();
+        if traced {
+            let capture = self.cfg.spec.capture;
+            let chunk = self.cfg.spec.app_write_chunk.max(1);
+            let (program, pid, tid) = match (sender_worker, noise_tid) {
+                (Some((t, w)), _) => (
+                    Arc::clone(&self.programs[t]),
+                    self.workers[t][w].pid,
+                    self.workers[t][w].tid,
+                ),
+                (None, Some(tid)) => (Arc::clone(&self.programs[DB]), 3000, tid),
+                _ => unreachable!("traced sender must be a worker or noise thread"),
+            };
+            let mut off = 0u64;
+            let mut i = 0u64;
+            while off < size {
+                let n = chunk.min(size - off);
+                let mut captured = true;
+                if let Some(cap) = capture {
+                    let seq = stream_off + off;
+                    if cap.drop > 0.0 && self.all_segments_missed(seq, n, cap.drop) {
+                        captured = false;
+                    } else {
+                        self.probe.set_seq(seq);
+                    }
+                }
+                if captured {
+                    let uid = self.probe.log(
+                        src_node,
+                        SimTime(now.as_nanos() + i * 2_000),
+                        &program,
+                        pid,
+                        tid,
+                        RawOp::Send,
+                        EndpointV4::new(src.ip, src.port),
+                        EndpointV4::new(dst.ip, dst.port),
+                        n,
+                    );
+                    match req {
+                        Some(r) => self.truth.attribute(r, uid),
+                        None => self.truth.note_noise(uid),
+                    }
+                    if let Some((t, w)) = sender_worker {
+                        self.workers[t][w].overhead_debt += self.cfg.spec.probe_cost.as_nanos();
+                    }
+                } else {
+                    self.probe.note_capture_dropped();
+                }
+                off += n;
+                i += 1;
+            }
+        }
         let mut rng = std::mem::replace(&mut self.rng, StdRng::seed_from_u64(0));
         let plans = self
             .wire_for(src_node, dst_node)
@@ -728,8 +757,9 @@ impl RubisWorld {
         }
     }
 
-    /// A worker reads everything readable; emits a RECEIVE probe record.
-    /// Returns the read result.
+    /// A worker reads everything readable; emits a RECEIVE probe record
+    /// (kernel lane: one per read; sniffer lane: one per reassembled
+    /// logical message). Returns the read result.
     fn worker_read(&mut self, now: SimTime, tier: usize, widx: usize) -> ReadResult {
         let (conn_id, dir) = self.workers[tier][widx]
             .reading
@@ -739,7 +769,6 @@ impl RubisWorld {
             return r;
         }
         if self.probe.enabled() {
-            let (src, dst) = self.conns[conn_id as usize].channel(dir);
             let req = self.workers[tier][widx].req.or_else(|| {
                 self.conns[conn_id as usize]
                     .fwd_reqs
@@ -748,24 +777,103 @@ impl RubisWorld {
             });
             let program = Arc::clone(&self.programs[tier]);
             let (pid, tid) = (self.workers[tier][widx].pid, self.workers[tier][widx].tid);
-            let uid = self.probe.log(
-                self.workers[tier][widx].node,
+            let node = self.workers[tier][widx].node;
+            self.log_receive(
                 now,
-                &program,
+                conn_id,
+                dir,
+                &r,
+                node,
+                program,
                 pid,
                 tid,
-                RawOp::Receive,
-                EndpointV4::new(src.ip, src.port),
-                EndpointV4::new(dst.ip, dst.port),
-                r.bytes,
+                req,
+                Some((tier, widx)),
             );
-            match req {
-                Some(rq) => self.truth.attribute(rq, uid),
-                None => self.truth.note_noise(uid),
-            }
-            self.workers[tier][widx].overhead_debt += self.cfg.spec.probe_cost.as_nanos();
         }
         r
+    }
+
+    /// Logs one RECEIVE record. The kernel lane (v1) logs exactly the
+    /// read; the sniffer lane (v2, [`crate::spec::CaptureSpec`]) instead
+    /// reassembles one record per logical message — partial reads
+    /// accumulate until the message completes — carrying `seq=`, and a
+    /// partially-captured record is lost only when every wire segment
+    /// overlapping its range was missed.
+    #[allow(clippy::too_many_arguments)]
+    fn log_receive(
+        &mut self,
+        now: SimTime,
+        conn_id: u64,
+        dir: Dir,
+        r: &ReadResult,
+        node: usize,
+        program: Arc<str>,
+        pid: u32,
+        tid: u32,
+        req: Option<u64>,
+        overhead_worker: Option<(usize, usize)>,
+    ) {
+        let capture = self.cfg.spec.capture;
+        let (src, dst) = self.conns[conn_id as usize].channel(dir);
+        let size = match capture {
+            None => r.bytes,
+            Some(cap) => {
+                let (size, seq) = {
+                    let c = &mut self.conns[conn_id as usize];
+                    let (acc, off) = match dir {
+                        Dir::Fwd => (&mut c.fwd_read_acc, &mut c.fwd_read_off),
+                        Dir::Rev => (&mut c.rev_read_acc, &mut c.rev_read_off),
+                    };
+                    *acc += r.bytes;
+                    if r.messages_completed == 0 {
+                        // Message still reassembling: the frontend has
+                        // not seen its end yet, no record.
+                        return;
+                    }
+                    let size = *acc;
+                    let seq = *off;
+                    *off += size;
+                    *acc = 0;
+                    (size, seq)
+                };
+                if cap.drop > 0.0 && self.all_segments_missed(seq, size, cap.drop) {
+                    self.probe.note_capture_dropped();
+                    return;
+                }
+                self.probe.set_seq(seq);
+                size
+            }
+        };
+        let uid = self.probe.log(
+            node,
+            now,
+            &program,
+            pid,
+            tid,
+            RawOp::Receive,
+            EndpointV4::new(src.ip, src.port),
+            EndpointV4::new(dst.ip, dst.port),
+            size,
+        );
+        match req {
+            Some(rq) => self.truth.attribute(rq, uid),
+            None => self.truth.note_noise(uid),
+        }
+        if let Some((t, w)) = overhead_worker {
+            self.workers[t][w].overhead_debt += self.cfg.spec.probe_cost.as_nanos();
+        }
+    }
+
+    /// True when every wire segment overlapping `[seq, seq + len)` was
+    /// missed by the sniffer, each independently with probability
+    /// `drop` — the only way partial capture loses a whole record (the
+    /// frontend heals interior gaps by `seq=` arithmetic).
+    fn all_segments_missed(&mut self, seq: u64, len: u64, drop: f64) -> bool {
+        let mss = u64::from(self.cfg.spec.wire.mss.max(1));
+        let end = seq + len.max(1) - 1;
+        let k = end / mss - seq / mss + 1;
+        (0..k).all(|_| self.rng.gen_bool(drop))
     }
 
     fn sample(&mut self, d: Dist) -> u64 {
@@ -1400,21 +1508,22 @@ impl RubisWorld {
             return;
         }
         let r = self.conns[conn as usize].fwd_buf.read();
-        let (src, dst) = self.conns[conn as usize].channel(Dir::Fwd);
         let program = Arc::clone(&self.programs[DB]);
         let db_node = self.conns[conn as usize].dst_node;
-        let uid = self.probe.log(
-            db_node,
-            now,
-            &program,
-            3000,
-            tid,
-            RawOp::Receive,
-            EndpointV4::new(src.ip, src.port),
-            EndpointV4::new(dst.ip, dst.port),
-            r.bytes,
-        );
-        self.truth.note_noise(uid);
+        if self.probe.enabled() && r.bytes > 0 {
+            self.log_receive(
+                now,
+                conn,
+                Dir::Fwd,
+                &r,
+                db_node,
+                program,
+                3000,
+                tid,
+                None,
+                None,
+            );
+        }
         // Respond with a small result after a fixed 300us "query".
         let at = SimTime(now.as_nanos() + 300_000);
         let size = 200 + self.sample(Dist::Uniform { lo: 0.0, hi: 700.0 });
@@ -1441,13 +1550,49 @@ impl RubisWorld {
         offset: u64,
         bytes: u64,
     ) {
-        let ing = self.conns[conn as usize].buf(dir).on_segment(offset, bytes);
-        if ing.duplicate > 0 {
-            // The kernel discards retransmitted ranges before the
-            // application ever reads them; the probe's sniffer lane
-            // still logs the arrival, marked `retrans`.
-            self.log_duplicate_arrival(now, conn, dir, ing.duplicate);
-        }
+        let ing = match self.cfg.spec.capture {
+            None => {
+                let ing = self.conns[conn as usize].buf(dir).on_segment(offset, bytes);
+                if ing.duplicate > 0 {
+                    // The kernel discards retransmitted ranges before
+                    // the application ever reads them; the probe's
+                    // sniffer lane still logs the arrival, marked
+                    // `retrans`.
+                    self.log_duplicate_arrival(now, conn, dir, ing.duplicate, None);
+                }
+                ing
+            }
+            Some(cap) => {
+                // v2 sniffer lane: one retrans record per contiguous
+                // duplicated sub-range, carrying its seq= offset —
+                // logged only once the range has been handed to the
+                // application (a duplicate of still-reassembling data
+                // is indistinguishable from reordering at capture
+                // time, so the frontend absorbs it).
+                let mut dups = Vec::new();
+                let ing = self.conns[conn as usize]
+                    .buf(dir)
+                    .on_segment_ranges(offset, bytes, &mut dups);
+                for (s, l) in dups {
+                    let logged_hwm = {
+                        let c = &self.conns[conn as usize];
+                        match dir {
+                            Dir::Fwd => c.fwd_read_off,
+                            Dir::Rev => c.rev_read_off,
+                        }
+                    };
+                    if s + l > logged_hwm {
+                        continue; // absorbed into the in-flight message
+                    }
+                    if cap.drop > 0.0 && self.all_segments_missed(s, l, cap.drop) {
+                        self.probe.note_capture_dropped();
+                        continue;
+                    }
+                    self.log_duplicate_arrival(now, conn, dir, l, Some(s));
+                }
+                ing
+            }
+        };
         if ing.fresh == 0 {
             return;
         }
@@ -1512,9 +1657,17 @@ impl RubisWorld {
 
     /// Logs the sniffer-visible record for a duplicate (retransmitted)
     /// byte range arriving at a traced node. The record is marked
-    /// `retrans`; the correlator is expected to discard it, so ground
+    /// `retrans` (and, in the v2 lane, carries the range's `seq=`
+    /// offset); the correlator is expected to discard it, so ground
     /// truth counts it as noise.
-    fn log_duplicate_arrival(&mut self, now: SimTime, conn: u64, dir: Dir, dup_bytes: u64) {
+    fn log_duplicate_arrival(
+        &mut self,
+        now: SimTime,
+        conn: u64,
+        dir: Dir,
+        dup_bytes: u64,
+        seq: Option<u64>,
+    ) {
         if !self.probe.enabled() {
             return;
         }
@@ -1543,6 +1696,9 @@ impl RubisWorld {
                 (Arc::clone(&self.programs[t]), 0, 0)
             }
         };
+        if let Some(seq) = seq {
+            self.probe.set_seq(seq);
+        }
         let uid = self.probe.log_retrans(
             rx_node,
             now,

@@ -307,7 +307,36 @@ impl RecvBuffer {
     /// segments are held for reassembly; duplicated ranges are counted
     /// and discarded, like a kernel TCP receive queue.
     pub fn on_segment(&mut self, offset: u64, bytes: u64) -> SegmentIngest {
+        self.on_segment_impl(offset, bytes, None)
+    }
+
+    /// [`RecvBuffer::on_segment`] that additionally reports each
+    /// duplicated contiguous sub-range as `(stream offset, length)` —
+    /// what a `TCP_TRACE v2` sniffer frontend logs per duplicate
+    /// arrival instead of one aggregate `retrans` count.
+    pub fn on_segment_ranges(
+        &mut self,
+        offset: u64,
+        bytes: u64,
+        dups: &mut Vec<(u64, u64)>,
+    ) -> SegmentIngest {
+        self.on_segment_impl(offset, bytes, Some(dups))
+    }
+
+    fn on_segment_impl(
+        &mut self,
+        offset: u64,
+        bytes: u64,
+        mut dups: Option<&mut Vec<(u64, u64)>>,
+    ) -> SegmentIngest {
         let mut ing = SegmentIngest::default();
+        let mut note_dup = |start: u64, len: u64| {
+            if len > 0 {
+                if let Some(v) = dups.as_deref_mut() {
+                    v.push((start, len));
+                }
+            }
+        };
         let end = offset + bytes;
         // The portion below the contiguous high-water mark was already
         // delivered to the application side: pure duplicate.
@@ -315,6 +344,7 @@ impl RecvBuffer {
         if start < self.expected {
             let dup = self.expected.min(end) - start;
             ing.duplicate += dup;
+            note_dup(start, dup);
             start += dup;
         }
         if start >= end {
@@ -325,12 +355,15 @@ impl RecvBuffer {
             // for reassembly: those bytes were counted fresh when held
             // and are duplicates now (the readable prefix itself only
             // advances once either way).
-            let held: u64 = self
-                .ooo
-                .range(..end)
-                .filter(|(&o, &l)| o + l > start)
-                .map(|(&o, &l)| (o + l).min(end) - o.max(start))
-                .sum();
+            let mut held = 0u64;
+            for (&o, &l) in self.ooo.range(..end) {
+                if o + l > start {
+                    let s = o.max(start);
+                    let n = (o + l).min(end) - s;
+                    held += n;
+                    note_dup(s, n);
+                }
+            }
             ing.fresh += (end - start) - held;
             ing.duplicate += held;
             self.arrived += end - start;
@@ -352,7 +385,9 @@ impl RecvBuffer {
         for o in keys {
             let l = self.ooo.remove(&o).expect("key just enumerated");
             let e = o + l;
-            covered += e.min(end).saturating_sub(o.max(start));
+            let overlap = e.min(end).saturating_sub(o.max(start));
+            covered += overlap;
+            note_dup(o.max(start), overlap);
             merged_start = merged_start.min(o);
             merged_end = merged_end.max(e);
         }
@@ -715,6 +750,29 @@ mod tests {
         let r = rb.read();
         assert_eq!(r.bytes, 200);
         assert_eq!(r.messages_completed, 1);
+    }
+
+    #[test]
+    fn on_segment_ranges_reports_duplicate_subranges() {
+        let mut rb = RecvBuffer::new();
+        rb.push_message(400);
+        let mut dups = Vec::new();
+        rb.on_segment_ranges(0, 200, &mut dups);
+        assert!(dups.is_empty(), "fresh prefix reports no duplicates");
+        // Duplicate of the delivered prefix.
+        let ing = rb.on_segment_ranges(100, 100, &mut dups);
+        assert_eq!(ing.duplicate, 100);
+        assert_eq!(dups, vec![(100, 100)]);
+        dups.clear();
+        // Held out-of-order range, then a spanning arrival covering it:
+        // only the held overlap is a duplicate, reported by range.
+        rb.on_segment_ranges(300, 100, &mut dups);
+        assert!(dups.is_empty());
+        let ing = rb.on_segment_ranges(200, 200, &mut dups);
+        assert_eq!(ing.fresh, 100);
+        assert_eq!(ing.duplicate, 100);
+        assert_eq!(dups, vec![(300, 100)]);
+        assert_eq!(rb.read().bytes, 400);
     }
 
     #[test]

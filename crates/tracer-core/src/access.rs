@@ -140,6 +140,7 @@ impl Classifier {
             channel: r.channel(),
             size: r.size,
             tag: r.tag,
+            seq: r.seq,
         }
     }
 
@@ -159,6 +160,7 @@ impl Classifier {
             channel: Channel::new(r.src, r.dst),
             size: r.size,
             tag: r.tag,
+            seq: r.seq,
         }
     }
 }

@@ -346,6 +346,12 @@ pub struct Activity {
     /// can check path accuracy against instrumented ground truth, exactly
     /// like the paper's modified-RUBiS request IDs (§5.2).
     pub tag: u64,
+    /// `TCP_TRACE v2` stream byte offset of this activity's first
+    /// payload byte on its directed channel (`None` for v1 records).
+    /// Consulted only by the sharded session router, whose per-channel
+    /// byte claims become range-based when both sides carry offsets —
+    /// robust to records lost by a partial-capture sniffer.
+    pub seq: Option<u64>,
 }
 
 impl Activity {
@@ -462,6 +468,7 @@ mod tests {
             channel: ch,
             size: 1,
             tag: 0,
+            seq: None,
         };
         assert_eq!(send.local_endpoint(), ch.src);
         assert_eq!(send.peer_endpoint(), ch.dst);

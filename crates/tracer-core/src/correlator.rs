@@ -34,7 +34,7 @@ use crate::error::TraceError;
 use crate::filter::FilterSet;
 use crate::metrics::CorrelatorMetrics;
 use crate::ranker::{RankStep, Ranker};
-use crate::raw::RawRecord;
+use crate::raw::{RangeDedup, RawRecord};
 
 pub use crate::engine::EngineOptions;
 pub use crate::ranker::{RankerOptions, WindowPolicy};
@@ -70,6 +70,16 @@ pub struct CorrelatorConfig {
     /// default) waits indefinitely — the only mode whose emission is
     /// timing-independent, so goldens use it.
     pub max_seal_lag: Option<u64>,
+    /// Sharded mode only: evict the session router's per-channel
+    /// claim/role entries once a channel has been idle for this many
+    /// staged records (a record-count horizon, so it needs no clock).
+    /// Only fully drained channels (no queued claims, no staged sends,
+    /// no waiting receives) are evicted, so routing stays correct; an
+    /// evicted channel merely forgets its last-shard drift fallback and
+    /// its shared-role history, both of which rebuild on the next
+    /// activity. `None` (the default) never evicts — the endless-stream
+    /// endurance knob of the ROADMAP.
+    pub channel_idle_horizon: Option<u64>,
 }
 
 impl CorrelatorConfig {
@@ -83,6 +93,7 @@ impl CorrelatorConfig {
             mem_sample_every: 64,
             memory_budget: None,
             max_seal_lag: None,
+            channel_idle_horizon: None,
         }
     }
 
@@ -115,6 +126,13 @@ impl CorrelatorConfig {
     /// candidates (see [`CorrelatorConfig::max_seal_lag`]).
     pub fn with_max_seal_lag(mut self, lag: u64) -> Self {
         self.max_seal_lag = Some(lag);
+        self
+    }
+
+    /// Evicts idle per-channel router state after `records` staged
+    /// records (see [`CorrelatorConfig::channel_idle_horizon`]).
+    pub fn with_channel_idle_horizon(mut self, records: u64) -> Self {
+        self.channel_idle_horizon = Some(records);
         self
     }
 
@@ -200,11 +218,17 @@ pub struct CorrelationOutput {
 const NOISE_SAMPLE_CAP: usize = 32;
 
 /// Offline correlator (paper §5 operating mode).
+#[deprecated(
+    since = "0.1.0",
+    note = "use tracer_core::pipeline::Pipeline with Mode::Batch; this type \
+            remains as a thin shim for one release"
+)]
 #[derive(Debug)]
 pub struct Correlator {
     config: CorrelatorConfig,
 }
 
+#[allow(deprecated)] // shim internals
 impl Correlator {
     /// Creates a correlator with the given configuration.
     pub fn new(config: CorrelatorConfig) -> Self {
@@ -311,12 +335,21 @@ impl Correlator {
 /// # Ok(())
 /// # }
 /// ```
+#[deprecated(
+    since = "0.1.0",
+    note = "use tracer_core::pipeline::Pipeline with Mode::Streaming and \
+            Pipeline::session for incremental push/poll; this type remains \
+            as a thin shim for one release"
+)]
 #[derive(Debug)]
 pub struct StreamingCorrelator {
     classifier: Classifier,
     filters: FilterSet,
     ranker: Ranker,
     engine: Engine,
+    /// Ingest-stage duplicate-range elimination: v2 `seq=` offset
+    /// arithmetic, v1 `retrans` marker fallback.
+    range_dedup: RangeDedup,
     metrics: CorrelatorMetrics,
     mem_sample_every: u64,
     memory_budget: Option<usize>,
@@ -341,6 +374,7 @@ pub struct StreamingCorrelator {
     finished: bool,
 }
 
+#[allow(deprecated)] // shim internals
 impl StreamingCorrelator {
     /// Creates a streaming correlator.
     ///
@@ -387,6 +421,7 @@ impl StreamingCorrelator {
             filters: config.filters.clone(),
             ranker: Ranker::new(ranker_opts),
             engine: Engine::new(config.engine.clone()),
+            range_dedup: RangeDedup::new(),
             metrics: CorrelatorMetrics::default(),
             mem_sample_every: config.mem_sample_every,
             memory_budget: config.memory_budget,
@@ -426,15 +461,19 @@ impl StreamingCorrelator {
     /// # Errors
     ///
     /// Returns [`TraceError::Finished`] after [`Self::finish`].
-    pub fn push(&mut self, rec: RawRecord) -> Result<(), TraceError> {
+    pub fn push(&mut self, mut rec: RawRecord) -> Result<(), TraceError> {
         self.guard()?;
         self.metrics.records_in += 1;
-        if rec.retrans {
-            // A sniffer-marked retransmission duplicates bytes the
-            // kernel already delivered; admitting it would break Rule
-            // 1's byte exactness on the channel.
-            self.metrics.retrans_dropped += 1;
-            return Ok(());
+        match self.range_dedup.decide_owned(&rec) {
+            // A duplicate byte range (v2 `seq=` arithmetic, or the v1
+            // `retrans` marker): the kernel already delivered these
+            // bytes; admitting the record would break Rule 1's byte
+            // exactness on the channel.
+            crate::raw::IngestDecision::Drop => {
+                self.metrics.retrans_dropped += 1;
+                return Ok(());
+            }
+            crate::raw::IngestDecision::Admit(size) => rec.size = size,
         }
         let act = self.classifier.classify(&rec);
         if !self.filters.admits(&act) {
@@ -580,9 +619,10 @@ impl StreamingCorrelator {
     }
 
     /// Current approximate resident bytes (window buffers + engine
-    /// state) — the online-memory guarantee of the streaming mode.
+    /// state + the v2 range-dedup coverage, which is empty on v1
+    /// streams) — the online-memory guarantee of the streaming mode.
     pub fn approx_bytes(&self) -> usize {
-        self.ranker.approx_bytes() + self.engine.approx_bytes()
+        self.ranker.approx_bytes() + self.engine.approx_bytes() + self.range_dedup.approx_bytes()
     }
 
     /// The current base sliding window (static, or the latest adaptive
@@ -610,6 +650,9 @@ impl StreamingCorrelator {
         self.metrics.cags_finished += flushed.len() as u64;
         cags.extend(flushed);
         let unfinished = self.engine.take_unfinished();
+        self.metrics.seq_dedup_ranges = self.range_dedup.seq_dedup_ranges;
+        self.metrics.v2_records = self.range_dedup.v2_records;
+        self.metrics.seq_gaps = self.range_dedup.seq_gaps;
         let mut metrics = std::mem::take(&mut self.metrics);
         metrics.wall = self.started.elapsed();
         metrics.final_bytes = self.ranker.approx_bytes() + self.engine.approx_bytes();
@@ -638,6 +681,7 @@ impl StreamingCorrelator {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // exercises the shims directly
 mod tests {
     use super::*;
     use crate::raw::parse_log;

@@ -936,6 +936,7 @@ mod tests {
             channel: Channel::new(ep(src), ep(dst)),
             size,
             tag,
+            seq: None,
         }
     }
 

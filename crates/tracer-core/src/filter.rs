@@ -211,6 +211,7 @@ mod tests {
             ),
             size: 1,
             tag: 0,
+            seq: None,
         }
     }
 

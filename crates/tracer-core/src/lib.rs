@@ -17,9 +17,17 @@
 //! ## Pipeline
 //!
 //! ```text
-//! RawRecord ─→ access::Classifier ─→ filter::FilterSet ─→ Ranker ─→ Engine ─→ CAGs
-//!   (§3.1 transformation)  (noise attribute filters)  (§4.1)     (§4.2)    (§3.2)
+//! Source ─→ ingest (range dedup) ─→ access::Classifier ─→ filter::FilterSet ─→ Ranker ─→ Engine ─→ CAGs
+//!            (v2 seq= arithmetic)   (§3.1 transformation) (noise attr filters)  (§4.1)     (§4.2)   (§3.2)
 //! ```
+//!
+//! The public entry point is [`pipeline::Pipeline`]: one
+//! [`pipeline::PipelineConfig`] (correlation knobs + a
+//! [`pipeline::Mode`]: batch, streaming or sharded) and one
+//! [`pipeline::Source`] (owned records, an iterator, or zero-copy
+//! text), run through a single `builder → run(source)` path. The
+//! legacy `Correlator` / `StreamingCorrelator` / `ShardedCorrelator`
+//! types remain as thin deprecated shims for one release.
 //!
 //! * [`ranker::Ranker`] — per-node queues sorted by local clocks, a
 //!   sliding time window, candidate selection Rules 1 & 2 with the
@@ -75,6 +83,7 @@ pub mod filter;
 pub mod intern;
 pub mod metrics;
 pub mod pattern;
+pub mod pipeline;
 pub mod ranker;
 pub mod raw;
 pub mod shard;
@@ -84,17 +93,24 @@ pub use activity::{Activity, ActivityType, Channel, ContextId, EndpointV4, Local
 pub use analysis::{BreakdownReport, Diagnosis, DiffReport, SuspectKind};
 pub use cag::{Cag, Component, EdgeKind, Vertex};
 pub use correlator::{
-    CorrelationOutput, Correlator, CorrelatorConfig, EngineOptions, RankerOptions,
-    StreamingCorrelator, WindowPolicy,
+    CorrelationOutput, CorrelatorConfig, EngineOptions, RankerOptions, WindowPolicy,
 };
+// The deprecated shims stay importable from their old paths for one
+// release; importing them warns, re-exporting them here must not.
+#[allow(deprecated)]
+pub use correlator::{Correlator, StreamingCorrelator};
 pub use engine::Engine;
 pub use error::TraceError;
 pub use filter::{FilterRule, FilterSet};
 pub use intern::Interner;
 pub use metrics::CorrelatorMetrics;
 pub use pattern::{AveragePath, PatternAggregator, PatternKey};
+pub use pipeline::{Mode, Pipeline, PipelineConfig, PipelineSession, Source};
 pub use ranker::Ranker;
-pub use raw::{dedup_retransmissions, parse_log, parse_log_iter, RawOp, RawRecord, RawRecordRef};
+pub use raw::{
+    dedup_retransmissions, parse_log, parse_log_iter, RangeDedup, RawOp, RawRecord, RawRecordRef,
+};
+#[allow(deprecated)]
 pub use shard::ShardedCorrelator;
 
 /// Commonly used items, for glob import in examples and tests.
@@ -106,16 +122,20 @@ pub mod prelude {
     pub use crate::analysis::{BreakdownReport, Diagnosis, DiffReport, SuspectKind};
     pub use crate::cag::{Cag, Component, EdgeKind, Vertex};
     pub use crate::correlator::{
-        CorrelationOutput, Correlator, CorrelatorConfig, EngineOptions, RankerOptions,
-        StreamingCorrelator, WindowPolicy,
+        CorrelationOutput, CorrelatorConfig, EngineOptions, RankerOptions, WindowPolicy,
     };
+    #[allow(deprecated)]
+    pub use crate::correlator::{Correlator, StreamingCorrelator};
     pub use crate::error::TraceError;
     pub use crate::filter::{FilterRule, FilterSet};
     pub use crate::intern::Interner;
     pub use crate::metrics::CorrelatorMetrics;
     pub use crate::pattern::{AveragePath, PatternAggregator, PatternKey};
+    pub use crate::pipeline::{Mode, Pipeline, PipelineConfig, PipelineSession, Source};
     pub use crate::raw::{
-        dedup_retransmissions, parse_log, parse_log_iter, RawOp, RawRecord, RawRecordRef,
+        dedup_retransmissions, parse_log, parse_log_iter, RangeDedup, RawOp, RawRecord,
+        RawRecordRef,
     };
+    #[allow(deprecated)]
     pub use crate::shard::ShardedCorrelator;
 }

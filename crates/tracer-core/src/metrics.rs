@@ -13,10 +13,21 @@ pub struct CorrelatorMetrics {
     pub records_in: u64,
     /// Records dropped by the attribute filters (§4.3 way 1).
     pub filtered_out: u64,
-    /// Sniffer-marked retransmission records discarded at ingest
-    /// (duplicate byte ranges that would break Rule 1's byte
-    /// exactness).
+    /// Duplicate byte-range records discarded at ingest (they would
+    /// break Rule 1's byte exactness): v1 records dropped by the
+    /// capture frontend's `retrans` marker plus v2 records dropped by
+    /// `seq=` offset arithmetic.
     pub retrans_dropped: u64,
+    /// Subset of [`CorrelatorMetrics::retrans_dropped`] decided by
+    /// `TCP_TRACE v2` range arithmetic (fully covered `seq=` ranges)
+    /// rather than by trusting the v1 marker.
+    pub seq_dedup_ranges: u64,
+    /// Records carrying the v2 `seq=` attribute, dropped or not.
+    pub v2_records: u64,
+    /// Partial-capture gaps observed at ingest: records whose `seq=`
+    /// started above the channel's covered high-water mark — evidence
+    /// of records the sniffer missed.
+    pub seq_gaps: u64,
     /// Ranker counters (Rules 1/2, swaps, boosts, `is_noise` discards).
     pub ranker: RankerCounters,
     /// Engine counters (merges, matches, evictions).
@@ -45,6 +56,9 @@ impl CorrelatorMetrics {
         self.records_in += other.records_in;
         self.filtered_out += other.filtered_out;
         self.retrans_dropped += other.retrans_dropped;
+        self.seq_dedup_ranges += other.seq_dedup_ranges;
+        self.v2_records += other.v2_records;
+        self.seq_gaps += other.seq_gaps;
         self.ranker.absorb(&other.ranker);
         self.engine.absorb(&other.engine);
         self.cags_finished += other.cags_finished;

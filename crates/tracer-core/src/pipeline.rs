@@ -1,0 +1,615 @@
+//! The unified correlation pipeline — the **one** public entry point.
+//!
+//! The paper's tool is a single pipeline: probe records in, CAGs and
+//! performance analysis out. Earlier revisions of this crate exposed
+//! that pipeline through three divergent entry points (the offline
+//! [`Correlator`], the incremental [`StreamingCorrelator`] and the
+//! parallel [`ShardedCorrelator`]) that every caller had to wire up by
+//! hand. [`Pipeline`] replaces all three: one [`PipelineConfig`] — a
+//! superset of [`CorrelatorConfig`] plus a [`Mode`] — and one
+//! [`Source`] abstraction over owned records, record iterators and
+//! zero-copy text ingest, consumed by a single
+//! `builder → run(source) → CorrelationOutput` path.
+//!
+//! ```text
+//!            ┌───────────────── Pipeline ─────────────────┐
+//! Source ──→ │ ingest (range dedup, classify, filter) ──→ │ ──→ CorrelationOutput
+//!            │   mode: Batch | Streaming | Sharded(n)     │
+//!            └────────────────────────────────────────────┘
+//! ```
+//!
+//! * [`Mode::Batch`] — the paper's offline evaluation setup: group per
+//!   node, sort by local time, drain through the streaming core. CAG
+//!   ids follow seal order.
+//! * [`Mode::Streaming`] — records are pushed in arrival order and the
+//!   output streams out with bounded memory; on a complete source this
+//!   is byte-identical to `Batch` whenever ranking starts with the
+//!   input staged (pinned by the golden tests). For true online use,
+//!   open an incremental handle with [`Pipeline::session`].
+//! * [`Mode::Sharded`]`(n)` — the reader-side session router feeding
+//!   `n` worker threads, merged into canonical root order; output is
+//!   byte-identical for every shard count.
+//!
+//! The old three types remain available as thin deprecated shims for
+//! one release; see the README's migration table.
+//!
+//! # Examples
+//!
+//! ```
+//! use tracer_core::prelude::*;
+//!
+//! # fn main() -> Result<(), TraceError> {
+//! let access = AccessPointSpec::new([80], ["10.0.0.1".parse().unwrap()]);
+//! let log = "\
+//! 1000 web httpd 7 7 RECEIVE 192.168.0.9:5000-10.0.0.1:80 120
+//! 2000 web httpd 7 7 SEND 10.0.0.1:80-192.168.0.9:5000 512
+//! ";
+//! let pipeline = Pipeline::new(PipelineConfig::new(access).with_mode(Mode::Sharded(4)))?;
+//! let out = pipeline.run(Source::text(log))?;
+//! assert_eq!(out.cags.len(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::sync::Arc;
+
+use crate::access::AccessPointSpec;
+use crate::activity::{Activity, Nanos};
+use crate::cag::Cag;
+#[allow(deprecated)]
+use crate::correlator::{
+    CorrelationOutput, Correlator, CorrelatorConfig, EngineOptions, RankerOptions,
+    StreamingCorrelator, WindowPolicy,
+};
+use crate::error::TraceError;
+use crate::filter::FilterSet;
+use crate::raw::{parse_log, RawRecord};
+#[allow(deprecated)]
+use crate::shard::ShardedCorrelator;
+
+/// How the pipeline executes a correlation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Mode {
+    /// Offline batch (the paper's evaluation setup): the complete
+    /// record set is grouped per node and sorted by local time before
+    /// draining through the streaming core. The default.
+    #[default]
+    Batch,
+    /// Single-instance streaming: records are pushed in source order
+    /// and correlate with bounded memory as they arrive.
+    Streaming,
+    /// Parallel sharded correlation with this many worker threads
+    /// (`0` = one per CPU core, capped): reader-side session routing,
+    /// canonical deterministic merge — byte-identical output for every
+    /// shard count.
+    Sharded(usize),
+}
+
+/// Full pipeline configuration: everything [`CorrelatorConfig`] holds
+/// plus the execution [`Mode`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineConfig {
+    /// The correlation knobs shared by every mode (access points,
+    /// filters, window policy, memory budget, sealing SLO, router GC).
+    pub correlator: CorrelatorConfig,
+    /// Which execution strategy [`Pipeline::run`] uses.
+    pub mode: Mode,
+}
+
+impl PipelineConfig {
+    /// A default (batch-mode) configuration for a service with the
+    /// given access spec.
+    pub fn new(access: AccessPointSpec) -> Self {
+        PipelineConfig {
+            correlator: CorrelatorConfig::new(access),
+            mode: Mode::Batch,
+        }
+    }
+
+    /// Sets the execution mode.
+    pub fn with_mode(mut self, mode: Mode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the sliding time window.
+    pub fn with_window(mut self, window: Nanos) -> Self {
+        self.correlator = self.correlator.with_window(window);
+        self
+    }
+
+    /// Sets the window policy (static knob vs adaptive latency
+    /// tracking).
+    pub fn with_window_policy(mut self, policy: WindowPolicy) -> Self {
+        self.correlator = self.correlator.with_window_policy(policy);
+        self
+    }
+
+    /// Enables adaptive windowing with the default `p99 × 4` policy.
+    pub fn with_adaptive_window(mut self) -> Self {
+        self.correlator = self.correlator.with_adaptive_window();
+        self
+    }
+
+    /// Sets the explicit resident-memory budget in bytes.
+    pub fn with_memory_budget(mut self, bytes: usize) -> Self {
+        self.correlator = self.correlator.with_memory_budget(bytes);
+        self
+    }
+
+    /// Bounds the sealing latency of finished CAGs (see
+    /// [`CorrelatorConfig::max_seal_lag`]).
+    pub fn with_max_seal_lag(mut self, lag: u64) -> Self {
+        self.correlator = self.correlator.with_max_seal_lag(lag);
+        self
+    }
+
+    /// Evicts idle per-channel router state in sharded mode (see
+    /// [`CorrelatorConfig::channel_idle_horizon`]).
+    pub fn with_channel_idle_horizon(mut self, records: u64) -> Self {
+        self.correlator = self.correlator.with_channel_idle_horizon(records);
+        self
+    }
+
+    /// Sets the attribute filters.
+    pub fn with_filters(mut self, filters: FilterSet) -> Self {
+        self.correlator = self.correlator.with_filters(filters);
+        self
+    }
+
+    /// Sets the ranker options wholesale.
+    pub fn with_ranker(mut self, ranker: RankerOptions) -> Self {
+        self.correlator = self.correlator.with_ranker(ranker);
+        self
+    }
+
+    /// Sets the engine options wholesale.
+    pub fn with_engine(mut self, engine: EngineOptions) -> Self {
+        self.correlator = self.correlator.with_engine(engine);
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Config`] when the window is zero, no access
+    /// point is configured, or a sharded shard count is out of range.
+    pub fn validate(&self) -> Result<(), TraceError> {
+        self.correlator.validate()?;
+        if let Mode::Sharded(n) = self.mode {
+            if n > crate::shard::MAX_SHARDS {
+                return Err(TraceError::config(format!(
+                    "shard count {n} exceeds the maximum of {}",
+                    crate::shard::MAX_SHARDS
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl From<CorrelatorConfig> for PipelineConfig {
+    /// Wraps an existing correlator configuration in batch mode — the
+    /// one-line migration path from the deprecated entry points.
+    fn from(correlator: CorrelatorConfig) -> Self {
+        PipelineConfig {
+            correlator,
+            mode: Mode::Batch,
+        }
+    }
+}
+
+/// One source of TCP_TRACE records, unifying the three ingest shapes
+/// the old entry points each exposed differently.
+#[derive(Debug)]
+pub enum Source<'a> {
+    /// Owned, already-parsed records (any order; batch and sharded
+    /// modes re-sort per node).
+    Records(Vec<RawRecord>),
+    /// A TCP_TRACE text log. Sharded mode ingests it **zero-copy**
+    /// (borrowed [`crate::raw::RawRecordRef`] parsing, interned
+    /// strings); the single-instance modes parse it into owned records
+    /// first.
+    Text(&'a str),
+}
+
+impl Source<'_> {
+    /// A source over owned records.
+    pub fn records(records: Vec<RawRecord>) -> Source<'static> {
+        Source::Records(records)
+    }
+
+    /// A source over a TCP_TRACE text log.
+    pub fn text(text: &str) -> Source<'_> {
+        Source::Text(text)
+    }
+
+    /// A source draining an arbitrary record iterator (collected up
+    /// front; use [`Pipeline::session`] to push records incrementally
+    /// without collecting).
+    pub fn collected(records: impl IntoIterator<Item = RawRecord>) -> Source<'static> {
+        Source::Records(records.into_iter().collect())
+    }
+}
+
+impl FromIterator<RawRecord> for Source<'static> {
+    fn from_iter<T: IntoIterator<Item = RawRecord>>(records: T) -> Self {
+        Source::Records(records.into_iter().collect())
+    }
+}
+
+impl From<Vec<RawRecord>> for Source<'static> {
+    fn from(records: Vec<RawRecord>) -> Self {
+        Source::Records(records)
+    }
+}
+
+impl<'a> From<&'a str> for Source<'a> {
+    fn from(text: &'a str) -> Self {
+        Source::Text(text)
+    }
+}
+
+/// The unified correlation pipeline facade. See the module docs.
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    config: PipelineConfig,
+}
+
+#[allow(deprecated)] // wraps the deprecated shims' shared machinery
+impl Pipeline {
+    /// Builds a pipeline, validating the configuration up front.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Config`] when
+    /// [`PipelineConfig::validate`] fails.
+    pub fn new(config: PipelineConfig) -> Result<Self, TraceError> {
+        config.validate()?;
+        Ok(Pipeline { config })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Runs one complete correlation: ingests the source (duplicate
+    /// byte ranges are deduplicated — v2 `seq=` arithmetic or the v1
+    /// `retrans` marker — then records classify and filter), correlates
+    /// it in the configured [`Mode`], and returns the output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a parse error for malformed text sources and propagates
+    /// configuration errors.
+    pub fn run(&self, source: Source<'_>) -> Result<CorrelationOutput, TraceError> {
+        let cfg = self.config.correlator.clone();
+        match self.config.mode {
+            Mode::Batch => {
+                let records = match source {
+                    Source::Records(r) => r,
+                    Source::Text(t) => parse_log(t)?,
+                };
+                Correlator::new(cfg).correlate(records)
+            }
+            Mode::Streaming => {
+                let records = match source {
+                    Source::Records(r) => r,
+                    Source::Text(t) => parse_log(t)?,
+                };
+                let mut sc = StreamingCorrelator::new(cfg)?;
+                for rec in records {
+                    sc.push(rec)?;
+                }
+                sc.finish()
+            }
+            Mode::Sharded(n) => match source {
+                Source::Records(r) => ShardedCorrelator::correlate(cfg, n, r),
+                Source::Text(t) => ShardedCorrelator::correlate_text(cfg, n, t),
+            },
+        }
+    }
+
+    /// Correlates pre-classified activity streams (one per host, each
+    /// sorted by local time) — the harness path for synthetic
+    /// activities. Runs through the single-instance drain regardless of
+    /// mode (the sharded reader routes raw records, not activities).
+    ///
+    /// # Errors
+    ///
+    /// Returns a configuration error when the window settings are
+    /// invalid.
+    pub fn run_activities(
+        &self,
+        streams: Vec<(Arc<str>, Vec<Activity>)>,
+    ) -> Result<CorrelationOutput, TraceError> {
+        Correlator::new(self.config.correlator.clone()).correlate_activities(streams)
+    }
+
+    /// Opens an incremental session: push records (or raw log lines) as
+    /// they arrive, poll for sealed CAGs, finish for the final output.
+    /// The mode decides the machinery underneath — a batch session
+    /// buffers and drains at finish; a streaming session correlates
+    /// online with bounded memory; a sharded session routes to its
+    /// workers as records arrive.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors.
+    pub fn session(&self) -> Result<PipelineSession, TraceError> {
+        let cfg = self.config.correlator.clone();
+        Ok(PipelineSession {
+            inner: match self.config.mode {
+                Mode::Batch => {
+                    cfg.validate()?;
+                    SessionInner::Batch {
+                        config: cfg,
+                        buffered: Vec::new(),
+                        finished: false,
+                    }
+                }
+                Mode::Streaming => SessionInner::Streaming(StreamingCorrelator::new(cfg)?),
+                Mode::Sharded(n) => SessionInner::Sharded(ShardedCorrelator::new(cfg, n)?),
+            },
+        })
+    }
+}
+
+#[allow(deprecated)]
+#[allow(clippy::large_enum_variant)] // one session per run; size is irrelevant
+#[derive(Debug)]
+enum SessionInner {
+    Batch {
+        config: CorrelatorConfig,
+        buffered: Vec<RawRecord>,
+        finished: bool,
+    },
+    Streaming(StreamingCorrelator),
+    Sharded(ShardedCorrelator),
+}
+
+/// An incremental pipeline run opened by [`Pipeline::session`]. After
+/// [`PipelineSession::finish`] the session is spent: every further call
+/// returns [`TraceError::Finished`].
+#[derive(Debug)]
+pub struct PipelineSession {
+    inner: SessionInner,
+}
+
+#[allow(deprecated)] // drives the deprecated shims' shared machinery
+impl PipelineSession {
+    /// Pushes one raw record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Finished`] after [`Self::finish`].
+    pub fn push(&mut self, rec: RawRecord) -> Result<(), TraceError> {
+        match &mut self.inner {
+            SessionInner::Batch {
+                buffered, finished, ..
+            } => {
+                if *finished {
+                    return Err(TraceError::Finished);
+                }
+                buffered.push(rec);
+                Ok(())
+            }
+            SessionInner::Streaming(sc) => sc.push(rec),
+            SessionInner::Sharded(sc) => sc.push(rec),
+        }
+    }
+
+    /// Parses and pushes one TCP_TRACE log line (zero-copy in sharded
+    /// mode).
+    ///
+    /// # Errors
+    ///
+    /// Returns a parse error for a malformed line, and
+    /// [`TraceError::Finished`] after [`Self::finish`].
+    pub fn push_line(&mut self, line: &str) -> Result<(), TraceError> {
+        match &mut self.inner {
+            SessionInner::Sharded(sc) => sc.push_line(line),
+            _ => self.push(RawRecord::parse_line(line)?),
+        }
+    }
+
+    /// Returns the CAGs sealed since the last poll. Batch sessions
+    /// correlate only at [`Self::finish`] and always return an empty
+    /// vector; sharded sessions flush their worker batches and emit at
+    /// finish.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Finished`] after [`Self::finish`].
+    pub fn poll(&mut self) -> Result<Vec<Cag>, TraceError> {
+        match &mut self.inner {
+            SessionInner::Batch { finished, .. } => {
+                if *finished {
+                    return Err(TraceError::Finished);
+                }
+                Ok(Vec::new())
+            }
+            SessionInner::Streaming(sc) => sc.poll(),
+            SessionInner::Sharded(sc) => {
+                sc.flush()?;
+                Ok(Vec::new())
+            }
+        }
+    }
+
+    /// Current approximate resident bytes of the session's correlation
+    /// state (buffered records for a batch session; window buffers +
+    /// engine state for streaming; reader-side router state for
+    /// sharded).
+    pub fn approx_bytes(&self) -> usize {
+        match &self.inner {
+            SessionInner::Batch { buffered, .. } => {
+                buffered.len() * std::mem::size_of::<RawRecord>()
+            }
+            SessionInner::Streaming(sc) => sc.approx_bytes(),
+            SessionInner::Sharded(sc) => sc.approx_router_bytes(),
+        }
+    }
+
+    /// Ends the input and returns the final output (remaining finished
+    /// CAGs plus deformed paths). The session is spent afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Finished`] when called twice.
+    pub fn finish(&mut self) -> Result<CorrelationOutput, TraceError> {
+        match &mut self.inner {
+            SessionInner::Batch {
+                config,
+                buffered,
+                finished,
+            } => {
+                if *finished {
+                    return Err(TraceError::Finished);
+                }
+                *finished = true;
+                Correlator::new(config.clone()).correlate(std::mem::take(buffered))
+            }
+            SessionInner::Streaming(sc) => sc.finish(),
+            SessionInner::Sharded(sc) => sc.finish(),
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(deprecated)]
+mod tests {
+    use super::*;
+
+    fn access() -> AccessPointSpec {
+        AccessPointSpec::new(
+            [80],
+            [
+                "10.0.0.1".parse().unwrap(),
+                "10.0.0.2".parse().unwrap(),
+                "10.0.0.3".parse().unwrap(),
+            ],
+        )
+    }
+
+    /// A full three-tier request (same fixture as the correlator
+    /// tests).
+    fn three_tier_log() -> &'static str {
+        "\
+        1000 web httpd 7 7 RECEIVE 192.168.0.9:5000-10.0.0.1:80 120\n\
+        2000 web httpd 7 7 SEND 10.0.0.1:4001-10.0.0.2:8009 64\n\
+        500900 app java 9 21 RECEIVE 10.0.0.1:4001-10.0.0.2:8009 64\n\
+        501500 app java 9 21 SEND 10.0.0.2:4101-10.0.0.3:3306 32\n\
+        901900 db mysqld 5 55 RECEIVE 10.0.0.2:4101-10.0.0.3:3306 32\n\
+        903000 db mysqld 5 55 SEND 10.0.0.3:3306-10.0.0.2:4101 800\n\
+        503600 app java 9 21 RECEIVE 10.0.0.3:3306-10.0.0.2:4101 800\n\
+        504000 app java 9 21 SEND 10.0.0.2:8009-10.0.0.1:4001 256\n\
+        4500 web httpd 7 7 RECEIVE 10.0.0.2:8009-10.0.0.1:4001 256\n\
+        5000 web httpd 7 7 SEND 10.0.0.1:80-192.168.0.9:5000 512\n\
+        "
+    }
+
+    fn render(out: &CorrelationOutput) -> String {
+        format!("{:?}|{:?}", out.cags, out.unfinished)
+    }
+
+    #[test]
+    fn every_mode_correlates_the_three_tier_request() {
+        for mode in [Mode::Batch, Mode::Streaming, Mode::Sharded(2)] {
+            let p = Pipeline::new(PipelineConfig::new(access()).with_mode(mode)).unwrap();
+            let out = p.run(Source::text(three_tier_log())).unwrap();
+            assert_eq!(out.cags.len(), 1, "{mode:?}");
+            assert_eq!(out.cags[0].vertices.len(), 10, "{mode:?}");
+            out.cags[0].validate().expect("valid CAG");
+        }
+    }
+
+    #[test]
+    fn source_shapes_are_equivalent() {
+        let records = parse_log(three_tier_log()).unwrap();
+        for mode in [Mode::Batch, Mode::Streaming, Mode::Sharded(3)] {
+            let p = Pipeline::new(PipelineConfig::new(access()).with_mode(mode)).unwrap();
+            let from_text = p.run(Source::text(three_tier_log())).unwrap();
+            let from_records = p.run(Source::records(records.clone())).unwrap();
+            let from_iter = p
+                .run(records.iter().cloned().collect::<Source<'static>>())
+                .unwrap();
+            assert_eq!(render(&from_text), render(&from_records), "{mode:?}");
+            assert_eq!(render(&from_text), render(&from_iter), "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn pipeline_matches_the_deprecated_entry_points() {
+        let records = parse_log(three_tier_log()).unwrap();
+        let cfg = CorrelatorConfig::new(access());
+        let batch_old = Correlator::new(cfg.clone())
+            .correlate(records.clone())
+            .unwrap();
+        let batch_new = Pipeline::new(PipelineConfig::from(cfg.clone()))
+            .unwrap()
+            .run(Source::records(records.clone()))
+            .unwrap();
+        assert_eq!(render(&batch_old), render(&batch_new));
+        let sharded_old = ShardedCorrelator::correlate(cfg.clone(), 2, records.clone()).unwrap();
+        let sharded_new = Pipeline::new(PipelineConfig::from(cfg).with_mode(Mode::Sharded(2)))
+            .unwrap()
+            .run(Source::records(records))
+            .unwrap();
+        assert_eq!(render(&sharded_old), render(&sharded_new));
+    }
+
+    #[test]
+    fn sessions_reach_the_batch_output_in_every_mode() {
+        let p = Pipeline::new(PipelineConfig::new(access())).unwrap();
+        let want = render(&p.run(Source::text(three_tier_log())).unwrap());
+        for mode in [Mode::Batch, Mode::Streaming, Mode::Sharded(2)] {
+            let p = Pipeline::new(PipelineConfig::new(access()).with_mode(mode)).unwrap();
+            let mut s = p.session().unwrap();
+            let mut cags = Vec::new();
+            for line in three_tier_log().lines() {
+                s.push_line(line.trim()).unwrap();
+                cags.extend(s.poll().unwrap());
+            }
+            let mut out = s.finish().unwrap();
+            cags.extend(std::mem::take(&mut out.cags));
+            assert_eq!(cags.len(), 1, "{mode:?}");
+            assert_eq!(out.metrics.records_in, 10, "{mode:?}");
+            if mode == Mode::Batch {
+                out.cags = cags;
+                assert_eq!(render(&out), want);
+            }
+            // Spent after finish, across all modes.
+            assert_eq!(s.poll(), Err(TraceError::Finished), "{mode:?}");
+            assert!(matches!(s.finish(), Err(TraceError::Finished)), "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected_up_front() {
+        let no_access = PipelineConfig::new(AccessPointSpec::default());
+        assert!(Pipeline::new(no_access).is_err());
+        let bad_shards =
+            PipelineConfig::new(access()).with_mode(Mode::Sharded(crate::shard::MAX_SHARDS + 1));
+        assert!(Pipeline::new(bad_shards).is_err());
+        let zero_window = PipelineConfig::new(access()).with_window(Nanos::ZERO);
+        assert!(Pipeline::new(zero_window).is_err());
+    }
+
+    #[test]
+    fn config_builders_delegate() {
+        let cfg = PipelineConfig::new(access())
+            .with_window(Nanos::from_millis(5))
+            .with_memory_budget(1 << 20)
+            .with_max_seal_lag(64)
+            .with_channel_idle_horizon(10_000)
+            .with_mode(Mode::Sharded(0));
+        assert_eq!(cfg.correlator.ranker.window, Nanos::from_millis(5));
+        assert_eq!(cfg.correlator.memory_budget, Some(1 << 20));
+        assert_eq!(cfg.correlator.max_seal_lag, Some(64));
+        assert_eq!(cfg.correlator.channel_idle_horizon, Some(10_000));
+        assert_eq!(cfg.mode, Mode::Sharded(0));
+    }
+}

@@ -959,6 +959,7 @@ mod tests {
             channel: Channel::new(ep(src), ep(dst)),
             size: 100,
             tag: 0,
+            seq: None,
         }
     }
 

@@ -1,4 +1,4 @@
-//! The raw `TCP_TRACE` record format (§3.1).
+//! The raw `TCP_TRACE` record format (§3.1), versions 1 and 2.
 //!
 //! The paper's SystemTap module logs one line per kernel `tcp_sendmsg` /
 //! `tcp_recvmsg` call:
@@ -12,20 +12,43 @@
 //! typed [`Activity`](crate::activity::Activity) tuples via
 //! [`access::Classifier`](crate::access::Classifier).
 //!
-//! ## Retransmission records
+//! ## Format versions
+//!
+//! **v1** is the eight-field line above, optionally followed by the
+//! `retrans` marker described below. **v2** (`TCP_TRACE v2`) adds one
+//! more optional trailing attribute, `seq=<stream-byte-offset>`: the
+//! zero-based offset of the record's first payload byte within its
+//! directed channel's byte stream, as recovered from TCP sequence
+//! numbers by a sniffer-based capture frontend. The full grammar is
+//!
+//! ```text
+//! line    := ts host prog pid tid op chan size attr*
+//! attr    := "seq=" u64 | "retrans"        (each at most once)
+//! ```
+//!
+//! v1 lines (no `seq=`) parse unchanged; rendering emits `seq=` before
+//! `retrans`, and parsing accepts the attributes in either order.
+//!
+//! ## Retransmission records and range-aware dedup
 //!
 //! The paper's probe hooks `tcp_recvmsg`, which never surfaces
 //! duplicate bytes — the kernel discards retransmitted ranges before
 //! the application reads. A **sniffer-based** probe (tcpdump-style)
 //! sees every wire arrival instead, including duplicated byte ranges
-//! from TCP retransmissions; its capture frontend performs the same
-//! sequence-number analysis tcpdump does and marks such records with a
-//! trailing `retrans` attribute. Correlation ingest discards marked
-//! records up front (counted in
-//! [`CorrelatorMetrics::retrans_dropped`](crate::metrics::CorrelatorMetrics)),
-//! restoring the byte-exactness Rule 1 depends on;
+//! from TCP retransmissions. In v1 its capture frontend performs the
+//! sequence-number analysis itself and marks such records with a
+//! trailing `retrans` attribute, which correlation ingest trusts
+//! blindly. In v2 the frontend ships the raw `seq=` offsets instead
+//! and ingest performs the analysis: a [`RangeDedup`] tracks the byte
+//! ranges already seen per `(channel, direction)` and drops any record
+//! whose range is entirely covered — counted in
+//! [`CorrelatorMetrics::seq_dedup_ranges`](crate::metrics::CorrelatorMetrics)
+//! as well as the total
+//! [`CorrelatorMetrics::retrans_dropped`](crate::metrics::CorrelatorMetrics).
+//! Records without `seq=` keep the v1 marker behavior, restoring the
+//! byte-exactness Rule 1 depends on either way;
 //! [`dedup_retransmissions`] performs the same deduplication as a
-//! standalone pre-pass.
+//! standalone pre-pass, on the same range logic.
 
 use std::fmt;
 use std::sync::Arc;
@@ -92,6 +115,11 @@ pub struct RawRecord {
     /// (a TCP retransmission seen by a sniffer-based probe; marked by
     /// the capture frontend with a trailing `retrans` attribute).
     pub retrans: bool,
+    /// `TCP_TRACE v2`: stream byte offset of the record's first payload
+    /// byte on its directed channel (the trailing `seq=` attribute),
+    /// recovered from TCP sequence numbers by a sniffer-based capture
+    /// frontend. `None` for v1 records.
+    pub seq: Option<u64>,
 }
 
 impl RawRecord {
@@ -116,8 +144,9 @@ impl RawRecord {
     ///
     /// # Errors
     ///
-    /// Returns [`TraceError::Parse`] when the line does not have exactly
-    /// the eight whitespace-separated fields of the TCP_TRACE format or a
+    /// Returns [`TraceError::Parse`] when the line does not have the
+    /// eight whitespace-separated fields of the TCP_TRACE format
+    /// (optionally followed by the `seq=`/`retrans` v2 attributes) or a
     /// field is malformed.
     pub fn parse_line(line: &str) -> Result<Self, TraceError> {
         let mut interner = Interner::new();
@@ -171,6 +200,8 @@ pub struct RawRecordRef<'a> {
     /// True when this record duplicates an already-captured byte range
     /// (a sniffer-visible TCP retransmission).
     pub retrans: bool,
+    /// `TCP_TRACE v2` stream byte offset (`seq=`); `None` for v1 lines.
+    pub seq: Option<u64>,
 }
 
 impl<'a> RawRecordRef<'a> {
@@ -178,8 +209,9 @@ impl<'a> RawRecordRef<'a> {
     ///
     /// # Errors
     ///
-    /// Returns [`TraceError::Parse`] when the line does not have exactly
-    /// the eight whitespace-separated fields of the TCP_TRACE format or a
+    /// Returns [`TraceError::Parse`] when the line does not have the
+    /// eight whitespace-separated fields of the TCP_TRACE format
+    /// (optionally followed by the `seq=`/`retrans` v2 attributes) or a
     /// field is malformed.
     pub fn parse_line(line: &'a str) -> Result<Self, TraceError> {
         let mut it = line.split_ascii_whitespace();
@@ -208,13 +240,21 @@ impl<'a> RawRecordRef<'a> {
         let size: u64 = next("size")?
             .parse()
             .map_err(|_| TraceError::parse(line, "bad size"))?;
-        let retrans = match it.next() {
-            None => false,
-            Some("retrans") => true,
-            Some(_) => return Err(TraceError::parse(line, "trailing fields")),
-        };
-        if it.next().is_some() {
-            return Err(TraceError::parse(line, "trailing fields"));
+        // Trailing v1/v2 attributes: `seq=<offset>` and `retrans`, each
+        // at most once, in either order.
+        let mut retrans = false;
+        let mut seq: Option<u64> = None;
+        for attr in it {
+            match attr {
+                "retrans" if !retrans => retrans = true,
+                a if a.starts_with("seq=") && seq.is_none() => {
+                    let v = a["seq=".len()..]
+                        .parse()
+                        .map_err(|_| TraceError::parse(line, "bad seq= offset"))?;
+                    seq = Some(v);
+                }
+                _ => return Err(TraceError::parse(line, "trailing fields")),
+            }
         }
         Ok(RawRecordRef {
             ts: LocalTime::from_nanos(ts),
@@ -228,6 +268,7 @@ impl<'a> RawRecordRef<'a> {
             size,
             tag: 0,
             retrans,
+            seq,
         })
     }
 
@@ -260,6 +301,7 @@ impl<'a> RawRecordRef<'a> {
             size: self.size,
             tag: self.tag,
             retrans: self.retrans,
+            seq: self.seq,
         }
     }
 }
@@ -279,6 +321,9 @@ impl fmt::Display for RawRecord {
             self.dst,
             self.size
         )?;
+        if let Some(seq) = self.seq {
+            write!(f, " seq={seq}")?;
+        }
         if self.retrans {
             f.write_str(" retrans")?;
         }
@@ -341,14 +386,224 @@ pub fn parse_log_iter(
         .map(RawRecordRef::parse_line)
 }
 
-/// Drops the retransmitted byte-range records a sniffer-based probe
-/// marks with the `retrans` attribute, yielding the log a
-/// `tcp_recvmsg`-level probe would have produced. Correlation ingest
-/// performs the same deduplication internally, so correlating the raw
-/// log and correlating this pre-pass's output yield the same CAG set —
-/// the invariance pinned by `tests/properties.rs`.
+/// A set of covered byte ranges over one directed byte stream: a
+/// contiguous high-water mark plus out-of-order held ranges, exactly
+/// the state a kernel TCP receive queue keeps (and the minimum the
+/// range dedup needs).
+#[derive(Debug, Default)]
+struct RangeSet {
+    /// Everything below this offset is covered.
+    hwm: u64,
+    /// Disjoint, non-adjacent covered ranges above the high-water mark:
+    /// start → length.
+    ooo: std::collections::BTreeMap<u64, u64>,
+}
+
+impl RangeSet {
+    /// Inserts `[start, start + len)` and returns how many of its bytes
+    /// were **not** covered before.
+    fn insert(&mut self, start: u64, len: u64) -> u64 {
+        if len == 0 {
+            return 0;
+        }
+        let end = start + len;
+        if end <= self.hwm {
+            return 0;
+        }
+        let start = start.max(self.hwm);
+        if start == self.hwm {
+            // Extends the contiguous prefix; bytes overlapping held
+            // ranges were already covered. Absorb ranges that became
+            // contiguous.
+            let held: u64 = self
+                .ooo
+                .range(..end)
+                .filter(|(&o, &l)| o + l > start)
+                .map(|(&o, &l)| (o + l).min(end) - o.max(start))
+                .sum();
+            let fresh = (end - start) - held;
+            self.hwm = end;
+            self.drain_contiguous();
+            return fresh;
+        }
+        // Above the prefix: clip against held ranges, merge the union
+        // back in (adjacent ranges coalesce, keeping the map compact).
+        let mut covered = 0u64;
+        let mut merged_start = start;
+        let mut merged_end = end;
+        let keys: Vec<u64> = self
+            .ooo
+            .range(..=end)
+            .filter(|(&o, &l)| o + l >= start)
+            .map(|(&o, _)| o)
+            .collect();
+        for o in keys {
+            let l = self.ooo.remove(&o).expect("key just enumerated");
+            covered += (o + l).min(end).saturating_sub(o.max(start));
+            merged_start = merged_start.min(o);
+            merged_end = merged_end.max(o + l);
+        }
+        self.ooo.insert(merged_start, merged_end - merged_start);
+        (end - start) - covered
+    }
+
+    /// The highest stream offset covered by any inserted range.
+    fn max_end(&self) -> u64 {
+        self.ooo
+            .last_key_value()
+            .map(|(&o, &l)| o + l)
+            .unwrap_or(0)
+            .max(self.hwm)
+    }
+
+    /// Promotes held ranges that became contiguous with (or fell below)
+    /// the high-water mark.
+    fn drain_contiguous(&mut self) {
+        while let Some((&o, &l)) = self.ooo.first_key_value() {
+            if o > self.hwm {
+                break;
+            }
+            self.ooo.remove(&o);
+            self.hwm = self.hwm.max(o + l);
+        }
+    }
+}
+
+/// What the range-aware ingest decided for one record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngestDecision {
+    /// Admit the record with this effective payload size (currently
+    /// always the record's own size; carried so the ingest stage can
+    /// adjust records without another API change).
+    Admit(u64),
+    /// Drop the record: a duplicate byte range (fully covered `seq=`
+    /// range, or the v1 `retrans` marker).
+    Drop,
+}
+
+/// The range-aware ingest stage of `TCP_TRACE v2` (and the v1 marker
+/// fallback): decides, record by record, whether a record duplicates
+/// byte ranges already seen on its directed channel.
+///
+/// For a v2 record (one carrying `seq=`) the decision is pure offset
+/// arithmetic — the record is a duplicate exactly when every byte of
+/// `[seq, seq + size)` was already covered by an earlier record of the
+/// same channel and direction; the `retrans` marker is ignored. A
+/// `seq` starting above the channel's covered high-water mark is a
+/// **capture gap** (records a partial-capture sniffer missed; counted
+/// in [`RangeDedup::seq_gaps`]) — the record itself is admitted
+/// unchanged, and downstream consumers that need byte conservation
+/// (the sharded session router) resolve gaps by range arithmetic on
+/// the `seq` offsets instead of blind byte counting. For a v1 record
+/// the capture frontend's `retrans` marker is trusted, as before.
+/// Records must be presented in each host's local-time order (the
+/// order every correlation path already establishes).
+#[derive(Debug, Default)]
+pub struct RangeDedup {
+    cover: crate::fasthash::FxHashMap<(Channel, RawOp), RangeSet>,
+    /// Records seen carrying a `seq=` attribute.
+    pub v2_records: u64,
+    /// Records dropped by offset arithmetic (subset of all drops).
+    pub seq_dedup_ranges: u64,
+    /// Capture gaps observed: records whose `seq=` started above the
+    /// channel's covered high-water mark — evidence of records a
+    /// partial-capture sniffer missed.
+    pub seq_gaps: u64,
+}
+
+impl RangeDedup {
+    /// An empty dedup state.
+    pub fn new() -> Self {
+        RangeDedup::default()
+    }
+
+    /// Decides one borrowed record.
+    pub fn decide(&mut self, rec: &RawRecordRef<'_>) -> IngestDecision {
+        self.decide_parts(rec.channel(), rec.op, rec.seq, rec.size, rec.retrans)
+    }
+
+    /// Decides one owned record.
+    pub fn decide_owned(&mut self, rec: &RawRecord) -> IngestDecision {
+        self.decide_parts(rec.channel(), rec.op, rec.seq, rec.size, rec.retrans)
+    }
+
+    fn decide_parts(
+        &mut self,
+        channel: Channel,
+        op: RawOp,
+        seq: Option<u64>,
+        size: u64,
+        retrans: bool,
+    ) -> IngestDecision {
+        match seq {
+            Some(seq) => {
+                self.v2_records += 1;
+                let cover = self.cover.entry((channel, op)).or_default();
+                if seq > cover.max_end() {
+                    // A seq above every byte seen so far means the
+                    // sniffer missed the records for the span in
+                    // between: TCP delivered those bytes (the stream
+                    // is contiguous), their records are simply absent.
+                    self.seq_gaps += 1;
+                }
+                let fresh = cover.insert(seq, size.max(1));
+                if fresh == 0 {
+                    self.seq_dedup_ranges += 1;
+                    return IngestDecision::Drop;
+                }
+                if retrans {
+                    // A frontend-flagged duplicate whose range is not
+                    // fully covered: the record(s) carrying the
+                    // original bytes were themselves lost to partial
+                    // capture. The marker is still authoritative
+                    // evidence of duplication — admitting the record
+                    // would double bytes the kernel delivered once.
+                    return IngestDecision::Drop;
+                }
+                IngestDecision::Admit(size)
+            }
+            None => {
+                if retrans {
+                    IngestDecision::Drop
+                } else {
+                    IngestDecision::Admit(size)
+                }
+            }
+        }
+    }
+
+    /// Approximate resident bytes of the coverage state.
+    pub fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.cover.len() * (size_of::<(Channel, RawOp)>() + size_of::<RangeSet>())
+            + self
+                .cover
+                .values()
+                .map(|r| r.ooo.len() * size_of::<(u64, u64)>())
+                .sum::<usize>()
+    }
+}
+
+/// Drops the retransmitted (duplicate) byte-range records of a
+/// sniffer-based capture, yielding the log a `tcp_recvmsg`-level probe
+/// would have produced. v2 records (carrying `seq=`) are deduplicated
+/// by offset arithmetic through [`RangeDedup`]; v1 records fall back to
+/// the capture frontend's `retrans` marker. Correlation ingest performs
+/// the same deduplication internally, so correlating the raw log and
+/// correlating this pre-pass's output yield the same CAG set — the
+/// invariance pinned by `tests/properties.rs`.
 pub fn dedup_retransmissions(records: impl IntoIterator<Item = RawRecord>) -> Vec<RawRecord> {
-    records.into_iter().filter(|r| !r.retrans).collect()
+    let mut dedup = RangeDedup::new();
+    records
+        .into_iter()
+        .filter_map(|mut r| match dedup.decide_owned(&r) {
+            IngestDecision::Drop => None,
+            IngestDecision::Admit(size) => {
+                r.size = size;
+                Some(r)
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -399,6 +654,142 @@ mod tests {
         // Anything else trailing is still rejected.
         assert!(RawRecord::parse_line(&format!("{LINE} retransX")).is_err());
         assert!(RawRecord::parse_line(&format!("{LINE} retrans retrans")).is_err());
+    }
+
+    #[test]
+    fn parse_v2_seq_attribute_roundtrips() {
+        let line = format!("{LINE} seq=4096");
+        let r = RawRecord::parse_line(&line).unwrap();
+        assert_eq!(r.seq, Some(4096));
+        assert!(!r.retrans);
+        assert_eq!(r.to_string(), line);
+        // Both attributes, canonical order seq-then-retrans.
+        let both = format!("{LINE} seq=0 retrans");
+        let r = RawRecord::parse_line(&both).unwrap();
+        assert_eq!(r.seq, Some(0));
+        assert!(r.retrans);
+        assert_eq!(r.to_string(), both);
+        // Reverse order parses to the same record (renders canonical).
+        let rev = RawRecord::parse_line(&format!("{LINE} retrans seq=0")).unwrap();
+        assert_eq!(rev, r);
+        // Malformed/duplicated attributes are rejected.
+        for bad in [
+            format!("{LINE} seq="),
+            format!("{LINE} seq=x"),
+            format!("{LINE} seq=1 seq=2"),
+            format!("{LINE} seq=1 retrans retrans"),
+            format!("{LINE} sequence=1"),
+        ] {
+            assert!(
+                RawRecord::parse_line(&bad).is_err(),
+                "should reject {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn range_set_tracks_coverage() {
+        let mut rs = RangeSet::default();
+        assert_eq!(rs.insert(0, 100), 100);
+        assert_eq!(rs.insert(0, 100), 0);
+        assert_eq!(rs.insert(50, 100), 50);
+        // Out-of-order hold, duplicate of held, then gap fill.
+        assert_eq!(rs.insert(300, 50), 50);
+        assert_eq!(rs.insert(300, 50), 0);
+        assert_eq!(rs.insert(150, 150), 150);
+        assert_eq!(rs.hwm, 350);
+        assert!(rs.ooo.is_empty());
+        // Spanning insert over held ranges counts only the fresh part.
+        assert_eq!(rs.insert(400, 10), 10);
+        assert_eq!(rs.insert(350, 100), 90);
+        assert_eq!(rs.hwm, 450);
+    }
+
+    #[test]
+    fn range_dedup_drops_fully_covered_v2_records() {
+        let base = "node2 java 1 2 RECEIVE 10.0.0.1:33000-10.0.0.2:8009";
+        let parse = |ts: u64, size: u64, attr: &str| {
+            RawRecord::parse_line(&format!("{ts} {base} {size}{attr}")).unwrap()
+        };
+        let mut d = RangeDedup::new();
+        assert_eq!(
+            d.decide_owned(&parse(1, 100, " seq=0")),
+            IngestDecision::Admit(100)
+        );
+        // Exact duplicate range: dropped by arithmetic, marker ignored.
+        assert_eq!(
+            d.decide_owned(&parse(2, 100, " seq=0 retrans")),
+            IngestDecision::Drop
+        );
+        assert_eq!(
+            d.decide_owned(&parse(3, 40, " seq=20")),
+            IngestDecision::Drop
+        );
+        // Partially fresh: admitted at its own size.
+        assert_eq!(
+            d.decide_owned(&parse(4, 100, " seq=50")),
+            IngestDecision::Admit(100)
+        );
+        // v1 fallback: marker is authoritative when seq is absent.
+        assert_eq!(
+            d.decide_owned(&parse(5, 100, " retrans")),
+            IngestDecision::Drop
+        );
+        assert_eq!(
+            d.decide_owned(&parse(6, 100, "")),
+            IngestDecision::Admit(100)
+        );
+        assert_eq!(d.v2_records, 4);
+        assert_eq!(d.seq_dedup_ranges, 2);
+        assert_eq!(d.seq_gaps, 0);
+        // The send direction tracks its own coverage.
+        let send =
+            RawRecord::parse_line("7 node1 java 1 2 SEND 10.0.0.1:33000-10.0.0.2:8009 100 seq=0")
+                .unwrap();
+        assert_eq!(d.decide_owned(&send), IngestDecision::Admit(100));
+        assert!(d.approx_bytes() > 0);
+    }
+
+    #[test]
+    fn range_dedup_observes_capture_gaps() {
+        let base = "node2 java 1 2 RECEIVE 10.0.0.1:33000-10.0.0.2:8009";
+        let parse = |ts: u64, size: u64, attr: &str| {
+            RawRecord::parse_line(&format!("{ts} {base} {size}{attr}")).unwrap()
+        };
+        let mut d = RangeDedup::new();
+        assert_eq!(
+            d.decide_owned(&parse(1, 100, " seq=0")),
+            IngestDecision::Admit(100)
+        );
+        // A capture gap: the record for [100, 150) was missed by the
+        // sniffer. The record is admitted unchanged; the gap is counted
+        // (the router resolves it by range arithmetic downstream).
+        assert_eq!(
+            d.decide_owned(&parse(2, 100, " seq=150")),
+            IngestDecision::Admit(100)
+        );
+        assert_eq!(d.seq_gaps, 1);
+        // The held range is dedup-visible despite the gap.
+        assert_eq!(
+            d.decide_owned(&parse(3, 50, " seq=150 retrans")),
+            IngestDecision::Drop
+        );
+        assert_eq!(
+            d.decide_owned(&parse(4, 50, " seq=250")),
+            IngestDecision::Admit(50)
+        );
+        assert_eq!(d.seq_gaps, 1);
+    }
+
+    #[test]
+    fn dedup_retransmissions_uses_range_logic_for_v2() {
+        let base = "node2 java 1 2 RECEIVE 10.0.0.1:33000-10.0.0.2:8009";
+        let raw = format!("1 {base} 100 seq=0\n2 {base} 100 seq=0 retrans\n3 {base} 100 seq=100\n");
+        let recs = parse_log(&raw).unwrap();
+        let deduped = dedup_retransmissions(recs);
+        assert_eq!(deduped.len(), 2);
+        assert_eq!(deduped[0].seq, Some(0));
+        assert_eq!(deduped[1].seq, Some(100));
     }
 
     #[test]

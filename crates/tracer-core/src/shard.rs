@@ -67,13 +67,15 @@ use std::time::Instant;
 use crate::access::Classifier;
 use crate::activity::{Activity, ActivityType, EndpointV4};
 use crate::cag::Cag;
-use crate::correlator::{CorrelationOutput, CorrelatorConfig, StreamingCorrelator};
+#[allow(deprecated)] // shim internals: the shards run the streaming core
+use crate::correlator::StreamingCorrelator;
+use crate::correlator::{CorrelationOutput, CorrelatorConfig};
 use crate::error::TraceError;
 use crate::fasthash::{FxBuildHasher, FxHashMap};
 use crate::filter::FilterSet;
 use crate::intern::Interner;
 use crate::metrics::CorrelatorMetrics;
-use crate::raw::{parse_log_iter, RawRecord, RawRecordRef};
+use crate::raw::{parse_log_iter, RangeDedup, RawRecord, RawRecordRef};
 
 /// Activities per channel message (amortizes channel synchronization).
 const BATCH_RECORDS: usize = 4_096;
@@ -91,7 +93,7 @@ const AUTO_SHARD_CAP: usize = 16;
 /// a full correlator, and the single reader cannot feed more than this
 /// anyway. Requests beyond it are a configuration error, not a spawn
 /// storm.
-const MAX_SHARDS: usize = 256;
+pub const MAX_SHARDS: usize = 256;
 
 /// How many reader-side noise victims are kept for diagnostics.
 const NOISE_SAMPLE_CAP: usize = 32;
@@ -124,15 +126,31 @@ fn conn_key(src: EndpointV4, dst: EndpointV4) -> ConnKey {
     }
 }
 
+/// One pending send's byte claim on a directed channel.
+#[derive(Debug, Clone, Copy)]
+struct ClaimEntry {
+    /// Shard of the session that produced the send.
+    shard: u32,
+    /// Unreceived bytes remaining of this claim.
+    bytes: u64,
+    /// `TCP_TRACE v2`: the claim's remaining stream byte range
+    /// `[start, end)`. When both sides of a channel carry `seq=`
+    /// offsets, receives match claims by range overlap instead of
+    /// blind FIFO byte counting — robust to records lost by a
+    /// partial-capture sniffer, which would otherwise permanently
+    /// shift the FIFO.
+    range: Option<(u64, u64)>,
+}
+
 /// Per-directed-channel claim state — the router's miniature `mmap`,
 /// fused with the staged-send census so the hot path touches one map.
 #[derive(Debug, Default)]
 struct Claims {
-    /// FIFO of (shard, unreceived bytes) per pending send; TCP delivers
-    /// bytes in order per direction, so a RECEIVE belongs to the shard
-    /// of the front claim (the same soundness argument as the engine's
-    /// size-based SEND/RECEIVE matching).
-    queue: VecDeque<(u32, u64)>,
+    /// FIFO of per-send claims; TCP delivers bytes in order per
+    /// direction, so a RECEIVE belongs to the shard of the front claim
+    /// (the same soundness argument as the engine's size-based
+    /// SEND/RECEIVE matching).
+    queue: VecDeque<ClaimEntry>,
     /// SEND activities staged but not yet routed: the future claims a
     /// deferring RECEIVE may wait for.
     staged: u32,
@@ -141,6 +159,16 @@ struct Claims {
     /// still routes follow-up records to the shard holding the
     /// channel's engine state. `None` until a send is first routed.
     last: Option<u32>,
+    /// Highest stream offset any **staged or routed** send has ever
+    /// reached. Send offsets on a channel are monotone, so every
+    /// future send starts at or above this — which lets a receive
+    /// prove that a coverage deficit below it is **permanent** (the
+    /// send records were lost to partial capture) and resolve
+    /// immediately instead of deferring into a lane-graph deadlock.
+    max_seq_end: u64,
+    /// Router record count when the channel was last touched (staged
+    /// send, routed send, or decided receive) — the idle-GC clock.
+    last_touch: u64,
 }
 
 /// Which lanes stage a given endpoint role (sender / receiver) of a
@@ -231,6 +259,14 @@ struct SessionRouter {
     any_shared: bool,
     /// Staged activity count across lanes.
     staged: usize,
+    /// Channel-idle GC horizon in staged records (`None` = never).
+    idle_horizon: Option<u64>,
+    /// Total records ever staged — the idle-GC clock.
+    records_staged: u64,
+    /// Record count at the last idle sweep.
+    last_sweep: u64,
+    /// Idle channels evicted by the GC (diagnostics).
+    idle_evicted: u64,
     /// Receives force-routed by the drift fallback (diagnostics; zero
     /// on causally consistent input).
     forced_routes: u64,
@@ -244,7 +280,7 @@ struct SessionRouter {
 }
 
 impl SessionRouter {
-    fn new(shards: u32) -> Self {
+    fn new(shards: u32, idle_horizon: Option<u64>) -> Self {
         SessionRouter {
             shards,
             hasher: FxBuildHasher::default(),
@@ -256,6 +292,10 @@ impl SessionRouter {
             roles: FxHashMap::default(),
             any_shared: false,
             staged: 0,
+            idle_horizon,
+            records_staged: 0,
+            last_sweep: 0,
+            idle_evicted: 0,
             forced_routes: 0,
             noise_discards: 0,
             noise_samples: Vec::new(),
@@ -286,7 +326,7 @@ impl SessionRouter {
             .map(|c| {
                 size_of::<crate::activity::Channel>()
                     + size_of::<Claims>()
-                    + c.queue.len() * size_of::<(u32, u64)>()
+                    + c.queue.len() * size_of::<ClaimEntry>()
             })
             .sum();
         let waiters: usize = self
@@ -319,8 +359,20 @@ impl SessionRouter {
     /// so callers can stage records in plain arrival order with no
     /// grouping or sorting pass.
     fn stage(&mut self, a: Activity) {
+        self.records_staged += 1;
         if a.ty == ActivityType::Send {
-            self.claims.entry(a.channel).or_default().staged += 1;
+            let now = self.records_staged;
+            let c = self.claims.entry(a.channel).or_default();
+            c.staged += 1;
+            if let Some(seq) = a.seq {
+                c.max_seq_end = c.max_seq_end.max(seq + a.size.max(1));
+            }
+            c.last_touch = now;
+        }
+        if let Some(horizon) = self.idle_horizon {
+            if self.records_staged - self.last_sweep >= horizon.max(1) {
+                self.sweep_idle_channels(horizon);
+            }
         }
         let lane = match self.by_ctx.get(&a.ctx) {
             Some(&i) => i,
@@ -355,6 +407,41 @@ impl SessionRouter {
         if !self.lanes[lane].queued {
             self.lanes[lane].queued = true;
             self.runnable.push_back(lane);
+        }
+    }
+
+    /// Channel-idle GC (ROADMAP "sharded streaming endurance"): evicts
+    /// per-channel `claims` and `roles` entries whose channel has been
+    /// idle — nothing queued, nothing staged, nobody waiting — for more
+    /// than `horizon` staged records. On an endless stream these maps
+    /// otherwise grow one entry per channel for the stream's lifetime.
+    /// Eviction only forgets the drained channel's `last`-shard drift
+    /// fallback and its shared-role history; both rebuild on the next
+    /// activity, so live traffic is never affected.
+    fn sweep_idle_channels(&mut self, horizon: u64) {
+        self.last_sweep = self.records_staged;
+        let now = self.records_staged;
+        let evict: Vec<crate::activity::Channel> = self
+            .claims
+            .iter()
+            .filter(|(ch, c)| {
+                c.queue.is_empty()
+                    && c.staged == 0
+                    && now.saturating_sub(c.last_touch) > horizon
+                    && !self.waiters.contains_key(*ch)
+                    && [true, false].iter().all(|&s| {
+                        self.roles
+                            .get(&(**ch, s))
+                            .is_none_or(|t| t.order.as_ref().is_none_or(|m| m.is_empty()))
+                    })
+            })
+            .map(|(ch, _)| *ch)
+            .collect();
+        for ch in evict {
+            self.claims.remove(&ch);
+            self.roles.remove(&(ch, true));
+            self.roles.remove(&(ch, false));
+            self.idle_evicted += 1;
         }
     }
 
@@ -455,17 +542,24 @@ impl SessionRouter {
                 None => self.hash_to_shard(&conn_key(a.channel.src, a.channel.dst)),
             },
         };
+        let now = self.records_staged;
         let c = self.claims.entry(a.channel).or_default();
         c.staged -= 1;
-        c.queue.push_back((s, a.size.max(1)));
+        let bytes = a.size.max(1);
+        c.queue.push_back(ClaimEntry {
+            shard: s,
+            bytes,
+            range: a.seq.map(|s0| (s0, s0 + bytes)),
+        });
         c.last = Some(s);
+        c.last_touch = now;
         self.wake(a.channel);
         s
     }
 
     /// Decides a RECEIVE against its channel's claim FIFO. Until input
-    /// ends, it resolves **only** when the claimed bytes fully cover it
-    /// — Rule 1's byte-exactness, mirrored: the remaining segments of
+    /// ends, it resolves **only** when the claimed bytes cover it —
+    /// Rule 1's byte-exactness, mirrored: the remaining segments of
     /// its message may simply not have arrived yet, and consuming a
     /// half-present message would permanently shift the FIFO and hand
     /// a later session's bytes to the wrong shard. With `final_input`,
@@ -473,7 +567,15 @@ impl SessionRouter {
     /// engine counts the deformation the same way in every mode),
     /// drained channels fall back to their last shard, and claimless
     /// channels are noise.
+    ///
+    /// When the receive and the front claim both carry `TCP_TRACE v2`
+    /// `seq=` offsets, matching is by **stream-range overlap** instead
+    /// of byte counting: claims entirely below the receive's range are
+    /// retired (their receive records were lost to partial capture),
+    /// uncovered head bytes (lost send records) are forgiven, and
+    /// trims are offset-exact — capture gaps can never shift the FIFO.
     fn decide_receive(&mut self, a: &Activity, final_input: bool) -> RecvDecision {
+        let now = self.records_staged;
         let Some(c) = self.claims.get_mut(&a.channel) else {
             return if final_input {
                 RecvDecision::Noise
@@ -481,7 +583,82 @@ impl SessionRouter {
                 RecvDecision::Defer
             };
         };
-        let Some(&(front_shard, _)) = c.queue.front() else {
+        c.last_touch = now;
+        if let Some(r0) = a.seq {
+            let r1 = r0 + a.size.max(1);
+            // Retire claims whose range lies entirely below the
+            // receive's: their matching receive records were lost by
+            // the capture; receive offsets on a channel are monotone,
+            // so those bytes can never be claimed again.
+            while matches!(
+                c.queue.front(),
+                Some(e) if e.range.is_some_and(|(_, end)| end <= r0)
+            ) {
+                c.queue.pop_front();
+            }
+            if let Some(&ClaimEntry {
+                shard,
+                range: Some((fs, _)),
+                ..
+            }) = c.queue.front()
+            {
+                if fs < r1 {
+                    // Overlap with the front claim: this receive
+                    // belongs to the front claim's session. Bytes of
+                    // [r0, fs) have no claim (their send records were
+                    // lost) and never will — only the part from `fs`
+                    // up must be covered before consuming.
+                    let need_from = r0.max(fs);
+                    let covered: u64 = c
+                        .queue
+                        .iter()
+                        .map_while(|e| e.range)
+                        .map(|(s, en)| en.min(r1).saturating_sub(s.max(need_from)))
+                        .sum();
+                    if covered < r1 - need_from
+                        && r1 > c.max_seq_end
+                        && (!final_input || c.staged > 0)
+                    {
+                        // The tail segments' sends are still in flight
+                        // (or staged on another lane): consuming now
+                        // would shift later sessions' bytes. When
+                        // `r1 <= max_seq_end` the deficit is instead
+                        // *permanent* — send offsets are monotone, so
+                        // no future claim can land below `r1`; the
+                        // missing send records were lost to partial
+                        // capture and waiting would only deadlock the
+                        // lane graph — consume what exists now.
+                        return RecvDecision::Defer;
+                    }
+                    // Consume [r0, r1) by offset: pop claims ending
+                    // within it, trim the one that extends past it.
+                    while let Some(e) = c.queue.front_mut() {
+                        let Some((s, en)) = e.range else { break };
+                        if s >= r1 {
+                            break;
+                        }
+                        if en <= r1 {
+                            c.queue.pop_front();
+                        } else {
+                            e.bytes = e.bytes.saturating_sub(r1 - s);
+                            e.range = Some((r1, en));
+                            break;
+                        }
+                    }
+                    return RecvDecision::Shard(shard);
+                }
+                // The front claim starts at or beyond the receive's
+                // end: every send record of this receive's bytes was
+                // lost. Stay with the channel's engine-state shard.
+                return RecvDecision::Shard(c.last.unwrap_or(shard));
+            }
+            // No usable range on the front claim (empty queue, or a
+            // mixed v1 sender): fall through to byte counting.
+        }
+        let Some(&ClaimEntry {
+            shard: front_shard, ..
+        }) = c.queue.front()
+        else {
             return if final_input && c.staged == 0 {
                 // Drained by byte drift; stay with the channel's shard
                 // (an entry with nothing staged has routed ≥ 1 send).
@@ -490,7 +667,7 @@ impl SessionRouter {
                 RecvDecision::Defer
             };
         };
-        if a.size > c.queue.iter().map(|f| f.1).sum::<u64>() && (!final_input || c.staged > 0) {
+        if a.size > c.queue.iter().map(|f| f.bytes).sum::<u64>() && (!final_input || c.staged > 0) {
             // Partial coverage: the remaining segments either have not
             // arrived yet or are staged on another lane and will route
             // (waking this one). Consuming now would permanently shift
@@ -502,12 +679,15 @@ impl SessionRouter {
         let mut need = a.size;
         while need > 0 {
             match c.queue.front_mut() {
-                Some(f) if f.1 > need => {
-                    f.1 -= need;
+                Some(f) if f.bytes > need => {
+                    f.bytes -= need;
+                    if let Some((s, en)) = f.range {
+                        f.range = Some(((s + need).min(en), en));
+                    }
                     need = 0;
                 }
                 Some(f) => {
-                    need -= f.1;
+                    need -= f.bytes;
                     c.queue.pop_front();
                 }
                 None => break,
@@ -665,11 +845,20 @@ impl SessionRouter {
 /// # Ok(())
 /// # }
 /// ```
+#[deprecated(
+    since = "0.1.0",
+    note = "use tracer_core::pipeline::Pipeline with Mode::Sharded(n) (or \
+            Pipeline::session for incremental ingest); this type remains as \
+            a thin shim for one release"
+)]
 #[derive(Debug)]
 pub struct ShardedCorrelator {
     classifier: Classifier,
     filters: FilterSet,
     interner: Interner,
+    /// Reader-side duplicate-range elimination (v2 `seq=` arithmetic,
+    /// v1 `retrans` marker fallback) — runs before classification.
+    range_dedup: RangeDedup,
     router: SessionRouter,
     /// Per-shard batch under construction.
     pending: Vec<Vec<Activity>>,
@@ -682,6 +871,7 @@ pub struct ShardedCorrelator {
     finished: bool,
 }
 
+#[allow(deprecated)] // shim internals
 impl ShardedCorrelator {
     /// Spawns `shards` correlation workers (`0` = auto from
     /// [`std::thread::available_parallelism`], capped at 16).
@@ -710,6 +900,7 @@ impl ShardedCorrelator {
         };
         let classifier = Classifier::new(config.access.clone());
         let filters = config.filters.clone();
+        let idle_horizon = config.channel_idle_horizon;
         // Workers receive pre-classified, pre-filtered activities; the
         // shared budget splits across them.
         let mut shard_cfg = config;
@@ -733,7 +924,8 @@ impl ShardedCorrelator {
             classifier,
             filters,
             interner: Interner::new(),
-            router: SessionRouter::new(n as u32),
+            range_dedup: RangeDedup::new(),
+            router: SessionRouter::new(n as u32, idle_horizon),
             pending: vec![Vec::with_capacity(BATCH_RECORDS); n],
             txs,
             workers,
@@ -777,6 +969,7 @@ impl ShardedCorrelator {
     /// endless stream with heavy untraced-peer noise.
     pub fn approx_router_bytes(&self) -> usize {
         self.router.approx_bytes()
+            + self.range_dedup.approx_bytes()
             + self
                 .pending
                 .iter()
@@ -828,11 +1021,14 @@ impl ShardedCorrelator {
     }
 
     /// Classifies, filters and stages one record without routing yet.
-    fn ingest(&mut self, rec: RawRecord) {
+    fn ingest(&mut self, mut rec: RawRecord) {
         self.records_in += 1;
-        if rec.retrans {
-            self.retrans_dropped += 1;
-            return;
+        match self.range_dedup.decide_owned(&rec) {
+            crate::raw::IngestDecision::Drop => {
+                self.retrans_dropped += 1;
+                return;
+            }
+            crate::raw::IngestDecision::Admit(size) => rec.size = size,
         }
         let act = self.classifier.classify(&rec);
         if !self.filters.admits(&act) {
@@ -887,15 +1083,19 @@ impl ShardedCorrelator {
     /// record before any allocation, then interns and stages it.
     fn stage_ref(&mut self, r: &RawRecordRef<'_>) {
         self.records_in += 1;
-        if r.retrans {
-            self.retrans_dropped += 1;
-            return;
+        let mut r = *r;
+        match self.range_dedup.decide(&r) {
+            crate::raw::IngestDecision::Drop => {
+                self.retrans_dropped += 1;
+                return;
+            }
+            crate::raw::IngestDecision::Admit(size) => r.size = size,
         }
-        if !self.filters.admits_raw(r) {
+        if !self.filters.admits_raw(&r) {
             self.filtered_out += 1;
             return;
         }
-        let act = self.classifier.classify_ref(r, &mut self.interner);
+        let act = self.classifier.classify_ref(&r, &mut self.interner);
         self.router.stage(act);
     }
 
@@ -958,6 +1158,9 @@ impl ShardedCorrelator {
             records_in: self.records_in,
             filtered_out: self.filtered_out,
             retrans_dropped: self.retrans_dropped,
+            seq_dedup_ranges: self.range_dedup.seq_dedup_ranges,
+            v2_records: self.range_dedup.v2_records,
+            seq_gaps: self.range_dedup.seq_gaps,
             ..CorrelatorMetrics::default()
         };
         // Reader-side noise discards join the ranker count so the
@@ -1059,15 +1262,17 @@ pub fn route_records(
     config.validate()?;
     let classifier = Classifier::new(config.access.clone());
     let filters = config.filters.clone();
-    let mut router = SessionRouter::new(shards.max(1) as u32);
+    let mut dedup = RangeDedup::new();
+    let mut router = SessionRouter::new(shards.max(1) as u32, config.channel_idle_horizon);
     let mut out = Vec::new();
     let mut dispatch = |a: Activity, shard: u32| -> Result<(), TraceError> {
         out.push((a, shard));
         Ok(())
     };
-    for rec in records {
-        if rec.retrans {
-            continue;
+    for mut rec in records {
+        match dedup.decide_owned(&rec) {
+            crate::raw::IngestDecision::Drop => continue,
+            crate::raw::IngestDecision::Admit(size) => rec.size = size,
         }
         let act = classifier.classify(&rec);
         if filters.admits(&act) {
@@ -1090,15 +1295,17 @@ pub fn route_records_streaming(
     config.validate()?;
     let classifier = Classifier::new(config.access.clone());
     let filters = config.filters.clone();
-    let mut router = SessionRouter::new(shards.max(1) as u32);
+    let mut dedup = RangeDedup::new();
+    let mut router = SessionRouter::new(shards.max(1) as u32, config.channel_idle_horizon);
     let mut out = Vec::new();
     let mut dispatch = |a: Activity, shard: u32| -> Result<(), TraceError> {
         out.push((a, shard));
         Ok(())
     };
-    for rec in records {
-        if rec.retrans {
-            continue;
+    for mut rec in records {
+        match dedup.decide_owned(&rec) {
+            crate::raw::IngestDecision::Drop => continue,
+            crate::raw::IngestDecision::Admit(size) => rec.size = size,
         }
         let act = classifier.classify(&rec);
         if filters.admits(&act) {
@@ -1110,6 +1317,7 @@ pub fn route_records_streaming(
     Ok(out)
 }
 
+#[allow(deprecated)] // shim internals
 impl Drop for ShardedCorrelator {
     fn drop(&mut self) {
         // Hang up so abandoned workers terminate instead of blocking
@@ -1122,6 +1330,7 @@ impl Drop for ShardedCorrelator {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // exercises the shims directly
 mod tests {
     use super::*;
     use crate::access::AccessPointSpec;
@@ -1348,7 +1557,7 @@ mod tests {
         // state and fall back once the claim routes it.
         let config = CorrelatorConfig::new(access());
         let classifier = Classifier::new(config.access.clone());
-        let mut router = SessionRouter::new(4);
+        let mut router = SessionRouter::new(4, None);
         let mut sink = |_a: Activity, _s: u32| -> Result<(), TraceError> { Ok(()) };
         let mut feed = |router: &mut SessionRouter, line: String| {
             let rec: RawRecord = line.parse().unwrap();
@@ -1405,6 +1614,128 @@ mod tests {
         );
         assert_eq!(drained, base, "drained router returns to its baseline");
         assert_eq!(router.staged, 0, "nothing may stay staged");
+    }
+
+    #[test]
+    fn channel_idle_gc_reclaims_drained_channels() {
+        // Many one-shot channels (one send + one covering receive
+        // each): without a horizon the router keeps one claims entry
+        // per channel forever; with one, drained channels are evicted
+        // once idle past the horizon and the memory gauge shrinks.
+        let config = CorrelatorConfig::new(access());
+        let classifier = Classifier::new(config.access.clone());
+        let run = |horizon: Option<u64>| {
+            let mut router = SessionRouter::new(4, horizon);
+            let mut sink = |_a: Activity, _s: u32| -> Result<(), TraceError> { Ok(()) };
+            let mut grow_peak = 0usize;
+            for i in 0..400u64 {
+                let port = 4001 + i;
+                let t = 1_000 + i * 10;
+                for line in [
+                    format!("{t} web httpd 7 7 SEND 10.0.0.1:{port}-10.0.0.2:8009 64"),
+                    format!(
+                        "{} app java 9 21 RECEIVE 10.0.0.1:{port}-10.0.0.2:8009 64",
+                        t + 5
+                    ),
+                ] {
+                    let rec: RawRecord = line.parse().unwrap();
+                    router.stage(classifier.classify(&rec));
+                    router.pump(false, &mut sink).unwrap();
+                }
+                grow_peak = grow_peak.max(router.approx_bytes());
+            }
+            (router, grow_peak)
+        };
+        let (no_gc, _) = run(None);
+        let (gc, gc_peak) = run(Some(64));
+        assert_eq!(no_gc.claims.len(), 400, "without GC every channel persists");
+        assert!(
+            gc.claims.len() < 64,
+            "idle channels must be evicted: {} entries left",
+            gc.claims.len()
+        );
+        assert!(
+            gc.idle_evicted > 300,
+            "evictions counted: {}",
+            gc.idle_evicted
+        );
+        assert!(
+            gc.approx_bytes() < no_gc.approx_bytes(),
+            "GC router resident {} must undercut {}",
+            gc.approx_bytes(),
+            no_gc.approx_bytes()
+        );
+        // Grow-then-shrink: the gauge grew past its final value.
+        assert!(gc_peak > gc.approx_bytes());
+    }
+
+    #[test]
+    fn channel_idle_gc_does_not_change_output_on_live_traffic() {
+        // Channels that stay active within the horizon are never
+        // evicted, so output is byte-identical with and without GC.
+        let log = two_session_log();
+        let base =
+            ShardedCorrelator::correlate_text(CorrelatorConfig::new(access()), 3, &log).unwrap();
+        let gc = ShardedCorrelator::correlate_text(
+            CorrelatorConfig::new(access()).with_channel_idle_horizon(4),
+            3,
+            &log,
+        )
+        .unwrap();
+        assert_eq!(format!("{:?}", gc.cags), format!("{:?}", base.cags));
+        assert_eq!(gc.unfinished.len(), base.unfinished.len());
+        assert_eq!(
+            gc.metrics.ranker.noise_discards,
+            base.metrics.ranker.noise_discards
+        );
+    }
+
+    #[test]
+    fn range_claims_survive_send_record_gaps() {
+        // A v2 channel where the tail send chunk's record was lost to
+        // partial capture: the receive's range proves the deficit is
+        // permanent (a later send is already staged), so it resolves
+        // mid-stream to the right shard instead of deadlocking the
+        // lane until finish.
+        let config = CorrelatorConfig::new(access());
+        let classifier = Classifier::new(config.access.clone());
+        let mut router = SessionRouter::new(4, None);
+        let mut routed: Vec<(Activity, u32)> = Vec::new();
+        let feed = |router: &mut SessionRouter, line: &str, out: &mut Vec<(Activity, u32)>| {
+            let rec: RawRecord = line.parse().unwrap();
+            router.stage(classifier.classify(&rec));
+            let mut sink = |a: Activity, s: u32| -> Result<(), TraceError> {
+                out.push((a, s));
+                Ok(())
+            };
+            router.pump(false, &mut sink).unwrap();
+        };
+        // Send chunks [0,4096) and — LOST — [4096,4360); the next
+        // message's send [4360,8456) is staged before the receive
+        // resolves.
+        feed(
+            &mut router,
+            "1000 web httpd 7 7 SEND 10.0.0.1:4001-10.0.0.2:8009 4096 seq=0",
+            &mut routed,
+        );
+        feed(
+            &mut router,
+            "1200 web httpd 7 7 SEND 10.0.0.1:4001-10.0.0.2:8009 4096 seq=4360",
+            &mut routed,
+        );
+        let sends_shard = routed[0].1;
+        assert_eq!(routed.len(), 2);
+        // The receive covers [0,4360): 264 bytes have no claim and
+        // never will (max staged send offset is already 8456).
+        feed(
+            &mut router,
+            "2000 app java 9 21 RECEIVE 10.0.0.1:4001-10.0.0.2:8009 4360 seq=0",
+            &mut routed,
+        );
+        assert_eq!(routed.len(), 3, "gapped receive must resolve mid-stream");
+        assert_eq!(routed[2].1, sends_shard, "and to the claiming send's shard");
+        assert_eq!(router.staged, 0);
+        assert_eq!(router.forced_routes, 0, "no stuck-breaker involved");
     }
 
     #[test]

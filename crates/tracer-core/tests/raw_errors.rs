@@ -104,8 +104,9 @@ fn out_of_order_timestamps_parse_and_correlate() {
         [80],
         ["10.0.0.1".parse().unwrap(), "10.0.0.2".parse().unwrap()],
     );
-    let out = Correlator::new(CorrelatorConfig::new(access))
-        .correlate(records)
+    let out = Pipeline::new(PipelineConfig::new(access))
+        .expect("valid config")
+        .run(Source::records(records))
         .expect("shuffled log correlates without error");
     assert_eq!(out.cags.len(), 1);
     assert_eq!(out.cags[0].vertices.len(), 6);

@@ -56,8 +56,9 @@ fn correlate(log: &Log, internal: &[&str]) -> CorrelationOutput {
             .map(|s| s.parse().unwrap())
             .collect::<Vec<_>>(),
     );
-    Correlator::new(CorrelatorConfig::new(access))
-        .correlate(log.records())
+    Pipeline::new(PipelineConfig::new(access))
+        .expect("valid config")
+        .run(Source::records(log.records()))
         .expect("valid config")
 }
 

@@ -53,7 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .correlator_config(window)
         .with_filters(FilterSet::new().drop_program("sshd"));
     let t = Instant::now();
-    let filtered = Correlator::new(cfg2).correlate(out.records.clone())?;
+    let filtered = Pipeline::new(cfg2.into())?.run(Source::records(out.records.clone()))?;
     let filtered_time = t.elapsed();
     let acc2 = out.truth.evaluate(&filtered.cags);
     println!("\nwith `drop_program(\"sshd\")` attribute filter:");

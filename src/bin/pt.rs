@@ -53,7 +53,8 @@ pt — precise request tracing for multi-tier services of black boxes
 USAGE:
   pt simulate  --clients N [--seconds S] [--seed N] [--noise] [--skew-ms N]
                [--web-replicas N] [--app-replicas N] [--db-replicas N]
-               [--lb-policy rr|least-conn] [--pool N] [--loss P] --out FILE
+               [--lb-policy rr|least-conn] [--pool N] [--loss P]
+               [--capture-drop P] --out FILE
   pt correlate FILE --port P --internal IP[,IP...] [CORRELATION OPTIONS]
   pt patterns  FILE --port P --internal IP[,IP...] [CORRELATION OPTIONS] [--dot FILE]
   pt diff      BASELINE_FILE CURRENT_FILE --port P --internal IP[,IP...] [CORRELATION OPTIONS]
@@ -68,6 +69,11 @@ SIMULATION OPTIONS:
                        web->app connections shared across httpd workers
   --loss P             per-segment loss probability (TCP retransmit with
                        duplicate byte ranges; sniffer marks them retrans)
+  --capture-drop P     switch to the sniffer-based TCP_TRACE v2 capture
+                       lane (seq= stream offsets on every record,
+                       per-message receive reassembly) and miss each
+                       wire segment with probability P (0 = lossless
+                       v2 capture)
 
 CORRELATION OPTIONS:
   --window-ms W        static sliding window in milliseconds (default 10)
@@ -85,6 +91,10 @@ CORRELATION OPTIONS:
                        even under keep-alive lulls; with --shards the
                        bound is per-shard, so results may vary with the
                        shard count (still deterministic for a fixed N)
+  --stats              (correlate) additionally print the ingest dedup
+                       counters: retrans_dropped, seq_dedup_ranges and
+                       v2_records — v1 marker vs v2 range behavior at
+                       a glance
 
 Flags may appear before or after positional arguments; unknown flags
 are rejected. The log format is the paper's TCP_TRACE text format:
@@ -170,7 +180,10 @@ const PATTERNS_VALUE_OPTS: &[&str] = &[
     "--max-seal-lag",
     "--dot",
 ];
-const CORRELATE_BOOL_OPTS: &[&str] = &["--adaptive-window"];
+const CORRELATE_BOOL_OPTS: &[&str] = &["--adaptive-window", "--stats"];
+/// `--stats` is correlate-only, so `patterns`/`diff` reject it instead
+/// of silently accepting a no-op (same convention as `--dot`).
+const ANALYSIS_BOOL_OPTS: &[&str] = &["--adaptive-window"];
 
 fn access_from(args: &ParsedArgs) -> Result<AccessPointSpec, String> {
     let port: u16 = args.parse_opt("--port")?.ok_or("missing --port")?;
@@ -234,19 +247,22 @@ fn correlate_file(
              --window-ms/--adaptive-window only affect single-instance mode"
         );
     }
-    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    let out = match shards {
-        // The sharded parallel pipeline ingests the text zero-copy and
-        // emits canonical root order (same bytes for any shard count).
-        Some(shards) => ShardedCorrelator::correlate_text(config, shards, &text)
-            .map_err(|e| format!("{path}: {e}"))?,
-        None => {
-            let records = parse_log(&text).map_err(|e| format!("{path}: {e}"))?;
-            Correlator::new(config)
-                .correlate(records)
-                .map_err(|e| e.to_string())?
-        }
+    // One facade for every mode: batch parses owned records; the
+    // sharded pipeline ingests the text zero-copy and emits canonical
+    // root order (same bytes for any shard count).
+    let mode = match shards {
+        Some(n) => Mode::Sharded(n),
+        None => Mode::Batch,
     };
+    let pipeline = Pipeline::new(PipelineConfig {
+        correlator: config,
+        mode,
+    })
+    .map_err(|e| e.to_string())?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let out = pipeline
+        .run(Source::text(&text))
+        .map_err(|e| format!("{path}: {e}"))?;
     Ok((out, access))
 }
 
@@ -265,6 +281,7 @@ fn simulate(raw: &[String]) -> Result<(), String> {
             "--lb-policy",
             "--pool",
             "--loss",
+            "--capture-drop",
         ],
         &["--noise"],
     )?;
@@ -313,6 +330,12 @@ fn simulate(raw: &[String]) -> Result<(), String> {
         }
         cfg.spec = cfg.spec.with_loss(loss);
     }
+    if let Some(drop) = args.parse_opt::<f64>("--capture-drop")? {
+        if !(0.0..1.0).contains(&drop) {
+            return Err("bad --capture-drop: probability must be in [0, 1)".into());
+        }
+        cfg.spec = cfg.spec.with_sniffer_capture(drop);
+    }
     if args.flag("--noise") {
         cfg.noise = rubis::NoiseSpec {
             ssh_msgs_per_sec: 40.0,
@@ -339,6 +362,12 @@ fn simulate(raw: &[String]) -> Result<(), String> {
         out.spec.web.port,
         internal.join(","),
     );
+    if out.capture_dropped > 0 {
+        println!(
+            "partial capture: the sniffer missed {} records entirely",
+            out.capture_dropped
+        );
+    }
     Ok(())
 }
 
@@ -352,6 +381,14 @@ fn correlate_cmd(raw: &[String]) -> Result<(), String> {
         out.unfinished.len()
     );
     println!("{}", out.metrics.summary());
+    if args.flag("--stats") {
+        // Ingest counters: how duplicate byte ranges were eliminated
+        // (v1 `retrans` marker vs v2 `seq=` range arithmetic).
+        println!(
+            "ingest: retrans_dropped={} seq_dedup_ranges={} v2_records={}",
+            out.metrics.retrans_dropped, out.metrics.seq_dedup_ranges, out.metrics.v2_records
+        );
+    }
     if out.metrics.ranker.rtt_samples > 0 {
         println!(
             "adaptive window: {} updates over {} rtt samples",
@@ -387,7 +424,7 @@ fn correlate_cmd(raw: &[String]) -> Result<(), String> {
 }
 
 fn patterns_cmd(raw: &[String]) -> Result<(), String> {
-    let args = ParsedArgs::parse(raw, PATTERNS_VALUE_OPTS, CORRELATE_BOOL_OPTS)?;
+    let args = ParsedArgs::parse(raw, PATTERNS_VALUE_OPTS, ANALYSIS_BOOL_OPTS)?;
     let path = args.positional(0).ok_or("missing log file")?;
     let (out, _) = correlate_file(path, &args)?;
     let agg = PatternAggregator::from_cags(&out.cags);
@@ -412,7 +449,7 @@ fn patterns_cmd(raw: &[String]) -> Result<(), String> {
 }
 
 fn diff_cmd(raw: &[String]) -> Result<(), String> {
-    let args = ParsedArgs::parse(raw, CORRELATE_VALUE_OPTS, CORRELATE_BOOL_OPTS)?;
+    let args = ParsedArgs::parse(raw, CORRELATE_VALUE_OPTS, ANALYSIS_BOOL_OPTS)?;
     let base_path = args.positional(0).ok_or("missing baseline log")?;
     let cur_path = args.positional(1).ok_or("missing current log")?;
     let (base, _) = correlate_file(base_path, &args)?;

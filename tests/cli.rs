@@ -593,3 +593,148 @@ fn help_prints_usage() {
     assert!(stdout.contains("USAGE"));
     assert!(stdout.contains("TCP_TRACE"));
 }
+
+#[test]
+fn capture_drop_simulates_v2_log_and_stats_report_ingest_counters() {
+    let log = TmpFile::new("partial.log");
+    // Sniffer-based v2 capture with a 2% per-segment drop.
+    let out = pt()
+        .args([
+            "simulate",
+            "--clients",
+            "6",
+            "--seconds",
+            "6",
+            "--seed",
+            "7",
+        ])
+        .args(["--capture-drop", "0.02"])
+        .args(["--out", log.as_str()])
+        .output()
+        .expect("run pt simulate --capture-drop");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&log.0).unwrap();
+    assert!(
+        text.lines().filter(|l| l.contains(" seq=")).count() > 100,
+        "v2 capture must emit seq= stream offsets"
+    );
+
+    // --stats surfaces the ingest dedup counters.
+    let out = pt()
+        .args(["correlate", log.as_str(), "--port", "80"])
+        .args(["--internal", INTERNAL, "--stats"])
+        .output()
+        .expect("run pt correlate --stats");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("ingest: retrans_dropped="),
+        "--stats must print the ingest counters: {stdout}"
+    );
+    assert!(stdout.contains("seq_dedup_ranges="), "{stdout}");
+    let v2_line = stdout
+        .lines()
+        .find(|l| l.starts_with("ingest:"))
+        .expect("ingest line");
+    let v2: u64 = v2_line
+        .split("v2_records=")
+        .nth(1)
+        .and_then(|s| s.split_whitespace().next())
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(v2 > 100, "v2 records must be counted: {v2_line}");
+
+    // Without --stats the counters stay off the output.
+    let out = pt()
+        .args(["correlate", log.as_str(), "--port", "80"])
+        .args(["--internal", INTERNAL])
+        .output()
+        .expect("run pt correlate");
+    assert!(out.status.success());
+    assert!(!String::from_utf8_lossy(&out.stdout).contains("ingest:"));
+}
+
+#[test]
+fn stats_flag_is_correlate_only() {
+    let out = pt()
+        .args(["patterns", "/nonexistent.log", "--port", "80"])
+        .args(["--internal", INTERNAL, "--stats"])
+        .output()
+        .expect("run pt patterns --stats");
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("unknown flag \"--stats\""),
+        "patterns must reject --stats"
+    );
+}
+
+#[test]
+fn capture_drop_rejects_bad_probability() {
+    let log = TmpFile::new("bad-drop.log");
+    let out = pt()
+        .args(["simulate", "--clients", "2", "--capture-drop", "1.5"])
+        .args(["--out", log.as_str()])
+        .output()
+        .expect("run pt simulate");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--capture-drop"));
+}
+
+#[test]
+fn stats_flag_reports_marker_dedup_on_lossy_v1_logs() {
+    let log = TmpFile::new("lossy-v1.log");
+    let out = pt()
+        .args([
+            "simulate",
+            "--clients",
+            "6",
+            "--seconds",
+            "6",
+            "--seed",
+            "9",
+        ])
+        .args(["--loss", "0.02", "--out", log.as_str()])
+        .output()
+        .expect("run pt simulate --loss");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&log.0).unwrap();
+    assert!(
+        text.lines().any(|l| l.ends_with(" retrans")),
+        "lossy v1 log must carry retrans markers"
+    );
+    let out = pt()
+        .args(["correlate", log.as_str(), "--port", "80"])
+        .args(["--internal", INTERNAL, "--window-ms", "100", "--stats"])
+        .output()
+        .expect("run pt correlate --stats");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let line = stdout
+        .lines()
+        .find(|l| l.starts_with("ingest:"))
+        .expect("ingest line");
+    // v1 log: marker dedup fires, range dedup has nothing to do.
+    assert!(line.contains("seq_dedup_ranges=0"), "{line}");
+    assert!(line.contains("v2_records=0"), "{line}");
+    let dropped: u64 = line
+        .split("retrans_dropped=")
+        .nth(1)
+        .and_then(|s| s.split_whitespace().next())
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(dropped > 0, "marker dedup must drop records: {line}");
+}

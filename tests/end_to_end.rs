@@ -68,7 +68,10 @@ fn text_roundtrip_preserves_correlation() {
     let reparsed = parse_log(&text).unwrap();
     assert_eq!(reparsed.len(), out.records.len());
     let config = out.correlator_config(Nanos::from_millis(10));
-    let corr_text = Correlator::new(config).correlate(reparsed).unwrap();
+    let corr_text = Pipeline::new(config.into())
+        .unwrap()
+        .run(Source::records(reparsed))
+        .unwrap();
     let (corr_orig, acc) = out.correlate(Nanos::from_millis(10)).unwrap();
     assert!(acc.is_perfect());
     assert_eq!(corr_text.cags.len(), corr_orig.cags.len());
@@ -82,7 +85,13 @@ fn streaming_equals_offline_on_real_logs() {
     let out = rubis::run(quick(8, 8));
     let (offline, acc) = out.correlate(Nanos::from_millis(10)).unwrap();
     assert!(acc.is_perfect());
-    let mut sc = StreamingCorrelator::new(out.correlator_config(Nanos::from_millis(10))).unwrap();
+    let mut sc = Pipeline::new(
+        PipelineConfig::from(out.correlator_config(Nanos::from_millis(10)))
+            .with_mode(Mode::Streaming),
+    )
+    .unwrap()
+    .session()
+    .unwrap();
     // Push in log order (interleaved across nodes), polling as we go.
     let mut sorted = out.records.clone();
     sorted.sort_by_key(|r| r.ts);
@@ -197,7 +206,10 @@ fn deformed_paths_are_detected_when_records_are_lost() {
         .cloned()
         .collect();
     let config = out.correlator_config(Nanos::from_millis(10));
-    let corr = Correlator::new(config).correlate(lossy).unwrap();
+    let corr = Pipeline::new(config.into())
+        .unwrap()
+        .run(Source::records(lossy))
+        .unwrap();
     let acc = out.truth.evaluate(&corr.cags);
     // No path can be correct (every backend request lost its db records),
     // except pure-static requests that never touch the database.

@@ -149,9 +149,10 @@ fn run_case(name: &str) -> (String, PathBuf) {
     let directive = parse_directive(&text, &log_path);
     let records = parse_log(&text).expect("golden log must parse");
     assert!(!records.is_empty(), "{name}: empty golden log");
-    let config = CorrelatorConfig::new(directive.access).with_window(directive.window);
-    let out = Correlator::new(config)
-        .correlate(records)
+    let config = PipelineConfig::new(directive.access).with_window(directive.window);
+    let out = Pipeline::new(config)
+        .expect("valid golden config")
+        .run(Source::records(records))
         .expect("golden log must correlate");
     for cag in &out.cags {
         cag.validate()
@@ -185,8 +186,13 @@ fn run_case_streaming(name: &str, feed: Feed) -> (String, PathBuf) {
         .unwrap_or_else(|e| panic!("{}: {e}", log_path.display()));
     let directive = parse_directive(&text, &log_path);
     let records = parse_log(&text).expect("golden log must parse");
-    let config = CorrelatorConfig::new(directive.access).with_window(directive.window);
-    let mut sc = StreamingCorrelator::new(config).expect("valid streaming config");
+    let config = PipelineConfig::new(directive.access)
+        .with_window(directive.window)
+        .with_mode(Mode::Streaming);
+    let mut sc = Pipeline::new(config)
+        .expect("valid streaming config")
+        .session()
+        .expect("valid streaming config");
     let mut cags = Vec::new();
     for rec in records {
         sc.push(rec).expect("push before finish");
@@ -226,8 +232,12 @@ fn run_case_sharded(name: &str, shards: usize) -> String {
     let text = std::fs::read_to_string(&log_path)
         .unwrap_or_else(|e| panic!("{}: {e}", log_path.display()));
     let directive = parse_directive(&text, &log_path);
-    let config = CorrelatorConfig::new(directive.access).with_window(directive.window);
-    let out = ShardedCorrelator::correlate_text(config, shards, &text)
+    let config = PipelineConfig::new(directive.access)
+        .with_window(directive.window)
+        .with_mode(Mode::Sharded(shards));
+    let out = Pipeline::new(config)
+        .expect("valid sharded config")
+        .run(Source::text(&text))
         .expect("golden log must correlate sharded");
     for cag in &out.cags {
         cag.validate()
@@ -248,8 +258,11 @@ fn check_case_sharded(name: &str) {
     let text = std::fs::read_to_string(&log_path).unwrap();
     let directive = parse_directive(&text, &log_path);
     let records = parse_log(&text).unwrap();
-    let config = CorrelatorConfig::new(directive.access).with_window(directive.window);
-    let mut batch = Correlator::new(config).correlate(records).unwrap();
+    let config = PipelineConfig::new(directive.access).with_window(directive.window);
+    let mut batch = Pipeline::new(config)
+        .unwrap()
+        .run(Source::records(records))
+        .unwrap();
     batch.cags.sort_by_key(|c| c.id);
     let want = render(&batch);
     let one = run_case_sharded(name, 1);
@@ -332,6 +345,11 @@ fn golden_lossy_p01() {
 }
 
 #[test]
+fn golden_partial_capture() {
+    check_case("partial_capture");
+}
+
+#[test]
 fn golden_streaming_static_single() {
     check_case_streaming("static_single", Feed::PollEveryRecord);
 }
@@ -369,6 +387,11 @@ fn golden_streaming_pooled_reuse() {
 #[test]
 fn golden_streaming_lossy_p01() {
     check_case_streaming("lossy_p01", Feed::PushAllThenPoll);
+}
+
+#[test]
+fn golden_streaming_partial_capture() {
+    check_case_streaming("partial_capture", Feed::PushAllThenPoll);
 }
 
 #[test]
@@ -411,6 +434,11 @@ fn golden_sharded_lossy_p01() {
     check_case_sharded("lossy_p01");
 }
 
+#[test]
+fn golden_sharded_partial_capture() {
+    check_case_sharded("partial_capture");
+}
+
 /// Every case in tests/golden/ must be wired to a named #[test] above,
 /// so a new corpus file cannot be silently skipped.
 #[test]
@@ -424,6 +452,7 @@ fn golden_corpus_is_fully_covered() {
         "lb_2replica",
         "pooled_reuse",
         "lossy_p01",
+        "partial_capture",
     ];
     let mut found: Vec<String> = std::fs::read_dir(golden_dir())
         .expect("tests/golden")
@@ -449,8 +478,11 @@ fn golden_rendering_detects_perturbation() {
     let text = std::fs::read_to_string(&log_path).unwrap();
     let directive = parse_directive(&text, &log_path);
     let records = parse_log(&text).unwrap();
-    let config = CorrelatorConfig::new(directive.access).with_window(directive.window);
-    let mut out = Correlator::new(config).correlate(records).unwrap();
+    let config = PipelineConfig::new(directive.access).with_window(directive.window);
+    let mut out = Pipeline::new(config)
+        .unwrap()
+        .run(Source::records(records))
+        .unwrap();
     let baseline = render(&out);
     out.cags[0].vertices[0].size += 1;
     let perturbed = render(&out);

@@ -65,10 +65,26 @@ fn lossy_1pct_precision_recall_floor() {
 }
 
 #[test]
+fn partial_capture_precision_recall_floor() {
+    // The partial-capture family (tentpole acceptance gate): the v2
+    // sniffer lane at 2% per-segment capture drop must keep
+    // precision/recall ≥ 0.95 — `seq=` range arithmetic lets ingest
+    // and the session router absorb the records the sniffer missed.
+    assert_accuracy(
+        "partial 2%",
+        rubis::ExperimentConfig::partial(),
+        Nanos::from_millis(10),
+        0.95,
+    );
+}
+
+#[test]
 fn sharded_matches_batch_accuracy_on_new_scenarios() {
     // The sharded pipeline must reach the same accuracy as the batch
     // path on every new scenario — in particular on pooling, where
-    // session routing must follow channel time order across entities.
+    // session routing must follow channel time order across entities,
+    // and on partial capture, where range-based claims must absorb
+    // records the sniffer missed.
     for (name, cfg, window) in [
         ("lb", rubis::ExperimentConfig::lb(), Nanos::from_millis(10)),
         (
@@ -81,12 +97,25 @@ fn sharded_matches_batch_accuracy_on_new_scenarios() {
             rubis::ExperimentConfig::lossy(),
             Nanos::from_millis(100),
         ),
+        (
+            "lossy_v2",
+            rubis::ExperimentConfig::lossy_v2(),
+            Nanos::from_millis(100),
+        ),
+        (
+            "partial",
+            rubis::ExperimentConfig::partial(),
+            Nanos::from_millis(10),
+        ),
     ] {
         let out = rubis::run(cfg);
         let (_, batch_acc) = out.correlate(window).unwrap();
-        let sharded =
-            ShardedCorrelator::correlate(out.correlator_config(window), 4, out.records.clone())
-                .unwrap();
+        let sharded = Pipeline::new(
+            PipelineConfig::from(out.correlator_config(window)).with_mode(Mode::Sharded(4)),
+        )
+        .unwrap()
+        .run(Source::records(out.records.clone()))
+        .unwrap();
         let sharded_acc = out.truth.evaluate(&sharded.cags);
         assert_eq!(
             (
@@ -114,11 +143,12 @@ fn multi_frontend_content_matches_batch_with_documented_id_divergence() {
     let out = rubis::run(rubis::ExperimentConfig::multi_frontend());
     let (batch, acc) = out.correlate(Nanos::from_millis(10)).unwrap();
     assert!(acc.is_perfect(), "{acc:?}");
-    let sharded = ShardedCorrelator::correlate(
-        out.correlator_config(Nanos::from_millis(10)),
-        4,
-        out.records.clone(),
+    let sharded = Pipeline::new(
+        PipelineConfig::from(out.correlator_config(Nanos::from_millis(10)))
+            .with_mode(Mode::Sharded(4)),
     )
+    .unwrap()
+    .run(Source::records(out.records.clone()))
     .unwrap();
     let sharded_acc = out.truth.evaluate(&sharded.cags);
     assert!(sharded_acc.is_perfect(), "{sharded_acc:?}");
