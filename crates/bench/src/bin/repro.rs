@@ -29,9 +29,11 @@ use baseline::{evaluate, infer_paths, NestingConfig};
 use multitier::{Fault, Mix, NoiseSpec};
 use pt_bench::{experiment, header, paper_noise, row, run_and_trace, Scale};
 use simnet::Dist;
+use tracer_core::raw::parse_log;
 use tracer_core::{
-    BreakdownReport, Cag, Component, CorrelatorConfig, Diagnosis, DiffReport, EngineOptions,
-    FilterSet, Mode, Nanos, PatternAggregator, Pipeline, PipelineConfig, RankerOptions, Source,
+    parse_refs_parallel, BreakdownReport, Cag, Component, CorrelatorConfig, Diagnosis, DiffReport,
+    EngineOptions, FilterSet, Mode, Nanos, PatternAggregator, Pipeline, PipelineConfig,
+    RankerOptions, Source,
 };
 
 /// Flat metric collection for `BENCH_baseline.json`.
@@ -146,7 +148,11 @@ fn main() {
         // sharded-speedup drop > 20% fails CI — and leaves the
         // committed file untouched, so a rerun cannot ratchet the
         // regressed number into the baseline.
-        if let Err(msg) = check_sharded_regression(&base, "BENCH_baseline.json") {
+        let gates = [
+            check_sharded_regression(&base, "BENCH_baseline.json"),
+            check_ingest_regression(&base, "BENCH_baseline.json"),
+        ];
+        if let Some(msg) = gates.into_iter().filter_map(Result::err).next() {
             eprintln!("BENCH REGRESSION: {msg}");
             eprintln!("baseline file left unchanged");
             eprintln!("\ntotal wall time: {:?}", t0.elapsed());
@@ -189,6 +195,37 @@ fn check_sharded_regression(base: &Baseline, path: &str) -> Result<(), String> {
     }
     eprintln!(
         "sharded throughput gate: measured {current:.2}x batch vs committed {committed:.2}x — ok"
+    );
+    Ok(())
+}
+
+/// Guards the parallel ingest front-end the same way: the measured
+/// ingest-vs-batch throughput ratio (same run, so machine speed
+/// cancels) must stay within 20% of the committed
+/// `scale.ingest_vs_batch`. Missing files/keys pass silently.
+fn check_ingest_regression(base: &Baseline, path: &str) -> Result<(), String> {
+    let Some(&(_, current)) = base.0.iter().find(|(k, _)| k == "scale.ingest_vs_batch") else {
+        return Ok(());
+    };
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Ok(());
+    };
+    let Some(committed) = text
+        .lines()
+        .find(|l| l.contains("\"scale.ingest_vs_batch\""))
+        .and_then(|l| l.split(':').nth(1))
+        .and_then(|v| v.trim().trim_end_matches(',').parse::<f64>().ok())
+    else {
+        return Ok(());
+    };
+    if current < committed * 0.8 {
+        return Err(format!(
+            "scale.ingest_vs_batch {current:.2}x fell more than 20% below the \
+             committed baseline {committed:.2}x"
+        ));
+    }
+    eprintln!(
+        "ingest throughput gate: measured {current:.2}x batch vs committed {committed:.2}x — ok"
     );
     Ok(())
 }
@@ -289,6 +326,50 @@ fn scale_stream(base: &mut Baseline, shards: usize) {
         census(&corr.cags),
         "sharded pattern output diverged from the single-threaded path"
     );
+
+    // Ingest front-end: render the same corpus to TCP_TRACE text and
+    // measure the chunked parallel scanner (the `pt` file path) against
+    // the sequential parse and against batch correlation throughput.
+    const INGEST_THREADS: usize = 4;
+    let mut text = String::with_capacity(records * 72);
+    for r in &out.records {
+        text.push_str(&r.to_string());
+        text.push('\n');
+    }
+    // Sub-second parse timings are at the mercy of scheduler steal on
+    // shared runners, so each path takes the best of three tries; the
+    // enforcement lives in the `--json` gate, which compares the
+    // machine-cancelling ingest-vs-batch ratio against the committed
+    // baseline instead of panicking on one noisy sample.
+    let best_of_3 = |f: &dyn Fn() -> usize| {
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let t = Instant::now();
+            let n = f();
+            best = best.min(t.elapsed().as_secs_f64());
+            assert_eq!(n, records, "parse lost records");
+        }
+        best
+    };
+    let ingest_seq_secs =
+        best_of_3(&|| parse_log(&text).expect("rendered corpus must parse").len());
+    let ingest_par_secs = best_of_3(&|| {
+        parse_refs_parallel(&text, INGEST_THREADS)
+            .expect("rendered corpus must parse")
+            .len()
+    });
+    drop(text);
+    let ingest_rps = records as f64 / ingest_par_secs.max(1e-9);
+    let batch_rps = records as f64 / batch_secs.max(1e-9);
+    // The scanner must never be the pipeline's bottleneck: the target
+    // is >= 5x the batch correlation rate (trivially cleared on real
+    // multi-core hardware; close on a contended one-core container).
+    if ingest_rps < 5.0 * batch_rps {
+        eprintln!(
+            "WARNING: parallel ingest at {ingest_rps:.0} rec/s fell below 5x the \
+             batch correlation rate {batch_rps:.0} rec/s on this run"
+        );
+    }
 
     // (b) Streaming under an 8 MiB budget (well above the ~2 MiB
     // natural working set: the budget must bound, not distort).
@@ -409,6 +490,12 @@ fn scale_stream(base: &mut Baseline, shards: usize) {
         batch_secs / sharded_secs.max(1e-9),
         sharded.metrics.ranker.noise_discards,
     );
+    println!(
+        "ingest x{INGEST_THREADS}: {ingest_rps:.0} rec/s parallel scan \
+         ({:.0} rec/s sequential, {:.1}x the batch correlation rate)",
+        records as f64 / ingest_seq_secs.max(1e-9),
+        ingest_rps / batch_rps,
+    );
 
     base.rec("scale.records", records as f64);
     base.rec("scale.requests", out.service.completed as f64);
@@ -441,6 +528,13 @@ fn scale_stream(base: &mut Baseline, shards: usize) {
         records as f64 / sharded_secs.max(1e-9),
     );
     base.rec("scale.sharded_speedup", batch_secs / sharded_secs.max(1e-9));
+    base.rec("scale.ingest_threads", INGEST_THREADS as f64);
+    base.rec("scale.ingest_records_per_sec", ingest_rps);
+    base.rec(
+        "scale.ingest_seq_records_per_sec",
+        records as f64 / ingest_seq_secs.max(1e-9),
+    );
+    base.rec("scale.ingest_vs_batch", ingest_rps / batch_rps);
 }
 
 /// The post-paper scenario families (replicated tiers behind a load

@@ -80,6 +80,15 @@ pub struct CorrelatorConfig {
     /// activity. `None` (the default) never evicts — the endless-stream
     /// endurance knob of the ROADMAP.
     pub channel_idle_horizon: Option<u64>,
+    /// Sharded mode only: ship orphan-chain records (noise chatter the
+    /// batch engine absorbs into never-emitted orphan chains) to the
+    /// workers instead of dropping them reader-side. Dropping them —
+    /// the default — keeps them off the worker hot path and counts
+    /// them in [`crate::metrics::CorrelatorMetrics::orphan_dropped`];
+    /// enabling parity restores per-worker engine counters (orphan
+    /// merges, unmatched receives) identical to a single-shard run at
+    /// the cost of shipping noise.
+    pub orphan_parity: bool,
 }
 
 impl CorrelatorConfig {
@@ -94,6 +103,7 @@ impl CorrelatorConfig {
             memory_budget: None,
             max_seal_lag: None,
             channel_idle_horizon: None,
+            orphan_parity: false,
         }
     }
 
@@ -133,6 +143,14 @@ impl CorrelatorConfig {
     /// records (see [`CorrelatorConfig::channel_idle_horizon`]).
     pub fn with_channel_idle_horizon(mut self, records: u64) -> Self {
         self.channel_idle_horizon = Some(records);
+        self
+    }
+
+    /// Ships sharded orphan-chain records to the workers instead of
+    /// dropping them reader-side (see
+    /// [`CorrelatorConfig::orphan_parity`]).
+    pub fn with_orphan_parity(mut self) -> Self {
+        self.orphan_parity = true;
         self
     }
 
@@ -214,6 +232,21 @@ pub struct CorrelationOutput {
     pub noise_samples: Vec<Activity>,
 }
 
+impl CorrelationOutput {
+    /// Renumbers and reorders CAGs into the canonical root order the
+    /// sharded merge uses (sort key: root BEGIN timestamp, context,
+    /// channel, size, vertex count — see `ShardedCorrelator::merge`).
+    ///
+    /// [`Pipeline::run`](crate::pipeline::Pipeline::run) applies this
+    /// to batch and streaming results so every mode emits the same
+    /// bytes; incremental sessions keep emission order (ids are fixed
+    /// the moment a CAG is polled) and may call this on a collected
+    /// output to compare against a batch run.
+    pub fn canonicalize(&mut self) {
+        canonicalize_cag_ids(self);
+    }
+}
+
 /// How many noise victims are kept for diagnostics.
 const NOISE_SAMPLE_CAP: usize = 32;
 
@@ -226,6 +259,47 @@ const NOISE_SAMPLE_CAP: usize = 32;
 #[derive(Debug)]
 pub struct Correlator {
     config: CorrelatorConfig,
+}
+
+/// Renumbers and reorders batch CAGs into the canonical root order the
+/// sharded merge uses (sort key: root BEGIN timestamp, context,
+/// channel, size, vertex count — see `ShardedCorrelator::merge`). On
+/// well-ordered corpora the engine already seals in root order and this
+/// is the identity; on gap-damaged corpora lost records shuffle
+/// BEGIN-delivery order, and without canonicalization batch ids and
+/// emission order deviate from every sharded run. With it, batch output
+/// is *byte*-identical to sharded output for every corpus.
+fn canonicalize_cag_ids(out: &mut CorrelationOutput) {
+    let key = |c: &crate::cag::Cag| {
+        let r = &c.vertices[0];
+        (r.ts, r.ctx.clone(), r.channel, r.size, c.vertices.len())
+    };
+    // The sharded merge ranks the union [cags..., unfinished...]
+    // with a stable sort and assigns ids by rank; mirror that exactly.
+    let keys: Vec<_> = out
+        .cags
+        .iter()
+        .chain(out.unfinished.iter())
+        .map(key)
+        .collect();
+    let mut order: Vec<usize> = (0..keys.len()).collect();
+    order.sort_by(|&a, &b| keys[a].cmp(&keys[b]));
+    let mut ids = vec![0u64; keys.len()];
+    for (rank, &i) in order.iter().enumerate() {
+        ids[i] = rank as u64;
+    }
+    for (i, c) in out
+        .cags
+        .iter_mut()
+        .chain(out.unfinished.iter_mut())
+        .enumerate()
+    {
+        c.id = ids[i];
+    }
+    // Emission order follows the ids (ranks are unique, so this is the
+    // same stable order the sharded merge emits).
+    out.cags.sort_by_key(|c| c.id);
+    out.unfinished.sort_by_key(|c| c.id);
 }
 
 #[allow(deprecated)] // shim internals
@@ -271,7 +345,9 @@ impl Correlator {
             }
             sc.close_host(&host)?;
         }
-        sc.finish()
+        let mut out = sc.finish()?;
+        canonicalize_cag_ids(&mut out);
+        Ok(out)
     }
 
     /// Correlates pre-classified activity streams (one per host, each

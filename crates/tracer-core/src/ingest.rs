@@ -1,0 +1,524 @@
+//! Parallel chunked ingest: whole-buffer parsing of `TCP_TRACE` logs
+//! at hardware saturation.
+//!
+//! The single-threaded [`parse_log_iter`](crate::raw::parse_log_iter)
+//! path tops out well below what the sharded correlator can drain, so
+//! this module applies the one-billion-row-challenge recipe to the
+//! probe log format:
+//!
+//! 1. the input is read (or handed over) as **one contiguous buffer** —
+//!    no line-at-a-time I/O;
+//! 2. the buffer is split into per-core **chunks aligned to record
+//!    boundaries** (each nominal cut is snapped forward to just past
+//!    the next `\n`, so a record straddling a cut belongs wholly to the
+//!    chunk where its line starts);
+//! 3. each chunk is scanned by a worker thread with byte loops
+//!    (`str::find('\n')` lowers to `memchr`) and a **specialised field
+//!    parser** that allocates nothing per record and validates no
+//!    UTF-8 — string fields are borrowed sub-slices of the input,
+//!    split on ASCII whitespace;
+//! 4. the per-chunk record vectors are concatenated in chunk order, so
+//!    the result is **record-for-record identical** to the sequential
+//!    iterator.
+//!
+//! Equivalence with the sequential path is by construction: the fast
+//! field parser accepts a strict subset of the grammar (plain decimal
+//! digits, canonical dotted-quad IPv4, exact `SEND`/`RECEIVE`), and any
+//! line outside that subset falls back to
+//! [`RawRecordRef::parse_line`], which makes the accept/reject set —
+//! including the error for the first malformed line — identical to
+//! [`parse_log_iter`](crate::raw::parse_log_iter). Chunks are
+//! text-ordered, so the first failing chunk holds the first failing
+//! line.
+//!
+//! The [`Pipeline`](crate::pipeline::Pipeline) engages this module for
+//! [`Source::path`](crate::pipeline::Source::path) inputs and for text
+//! sources whenever `PipelineConfig::with_ingest_threads` asks for more
+//! than one thread.
+
+use std::net::Ipv4Addr;
+use std::path::Path;
+
+use crate::activity::{EndpointV4, LocalTime};
+use crate::error::TraceError;
+use crate::intern::Interner;
+use crate::raw::{RawOp, RawRecord, RawRecordRef};
+
+/// Upper bound on worker threads: beyond this the split overhead and
+/// memory bandwidth dominate any parse win.
+const MAX_THREADS: usize = 64;
+
+/// Rough bytes-per-record estimate used only to pre-size result
+/// vectors.
+const BYTES_PER_RECORD_HINT: usize = 48;
+
+/// Resolves a user-facing thread count: `0` means "one per available
+/// core" (capped), anything else is clamped to [`MAX_THREADS`].
+#[must_use]
+pub fn resolve_threads(threads: usize) -> usize {
+    let n = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        threads
+    };
+    n.clamp(1, MAX_THREADS)
+}
+
+/// Reads a whole log file into one buffer, mapping I/O failures onto
+/// [`TraceError::Config`] (the error type stays `Clone`/`PartialEq`).
+///
+/// # Errors
+///
+/// Returns [`TraceError::Config`] when the file cannot be read or is
+/// not valid UTF-8.
+pub fn read_log_file(path: &Path) -> Result<String, TraceError> {
+    std::fs::read_to_string(path)
+        .map_err(|e| TraceError::config(format!("cannot read {}: {e}", path.display())))
+}
+
+/// Splits `text` into at most `chunks` byte spans, each ending just
+/// past a `\n` (except the last, which ends at the buffer end), so no
+/// record straddles a span boundary. Returns fewer spans than asked
+/// when the text is short; never returns an empty span.
+#[must_use]
+pub fn chunk_spans(text: &str, chunks: usize) -> Vec<(usize, usize)> {
+    let n = text.len();
+    let chunks = chunks.max(1);
+    let mut spans = Vec::with_capacity(chunks);
+    let mut start = 0usize;
+    for i in 1..=chunks {
+        if start >= n {
+            break;
+        }
+        let nominal = ((n as u128 * i as u128) / chunks as u128) as usize;
+        let mut end = nominal.max(start);
+        if i == chunks {
+            end = n;
+        } else if end < n {
+            // Snap forward to just past the next record boundary.
+            end = match text[end..].find('\n') {
+                Some(j) => end + j + 1,
+                None => n,
+            };
+        }
+        if end > start {
+            spans.push((start, end));
+            start = end;
+        }
+    }
+    spans
+}
+
+/// Parses one chunk with the same line discipline as
+/// [`parse_log_iter`](crate::raw::parse_log_iter): split on `\n`, trim,
+/// skip blanks and `#` comments, stop at the first malformed line.
+fn parse_chunk<'a>(chunk: &'a str, out: &mut Vec<RawRecordRef<'a>>) -> Result<(), TraceError> {
+    let mut rest = chunk;
+    loop {
+        let (line, next) = match rest.find('\n') {
+            Some(i) => (&rest[..i], &rest[i + 1..]),
+            None => (rest, ""),
+        };
+        let t = line.trim();
+        if !t.is_empty() && !t.starts_with('#') {
+            out.push(parse_record(t)?);
+        }
+        if next.is_empty() {
+            return Ok(());
+        }
+        rest = next;
+    }
+}
+
+/// Parses one trimmed line: the specialised byte-loop parser first,
+/// falling back to [`RawRecordRef::parse_line`] on anything outside
+/// its strict subset so acceptance and errors match the sequential
+/// path exactly.
+#[inline]
+fn parse_record(line: &str) -> Result<RawRecordRef<'_>, TraceError> {
+    match parse_line_fast(line) {
+        Some(r) => Ok(r),
+        None => RawRecordRef::parse_line(line),
+    }
+}
+
+/// Splits `s` into ASCII-whitespace-separated fields without the
+/// iterator adapters of `split_ascii_whitespace` (same token set).
+struct Fields<'a> {
+    s: &'a str,
+    pos: usize,
+}
+
+impl<'a> Fields<'a> {
+    #[inline]
+    fn next(&mut self) -> Option<&'a str> {
+        let b = self.s.as_bytes();
+        let mut i = self.pos;
+        while i < b.len() && b[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if i >= b.len() {
+            self.pos = i;
+            return None;
+        }
+        let start = i;
+        while i < b.len() && !b[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        self.pos = i;
+        Some(&self.s[start..i])
+    }
+}
+
+/// Plain decimal `u64`: digits only (no sign, which the fallback
+/// handles), with overflow checking.
+#[inline]
+fn parse_u64(s: &str) -> Option<u64> {
+    let b = s.as_bytes();
+    if b.is_empty() {
+        return None;
+    }
+    let mut v: u64 = 0;
+    for &c in b {
+        let d = c.wrapping_sub(b'0');
+        if d > 9 {
+            return None;
+        }
+        v = v.checked_mul(10)?.checked_add(u64::from(d))?;
+    }
+    Some(v)
+}
+
+#[inline]
+fn parse_u32(s: &str) -> Option<u32> {
+    parse_u64(s).and_then(|v| u32::try_from(v).ok())
+}
+
+/// Canonical dotted-quad IPv4, matching `Ipv4Addr::from_str` exactly:
+/// four decimal octets ≤ 255, no leading zeros, nothing else.
+#[inline]
+fn parse_ipv4(s: &str) -> Option<Ipv4Addr> {
+    let mut octets = [0u8; 4];
+    let mut parts = s.split('.');
+    for o in &mut octets {
+        let p = parts.next()?.as_bytes();
+        if p.is_empty() || p.len() > 3 || (p.len() > 1 && p[0] == b'0') {
+            return None;
+        }
+        let mut v: u32 = 0;
+        for &c in p {
+            let d = c.wrapping_sub(b'0');
+            if d > 9 {
+                return None;
+            }
+            v = v * 10 + u32::from(d);
+        }
+        if v > 255 {
+            return None;
+        }
+        *o = v as u8;
+    }
+    if parts.next().is_some() {
+        return None;
+    }
+    Some(Ipv4Addr::from(octets))
+}
+
+/// `ip:port` endpoint; the port keeps `u16::from_str` semantics
+/// (leading zeros allowed) minus the sign prefixes.
+#[inline]
+fn parse_endpoint(s: &str) -> Option<EndpointV4> {
+    let (ip, port) = s.rsplit_once(':')?;
+    let ip = parse_ipv4(ip)?;
+    let port = parse_u64(port)?;
+    let port = u16::try_from(port).ok()?;
+    Some(EndpointV4::new(ip, port))
+}
+
+/// The byte-loop happy path. Returns `None` for anything outside the
+/// strict grammar subset; the caller then re-parses with the sequential
+/// parser so behaviour (accept set, record values, error text) is
+/// identical by construction.
+fn parse_line_fast(line: &str) -> Option<RawRecordRef<'_>> {
+    let mut f = Fields { s: line, pos: 0 };
+    let ts = parse_u64(f.next()?)?;
+    let hostname = f.next()?;
+    let program = f.next()?;
+    let pid = parse_u32(f.next()?)?;
+    let tid = parse_u32(f.next()?)?;
+    let op = match f.next()? {
+        "SEND" => RawOp::Send,
+        "RECEIVE" => RawOp::Receive,
+        _ => return None,
+    };
+    let chan = f.next()?;
+    let (src, dst) = chan.split_once('-')?;
+    let src = parse_endpoint(src)?;
+    let dst = parse_endpoint(dst)?;
+    let size = parse_u64(f.next()?)?;
+    let mut retrans = false;
+    let mut seq: Option<u64> = None;
+    while let Some(attr) = f.next() {
+        match attr {
+            "retrans" if !retrans => retrans = true,
+            a if a.starts_with("seq=") && seq.is_none() => {
+                seq = Some(parse_u64(&a["seq=".len()..])?);
+            }
+            _ => return None,
+        }
+    }
+    Some(RawRecordRef {
+        ts: LocalTime::from_nanos(ts),
+        hostname,
+        program,
+        pid,
+        tid,
+        op,
+        src,
+        dst,
+        size,
+        tag: 0,
+        retrans,
+        seq,
+    })
+}
+
+/// Collects the per-chunk results in chunk (= text) order, so the
+/// first chunk holding an error reports the first malformed line of
+/// the whole input.
+fn concat<T>(results: Vec<Result<Vec<T>, TraceError>>) -> Result<Vec<T>, TraceError> {
+    let mut chunks = Vec::with_capacity(results.len());
+    let mut total = 0usize;
+    for r in results {
+        let v = r?;
+        total += v.len();
+        chunks.push(v);
+    }
+    let mut out = Vec::with_capacity(total);
+    for v in chunks {
+        out.extend(v);
+    }
+    Ok(out)
+}
+
+/// Parses a whole log into borrowed [`RawRecordRef`]s using `threads`
+/// worker threads (`0` = one per core). The result is record-for-record
+/// identical to collecting
+/// [`parse_log_iter`](crate::raw::parse_log_iter).
+///
+/// # Errors
+///
+/// Returns the first parse error encountered, identical to the
+/// sequential path's.
+///
+/// # Examples
+///
+/// ```
+/// use tracer_core::ingest::parse_refs_parallel;
+/// let refs = parse_refs_parallel(
+///     "# comment\n100 web httpd 1 1 SEND 10.0.0.1:80-10.0.0.9:5000 42\n",
+///     4,
+/// )?;
+/// assert_eq!(refs.len(), 1);
+/// assert_eq!(refs[0].size, 42);
+/// # Ok::<(), tracer_core::TraceError>(())
+/// ```
+pub fn parse_refs_parallel(
+    text: &str,
+    threads: usize,
+) -> Result<Vec<RawRecordRef<'_>>, TraceError> {
+    let spans = chunk_spans(text, resolve_threads(threads));
+    if spans.len() <= 1 {
+        let mut out = Vec::with_capacity(text.len() / BYTES_PER_RECORD_HINT + 1);
+        parse_chunk(text, &mut out)?;
+        return Ok(out);
+    }
+    let results: Vec<Result<Vec<RawRecordRef<'_>>, TraceError>> = std::thread::scope(|s| {
+        let handles: Vec<_> = spans
+            .iter()
+            .map(|&(a, b)| {
+                let chunk = &text[a..b];
+                s.spawn(move || {
+                    let mut out = Vec::with_capacity(chunk.len() / BYTES_PER_RECORD_HINT + 1);
+                    parse_chunk(chunk, &mut out).map(|()| out)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("ingest worker panicked"))
+            .collect()
+    });
+    concat(results)
+}
+
+/// Parses a whole log into owned, interned [`RawRecord`]s using
+/// `threads` worker threads (`0` = one per core). Each worker interns
+/// into its own [`Interner`], so allocation stays proportional to
+/// `distinct strings × chunks`, not to the record count; the records
+/// are value-identical to [`parse_log`](crate::raw::parse_log)'s.
+///
+/// # Errors
+///
+/// Returns the first parse error encountered, identical to the
+/// sequential path's.
+pub fn parse_log_parallel(text: &str, threads: usize) -> Result<Vec<RawRecord>, TraceError> {
+    let spans = chunk_spans(text, resolve_threads(threads));
+    if spans.len() <= 1 {
+        return crate::raw::parse_log(text);
+    }
+    let results: Vec<Result<Vec<RawRecord>, TraceError>> = std::thread::scope(|s| {
+        let handles: Vec<_> = spans
+            .iter()
+            .map(|&(a, b)| {
+                let chunk = &text[a..b];
+                s.spawn(move || {
+                    let mut refs = Vec::with_capacity(chunk.len() / BYTES_PER_RECORD_HINT + 1);
+                    parse_chunk(chunk, &mut refs)?;
+                    let mut interner = Interner::new();
+                    Ok(refs
+                        .iter()
+                        .map(|r| r.to_owned_interned(&mut interner))
+                        .collect())
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("ingest worker panicked"))
+            .collect()
+    });
+    concat(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::raw::parse_log_iter;
+
+    fn sequential(text: &str) -> Result<Vec<RawRecordRef<'_>>, TraceError> {
+        parse_log_iter(text).collect()
+    }
+
+    const SAMPLE: &str = "\
+# comment line
+1000 web httpd 7 7 RECEIVE 192.168.0.9:5000-10.0.0.1:80 120
+2000 web httpd 7 7 SEND 10.0.0.1:4001-10.0.0.2:9000 64 seq=0
+
+2500 app java 9 21 RECEIVE 10.0.0.1:4001-10.0.0.2:9000 64 seq=0 retrans
+   4000 app java 9 21 SEND 10.0.0.2:9000-10.0.0.1:4001 256\t
+5000 web httpd 7 7 SEND 10.0.0.1:80-192.168.0.9:5000 512 retrans seq=9
+";
+
+    #[test]
+    fn parallel_matches_sequential_for_every_thread_count() {
+        let want = sequential(SAMPLE).unwrap();
+        for threads in 1..=8 {
+            let got = parse_refs_parallel(SAMPLE, threads).unwrap();
+            assert_eq!(got, want, "thread count {threads}");
+        }
+    }
+
+    #[test]
+    fn chunk_spans_cover_the_buffer_without_splitting_records() {
+        for chunks in 1..=9 {
+            let spans = chunk_spans(SAMPLE, chunks);
+            assert_eq!(spans.first().map(|s| s.0), Some(0));
+            assert_eq!(spans.last().map(|s| s.1), Some(SAMPLE.len()));
+            for w in spans.windows(2) {
+                assert_eq!(w[0].1, w[1].0, "spans must tile");
+                assert_eq!(
+                    SAMPLE.as_bytes()[w[0].1 - 1],
+                    b'\n',
+                    "interior span boundaries must sit just past a newline"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_partial_line_is_parsed() {
+        let text = "1000 web httpd 7 7 SEND 10.0.0.1:80-10.0.0.9:5000 42"; // no '\n'
+        let got = parse_refs_parallel(text, 4).unwrap();
+        assert_eq!(got, sequential(text).unwrap());
+        assert_eq!(got.len(), 1);
+    }
+
+    #[test]
+    fn more_threads_than_lines_is_fine() {
+        let text = "1000 web httpd 7 7 SEND 10.0.0.1:80-10.0.0.9:5000 42\n";
+        for threads in 1..=32 {
+            assert_eq!(
+                parse_refs_parallel(text, threads).unwrap(),
+                sequential(text).unwrap()
+            );
+        }
+        assert!(parse_refs_parallel("", 8).unwrap().is_empty());
+        assert!(parse_refs_parallel("\n\n# only comments\n", 8)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn first_error_matches_the_sequential_one() {
+        // Two bad lines in different prospective chunks: the reported
+        // error must be the first in text order, as sequential parse
+        // would report.
+        let mut text = String::new();
+        for i in 0..100 {
+            if i == 23 || i == 77 {
+                text.push_str(&format!("{i} bad line only five fields\n"));
+            } else {
+                text.push_str(&format!(
+                    "{i} web httpd 7 7 SEND 10.0.0.1:80-10.0.0.9:5000 42\n"
+                ));
+            }
+        }
+        let want = sequential(&text).unwrap_err();
+        for threads in [1, 2, 3, 8] {
+            assert_eq!(parse_refs_parallel(&text, threads).unwrap_err(), want);
+        }
+    }
+
+    #[test]
+    fn fast_path_falls_back_on_grammar_edges() {
+        // Each of these is accepted or rejected by the sequential
+        // parser in a way the fast path cannot express — the fallback
+        // must keep behaviour identical.
+        let edge_lines = [
+            "+1000 web httpd 7 7 SEND 10.0.0.1:80-10.0.0.9:5000 42", // signed int
+            "1000 web httpd 7 7 SEND 10.0.0.1:080-10.0.0.9:5000 42", // zero-padded port
+            "1000 web httpd 7 7 SEND 10.0.0.01:80-10.0.0.9:5000 42", // zero-padded octet
+            "1000 web httpd 7 7 SEND 10.0.0.256:80-10.0.0.9:5000 42", // octet overflow
+            "1000 web httpd 7 7 send 10.0.0.1:80-10.0.0.9:5000 42",  // lowercase op
+            "1000 web httpd 7 7 SEND 10.0.0.1:80-10.0.0.9:5000 42 seq=+7", // signed seq
+            "1000 web httpd 7 7 SEND 10.0.0.1:80-10.0.0.9:5000 42 retrans retrans", // dup attr
+            "1000 web httpd 7 7 SEND 10.0.0.1:80-10.0.0.9:5000 42 extra", // trailing junk
+            "99999999999999999999999 web httpd 7 7 SEND 10.0.0.1:80-10.0.0.9:5000 42", // overflow
+        ];
+        for line in edge_lines {
+            assert_eq!(
+                parse_record(line),
+                RawRecordRef::parse_line(line),
+                "divergence on {line:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn owned_parallel_parse_matches_parse_log() {
+        let want = crate::raw::parse_log(SAMPLE).unwrap();
+        for threads in [1, 2, 4, 7] {
+            assert_eq!(parse_log_parallel(SAMPLE, threads).unwrap(), want);
+        }
+    }
+
+    #[test]
+    fn resolve_threads_clamps() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+        assert_eq!(resolve_threads(10_000), MAX_THREADS);
+    }
+}

@@ -80,6 +80,7 @@ pub mod engine;
 pub mod error;
 pub mod fasthash;
 pub mod filter;
+pub mod ingest;
 pub mod intern;
 pub mod metrics;
 pub mod pattern;
@@ -102,6 +103,7 @@ pub use correlator::{Correlator, StreamingCorrelator};
 pub use engine::Engine;
 pub use error::TraceError;
 pub use filter::{FilterRule, FilterSet};
+pub use ingest::{parse_log_parallel, parse_refs_parallel};
 pub use intern::Interner;
 pub use metrics::CorrelatorMetrics;
 pub use pattern::{AveragePath, PatternAggregator, PatternKey};
@@ -128,6 +130,7 @@ pub mod prelude {
     pub use crate::correlator::{Correlator, StreamingCorrelator};
     pub use crate::error::TraceError;
     pub use crate::filter::{FilterRule, FilterSet};
+    pub use crate::ingest::{parse_log_parallel, parse_refs_parallel};
     pub use crate::intern::Interner;
     pub use crate::metrics::CorrelatorMetrics;
     pub use crate::pattern::{AveragePath, PatternAggregator, PatternKey};

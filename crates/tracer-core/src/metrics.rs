@@ -28,6 +28,12 @@ pub struct CorrelatorMetrics {
     /// started above the channel's covered high-water mark — evidence
     /// of records the sniffer missed.
     pub seq_gaps: u64,
+    /// Sharded mode only: orphan-chain records (noise chatter the batch
+    /// engine would absorb into never-emitted orphan chains) dropped
+    /// reader-side instead of being shipped to a worker. Zero in the
+    /// single-instance modes and under
+    /// [`crate::correlator::CorrelatorConfig::orphan_parity`].
+    pub orphan_dropped: u64,
     /// Ranker counters (Rules 1/2, swaps, boosts, `is_noise` discards).
     pub ranker: RankerCounters,
     /// Engine counters (merges, matches, evictions).
@@ -59,6 +65,7 @@ impl CorrelatorMetrics {
         self.seq_dedup_ranges += other.seq_dedup_ranges;
         self.v2_records += other.v2_records;
         self.seq_gaps += other.seq_gaps;
+        self.orphan_dropped += other.orphan_dropped;
         self.ranker.absorb(&other.ranker);
         self.engine.absorb(&other.engine);
         self.cags_finished += other.cags_finished;

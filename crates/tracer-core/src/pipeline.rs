@@ -94,6 +94,12 @@ pub struct PipelineConfig {
     pub correlator: CorrelatorConfig,
     /// Which execution strategy [`Pipeline::run`] uses.
     pub mode: Mode,
+    /// Parser threads for text and path sources: `1` (the default)
+    /// parses sequentially, `0` uses one thread per core, anything
+    /// else that many threads. The parallel scanner
+    /// ([`crate::ingest`]) produces a record sequence byte-identical
+    /// to the sequential parser, so this knob only changes speed.
+    pub ingest_threads: usize,
 }
 
 impl PipelineConfig {
@@ -103,12 +109,28 @@ impl PipelineConfig {
         PipelineConfig {
             correlator: CorrelatorConfig::new(access),
             mode: Mode::Batch,
+            ingest_threads: 1,
         }
     }
 
     /// Sets the execution mode.
     pub fn with_mode(mut self, mode: Mode) -> Self {
         self.mode = mode;
+        self
+    }
+
+    /// Sets the parser thread count for text/path sources (`0` = one
+    /// per core, `1` = sequential).
+    pub fn with_ingest_threads(mut self, threads: usize) -> Self {
+        self.ingest_threads = threads;
+        self
+    }
+
+    /// Ships sharded orphan-chain records to the workers instead of
+    /// dropping them reader-side (see
+    /// [`CorrelatorConfig::with_orphan_parity`]).
+    pub fn with_orphan_parity(mut self) -> Self {
+        self.correlator = self.correlator.with_orphan_parity();
         self
     }
 
@@ -196,6 +218,7 @@ impl From<CorrelatorConfig> for PipelineConfig {
         PipelineConfig {
             correlator,
             mode: Mode::Batch,
+            ingest_threads: 1,
         }
     }
 }
@@ -212,6 +235,12 @@ pub enum Source<'a> {
     /// strings); the single-instance modes parse it into owned records
     /// first.
     Text(&'a str),
+    /// A TCP_TRACE log file, read as one whole buffer at
+    /// [`Pipeline::run`] and scanned with
+    /// `PipelineConfig::ingest_threads` parser threads (see
+    /// [`crate::ingest`]). Behaves exactly like [`Source::Text`] over
+    /// the file's contents.
+    Path(std::path::PathBuf),
 }
 
 impl Source<'_> {
@@ -223,6 +252,12 @@ impl Source<'_> {
     /// A source over a TCP_TRACE text log.
     pub fn text(text: &str) -> Source<'_> {
         Source::Text(text)
+    }
+
+    /// A source over a TCP_TRACE log file, whole-buffer-read at run
+    /// time.
+    pub fn path(path: impl Into<std::path::PathBuf>) -> Source<'static> {
+        Source::Path(path.into())
     }
 
     /// A source draining an arbitrary record iterator (collected up
@@ -286,28 +321,66 @@ impl Pipeline {
     /// configuration errors.
     pub fn run(&self, source: Source<'_>) -> Result<CorrelationOutput, TraceError> {
         let cfg = self.config.correlator.clone();
+        let threads = self.config.ingest_threads;
+        // A path source is one whole-buffer read; every mode then sees
+        // borrowed text and benefits from the parallel chunk scanner.
+        let owned;
+        let source = match source {
+            Source::Path(p) => {
+                owned = crate::ingest::read_log_file(&p)?;
+                Source::Text(&owned)
+            }
+            s => s,
+        };
+        let parse_text = |t: &str| -> Result<Vec<RawRecord>, TraceError> {
+            if threads == 1 {
+                parse_log(t)
+            } else {
+                crate::ingest::parse_log_parallel(t, threads)
+            }
+        };
         match self.config.mode {
             Mode::Batch => {
                 let records = match source {
                     Source::Records(r) => r,
-                    Source::Text(t) => parse_log(t)?,
+                    Source::Text(t) => parse_text(t)?,
+                    Source::Path(_) => unreachable!("path sources resolve to text above"),
                 };
                 Correlator::new(cfg).correlate(records)
             }
             Mode::Streaming => {
                 let records = match source {
                     Source::Records(r) => r,
-                    Source::Text(t) => parse_log(t)?,
+                    Source::Text(t) => parse_text(t)?,
+                    Source::Path(_) => unreachable!("path sources resolve to text above"),
                 };
                 let mut sc = StreamingCorrelator::new(cfg)?;
                 for rec in records {
                     sc.push(rec)?;
                 }
-                sc.finish()
+                let mut out = sc.finish()?;
+                // A full run returns everything at once, so the
+                // canonical cross-mode order applies here too; only
+                // incremental sessions keep emission order.
+                out.canonicalize();
+                Ok(out)
             }
             Mode::Sharded(n) => match source {
                 Source::Records(r) => ShardedCorrelator::correlate(cfg, n, r),
+                Source::Text(t) if threads != 1 => {
+                    // Parallel zero-copy ingest: the parsed slice is
+                    // byte-identical to `parse_log_iter`'s sequence, so
+                    // staging it record-by-record routes exactly like
+                    // `correlate_text`.
+                    let refs = crate::ingest::parse_refs_parallel(t, threads)?;
+                    let mut sc = ShardedCorrelator::new(cfg, n)?;
+                    for r in &refs {
+                        sc.stage_ref(r);
+                    }
+                    sc.finish()
+                }
                 Source::Text(t) => ShardedCorrelator::correlate_text(cfg, n, t),
+                Source::Path(_) => unreachable!("path sources resolve to text above"),
             },
         }
     }
@@ -605,11 +678,15 @@ mod tests {
             .with_memory_budget(1 << 20)
             .with_max_seal_lag(64)
             .with_channel_idle_horizon(10_000)
+            .with_orphan_parity()
+            .with_ingest_threads(4)
             .with_mode(Mode::Sharded(0));
         assert_eq!(cfg.correlator.ranker.window, Nanos::from_millis(5));
         assert_eq!(cfg.correlator.memory_budget, Some(1 << 20));
         assert_eq!(cfg.correlator.max_seal_lag, Some(64));
         assert_eq!(cfg.correlator.channel_idle_horizon, Some(10_000));
+        assert!(cfg.correlator.orphan_parity);
+        assert_eq!(cfg.ingest_threads, 4);
         assert_eq!(cfg.mode, Mode::Sharded(0));
     }
 }

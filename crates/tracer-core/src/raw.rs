@@ -572,6 +572,18 @@ impl RangeDedup {
         }
     }
 
+    /// Forgets both directions' coverage for one channel. The sharded
+    /// reader calls this when its idle GC evicts the channel's router
+    /// claims, so dedup coverage is shed at the same horizon instead of
+    /// growing for the stream's lifetime. If the channel later resumes,
+    /// its coverage rebuilds from the new high-water mark (the first
+    /// record after resumption may then count a spurious `seq_gaps` —
+    /// the same evidence-loss tradeoff the claim eviction makes).
+    pub fn evict_channel(&mut self, channel: Channel) {
+        self.cover.remove(&(channel, RawOp::Send));
+        self.cover.remove(&(channel, RawOp::Receive));
+    }
+
     /// Approximate resident bytes of the coverage state.
     pub fn approx_bytes(&self) -> usize {
         use std::mem::size_of;

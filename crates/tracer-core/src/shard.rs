@@ -131,6 +131,12 @@ fn conn_key(src: EndpointV4, dst: EndpointV4) -> ConnKey {
 struct ClaimEntry {
     /// Shard of the session that produced the send.
     shard: u32,
+    /// True when the send producing this claim was an orphan-chain
+    /// record dropped reader-side (never shipped to its shard). The
+    /// claim still occupies its FIFO slot so byte accounting stays
+    /// identical; a receive consuming only dropped claims is dropped
+    /// too.
+    dropped: bool,
     /// Unreceived bytes remaining of this claim.
     bytes: u64,
     /// `TCP_TRACE v2`: the claim's remaining stream byte range
@@ -192,6 +198,11 @@ struct RoleOrder {
 enum RecvDecision {
     /// Route to this shard.
     Shard(u32),
+    /// Every claim this receive consumed was a dropped orphan-chain
+    /// send: the batch engine would merge this receive into the same
+    /// never-emitted orphan chain, so it is dropped reader-side too.
+    /// The shard is kept for the lane's affinity bookkeeping.
+    Orphan(u32),
     /// Wait for the claiming send to be routed.
     Defer,
     /// No traced send on this channel exists anywhere: `is_noise`.
@@ -205,6 +216,11 @@ struct CtxLane {
     buf: VecDeque<Activity>,
     /// Shard of the session this entity is currently working for.
     affinity: Option<u32>,
+    /// This entity currently extends an orphan chain (its last routed
+    /// record was dropped reader-side) — the reader's mirror of the
+    /// engine's `cmap = Orphan` state. Cleared by any dispatched
+    /// record (a BEGIN/END, or a receive consuming real claims).
+    noise: bool,
     /// Already in the runnable queue?
     queued: bool,
     /// Channel this lane is currently registered as a waiter on, so
@@ -277,10 +293,21 @@ struct SessionRouter {
     noise_discards: u64,
     /// First few noise victims, for diagnostics.
     noise_samples: Vec<Activity>,
+    /// Ship orphan-chain records to workers anyway (escape hatch; the
+    /// workers' engines absorb them into never-emitted orphan chains,
+    /// exactly as the batch engine does).
+    orphan_parity: bool,
+    /// Orphan-chain records dropped reader-side (never dispatched).
+    orphan_dropped: u64,
+    /// Channels evicted by the idle GC since the owner last drained
+    /// this list; the owner evicts the same channels from its
+    /// [`crate::raw::RangeDedup`] so dedup coverage is shed at the
+    /// same horizon as router claims.
+    evicted: Vec<crate::activity::Channel>,
 }
 
 impl SessionRouter {
-    fn new(shards: u32, idle_horizon: Option<u64>) -> Self {
+    fn new(shards: u32, idle_horizon: Option<u64>, orphan_parity: bool) -> Self {
         SessionRouter {
             shards,
             hasher: FxBuildHasher::default(),
@@ -299,7 +326,16 @@ impl SessionRouter {
             forced_routes: 0,
             noise_discards: 0,
             noise_samples: Vec::new(),
+            orphan_parity,
+            orphan_dropped: 0,
+            evicted: Vec::new(),
         }
+    }
+
+    /// Takes the channels evicted by the idle GC since the last call,
+    /// so the owner can shed matching [`crate::raw::RangeDedup`] state.
+    fn take_evicted(&mut self) -> Vec<crate::activity::Channel> {
+        std::mem::take(&mut self.evicted)
     }
 
     fn hash_to_shard<T: std::hash::Hash>(&self, key: &T) -> u32 {
@@ -381,6 +417,7 @@ impl SessionRouter {
                 self.lanes.push(CtxLane {
                     buf: VecDeque::new(),
                     affinity: None,
+                    noise: false,
                     queued: false,
                     waiting_on: None,
                 });
@@ -442,6 +479,7 @@ impl SessionRouter {
             self.roles.remove(&(ch, true));
             self.roles.remove(&(ch, false));
             self.idle_evicted += 1;
+            self.evicted.push(ch);
         }
     }
 
@@ -531,8 +569,15 @@ impl SessionRouter {
 
     /// Routes a SEND: session from the thread's affinity (noise chains
     /// fall back to their channel's shard or hash), then claims the
-    /// channel's bytes for that shard.
-    fn route_send(&mut self, lane: usize, a: &Activity) -> u32 {
+    /// channel's bytes for that shard. The second return is true when
+    /// the send opens or extends an orphan chain and was marked
+    /// dropped: the batch engine would bury it in a never-emitted
+    /// orphan chain, so (unless [`SessionRouter::orphan_parity`] asks
+    /// for engine-level parity) there is no point shipping it to a
+    /// worker. Claim bookkeeping is identical either way — dropped
+    /// claims still occupy their FIFO slot so routing decisions do not
+    /// shift.
+    fn route_send(&mut self, lane: usize, a: &Activity) -> (u32, bool) {
         let s = match self.lanes[lane].affinity {
             Some(s) => s,
             // A send by an unclaimed thread opens a noise chain (or
@@ -542,19 +587,22 @@ impl SessionRouter {
                 None => self.hash_to_shard(&conn_key(a.channel.src, a.channel.dst)),
             },
         };
+        let dropped =
+            !self.orphan_parity && (self.lanes[lane].noise || self.lanes[lane].affinity.is_none());
         let now = self.records_staged;
         let c = self.claims.entry(a.channel).or_default();
         c.staged -= 1;
         let bytes = a.size.max(1);
         c.queue.push_back(ClaimEntry {
             shard: s,
+            dropped,
             bytes,
             range: a.seq.map(|s0| (s0, s0 + bytes)),
         });
         c.last = Some(s);
         c.last_touch = now;
         self.wake(a.channel);
-        s
+        (s, dropped)
     }
 
     /// Decides a RECEIVE against its channel's claim FIFO. Until input
@@ -632,11 +680,14 @@ impl SessionRouter {
                     }
                     // Consume [r0, r1) by offset: pop claims ending
                     // within it, trim the one that extends past it.
+                    let (mut any, mut real) = (false, false);
                     while let Some(e) = c.queue.front_mut() {
                         let Some((s, en)) = e.range else { break };
                         if s >= r1 {
                             break;
                         }
+                        any = true;
+                        real |= !e.dropped;
                         if en <= r1 {
                             c.queue.pop_front();
                         } else {
@@ -645,12 +696,22 @@ impl SessionRouter {
                             break;
                         }
                     }
-                    return RecvDecision::Shard(shard);
+                    return if any && !real {
+                        RecvDecision::Orphan(shard)
+                    } else {
+                        RecvDecision::Shard(shard)
+                    };
                 }
                 // The front claim starts at or beyond the receive's
                 // end: every send record of this receive's bytes was
-                // lost. Stay with the channel's engine-state shard.
-                return RecvDecision::Shard(c.last.unwrap_or(shard));
+                // lost, and stream offsets are monotone, so no future
+                // claim can land below it either. The batch ranker
+                // finds no match in any mmap or buffer and discards
+                // such a receive as noise; routing it instead would
+                // poison the worker engine's thread state and absorb
+                // the thread's later records into an orphan chain.
+                let _ = shard;
+                return RecvDecision::Noise;
             }
             // No usable range on the front claim (empty queue, or a
             // mixed v1 sender): fall through to byte counting.
@@ -677,9 +738,12 @@ impl SessionRouter {
             return RecvDecision::Defer;
         }
         let mut need = a.size;
+        let (mut any, mut real) = (false, false);
         while need > 0 {
             match c.queue.front_mut() {
                 Some(f) if f.bytes > need => {
+                    any = true;
+                    real |= !f.dropped;
                     f.bytes -= need;
                     if let Some((s, en)) = f.range {
                         f.range = Some(((s + need).min(en), en));
@@ -687,13 +751,19 @@ impl SessionRouter {
                     need = 0;
                 }
                 Some(f) => {
+                    any = true;
+                    real |= !f.dropped;
                     need -= f.bytes;
                     c.queue.pop_front();
                 }
                 None => break,
             }
         }
-        RecvDecision::Shard(front_shard)
+        if any && !real {
+            RecvDecision::Orphan(front_shard)
+        } else {
+            RecvDecision::Shard(front_shard)
+        }
     }
 
     /// Routes the lane's head activities until the lane empties or its
@@ -725,13 +795,37 @@ impl SessionRouter {
                 ActivityType::End => self.hash_to_shard(&a.channel.dst),
                 ActivityType::Send => {
                     self.untrack(lane, &a);
-                    self.route_send(lane, &a)
+                    let (s, dropped) = self.route_send(lane, &a);
+                    if dropped {
+                        // Orphan-chain send: claim recorded, record
+                        // dropped. The lane keeps the chain's shard as
+                        // affinity so follow-up records stay coherent,
+                        // and is marked noise so they drop too.
+                        self.staged -= 1;
+                        self.orphan_dropped += 1;
+                        self.lanes[lane].affinity = Some(s);
+                        self.lanes[lane].noise = true;
+                        continue;
+                    }
+                    s
                 }
                 ActivityType::Receive => match self.decide_receive(&a, final_input) {
                     RecvDecision::Shard(s) => {
                         self.untrack(lane, &a);
                         self.wake(a.channel);
                         s
+                    }
+                    RecvDecision::Orphan(s) => {
+                        // Every consumed claim was a dropped orphan
+                        // send: the batch engine would merge this
+                        // receive into the same never-emitted chain.
+                        self.untrack(lane, &a);
+                        self.wake(a.channel);
+                        self.staged -= 1;
+                        self.orphan_dropped += 1;
+                        self.lanes[lane].affinity = Some(s);
+                        self.lanes[lane].noise = true;
+                        continue;
                     }
                     RecvDecision::Defer => {
                         // The claiming send is staged (or may still
@@ -762,6 +856,7 @@ impl SessionRouter {
             };
             self.staged -= 1;
             self.lanes[lane].affinity = Some(shard);
+            self.lanes[lane].noise = false;
             dispatch(a, shard)?;
         }
         Ok(())
@@ -797,11 +892,19 @@ impl SessionRouter {
             if !final_input || self.staged == 0 {
                 return Ok(());
             }
-            // Input is complete yet a lane still waits: only possible
-            // when byte drift detached a receive from its claim (the
-            // causal send→receive graph itself is acyclic). Force the
-            // first such head onto its channel's shard and resume.
-            let Some(lane) = (0..self.lanes.len()).find(|&l| !self.lanes[l].buf.is_empty()) else {
+            // Input is complete yet a lane still waits: byte drift or
+            // capture gaps detached a receive from its claim. Force the
+            // stuck head with the earliest local timestamp (ties by
+            // lane creation order) onto its channel's shard and resume:
+            // that is the order the batch ranker delivers in, so gap
+            // cascades resolve identically — each forced record routes
+            // after the records that precede it in batch and before the
+            // ones that follow, landing on the shard whose engine holds
+            // the matching channel state.
+            let Some(lane) = (0..self.lanes.len())
+                .filter(|&l| !self.lanes[l].buf.is_empty())
+                .min_by_key(|&l| (self.lanes[l].buf[0].ts, l))
+            else {
                 return Ok(());
             };
             let a = self.lanes[lane].buf.pop_front().expect("nonempty");
@@ -809,7 +912,20 @@ impl SessionRouter {
             self.forced_routes += 1;
             self.untrack(lane, &a);
             let shard = match a.ty {
-                ActivityType::Send => self.route_send(lane, &a),
+                ActivityType::Send => {
+                    let (s, dropped) = self.route_send(lane, &a);
+                    if dropped {
+                        self.orphan_dropped += 1;
+                        self.lanes[lane].affinity = Some(s);
+                        self.lanes[lane].noise = true;
+                        if !self.lanes[lane].buf.is_empty() && !self.lanes[lane].queued {
+                            self.lanes[lane].queued = true;
+                            self.runnable.push_back(lane);
+                        }
+                        continue;
+                    }
+                    s
+                }
                 _ => match self.claims.get(&a.channel).and_then(|c| c.last) {
                     Some(s) => s,
                     None => self.hash_to_shard(&conn_key(a.channel.src, a.channel.dst)),
@@ -817,6 +933,7 @@ impl SessionRouter {
             };
             self.wake(a.channel);
             self.lanes[lane].affinity = Some(shard);
+            self.lanes[lane].noise = false;
             dispatch(a, shard)?;
             if !self.lanes[lane].buf.is_empty() && !self.lanes[lane].queued {
                 self.lanes[lane].queued = true;
@@ -901,6 +1018,7 @@ impl ShardedCorrelator {
         let classifier = Classifier::new(config.access.clone());
         let filters = config.filters.clone();
         let idle_horizon = config.channel_idle_horizon;
+        let orphan_parity = config.orphan_parity;
         // Workers receive pre-classified, pre-filtered activities; the
         // shared budget splits across them.
         let mut shard_cfg = config;
@@ -925,7 +1043,7 @@ impl ShardedCorrelator {
             filters,
             interner: Interner::new(),
             range_dedup: RangeDedup::new(),
-            router: SessionRouter::new(n as u32, idle_horizon),
+            router: SessionRouter::new(n as u32, idle_horizon, orphan_parity),
             pending: vec![Vec::with_capacity(BATCH_RECORDS); n],
             txs,
             workers,
@@ -1036,6 +1154,18 @@ impl ShardedCorrelator {
             return;
         }
         self.router.stage(act);
+        self.evict_dedup();
+    }
+
+    /// Sheds [`RangeDedup`] coverage for channels the router's idle GC
+    /// just evicted, so dedup state obeys the same horizon as router
+    /// claims instead of growing for the stream's lifetime.
+    fn evict_dedup(&mut self) {
+        if !self.router.evicted.is_empty() {
+            for ch in self.router.take_evicted() {
+                self.range_dedup.evict_channel(ch);
+            }
+        }
     }
 
     /// Routes one owned raw record into the pipeline, streaming
@@ -1081,7 +1211,7 @@ impl ShardedCorrelator {
 
     /// Zero-copy counterpart of [`Self::ingest`]: filters the borrowed
     /// record before any allocation, then interns and stages it.
-    fn stage_ref(&mut self, r: &RawRecordRef<'_>) {
+    pub(crate) fn stage_ref(&mut self, r: &RawRecordRef<'_>) {
         self.records_in += 1;
         let mut r = *r;
         match self.range_dedup.decide(&r) {
@@ -1097,6 +1227,7 @@ impl ShardedCorrelator {
         }
         let act = self.classifier.classify_ref(&r, &mut self.interner);
         self.router.stage(act);
+        self.evict_dedup();
     }
 
     fn push_ref(&mut self, r: &RawRecordRef<'_>) -> Result<(), TraceError> {
@@ -1166,6 +1297,7 @@ impl ShardedCorrelator {
         // Reader-side noise discards join the ranker count so the
         // merged total matches a single-shard run.
         metrics.ranker.noise_discards = self.router.noise_discards;
+        metrics.orphan_dropped = self.router.orphan_dropped;
         let mut noise_samples = std::mem::take(&mut self.router.noise_samples);
         for mut out in outputs {
             all.append(&mut out.cags);
@@ -1263,7 +1395,9 @@ pub fn route_records(
     let classifier = Classifier::new(config.access.clone());
     let filters = config.filters.clone();
     let mut dedup = RangeDedup::new();
-    let mut router = SessionRouter::new(shards.max(1) as u32, config.channel_idle_horizon);
+    // Introspection shows every activity's assignment, so orphan
+    // chains are routed (parity mode), never dropped.
+    let mut router = SessionRouter::new(shards.max(1) as u32, config.channel_idle_horizon, true);
     let mut out = Vec::new();
     let mut dispatch = |a: Activity, shard: u32| -> Result<(), TraceError> {
         out.push((a, shard));
@@ -1277,6 +1411,9 @@ pub fn route_records(
         let act = classifier.classify(&rec);
         if filters.admits(&act) {
             router.stage(act);
+            for ch in router.take_evicted() {
+                dedup.evict_channel(ch);
+            }
         }
     }
     router.pump(true, &mut dispatch)?;
@@ -1296,7 +1433,7 @@ pub fn route_records_streaming(
     let classifier = Classifier::new(config.access.clone());
     let filters = config.filters.clone();
     let mut dedup = RangeDedup::new();
-    let mut router = SessionRouter::new(shards.max(1) as u32, config.channel_idle_horizon);
+    let mut router = SessionRouter::new(shards.max(1) as u32, config.channel_idle_horizon, true);
     let mut out = Vec::new();
     let mut dispatch = |a: Activity, shard: u32| -> Result<(), TraceError> {
         out.push((a, shard));
@@ -1310,6 +1447,9 @@ pub fn route_records_streaming(
         let act = classifier.classify(&rec);
         if filters.admits(&act) {
             router.stage(act);
+            for ch in router.take_evicted() {
+                dedup.evict_channel(ch);
+            }
             router.pump(false, &mut dispatch)?;
         }
     }
@@ -1557,7 +1697,7 @@ mod tests {
         // state and fall back once the claim routes it.
         let config = CorrelatorConfig::new(access());
         let classifier = Classifier::new(config.access.clone());
-        let mut router = SessionRouter::new(4, None);
+        let mut router = SessionRouter::new(4, None, true);
         let mut sink = |_a: Activity, _s: u32| -> Result<(), TraceError> { Ok(()) };
         let mut feed = |router: &mut SessionRouter, line: String| {
             let rec: RawRecord = line.parse().unwrap();
@@ -1625,7 +1765,7 @@ mod tests {
         let config = CorrelatorConfig::new(access());
         let classifier = Classifier::new(config.access.clone());
         let run = |horizon: Option<u64>| {
-            let mut router = SessionRouter::new(4, horizon);
+            let mut router = SessionRouter::new(4, horizon, true);
             let mut sink = |_a: Activity, _s: u32| -> Result<(), TraceError> { Ok(()) };
             let mut grow_peak = 0usize;
             for i in 0..400u64 {
@@ -1691,6 +1831,77 @@ mod tests {
     }
 
     #[test]
+    fn orphan_chain_records_drop_reader_side() {
+        // The untraced-peer noise pair in `two_session_log` can never
+        // reach an emitted CAG: the engine would park it on an orphan
+        // chain and throw it away at finish. The reader drops such
+        // records before dispatch (counted in `orphan_dropped`);
+        // `--orphan-parity` restores the old ship-everything behavior.
+        // Output bytes are identical either way.
+        let log = two_session_log();
+        let drop_out =
+            ShardedCorrelator::correlate_text(CorrelatorConfig::new(access()), 3, &log).unwrap();
+        let parity_out = ShardedCorrelator::correlate_text(
+            CorrelatorConfig::new(access()).with_orphan_parity(),
+            3,
+            &log,
+        )
+        .unwrap();
+        assert!(
+            drop_out.metrics.orphan_dropped > 0,
+            "the noise pair must be dropped reader-side"
+        );
+        assert_eq!(
+            parity_out.metrics.orphan_dropped, 0,
+            "--orphan-parity ships every record to the workers"
+        );
+        assert_eq!(
+            format!("{:?}{:?}", drop_out.cags, drop_out.unfinished),
+            format!("{:?}{:?}", parity_out.cags, parity_out.unfinished),
+            "dropping orphan chains must not change emitted bytes"
+        );
+        assert_eq!(
+            drop_out.metrics.ranker.noise_discards,
+            parity_out.metrics.ranker.noise_discards
+        );
+    }
+
+    #[test]
+    fn range_dedup_coverage_follows_channel_idle_gc() {
+        // Many one-shot v2 channels: without a horizon the reader keeps
+        // one `RangeDedup` coverage entry per (channel, op) forever;
+        // with one, a drained channel's coverage is evicted together
+        // with its router claims, and the memory gauge shrinks.
+        let run = |cfg: CorrelatorConfig| {
+            let mut sc = ShardedCorrelator::new(cfg, 2).unwrap();
+            let mut peak = 0usize;
+            for i in 0..400u64 {
+                let port = 4001 + i;
+                let t = 1_000 + i * 10;
+                sc.push_line(&format!(
+                    "{t} web httpd 7 7 SEND 10.0.0.1:{port}-10.0.0.2:8009 64 seq=0"
+                ))
+                .unwrap();
+                sc.push_line(&format!(
+                    "{} app java 9 21 RECEIVE 10.0.0.1:{port}-10.0.0.2:8009 64 seq=0",
+                    t + 5
+                ))
+                .unwrap();
+                peak = peak.max(sc.approx_router_bytes());
+            }
+            (sc.approx_router_bytes(), peak)
+        };
+        let (no_gc, _) = run(CorrelatorConfig::new(access()));
+        let (gc, gc_peak) = run(CorrelatorConfig::new(access()).with_channel_idle_horizon(64));
+        assert!(
+            gc < no_gc,
+            "evicting drained channels' coverage must shrink the reader: {gc} vs {no_gc}"
+        );
+        // Grow-then-shrink: the gauge grew past its final value.
+        assert!(gc_peak > gc, "gauge must have peaked above {gc}: {gc_peak}");
+    }
+
+    #[test]
     fn range_claims_survive_send_record_gaps() {
         // A v2 channel where the tail send chunk's record was lost to
         // partial capture: the receive's range proves the deficit is
@@ -1699,7 +1910,7 @@ mod tests {
         // lane until finish.
         let config = CorrelatorConfig::new(access());
         let classifier = Classifier::new(config.access.clone());
-        let mut router = SessionRouter::new(4, None);
+        let mut router = SessionRouter::new(4, None, true);
         let mut routed: Vec<(Activity, u32)> = Vec::new();
         let feed = |router: &mut SessionRouter, line: &str, out: &mut Vec<(Activity, u32)>| {
             let rec: RawRecord = line.parse().unwrap();

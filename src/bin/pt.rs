@@ -91,6 +91,15 @@ CORRELATION OPTIONS:
                        even under keep-alive lulls; with --shards the
                        bound is per-shard, so results may vary with the
                        shard count (still deterministic for a fixed N)
+  --ingest-threads N   parse the log with N parallel chunk scanners
+                       (0 = one per CPU core, default 1); output is
+                       byte-identical to single-threaded parsing in
+                       every mode — the option only changes speed
+  --orphan-parity      with --shards, ship orphan-chain records (noise
+                       chatter no session owns) to the workers instead
+                       of dropping them reader-side; the output is
+                       identical either way, only engine-level counters
+                       differ
   --stats              (correlate) additionally print the ingest dedup
                        counters: retrans_dropped, seq_dedup_ranges and
                        v2_records — v1 marker vs v2 range behavior at
@@ -170,6 +179,7 @@ const CORRELATE_VALUE_OPTS: &[&str] = &[
     "--memory-budget",
     "--shards",
     "--max-seal-lag",
+    "--ingest-threads",
 ];
 const PATTERNS_VALUE_OPTS: &[&str] = &[
     "--port",
@@ -178,12 +188,13 @@ const PATTERNS_VALUE_OPTS: &[&str] = &[
     "--memory-budget",
     "--shards",
     "--max-seal-lag",
+    "--ingest-threads",
     "--dot",
 ];
-const CORRELATE_BOOL_OPTS: &[&str] = &["--adaptive-window", "--stats"];
+const CORRELATE_BOOL_OPTS: &[&str] = &["--adaptive-window", "--stats", "--orphan-parity"];
 /// `--stats` is correlate-only, so `patterns`/`diff` reject it instead
 /// of silently accepting a no-op (same convention as `--dot`).
-const ANALYSIS_BOOL_OPTS: &[&str] = &["--adaptive-window"];
+const ANALYSIS_BOOL_OPTS: &[&str] = &["--adaptive-window", "--orphan-parity"];
 
 fn access_from(args: &ParsedArgs) -> Result<AccessPointSpec, String> {
     let port: u16 = args.parse_opt("--port")?.ok_or("missing --port")?;
@@ -250,6 +261,9 @@ fn correlate_file(
     // One facade for every mode: batch parses owned records; the
     // sharded pipeline ingests the text zero-copy and emits canonical
     // root order (same bytes for any shard count).
+    if args.flag("--orphan-parity") {
+        config = config.with_orphan_parity();
+    }
     let mode = match shards {
         Some(n) => Mode::Sharded(n),
         None => Mode::Batch,
@@ -257,11 +271,12 @@ fn correlate_file(
     let pipeline = Pipeline::new(PipelineConfig {
         correlator: config,
         mode,
+        // 1 = single-threaded parse (default); 0 = one per core.
+        ingest_threads: args.parse_opt::<usize>("--ingest-threads")?.unwrap_or(1),
     })
     .map_err(|e| e.to_string())?;
-    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let out = pipeline
-        .run(Source::text(&text))
+        .run(Source::path(path))
         .map_err(|e| format!("{path}: {e}"))?;
     Ok((out, access))
 }
@@ -387,6 +402,12 @@ fn correlate_cmd(raw: &[String]) -> Result<(), String> {
         println!(
             "ingest: retrans_dropped={} seq_dedup_ranges={} v2_records={}",
             out.metrics.retrans_dropped, out.metrics.seq_dedup_ranges, out.metrics.v2_records
+        );
+    }
+    if out.metrics.orphan_dropped > 0 {
+        println!(
+            "router: dropped {} orphan-chain records reader-side (--orphan-parity ships them)",
+            out.metrics.orphan_dropped
         );
     }
     if out.metrics.ranker.rtt_samples > 0 {

@@ -365,6 +365,93 @@ fn new_flags_are_validated_by_name() {
         "--shards",
     ]);
     assert!(err.contains("missing value for --shards"), "{err}");
+    let err = stderr_of(&[
+        "correlate",
+        "/nonexistent.log",
+        "--port",
+        "80",
+        "--internal",
+        INTERNAL,
+        "--ingest-threads",
+        "many",
+    ]);
+    assert!(err.contains("bad --ingest-threads"), "{err}");
+}
+
+#[test]
+fn ingest_threads_and_orphan_parity_flags_work() {
+    let log = TmpFile::new("ingest.log");
+    let out = pt()
+        .args([
+            "simulate",
+            "--clients",
+            "10",
+            "--seconds",
+            "8",
+            "--seed",
+            "23",
+        ])
+        .args(["--out", log.as_str()])
+        .output()
+        .expect("run pt simulate");
+    assert!(out.status.success());
+
+    // Patterns output is content-deterministic: the parallel chunk
+    // scanner must reproduce the single-threaded bytes exactly, for an
+    // explicit thread count and for the per-core auto setting.
+    let baseline = pt()
+        .args([
+            "patterns",
+            log.as_str(),
+            "--port",
+            "80",
+            "--internal",
+            INTERNAL,
+        ])
+        .output()
+        .expect("run pt patterns");
+    assert!(baseline.status.success());
+    for threads in ["4", "0"] {
+        let parallel = pt()
+            .args([
+                "patterns",
+                log.as_str(),
+                "--port",
+                "80",
+                "--internal",
+                INTERNAL,
+                "--ingest-threads",
+                threads,
+            ])
+            .output()
+            .expect("run pt patterns --ingest-threads");
+        assert!(
+            parallel.status.success(),
+            "{}",
+            String::from_utf8_lossy(&parallel.stderr)
+        );
+        assert_eq!(
+            String::from_utf8_lossy(&parallel.stdout),
+            String::from_utf8_lossy(&baseline.stdout),
+            "parallel ingest changed pattern output at --ingest-threads {threads}"
+        );
+    }
+
+    // The escape hatch is accepted alongside the sharded pipeline and
+    // still produces a successful correlation report.
+    let out = pt()
+        .args(["correlate", log.as_str(), "--port", "80"])
+        .args(["--internal", INTERNAL])
+        .args(["--shards", "2", "--orphan-parity", "--ingest-threads", "2"])
+        .output()
+        .expect("run pt correlate --orphan-parity");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("causal paths"), "{stdout}");
 }
 
 #[test]

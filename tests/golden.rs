@@ -208,6 +208,10 @@ fn run_case_streaming(name: &str, feed: Feed) -> (String, PathBuf) {
         cag.validate()
             .unwrap_or_else(|e| panic!("{name}: invalid streamed CAG {}: {e}", cag.id));
     }
+    // The incremental session emits in completion order; the batch
+    // golden is canonical (root order). Same renumbering, then the
+    // bytes must match exactly.
+    out.canonicalize();
     (render(&out), golden_dir().join(format!("{name}.golden")))
 }
 
@@ -247,11 +251,10 @@ fn run_case_sharded(name: &str, shards: usize) -> String {
 }
 
 /// The sharded pipeline emits CAGs in canonical root order with
-/// sequentially renumbered ids — on these single-frontend logs that is
-/// exactly the batch output sorted by id (batch assigns ids in BEGIN
-/// order). So the sharded rendering must byte-match the id-sorted
-/// rendering of the batch run that itself byte-matches the checked-in
-/// `.golden` file — and must be byte-identical for every shard count.
+/// sequentially renumbered ids — the same canonical order the batch
+/// run now emits directly. So the sharded rendering must byte-match
+/// the batch run that itself byte-matches the checked-in `.golden`
+/// file — and must be byte-identical for every shard count.
 fn check_case_sharded(name: &str) {
     let (_, golden_path) = run_case(name); // asserts nothing; reuse paths
     let log_path = golden_dir().join(format!("{name}.log"));
@@ -259,11 +262,10 @@ fn check_case_sharded(name: &str) {
     let directive = parse_directive(&text, &log_path);
     let records = parse_log(&text).unwrap();
     let config = PipelineConfig::new(directive.access).with_window(directive.window);
-    let mut batch = Pipeline::new(config)
+    let batch = Pipeline::new(config)
         .unwrap()
         .run(Source::records(records))
         .unwrap();
-    batch.cags.sort_by_key(|c| c.id);
     let want = render(&batch);
     let one = run_case_sharded(name, 1);
     assert!(
@@ -395,6 +397,21 @@ fn golden_streaming_partial_capture() {
 }
 
 #[test]
+fn golden_gap_heavy() {
+    check_case("gap_heavy");
+}
+
+#[test]
+fn golden_streaming_gap_heavy() {
+    check_case_streaming("gap_heavy", Feed::PushAllThenPoll);
+}
+
+#[test]
+fn golden_sharded_gap_heavy() {
+    check_case_sharded("gap_heavy");
+}
+
+#[test]
 fn golden_sharded_static_single() {
     check_case_sharded("static_single");
 }
@@ -453,6 +470,7 @@ fn golden_corpus_is_fully_covered() {
         "pooled_reuse",
         "lossy_p01",
         "partial_capture",
+        "gap_heavy",
     ];
     let mut found: Vec<String> = std::fs::read_dir(golden_dir())
         .expect("tests/golden")

@@ -471,9 +471,11 @@ proptest! {
     }
 
     /// The Pipeline facade's modes agree on the partial-capture family:
-    /// sharded output is byte-identical for every shard count, and its
-    /// CAG content (tags, patterns) matches the batch and streaming
-    /// modes — capture gaps must not desynchronize the session router.
+    /// sharded output is byte-identical for every shard count **and to
+    /// the batch mode** (batch CAGs are canonicalized into the sharded
+    /// merge's root order), and streaming CAG content (tags, patterns)
+    /// matches too — capture gaps must not desynchronize the session
+    /// router.
     #[test]
     fn pipeline_modes_agree_on_partial_capture(
         seed in any::<u64>(),
@@ -499,11 +501,45 @@ proptest! {
             format!("{:?}{:?}", single.cags, single.unfinished),
             "shard count must not change bytes"
         );
-        prop_assert_eq!(tag_sets(&sharded.cags), tag_sets(&batch.cags));
+        prop_assert_eq!(
+            format!("{:?}{:?}", sharded.cags, sharded.unfinished),
+            format!("{:?}{:?}", batch.cags, batch.unfinished),
+            "batch and sharded must agree byte-for-byte"
+        );
         prop_assert_eq!(tag_sets(&streaming.cags), tag_sets(&batch.cags));
-        prop_assert_eq!(pattern_census(&sharded.cags), pattern_census(&batch.cags));
+        prop_assert_eq!(pattern_census(&streaming.cags), pattern_census(&batch.cags));
         prop_assert_eq!(sharded.metrics.v2_records, batch.metrics.v2_records);
         prop_assert_eq!(sharded.metrics.seq_gaps, batch.metrics.seq_gaps);
+    }
+
+    /// Parallel ingest is observationally identical to the sequential
+    /// parser for arbitrary generated corpora, thread counts and v1/v2
+    /// mixes: the chunked scanner must agree record-for-record with
+    /// `parse_log`, including when records straddle chunk boundaries.
+    #[test]
+    fn parallel_ingest_equals_sequential_parse(
+        seed in any::<u64>(),
+        threads in 2usize..9,
+        drop_millis in 0u64..30,
+    ) {
+        let mut cfg = rubis::ExperimentConfig::partial_at(drop_millis as f64 / 1000.0);
+        cfg.seed = seed;
+        cfg.clients = 4;
+        cfg.phases = rubis::Phases::quick(4);
+        let out = rubis::run(cfg);
+        let mut text = String::new();
+        for r in &out.records {
+            text.push_str(&r.to_string());
+            text.push('\n');
+        }
+        let sequential = parse_log(&text).unwrap();
+        let parallel = parse_log_parallel(&text, threads).unwrap();
+        prop_assert_eq!(parallel, sequential);
+        // Borrowed scan agrees too.
+        let refs = parse_refs_parallel(&text, threads).unwrap();
+        let seq_refs: Vec<RawRecordRef<'_>> =
+            parse_log_iter(&text).collect::<Result<_, _>>().unwrap();
+        prop_assert_eq!(refs, seq_refs);
     }
 
     /// Isomorphic classification is stable: every CAG of the same request
@@ -518,6 +554,37 @@ proptest! {
         agg.add_all(&corr.cags);
         // Browse_Only has exactly 4 structural classes.
         prop_assert!(agg.len() <= 4, "got {} patterns", agg.len());
+    }
+}
+
+/// Batch-vs-sharded *byte* equality on gap-damaged corpora, swept over
+/// 100 seeds: the canonicalized batch emission order (root sort key +
+/// sequential ids) must coincide with the sharded merge for every
+/// capture-gap pattern, not just the proptest sample.
+#[test]
+fn batch_equals_sharded_bytes_on_gap_damaged_corpora_for_100_seeds() {
+    for seed in 0u64..100 {
+        let drop = 0.001 + (seed % 37) as f64 * 0.001; // 0.1%..3.7%
+        let mut cfg = rubis::ExperimentConfig::partial_at(drop);
+        cfg.seed = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(seed);
+        cfg.clients = 4;
+        cfg.phases = rubis::Phases::quick(4);
+        let out = rubis::run(cfg);
+        let base = PipelineConfig::from(out.correlator_config(Nanos::from_millis(10)));
+        let shards = 2 + (seed % 4) as usize;
+        let batch = Pipeline::new(base.clone())
+            .unwrap()
+            .run(Source::records(out.records.clone()))
+            .unwrap();
+        let sharded = Pipeline::new(base.with_mode(Mode::Sharded(shards)))
+            .unwrap()
+            .run(Source::records(out.records.clone()))
+            .unwrap();
+        assert_eq!(
+            format!("{:?}{:?}", batch.cags, batch.unfinished),
+            format!("{:?}{:?}", sharded.cags, sharded.unfinished),
+            "seed {seed} (drop {drop}, shards {shards}): batch and sharded bytes diverged"
+        );
     }
 }
 
