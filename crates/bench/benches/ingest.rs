@@ -5,14 +5,17 @@
 //!
 //! The interesting numbers (also recorded per-commit by
 //! `repro --quick --json scale` into `BENCH_baseline.json` as the
-//! `scale.ingest_*` keys): records/s for the borrowed parallel scan,
-//! the interning parallel parse, and the sequential baseline. On a
+//! `scale.ingest_*` and `scale.binary_*` keys): records/s for the
+//! borrowed parallel scan, the interning parallel parse, the
+//! sequential baseline, and the PTBIN binary encode/decode paths. On a
 //! multi-core socket the parallel scan should approach memory
 //! bandwidth; on one core it must still clear 5x the batch
-//! correlation rate so ingest is never the pipeline's bottleneck.
+//! correlation rate so ingest is never the pipeline's bottleneck; the
+//! fixed-width PTBIN decode should beat the text scan by well over 2x.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use multitier::ExperimentConfig;
+use tracer_core::binfmt;
 use tracer_core::raw::parse_log;
 use tracer_core::{parse_log_parallel, parse_refs_parallel};
 
@@ -48,6 +51,31 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             parse_refs_parallel(&text, INGEST_THREADS)
                 .expect("valid log")
+                .len()
+        })
+    });
+
+    // PTBIN: the fixed-width binary form of the same corpus. Decode
+    // skips text scanning entirely, so the decode legs should sit well
+    // above even the SWAR-accelerated parallel text scan.
+    let bin = binfmt::encode_text(&text, INGEST_THREADS).expect("valid log");
+
+    g.bench_function("ptbin_encode_x4", |b| {
+        b.iter(|| {
+            binfmt::encode_text(&text, INGEST_THREADS)
+                .expect("valid log")
+                .len()
+        })
+    });
+
+    g.bench_function("ptbin_decode_seq", |b| {
+        b.iter(|| binfmt::decode_refs(&bin).expect("valid stream").len())
+    });
+
+    g.bench_function("ptbin_decode_x4", |b| {
+        b.iter(|| {
+            binfmt::decode_refs_parallel(&bin, INGEST_THREADS)
+                .expect("valid stream")
                 .len()
         })
     });

@@ -151,6 +151,7 @@ fn main() {
         let gates = [
             check_sharded_regression(&base, "BENCH_baseline.json"),
             check_ingest_regression(&base, "BENCH_baseline.json"),
+            check_binary_regression(&base, "BENCH_baseline.json"),
         ];
         if let Some(msg) = gates.into_iter().filter_map(Result::err).next() {
             eprintln!("BENCH REGRESSION: {msg}");
@@ -227,6 +228,39 @@ fn check_ingest_regression(base: &Baseline, path: &str) -> Result<(), String> {
     eprintln!(
         "ingest throughput gate: measured {current:.2}x batch vs committed {committed:.2}x — ok"
     );
+    Ok(())
+}
+
+/// Guards the PTBIN decode path the same way: the measured
+/// binary-vs-text ingest ratio (same run, same corpus, so machine
+/// speed cancels) must stay within 20% of the committed
+/// `scale.binary_vs_text_ingest`. Missing files/keys pass silently.
+fn check_binary_regression(base: &Baseline, path: &str) -> Result<(), String> {
+    let Some(&(_, current)) = base
+        .0
+        .iter()
+        .find(|(k, _)| k == "scale.binary_vs_text_ingest")
+    else {
+        return Ok(());
+    };
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Ok(());
+    };
+    let Some(committed) = text
+        .lines()
+        .find(|l| l.contains("\"scale.binary_vs_text_ingest\""))
+        .and_then(|l| l.split(':').nth(1))
+        .and_then(|v| v.trim().trim_end_matches(',').parse::<f64>().ok())
+    else {
+        return Ok(());
+    };
+    if current < committed * 0.8 {
+        return Err(format!(
+            "scale.binary_vs_text_ingest {current:.2}x fell more than 20% below \
+             the committed baseline {committed:.2}x"
+        ));
+    }
+    eprintln!("binary ingest gate: measured {current:.2}x text vs committed {committed:.2}x — ok");
     Ok(())
 }
 
@@ -358,8 +392,34 @@ fn scale_stream(base: &mut Baseline, shards: usize) {
             .expect("rendered corpus must parse")
             .len()
     });
+    // The SWAR scanner on one thread: pure kernel speed, no thread
+    // fan-out — the floor the chunked scanner builds on.
+    let swar_seq_secs = best_of_3(&|| {
+        parse_refs_parallel(&text, 1)
+            .expect("rendered corpus must parse")
+            .len()
+    });
+    // PTBIN: the same corpus in the fixed-width binary format. Decode
+    // does no text scanning at all, so its rate is the format's
+    // headline number (gated as binary-vs-text in the --json run).
+    let bin = tracer_core::binfmt::encode_text(&text, INGEST_THREADS)
+        .expect("rendered corpus must encode");
+    let text_bytes = text.len();
+    let binary_enc_secs = best_of_3(&|| {
+        let b = tracer_core::binfmt::encode_text(&text, INGEST_THREADS)
+            .expect("rendered corpus must encode");
+        tracer_core::binfmt::Reader::new(&b)
+            .expect("fresh encoding must validate")
+            .len()
+    });
+    let binary_dec_secs = best_of_3(&|| {
+        tracer_core::binfmt::decode_refs_parallel(&bin, INGEST_THREADS)
+            .expect("fresh encoding must decode")
+            .len()
+    });
     drop(text);
     let ingest_rps = records as f64 / ingest_par_secs.max(1e-9);
+    let binary_rps = records as f64 / binary_dec_secs.max(1e-9);
     let batch_rps = records as f64 / batch_secs.max(1e-9);
     // The scanner must never be the pipeline's bottleneck: the target
     // is >= 5x the batch correlation rate (trivially cleared on real
@@ -496,6 +556,15 @@ fn scale_stream(base: &mut Baseline, shards: usize) {
         records as f64 / ingest_seq_secs.max(1e-9),
         ingest_rps / batch_rps,
     );
+    println!(
+        "binary x{INGEST_THREADS}: {binary_rps:.0} rec/s PTBIN decode, \
+         {:.1}x the parallel text scan ({:.1} B/record vs {:.1} text, \
+         encode {:.0} rec/s)",
+        binary_rps / ingest_rps.max(1e-9),
+        bin.len() as f64 / records as f64,
+        text_bytes as f64 / records as f64,
+        records as f64 / binary_enc_secs.max(1e-9),
+    );
 
     base.rec("scale.records", records as f64);
     base.rec("scale.requests", out.service.completed as f64);
@@ -535,6 +604,23 @@ fn scale_stream(base: &mut Baseline, shards: usize) {
         records as f64 / ingest_seq_secs.max(1e-9),
     );
     base.rec("scale.ingest_vs_batch", ingest_rps / batch_rps);
+    base.rec(
+        "scale.swar_scan_records_per_sec",
+        records as f64 / swar_seq_secs.max(1e-9),
+    );
+    base.rec("scale.binary_ingest_records_per_sec", binary_rps);
+    base.rec(
+        "scale.binary_encode_records_per_sec",
+        records as f64 / binary_enc_secs.max(1e-9),
+    );
+    base.rec(
+        "scale.binary_bytes_per_record",
+        bin.len() as f64 / records as f64,
+    );
+    base.rec(
+        "scale.binary_vs_text_ingest",
+        binary_rps / ingest_rps.max(1e-9),
+    );
 }
 
 /// The post-paper scenario families (replicated tiers behind a load

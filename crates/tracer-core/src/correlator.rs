@@ -250,14 +250,10 @@ impl CorrelationOutput {
 /// How many noise victims are kept for diagnostics.
 const NOISE_SAMPLE_CAP: usize = 32;
 
-/// Offline correlator (paper §5 operating mode).
-#[deprecated(
-    since = "0.1.0",
-    note = "use tracer_core::pipeline::Pipeline with Mode::Batch; this type \
-            remains as a thin shim for one release"
-)]
+/// Offline correlator (paper §5 operating mode) — the engine behind
+/// [`crate::pipeline::Mode::Batch`]; use [`crate::pipeline::Pipeline`].
 #[derive(Debug)]
-pub struct Correlator {
+pub(crate) struct Correlator {
     config: CorrelatorConfig,
 }
 
@@ -302,16 +298,10 @@ fn canonicalize_cag_ids(out: &mut CorrelationOutput) {
     out.unfinished.sort_by_key(|c| c.id);
 }
 
-#[allow(deprecated)] // shim internals
 impl Correlator {
     /// Creates a correlator with the given configuration.
     pub fn new(config: CorrelatorConfig) -> Self {
         Correlator { config }
-    }
-
-    /// The configuration.
-    pub fn config(&self) -> &CorrelatorConfig {
-        &self.config
     }
 
     /// Correlates a complete set of raw records into CAGs by draining
@@ -389,36 +379,11 @@ impl Correlator {
 /// every further `push`/`poll`/`close_host`/`finish` returns
 /// [`TraceError::Finished`].
 ///
-/// # Examples
-///
-/// ```
-/// use tracer_core::prelude::*;
-///
-/// # fn main() -> Result<(), TraceError> {
-/// let access = AccessPointSpec::new([80], ["10.0.0.1".parse().unwrap()]);
-/// let mut sc = StreamingCorrelator::new(CorrelatorConfig::new(access))?;
-/// sc.push(
-///     "1000 web httpd 7 7 RECEIVE 192.168.0.9:5000-10.0.0.1:80 120"
-///         .parse::<RawRecord>()?,
-/// )?;
-/// sc.push(
-///     "2000 web httpd 7 7 SEND 10.0.0.1:80-192.168.0.9:5000 512"
-///         .parse::<RawRecord>()?,
-/// )?;
-/// let done = sc.finish()?;
-/// assert_eq!(done.cags.len(), 1);
-/// assert_eq!(sc.poll(), Err(TraceError::Finished));
-/// # Ok(())
-/// # }
-/// ```
-#[deprecated(
-    since = "0.1.0",
-    note = "use tracer_core::pipeline::Pipeline with Mode::Streaming and \
-            Pipeline::session for incremental push/poll; this type remains \
-            as a thin shim for one release"
-)]
+/// This is the engine behind [`crate::pipeline::Mode::Streaming`];
+/// callers reach it through [`crate::pipeline::Pipeline::session`]
+/// (push/poll/finish map one-to-one).
 #[derive(Debug)]
-pub struct StreamingCorrelator {
+pub(crate) struct StreamingCorrelator {
     classifier: Classifier,
     filters: FilterSet,
     ranker: Ranker,
@@ -450,7 +415,6 @@ pub struct StreamingCorrelator {
     finished: bool,
 }
 
-#[allow(deprecated)] // shim internals
 impl StreamingCorrelator {
     /// Creates a streaming correlator.
     ///
@@ -511,17 +475,6 @@ impl StreamingCorrelator {
             debug_budget: std::env::var_os("PT_BUDGET_DEBUG").is_some(),
             finished: false,
         }
-    }
-
-    /// Sets the explicit resident-memory budget in bytes (builder-style
-    /// override of [`CorrelatorConfig::memory_budget`]), including the
-    /// ranker's buffer byte cap that backstops stuck-state window
-    /// boosts.
-    #[must_use]
-    pub fn with_memory_budget(mut self, bytes: usize) -> Self {
-        self.memory_budget = Some(bytes);
-        self.ranker.set_buffer_cap(Some(bytes));
-        self
     }
 
     fn guard(&self) -> Result<(), TraceError> {
@@ -703,6 +656,7 @@ impl StreamingCorrelator {
 
     /// The current base sliding window (static, or the latest adaptive
     /// estimate).
+    #[cfg(test)]
     pub fn current_window(&self) -> Nanos {
         self.ranker.current_window()
     }
@@ -757,7 +711,6 @@ impl StreamingCorrelator {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // exercises the shims directly
 mod tests {
     use super::*;
     use crate::raw::parse_log;

@@ -12,11 +12,16 @@
 //!    boundaries** (each nominal cut is snapped forward to just past
 //!    the next `\n`, so a record straddling a cut belongs wholly to the
 //!    chunk where its line starts);
-//! 3. each chunk is scanned by a worker thread with byte loops
-//!    (`str::find('\n')` lowers to `memchr`) and a **specialised field
-//!    parser** that allocates nothing per record and validates no
-//!    UTF-8 — string fields are borrowed sub-slices of the input,
-//!    split on ASCII whitespace;
+//! 3. each chunk is scanned by a worker thread with **SWAR (SIMD
+//!    within a register) wide-word scanning**: newline and delimiter
+//!    search examine eight bytes per `u64` load ([`find_byte`] /
+//!    the whitespace scan in `Fields`), and decimal fields decode
+//!    eight digits at a time with a branchless multiply-shift chain
+//!    (`parse_u64`, the Lemire "parse eight digits" kernel) — all in
+//!    safe Rust, the crate forbids `unsafe`. The **specialised field
+//!    parser** allocates nothing per record and validates no UTF-8 —
+//!    string fields are borrowed sub-slices of the input, split on
+//!    ASCII whitespace;
 //! 4. the per-chunk record vectors are concatenated in chunk order, so
 //!    the result is **record-for-record identical** to the sequential
 //!    iterator.
@@ -69,6 +74,12 @@ pub fn resolve_threads(threads: usize) -> usize {
 /// Reads a whole log file into one buffer, mapping I/O failures onto
 /// [`TraceError::Config`] (the error type stays `Clone`/`PartialEq`).
 ///
+/// Line endings are not normalised here: both the sequential and the
+/// parallel scanners treat `\r\n` like `\n` (the `\r` is trimmed with
+/// the rest of the surrounding whitespace) and parse a final record
+/// with no trailing newline, so a CRLF log or a log cut mid-write
+/// parses identically through every path.
+///
 /// # Errors
 ///
 /// Returns [`TraceError::Config`] when the file cannot be read or is
@@ -76,6 +87,92 @@ pub fn resolve_threads(threads: usize) -> usize {
 pub fn read_log_file(path: &Path) -> Result<String, TraceError> {
     std::fs::read_to_string(path)
         .map_err(|e| TraceError::config(format!("cannot read {}: {e}", path.display())))
+}
+
+// --- SWAR (SIMD-within-a-register) scanning primitives ----------------
+//
+// Everything below is safe Rust: eight-byte windows are read with
+// `u64::from_le_bytes` on bounds-checked subslices, which the compiler
+// lowers to single unaligned loads.
+
+/// Every byte `0x01`.
+const SWAR_LO: u64 = 0x0101_0101_0101_0101;
+/// Every byte `0x80`.
+const SWAR_HI: u64 = 0x8080_8080_8080_8080;
+
+#[inline]
+fn load_le(b: &[u8], i: usize) -> u64 {
+    u64::from_le_bytes(b[i..i + 8].try_into().unwrap())
+}
+
+/// Index of the first `needle` byte at or after position 0, eight
+/// bytes per iteration. The classic `memchr` SWAR kernel: XOR with the
+/// broadcast needle turns matches into zero bytes, and
+/// `(z - 0x01…) & !z & 0x80…` flags zero bytes — borrows can only
+/// flag bytes *above* a true match, so the lowest set flag is exact.
+#[inline]
+fn find_byte(b: &[u8], needle: u8) -> Option<usize> {
+    let bcast = u64::from(needle) * SWAR_LO;
+    let mut i = 0usize;
+    while i + 8 <= b.len() {
+        let z = load_le(b, i) ^ bcast;
+        let hit = z.wrapping_sub(SWAR_LO) & !z & SWAR_HI;
+        if hit != 0 {
+            return Some(i + (hit.trailing_zeros() / 8) as usize);
+        }
+        i += 8;
+    }
+    b[i..].iter().position(|&c| c == needle).map(|j| i + j)
+}
+
+/// Index of the first ASCII-whitespace byte at or after `from` (or
+/// `b.len()`). The wide-word probe flags bytes `< 0x21` (a superset of
+/// ASCII whitespace: the lowest flagged byte is exact, see
+/// [`find_byte`]); the rare non-whitespace control byte inside a token
+/// is verified out and scanning resumes one past it.
+#[inline]
+fn find_ws(b: &[u8], from: usize) -> usize {
+    let mut i = from;
+    while i + 8 <= b.len() {
+        let w = load_le(b, i);
+        let lt = w.wrapping_sub(SWAR_LO * 0x21) & !w & SWAR_HI;
+        if lt != 0 {
+            let j = i + (lt.trailing_zeros() / 8) as usize;
+            if b[j].is_ascii_whitespace() {
+                return j;
+            }
+            i = j + 1;
+            continue;
+        }
+        i += 8;
+    }
+    while i < b.len() && !b[i].is_ascii_whitespace() {
+        i += 1;
+    }
+    i
+}
+
+/// True when all eight bytes of `w` are ASCII digits (`0x30..=0x39`).
+/// simdjson's digit-validity check: the high nibble of every byte must
+/// be 3, and adding 6 must not carry into the high nibble (which it
+/// does exactly for `0x3A..=0x3F`). A cross-byte carry can only occur
+/// for bytes `>= 0xFA`, which already fail the first term.
+#[inline]
+fn all_digits(w: u64) -> bool {
+    const NIB: u64 = 0xF0F0_F0F0_F0F0_F0F0;
+    (w & NIB) | ((w.wrapping_add(0x0606_0606_0606_0606) & NIB) >> 4) == 0x3333_3333_3333_3333
+}
+
+/// Decodes eight ASCII digits (already validated by [`all_digits`])
+/// into their numeric value with a branchless multiply-shift chain
+/// (Lemire's `parse_eight_digits_swar`): digits combine into 2-digit
+/// bytes, 4-digit 16-bit lanes, then the full 8-digit value.
+#[inline]
+fn eight_digits(w: u64) -> u64 {
+    let v = w.wrapping_sub(0x3030_3030_3030_3030);
+    let pairs = (v.wrapping_mul(1 + (10 << 8)) >> 8) & 0x00FF_00FF_00FF_00FF;
+    let quads = (pairs.wrapping_mul(1 + (100 << 16)) >> 16) & 0x0000_FFFF_0000_FFFF;
+    quads.wrapping_mul(1 + (10_000u64 << 32)) >> 32
 }
 
 /// Splits `text` into at most `chunks` byte spans, each ending just
@@ -97,8 +194,11 @@ pub fn chunk_spans(text: &str, chunks: usize) -> Vec<(usize, usize)> {
         if i == chunks {
             end = n;
         } else if end < n {
-            // Snap forward to just past the next record boundary.
-            end = match text[end..].find('\n') {
+            // Snap forward to just past the next record boundary (a
+            // byte-wise SWAR search: a nominal cut may land inside a
+            // multi-byte character, but `\n` never does, so every span
+            // boundary is a character boundary).
+            end = match find_byte(&text.as_bytes()[end..], b'\n') {
                 Some(j) => end + j + 1,
                 None => n,
             };
@@ -117,7 +217,7 @@ pub fn chunk_spans(text: &str, chunks: usize) -> Vec<(usize, usize)> {
 fn parse_chunk<'a>(chunk: &'a str, out: &mut Vec<RawRecordRef<'a>>) -> Result<(), TraceError> {
     let mut rest = chunk;
     loop {
-        let (line, next) = match rest.find('\n') {
+        let (line, next) = match find_byte(rest.as_bytes(), b'\n') {
             Some(i) => (&rest[..i], &rest[i + 1..]),
             None => (rest, ""),
         };
@@ -156,6 +256,8 @@ impl<'a> Fields<'a> {
     fn next(&mut self) -> Option<&'a str> {
         let b = self.s.as_bytes();
         let mut i = self.pos;
+        // Gap between fields: almost always a single space, so a byte
+        // loop beats a wide probe here.
         while i < b.len() && b[i].is_ascii_whitespace() {
             i += 1;
         }
@@ -163,17 +265,20 @@ impl<'a> Fields<'a> {
             self.pos = i;
             return None;
         }
-        let start = i;
-        while i < b.len() && !b[i].is_ascii_whitespace() {
-            i += 1;
-        }
-        self.pos = i;
-        Some(&self.s[start..i])
+        // Token body: wide-word delimiter search (both endpoints are
+        // ASCII, hence character boundaries).
+        let end = find_ws(b, i + 1);
+        self.pos = end;
+        Some(&self.s[i..end])
     }
 }
 
 /// Plain decimal `u64`: digits only (no sign, which the fallback
-/// handles), with overflow checking.
+/// handles), with overflow checking. Eight digits decode per `u64`
+/// load ([`eight_digits`]); the checked accumulate preserves the
+/// overflow → `None` contract of the digit-at-a-time loop exactly
+/// (for all-digit input both reject precisely when the value exceeds
+/// `u64::MAX`).
 #[inline]
 fn parse_u64(s: &str) -> Option<u64> {
     let b = s.as_bytes();
@@ -181,7 +286,16 @@ fn parse_u64(s: &str) -> Option<u64> {
         return None;
     }
     let mut v: u64 = 0;
-    for &c in b {
+    let mut i = 0usize;
+    while i + 8 <= b.len() {
+        let w = load_le(b, i);
+        if !all_digits(w) {
+            return None;
+        }
+        v = v.checked_mul(100_000_000)?.checked_add(eight_digits(w))?;
+        i += 8;
+    }
+    for &c in &b[i..] {
         let d = c.wrapping_sub(b'0');
         if d > 9 {
             return None;
@@ -520,5 +634,155 @@ mod tests {
         assert!(resolve_threads(0) >= 1);
         assert_eq!(resolve_threads(3), 3);
         assert_eq!(resolve_threads(10_000), MAX_THREADS);
+    }
+
+    #[test]
+    fn swar_u64_parse_matches_std() {
+        let cases = [
+            "0",
+            "7",
+            "00000000",
+            "12345678",
+            "123456789",
+            "1234567890123456789",
+            "18446744073709551615", // u64::MAX
+            "18446744073709551616", // u64::MAX + 1 → overflow
+            "99999999999999999999999",
+            "1844674407370955161500", // overflows in the tail loop
+            "",
+            "12a45678",
+            "1234567a",
+            "a2345678",
+            "123456781234567x",
+            "-1",
+            " 123",
+            "123 ",
+            "seq=9",
+        ];
+        for s in cases {
+            assert_eq!(parse_u64(s), s.parse::<u64>().ok(), "input {s:?}");
+        }
+        // `u64::from_str` accepts a leading `+`; the fast path rejects
+        // it so the fallback keeps ownership of signed forms.
+        assert_eq!(parse_u64("+123"), None);
+        // Exhaustive near the eight-digit block boundary.
+        for v in (0u64..200).chain([99_999_999, 100_000_000, 4_294_967_295]) {
+            let s = v.to_string();
+            assert_eq!(parse_u64(&s), Some(v), "value {v}");
+        }
+    }
+
+    #[test]
+    fn swar_find_byte_matches_naive() {
+        let hay = SAMPLE.as_bytes();
+        for needle in [b'\n', b'#', b':', b'-', b'z', 0u8, 0xFF] {
+            for start in 0..hay.len().min(40) {
+                assert_eq!(
+                    find_byte(&hay[start..], needle),
+                    hay[start..].iter().position(|&c| c == needle),
+                    "needle {needle:#04x} start {start}"
+                );
+            }
+        }
+        assert_eq!(find_byte(b"", b'\n'), None);
+        assert_eq!(find_byte(b"short", b't'), Some(4));
+    }
+
+    #[test]
+    fn swar_ws_scan_matches_split_ascii_whitespace() {
+        // Includes a non-whitespace control byte (0x0B, vertical tab:
+        // *not* ASCII whitespace) inside a token, multi-space gaps,
+        // tabs, and a token longer than one SWAR word.
+        let lines = [
+            "1000 web httpd 7 7 SEND 10.0.0.1:80-10.0.0.9:5000 42",
+            "a\x0bb c",
+            "one  two\tthree   four",
+            "a-very-long-token-spanning-words x",
+            "trailing-token",
+            "",
+        ];
+        for line in lines {
+            let via_fields: Vec<&str> = {
+                let mut f = Fields { s: line, pos: 0 };
+                let mut v = Vec::new();
+                while let Some(t) = f.next() {
+                    v.push(t);
+                }
+                v
+            };
+            let via_std: Vec<&str> = line.split_ascii_whitespace().collect();
+            assert_eq!(via_fields, via_std, "line {line:?}");
+        }
+    }
+
+    #[test]
+    fn crlf_matches_lf_in_sequential_and_parallel_paths() {
+        let crlf = SAMPLE.replace('\n', "\r\n");
+        let want = sequential(SAMPLE).unwrap();
+        assert_eq!(sequential(&crlf).unwrap(), want, "sequential CRLF");
+        for threads in 1..=8 {
+            assert_eq!(
+                parse_refs_parallel(&crlf, threads).unwrap(),
+                want,
+                "parallel CRLF, {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn crlf_final_record_without_newline_parses_everywhere() {
+        let mut text = SAMPLE.replace('\n', "\r\n");
+        text.push_str("9000 db mysqld 3 3 SEND 10.0.0.3:3306-10.0.0.2:4101 8");
+        let want = sequential(&text).unwrap();
+        assert_eq!(want.len(), sequential(SAMPLE).unwrap().len() + 1);
+        assert_eq!(want.last().unwrap().size, 8);
+        for threads in 1..=8 {
+            assert_eq!(parse_refs_parallel(&text, threads).unwrap(), want);
+        }
+        // A lone final `\r` (CRLF log truncated between CR and LF) is
+        // trimmed like any other trailing whitespace.
+        let mut cut = text.clone();
+        cut.push('\r');
+        assert_eq!(sequential(&cut).unwrap(), want);
+        for threads in [1, 3, 8] {
+            assert_eq!(parse_refs_parallel(&cut, threads).unwrap(), want);
+        }
+    }
+
+    #[test]
+    fn chunk_spans_tile_crlf_text() {
+        let crlf = SAMPLE.replace('\n', "\r\n");
+        for chunks in 1..=9 {
+            let spans = chunk_spans(&crlf, chunks);
+            assert_eq!(spans.first().map(|s| s.0), Some(0));
+            assert_eq!(spans.last().map(|s| s.1), Some(crlf.len()));
+            for w in spans.windows(2) {
+                assert_eq!(w[0].1, w[1].0, "spans must tile");
+                assert_eq!(crlf.as_bytes()[w[0].1 - 1], b'\n');
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_spans_snap_past_multibyte_comments() {
+        // A nominal cut landing inside a multi-byte character must not
+        // panic; spans still snap to `\n` boundaries.
+        let mut text = String::from("# è-commentaire: ünïcode héader païd d\u{1F600}ata\n");
+        for i in 0..40 {
+            text.push_str(&format!(
+                "{i} web httpd 7 7 SEND 10.0.0.1:80-10.0.0.9:5000 42\n"
+            ));
+        }
+        for chunks in 1..=16 {
+            let spans = chunk_spans(&text, chunks);
+            assert_eq!(spans.last().map(|s| s.1), Some(text.len()));
+            for &(a, b) in &spans {
+                assert!(text.is_char_boundary(a) && text.is_char_boundary(b));
+            }
+        }
+        let want = sequential(&text).unwrap();
+        for threads in [1, 2, 5, 16] {
+            assert_eq!(parse_refs_parallel(&text, threads).unwrap(), want);
+        }
     }
 }

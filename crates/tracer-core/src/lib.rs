@@ -24,10 +24,11 @@
 //! The public entry point is [`pipeline::Pipeline`]: one
 //! [`pipeline::PipelineConfig`] (correlation knobs + a
 //! [`pipeline::Mode`]: batch, streaming or sharded) and one
-//! [`pipeline::Source`] (owned records, an iterator, or zero-copy
-//! text), run through a single `builder → run(source)` path. The
-//! legacy `Correlator` / `StreamingCorrelator` / `ShardedCorrelator`
-//! types remain as thin deprecated shims for one release.
+//! [`pipeline::Source`] (owned records, zero-copy text, a text log
+//! path, or a [`binfmt`] PTBIN binary path), run through a single
+//! `builder → run(source)` path. The legacy `Correlator` /
+//! `StreamingCorrelator` / `ShardedCorrelator` shims have been
+//! removed; the same engines now run only behind the pipeline facade.
 //!
 //! * [`ranker::Ranker`] — per-node queues sorted by local clocks, a
 //!   sliding time window, candidate selection Rules 1 & 2 with the
@@ -56,11 +57,9 @@
 //! 4400 web httpd 7 7 RECEIVE 10.0.0.2:9000-10.0.0.1:4001 256
 //! 5000 web httpd 7 7 SEND 10.0.0.1:80-192.168.0.9:5000 512
 //! ";
-//! let records: Vec<RawRecord> = parse_log(log)?;
 //! let access = AccessPointSpec::new([80], ["10.0.0.1".parse().unwrap(),
 //!                                          "10.0.0.2".parse().unwrap()]);
-//! let config = CorrelatorConfig::new(access);
-//! let output = Correlator::new(config).correlate(records)?;
+//! let output = Pipeline::new(PipelineConfig::new(access))?.run(Source::text(log))?;
 //! assert_eq!(output.cags.len(), 1);
 //! assert_eq!(output.cags[0].vertices.len(), 6);
 //! # Ok(())
@@ -73,6 +72,7 @@
 pub mod access;
 pub mod activity;
 pub mod analysis;
+pub mod binfmt;
 pub mod cag;
 pub mod correlator;
 pub mod dot;
@@ -96,10 +96,6 @@ pub use cag::{Cag, Component, EdgeKind, Vertex};
 pub use correlator::{
     CorrelationOutput, CorrelatorConfig, EngineOptions, RankerOptions, WindowPolicy,
 };
-// The deprecated shims stay importable from their old paths for one
-// release; importing them warns, re-exporting them here must not.
-#[allow(deprecated)]
-pub use correlator::{Correlator, StreamingCorrelator};
 pub use engine::Engine;
 pub use error::TraceError;
 pub use filter::{FilterRule, FilterSet};
@@ -112,8 +108,6 @@ pub use ranker::Ranker;
 pub use raw::{
     dedup_retransmissions, parse_log, parse_log_iter, RangeDedup, RawOp, RawRecord, RawRecordRef,
 };
-#[allow(deprecated)]
-pub use shard::ShardedCorrelator;
 
 /// Commonly used items, for glob import in examples and tests.
 pub mod prelude {
@@ -126,8 +120,6 @@ pub mod prelude {
     pub use crate::correlator::{
         CorrelationOutput, CorrelatorConfig, EngineOptions, RankerOptions, WindowPolicy,
     };
-    #[allow(deprecated)]
-    pub use crate::correlator::{Correlator, StreamingCorrelator};
     pub use crate::error::TraceError;
     pub use crate::filter::{FilterRule, FilterSet};
     pub use crate::ingest::{parse_log_parallel, parse_refs_parallel};
@@ -139,6 +131,4 @@ pub mod prelude {
         dedup_retransmissions, parse_log, parse_log_iter, RangeDedup, RawOp, RawRecord,
         RawRecordRef,
     };
-    #[allow(deprecated)]
-    pub use crate::shard::ShardedCorrelator;
 }

@@ -2,14 +2,15 @@
 //!
 //! The paper's tool is a single pipeline: probe records in, CAGs and
 //! performance analysis out. Earlier revisions of this crate exposed
-//! that pipeline through three divergent entry points (the offline
-//! [`Correlator`], the incremental [`StreamingCorrelator`] and the
-//! parallel [`ShardedCorrelator`]) that every caller had to wire up by
-//! hand. [`Pipeline`] replaces all three: one [`PipelineConfig`] — a
+//! that pipeline through three divergent entry points (an offline
+//! `Correlator`, an incremental `StreamingCorrelator` and a parallel
+//! `ShardedCorrelator`) that every caller had to wire up by hand.
+//! [`Pipeline`] replaces all three: one [`PipelineConfig`] — a
 //! superset of [`CorrelatorConfig`] plus a [`Mode`] — and one
-//! [`Source`] abstraction over owned records, record iterators and
-//! zero-copy text ingest, consumed by a single
-//! `builder → run(source) → CorrelationOutput` path.
+//! [`Source`] abstraction over owned records, record iterators,
+//! zero-copy text ingest and [`crate::binfmt`] PTBIN binary streams,
+//! consumed by a single `builder → run(source) → CorrelationOutput`
+//! path.
 //!
 //! ```text
 //!            ┌───────────────── Pipeline ─────────────────┐
@@ -30,8 +31,9 @@
 //!   `n` worker threads, merged into canonical root order; output is
 //!   byte-identical for every shard count.
 //!
-//! The old three types remain available as thin deprecated shims for
-//! one release; see the README's migration table.
+//! The old three entry-point types went through one release as
+//! deprecated shims and have been removed; the engines they named now
+//! run only behind this facade (see the README's migration table).
 //!
 //! # Examples
 //!
@@ -56,7 +58,6 @@ use std::sync::Arc;
 use crate::access::AccessPointSpec;
 use crate::activity::{Activity, Nanos};
 use crate::cag::Cag;
-#[allow(deprecated)]
 use crate::correlator::{
     CorrelationOutput, Correlator, CorrelatorConfig, EngineOptions, RankerOptions,
     StreamingCorrelator, WindowPolicy,
@@ -64,7 +65,6 @@ use crate::correlator::{
 use crate::error::TraceError;
 use crate::filter::FilterSet;
 use crate::raw::{parse_log, RawRecord};
-#[allow(deprecated)]
 use crate::shard::ShardedCorrelator;
 
 /// How the pipeline executes a correlation run.
@@ -213,7 +213,7 @@ impl PipelineConfig {
 
 impl From<CorrelatorConfig> for PipelineConfig {
     /// Wraps an existing correlator configuration in batch mode — the
-    /// one-line migration path from the deprecated entry points.
+    /// one-line migration path from the removed legacy entry points.
     fn from(correlator: CorrelatorConfig) -> Self {
         PipelineConfig {
             correlator,
@@ -241,6 +241,14 @@ pub enum Source<'a> {
     /// [`crate::ingest`]). Behaves exactly like [`Source::Text`] over
     /// the file's contents.
     Path(std::path::PathBuf),
+    /// A PTBIN binary record file (see [`crate::binfmt`]), read as one
+    /// whole buffer at [`Pipeline::run`] and decoded with
+    /// `PipelineConfig::ingest_threads` workers — text parsing is
+    /// skipped entirely, and sharded mode stages the decoded records
+    /// zero-copy (strings borrowed from the file buffer). Correlating
+    /// a converted log is byte-identical to correlating the text
+    /// original.
+    BinaryPath(std::path::PathBuf),
 }
 
 impl Source<'_> {
@@ -258,6 +266,13 @@ impl Source<'_> {
     /// time.
     pub fn path(path: impl Into<std::path::PathBuf>) -> Source<'static> {
         Source::Path(path.into())
+    }
+
+    /// A source over a PTBIN binary record file (the output of
+    /// `pt convert` / [`crate::binfmt`] encoding), whole-buffer-read
+    /// and decoded at run time without any text parsing.
+    pub fn binary_path(path: impl Into<std::path::PathBuf>) -> Source<'static> {
+        Source::BinaryPath(path.into())
     }
 
     /// A source draining an arbitrary record iterator (collected up
@@ -292,7 +307,6 @@ pub struct Pipeline {
     config: PipelineConfig,
 }
 
-#[allow(deprecated)] // wraps the deprecated shims' shared machinery
 impl Pipeline {
     /// Builds a pipeline, validating the configuration up front.
     ///
@@ -322,6 +336,12 @@ impl Pipeline {
     pub fn run(&self, source: Source<'_>) -> Result<CorrelationOutput, TraceError> {
         let cfg = self.config.correlator.clone();
         let threads = self.config.ingest_threads;
+        // A binary source skips text parsing entirely: one whole-buffer
+        // read, fixed-width record decoding, done.
+        if let Source::BinaryPath(p) = &source {
+            let buf = crate::binfmt::read_binary_file(p)?;
+            return self.run_binary(&buf);
+        }
         // A path source is one whole-buffer read; every mode then sees
         // borrowed text and benefits from the parallel chunk scanner.
         let owned;
@@ -344,7 +364,7 @@ impl Pipeline {
                 let records = match source {
                     Source::Records(r) => r,
                     Source::Text(t) => parse_text(t)?,
-                    Source::Path(_) => unreachable!("path sources resolve to text above"),
+                    _ => unreachable!("path sources resolve above"),
                 };
                 Correlator::new(cfg).correlate(records)
             }
@@ -352,7 +372,7 @@ impl Pipeline {
                 let records = match source {
                     Source::Records(r) => r,
                     Source::Text(t) => parse_text(t)?,
-                    Source::Path(_) => unreachable!("path sources resolve to text above"),
+                    _ => unreachable!("path sources resolve above"),
                 };
                 let mut sc = StreamingCorrelator::new(cfg)?;
                 for rec in records {
@@ -380,8 +400,59 @@ impl Pipeline {
                     sc.finish()
                 }
                 Source::Text(t) => ShardedCorrelator::correlate_text(cfg, n, t),
-                Source::Path(_) => unreachable!("path sources resolve to text above"),
+                _ => unreachable!("path sources resolve above"),
             },
+        }
+    }
+
+    /// Correlates a decoded PTBIN buffer. The decoded record sequence
+    /// is exactly what text parsing of the converted log would produce
+    /// (the format round-trips losslessly), so every mode's output is
+    /// byte-identical to the equivalent text run.
+    fn run_binary(&self, buf: &[u8]) -> Result<CorrelationOutput, TraceError> {
+        let cfg = self.config.correlator.clone();
+        let threads = self.config.ingest_threads;
+        let decode_owned = || -> Result<Vec<RawRecord>, TraceError> {
+            if threads == 1 {
+                crate::binfmt::decode_records(buf)
+            } else {
+                let refs = crate::binfmt::decode_refs_parallel(buf, threads)?;
+                let mut interner = crate::intern::Interner::new();
+                Ok(refs
+                    .iter()
+                    .map(|r| r.to_owned_interned(&mut interner))
+                    .collect())
+            }
+        };
+        match self.config.mode {
+            Mode::Batch => Correlator::new(cfg).correlate(decode_owned()?),
+            Mode::Streaming => {
+                let mut sc = StreamingCorrelator::new(cfg)?;
+                for rec in decode_owned()? {
+                    sc.push(rec)?;
+                }
+                let mut out = sc.finish()?;
+                out.canonicalize();
+                Ok(out)
+            }
+            Mode::Sharded(n) => {
+                // Zero-copy staging: the decoded refs borrow their
+                // strings straight from the file buffer, exactly like
+                // the sharded text reader borrows from the log text.
+                let mut sc = ShardedCorrelator::new(cfg, n)?;
+                if threads == 1 {
+                    let reader = crate::binfmt::Reader::new(buf)?;
+                    for r in reader.iter() {
+                        sc.stage_ref(&r?);
+                    }
+                } else {
+                    let refs = crate::binfmt::decode_refs_parallel(buf, threads)?;
+                    for r in &refs {
+                        sc.stage_ref(r);
+                    }
+                }
+                sc.finish()
+            }
         }
     }
 
@@ -430,7 +501,6 @@ impl Pipeline {
     }
 }
 
-#[allow(deprecated)]
 #[allow(clippy::large_enum_variant)] // one session per run; size is irrelevant
 #[derive(Debug)]
 enum SessionInner {
@@ -451,7 +521,6 @@ pub struct PipelineSession {
     inner: SessionInner,
 }
 
-#[allow(deprecated)] // drives the deprecated shims' shared machinery
 impl PipelineSession {
     /// Pushes one raw record.
     ///
@@ -552,7 +621,6 @@ impl PipelineSession {
 }
 
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
 
@@ -615,23 +683,31 @@ mod tests {
     }
 
     #[test]
-    fn pipeline_matches_the_deprecated_entry_points() {
-        let records = parse_log(three_tier_log()).unwrap();
-        let cfg = CorrelatorConfig::new(access());
-        let batch_old = Correlator::new(cfg.clone())
-            .correlate(records.clone())
-            .unwrap();
-        let batch_new = Pipeline::new(PipelineConfig::from(cfg.clone()))
-            .unwrap()
-            .run(Source::records(records.clone()))
-            .unwrap();
-        assert_eq!(render(&batch_old), render(&batch_new));
-        let sharded_old = ShardedCorrelator::correlate(cfg.clone(), 2, records.clone()).unwrap();
-        let sharded_new = Pipeline::new(PipelineConfig::from(cfg).with_mode(Mode::Sharded(2)))
-            .unwrap()
-            .run(Source::records(records))
-            .unwrap();
-        assert_eq!(render(&sharded_old), render(&sharded_new));
+    fn binary_source_matches_text_source_in_every_mode() {
+        let bin = crate::binfmt::encode_text(three_tier_log(), 1).unwrap();
+        let path = std::env::temp_dir().join(format!(
+            "pt_pipeline_binary_source_{}.ptbin",
+            std::process::id()
+        ));
+        std::fs::write(&path, &bin).unwrap();
+        for mode in [Mode::Batch, Mode::Streaming, Mode::Sharded(2)] {
+            for threads in [1, 3] {
+                let p = Pipeline::new(
+                    PipelineConfig::new(access())
+                        .with_mode(mode)
+                        .with_ingest_threads(threads),
+                )
+                .unwrap();
+                let from_text = p.run(Source::text(three_tier_log())).unwrap();
+                let from_binary = p.run(Source::binary_path(&path)).unwrap();
+                assert_eq!(
+                    render(&from_text),
+                    render(&from_binary),
+                    "{mode:?} threads={threads}"
+                );
+            }
+        }
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

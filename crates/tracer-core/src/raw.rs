@@ -152,6 +152,26 @@ impl RawRecord {
         let mut interner = Interner::new();
         RawRecordRef::parse_line(line).map(|r| r.to_owned_interned(&mut interner))
     }
+
+    /// A borrowed view of this record; the string fields borrow from
+    /// the owned `Arc<str>` allocations.
+    #[inline]
+    pub fn as_record_ref(&self) -> RawRecordRef<'_> {
+        RawRecordRef {
+            ts: self.ts,
+            hostname: &self.hostname,
+            program: &self.program,
+            pid: self.pid,
+            tid: self.tid,
+            op: self.op,
+            src: self.src,
+            dst: self.dst,
+            size: self.size,
+            tag: self.tag,
+            retrans: self.retrans,
+            seq: self.seq,
+        }
+    }
 }
 
 /// A zero-copy view of one `TCP_TRACE` log line: the string fields
@@ -307,6 +327,12 @@ impl<'a> RawRecordRef<'a> {
 }
 
 impl fmt::Display for RawRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.as_record_ref().fmt(f)
+    }
+}
+
+impl fmt::Display for RawRecordRef<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,

@@ -67,7 +67,6 @@ use std::time::Instant;
 use crate::access::Classifier;
 use crate::activity::{Activity, ActivityType, EndpointV4};
 use crate::cag::Cag;
-#[allow(deprecated)] // shim internals: the shards run the streaming core
 use crate::correlator::StreamingCorrelator;
 use crate::correlator::{CorrelationOutput, CorrelatorConfig};
 use crate::error::TraceError;
@@ -943,33 +942,12 @@ impl SessionRouter {
     }
 }
 
-/// The sharded parallel correlation pipeline. See the module docs for
-/// the architecture and the output-order contract.
-///
-/// # Examples
-///
-/// ```
-/// use tracer_core::prelude::*;
-///
-/// # fn main() -> Result<(), TraceError> {
-/// let access = AccessPointSpec::new([80], ["10.0.0.1".parse().unwrap()]);
-/// let log = "\
-/// 1000 web httpd 7 7 RECEIVE 192.168.0.9:5000-10.0.0.1:80 120
-/// 2000 web httpd 7 7 SEND 10.0.0.1:80-192.168.0.9:5000 512
-/// ";
-/// let out = ShardedCorrelator::correlate_text(CorrelatorConfig::new(access), 4, log)?;
-/// assert_eq!(out.cags.len(), 1);
-/// # Ok(())
-/// # }
-/// ```
-#[deprecated(
-    since = "0.1.0",
-    note = "use tracer_core::pipeline::Pipeline with Mode::Sharded(n) (or \
-            Pipeline::session for incremental ingest); this type remains as \
-            a thin shim for one release"
-)]
+/// The sharded parallel correlation pipeline — the engine behind
+/// [`crate::pipeline::Mode::Sharded`]; callers reach it through
+/// [`crate::pipeline::Pipeline`]. See the module docs for the
+/// architecture and the output-order contract.
 #[derive(Debug)]
-pub struct ShardedCorrelator {
+pub(crate) struct ShardedCorrelator {
     classifier: Classifier,
     filters: FilterSet,
     interner: Interner,
@@ -988,7 +966,6 @@ pub struct ShardedCorrelator {
     finished: bool,
 }
 
-#[allow(deprecated)] // shim internals
 impl ShardedCorrelator {
     /// Spawns `shards` correlation workers (`0` = auto from
     /// [`std::thread::available_parallelism`], capped at 16).
@@ -1075,6 +1052,7 @@ impl ShardedCorrelator {
     }
 
     /// Number of shard workers.
+    #[cfg(test)]
     pub fn shards(&self) -> usize {
         self.txs.len()
     }
@@ -1457,7 +1435,6 @@ pub fn route_records_streaming(
     Ok(out)
 }
 
-#[allow(deprecated)] // shim internals
 impl Drop for ShardedCorrelator {
     fn drop(&mut self) {
         // Hang up so abandoned workers terminate instead of blocking
@@ -1470,7 +1447,6 @@ impl Drop for ShardedCorrelator {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // exercises the shims directly
 mod tests {
     use super::*;
     use crate::access::AccessPointSpec;

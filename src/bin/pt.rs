@@ -8,16 +8,21 @@
 //! pt correlate trace.log --port 80 --internal 10.0.0.1,10.0.0.2,10.0.0.3 [--window-ms 10]
 //! pt patterns  trace.log --port 80 --internal ... [--dot pattern.dot]
 //! pt diff      normal.log abnormal.log --port 80 --internal ...
+//! pt convert   trace.log trace.ptbin      (and back: pt convert trace.ptbin out.log)
 //! ```
 //!
 //! `simulate` writes a log from the built-in RUBiS model; the other
 //! commands work on any log in the TCP_TRACE text format, including
-//! ones captured by a real SystemTap probe.
+//! ones captured by a real SystemTap probe. `convert` translates
+//! losslessly between the text format and the PTBIN binary format
+//! (direction is sniffed from the input's magic bytes); `correlate`,
+//! `patterns` and `diff` accept either form transparently.
 
 use std::net::Ipv4Addr;
 use std::process::ExitCode;
 
 use precisetracer::prelude::*;
+use precisetracer::tracer::binfmt;
 use precisetracer::tracer::dot::average_path_to_dot;
 
 fn main() -> ExitCode {
@@ -32,6 +37,7 @@ fn main() -> ExitCode {
         "correlate" => correlate_cmd(rest),
         "patterns" => patterns_cmd(rest),
         "diff" => diff_cmd(rest),
+        "convert" => convert_cmd(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -58,6 +64,7 @@ USAGE:
   pt correlate FILE --port P --internal IP[,IP...] [CORRELATION OPTIONS]
   pt patterns  FILE --port P --internal IP[,IP...] [CORRELATION OPTIONS] [--dot FILE]
   pt diff      BASELINE_FILE CURRENT_FILE --port P --internal IP[,IP...] [CORRELATION OPTIONS]
+  pt convert   IN_FILE OUT_FILE [--ingest-threads N]
 
 SIMULATION OPTIONS:
   --web-replicas N     web frontends behind the client load balancer
@@ -107,7 +114,11 @@ CORRELATION OPTIONS:
 
 Flags may appear before or after positional arguments; unknown flags
 are rejected. The log format is the paper's TCP_TRACE text format:
-  timestamp hostname program pid tid SEND|RECEIVE sip:sport-dip:dport size";
+  timestamp hostname program pid tid SEND|RECEIVE sip:sport-dip:dport size
+
+`convert` translates between TCP_TRACE text and the PTBIN binary
+format, both directions, sniffing the direction from IN_FILE's magic
+bytes; the analysis commands accept either format transparently.";
 
 /// A uniformly parsed argument list: positionals in order, `--name
 /// value` options, and boolean switches — position-independent, with
@@ -275,10 +286,81 @@ fn correlate_file(
         ingest_threads: args.parse_opt::<usize>("--ingest-threads")?.unwrap_or(1),
     })
     .map_err(|e| e.to_string())?;
-    let out = pipeline
-        .run(Source::path(path))
-        .map_err(|e| format!("{path}: {e}"))?;
+    let source = if sniff_ptbin(path)? {
+        Source::binary_path(path)
+    } else {
+        Source::path(path)
+    };
+    let out = pipeline.run(source).map_err(|e| format!("{path}: {e}"))?;
     Ok((out, access))
+}
+
+/// Reads just the first magic-length bytes of `path` to decide whether
+/// it is a PTBIN stream. A file shorter than the magic is treated as
+/// text (and will fail later with a text-parse error if it is neither).
+fn sniff_ptbin(path: &str) -> Result<bool, String> {
+    use std::io::Read as _;
+    let mut f = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut magic = [0u8; 4];
+    match f.read_exact(&mut magic) {
+        Ok(()) => Ok(binfmt::is_ptbin(&magic)),
+        Err(_) => Ok(false),
+    }
+}
+
+/// `pt convert IN OUT`: translates TCP_TRACE text to PTBIN or PTBIN
+/// back to text, sniffing the direction from the input's magic bytes.
+/// Text output streams through a buffered writer in record-sized
+/// chunks; binary output is assembled record-by-record by the interning
+/// encoder.
+fn convert_cmd(raw: &[String]) -> Result<(), String> {
+    let args = ParsedArgs::parse(raw, &["--ingest-threads"], &[])?;
+    let in_path = args.positional(0).ok_or("missing input file")?;
+    let out_path = args.positional(1).ok_or("missing output file")?;
+    let threads = args.parse_opt::<usize>("--ingest-threads")?.unwrap_or(1);
+    if sniff_ptbin(in_path)? {
+        // Binary -> text: stream one rendered line per record.
+        use std::io::Write as _;
+        let buf = binfmt::read_binary_file(in_path).map_err(|e| format!("{in_path}: {e}"))?;
+        let reader = binfmt::Reader::new(&buf).map_err(|e| format!("{in_path}: {e}"))?;
+        let file = std::fs::File::create(out_path).map_err(|e| format!("{out_path}: {e}"))?;
+        let mut w = std::io::BufWriter::new(file);
+        let mut n = 0usize;
+        for rec in reader.iter() {
+            let rec = rec.map_err(|e| format!("{in_path}: {e}"))?;
+            writeln!(w, "{rec}").map_err(|e| format!("{out_path}: {e}"))?;
+            n += 1;
+        }
+        w.flush().map_err(|e| format!("{out_path}: {e}"))?;
+        println!("wrote {n} records to {out_path} (TCP_TRACE text)");
+    } else {
+        // Text -> binary: parallel borrowed parse, then one interning
+        // encode pass (single-threaded parse streams record-by-record).
+        let text = std::fs::read_to_string(in_path).map_err(|e| format!("{in_path}: {e}"))?;
+        let (bin, n) = if threads == 1 {
+            let mut enc = binfmt::Encoder::new();
+            for rec in parse_log_iter(&text) {
+                let rec = rec.map_err(|e| format!("{in_path}: {e}"))?;
+                enc.push(&rec).map_err(|e| format!("{in_path}: {e}"))?;
+            }
+            let n = enc.record_count();
+            (enc.finish(), n)
+        } else {
+            let refs =
+                parse_refs_parallel(&text, threads).map_err(|e| format!("{in_path}: {e}"))?;
+            let n = refs.len() as u64;
+            (
+                binfmt::encode_refs(&refs).map_err(|e| format!("{in_path}: {e}"))?,
+                n,
+            )
+        };
+        std::fs::write(out_path, &bin).map_err(|e| format!("{out_path}: {e}"))?;
+        println!(
+            "wrote {n} records to {out_path} (PTBIN, {} bytes)",
+            bin.len()
+        );
+    }
+    Ok(())
 }
 
 fn simulate(raw: &[String]) -> Result<(), String> {

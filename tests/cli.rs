@@ -776,6 +776,109 @@ fn capture_drop_rejects_bad_probability() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("--capture-drop"));
 }
 
+/// Strips the wall-clock token from a correlate report so two runs can
+/// be compared byte-for-byte.
+fn strip_wall(s: &str) -> String {
+    s.split_whitespace()
+        .filter(|t| !t.starts_with("wall="))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[test]
+fn convert_roundtrips_text_and_binary() {
+    let log = TmpFile::new("convert.log");
+    let bin = TmpFile::new("convert.ptbin");
+    let back = TmpFile::new("convert-back.log");
+
+    // A v2 log (seq= offsets) exercises the optional record fields.
+    let out = pt()
+        .args([
+            "simulate",
+            "--clients",
+            "6",
+            "--seconds",
+            "6",
+            "--seed",
+            "7",
+        ])
+        .args(["--capture-drop", "0.01"])
+        .args(["--out", log.as_str()])
+        .output()
+        .expect("run pt simulate");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Text -> binary (parallel parse), direction sniffed from content.
+    let out = pt()
+        .args(["convert", log.as_str(), bin.as_str()])
+        .args(["--ingest-threads", "2"])
+        .output()
+        .expect("run pt convert to binary");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("PTBIN"));
+    let bin_bytes = std::fs::read(&bin.0).unwrap();
+    assert_eq!(&bin_bytes[..4], b"PTBN", "missing PTBIN magic");
+    let text_bytes = std::fs::read(&log.0).unwrap();
+    assert!(
+        bin_bytes.len() < text_bytes.len(),
+        "binary form should be more compact than text"
+    );
+
+    // Correlating the binary form reports exactly the text results.
+    let correlate = |path: &str| {
+        let out = pt()
+            .args(["correlate", path, "--port", "80"])
+            .args(["--internal", INTERNAL, "--stats"])
+            .output()
+            .expect("run pt correlate");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        strip_wall(&String::from_utf8_lossy(&out.stdout))
+    };
+    assert_eq!(
+        correlate(log.as_str()),
+        correlate(bin.as_str()),
+        "binary correlation diverged from text"
+    );
+
+    // Binary -> text: byte-identical to the original log.
+    let out = pt()
+        .args(["convert", bin.as_str(), back.as_str()])
+        .output()
+        .expect("run pt convert to text");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(
+        std::fs::read(&back.0).unwrap(),
+        text_bytes,
+        "text -> PTBIN -> text must round-trip byte-identically"
+    );
+}
+
+#[test]
+fn convert_reports_missing_arguments_by_name() {
+    let err = stderr_of(&["convert"]);
+    assert!(err.contains("missing input file"), "{err}");
+    let err = stderr_of(&["convert", "/nonexistent.log"]);
+    assert!(err.contains("missing output file"), "{err}");
+    let err = stderr_of(&["convert", "/nonexistent.log", "/tmp/out.ptbin"]);
+    assert!(err.contains("/nonexistent.log"), "{err}");
+}
+
 #[test]
 fn stats_flag_reports_marker_dedup_on_lossy_v1_logs() {
     let log = TmpFile::new("lossy-v1.log");

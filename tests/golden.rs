@@ -488,6 +488,47 @@ fn golden_corpus_is_fully_covered() {
     );
 }
 
+/// PTBIN parity on every golden corpus: converting each `.log` to a
+/// PTBIN file and correlating it via [`Source::binary_path`] renders
+/// **byte-identical** output to correlating the original text file via
+/// [`Source::path`] — in all three modes.
+#[test]
+fn golden_binary_source_matches_text_source_in_every_mode() {
+    use precisetracer::tracer::binfmt;
+    let mut cases = 0usize;
+    for entry in std::fs::read_dir(golden_dir()).expect("tests/golden") {
+        let log_path = entry.expect("dir entry").path();
+        if log_path.extension().map(|e| e != "log").unwrap_or(true) {
+            continue;
+        }
+        cases += 1;
+        let name = log_path.file_stem().unwrap().to_string_lossy().into_owned();
+        let text = std::fs::read_to_string(&log_path).unwrap();
+        let directive = parse_directive(&text, &log_path);
+        let bin = binfmt::encode_text(&text, 2).expect("golden log must encode");
+        let bin_path =
+            std::env::temp_dir().join(format!("pt_golden_{name}_{}.ptbin", std::process::id()));
+        std::fs::write(&bin_path, &bin).unwrap();
+        let base = PipelineConfig::new(directive.access).with_window(directive.window);
+        for mode in [Mode::Batch, Mode::Streaming, Mode::Sharded(3)] {
+            let from_text = Pipeline::new(base.clone().with_mode(mode))
+                .unwrap()
+                .run(Source::path(&log_path))
+                .unwrap();
+            let from_binary = Pipeline::new(base.clone().with_mode(mode))
+                .unwrap()
+                .run(Source::binary_path(&bin_path))
+                .unwrap();
+            assert!(
+                render(&from_text) == render(&from_binary),
+                "{name} {mode:?}: PTBIN correlation diverged from text"
+            );
+        }
+        std::fs::remove_file(&bin_path).ok();
+    }
+    assert!(cases >= 10, "expected the full golden corpus, got {cases}");
+}
+
 /// The harness must actually be able to fail: perturbing a single
 /// vertex size in a correlation result changes the canonical rendering.
 #[test]

@@ -2,12 +2,8 @@
 //! workloads, seeds, topology parameters and windows within the paper's
 //! assumptions, tracing must stay exact and CAGs well-formed.
 
-// The deprecated shim entry points stay exercised here until their
-// removal: these tests pin that the shims and the Pipeline facade
-// produce identical bytes.
-#![allow(deprecated)]
-
 use precisetracer::prelude::*;
+use precisetracer::tracer::binfmt;
 use proptest::prelude::*;
 
 fn arb_config() -> impl Strategy<Value = rubis::ExperimentConfig> {
@@ -35,6 +31,15 @@ fn arb_config() -> impl Strategy<Value = rubis::ExperimentConfig> {
             }
             cfg
         })
+}
+
+/// Runs a record batch through the [`Pipeline`] facade in the given
+/// mode (the sole public entry point since the shim removal).
+fn run_mode(cfg: &CorrelatorConfig, mode: Mode, records: Vec<RawRecord>) -> CorrelationOutput {
+    Pipeline::new(PipelineConfig::from(cfg.clone()).with_mode(mode))
+        .unwrap()
+        .run(Source::records(records))
+        .unwrap()
 }
 
 /// Sorted ground-truth tag sets of a CAG collection (order-insensitive
@@ -130,9 +135,11 @@ proptest! {
             };
         }
         let out = rubis::run(cfg);
-        let batch = Correlator::new(out.correlator_config(Nanos::from_millis(10)))
-            .correlate(out.records.clone())
-            .unwrap();
+        let batch = run_mode(
+            &out.correlator_config(Nanos::from_millis(10)),
+            Mode::Batch,
+            out.records.clone(),
+        );
 
         // Shuffle the records of each host among that host's log slots.
         let mut rng = StdRng::seed_from_u64(seed ^ 0x9e3779b97f4a7c15);
@@ -160,8 +167,13 @@ proptest! {
             })
             .collect();
 
-        let mut sc =
-            StreamingCorrelator::new(out.correlator_config(Nanos::from_millis(10))).unwrap();
+        let mut sc = Pipeline::new(
+            PipelineConfig::from(out.correlator_config(Nanos::from_millis(10)))
+                .with_mode(Mode::Streaming),
+        )
+        .unwrap()
+        .session()
+        .unwrap();
         for rec in permuted {
             sc.push(rec).unwrap();
         }
@@ -199,9 +211,11 @@ proptest! {
             };
         }
         let out = rubis::run(cfg);
-        let batch = Correlator::new(out.correlator_config(Nanos::from_millis(10)))
-            .correlate(out.records.clone())
-            .unwrap();
+        let batch = run_mode(
+            &out.correlator_config(Nanos::from_millis(10)),
+            Mode::Batch,
+            out.records.clone(),
+        );
 
         // Random merge of the per-host streams (each stream kept in
         // local-time order).
@@ -216,8 +230,13 @@ proptest! {
             }
             m.into_values().collect()
         };
-        let mut sc =
-            StreamingCorrelator::new(out.correlator_config(Nanos::from_millis(10))).unwrap();
+        let mut sc = Pipeline::new(
+            PipelineConfig::from(out.correlator_config(Nanos::from_millis(10)))
+                .with_mode(Mode::Streaming),
+        )
+        .unwrap()
+        .session()
+        .unwrap();
         let mut streamed = Vec::new();
         let mut pushed = 0usize;
         while !per_host.is_empty() {
@@ -262,16 +281,13 @@ proptest! {
         }
         let out = rubis::run(cfg);
         let config = out.correlator_config(Nanos::from_millis(10));
-        let batch = Correlator::new(config.clone())
-            .correlate(out.records.clone())
-            .unwrap();
-        let single = ShardedCorrelator::correlate(config.clone(), 1, out.records.clone()).unwrap();
+        let batch = run_mode(&config, Mode::Batch, out.records.clone());
+        let single = run_mode(&config, Mode::Sharded(1), out.records.clone());
         let render = |o: &CorrelationOutput| {
             format!("{:?}\n{:?}", o.cags, o.unfinished)
         };
         for shards in [shards_a, shards_b] {
-            let sharded =
-                ShardedCorrelator::correlate(config.clone(), shards, out.records.clone()).unwrap();
+            let sharded = run_mode(&config, Mode::Sharded(shards), out.records.clone());
             // Determinism across shard counts: full byte equality,
             // ids and stream order included.
             prop_assert_eq!(
@@ -318,8 +334,7 @@ proptest! {
         cfg.seed = seed;
         let out = rubis::run(cfg);
         let config = out.correlator_config(Nanos::from_millis(10));
-        let oneshot =
-            ShardedCorrelator::correlate(config.clone(), shards, out.records.clone()).unwrap();
+        let oneshot = run_mode(&config, Mode::Sharded(shards), out.records.clone());
 
         // Random cross-host interleaving, per-host order preserved.
         let mut rng = StdRng::seed_from_u64(seed ^ 0x2545f4914f6cdd1d);
@@ -333,7 +348,10 @@ proptest! {
             }
             m.into_values().collect()
         };
-        let mut sc = ShardedCorrelator::new(config, shards).unwrap();
+        let mut sc = Pipeline::new(PipelineConfig::from(config).with_mode(Mode::Sharded(shards)))
+            .unwrap()
+            .session()
+            .unwrap();
         let mut pushed = 0usize;
         while !per_host.is_empty() {
             let pick = rng.gen_range(0..per_host.len());
@@ -344,7 +362,7 @@ proptest! {
             sc.push(rec).unwrap();
             pushed += 1;
             if pushed.is_multiple_of(chunk) {
-                sc.flush().unwrap();
+                sc.poll().unwrap();
             }
         }
         let streamed = sc.finish().unwrap();
@@ -375,17 +393,13 @@ proptest! {
         cfg.phases = rubis::Phases::quick(6);
         let out = rubis::run(cfg);
         let config = out.correlator_config(Nanos::from_millis(100));
-        let raw = Correlator::new(config.clone())
-            .correlate(out.records.clone())
-            .unwrap();
+        let raw = run_mode(&config, Mode::Batch, out.records.clone());
         let deduped_records = dedup_retransmissions(out.records.clone());
         prop_assert!(
             deduped_records.len() <= out.records.len(),
             "dedup never adds records"
         );
-        let deduped = Correlator::new(config.clone())
-            .correlate(deduped_records.clone())
-            .unwrap();
+        let deduped = run_mode(&config, Mode::Batch, deduped_records.clone());
         prop_assert_eq!(raw.cags.len(), deduped.cags.len());
         prop_assert_eq!(tag_sets(&raw.cags), tag_sets(&deduped.cags));
         prop_assert_eq!(pattern_census(&raw.cags), pattern_census(&deduped.cags));
@@ -394,7 +408,7 @@ proptest! {
             (out.records.len() - deduped_records.len()) as u64
         );
         // The sharded reader performs the same dedup.
-        let sharded = ShardedCorrelator::correlate(config, 3, out.records.clone()).unwrap();
+        let sharded = run_mode(&config, Mode::Sharded(3), out.records.clone());
         prop_assert_eq!(sharded.metrics.retrans_dropped, raw.metrics.retrans_dropped);
         prop_assert_eq!(tag_sets(&sharded.cags), tag_sets(&raw.cags));
     }
@@ -418,10 +432,8 @@ proptest! {
         cfg.phases = rubis::Phases::quick(6);
         let out = rubis::run(cfg);
         let config = out.correlator_config(Nanos::from_millis(100));
-        let single =
-            ShardedCorrelator::correlate(config.clone(), 1, out.records.clone()).unwrap();
-        let sharded =
-            ShardedCorrelator::correlate(config, shards, out.records.clone()).unwrap();
+        let single = run_mode(&config, Mode::Sharded(1), out.records.clone());
+        let sharded = run_mode(&config, Mode::Sharded(shards), out.records.clone());
         prop_assert_eq!(
             format!("{:?}{:?}", sharded.cags, sharded.unfinished),
             format!("{:?}{:?}", single.cags, single.unfinished),
@@ -540,6 +552,47 @@ proptest! {
         let seq_refs: Vec<RawRecordRef<'_>> =
             parse_log_iter(&text).collect::<Result<_, _>>().unwrap();
         prop_assert_eq!(refs, seq_refs);
+    }
+
+    /// PTBIN round-trip: rendering a corpus to TCP_TRACE text, encoding
+    /// it to PTBIN and decoding back renders **byte-identical** text —
+    /// for v1-only, retrans-marked and seq-carrying v2 corpora, any
+    /// seed, and any encode/decode thread count.
+    #[test]
+    fn ptbin_text_roundtrip_is_byte_identical(
+        seed in any::<u64>(),
+        scenario in 0usize..3,
+        enc_threads in 1usize..9,
+        dec_threads in 1usize..9,
+    ) {
+        let mut cfg = match scenario {
+            0 => rubis::ExperimentConfig::partial_at(0.02), // v2 seq= lane
+            1 => rubis::ExperimentConfig::lossy(),          // v1 retrans markers
+            _ => rubis::ExperimentConfig::quick(4, 4),      // plain v1
+        };
+        cfg.seed = seed;
+        cfg.clients = 4;
+        cfg.phases = rubis::Phases::quick(4);
+        let out = rubis::run(cfg);
+        let mut text = String::new();
+        for r in &out.records {
+            text.push_str(&r.to_string());
+            text.push('\n');
+        }
+        let bin = binfmt::encode_text(&text, enc_threads).unwrap();
+        let decoded = binfmt::decode_refs_parallel(&bin, dec_threads).unwrap();
+        let mut back = String::with_capacity(text.len());
+        for r in &decoded {
+            back.push_str(&r.to_string());
+            back.push('\n');
+        }
+        prop_assert_eq!(back, text);
+        // And the owned decode path agrees with the borrowed one.
+        let owned = binfmt::decode_records(&bin).unwrap();
+        prop_assert_eq!(owned.len(), decoded.len());
+        for (o, d) in owned.iter().zip(&decoded) {
+            prop_assert_eq!(&o.as_record_ref(), d);
+        }
     }
 
     /// Isomorphic classification is stable: every CAG of the same request
