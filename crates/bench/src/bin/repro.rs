@@ -119,7 +119,7 @@ fn main() {
     if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
         wanted = [
             "acc", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
-            "fig17", "ext1", "ext2", "scale", "lb", "pooled", "lossy", "partial",
+            "fig17", "ext1", "ext2", "scale", "serve", "lb", "pooled", "lossy", "partial",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -139,6 +139,7 @@ fn main() {
             "ext1" => ext1(scale),
             "ext2" => ext2(scale),
             "scale" => scale_stream(&mut base, shards),
+            "serve" => serve_soak(scale, &mut base),
             "lb" | "pooled" | "lossy" | "partial" => scenario(w, scale, shards, &mut base),
             other => eprintln!("unknown experiment id: {other}"),
         }
@@ -152,6 +153,7 @@ fn main() {
             check_sharded_regression(&base, "BENCH_baseline.json"),
             check_ingest_regression(&base, "BENCH_baseline.json"),
             check_binary_regression(&base, "BENCH_baseline.json"),
+            check_serve_regression(&base, "BENCH_baseline.json"),
         ];
         if let Some(msg) = gates.into_iter().filter_map(Result::err).next() {
             eprintln!("BENCH REGRESSION: {msg}");
@@ -261,6 +263,34 @@ fn check_binary_regression(base: &Baseline, path: &str) -> Result<(), String> {
         ));
     }
     eprintln!("binary ingest gate: measured {current:.2}x text vs committed {committed:.2}x — ok");
+    Ok(())
+}
+
+/// Guards the online daemon's recall in the fault-injected soak: the
+/// freshly measured `scale.serve_recall` must stay within 20% of the
+/// committed baseline. Missing files/keys pass silently.
+fn check_serve_regression(base: &Baseline, path: &str) -> Result<(), String> {
+    let Some(&(_, current)) = base.0.iter().find(|(k, _)| k == "scale.serve_recall") else {
+        return Ok(());
+    };
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Ok(());
+    };
+    let Some(committed) = text
+        .lines()
+        .find(|l| l.contains("\"scale.serve_recall\""))
+        .and_then(|l| l.split(':').nth(1))
+        .and_then(|v| v.trim().trim_end_matches(',').parse::<f64>().ok())
+    else {
+        return Ok(());
+    };
+    if current < committed * 0.8 {
+        return Err(format!(
+            "scale.serve_recall {current:.4} fell more than 20% below the \
+             committed baseline {committed:.4}"
+        ));
+    }
+    eprintln!("serve soak gate: measured recall {current:.4} vs committed {committed:.4} — ok");
     Ok(())
 }
 
@@ -632,6 +662,270 @@ fn scale_stream(base: &mut Baseline, shards: usize) {
 /// capture drop) so CI smoke runs fail on any regression. Throughput
 /// lands under the `scale.*` baseline keys (informational; the
 /// regression gate stays on `scale.sharded_speedup` alone).
+/// Tag-free variant of [`cag_fingerprints`]: the live daemon re-parses
+/// records from disk, which strips the in-memory ground-truth tags, so
+/// live output is compared to the offline reference on every vertex
+/// field except `tags`.
+fn cag_shape_fingerprints(cags: &[Cag]) -> Vec<String> {
+    let mut v: Vec<String> = cags
+        .iter()
+        .map(|c| {
+            c.vertices
+                .iter()
+                .map(|x| {
+                    format!(
+                        "{}|{}|{}|{}|{}|{}|{:?}|{:?};",
+                        x.ty, x.ts, x.ts_last, x.ctx, x.channel, x.size, x.ctx_parent, x.msg_parent
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    v.sort();
+    v
+}
+
+/// The fault-injected online soak: a fixed-seed corpus is split into
+/// per-node source files replayed at steady wall pace by fault-injecting
+/// writers (a write stall, a source restart and a torn tail — three
+/// distinct injections), while `tracer_core::serve` tails them live.
+/// Gates: bounded memory (flat RSS, capped correlation state), p99 seal
+/// lag under a bound, zero sheds under the lossless policy, and recall
+/// against ground truth ≥ 0.95 (bridged through an offline reference on
+/// the same corpus whose accuracy is asserted against truth directly).
+fn serve_soak(scale: Scale, base: &mut Baseline) {
+    use multitier::{write_paced, FaultPlan, SourceFault};
+    use std::sync::atomic::AtomicBool;
+    use tracer_core::serve::{ServeConfig, ServeKpi, ServeSink, Server, SourceSpec};
+
+    let (clients, secs, wall_secs) = match scale {
+        Scale::Quick => (10, 8, 3.0),
+        Scale::Paper => (40, 20, 8.0),
+    };
+    let mut cfg = multitier::ExperimentConfig::quick(clients, secs);
+    cfg.seed = 42;
+    println!("\n== serve: fault-injected online soak ==");
+    let out = multitier::run(cfg);
+    let window = tracer_core::Nanos::from_millis(500);
+
+    // Offline reference on the same corpus; its accuracy against the
+    // ground truth anchors the live run's recall gate.
+    let (reference, acc) = out.correlate(window).expect("valid config");
+    assert!(
+        acc.precision() >= 0.97 && acc.recall() >= 0.97,
+        "soak reference off truth: precision {:.4} recall {:.4}",
+        acc.precision(),
+        acc.recall()
+    );
+
+    // Split the capture into per-node logs, the shape real probes emit.
+    let mut by_host: BTreeMap<&str, Vec<(u64, String)>> = BTreeMap::new();
+    for r in &out.records {
+        by_host
+            .entry(&r.hostname)
+            .or_default()
+            .push((r.ts.as_nanos(), r.to_string()));
+    }
+    let epoch = out
+        .records
+        .iter()
+        .map(|r| r.ts.as_nanos())
+        .min()
+        .unwrap_or(0);
+    let span = out
+        .records
+        .iter()
+        .map(|r| r.ts.as_nanos())
+        .max()
+        .unwrap_or(0)
+        .saturating_sub(epoch);
+    let speedup = (span as f64 / (wall_secs * 1e9)).max(1.0);
+
+    let dir = std::env::temp_dir().join(format!("pt-serve-soak-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("soak temp dir");
+    // One distinct fault per source: stall+resume, restart, torn tail.
+    let plans = [
+        FaultPlan {
+            faults: vec![SourceFault::Stall {
+                at: 0.35,
+                millis: 300,
+            }],
+        },
+        FaultPlan {
+            faults: vec![SourceFault::Restart {
+                at: 0.55,
+                settle_millis: 80,
+            }],
+        },
+        FaultPlan {
+            faults: vec![SourceFault::TornTail {
+                at: 0.5,
+                millis: 200,
+            }],
+        },
+    ];
+    type SoakSource<'a> = (std::path::PathBuf, &'a Vec<(u64, String)>, &'a FaultPlan);
+    let sources: Vec<SoakSource> = by_host
+        .values()
+        .enumerate()
+        .map(|(i, recs)| {
+            (
+                dir.join(format!("node{i}.log")),
+                recs,
+                &plans[i % plans.len()],
+            )
+        })
+        .collect();
+
+    struct SoakSink {
+        sealed: Vec<Cag>,
+        kpis: Vec<ServeKpi>,
+    }
+    impl ServeSink for SoakSink {
+        fn on_sealed(&mut self, cags: &[Cag]) {
+            self.sealed.extend_from_slice(cags);
+        }
+        fn on_kpi(&mut self, kpi: &ServeKpi) {
+            self.kpis.push(kpi.clone());
+        }
+    }
+
+    let mut serve_cfg = ServeConfig::new(
+        PipelineConfig::from(out.correlator_config(window)).with_mode(Mode::Streaming),
+        sources
+            .iter()
+            .map(|(p, _, _)| SourceSpec::auto(p.clone()))
+            .collect(),
+    );
+    serve_cfg.poll_interval = std::time::Duration::from_millis(5);
+    serve_cfg.idle_end = Some(std::time::Duration::from_millis(900));
+    serve_cfg.kpi_every_records = 250;
+    let server = Server::new(serve_cfg).expect("valid serve config");
+
+    let mut sink = SoakSink {
+        sealed: Vec::new(),
+        kpis: Vec::new(),
+    };
+    let stop = AtomicBool::new(false);
+    let t = Instant::now();
+    let (report, fault_logs) = std::thread::scope(|scope| {
+        let writers: Vec<_> = sources
+            .iter()
+            .map(|(path, recs, plan)| {
+                scope.spawn(move || write_paced(path, recs, epoch, speedup, plan))
+            })
+            .collect();
+        let report = server.run(&mut sink, &stop).expect("soak serve run");
+        let logs: Vec<_> = writers
+            .into_iter()
+            .map(|w| w.join().expect("writer thread").expect("writer io"))
+            .collect();
+        (report, logs)
+    });
+    let soak_secs = t.elapsed().as_secs_f64();
+    std::fs::remove_dir_all(&dir).ok();
+
+    // ≥3 distinct injections actually happened, and the daemon saw them.
+    let stalls: u64 = fault_logs.iter().map(|l| l.stalls).sum();
+    let restarts: u64 = fault_logs.iter().map(|l| l.restarts).sum();
+    let torn: u64 = fault_logs.iter().map(|l| l.torn_tails).sum();
+    assert!(
+        stalls >= 1 && restarts >= 1 && torn >= 1,
+        "soak must inject stall+restart+torn-tail, got {stalls}/{restarts}/{torn}"
+    );
+    let stats = report.stats_line();
+    assert!(
+        report.sources.iter().map(|s| s.restarts).sum::<u64>() >= 1,
+        "daemon missed the source restart: {stats}"
+    );
+    assert!(
+        report.sources.iter().map(|s| s.torn_retries).sum::<u64>() >= 1,
+        "daemon never carried a torn tail: {stats}"
+    );
+    // Lossless policy, lossless faults: zero sheds, zero malformed,
+    // every record ingested exactly once.
+    assert_eq!(report.shed_records(), 0, "unexpected sheds: {stats}");
+    assert_eq!(
+        report.records_in,
+        out.records.len() as u64,
+        "record loss through the fault schedule: {stats}"
+    );
+
+    // Bounded state: correlation state capped, RSS flat across the run.
+    assert!(
+        report.peak_state_bytes < 32 << 20,
+        "correlation state not bounded: {stats}"
+    );
+    if let (Some(first), Some(last)) = (
+        sink.kpis.iter().find_map(|k| k.rss_bytes),
+        sink.kpis.iter().rev().find_map(|k| k.rss_bytes),
+    ) {
+        assert!(
+            last.saturating_sub(first) < 64 << 20,
+            "RSS grew {}B across the soak: {stats}",
+            last.saturating_sub(first)
+        );
+    }
+    let lag_bound = (report.records_in / 2).max(500);
+    assert!(
+        report.p99_seal_lag <= lag_bound,
+        "p99 seal lag {} over bound {lag_bound}: {stats}",
+        report.p99_seal_lag
+    );
+
+    // Recall vs ground truth, bridged through the asserted reference:
+    // how many reference paths the live run reproduced shape-for-shape.
+    let mut live = sink.sealed.clone();
+    live.extend(report.output.cags.iter().cloned());
+    let live_fps = cag_shape_fingerprints(&live);
+    let ref_fps = cag_shape_fingerprints(&reference.cags);
+    let mut matched = 0usize;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < live_fps.len() && j < ref_fps.len() {
+        match live_fps[i].cmp(&ref_fps[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                matched += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    let recall = matched as f64 / ref_fps.len().max(1) as f64;
+    assert!(
+        recall >= 0.95,
+        "soak recall {recall:.4} below 0.95 ({matched}/{} reference paths): {stats}",
+        ref_fps.len()
+    );
+
+    println!(
+        "{}",
+        header(&["records", "sources", "faults", "recall", "p99_lag", "shed", "wall_s"])
+    );
+    println!(
+        "{}",
+        row(&[
+            report.records_in.to_string(),
+            report.sources.len().to_string(),
+            (stalls + restarts + torn).to_string(),
+            format!("{recall:.4}"),
+            report.p99_seal_lag.to_string(),
+            report.shed_records().to_string(),
+            format!("{soak_secs:.2}"),
+        ])
+    );
+    println!("{stats}");
+    base.rec("scale.serve_records", report.records_in as f64);
+    base.rec("scale.serve_recall", recall);
+    base.rec("scale.serve_p99_seal_lag", report.p99_seal_lag as f64);
+    base.rec(
+        "scale.serve_peak_state_bytes",
+        report.peak_state_bytes as f64,
+    );
+    base.rec("scale.serve_faults", (stalls + restarts + torn) as f64);
+}
+
 fn scenario(id: &str, scale: Scale, shards: usize, base: &mut Baseline) {
     let (mut cfg, window, floor) = match id {
         "lb" => (

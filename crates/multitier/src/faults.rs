@@ -1,0 +1,260 @@
+//! Source fault injection for soak-testing the online daemon.
+//!
+//! [`write_paced`] replays a rendered `TCP_TRACE` log into a file at a
+//! wall-clock pace derived from the records' own timestamps — the shape
+//! a real per-node probe log grows in — while injecting faults from a
+//! [`FaultPlan`]: write stalls, torn tails flushed mid-record, source
+//! restarts (truncate-to-zero), and silent record drops. The returned
+//! [`FaultLog`] records exactly what was done so a harness can assert
+//! the tailing daemon's counters and recall against it.
+
+use std::io::Write;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+/// One scheduled fault, triggered when the writer reaches the record
+/// at fraction `at` (in `0.0..=1.0`) of the input.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SourceFault {
+    /// Pause writing for `millis`; the tailer sees a quiet file and
+    /// must keep polling (and must not count the lull as end-of-log
+    /// when configured to follow).
+    Stall {
+        /// Trigger point as a fraction of the record count.
+        at: f64,
+        /// Stall duration in wall milliseconds.
+        millis: u64,
+    },
+    /// Write only a prefix of the record's bytes, flush, pause for
+    /// `millis`, then write the rest: a live EOF lands mid-record and
+    /// the tailer must carry the torn tail and retry, not error.
+    TornTail {
+        /// Trigger point as a fraction of the record count.
+        at: f64,
+        /// How long the tail stays torn, in wall milliseconds.
+        millis: u64,
+    },
+    /// Truncate the file to zero bytes (the source process restarted)
+    /// and keep writing the remaining records into the fresh file. The
+    /// tailer must detect the shrink, rewind, and resume. Writing
+    /// pauses `settle_millis` on both sides of the cut so a poll-based
+    /// tailer drains the old content first and then observes the
+    /// shrink before new content grows past its old offset.
+    Restart {
+        /// Trigger point as a fraction of the record count.
+        at: f64,
+        /// Quiet period before and after the truncation.
+        settle_millis: u64,
+    },
+    /// Silently skip `count` records (capture loss): the only fault
+    /// that removes data, so it is the only one allowed to cost the
+    /// daemon recall. Skipped indices land in [`FaultLog::dropped`].
+    Drop {
+        /// Trigger point as a fraction of the record count.
+        at: f64,
+        /// How many consecutive records to skip.
+        count: usize,
+    },
+}
+
+impl SourceFault {
+    fn at(&self) -> f64 {
+        match *self {
+            SourceFault::Stall { at, .. }
+            | SourceFault::TornTail { at, .. }
+            | SourceFault::Restart { at, .. }
+            | SourceFault::Drop { at, .. } => at,
+        }
+    }
+}
+
+/// A schedule of faults for one source writer.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// The faults, in any order; each fires once at its trigger point.
+    pub faults: Vec<SourceFault>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults: plain paced replay.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+}
+
+/// What a paced writer actually did, for asserting against.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultLog {
+    /// Records written in full (dropped ones excluded).
+    pub records_written: u64,
+    /// Bytes written, including any truncated away by a restart.
+    pub bytes_written: u64,
+    /// Stalls injected.
+    pub stalls: u64,
+    /// Torn tails injected.
+    pub torn_tails: u64,
+    /// Restarts (truncations) injected.
+    pub restarts: u64,
+    /// Input indices of records silently dropped.
+    pub dropped: Vec<usize>,
+}
+
+impl FaultLog {
+    /// Total faults injected.
+    pub fn total_faults(&self) -> u64 {
+        self.stalls + self.torn_tails + self.restarts + !self.dropped.is_empty() as u64
+    }
+}
+
+/// Replays `records` — `(timestamp nanos, rendered line)` pairs in
+/// timestamp order — into `path`, pacing each record to wall time
+/// `(ts - epoch) / speedup` and injecting the plan's faults. Writers
+/// for different sources of the same capture share `epoch` (the
+/// capture's earliest timestamp) so their wall-clock interleaving
+/// mirrors the original one. Blocks until done; callers run one writer
+/// per source thread. Every complete record is flushed before the next
+/// pacing sleep so a tailer never waits on buffered data.
+///
+/// # Errors
+///
+/// Propagates I/O errors on the target file.
+pub fn write_paced(
+    path: &Path,
+    records: &[(u64, String)],
+    epoch: u64,
+    speedup: f64,
+    plan: &FaultPlan,
+) -> std::io::Result<FaultLog> {
+    let mut log = FaultLog::default();
+    // Resolve trigger fractions to indices once; multiple faults may
+    // share an index and fire in plan order.
+    let n = records.len();
+    let triggers: Vec<(usize, SourceFault)> = plan
+        .faults
+        .iter()
+        .map(|f| {
+            let i = (f.at().clamp(0.0, 1.0) * n as f64) as usize;
+            (i.min(n.saturating_sub(1)), *f)
+        })
+        .collect();
+    let mut file = std::fs::File::create(path)?;
+    let start = Instant::now();
+    let mut skip = 0usize;
+    for (i, (ts, line)) in records.iter().enumerate() {
+        // Pace by the record's own timestamp.
+        let target = Duration::from_nanos((ts.saturating_sub(epoch) as f64 / speedup) as u64);
+        let elapsed = start.elapsed();
+        if target > elapsed {
+            std::thread::sleep(target - elapsed);
+        }
+        let mut torn: Option<u64> = None;
+        for &(idx, fault) in &triggers {
+            if idx != i {
+                continue;
+            }
+            match fault {
+                SourceFault::Stall { millis, .. } => {
+                    log.stalls += 1;
+                    std::thread::sleep(Duration::from_millis(millis));
+                }
+                SourceFault::TornTail { millis, .. } => {
+                    log.torn_tails += 1;
+                    torn = Some(millis);
+                }
+                SourceFault::Restart { settle_millis, .. } => {
+                    log.restarts += 1;
+                    file.flush()?;
+                    std::thread::sleep(Duration::from_millis(settle_millis));
+                    file = std::fs::File::create(path)?;
+                    std::thread::sleep(Duration::from_millis(settle_millis));
+                }
+                SourceFault::Drop { count, .. } => {
+                    skip = skip.max(count);
+                }
+            }
+        }
+        if skip > 0 {
+            skip -= 1;
+            log.dropped.push(i);
+            continue;
+        }
+        if let Some(millis) = torn {
+            let bytes = line.as_bytes();
+            let cut = (bytes.len() / 2).max(1);
+            file.write_all(&bytes[..cut])?;
+            file.flush()?;
+            std::thread::sleep(Duration::from_millis(millis));
+            file.write_all(&bytes[cut..])?;
+        } else {
+            file.write_all(line.as_bytes())?;
+        }
+        file.write_all(b"\n")?;
+        file.flush()?;
+        log.bytes_written += line.len() as u64 + 1;
+        log.records_written += 1;
+    }
+    Ok(log)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus(n: usize) -> Vec<(u64, String)> {
+        (0..n)
+            .map(|i| (i as u64 * 1_000, format!("record number {i}")))
+            .collect()
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("pt-faults-test-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn plain_replay_writes_everything_in_order() {
+        let recs = corpus(40);
+        let path = tmp("plain.log");
+        let log = write_paced(&path, &recs, 0, 1e9, &FaultPlan::none()).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(log.records_written, 40);
+        assert_eq!(log.total_faults(), 0);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 40);
+        assert_eq!(lines[0], "record number 0");
+        assert_eq!(lines[39], "record number 39");
+    }
+
+    #[test]
+    fn restart_truncates_and_drop_skips_counted_records() {
+        let recs = corpus(40);
+        let path = tmp("faulty.log");
+        let plan = FaultPlan {
+            faults: vec![
+                SourceFault::Drop { at: 0.25, count: 3 },
+                SourceFault::Restart {
+                    at: 0.5,
+                    settle_millis: 0,
+                },
+                SourceFault::Stall {
+                    at: 0.75,
+                    millis: 1,
+                },
+                SourceFault::TornTail { at: 0.9, millis: 1 },
+            ],
+        };
+        let log = write_paced(&path, &recs, 0, 1e9, &plan).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        // Post-restart file holds only records from index 20 on.
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.first(), Some(&"record number 20"));
+        assert_eq!(lines.last(), Some(&"record number 39"));
+        assert_eq!(lines.len(), 20);
+        // Dropped records 10..13 never appeared anywhere.
+        assert_eq!(log.dropped, vec![10, 11, 12]);
+        assert_eq!(log.records_written, 37);
+        assert_eq!((log.stalls, log.torn_tails, log.restarts), (1, 1, 1));
+        assert_eq!(log.total_faults(), 4);
+    }
+}

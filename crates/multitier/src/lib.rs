@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod experiment;
+pub mod faults;
 pub mod groundtruth;
 pub mod probe;
 pub mod report;
@@ -45,6 +46,7 @@ pub mod spec;
 pub mod world;
 
 pub use experiment::{run, ExperimentConfig, ExperimentOutput};
+pub use faults::{write_paced, FaultLog, FaultPlan, SourceFault};
 pub use groundtruth::{AccuracyReport, RequestTruth, TruthCollector};
 pub use probe::{ProbeSink, ProbedNode};
 pub use report::ServiceMetrics;

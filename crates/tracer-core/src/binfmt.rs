@@ -339,45 +339,57 @@ impl<'a> Reader<'a> {
             return Err(err(format!("record {i} out of range ({})", self.count)));
         }
         let b = &self.records[i * RECORD_BYTES..(i + 1) * RECORD_BYTES];
-        let u64_at = |o: usize| u64::from_le_bytes(b[o..o + 8].try_into().unwrap());
-        let u32_at = |o: usize| u32::from_le_bytes(b[o..o + 4].try_into().unwrap());
-        let u16_at = |o: usize| u16::from_le_bytes(b[o..o + 2].try_into().unwrap());
-        let string_at = |o: usize| -> Result<&'a str, TraceError> {
-            let idx = u32_at(o) as usize;
-            self.strings
-                .get(idx)
-                .copied()
-                .ok_or_else(|| err(format!("string index {idx} out of range")))
-        };
-        let flags = b[24];
-        if flags & !(FLAG_RECEIVE | FLAG_RETRANS | FLAG_HAS_SEQ) != 0 {
-            return Err(err(format!("unknown record flags {flags:#04x}")));
-        }
-        let seq_raw = u64_at(45);
-        Ok(RawRecordRef {
-            ts: LocalTime::from_nanos(u64_at(0)),
-            hostname: string_at(8)?,
-            program: string_at(12)?,
-            pid: u32_at(16),
-            tid: u32_at(20),
-            op: if flags & FLAG_RECEIVE != 0 {
-                RawOp::Receive
-            } else {
-                RawOp::Send
-            },
-            src: EndpointV4::new(Ipv4Addr::new(b[25], b[26], b[27], b[28]), u16_at(29)),
-            dst: EndpointV4::new(Ipv4Addr::new(b[31], b[32], b[33], b[34]), u16_at(35)),
-            size: u64_at(37),
-            tag: 0,
-            retrans: flags & FLAG_RETRANS != 0,
-            seq: (flags & FLAG_HAS_SEQ != 0).then_some(seq_raw),
-        })
+        decode_cell(b, &|idx| self.strings.get(idx as usize).copied())
     }
 
     /// Iterates over all records in stream order.
     pub fn iter(&self) -> impl Iterator<Item = Result<RawRecordRef<'a>, TraceError>> + '_ {
         (0..self.count).map(move |i| self.get(i))
     }
+}
+
+/// Decodes one fixed-width record cell (`RECORD_BYTES` bytes);
+/// `string` resolves a table index to its interned text.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Config`] for reserved flag bits or a string
+/// index past the table.
+fn decode_cell<'a>(
+    b: &'a [u8],
+    string: &dyn Fn(u32) -> Option<&'a str>,
+) -> Result<RawRecordRef<'a>, TraceError> {
+    debug_assert_eq!(b.len(), RECORD_BYTES);
+    let u64_at = |o: usize| u64::from_le_bytes(b[o..o + 8].try_into().unwrap());
+    let u32_at = |o: usize| u32::from_le_bytes(b[o..o + 4].try_into().unwrap());
+    let u16_at = |o: usize| u16::from_le_bytes(b[o..o + 2].try_into().unwrap());
+    let string_at = |o: usize| -> Result<&'a str, TraceError> {
+        let idx = u32_at(o);
+        string(idx).ok_or_else(|| err(format!("string index {idx} out of range")))
+    };
+    let flags = b[24];
+    if flags & !(FLAG_RECEIVE | FLAG_RETRANS | FLAG_HAS_SEQ) != 0 {
+        return Err(err(format!("unknown record flags {flags:#04x}")));
+    }
+    let seq_raw = u64_at(45);
+    Ok(RawRecordRef {
+        ts: LocalTime::from_nanos(u64_at(0)),
+        hostname: string_at(8)?,
+        program: string_at(12)?,
+        pid: u32_at(16),
+        tid: u32_at(20),
+        op: if flags & FLAG_RECEIVE != 0 {
+            RawOp::Receive
+        } else {
+            RawOp::Send
+        },
+        src: EndpointV4::new(Ipv4Addr::new(b[25], b[26], b[27], b[28]), u16_at(29)),
+        dst: EndpointV4::new(Ipv4Addr::new(b[31], b[32], b[33], b[34]), u16_at(35)),
+        size: u64_at(37),
+        tag: 0,
+        retrans: flags & FLAG_RETRANS != 0,
+        seq: (flags & FLAG_HAS_SEQ != 0).then_some(seq_raw),
+    })
 }
 
 /// Decodes a complete PTBIN stream into borrowed records.
@@ -465,6 +477,207 @@ pub fn decode_records(buf: &[u8]) -> Result<Vec<RawRecord>, TraceError> {
         out.push(r?.to_owned_interned(&mut interner));
     }
     Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Incremental decoding (live tails)
+// ---------------------------------------------------------------------------
+
+/// Incremental PTBIN decoder for live sources: bytes arrive in
+/// arbitrary chunks (a growing file's appends, a pipe's reads) and
+/// [`drain`](StreamDecoder::drain) yields every record that is complete
+/// so far. A **torn tail** — a chunk boundary mid-header, mid-table or
+/// mid-record-cell — is never an error: the fragment stays buffered and
+/// decoding resumes when the missing bytes arrive, so a reader polling
+/// a file an encoder is still writing simply retries. Genuine
+/// malformation (bad magic, unsupported version, non-UTF-8 table
+/// entries, reserved flag bits) still fails hard, exactly like
+/// [`Reader::new`].
+///
+/// After a segment's promised record count is consumed the decoder
+/// expects the next bytes to start a fresh header, so concatenated
+/// PTBIN streams — the natural wire form of a long-running sniffer that
+/// flushes one [`Encoder`] per batch — decode as one record sequence
+/// ([`segments`](StreamDecoder::segments) counts the headers).
+///
+/// Memory is bounded by one incomplete element (header + string table,
+/// or one record cell) plus the current segment's string table —
+/// consumed input bytes are dropped on every drain; the raw stream is
+/// never held whole.
+///
+/// ```
+/// use tracer_core::binfmt;
+///
+/// let text = "1000 web httpd 7 7 SEND 10.0.0.1:80-192.168.0.9:5000 42\n";
+/// let bin = binfmt::encode_text(text, 1)?;
+/// let mut dec = binfmt::StreamDecoder::new();
+/// dec.push(&bin[..bin.len() - 3]); // torn mid-cell
+/// assert_eq!(dec.drain()?.len(), 0);
+/// assert!(!dec.is_clean()); // a fragment is pending, not an error
+/// dec.push(&bin[bin.len() - 3..]);
+/// assert_eq!(dec.drain()?.len(), 1);
+/// assert!(dec.is_clean());
+/// # Ok::<(), tracer_core::TraceError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct StreamDecoder {
+    /// Unconsumed input bytes (compacted on every drain).
+    buf: Vec<u8>,
+    /// Current segment's string table, owned so `buf` can be shed.
+    strings: Vec<String>,
+    /// Records the current segment's header promised but which have
+    /// not been decoded yet; `None` while waiting for the next header.
+    remaining: Option<u64>,
+    /// Completed segment headers parsed so far.
+    segments: u64,
+    /// Records decoded so far, across segments.
+    records: u64,
+    interner: Interner,
+}
+
+impl StreamDecoder {
+    /// Creates a decoder expecting the start of a PTBIN stream.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends raw bytes from the source. Call
+    /// [`drain`](StreamDecoder::drain) to decode.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered for a not-yet-complete element (torn tail); zero
+    /// when the last drain consumed everything pushed.
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when the stream may end here cleanly: no torn fragment is
+    /// buffered and no promised record is missing. At a source's final
+    /// EOF, `!is_clean()` means the tail was truncated mid-element.
+    pub fn is_clean(&self) -> bool {
+        self.buf.is_empty() && self.remaining.is_none_or(|r| r == 0)
+    }
+
+    /// Completed segment headers decoded so far.
+    pub fn segments(&self) -> u64 {
+        self.segments
+    }
+
+    /// Records decoded so far, across segments.
+    pub fn records_decoded(&self) -> u64 {
+        self.records
+    }
+
+    /// Tries to parse a segment header (+ string table + record count)
+    /// at the front of `buf`. Returns the consumed byte count and the
+    /// promised record count, or `None` when more bytes are needed.
+    fn try_header(&mut self) -> Result<Option<(usize, u64)>, TraceError> {
+        let buf = &self.buf;
+        if buf.len() < MAGIC.len() {
+            return Ok(None);
+        }
+        if !is_ptbin(buf) {
+            return Err(err("bad magic (not a PTBIN stream)"));
+        }
+        let Some(head) = buf.get(4..HEADER_BYTES + 4) else {
+            return Ok(None);
+        };
+        let version = u16::from_le_bytes(head[0..2].try_into().unwrap());
+        if version != VERSION {
+            return Err(err(format!(
+                "unsupported version {version} (expected {VERSION})"
+            )));
+        }
+        let hflags = u16::from_le_bytes(head[2..4].try_into().unwrap());
+        if hflags != 0 {
+            return Err(err(format!("unknown header flags {hflags:#06x}")));
+        }
+        let nstrings = u32::from_le_bytes(head[4..8].try_into().unwrap()) as usize;
+        let mut pos = HEADER_BYTES + 4;
+        let mut strings = Vec::with_capacity(nstrings.min(1 << 16));
+        for _ in 0..nstrings {
+            let Some(len_bytes) = buf.get(pos..pos + 2) else {
+                return Ok(None);
+            };
+            let len = u16::from_le_bytes(len_bytes.try_into().unwrap()) as usize;
+            pos += 2;
+            let Some(raw) = buf.get(pos..pos + len) else {
+                return Ok(None);
+            };
+            let s = std::str::from_utf8(raw)
+                .map_err(|_| err("string table entry is not UTF-8"))?
+                .to_owned();
+            pos += len;
+            strings.push(s);
+        }
+        let Some(count_bytes) = buf.get(pos..pos + 8) else {
+            return Ok(None);
+        };
+        let count = u64::from_le_bytes(count_bytes.try_into().unwrap());
+        pos += 8;
+        self.strings = strings;
+        Ok(Some((pos, count)))
+    }
+
+    /// Decodes every record that is complete so far, consuming its
+    /// bytes. A torn tail stays buffered for the next push + drain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Config`] for genuinely malformed input —
+    /// the same conditions as [`Reader::new`] / [`Reader::get`], minus
+    /// truncation, which is retriable here. After an error the decoder
+    /// is poisoned; recover by starting a fresh one on a fresh stream.
+    pub fn drain(&mut self) -> Result<Vec<RawRecord>, TraceError> {
+        let mut out = Vec::new();
+        let mut pos = 0usize;
+        loop {
+            match self.remaining {
+                None | Some(0) => {
+                    // Between segments: drop consumed bytes, then try
+                    // to parse the next header at the front.
+                    if pos > 0 {
+                        self.buf.drain(..pos);
+                        pos = 0;
+                    }
+                    if self.buf.is_empty() {
+                        break;
+                    }
+                    match self.try_header()? {
+                        None => break,
+                        Some((consumed, count)) => {
+                            self.buf.drain(..consumed);
+                            self.remaining = Some(count);
+                            self.segments += 1;
+                        }
+                    }
+                }
+                Some(n) => {
+                    let StreamDecoder {
+                        buf,
+                        strings,
+                        interner,
+                        ..
+                    } = &mut *self;
+                    let Some(cell) = buf.get(pos..pos + RECORD_BYTES) else {
+                        break;
+                    };
+                    let r =
+                        decode_cell(cell, &|idx| strings.get(idx as usize).map(|s| s.as_str()))?;
+                    out.push(r.to_owned_interned(interner));
+                    pos += RECORD_BYTES;
+                    self.remaining = Some(n - 1);
+                    self.records += 1;
+                }
+            }
+        }
+        if pos > 0 {
+            self.buf.drain(..pos);
+        }
+        Ok(out)
+    }
 }
 
 #[cfg(test)]
@@ -618,6 +831,96 @@ mod tests {
         let line = format!("1000 {long} b 1 1 SEND 10.0.0.1:80-10.0.0.2:90 5");
         let r = RawRecordRef::parse_line(&line).unwrap();
         assert!(encode_refs(&[r]).is_err());
+    }
+
+    #[test]
+    fn stream_decoder_matches_one_shot_for_every_cut_point() {
+        // The torn-tail contract, exhaustively: splitting the stream at
+        // EVERY byte boundary — mid-magic, mid-table, mid-count,
+        // mid-cell — and pushing the halves separately must decode the
+        // exact records a one-shot parse yields, with no error at the
+        // cut.
+        let records = sample_records();
+        let bin = encode_records(&records).unwrap();
+        let one_shot = decode_records(&bin).unwrap();
+        for cut in 0..=bin.len() {
+            let mut dec = StreamDecoder::new();
+            let mut got = Vec::new();
+            dec.push(&bin[..cut]);
+            got.extend(dec.drain().unwrap_or_else(|e| panic!("cut={cut}: {e}")));
+            if cut > 0 && cut < bin.len() {
+                assert!(!dec.is_clean(), "cut={cut}: missing bytes must be pending");
+            }
+            dec.push(&bin[cut..]);
+            got.extend(dec.drain().unwrap_or_else(|e| panic!("cut={cut}: {e}")));
+            assert_eq!(got, one_shot, "cut={cut}");
+            assert!(dec.is_clean(), "cut={cut}");
+            assert_eq!(dec.pending_bytes(), 0, "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn stream_decoder_handles_concatenated_segments_and_tiny_chunks() {
+        // Two encoder flushes back to back — each with its own header
+        // and (different) string table — pushed one byte at a time,
+        // decode as one record sequence.
+        let records = sample_records();
+        let first = encode_records(&records[..2]).unwrap();
+        let second = encode_records(&records[2..]).unwrap();
+        let wire: Vec<u8> = [first, second].concat();
+        let mut dec = StreamDecoder::new();
+        let mut got = Vec::new();
+        for b in &wire {
+            dec.push(std::slice::from_ref(b));
+            got.extend(dec.drain().unwrap());
+        }
+        assert_eq!(got, records);
+        assert_eq!(dec.segments(), 2);
+        assert_eq!(dec.records_decoded(), records.len() as u64);
+        assert!(dec.is_clean());
+    }
+
+    #[test]
+    fn stream_decoder_reports_torn_final_record() {
+        let bin = encode_records(&sample_records()).unwrap();
+        let mut dec = StreamDecoder::new();
+        dec.push(&bin[..bin.len() - 1]);
+        let got = dec.drain().unwrap();
+        assert_eq!(got.len(), 3, "the torn final cell must not decode");
+        assert!(!dec.is_clean(), "a truncated tail is pending, not clean");
+        assert!(dec.pending_bytes() > 0);
+    }
+
+    #[test]
+    fn stream_decoder_still_rejects_malformation() {
+        let bin = encode_records(&sample_records()).unwrap();
+        let mut bad_magic = bin.clone();
+        bad_magic[0] = b'X';
+        let mut dec = StreamDecoder::new();
+        dec.push(&bad_magic);
+        assert!(matches!(
+            dec.drain(),
+            Err(TraceError::Config(m)) if m.contains("magic")
+        ));
+
+        let mut bad_version = bin.clone();
+        bad_version[4] = 9;
+        let mut dec = StreamDecoder::new();
+        dec.push(&bad_version);
+        assert!(matches!(
+            dec.drain(),
+            Err(TraceError::Config(m)) if m.contains("version")
+        ));
+
+        let record_at = bin.len() - RECORD_BYTES;
+        let mut bad_flags = bin;
+        bad_flags[record_at + 24] = 0x80;
+        let mut dec = StreamDecoder::new();
+        dec.push(&bad_flags);
+        assert!(matches!(
+            dec.drain(),
+            Err(TraceError::Config(m)) if m.contains("record flags")
+        ));
     }
 
     #[test]

@@ -77,9 +77,25 @@ pub struct CorrelatorConfig {
     /// no waiting receives) are evicted, so routing stays correct; an
     /// evicted channel merely forgets its last-shard drift fallback and
     /// its shared-role history, both of which rebuild on the next
-    /// activity. `None` (the default) never evicts — the endless-stream
-    /// endurance knob of the ROADMAP.
+    /// activity. Defaults to
+    /// [`DEFAULT_CHANNEL_IDLE_HORIZON`] so endless streams stay bounded
+    /// out of the box; `None` (set via `with_channel_idle_horizon(0)`)
+    /// never evicts.
     pub channel_idle_horizon: Option<u64>,
+    /// Sharded mode only: bounded-age settle rule for deferred-receive
+    /// and noise lanes. A lane whose head receive cannot be routed yet
+    /// (its channel's send bytes are still in flight on another lane)
+    /// normally parks until the matching send stages — which on a
+    /// stream that never delivers that send (a dead peer, a dropped
+    /// capture) would buffer the lane forever. Once a parked lane has
+    /// buffered this many records behind its undecidable head, the head
+    /// is settled as if the stream had ended: routed on the
+    /// drift/affinity fallback or discarded as noise, and counted in
+    /// [`crate::ranker::RankerCounters::aged_settles`]. Defaults to
+    /// [`DEFAULT_LANE_SETTLE_DEPTH`]; `None` (set via
+    /// `with_lane_settle_depth(0)`) parks indefinitely, the pre-serve
+    /// finish-only behavior.
+    pub lane_settle_depth: Option<u64>,
     /// Sharded mode only: ship orphan-chain records (noise chatter the
     /// batch engine absorbs into never-emitted orphan chains) to the
     /// workers instead of dropping them reader-side. Dropping them —
@@ -90,6 +106,21 @@ pub struct CorrelatorConfig {
     /// the cost of shipping noise.
     pub orphan_parity: bool,
 }
+
+/// Default [`CorrelatorConfig::channel_idle_horizon`]: a channel whose
+/// claims and roles have been fully drained for this many staged
+/// records is forgotten. Conservative — orders of magnitude beyond any
+/// real keep-alive lull at typical record rates, so reconnecting
+/// channels keep their drift fallback, while abandoned channels stop
+/// accumulating.
+pub const DEFAULT_CHANNEL_IDLE_HORIZON: u64 = 65_536;
+
+/// Default [`CorrelatorConfig::lane_settle_depth`]: a parked lane that
+/// buffers this many records behind an undecidable head receive has its
+/// head force-settled. Conservative — a healthy lane clears its head as
+/// soon as the matching send stages, which is bounded by the capture's
+/// reordering skew, not by traffic volume.
+pub const DEFAULT_LANE_SETTLE_DEPTH: u64 = 65_536;
 
 impl CorrelatorConfig {
     /// A default configuration for a service with the given access spec.
@@ -102,7 +133,8 @@ impl CorrelatorConfig {
             mem_sample_every: 64,
             memory_budget: None,
             max_seal_lag: None,
-            channel_idle_horizon: None,
+            channel_idle_horizon: Some(DEFAULT_CHANNEL_IDLE_HORIZON),
+            lane_settle_depth: Some(DEFAULT_LANE_SETTLE_DEPTH),
             orphan_parity: false,
         }
     }
@@ -140,9 +172,18 @@ impl CorrelatorConfig {
     }
 
     /// Evicts idle per-channel router state after `records` staged
-    /// records (see [`CorrelatorConfig::channel_idle_horizon`]).
+    /// records; `0` disables eviction entirely (see
+    /// [`CorrelatorConfig::channel_idle_horizon`]).
     pub fn with_channel_idle_horizon(mut self, records: u64) -> Self {
-        self.channel_idle_horizon = Some(records);
+        self.channel_idle_horizon = (records != 0).then_some(records);
+        self
+    }
+
+    /// Force-settles a parked lane's head receive once `depth` records
+    /// have buffered behind it; `0` parks indefinitely (see
+    /// [`CorrelatorConfig::lane_settle_depth`]).
+    pub fn with_lane_settle_depth(mut self, depth: u64) -> Self {
+        self.lane_settle_depth = (depth != 0).then_some(depth);
         self
     }
 

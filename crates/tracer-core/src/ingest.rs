@@ -89,6 +89,34 @@ pub fn read_log_file(path: &Path) -> Result<String, TraceError> {
         .map_err(|e| TraceError::config(format!("cannot read {}: {e}", path.display())))
 }
 
+/// Splits a byte buffer read from a **live** text log at the last
+/// newline: `(complete, tail)`, where `complete` ends just past the
+/// final `\n` and `tail` is the torn final line the writer has not
+/// finished yet (empty when the buffer ends on a newline).
+///
+/// The contract in [`read_log_file`]'s docs — "a log cut mid-write
+/// parses identically" — holds only for a cut at a *line* boundary; a
+/// cut mid-line yields a prefix that parses as a malformed (or worse,
+/// silently shorter) record. A tailer that polls a growing file feeds
+/// `complete` to the parser and carries `tail` over to the front of
+/// its next read, making every torn tail retriable instead of an
+/// error:
+///
+/// ```
+/// use tracer_core::ingest::split_complete_lines;
+///
+/// let (done, torn) = split_complete_lines(b"1000 web httpd 7 7 SEND 10.0.0.1:80-192.168.0.9:5000 42\n1005 app ja");
+/// assert!(done.ends_with(b"42\n"));
+/// assert_eq!(torn, b"1005 app ja");
+/// ```
+#[must_use]
+pub fn split_complete_lines(buf: &[u8]) -> (&[u8], &[u8]) {
+    match buf.iter().rposition(|&b| b == b'\n') {
+        Some(i) => buf.split_at(i + 1),
+        None => (&buf[..0], buf),
+    }
+}
+
 // --- SWAR (SIMD-within-a-register) scanning primitives ----------------
 //
 // Everything below is safe Rust: eight-byte windows are read with
@@ -549,6 +577,33 @@ mod tests {
                     "interior span boundaries must sit just past a newline"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn split_complete_lines_makes_every_cut_retriable() {
+        // The live-tail contract, exhaustively: cut the log at EVERY
+        // byte boundary, feed the complete-lines prefix plus a
+        // carried-over tail, and the reassembled parse must equal the
+        // one-shot parse — no cut may error or drop a record.
+        let want = sequential(SAMPLE).unwrap();
+        let bytes = SAMPLE.as_bytes();
+        for cut in 0..=bytes.len() {
+            let (done, torn) = split_complete_lines(&bytes[..cut]);
+            assert_eq!(done.len() + torn.len(), cut);
+            let mut reassembled = Vec::from(done);
+            reassembled.extend_from_slice(torn);
+            reassembled.extend_from_slice(&bytes[cut..]);
+            assert_eq!(reassembled, bytes, "cut={cut}: no byte may be lost");
+            // A tailer parses the complete prefix now and the carried
+            // tail + remainder on the next poll.
+            let head = std::str::from_utf8(done).unwrap();
+            let mut tail = Vec::from(torn);
+            tail.extend_from_slice(&bytes[cut..]);
+            let tail = String::from_utf8(tail).unwrap();
+            let mut got = sequential(head).unwrap_or_else(|e| panic!("cut={cut}: {e}"));
+            got.extend(sequential(&tail).unwrap_or_else(|e| panic!("cut={cut}: {e}")));
+            assert_eq!(got, want, "cut={cut}");
         }
     }
 

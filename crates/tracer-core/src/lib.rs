@@ -87,6 +87,7 @@ pub mod pattern;
 pub mod pipeline;
 pub mod ranker;
 pub mod raw;
+pub mod serve;
 pub mod shard;
 
 pub use access::AccessPointSpec;
@@ -107,6 +108,10 @@ pub use pipeline::{Mode, Pipeline, PipelineConfig, PipelineSession, Source};
 pub use ranker::Ranker;
 pub use raw::{
     dedup_retransmissions, parse_log, parse_log_iter, RangeDedup, RawOp, RawRecord, RawRecordRef,
+};
+pub use serve::{
+    ServeConfig, ServeKpi, ServeReport, ServeSink, Server, ShedPolicy, SourceKind, SourceReport,
+    SourceSpec,
 };
 
 /// Commonly used items, for glob import in examples and tests.
@@ -130,5 +135,9 @@ pub mod prelude {
     pub use crate::raw::{
         dedup_retransmissions, parse_log, parse_log_iter, RangeDedup, RawOp, RawRecord,
         RawRecordRef,
+    };
+    pub use crate::serve::{
+        ServeConfig, ServeKpi, ServeReport, ServeSink, Server, ShedPolicy, SourceKind,
+        SourceReport, SourceSpec,
     };
 }

@@ -166,10 +166,19 @@ impl PipelineConfig {
         self
     }
 
-    /// Evicts idle per-channel router state in sharded mode (see
+    /// Evicts idle per-channel router state in sharded mode; `0`
+    /// disables the GC (see
     /// [`CorrelatorConfig::channel_idle_horizon`]).
     pub fn with_channel_idle_horizon(mut self, records: u64) -> Self {
         self.correlator = self.correlator.with_channel_idle_horizon(records);
+        self
+    }
+
+    /// Force-settles parked lane heads in sharded mode once `depth`
+    /// records buffer behind them; `0` parks indefinitely (see
+    /// [`CorrelatorConfig::lane_settle_depth`]).
+    pub fn with_lane_settle_depth(mut self, depth: u64) -> Self {
+        self.correlator = self.correlator.with_lane_settle_depth(depth);
         self
     }
 
@@ -754,6 +763,7 @@ mod tests {
             .with_memory_budget(1 << 20)
             .with_max_seal_lag(64)
             .with_channel_idle_horizon(10_000)
+            .with_lane_settle_depth(512)
             .with_orphan_parity()
             .with_ingest_threads(4)
             .with_mode(Mode::Sharded(0));
@@ -761,7 +771,13 @@ mod tests {
         assert_eq!(cfg.correlator.memory_budget, Some(1 << 20));
         assert_eq!(cfg.correlator.max_seal_lag, Some(64));
         assert_eq!(cfg.correlator.channel_idle_horizon, Some(10_000));
+        assert_eq!(cfg.correlator.lane_settle_depth, Some(512));
         assert!(cfg.correlator.orphan_parity);
+        let off = PipelineConfig::new(access())
+            .with_channel_idle_horizon(0)
+            .with_lane_settle_depth(0);
+        assert_eq!(off.correlator.channel_idle_horizon, None);
+        assert_eq!(off.correlator.lane_settle_depth, None);
         assert_eq!(cfg.ingest_threads, 4);
         assert_eq!(cfg.mode, Mode::Sharded(0));
     }

@@ -167,6 +167,11 @@ pub struct RankerCounters {
     pub fetch_boosts: u64,
     /// RECEIVEs discarded as noise (`is_noise`).
     pub noise_discards: u64,
+    /// Sharded mode: parked lane heads force-settled by the
+    /// bounded-age settle rule
+    /// ([`crate::correlator::CorrelatorConfig::lane_settle_depth`])
+    /// before end of input.
+    pub aged_settles: u64,
     /// Blocked RECEIVEs force-delivered although their pending send had
     /// too few bytes (lost SEND records; produces a deformed CAG rather
     /// than silently dropping the path).
@@ -193,6 +198,7 @@ impl RankerCounters {
             swaps,
             fetch_boosts,
             noise_discards,
+            aged_settles,
             forced_deliveries,
             peak_buffered,
             rtt_samples,
@@ -205,6 +211,7 @@ impl RankerCounters {
         self.swaps += swaps;
         self.fetch_boosts += fetch_boosts;
         self.noise_discards += noise_discards;
+        self.aged_settles += aged_settles;
         self.forced_deliveries += forced_deliveries;
         self.peak_buffered += peak_buffered;
         self.rtt_samples += rtt_samples;

@@ -276,6 +276,12 @@ struct SessionRouter {
     staged: usize,
     /// Channel-idle GC horizon in staged records (`None` = never).
     idle_horizon: Option<u64>,
+    /// Bounded-age settle rule: force-settle a lane's undecidable head
+    /// receive once this many records buffer behind it (`None` = only
+    /// at end of input).
+    settle_depth: Option<u64>,
+    /// Heads settled early by the bounded-age rule (diagnostics).
+    aged_settles: u64,
     /// Total records ever staged — the idle-GC clock.
     records_staged: u64,
     /// Record count at the last idle sweep.
@@ -306,7 +312,12 @@ struct SessionRouter {
 }
 
 impl SessionRouter {
-    fn new(shards: u32, idle_horizon: Option<u64>, orphan_parity: bool) -> Self {
+    fn new(
+        shards: u32,
+        idle_horizon: Option<u64>,
+        settle_depth: Option<u64>,
+        orphan_parity: bool,
+    ) -> Self {
         SessionRouter {
             shards,
             hasher: FxBuildHasher::default(),
@@ -319,6 +330,8 @@ impl SessionRouter {
             any_shared: false,
             staged: 0,
             idle_horizon,
+            settle_depth,
+            aged_settles: 0,
             records_staged: 0,
             last_sweep: 0,
             idle_evicted: 0,
@@ -765,6 +778,43 @@ impl SessionRouter {
         }
     }
 
+    /// Decides a RECEIVE, applying the bounded-age settle rule on
+    /// deferral: once [`SessionRouter::settle_depth`] records have
+    /// buffered behind an undecidable head (the lane was popped, so
+    /// `buf` holds exactly the records behind it), the head is
+    /// re-decided under end-of-input semantics — claimless channels
+    /// discard as noise, drift leftovers route to their channel's
+    /// shard, partial coverage is consumed as-is. A head whose claim is
+    /// *staged on another lane* still defers (that lane is live and
+    /// will wake this one), so the rule only fires where waiting could
+    /// last forever: the send never existed or was lost by the capture.
+    /// Like [`crate::correlator::CorrelatorConfig::max_seal_lag`], the
+    /// exact firing point depends on push/pump interleaving; the
+    /// conservative default keeps it out of reach of causally
+    /// consistent captures, where deferrals resolve within the
+    /// reordering skew.
+    fn decide_with_settle(&mut self, lane: usize, a: &Activity, final_input: bool) -> RecvDecision {
+        let d = self.decide_receive(a, final_input);
+        if !matches!(d, RecvDecision::Defer) || final_input {
+            return d;
+        }
+        let deep = self
+            .settle_depth
+            .is_some_and(|n| self.lanes[lane].buf.len() as u64 >= n);
+        if !deep {
+            return RecvDecision::Defer;
+        }
+        match self.decide_receive(a, true) {
+            // The claim is staged on a live lane: progress is
+            // guaranteed, parking stays bounded.
+            RecvDecision::Defer => RecvDecision::Defer,
+            settled => {
+                self.aged_settles += 1;
+                settled
+            }
+        }
+    }
+
     /// Routes the lane's head activities until the lane empties or its
     /// head must defer.
     fn drain_lane(
@@ -808,7 +858,7 @@ impl SessionRouter {
                     }
                     s
                 }
-                ActivityType::Receive => match self.decide_receive(&a, final_input) {
+                ActivityType::Receive => match self.decide_with_settle(lane, &a, final_input) {
                     RecvDecision::Shard(s) => {
                         self.untrack(lane, &a);
                         self.wake(a.channel);
@@ -995,6 +1045,7 @@ impl ShardedCorrelator {
         let classifier = Classifier::new(config.access.clone());
         let filters = config.filters.clone();
         let idle_horizon = config.channel_idle_horizon;
+        let settle_depth = config.lane_settle_depth;
         let orphan_parity = config.orphan_parity;
         // Workers receive pre-classified, pre-filtered activities; the
         // shared budget splits across them.
@@ -1020,7 +1071,7 @@ impl ShardedCorrelator {
             filters,
             interner: Interner::new(),
             range_dedup: RangeDedup::new(),
-            router: SessionRouter::new(n as u32, idle_horizon, orphan_parity),
+            router: SessionRouter::new(n as u32, idle_horizon, settle_depth, orphan_parity),
             pending: vec![Vec::with_capacity(BATCH_RECORDS); n],
             txs,
             workers,
@@ -1155,13 +1206,12 @@ impl ShardedCorrelator {
     /// [`Self::correlate`], which stages the complete set first.
     ///
     /// Mid-stream, a RECEIVE whose channel has no known send yet
-    /// defers inside the router — including untraced-peer noise, which
-    /// is only settled (discarded) at [`Self::finish`] because a
-    /// not-yet-arrived send is indistinguishable from one that never
-    /// existed. An endless noisy stream therefore grows router state
-    /// behind such heads; bounding that with an age-based settle rule
-    /// is a tracked follow-up (see ROADMAP "Sharded streaming
-    /// endurance").
+    /// defers inside the router — including untraced-peer noise,
+    /// because a not-yet-arrived send is indistinguishable from one
+    /// that never existed. Such heads settle at [`Self::finish`], or
+    /// earlier under the bounded-age settle rule
+    /// ([`CorrelatorConfig::lane_settle_depth`], on by default), which
+    /// keeps router state bounded on endless noisy streams.
     ///
     /// # Errors
     ///
@@ -1275,6 +1325,7 @@ impl ShardedCorrelator {
         // Reader-side noise discards join the ranker count so the
         // merged total matches a single-shard run.
         metrics.ranker.noise_discards = self.router.noise_discards;
+        metrics.ranker.aged_settles = self.router.aged_settles;
         metrics.orphan_dropped = self.router.orphan_dropped;
         let mut noise_samples = std::mem::take(&mut self.router.noise_samples);
         for mut out in outputs {
@@ -1375,7 +1426,12 @@ pub fn route_records(
     let mut dedup = RangeDedup::new();
     // Introspection shows every activity's assignment, so orphan
     // chains are routed (parity mode), never dropped.
-    let mut router = SessionRouter::new(shards.max(1) as u32, config.channel_idle_horizon, true);
+    let mut router = SessionRouter::new(
+        shards.max(1) as u32,
+        config.channel_idle_horizon,
+        config.lane_settle_depth,
+        true,
+    );
     let mut out = Vec::new();
     let mut dispatch = |a: Activity, shard: u32| -> Result<(), TraceError> {
         out.push((a, shard));
@@ -1411,7 +1467,12 @@ pub fn route_records_streaming(
     let classifier = Classifier::new(config.access.clone());
     let filters = config.filters.clone();
     let mut dedup = RangeDedup::new();
-    let mut router = SessionRouter::new(shards.max(1) as u32, config.channel_idle_horizon, true);
+    let mut router = SessionRouter::new(
+        shards.max(1) as u32,
+        config.channel_idle_horizon,
+        config.lane_settle_depth,
+        true,
+    );
     let mut out = Vec::new();
     let mut dispatch = |a: Activity, shard: u32| -> Result<(), TraceError> {
         out.push((a, shard));
@@ -1673,7 +1734,7 @@ mod tests {
         // state and fall back once the claim routes it.
         let config = CorrelatorConfig::new(access());
         let classifier = Classifier::new(config.access.clone());
-        let mut router = SessionRouter::new(4, None, true);
+        let mut router = SessionRouter::new(4, None, None, true);
         let mut sink = |_a: Activity, _s: u32| -> Result<(), TraceError> { Ok(()) };
         let mut feed = |router: &mut SessionRouter, line: String| {
             let rec: RawRecord = line.parse().unwrap();
@@ -1741,7 +1802,7 @@ mod tests {
         let config = CorrelatorConfig::new(access());
         let classifier = Classifier::new(config.access.clone());
         let run = |horizon: Option<u64>| {
-            let mut router = SessionRouter::new(4, horizon, true);
+            let mut router = SessionRouter::new(4, horizon, None, true);
             let mut sink = |_a: Activity, _s: u32| -> Result<(), TraceError> { Ok(()) };
             let mut grow_peak = 0usize;
             for i in 0..400u64 {
@@ -1804,6 +1865,77 @@ mod tests {
             gc.metrics.ranker.noise_discards,
             base.metrics.ranker.noise_discards
         );
+    }
+
+    #[test]
+    fn bounded_age_settle_caps_an_always_deferred_lane() {
+        // Pathological lane: a thread that only ever RECEIVEs on a
+        // channel whose SEND side is never captured (dead or untraced
+        // peer). Mid-stream such a head is undecidable — the send may
+        // still arrive — so without a settle depth the lane parks and
+        // buffers every later record forever. With one, the head is
+        // settled as noise once `depth` records pile up behind it, so
+        // the lane's resident depth is capped at the knob.
+        let config = CorrelatorConfig::new(access());
+        let classifier = Classifier::new(config.access.clone());
+        let run = |depth: Option<u64>| {
+            let mut router = SessionRouter::new(4, None, depth, true);
+            let mut sink = |_a: Activity, _s: u32| -> Result<(), TraceError> { Ok(()) };
+            for i in 0..200u64 {
+                let line = format!(
+                    "{} app java 9 21 RECEIVE 10.0.0.1:6001-10.0.0.2:8009 64",
+                    1_000 + i
+                );
+                let rec: RawRecord = line.parse().unwrap();
+                router.stage(classifier.classify(&rec));
+                router.pump(false, &mut sink).unwrap();
+            }
+            router
+        };
+        let parked = run(None);
+        assert_eq!(parked.staged, 200, "without the rule every record parks");
+        assert_eq!(parked.aged_settles, 0);
+        let settled = run(Some(8));
+        assert!(
+            settled.staged <= 8,
+            "the lane must stay within the settle depth: {} staged",
+            settled.staged
+        );
+        assert_eq!(
+            settled.aged_settles, 192,
+            "each record past the depth settles one head"
+        );
+        assert_eq!(
+            settled.noise_discards, settled.aged_settles,
+            "claimless settled heads are discarded exactly like end-of-input noise"
+        );
+        assert!(
+            settled.approx_bytes() < parked.approx_bytes() / 4,
+            "settling must cap router memory: {} vs {}",
+            settled.approx_bytes(),
+            parked.approx_bytes()
+        );
+    }
+
+    #[test]
+    fn bounded_age_settle_waits_for_claims_staged_on_live_lanes() {
+        // The rule must NOT fire when the head's claim is merely staged
+        // on another lane (shared-channel turn ordering parks the send
+        // behind an earlier stager): progress is guaranteed, and an
+        // early settle would mis-route the receive. A depth of 1 makes
+        // the settle maximally eager, yet output must match the
+        // default run byte-for-byte on a live log.
+        let log = two_session_log();
+        let base =
+            ShardedCorrelator::correlate_text(CorrelatorConfig::new(access()), 3, &log).unwrap();
+        let eager = ShardedCorrelator::correlate_text(
+            CorrelatorConfig::new(access()).with_lane_settle_depth(1),
+            3,
+            &log,
+        )
+        .unwrap();
+        assert_eq!(format!("{:?}", eager.cags), format!("{:?}", base.cags));
+        assert_eq!(eager.unfinished.len(), base.unfinished.len());
     }
 
     #[test]
@@ -1886,7 +2018,7 @@ mod tests {
         // lane until finish.
         let config = CorrelatorConfig::new(access());
         let classifier = Classifier::new(config.access.clone());
-        let mut router = SessionRouter::new(4, None, true);
+        let mut router = SessionRouter::new(4, None, None, true);
         let mut routed: Vec<(Activity, u32)> = Vec::new();
         let feed = |router: &mut SessionRouter, line: &str, out: &mut Vec<(Activity, u32)>| {
             let rec: RawRecord = line.parse().unwrap();

@@ -20,10 +20,14 @@
 
 use std::net::Ipv4Addr;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 use precisetracer::prelude::*;
 use precisetracer::tracer::binfmt;
 use precisetracer::tracer::dot::average_path_to_dot;
+use precisetracer::tracer::serve::{
+    ServeConfig, ServeKpi, ServeSink, Server, ShedPolicy, SourceKind, SourceSpec,
+};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -38,6 +42,7 @@ fn main() -> ExitCode {
         "patterns" => patterns_cmd(rest),
         "diff" => diff_cmd(rest),
         "convert" => convert_cmd(rest),
+        "serve" => serve_cmd(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -65,6 +70,7 @@ USAGE:
   pt patterns  FILE --port P --internal IP[,IP...] [CORRELATION OPTIONS] [--dot FILE]
   pt diff      BASELINE_FILE CURRENT_FILE --port P --internal IP[,IP...] [CORRELATION OPTIONS]
   pt convert   IN_FILE OUT_FILE [--ingest-threads N]
+  pt serve     SOURCE [SOURCE...] --port P --internal IP[,IP...] [SERVE OPTIONS]
 
 SIMULATION OPTIONS:
   --web-replicas N     web frontends behind the client load balancer
@@ -111,6 +117,28 @@ CORRELATION OPTIONS:
                        counters: retrans_dropped, seq_dedup_ranges and
                        v2_records — v1 marker vs v2 range behavior at
                        a glance
+
+SERVE OPTIONS:
+  --format F           auto (default: sniff PTBIN magic per source),
+                       text, or ptbin — applies to every source
+  --idle-end-ms N      a file source counts as ended after N ms of no
+                       growth (0 = follow forever, the default; FIFO
+                       sources always end at writer hang-up)
+  --shed P             block (default: lossless, tailers wait for the
+                       correlator) or drop (drop the newest decoded
+                       batch under sustained queue pressure, counted)
+  --queue N            bounded queue depth in decoded batches (default 64)
+  --kpi-every N        print a KPI line every N ingested records
+                       (default 50000; 0 = only the final stats line)
+  --poll-ms N          tail poll cadence for quiet files (default 20)
+  --print-paths        print one line per sealed causal path
+  plus the correlation options --window-ms, --adaptive-window,
+  --memory-budget, --shards and --max-seal-lag. Without --shards the
+  daemon runs the streaming engine and emits each path as it seals;
+  with --shards it correlates online but emits paths at the final
+  drain (the merge is global). On SIGINT/SIGTERM the daemon stops
+  tailing, drains what is sealable, prints the final stats line and
+  exits 0.
 
 Flags may appear before or after positional arguments; unknown flags
 are rejected. The log format is the paper's TCP_TRACE text format:
@@ -360,6 +388,153 @@ fn convert_cmd(raw: &[String]) -> Result<(), String> {
             bin.len()
         );
     }
+    Ok(())
+}
+
+/// Rises when SIGINT or SIGTERM is delivered; `serve` polls it.
+static STOP: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_sig: i32) {
+    STOP.store(true, Ordering::Relaxed);
+}
+
+/// Installs `on_signal` for SIGINT and SIGTERM via `signal(2)`. The
+/// handler only stores to an atomic, which is async-signal-safe.
+#[cfg(unix)]
+fn install_stop_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    let handler = on_signal as extern "C" fn(i32) as usize;
+    unsafe {
+        signal(SIGINT, handler);
+        signal(SIGTERM, handler);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_stop_handlers() {}
+
+/// Prints KPI lines and (optionally) one line per sealed path.
+struct StdoutSink {
+    print_paths: bool,
+}
+
+impl ServeSink for StdoutSink {
+    fn on_sealed(&mut self, cags: &[Cag]) {
+        if !self.print_paths {
+            return;
+        }
+        for cag in cags {
+            let lat = cag
+                .total_latency()
+                .map(|n| format!("{:.3}ms", n.as_nanos() as f64 / 1e6))
+                .unwrap_or_else(|| "unfinished".into());
+            println!(
+                "path: root_ts={} vertices={} latency={lat}",
+                cag.root().ts.as_nanos(),
+                cag.vertices.len()
+            );
+        }
+    }
+
+    fn on_kpi(&mut self, k: &ServeKpi) {
+        println!(
+            "kpi: records={} sealed={} patterns={} p99_seal_lag={} state={}B rss={}B shed={}",
+            k.records_in,
+            k.cags_sealed,
+            k.patterns,
+            k.p99_seal_lag,
+            k.state_bytes,
+            k.rss_bytes.unwrap_or(0),
+            k.shed_records
+        );
+    }
+}
+
+fn serve_cmd(raw: &[String]) -> Result<(), String> {
+    let args = ParsedArgs::parse(
+        raw,
+        &[
+            "--port",
+            "--internal",
+            "--window-ms",
+            "--memory-budget",
+            "--shards",
+            "--max-seal-lag",
+            "--format",
+            "--idle-end-ms",
+            "--shed",
+            "--queue",
+            "--kpi-every",
+            "--poll-ms",
+        ],
+        &["--adaptive-window", "--print-paths"],
+    )?;
+    if args.positionals.is_empty() {
+        return Err("missing source file(s)".into());
+    }
+    let access = access_from(&args)?;
+    let mut config = CorrelatorConfig::new(access).with_window(window_from(&args)?);
+    if args.flag("--adaptive-window") {
+        config = config.with_adaptive_window();
+    }
+    if let Some(budget) = args.opt("--memory-budget") {
+        config = config.with_memory_budget(parse_bytes(budget)?);
+    }
+    if let Some(lag) = args.parse_opt::<u64>("--max-seal-lag")? {
+        config = config.with_max_seal_lag(lag);
+    }
+    let mode = match args.parse_opt::<usize>("--shards")? {
+        Some(n) => Mode::Sharded(n),
+        None => Mode::Streaming,
+    };
+    let kind = match args.opt("--format").map(String::as_str) {
+        None | Some("auto") => SourceKind::Auto,
+        Some("text") => SourceKind::Text,
+        Some("ptbin") => SourceKind::Ptbin,
+        Some(other) => return Err(format!("bad --format {other:?} (auto|text|ptbin)")),
+    };
+    let sources = args
+        .positionals
+        .iter()
+        .map(|p| SourceSpec {
+            path: p.into(),
+            kind,
+        })
+        .collect();
+    let pipeline = PipelineConfig {
+        correlator: config,
+        mode,
+        ingest_threads: 1,
+    };
+    let mut cfg = ServeConfig::new(pipeline, sources);
+    if let Some(ms) = args.parse_opt::<u64>("--idle-end-ms")? {
+        cfg.idle_end = (ms != 0).then(|| std::time::Duration::from_millis(ms));
+    }
+    cfg.shed = match args.opt("--shed").map(String::as_str) {
+        None | Some("block") => ShedPolicy::Block,
+        Some("drop") => ShedPolicy::Drop,
+        Some(other) => return Err(format!("bad --shed {other:?} (block|drop)")),
+    };
+    if let Some(q) = args.parse_opt::<usize>("--queue")? {
+        cfg.queue_batches = q;
+    }
+    if let Some(n) = args.parse_opt::<u64>("--kpi-every")? {
+        cfg.kpi_every_records = n;
+    }
+    if let Some(ms) = args.parse_opt::<u64>("--poll-ms")? {
+        cfg.poll_interval = std::time::Duration::from_millis(ms.max(1));
+    }
+    let server = Server::new(cfg).map_err(|e| e.to_string())?;
+    install_stop_handlers();
+    let mut sink = StdoutSink {
+        print_paths: args.flag("--print-paths"),
+    };
+    let report = server.run(&mut sink, &STOP).map_err(|e| e.to_string())?;
+    println!("{}", report.stats_line());
     Ok(())
 }
 

@@ -928,3 +928,178 @@ fn stats_flag_reports_marker_dedup_on_lossy_v1_logs() {
         .unwrap();
     assert!(dropped > 0, "marker dedup must drop records: {line}");
 }
+
+/// Extracts the integer value of `key=` from a `key=value` stats line.
+fn stat(line: &str, key: &str) -> u64 {
+    line.split(&format!("{key}="))
+        .nth(1)
+        .and_then(|s| s.split(['B', ' ']).next())
+        .unwrap_or_else(|| panic!("no {key}= in {line:?}"))
+        .parse()
+        .unwrap_or_else(|_| panic!("bad {key}= in {line:?}"))
+}
+
+#[test]
+fn serve_follows_a_file_to_idle_end_and_reports() {
+    let log = TmpFile::new("serve.log");
+    let out = pt()
+        .args([
+            "simulate",
+            "--clients",
+            "8",
+            "--seconds",
+            "6",
+            "--seed",
+            "5",
+        ])
+        .args(["--out", log.as_str()])
+        .output()
+        .expect("run pt simulate");
+    assert!(out.status.success());
+    let records = std::fs::read_to_string(&log.0).unwrap().lines().count() as u64;
+
+    let out = pt()
+        .args([
+            "serve",
+            log.as_str(),
+            "--port",
+            "80",
+            "--internal",
+            INTERNAL,
+        ])
+        .args([
+            "--idle-end-ms",
+            "200",
+            "--kpi-every",
+            "200",
+            "--print-paths",
+        ])
+        .output()
+        .expect("run pt serve");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stats = stdout
+        .lines()
+        .find(|l| l.starts_with("serve:"))
+        .expect("final stats line");
+    assert_eq!(stat(stats, "records"), records, "{stats}");
+    assert!(
+        stat(stats, "sealed") + stat(stats, "drained") > 0,
+        "{stats}"
+    );
+    assert_eq!(stat(stats, "shed"), 0, "{stats}");
+    assert!(stdout.contains("kpi: records="), "{stdout}");
+    assert!(stdout.contains("path: root_ts="), "{stdout}");
+}
+
+#[test]
+fn serve_rejects_bad_flags_by_name() {
+    let err = stderr_of(&["serve", "--port", "80", "--internal", INTERNAL]);
+    assert!(err.contains("missing source file"), "{err}");
+    let err = stderr_of(&[
+        "serve",
+        "/nonexistent.log",
+        "--port",
+        "80",
+        "--internal",
+        INTERNAL,
+        "--shed",
+        "panic",
+    ]);
+    assert!(err.contains("bad --shed"), "{err}");
+    let err = stderr_of(&[
+        "serve",
+        "/nonexistent.log",
+        "--port",
+        "80",
+        "--internal",
+        INTERNAL,
+        "--format",
+        "csv",
+    ]);
+    assert!(err.contains("bad --format"), "{err}");
+}
+
+/// SIGTERM mid-stream: the daemon must stop tailing, drain what is
+/// sealable, print the final stats line and exit 0.
+#[cfg(unix)]
+#[test]
+fn serve_drains_and_exits_zero_on_sigterm() {
+    use std::io::Read as _;
+
+    let log = TmpFile::new("sigterm.log");
+    let out = pt()
+        .args([
+            "simulate",
+            "--clients",
+            "8",
+            "--seconds",
+            "6",
+            "--seed",
+            "11",
+        ])
+        .args(["--out", log.as_str()])
+        .output()
+        .expect("run pt simulate");
+    assert!(out.status.success());
+    let records = std::fs::read_to_string(&log.0).unwrap().lines().count() as u64;
+
+    // No --idle-end-ms: the daemon follows forever; only the signal
+    // ends it.
+    let mut child = pt()
+        .args([
+            "serve",
+            log.as_str(),
+            "--port",
+            "80",
+            "--internal",
+            INTERNAL,
+        ])
+        .args(["--poll-ms", "5", "--kpi-every", "0"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn pt serve");
+
+    // Give it time to ingest the whole file, then signal.
+    std::thread::sleep(std::time::Duration::from_millis(600));
+    let kill = std::process::Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("send SIGTERM");
+    assert!(kill.success());
+
+    // The drain must finish promptly; poll rather than block forever.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    let status = loop {
+        match child.try_wait().expect("wait on pt serve") {
+            Some(s) => break s,
+            None if std::time::Instant::now() > deadline => {
+                child.kill().ok();
+                panic!("pt serve did not exit within 10s of SIGTERM");
+            }
+            None => std::thread::sleep(std::time::Duration::from_millis(20)),
+        }
+    };
+    assert!(status.success(), "SIGTERM drain must exit 0, got {status}");
+
+    let mut stdout = String::new();
+    child
+        .stdout
+        .take()
+        .unwrap()
+        .read_to_string(&mut stdout)
+        .unwrap();
+    let stats = stdout
+        .lines()
+        .find(|l| l.starts_with("serve:"))
+        .expect("final stats line after SIGTERM");
+    assert_eq!(stat(stats, "records"), records, "{stats}");
+    assert!(
+        stat(stats, "sealed") + stat(stats, "drained") > 0,
+        "{stats}"
+    );
+}

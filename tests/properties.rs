@@ -704,3 +704,57 @@ fn v2_dedup_prepass_equals_ingest_dedup() {
     assert_eq!(tag_sets(&raw.cags), tag_sets(&deduped.cags));
     assert_eq!(raw.cags.len(), deduped.cags.len());
 }
+
+/// Torn-tail robustness (live sources): feeding a corpus to the
+/// incremental ingest primitives in arbitrary chunkings reproduces the
+/// one-shot parse exactly — text via `split_complete_lines` + carry,
+/// PTBIN via `binfmt::StreamDecoder` — so a tailer polling a growing
+/// file can cut reads anywhere (mid-line, mid-cell, mid-header) and
+/// never lose or corrupt a record.
+#[test]
+fn incremental_reparse_equals_one_shot_for_arbitrary_chunkings() {
+    use precisetracer::tracer::ingest::split_complete_lines;
+    use precisetracer::tracer::raw::parse_log;
+
+    let out = rubis::run(rubis::ExperimentConfig::quick(4, 4));
+    let text: String = out.records.iter().map(|r| format!("{r}\n")).collect();
+    let bin = binfmt::encode_text(&text, 1).unwrap();
+    let want_text = parse_log(&text).unwrap();
+    let want_bin = binfmt::decode_records(&bin).unwrap();
+
+    let mut lcg = 0x9e37_79b9_7f4a_7c15u64;
+    let mut next_chunk = |max: usize| {
+        lcg = lcg
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (lcg >> 33) as usize % max + 1
+    };
+
+    for max_chunk in [1usize, 7, 53, 256, 4096] {
+        // Text: carry the torn tail across read boundaries.
+        let bytes = text.as_bytes();
+        let (mut got, mut carry, mut i) = (Vec::new(), Vec::<u8>::new(), 0usize);
+        while i < bytes.len() {
+            let n = next_chunk(max_chunk).min(bytes.len() - i);
+            carry.extend_from_slice(&bytes[i..i + n]);
+            i += n;
+            let (done, torn) = split_complete_lines(&carry);
+            let complete = std::str::from_utf8(done).unwrap();
+            got.extend(parse_log(complete).unwrap());
+            carry = torn.to_vec();
+        }
+        got.extend(parse_log(std::str::from_utf8(&carry).unwrap()).unwrap());
+        assert_eq!(got, want_text, "text max_chunk={max_chunk}");
+
+        // Binary: the stream decoder buffers torn fragments itself.
+        let (mut got, mut dec, mut i) = (Vec::new(), binfmt::StreamDecoder::new(), 0usize);
+        while i < bin.len() {
+            let n = next_chunk(max_chunk).min(bin.len() - i);
+            dec.push(&bin[i..i + n]);
+            got.extend(dec.drain().unwrap());
+            i += n;
+        }
+        assert_eq!(got, want_bin, "binary max_chunk={max_chunk}");
+        assert!(dec.is_clean(), "binary max_chunk={max_chunk}");
+    }
+}
