@@ -154,6 +154,7 @@ fn main() {
             check_ingest_regression(&base, "BENCH_baseline.json"),
             check_binary_regression(&base, "BENCH_baseline.json"),
             check_serve_regression(&base, "BENCH_baseline.json"),
+            check_spill_regression(&base, "BENCH_baseline.json"),
         ];
         if let Some(msg) = gates.into_iter().filter_map(Result::err).next() {
             eprintln!("BENCH REGRESSION: {msg}");
@@ -291,6 +292,42 @@ fn check_serve_regression(base: &Baseline, path: &str) -> Result<(), String> {
         ));
     }
     eprintln!("serve soak gate: measured recall {current:.4} vs committed {committed:.4} — ok");
+    Ok(())
+}
+
+/// Guards the spill tier's overhead: the measured spill-vs-batch wall
+/// ratio at the tightest budget (same run, same corpus, so machine
+/// speed cancels) must not grow more than 20% over the committed
+/// `scale.spill_vs_batch_wall`. Recall needs no gate — the scale run
+/// asserts byte-identity outright. Missing files/keys pass silently.
+fn check_spill_regression(base: &Baseline, path: &str) -> Result<(), String> {
+    let Some(&(_, current)) = base
+        .0
+        .iter()
+        .find(|(k, _)| k == "scale.spill_vs_batch_wall")
+    else {
+        return Ok(());
+    };
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Ok(());
+    };
+    let Some(committed) = text
+        .lines()
+        .find(|l| l.contains("\"scale.spill_vs_batch_wall\""))
+        .and_then(|l| l.split(':').nth(1))
+        .and_then(|v| v.trim().trim_end_matches(',').parse::<f64>().ok())
+    else {
+        return Ok(());
+    };
+    if current > committed * 1.2 {
+        return Err(format!(
+            "scale.spill_vs_batch_wall {current:.2}x grew more than 20% over the \
+             committed baseline {committed:.2}x"
+        ));
+    }
+    eprintln!(
+        "spill overhead gate: measured {current:.2}x batch vs committed {committed:.2}x — ok"
+    );
     Ok(())
 }
 
@@ -506,17 +543,19 @@ fn scale_stream(base: &mut Baseline, shards: usize) {
     assert!(aacc.is_perfect(), "adaptive accuracy regression: {aacc:?}");
     assert!(acorr.metrics.ranker.window_updates > 0);
 
-    // (d) Starved budget: evictions must be counted, never silent, and
-    // the resident set must still respect the budget at sampling points.
+    // (d) Starved budget under the legacy shed policy: evictions must
+    // be counted, never silent, and the resident set must still respect
+    // the budget at sampling points.
     let (tight, _) = out
         .correlate_with(
             out.correlator_config(Nanos::from_millis(10))
-                .with_memory_budget(1 << 20),
+                .with_memory_budget(1 << 20)
+                .with_shed_on_budget(),
         )
         .expect("valid config");
     assert!(
         tight.metrics.engine.budget_evicted_cags > 0,
-        "a 1 MiB budget must force evictions"
+        "a 1 MiB shed budget must force evictions"
     );
     // Even starved below the working set, the resident state stays near
     // the budget: sheddable state is evicted and the ranker's buffer
@@ -526,6 +565,78 @@ fn scale_stream(base: &mut Baseline, shards: usize) {
         tight.metrics.peak_bytes <= 2 << 20,
         "starved-budget peak {} bytes should stay near the 1 MiB budget",
         tight.metrics.peak_bytes
+    );
+
+    // (f) The spill tier (the budget default): shrink the budget and
+    // walk the budget-vs-recall-vs-latency curve. Unlike shedding,
+    // spilling only changes residency — every step must stay
+    // byte-identical to the unbounded batch run (recall 1.00), and the
+    // tightest step must have actually paged state out and back.
+    let batch_prints = cag_fingerprints(&corr.cags);
+    let mut spill_curve = Vec::new();
+    for budget in [8 << 20, 4 << 20, 2 << 20, 1 << 20usize] {
+        let t = Instant::now();
+        let (sp, spacc) = out
+            .correlate_with(
+                out.correlator_config(Nanos::from_millis(10))
+                    .with_memory_budget(budget),
+            )
+            .expect("valid config");
+        let secs = t.elapsed().as_secs_f64();
+        assert!(
+            spacc.is_perfect(),
+            "spill at {budget} B budget lost recall: {spacc:?}"
+        );
+        assert_eq!(
+            cag_fingerprints(&sp.cags),
+            batch_prints,
+            "spill at {budget} B budget diverged from the unbounded batch run"
+        );
+        assert_eq!(sp.metrics.engine.budget_evicted_cags, 0);
+        let spilled = sp.metrics.engine.spilled_cags
+            + sp.metrics.engine.spilled_orphans
+            + sp.metrics.spilled_dedup_entries;
+        let faults = sp.metrics.engine.spill_faults + sp.metrics.spill_dedup_faults;
+        spill_curve.push((budget, secs, spacc.recall(), spilled, faults, sp.metrics));
+    }
+    let (spill_budget, spill_secs, spill_recall, spill_spilled, spill_faults, spill_metrics) =
+        spill_curve.pop().expect("curve has steps");
+    assert!(
+        spill_faults > 0,
+        "a {spill_budget} B budget must page state out and fault it back"
+    );
+
+    // (g) Adaptive window under a budget: the density clamp must keep
+    // the window from settling far above the hand-tuned knob when the
+    // buffer working set would not fit, and accuracy per shrink step is
+    // recorded so a clamp regression is visible in the bench JSON.
+    let mut adaptive_steps = Vec::new();
+    for budget in [4 << 20, 1 << 20, 256 << 10usize] {
+        let (ac, aa) = out
+            .correlate_with(
+                out.correlator_config(Nanos::from_millis(10))
+                    .with_adaptive_window()
+                    .with_memory_budget(budget),
+            )
+            .expect("valid config");
+        adaptive_steps.push((
+            budget,
+            aa.recall(),
+            ac.metrics.ranker.window_clamps,
+            ac.metrics.ranker.adaptive_window_ns,
+        ));
+    }
+    let free_window_ns = acorr.metrics.ranker.adaptive_window_ns;
+    let (_, _, tightest_clamps, tightest_window_ns) =
+        *adaptive_steps.last().expect("steps recorded");
+    assert!(tightest_clamps > 0, "the tightest budget must clamp");
+    // The debt this clamp closes: unbudgeted, the noisy scale scenario
+    // drives the adaptive window orders of magnitude past the
+    // hand-tuned 10 ms knob. Budgeted, it must settle within 5x of it.
+    assert!(
+        tightest_window_ns <= 5 * Nanos::from_millis(10).as_nanos(),
+        "budget-clamped adaptive window {tightest_window_ns} ns settled more \
+         than 5x above the hand-tuned 10 ms window (unbudgeted: {free_window_ns} ns)"
     );
 
     println!(
@@ -545,11 +656,12 @@ fn scale_stream(base: &mut Baseline, shards: usize) {
             0,
         ),
         (
-            "tight_1MiB",
+            "shed_1MiB",
             f64::NAN,
             tight.metrics.peak_bytes,
             tight.metrics.engine.budget_evicted_cags,
         ),
+        ("spill_1MiB", spill_secs, spill_metrics.peak_bytes, 0),
     ] {
         println!(
             "{}",
@@ -596,6 +708,50 @@ fn scale_stream(base: &mut Baseline, shards: usize) {
         records as f64 / binary_enc_secs.max(1e-9),
     );
 
+    println!(
+        "{}",
+        header(&["spill_budget", "corr_s", "recall", "spilled", "faults"])
+    );
+    for (budget, secs, recall, spilled, faults, _) in &spill_curve {
+        println!(
+            "{}",
+            row(&[
+                format!("{:.0}MiB", *budget as f64 / (1 << 20) as f64),
+                format!("{secs:.3}"),
+                format!("{recall:.2}"),
+                spilled.to_string(),
+                faults.to_string(),
+            ])
+        );
+    }
+    println!(
+        "{}",
+        row(&[
+            format!("{:.0}MiB", spill_budget as f64 / (1 << 20) as f64),
+            format!("{spill_secs:.3}"),
+            format!("{spill_recall:.2}"),
+            spill_spilled.to_string(),
+            spill_faults.to_string(),
+        ])
+    );
+    println!(
+        "spill x{:.2} batch wall at the {:.0} MiB floor — identical output, {} pages written / {} read ({} absorbed in flight)",
+        spill_secs / batch_secs.max(1e-9),
+        spill_budget as f64 / (1 << 20) as f64,
+        spill_metrics.spill_pages_written,
+        spill_metrics.spill_pages_read,
+        spill_metrics.spill_queue_hits,
+    );
+    for (budget, recall, clamps, window_ns) in &adaptive_steps {
+        println!(
+            "adaptive budget {:>4} KiB: recall {recall:.4}, {clamps} window clamps, settled at {:.2} ms \
+             (unbudgeted {:.2} ms)",
+            budget >> 10,
+            *window_ns as f64 / 1e6,
+            free_window_ns as f64 / 1e6,
+        );
+    }
+
     base.rec("scale.records", records as f64);
     base.rec("scale.requests", out.service.completed as f64);
     base.rec("scale.sim_secs", sim_secs);
@@ -620,6 +776,32 @@ fn scale_stream(base: &mut Baseline, shards: usize) {
         "scale.tight_budget_evicted_cags",
         tight.metrics.engine.budget_evicted_cags as f64,
     );
+    base.rec("scale.spill_budget_bytes", spill_budget as f64);
+    base.rec("scale.spill_corr_secs", spill_secs);
+    base.rec("scale.spill_recall", spill_recall);
+    base.rec("scale.spill_spilled", spill_spilled as f64);
+    base.rec("scale.spill_faults", spill_faults as f64);
+    base.rec(
+        "scale.spill_pages_written",
+        spill_metrics.spill_pages_written as f64,
+    );
+    base.rec(
+        "scale.spill_vs_batch_wall",
+        spill_secs / batch_secs.max(1e-9),
+    );
+    for (budget, recall, clamps, window_ns) in &adaptive_steps {
+        let kib = budget >> 10;
+        base.rec(format!("scale.adaptive_budget_recall_{kib}k"), *recall);
+        base.rec(
+            format!("scale.adaptive_budget_clamps_{kib}k"),
+            *clamps as f64,
+        );
+        base.rec(
+            format!("scale.adaptive_budget_window_ns_{kib}k"),
+            *window_ns as f64,
+        );
+    }
+    base.rec("scale.adaptive_free_window_ns", free_window_ns as f64);
     base.rec("scale.sharded_shards", shards as f64);
     base.rec("scale.sharded_corr_secs", sharded_secs);
     base.rec(

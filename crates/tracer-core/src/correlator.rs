@@ -55,11 +55,26 @@ pub struct CorrelatorConfig {
     pub mem_sample_every: u64,
     /// Explicit resident-memory budget in bytes for the correlation
     /// state (window buffers + engine maps, per `approx_bytes`). When
-    /// exceeded at a sampling point, the stalest unfinished CAGs are
-    /// deterministically evicted until the state fits again; evictions
-    /// are surfaced in [`crate::engine::EngineCounters`]. `None`
+    /// exceeded at a sampling point, cold state is paged out to the
+    /// spill tier (the default — recall is unaffected, see
+    /// [`CorrelatorConfig::spill_dir`]) or, under
+    /// [`CorrelatorConfig::shed_on_budget`], the stalest unfinished
+    /// CAGs are deterministically evicted until the state fits again;
+    /// both are surfaced in [`crate::engine::EngineCounters`]. `None`
     /// disables budget enforcement.
     pub memory_budget: Option<usize>,
+    /// Directory for the spill tier's temp file (deleted on drop).
+    /// `None` uses the platform temp directory. Only consulted when a
+    /// memory budget is set and `shed_on_budget` is off — the spill
+    /// tier pages cold unfinished CAGs, orphan chains and range-dedup
+    /// coverage to disk and faults them back on touch, so a budgeted
+    /// run stays byte-identical to an unbounded one.
+    pub spill_dir: Option<std::path::PathBuf>,
+    /// Revert to the pre-spill budget policy: shed (drop) the stalest
+    /// state instead of spilling it. Bounds memory without any disk
+    /// I/O, at the cost of recall — every shed CAG is a request the
+    /// trace forgets.
+    pub shed_on_budget: bool,
     /// Sealing-latency bound (SLO) for streaming consumers: a finished
     /// CAG normally leaves the engine only once its context moves on
     /// (so trailing END chunks can still amend it), which under
@@ -132,6 +147,8 @@ impl CorrelatorConfig {
             engine: EngineOptions::default(),
             mem_sample_every: 64,
             memory_budget: None,
+            spill_dir: None,
+            shed_on_budget: false,
             max_seal_lag: None,
             channel_idle_horizon: Some(DEFAULT_CHANNEL_IDLE_HORIZON),
             lane_settle_depth: Some(DEFAULT_LANE_SETTLE_DEPTH),
@@ -161,6 +178,20 @@ impl CorrelatorConfig {
     /// Sets the explicit resident-memory budget in bytes.
     pub fn with_memory_budget(mut self, bytes: usize) -> Self {
         self.memory_budget = Some(bytes);
+        self
+    }
+
+    /// Sets the spill tier's directory (see
+    /// [`CorrelatorConfig::spill_dir`]).
+    pub fn with_spill_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.spill_dir = Some(dir.into());
+        self
+    }
+
+    /// Sheds state under budget pressure instead of spilling it (see
+    /// [`CorrelatorConfig::shed_on_budget`]).
+    pub fn with_shed_on_budget(mut self) -> Self {
+        self.shed_on_budget = true;
         self
     }
 
@@ -433,6 +464,14 @@ pub(crate) struct StreamingCorrelator {
     /// arithmetic, v1 `retrans` marker fallback.
     range_dedup: RangeDedup,
     metrics: CorrelatorMetrics,
+    /// Spill tier backing file (present iff a memory budget is set and
+    /// shedding was not requested); shared with the engine.
+    spill_file: Option<Arc<crate::spill::SpillFile>>,
+    /// Range-dedup coverage entries currently paged out, by key.
+    spilled_dedup: crate::fasthash::FxHashMap<
+        (crate::activity::Channel, crate::raw::RawOp),
+        crate::spill::PageExtent,
+    >,
     mem_sample_every: u64,
     memory_budget: Option<usize>,
     max_seal_lag: Option<u64>,
@@ -465,7 +504,7 @@ impl StreamingCorrelator {
     /// fails.
     pub fn new(config: CorrelatorConfig) -> Result<Self, TraceError> {
         config.validate()?;
-        Ok(Self::build(config))
+        Self::build(config)
     }
 
     /// Creates a streaming correlator for pre-classified activities
@@ -473,7 +512,7 @@ impl StreamingCorrelator {
     /// `push_activity` never classifies).
     pub(crate) fn for_activities(config: CorrelatorConfig) -> Result<Self, TraceError> {
         config.validate_window()?;
-        Ok(Self::build(config))
+        Self::build(config)
     }
 
     /// Creates a **direct-delivery** correlator: pushed activities are
@@ -485,25 +524,49 @@ impl StreamingCorrelator {
     /// exactly as in ranked mode.
     pub(crate) fn direct_for_activities(config: CorrelatorConfig) -> Result<Self, TraceError> {
         config.validate_window()?;
-        let mut sc = Self::build(config);
+        let mut sc = Self::build(config)?;
         sc.direct = true;
         Ok(sc)
     }
 
-    fn build(config: CorrelatorConfig) -> Self {
+    fn build(config: CorrelatorConfig) -> Result<Self, TraceError> {
         let mut ranker_opts = config.ranker;
-        // The budget backstops the window buffers too: stuck-state
-        // boosts must not fetch past it.
-        if ranker_opts.buffer_cap_bytes.is_none() {
+        let spill_mode = config.memory_budget.is_some() && !config.shed_on_budget;
+        // In shedding mode the budget backstops the window buffers too:
+        // stuck-state boosts must not fetch past it. In spill mode the
+        // ranker stays uncapped — capping it would change candidate
+        // selection, and the whole point of spilling is that a budgeted
+        // run makes exactly the decisions an unbounded run makes.
+        if ranker_opts.buffer_cap_bytes.is_none() && !spill_mode {
             ranker_opts.buffer_cap_bytes = config.memory_budget;
         }
-        StreamingCorrelator {
+        let mut ranker = Ranker::new(ranker_opts);
+        // Under the adaptive policy the budget additionally caps the
+        // window itself — window buffers cannot spill, so their ceiling
+        // must scale with what the budget can hold.
+        ranker.set_adaptive_budget(config.memory_budget);
+        let mut engine = Engine::new(config.engine.clone());
+        let mut spill_file = None;
+        if spill_mode {
+            let dir = config.spill_dir.clone().unwrap_or_else(std::env::temp_dir);
+            let file = Arc::new(crate::spill::SpillFile::create(&dir).map_err(|e| {
+                TraceError::config(format!(
+                    "cannot create spill file in {}: {e}",
+                    dir.display()
+                ))
+            })?);
+            engine.enable_spill(Arc::clone(&file));
+            spill_file = Some(file);
+        }
+        Ok(StreamingCorrelator {
             classifier: Classifier::new(config.access.clone()),
             filters: config.filters.clone(),
-            ranker: Ranker::new(ranker_opts),
-            engine: Engine::new(config.engine.clone()),
+            ranker,
+            engine,
             range_dedup: RangeDedup::new(),
             metrics: CorrelatorMetrics::default(),
+            spill_file,
+            spilled_dedup: crate::fasthash::FxHashMap::default(),
             mem_sample_every: config.mem_sample_every,
             memory_budget: config.memory_budget,
             max_seal_lag: config.max_seal_lag,
@@ -515,7 +578,7 @@ impl StreamingCorrelator {
             last_prune_contexts: 0,
             debug_budget: std::env::var_os("PT_BUDGET_DEBUG").is_some(),
             finished: false,
-        }
+        })
     }
 
     fn guard(&self) -> Result<(), TraceError> {
@@ -534,6 +597,20 @@ impl StreamingCorrelator {
     pub fn push(&mut self, mut rec: RawRecord) -> Result<(), TraceError> {
         self.guard()?;
         self.metrics.records_in += 1;
+        // Fault the channel's spilled dedup coverage back before the
+        // decision — a spilled entry is live state, and deciding
+        // without it would re-admit duplicate ranges.
+        if rec.seq.is_some() && !self.spilled_dedup.is_empty() {
+            let key = (rec.channel(), rec.op);
+            if let Some(ext) = self.spilled_dedup.remove(&key) {
+                let file = self
+                    .spill_file
+                    .as_ref()
+                    .expect("spilled entries imply a file");
+                self.range_dedup.restore_entry(key, &file.get(ext));
+                self.metrics.spill_dedup_faults += 1;
+            }
+        }
         match self.range_dedup.decide_owned(&rec) {
             // A duplicate byte range (v2 `seq=` arithmetic, or the v1
             // `retrans` marker): the kernel already delivered these
@@ -579,6 +656,15 @@ impl StreamingCorrelator {
         }
         self.ranker.push(act);
         Ok(())
+    }
+
+    /// Drops the engine's context binding for `ctx`. Used by the
+    /// sharded reader when an execution entity's records migrate to a
+    /// different shard: the batch engine would have re-bound the
+    /// entity's `cmap` entry there, so a binding left behind here is
+    /// stale and must not resolve for later records.
+    pub(crate) fn forget_ctx(&mut self, ctx: &crate::activity::ContextId) {
+        self.engine.forget_ctx(ctx);
     }
 
     /// Declares a node's stream complete. Returns `Ok(false)` when the
@@ -653,28 +739,10 @@ impl StreamingCorrelator {
             self.last_prune_contexts = self.engine.context_count();
         }
         if let Some(budget) = self.memory_budget {
-            while self.ranker.approx_bytes() + self.engine.approx_bytes() > budget {
-                // Deterministic shedding: stalest unfinished CAG, then
-                // oldest orphans/pendings; counted, never silent.
-                if !self.engine.shed_one() {
-                    // Nothing evictable left; reclaim dead context-map
-                    // entries, but only once enough piled up since the
-                    // last sweep (the sweep is O(contexts)).
-                    if self.engine.context_count()
-                        >= self.last_prune_contexts + Self::CMAP_GC_GROWTH
-                    {
-                        self.engine.prune_stale_contexts();
-                        self.last_prune_contexts = self.engine.context_count();
-                    }
-                    if self.debug_budget {
-                        eprintln!(
-                            "over budget after shed: ranker={} engine={:?}",
-                            self.ranker.approx_bytes(),
-                            self.engine.approx_breakdown()
-                        );
-                    }
-                    break;
-                }
+            if self.engine.spill_enabled() {
+                self.spill_to_budget(budget);
+            } else {
+                self.shed_to_budget(budget);
             }
         }
         let cur = self.ranker.approx_bytes() + self.engine.approx_bytes();
@@ -688,11 +756,101 @@ impl StreamingCorrelator {
         self.metrics.peak_bytes = self.metrics.peak_bytes.max(cur);
     }
 
+    /// Budget enforcement, spill flavor: page cold state out (unfinished
+    /// CAGs, orphan chains, then range-dedup coverage) until resident
+    /// state fits. Nothing is dropped — output stays byte-identical to
+    /// an unbounded run; only faults pay latency.
+    fn spill_to_budget(&mut self, budget: usize) {
+        while self.ranker.approx_bytes()
+            + self.engine.approx_bytes()
+            + self.range_dedup.approx_bytes()
+            > budget
+        {
+            if self.engine.spill_one() {
+                continue;
+            }
+            if self.spill_dedup_one() {
+                continue;
+            }
+            // The resident floor (window buffers, mmap/cmap) remains;
+            // reclaim dead contexts, then accept being over.
+            if self.engine.context_count() >= self.last_prune_contexts + Self::CMAP_GC_GROWTH {
+                self.engine.prune_stale_contexts();
+                self.last_prune_contexts = self.engine.context_count();
+            }
+            if self.debug_budget {
+                eprintln!(
+                    "over budget after spill: ranker={} engine={:?} dedup={}",
+                    self.ranker.approx_bytes(),
+                    self.engine.approx_breakdown(),
+                    self.range_dedup.approx_bytes()
+                );
+            }
+            break;
+        }
+        // New sampling boundary: the CAGs touched by the next batch of
+        // candidates are the working set and stay pinned.
+        self.engine.spill_checkpoint();
+    }
+
+    /// Pages the coldest range-dedup coverage entry out to the spill
+    /// file. Returns `false` when no coverage remains resident.
+    fn spill_dedup_one(&mut self) -> bool {
+        let Some(file) = self.spill_file.as_ref() else {
+            return false;
+        };
+        let Some((key, bytes)) = self.range_dedup.take_coldest_entry() else {
+            return false;
+        };
+        let ext = file.put(bytes);
+        self.spilled_dedup.insert(key, ext);
+        self.metrics.spilled_dedup_entries += 1;
+        true
+    }
+
+    /// Budget enforcement, shedding flavor (`--shed-on-budget`): drop
+    /// the stalest state until resident state fits.
+    fn shed_to_budget(&mut self, budget: usize) {
+        while self.ranker.approx_bytes() + self.engine.approx_bytes() > budget {
+            // Deterministic shedding: stalest unfinished CAG, then
+            // oldest orphans/pendings; counted, never silent.
+            if !self.engine.shed_one() {
+                // Nothing evictable left; reclaim dead context-map
+                // entries, but only once enough piled up since the
+                // last sweep (the sweep is O(contexts)).
+                if self.engine.context_count() >= self.last_prune_contexts + Self::CMAP_GC_GROWTH {
+                    self.engine.prune_stale_contexts();
+                    self.last_prune_contexts = self.engine.context_count();
+                }
+                if self.debug_budget {
+                    eprintln!(
+                        "over budget after shed: ranker={} engine={:?}",
+                        self.ranker.approx_bytes(),
+                        self.engine.approx_breakdown()
+                    );
+                }
+                break;
+            }
+        }
+    }
+
     /// Current approximate resident bytes (window buffers + engine
     /// state + the v2 range-dedup coverage, which is empty on v1
     /// streams) — the online-memory guarantee of the streaming mode.
     pub fn approx_bytes(&self) -> usize {
         self.ranker.approx_bytes() + self.engine.approx_bytes() + self.range_dedup.approx_bytes()
+    }
+
+    /// Live spill-tier counters `(objects spilled so far, faults so
+    /// far)` across CAGs, orphan chains and dedup coverage — `(0, 0)`
+    /// when the spill tier is off. For KPI streams; the final metrics
+    /// carry the full breakdown.
+    pub fn spill_counters(&self) -> (u64, u64) {
+        let e = self.engine.counters();
+        (
+            e.spilled_cags + e.spilled_orphans + self.metrics.spilled_dedup_entries,
+            e.spill_faults + self.metrics.spill_dedup_faults,
+        )
     }
 
     /// The current base sliding window (static, or the latest adaptive
@@ -736,6 +894,12 @@ impl StreamingCorrelator {
             unfinished.len() as u64 + self.engine.counters().budget_evicted_cags;
         metrics.ranker = *self.ranker.counters();
         metrics.engine = *self.engine.counters();
+        if let Some(file) = &self.spill_file {
+            let st = file.stats();
+            metrics.spill_pages_written = st.pages_written;
+            metrics.spill_pages_read = st.pages_read;
+            metrics.spill_queue_hits = st.queue_hits;
+        }
         if self.direct {
             // No in-process ranker ran; candidate selection happened
             // upstream (one candidate per delivered activity).
@@ -1004,9 +1168,13 @@ mod tests {
     fn memory_budget_evicts_stalest_unfinished_cags() {
         // Open many never-ending requests (BEGIN, no END): unfinished
         // CAGs accumulate until the budget forces deterministic eviction
-        // of the oldest ones, surfaced in the engine counters.
+        // of the oldest ones, surfaced in the engine counters. Uses the
+        // explicit shedding policy; the default pages out to the spill
+        // tier instead (covered by the spill tests below).
         let access = AccessPointSpec::new([80], ["10.0.0.1".parse().unwrap()]);
-        let mut cfg = CorrelatorConfig::new(access).with_memory_budget(8 * 1024);
+        let mut cfg = CorrelatorConfig::new(access)
+            .with_memory_budget(8 * 1024)
+            .with_shed_on_budget();
         cfg.mem_sample_every = 8;
         let mut sc = StreamingCorrelator::new(cfg).unwrap();
         for i in 0..2_000u64 {
@@ -1060,6 +1228,42 @@ mod tests {
         assert!(sc.approx_bytes() > 8 * 1024);
         let out = sc.finish().unwrap();
         assert_eq!(out.metrics.engine.budget_evicted_cags, 0);
+    }
+
+    #[test]
+    fn spill_tier_bounds_memory_without_losing_recall() {
+        // Same never-ending load as the shedding test, but under the
+        // default budget policy: cold CAGs page out to the spill file
+        // instead of being dropped, and every one of them comes back as
+        // a deformed path at finish — bounded memory, recall 1.00.
+        let access = AccessPointSpec::new([80], ["10.0.0.1".parse().unwrap()]);
+        let mut cfg = CorrelatorConfig::new(access).with_memory_budget(8 * 1024);
+        cfg.mem_sample_every = 8;
+        let mut sc = StreamingCorrelator::new(cfg).unwrap();
+        for i in 0..2_000u64 {
+            sc.push(
+                format!(
+                    "{} web httpd 7 7 RECEIVE 192.168.0.9:{}-10.0.0.1:80 100",
+                    i * 1_000_000,
+                    5_000 + (i % 50_000),
+                )
+                .parse()
+                .unwrap(),
+            )
+            .unwrap();
+            let _ = sc.poll().unwrap();
+        }
+        assert!(
+            sc.approx_bytes() <= 16 * 1024,
+            "resident {} bytes far exceeds the 8 KiB budget",
+            sc.approx_bytes()
+        );
+        let out = sc.finish().unwrap();
+        assert_eq!(out.metrics.engine.budget_evicted_cags, 0);
+        assert!(out.metrics.engine.spilled_cags > 0, "nothing spilled");
+        assert!(out.metrics.engine.spill_faults > 0, "nothing faulted");
+        assert_eq!(out.unfinished.len(), 2_000, "spill must not cost recall");
+        assert_eq!(out.metrics.cags_unfinished, 2_000);
     }
 
     #[test]
@@ -1118,6 +1322,77 @@ mod tests {
         );
         assert_eq!(out.metrics.cags_finished, 2_000);
         assert_eq!(out.metrics.cags_unfinished, 0);
+    }
+
+    #[test]
+    fn memory_budget_clamps_adaptive_window() {
+        // The same two-tier corpus correlated twice under the adaptive
+        // policy: folding a memory budget in must settle the window at
+        // or below the unbudgeted settle (window buffers cannot spill,
+        // so their ceiling scales with the budget), count the clamps,
+        // and still account for every request.
+        let access = AccessPointSpec::new(
+            [80],
+            ["10.0.0.1".parse().unwrap(), "10.0.0.2".parse().unwrap()],
+        );
+        let run = |budget: Option<usize>| {
+            let mut cfg = CorrelatorConfig::new(access.clone()).with_adaptive_window();
+            if let Some(b) = budget {
+                cfg = cfg.with_memory_budget(b);
+            }
+            let mut sc = StreamingCorrelator::new(cfg).unwrap();
+            for i in 0..2_000u64 {
+                let t0 = i * 10_000_000;
+                for line in [
+                    format!(
+                        "{} web httpd 7 7 RECEIVE 192.168.0.9:5000-10.0.0.1:80 100",
+                        t0
+                    ),
+                    format!(
+                        "{} web httpd 7 7 SEND 10.0.0.1:4001-10.0.0.2:9000 64",
+                        t0 + 100_000
+                    ),
+                    format!(
+                        "{} app java 9 21 RECEIVE 10.0.0.1:4001-10.0.0.2:9000 64",
+                        t0 + 200_000
+                    ),
+                    format!(
+                        "{} app java 9 21 SEND 10.0.0.2:9000-10.0.0.1:4001 256",
+                        t0 + 1_900_000
+                    ),
+                    format!(
+                        "{} web httpd 7 7 RECEIVE 10.0.0.2:9000-10.0.0.1:4001 256",
+                        t0 + 2_100_000
+                    ),
+                    format!(
+                        "{} web httpd 7 7 SEND 10.0.0.1:80-192.168.0.9:5000 512",
+                        t0 + 2_200_000
+                    ),
+                ] {
+                    sc.push(line.parse().unwrap()).unwrap();
+                }
+                let _ = sc.poll().unwrap();
+            }
+            let w = sc.current_window();
+            (w, sc.finish().unwrap())
+        };
+        let (free_w, free) = run(None);
+        let (tight_w, tight) = run(Some(2 << 10));
+        assert_eq!(free.metrics.ranker.window_clamps, 0);
+        assert!(
+            tight.metrics.ranker.window_clamps > 0,
+            "a 2 KiB budget must bind the adaptive window"
+        );
+        assert!(
+            tight_w <= free_w,
+            "budgeted window {tight_w} settled above unbudgeted {free_w}"
+        );
+        assert!(tight.metrics.ranker.adaptive_window_ns > 0);
+        assert_eq!(
+            tight.metrics.cags_finished + tight.metrics.cags_unfinished,
+            2_000,
+            "the clamp must not lose requests"
+        );
     }
 
     #[test]

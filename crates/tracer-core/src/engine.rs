@@ -23,11 +23,13 @@
 
 use std::collections::{BTreeMap, VecDeque};
 use std::mem::size_of;
+use std::sync::Arc;
 
 use crate::activity::{Activity, ActivityType, Channel, ContextId};
 use crate::cag::{Cag, Vertex};
 use crate::fasthash::FxHashMap;
 use crate::ranker::MatchOracle;
+use crate::spill::{self, codec, PageExtent, SpillFile};
 
 /// Tunables and ablation switches for the engine.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -112,6 +114,22 @@ pub struct EngineCounters {
     /// their context moved on (trailing END chunks can no longer amend
     /// them — the price of the sealing-latency SLO).
     pub forced_seals: u64,
+    /// Pending sends retired by v2 stream-offset arithmetic: a later
+    /// RECEIVE's `seq=` proved their own receive records were lost to
+    /// partial capture (offsets on a channel are monotone), so they can
+    /// never match — without this they would byte-shift the FIFO.
+    pub gap_retired_pendings: u64,
+    /// Unfinished CAGs paged out to the spill file under memory-budget
+    /// pressure (the spill tier's replacement for `budget_evicted_cags`
+    /// — residency changes, recall does not).
+    pub spilled_cags: u64,
+    /// Orphan vertices paged out to the spill file.
+    pub spilled_orphans: u64,
+    /// Spilled objects faulted back on touch (each fault is one CAG or
+    /// one orphan chunk read back from the spill tier).
+    pub spill_faults: u64,
+    /// Serialized bytes written to the spill tier.
+    pub spilled_bytes: u64,
 }
 
 impl EngineCounters {
@@ -138,6 +156,11 @@ impl EngineCounters {
             budget_evicted_vertices,
             pruned_contexts,
             forced_seals,
+            gap_retired_pendings,
+            spilled_cags,
+            spilled_orphans,
+            spill_faults,
+            spilled_bytes,
         } = other;
         self.delivered += delivered;
         self.cags_opened += cags_opened;
@@ -158,6 +181,11 @@ impl EngineCounters {
         self.budget_evicted_vertices += budget_evicted_vertices;
         self.pruned_contexts += pruned_contexts;
         self.forced_seals += forced_seals;
+        self.gap_retired_pendings += gap_retired_pendings;
+        self.spilled_cags += spilled_cags;
+        self.spilled_orphans += spilled_orphans;
+        self.spill_faults += spill_faults;
+        self.spilled_bytes += spilled_bytes;
     }
 }
 
@@ -177,6 +205,14 @@ struct Pending {
     remaining: u64,
     /// Ground-truth tags of receive segments consumed so far.
     recv_tags: Vec<u64>,
+    /// Stream-offset range `[start, end)` of the yet-unreceived bytes
+    /// when the send records carried `TCP_TRACE v2` `seq=` offsets
+    /// (`None` on v1 records or mixed chains). Lets RECEIVE matching
+    /// retire pendings whose receive records were lost to partial
+    /// capture instead of byte-shifting the FIFO — the same arithmetic
+    /// the sharded reader applies to its claim queues, so both modes
+    /// deform identically around capture gaps.
+    range: Option<(u64, u64)>,
 }
 
 /// Minimal vertex data kept for orphan chains (noise traffic from traced
@@ -215,6 +251,33 @@ enum Resolved {
     Stale,
 }
 
+/// Oldest orphans spilled per chunk: one spill object amortizes page
+/// slack across many tiny orphan records.
+const ORPHAN_CHUNK: usize = 128;
+
+/// Spill-tier bookkeeping: which objects are on disk, and the LRU-K
+/// access history driving victim selection.
+#[derive(Debug)]
+struct SpillState {
+    file: Arc<SpillFile>,
+    /// Spilled unfinished CAGs by id.
+    cags: FxHashMap<u64, PageExtent>,
+    /// Spilled orphan chunks; a slot is freed when its chunk faults back.
+    orphan_chunks: Vec<Option<PageExtent>>,
+    /// Orphan id → chunk slot.
+    orphan_index: FxHashMap<u64, u32>,
+    /// LRU-K (K = 2) history per *resident* unfinished CAG: the two most
+    /// recent touch ticks `(previous, last)` on the logical clock
+    /// (`counters.delivered`). Victim = smallest `(previous, last, id)`,
+    /// i.e. the CAG with the largest backward-K distance; the id
+    /// tie-break keeps selection deterministic.
+    lru: FxHashMap<u64, (u64, u64)>,
+    /// CAGs with `last ≥ pin_epoch` were touched since the correlator's
+    /// last sampling boundary and are pinned (spilling the working set
+    /// would thrash); advanced by [`Engine::spill_checkpoint`].
+    pin_epoch: u64,
+}
+
 /// The CAG construction engine.
 #[derive(Debug)]
 pub struct Engine {
@@ -236,6 +299,9 @@ pub struct Engine {
     /// Incremental byte accounting for Fig. 11.
     vertex_count: usize,
     tag_count: usize,
+    /// Spill tier (enabled by the correlator when a memory budget is
+    /// paired with a spill directory).
+    spill: Option<Box<SpillState>>,
 }
 
 impl Default for Engine {
@@ -263,6 +329,7 @@ impl Engine {
             counters: EngineCounters::default(),
             vertex_count: 0,
             tag_count: 0,
+            spill: None,
         }
     }
 
@@ -385,9 +452,225 @@ impl Engine {
         false
     }
 
+    /// Enables the spill tier backed by `file`. Subsequent
+    /// [`Engine::spill_one`] calls page cold state out instead of the
+    /// caller shedding it; everything faults back on touch, so output
+    /// stays byte-identical to an unbounded run.
+    pub fn enable_spill(&mut self, file: Arc<SpillFile>) {
+        self.spill = Some(Box::new(SpillState {
+            file,
+            cags: FxHashMap::default(),
+            orphan_chunks: Vec::new(),
+            orphan_index: FxHashMap::default(),
+            lru: FxHashMap::default(),
+            pin_epoch: 0,
+        }));
+    }
+
+    /// Whether the spill tier is enabled.
+    pub fn spill_enabled(&self) -> bool {
+        self.spill.is_some()
+    }
+
+    /// Number of unfinished CAGs currently paged out.
+    pub fn spilled_len(&self) -> usize {
+        self.spill.as_ref().map_or(0, |s| s.cags.len())
+    }
+
+    /// Marks a sampling boundary: CAGs touched at or after this point
+    /// are pinned (never spill victims) until the next checkpoint. The
+    /// streaming correlator calls this from its budget loop so the
+    /// working set of the current batch stays resident.
+    pub fn spill_checkpoint(&mut self) {
+        if let Some(sp) = self.spill.as_deref_mut() {
+            sp.pin_epoch = self.counters.delivered;
+        }
+    }
+
+    /// Pages one unit of cold state out to the spill tier: the LRU-K
+    /// victim among unpinned resident unfinished CAGs, else (working
+    /// set fully pinned) the overall LRU-K victim, else a chunk of the
+    /// oldest orphans. Returns `false` when nothing remains to spill —
+    /// the resident floor (`mmap`/`cmap` and the window buffers) stays.
+    pub fn spill_one(&mut self) -> bool {
+        let Some(sp) = self.spill.as_deref_mut() else {
+            return false;
+        };
+        let mut best: Option<(u64, u64, u64)> = None;
+        let mut best_pinned: Option<(u64, u64, u64)> = None;
+        for &id in self.unfinished.keys() {
+            let (prev, last) = sp.lru.get(&id).copied().unwrap_or((0, 0));
+            let key = (prev, last, id);
+            if last < sp.pin_epoch {
+                if best.is_none_or(|b| key < b) {
+                    best = Some(key);
+                }
+            } else if best_pinned.is_none_or(|b| key < b) {
+                best_pinned = Some(key);
+            }
+        }
+        if let Some((_, _, id)) = best.or(best_pinned) {
+            let cag = self.unfinished.remove(&id).expect("victim is resident");
+            self.vertex_count -= cag.vertices.len();
+            self.tag_count -= cag.vertices.iter().map(|v| v.tags.len()).sum::<usize>();
+            let mut buf = Vec::new();
+            spill::encode_cag(&cag, &mut buf);
+            self.counters.spilled_bytes += buf.len() as u64;
+            let ext = sp.file.put(buf);
+            sp.cags.insert(id, ext);
+            sp.lru.remove(&id);
+            self.counters.spilled_cags += 1;
+            return true;
+        }
+        // No resident CAG left: page out the oldest orphans, a chunk at
+        // a time (each orphan is tiny; one object per chunk amortizes
+        // page slack).
+        let mut buf = Vec::new();
+        let mut ids = Vec::new();
+        codec::put_u32(&mut buf, 0);
+        while ids.len() < ORPHAN_CHUNK {
+            let Some((id, o)) = self.orphans.pop_first() else {
+                break;
+            };
+            codec::put_u64(&mut buf, id);
+            codec::put_u8(&mut buf, spill::activity_type_code(o.ty));
+            codec::put_channel(&mut buf, o.channel);
+            codec::put_u64(&mut buf, o.size);
+            ids.push(id);
+        }
+        if ids.is_empty() {
+            return false;
+        }
+        buf[..4].copy_from_slice(&(ids.len() as u32).to_le_bytes());
+        self.counters.spilled_orphans += ids.len() as u64;
+        self.counters.spilled_bytes += buf.len() as u64;
+        let ext = sp.file.put(buf);
+        let slot = sp
+            .orphan_chunks
+            .iter()
+            .position(Option::is_none)
+            .unwrap_or_else(|| {
+                sp.orphan_chunks.push(None);
+                sp.orphan_chunks.len() - 1
+            });
+        sp.orphan_chunks[slot] = Some(ext);
+        for id in ids {
+            sp.orphan_index.insert(id, slot as u32);
+        }
+        true
+    }
+
+    /// Faults the object behind `vref` back in when it was spilled, and
+    /// records the touch in the LRU-K history. Every resolve of a
+    /// context/message parent goes through here, so spilling is purely a
+    /// residency change — no decision ever sees a spilled object as
+    /// absent.
+    fn fault_vref(&mut self, vref: VRef) {
+        if self.spill.is_none() {
+            return;
+        }
+        match vref {
+            VRef::Cag { cag, .. } => self.fault_cag(cag),
+            VRef::Orphan { id } => self.fault_orphan_chunk(id),
+        }
+    }
+
+    fn fault_cag(&mut self, id: u64) {
+        let Some(sp) = self.spill.as_deref_mut() else {
+            return;
+        };
+        if let Some(ext) = sp.cags.remove(&id) {
+            let bytes = sp.file.get(ext);
+            let cag = spill::decode_cag(&bytes);
+            self.vertex_count += cag.vertices.len();
+            self.tag_count += cag.vertices.iter().map(|v| v.tags.len()).sum::<usize>();
+            self.unfinished.insert(id, cag);
+            self.counters.spill_faults += 1;
+        }
+        self.touch_cag(id);
+    }
+
+    fn fault_orphan_chunk(&mut self, id: u64) {
+        let Some(sp) = self.spill.as_deref_mut() else {
+            return;
+        };
+        let Some(slot) = sp.orphan_index.get(&id).copied() else {
+            return;
+        };
+        let ext = sp.orphan_chunks[slot as usize]
+            .take()
+            .expect("indexed chunk is live");
+        let bytes = sp.file.get(ext);
+        let mut d = codec::Dec::new(&bytes);
+        let n = d.u32();
+        for _ in 0..n {
+            let oid = d.u64();
+            let ty = spill::activity_type_from_code(d.u8());
+            let channel = codec::get_channel(&mut d);
+            let size = d.u64();
+            sp.orphan_index.remove(&oid);
+            self.orphans.insert(oid, Orphan { ty, channel, size });
+        }
+        self.counters.spill_faults += 1;
+    }
+
+    /// Faults every spilled CAG back (end of stream: unfinished CAGs
+    /// are about to be surfaced as deformed paths).
+    fn fault_all_spilled_cags(&mut self) {
+        let Some(sp) = self.spill.as_deref_mut() else {
+            return;
+        };
+        let spilled: Vec<(u64, PageExtent)> = sp.cags.drain().collect();
+        for (id, ext) in spilled {
+            let bytes = sp.file.get(ext);
+            let cag = spill::decode_cag(&bytes);
+            self.vertex_count += cag.vertices.len();
+            self.tag_count += cag.vertices.iter().map(|v| v.tags.len()).sum::<usize>();
+            self.unfinished.insert(id, cag);
+            self.counters.spill_faults += 1;
+        }
+    }
+
+    /// Records a touch of CAG `id` at the current logical time,
+    /// shifting its LRU-K history.
+    fn touch_cag(&mut self, id: u64) {
+        if let Some(sp) = self.spill.as_deref_mut() {
+            let now = self.counters.delivered;
+            let e = sp.lru.entry(id).or_insert((0, 0));
+            if e.1 != now {
+                e.0 = e.1;
+                e.1 = now;
+            }
+        }
+    }
+
+    /// Whether `vref` points at spilled (alive, just not resident)
+    /// state; used by the context GC to avoid pruning live bindings.
+    fn is_spilled(&self, vref: VRef) -> bool {
+        let Some(sp) = self.spill.as_deref() else {
+            return false;
+        };
+        match vref {
+            VRef::Cag { cag, .. } => sp.cags.contains_key(&cag),
+            VRef::Orphan { id } => sp.orphan_index.contains_key(&id),
+        }
+    }
+
     /// Number of context-map entries currently held.
     pub fn context_count(&self) -> usize {
         self.cmap.len()
+    }
+
+    /// Drops the context binding for one entity, as if the entity had
+    /// moved on to work this engine never sees. The sharded reader
+    /// calls this when an entity's next record routes to a *different*
+    /// shard (or into a reader-side-dropped orphan chain): the binding
+    /// held here no longer reflects the entity's latest activity, and
+    /// resolving it would merge later records into a chain the batch
+    /// engine already left. Also what seals a finished CAG held only
+    /// by its END still being the context's latest vertex.
+    pub fn forget_ctx(&mut self, ctx: &ContextId) {
+        self.cmap.remove(ctx);
     }
 
     /// Drops `cmap` entries that no longer resolve to live state
@@ -399,7 +682,11 @@ impl Engine {
         let dead: Vec<ContextId> = self
             .cmap
             .iter()
-            .filter(|&(_, &vref)| matches!(self.resolve(vref), Resolved::Stale))
+            .filter(|&(_, &vref)| {
+                // A spilled object resolves Stale only because it is not
+                // resident; it is live state and its binding must stay.
+                matches!(self.resolve(vref), Resolved::Stale) && !self.is_spilled(vref)
+            })
             .map(|(ctx, _)| ctx.clone())
             .collect();
         for ctx in &dead {
@@ -410,8 +697,10 @@ impl Engine {
     }
 
     /// Abandons and returns all unfinished CAGs (used at end of stream to
-    /// surface deformed paths caused by lost activities).
+    /// surface deformed paths caused by lost activities). Spilled CAGs
+    /// fault back in first — the spill tier never costs recall.
     pub fn take_unfinished(&mut self) -> Vec<Cag> {
+        self.fault_all_spilled_cags();
         let cags: Vec<Cag> = std::mem::take(&mut self.unfinished).into_values().collect();
         self.vertex_count -= cags.iter().map(|c| c.vertices.len()).sum::<usize>();
         self.tag_count -= cags
@@ -482,8 +771,12 @@ impl Engine {
         }
     }
 
-    fn resolve_ctx(&self, ctx: &ContextId) -> Option<Resolved> {
-        self.cmap.get(ctx).map(|&r| self.resolve(r))
+    /// Resolves a context's latest activity, faulting it back from the
+    /// spill tier when needed (and recording the LRU touch).
+    fn resolve_ctx(&mut self, ctx: &ContextId) -> Option<Resolved> {
+        let vref = *self.cmap.get(ctx)?;
+        self.fault_vref(vref);
+        Some(self.resolve(vref))
     }
 
     fn vertex_from(a: &Activity, ctx_parent: Option<usize>, msg_parent: Option<usize>) -> Vertex {
@@ -503,6 +796,7 @@ impl Engine {
     fn push_vertex(&mut self, cag: u64, vertex: Vertex) -> usize {
         self.vertex_count += 1;
         self.tag_count += vertex.tags.len();
+        self.touch_cag(cag);
         let c = self.unfinished.get_mut(&cag).expect("push into open CAG");
         c.vertices.push(vertex);
         c.vertices.len() - 1
@@ -629,12 +923,34 @@ impl Engine {
             },
         );
         self.counters.cags_opened += 1;
+        self.touch_cag(id);
         self.cmap.insert(a.ctx, VRef::Cag { cag: id, v: 0 });
-        while self.unfinished.len() > self.opts.unfinished_cap {
-            if let Some((_, c)) = self.unfinished.pop_first() {
+        // The cap counts spilled CAGs too — the spill tier bounds
+        // memory, not the total amount of live state.
+        while self.unfinished.len() + self.spilled_len() > self.opts.unfinished_cap {
+            if let Some(&stalest_spilled) = self.spill.as_deref().and_then(|s| s.cags.keys().min())
+            {
+                // CAG ids are assigned in BEGIN order, so the globally
+                // stalest CAG may be on disk; fault it back so the
+                // abandonment below picks it, keeping the policy
+                // identical to the spill-free engine.
+                if self
+                    .unfinished
+                    .first_key_value()
+                    .is_none_or(|(&r, _)| stalest_spilled < r)
+                {
+                    self.fault_cag(stalest_spilled);
+                }
+            }
+            if let Some((id, c)) = self.unfinished.pop_first() {
                 self.vertex_count -= c.vertices.len();
                 self.tag_count -= c.vertices.iter().map(|v| v.tags.len()).sum::<usize>();
                 self.counters.abandoned_cags += 1;
+                if let Some(sp) = self.spill.as_deref_mut() {
+                    sp.lru.remove(&id);
+                }
+            } else {
+                break;
             }
         }
     }
@@ -647,6 +963,9 @@ impl Engine {
                 self.cmap.insert(a.ctx, VRef::Cag { cag, v: idx });
                 // Output the CAG (line 10).
                 let mut done = self.unfinished.remove(&cag).expect("open");
+                if let Some(sp) = self.spill.as_deref_mut() {
+                    sp.lru.remove(&cag);
+                }
                 done.finished = true;
                 self.finished_index.insert(cag, self.finished.len());
                 // The vertices move from "unfinished" accounting into the
@@ -705,7 +1024,12 @@ impl Engine {
                         vx.tags.push(a.tag);
                         self.tag_count += 1;
                     }
-                    self.extend_pending(a.channel, VRef::Cag { cag, v }, a.size);
+                    self.extend_pending(
+                        a.channel,
+                        VRef::Cag { cag, v },
+                        a.size,
+                        Self::seq_range(&a),
+                    );
                     self.counters.send_merges += 1;
                     return;
                 }
@@ -715,7 +1039,12 @@ impl Engine {
                     if let Some(o) = self.orphans.get_mut(&id) {
                         o.size += a.size;
                     }
-                    self.extend_pending(a.channel, VRef::Orphan { id }, a.size);
+                    self.extend_pending(
+                        a.channel,
+                        VRef::Orphan { id },
+                        a.size,
+                        Self::seq_range(&a),
+                    );
                     self.counters.send_merges += 1;
                     return;
                 }
@@ -740,19 +1069,32 @@ impl Engine {
                 vref,
                 remaining: a.size,
                 recv_tags: Vec::new(),
+                range: Self::seq_range(&a),
             },
         );
         self.cmap.insert(a.ctx, vref);
     }
 
+    /// Stream-offset range claimed by one send record (v2 only).
+    fn seq_range(a: &Activity) -> Option<(u64, u64)> {
+        a.seq.map(|s| (s, s + a.size.max(1)))
+    }
+
     /// Adds `size` bytes to the pending entry of a merged send vertex, or
     /// opens a new pending when the previous bytes were fully received
     /// already (send/receive pipelining).
-    fn extend_pending(&mut self, channel: Channel, vref: VRef, size: u64) {
+    fn extend_pending(&mut self, channel: Channel, vref: VRef, size: u64, rng: Option<(u64, u64)>) {
         if let Some(q) = self.mmap.get_mut(&channel) {
             if let Some(back) = q.back_mut() {
                 if back.vref == vref {
                     back.remaining += size;
+                    // Extend the claimed offsets; a v1 segment in a v2
+                    // chain poisons the range (offset-exact matching
+                    // would misattribute the untracked bytes).
+                    back.range = match (back.range, rng) {
+                        (Some((s, _)), Some((_, e2))) => Some((s, e2)),
+                        _ => None,
+                    };
                     return;
                 }
             }
@@ -763,6 +1105,7 @@ impl Engine {
                 vref,
                 remaining: size,
                 recv_tags: Vec::new(),
+                range: rng,
             },
         );
     }
@@ -772,6 +1115,78 @@ impl Engine {
             self.counters.unmatched_receives += 1;
             return;
         };
+        // With `TCP_TRACE v2` offsets on both sides, match by stream
+        // ranges instead of byte counting — the same arithmetic the
+        // sharded reader applies to its claim queues, so capture gaps
+        // deform both modes identically instead of byte-shifting the
+        // FIFO: pendings entirely below this receive lost their own
+        // receive records (offsets are monotone — they can never match),
+        // and a receive entirely below the front pending lost its send
+        // records (it can never match either).
+        if let Some(r0) = a.seq {
+            let r1 = r0 + a.size.max(1);
+            while matches!(
+                q.front(),
+                Some(p) if p.range.is_some_and(|(_, en)| en <= r0)
+            ) {
+                q.pop_front();
+                self.pending_count -= 1;
+                self.counters.gap_retired_pendings += 1;
+            }
+            if q.is_empty() {
+                self.mmap.remove(&a.channel);
+                self.counters.unmatched_receives += 1;
+                return;
+            }
+            let front = q.front_mut().expect("nonempty");
+            if let Some((fs, fe)) = front.range {
+                if fs >= r1 {
+                    self.counters.unmatched_receives += 1;
+                    return;
+                }
+                // Overlap. Uncovered head bytes of [r0, fs) have no
+                // pending (their send records were lost) and never
+                // will — forgiven, like the reader forgives them.
+                if fe > r1 {
+                    // Partial segment of a larger message: consume
+                    // [max(r0, fs), r1) offset-exactly, no vertex yet.
+                    front.remaining = front.remaining.saturating_sub(r1 - r0.max(fs));
+                    front.range = Some((r1, fe));
+                    if a.tag != 0 {
+                        front.recv_tags.push(a.tag);
+                    }
+                    self.counters.partial_receives += 1;
+                    return;
+                }
+                // The front message completes; consume further pendings
+                // overlapping [r0, r1) (receiver coalesced across
+                // message boundaries, counted like the byte path).
+                let done = q.pop_front().expect("front exists");
+                self.pending_count -= 1;
+                while let Some(nxt) = q.front_mut() {
+                    let Some((s, en)) = nxt.range else { break };
+                    if s >= r1 {
+                        break;
+                    }
+                    self.counters.cross_message_receives += 1;
+                    if en <= r1 {
+                        q.pop_front();
+                        self.pending_count -= 1;
+                    } else {
+                        nxt.remaining = nxt.remaining.saturating_sub(r1 - s);
+                        nxt.range = Some((r1, en));
+                        break;
+                    }
+                }
+                if q.is_empty() {
+                    self.mmap.remove(&a.channel);
+                }
+                self.materialize_receive(a, done);
+                return;
+            }
+            // No usable range on the front (v1 sender or poisoned
+            // chain): fall through to byte counting.
+        }
         let Some(front) = q.front_mut() else {
             self.counters.unmatched_receives += 1;
             return;
@@ -787,7 +1202,7 @@ impl Engine {
         }
         // The receive completes (and possibly overruns) the front message.
         let mut need = a.size - front.remaining;
-        let mut done = q.pop_front().expect("front exists");
+        let done = q.pop_front().expect("front exists");
         self.pending_count -= 1;
         while need > 0 {
             // Receiver coalesced bytes across message boundaries; consume
@@ -812,10 +1227,15 @@ impl Engine {
         if q.is_empty() {
             self.mmap.remove(&a.channel);
         }
-        // Lines 26-33: materialize the RECEIVE vertex. The vertex's tags
-        // are the receive segments consumed along the way plus this one
-        // (added by `vertex_from`).
+        self.materialize_receive(a, done);
+    }
+
+    /// Lines 26-33: materialize the RECEIVE vertex. The vertex's tags
+    /// are the receive segments consumed along the way plus this one
+    /// (added by `vertex_from`).
+    fn materialize_receive(&mut self, a: Activity, mut done: Pending) {
         let tags = std::mem::take(&mut done.recv_tags);
+        self.fault_vref(done.vref);
         match self.resolve(done.vref) {
             Resolved::Open {
                 cag: msg_cag,
@@ -897,14 +1317,37 @@ enum CtxParent {
 
 impl MatchOracle for Engine {
     fn rule1_matches(&self, a: &Activity) -> bool {
-        self.mmap
-            .get(&a.channel)
-            .and_then(|q| q.front())
-            .is_some_and(|p| p.remaining >= a.size)
+        let Some(q) = self.mmap.get(&a.channel) else {
+            return false;
+        };
+        if let Some(r0) = a.seq {
+            // Mirror `on_receive`'s v2 arithmetic: pendings wholly below
+            // the receive lost their own receives and will be retired on
+            // delivery. Treating them as a Rule-1 match would boost this
+            // receive ahead of its true sender's SEND record and bind it
+            // to a claim the offsets already disprove.
+            let r1 = r0 + a.size.max(1);
+            for p in q.iter() {
+                match p.range {
+                    Some((_, en)) if en <= r0 => continue,
+                    Some((fs, _)) => return fs < r1,
+                    None => return p.remaining >= a.size,
+                }
+            }
+            return false;
+        }
+        q.front().is_some_and(|p| p.remaining >= a.size)
     }
 
     fn has_any_pending(&self, a: &Activity) -> bool {
-        self.mmap.get(&a.channel).is_some_and(|q| !q.is_empty())
+        let Some(q) = self.mmap.get(&a.channel) else {
+            return false;
+        };
+        if let Some(r0) = a.seq {
+            q.iter().any(|p| p.range.is_none_or(|(_, en)| en > r0))
+        } else {
+            !q.is_empty()
+        }
     }
 }
 

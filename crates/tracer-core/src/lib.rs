@@ -89,6 +89,7 @@ pub mod ranker;
 pub mod raw;
 pub mod serve;
 pub mod shard;
+pub mod spill;
 
 pub use access::AccessPointSpec;
 pub use activity::{Activity, ActivityType, Channel, ContextId, EndpointV4, LocalTime, Nanos};
@@ -113,6 +114,7 @@ pub use serve::{
     ServeConfig, ServeKpi, ServeReport, ServeSink, Server, ShedPolicy, SourceKind, SourceReport,
     SourceSpec,
 };
+pub use spill::{sweep_process_spill_files, SpillFile, SpillFileStats, SPILL_FILE_PREFIX};
 
 /// Commonly used items, for glob import in examples and tests.
 pub mod prelude {

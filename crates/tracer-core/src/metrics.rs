@@ -45,6 +45,17 @@ pub struct CorrelatorMetrics {
     /// (`engine.budget_evicted_cags`), which are counted here but not
     /// returned — retaining them would defeat the budget.
     pub cags_unfinished: u64,
+    /// Range-dedup coverage entries paged out by the spill tier.
+    pub spilled_dedup_entries: u64,
+    /// Spilled coverage entries faulted back on a channel's next record.
+    pub spill_dedup_faults: u64,
+    /// Pages the spill file's write-behind thread wrote to disk.
+    pub spill_pages_written: u64,
+    /// Pages read back from the spill file on faults.
+    pub spill_pages_read: u64,
+    /// Faults served from the write-behind queue before the disk caught
+    /// up (no read I/O).
+    pub spill_queue_hits: u64,
     /// Peak approximate resident bytes of ranker buffers + engine state
     /// (sampled once per candidate).
     pub peak_bytes: usize,
@@ -70,6 +81,11 @@ impl CorrelatorMetrics {
         self.engine.absorb(&other.engine);
         self.cags_finished += other.cags_finished;
         self.cags_unfinished += other.cags_unfinished;
+        self.spilled_dedup_entries += other.spilled_dedup_entries;
+        self.spill_dedup_faults += other.spill_dedup_faults;
+        self.spill_pages_written += other.spill_pages_written;
+        self.spill_pages_read += other.spill_pages_read;
+        self.spill_queue_hits += other.spill_queue_hits;
         self.peak_bytes += other.peak_bytes;
         self.final_bytes += other.final_bytes;
         self.wall = self.wall.max(other.wall);

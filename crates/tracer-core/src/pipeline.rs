@@ -159,6 +159,20 @@ impl PipelineConfig {
         self
     }
 
+    /// Sets the spill tier's directory (see
+    /// [`CorrelatorConfig::spill_dir`]).
+    pub fn with_spill_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.correlator = self.correlator.with_spill_dir(dir);
+        self
+    }
+
+    /// Sheds state under budget pressure instead of spilling it (see
+    /// [`CorrelatorConfig::shed_on_budget`]).
+    pub fn with_shed_on_budget(mut self) -> Self {
+        self.correlator = self.correlator.with_shed_on_budget();
+        self
+    }
+
     /// Bounds the sealing latency of finished CAGs (see
     /// [`CorrelatorConfig::max_seal_lag`]).
     pub fn with_max_seal_lag(mut self, lag: u64) -> Self {
@@ -604,6 +618,19 @@ impl PipelineSession {
         }
     }
 
+    /// Live spill-tier counters `(objects spilled, faults)` of the
+    /// session's correlation state. Streaming sessions report their
+    /// correlator's counters; batch buffers nothing spillable and
+    /// sharded workers own their state privately until the final drain,
+    /// so both report `(0, 0)` here (the drain metrics carry the
+    /// totals).
+    pub fn spill_counters(&self) -> (u64, u64) {
+        match &self.inner {
+            SessionInner::Streaming(sc) => sc.spill_counters(),
+            _ => (0, 0),
+        }
+    }
+
     /// Ends the input and returns the final output (remaining finished
     /// CAGs plus deformed paths). The session is spent afterwards.
     ///
@@ -761,6 +788,8 @@ mod tests {
         let cfg = PipelineConfig::new(access())
             .with_window(Nanos::from_millis(5))
             .with_memory_budget(1 << 20)
+            .with_spill_dir("/tmp/pt-spill-test")
+            .with_shed_on_budget()
             .with_max_seal_lag(64)
             .with_channel_idle_horizon(10_000)
             .with_lane_settle_depth(512)
@@ -769,6 +798,11 @@ mod tests {
             .with_mode(Mode::Sharded(0));
         assert_eq!(cfg.correlator.ranker.window, Nanos::from_millis(5));
         assert_eq!(cfg.correlator.memory_budget, Some(1 << 20));
+        assert_eq!(
+            cfg.correlator.spill_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/pt-spill-test"))
+        );
+        assert!(cfg.correlator.shed_on_budget);
         assert_eq!(cfg.correlator.max_seal_lag, Some(64));
         assert_eq!(cfg.correlator.channel_idle_horizon, Some(10_000));
         assert_eq!(cfg.correlator.lane_settle_depth, Some(512));

@@ -182,6 +182,13 @@ pub struct RankerCounters {
     pub rtt_samples: u64,
     /// Times the adaptive window was recomputed from the quantiles.
     pub window_updates: u64,
+    /// Adaptive updates where the memory-budget clamp bound the window
+    /// below the latency-derived target (see
+    /// [`Ranker::set_adaptive_budget`]).
+    pub window_clamps: u64,
+    /// The adaptive window after the last update, in nanoseconds
+    /// (a gauge: `absorb` takes the max; `0` under the static policy).
+    pub adaptive_window_ns: u64,
 }
 
 impl RankerCounters {
@@ -203,6 +210,8 @@ impl RankerCounters {
             peak_buffered,
             rtt_samples,
             window_updates,
+            window_clamps,
+            adaptive_window_ns,
         } = other;
         self.enqueued += enqueued;
         self.candidates += candidates;
@@ -216,6 +225,8 @@ impl RankerCounters {
         self.peak_buffered += peak_buffered;
         self.rtt_samples += rtt_samples;
         self.window_updates += window_updates;
+        self.window_clamps += window_clamps;
+        self.adaptive_window_ns = self.adaptive_window_ns.max(*adaptive_window_ns);
     }
 }
 
@@ -320,6 +331,18 @@ struct AdaptiveState {
     since_update: u64,
     /// The current adaptive window (clamped p99 × slack).
     current: Nanos,
+    /// Memory budget folded into the clamp (see
+    /// [`Ranker::set_adaptive_budget`]); `None` leaves the policy's
+    /// static `max` as the only ceiling.
+    budget: Option<usize>,
+    /// High-water mark of buffered activities since the last window
+    /// update — the density sample the budget clamp divides by.
+    interval_peak: usize,
+    /// High-water buffer density (activities per window-nanosecond)
+    /// across all updates. A high-water, not a recent sample: buffer
+    /// pressure is bursty, and a clamp derived from a quiet interval
+    /// would let the window stretch right before the next burst.
+    peak_density: f64,
 }
 
 impl AdaptiveState {
@@ -464,6 +487,19 @@ impl Ranker {
     /// builder rather than through the configuration).
     pub fn set_buffer_cap(&mut self, bytes: Option<usize>) {
         self.opts.buffer_cap_bytes = bytes;
+    }
+
+    /// Folds a memory budget into the adaptive-window clamp: under
+    /// [`WindowPolicy::Adaptive`] the window's ceiling additionally
+    /// scales with what the budget can hold, so a noisy latency tail
+    /// cannot settle the window far above what the resident buffers
+    /// afford (window buffers cannot spill — they are the working set).
+    /// The estimate divides the ranker's share of the budget by the
+    /// observed buffer density; both inputs derive from record content,
+    /// never from timing, so ranking stays deterministic. No-op under
+    /// [`WindowPolicy::Static`].
+    pub fn set_adaptive_budget(&mut self, bytes: Option<usize>) {
+        self.adaptive.budget = bytes;
     }
 
     /// True when the buffer byte cap is what stops further fetching.
@@ -652,6 +688,7 @@ impl Ranker {
         if self.opts.window_policy == WindowPolicy::Static {
             return;
         }
+        self.adaptive.interval_peak = self.adaptive.interval_peak.max(self.buffered);
         match a.ty {
             ActivityType::Send => {
                 if self.adaptive.rtt_open.len() >= RTT_OPEN_CAP
@@ -691,16 +728,38 @@ impl Ranker {
         }
     }
 
-    /// Recomputes the adaptive window from the per-pair p99 quantiles.
+    /// Recomputes the adaptive window from the per-pair p99 quantiles,
+    /// then applies the memory-budget ceiling (see
+    /// [`Ranker::set_adaptive_budget`]).
     fn update_adaptive_window(&mut self) {
         let WindowPolicy::Adaptive { slack, min, max } = self.opts.window_policy else {
             return;
         };
+        let peak = std::mem::take(&mut self.adaptive.interval_peak);
+        let span = self.adaptive.current.0.max(1);
+        self.adaptive.peak_density = self.adaptive.peak_density.max(peak as f64 / span as f64);
         if let Some(p99) = self.adaptive.worst_p99() {
-            let want = Nanos(p99.0.saturating_mul(u64::from(slack.max(1))));
-            self.adaptive.current = Nanos(want.0.clamp(min.0, max.0));
+            let want = p99.0.saturating_mul(u64::from(slack.max(1)));
+            let mut hi = max.0;
+            if let Some(budget) = self.adaptive.budget {
+                if self.adaptive.peak_density > 0.0 {
+                    // Project the span whose buffers would fill the
+                    // ranker's half of the budget at the worst density
+                    // seen so far, and cap the window there.
+                    let allow = (budget / 2 / PER_BUFFERED_BYTES).max(1) as f64;
+                    let cap = (allow / self.adaptive.peak_density) as u64;
+                    if cap < hi {
+                        hi = cap;
+                        if want > cap {
+                            self.counters.window_clamps += 1;
+                        }
+                    }
+                }
+            }
+            self.adaptive.current = Nanos(want.clamp(min.0, hi.max(min.0)));
             self.counters.window_updates += 1;
         }
+        self.counters.adaptive_window_ns = self.adaptive.current.0;
     }
 
     /// Chooses the next candidate (§4.1 Rules 1 and 2, §4.3 disturbance

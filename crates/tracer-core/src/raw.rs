@@ -56,6 +56,7 @@ use std::sync::Arc;
 use crate::activity::{Channel, ContextId, EndpointV4, LocalTime};
 use crate::error::TraceError;
 use crate::intern::Interner;
+use crate::spill::codec;
 
 /// Direction of a raw kernel TCP activity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -495,6 +496,15 @@ impl RangeSet {
     }
 }
 
+/// One directed channel's coverage plus its last-touch tick (coldness
+/// ranking for the correlator's spill tier).
+#[derive(Debug, Default)]
+struct CoverEntry {
+    set: RangeSet,
+    /// Logical time of the entry's last touch (one tick per v2 record).
+    touch: u64,
+}
+
 /// What the range-aware ingest decided for one record.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum IngestDecision {
@@ -526,7 +536,9 @@ pub enum IngestDecision {
 /// order every correlation path already establishes).
 #[derive(Debug, Default)]
 pub struct RangeDedup {
-    cover: crate::fasthash::FxHashMap<(Channel, RawOp), RangeSet>,
+    cover: crate::fasthash::FxHashMap<(Channel, RawOp), CoverEntry>,
+    /// Logical clock behind `CoverEntry::touch`.
+    ticks: u64,
     /// Records seen carrying a `seq=` attribute.
     pub v2_records: u64,
     /// Records dropped by offset arithmetic (subset of all drops).
@@ -564,7 +576,10 @@ impl RangeDedup {
         match seq {
             Some(seq) => {
                 self.v2_records += 1;
-                let cover = self.cover.entry((channel, op)).or_default();
+                self.ticks += 1;
+                let entry = self.cover.entry((channel, op)).or_default();
+                entry.touch = self.ticks;
+                let cover = &mut entry.set;
                 if seq > cover.max_end() {
                     // A seq above every byte seen so far means the
                     // sniffer missed the records for the span in
@@ -613,12 +628,71 @@ impl RangeDedup {
     /// Approximate resident bytes of the coverage state.
     pub fn approx_bytes(&self) -> usize {
         use std::mem::size_of;
-        self.cover.len() * (size_of::<(Channel, RawOp)>() + size_of::<RangeSet>())
+        self.cover.len() * (size_of::<(Channel, RawOp)>() + size_of::<CoverEntry>())
             + self
                 .cover
                 .values()
-                .map(|r| r.ooo.len() * size_of::<(u64, u64)>())
+                .map(|r| r.set.ooo.len() * size_of::<(u64, u64)>())
                 .sum::<usize>()
+    }
+
+    /// Number of resident coverage entries (directed channels tracked).
+    pub fn cover_len(&self) -> usize {
+        self.cover.len()
+    }
+
+    /// Serializes and removes the least-recently-touched coverage entry
+    /// so the correlator's spill tier can page it out; ties break on the
+    /// channel/op key, keeping selection deterministic. Restoring via
+    /// [`RangeDedup::restore_entry`] before the channel's next record is
+    /// observationally identical to never having spilled.
+    pub fn take_coldest_entry(&mut self) -> Option<((Channel, RawOp), Vec<u8>)> {
+        fn sort_key(ch: &Channel, op: RawOp) -> (u32, u16, u32, u16, u8) {
+            (
+                u32::from(ch.src.ip),
+                ch.src.port,
+                u32::from(ch.dst.ip),
+                ch.dst.port,
+                matches!(op, RawOp::Receive) as u8,
+            )
+        }
+        let key = *self
+            .cover
+            .iter()
+            .min_by_key(|((ch, op), e)| (e.touch, sort_key(ch, *op)))
+            .map(|(k, _)| k)?;
+        let e = self.cover.remove(&key).expect("key just enumerated");
+        let mut buf = Vec::new();
+        codec::put_u64(&mut buf, e.touch);
+        codec::put_u64(&mut buf, e.set.hwm);
+        codec::put_u32(&mut buf, e.set.ooo.len() as u32);
+        for (&o, &l) in &e.set.ooo {
+            codec::put_u64(&mut buf, o);
+            codec::put_u64(&mut buf, l);
+        }
+        Some((key, buf))
+    }
+
+    /// Restores a coverage entry paged out by
+    /// [`RangeDedup::take_coldest_entry`].
+    pub fn restore_entry(&mut self, key: (Channel, RawOp), bytes: &[u8]) {
+        let mut d = codec::Dec::new(bytes);
+        let touch = d.u64();
+        let hwm = d.u64();
+        let n = d.u32();
+        let mut ooo = std::collections::BTreeMap::new();
+        for _ in 0..n {
+            let o = d.u64();
+            let l = d.u64();
+            ooo.insert(o, l);
+        }
+        self.cover.insert(
+            key,
+            CoverEntry {
+                set: RangeSet { hwm, ooo },
+                touch,
+            },
+        );
     }
 }
 

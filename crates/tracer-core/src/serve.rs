@@ -12,9 +12,11 @@
 //! Nothing in the daemon grows with stream length:
 //!
 //! * correlation state is bounded by the configured
-//!   [`crate::correlator::CorrelatorConfig::memory_budget`] (stalest
-//!   unfinished CAGs are shed and counted) and the ranker's sliding
-//!   window;
+//!   [`crate::correlator::CorrelatorConfig::memory_budget`] (cold
+//!   state pages out to the disk spill tier by default, keeping recall
+//!   intact; [`crate::correlator::CorrelatorConfig::shed_on_budget`]
+//!   evicts it outright instead) and the ranker's sliding window; the
+//!   drain removes every spill artifact the process created;
 //! * sharded router state is bounded by the bounded-age settle rule
 //!   ([`crate::correlator::CorrelatorConfig::lane_settle_depth`]) and
 //!   the channel-idle GC
@@ -225,6 +227,12 @@ pub struct ServeKpi {
     pub rss_bytes: Option<u64>,
     /// Records shed so far by the queue-full policy, across sources.
     pub shed_records: u64,
+    /// Objects (CAGs, orphan chains, dedup coverage) paged out by the
+    /// spill tier so far (streaming mode; sharded workers report only
+    /// in the final drain).
+    pub spilled: u64,
+    /// Spilled objects faulted back from disk so far.
+    pub spill_faults: u64,
 }
 
 /// Receives the daemon's continuous output. All methods default to
@@ -283,8 +291,8 @@ impl ServeReport {
         format!(
             "serve: records={} sealed={} drained={} patterns={} shed={} malformed={} \
              torn={} truncated={} restarts={} open_retries={} decode_errors={} \
-             budget_evicted={} aged_settles={} noise={} p99_seal_lag={} \
-             peak_state={}B peak_rss={}B wall={:.3}s",
+             budget_evicted={} spilled={} spill_faults={} aged_settles={} noise={} \
+             p99_seal_lag={} peak_state={}B peak_rss={}B wall={:.3}s",
             self.records_in,
             self.cags_sealed,
             self.output.cags.len(),
@@ -297,6 +305,8 @@ impl ServeReport {
             s(|r| r.open_retries),
             s(|r| r.decode_errors),
             m.engine.budget_evicted_cags,
+            m.engine.spilled_cags + m.engine.spilled_orphans + m.spilled_dedup_entries,
+            m.engine.spill_faults + m.spill_dedup_faults,
             m.ranker.aged_settles,
             m.ranker.noise_discards,
             self.p99_seal_lag,
@@ -534,6 +544,17 @@ impl Server {
         result?;
 
         let mut output = session.finish()?;
+        // Release the spill tier (dropping the session runs every
+        // `SpillFile` destructor, which unlinks its file), then sweep
+        // the spill dir for any artifact this process still left
+        // behind — e.g. a sharded worker torn down without running
+        // destructors. A drain must not leak temp files.
+        drop(session);
+        let cc = &self.config.pipeline.correlator;
+        if cc.memory_budget.is_some() && !cc.shed_on_budget {
+            let dir = cc.spill_dir.clone().unwrap_or_else(std::env::temp_dir);
+            crate::spill::sweep_process_spill_files(&dir);
+        }
         output.canonicalize();
         live.patterns.add_all(output.cags.iter());
         let report = ServeReport {
@@ -600,6 +621,7 @@ impl LiveState<'_> {
             self.next_kpi += cfg.kpi_every_records;
             let rss = current_rss_bytes();
             self.peak_rss = self.peak_rss.max(rss);
+            let (spilled, spill_faults) = session.spill_counters();
             let kpi = ServeKpi {
                 records_in: self.records_in,
                 cags_sealed: self.cags_sealed,
@@ -611,6 +633,8 @@ impl LiveState<'_> {
                     .iter()
                     .map(|c| c.shed_records.load(Ordering::Relaxed))
                     .sum(),
+                spilled,
+                spill_faults,
             };
             self.sink.on_kpi(&kpi);
         }

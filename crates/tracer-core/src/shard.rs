@@ -65,7 +65,7 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use crate::access::Classifier;
-use crate::activity::{Activity, ActivityType, EndpointV4};
+use crate::activity::{Activity, ActivityType, ContextId, EndpointV4};
 use crate::cag::Cag;
 use crate::correlator::StreamingCorrelator;
 use crate::correlator::{CorrelationOutput, CorrelatorConfig};
@@ -193,10 +193,30 @@ struct RoleOrder {
     order: Option<BTreeMap<(crate::activity::LocalTime, usize), u32>>,
 }
 
+/// One message of a shard's ordered input stream. Routing is not just
+/// partitioning: the batch engine's context map follows each execution
+/// entity *across* sessions, so when an entity's records migrate to a
+/// different shard the old shard must drop its now-stale binding —
+/// otherwise a later record landing there by hash could resolve (and
+/// merge into) a context chain the batch engine already moved past.
+#[derive(Debug, Clone)]
+pub(crate) enum ShardMsg {
+    /// A routed activity.
+    Act(Activity),
+    /// Drop the engine's `cmap` binding for this entity: its next
+    /// record went to a different shard (or into a reader-side-dropped
+    /// orphan chain), exactly when the batch engine would re-bind.
+    ForgetCtx(ContextId),
+}
+
 /// Routing decision for one RECEIVE.
 enum RecvDecision {
-    /// Route to this shard.
-    Shard(u32),
+    /// Route to this shard. `binds` mirrors whether the engine will
+    /// re-bind the receiving entity's context to a new vertex: a
+    /// receive that only trims the front claim (a partial segment of a
+    /// larger message) merges tags into the existing vertex and leaves
+    /// the context map untouched.
+    Shard { shard: u32, binds: bool },
     /// Every claim this receive consumed was a dropped orphan-chain
     /// send: the batch engine would merge this receive into the same
     /// never-emitted orphan chain, so it is dropped reader-side too.
@@ -215,13 +235,24 @@ struct CtxLane {
     buf: VecDeque<Activity>,
     /// Shard of the session this entity is currently working for.
     affinity: Option<u32>,
+    /// Shard whose engine holds this entity's live `cmap` binding (its
+    /// last *dispatched, binding* record). `None` when no engine holds
+    /// one — fresh lane, or the entity's chain went into a reader-side
+    /// dropped orphan chain. Differs from `affinity` exactly when the
+    /// last record did not re-bind the context (partial receive, or a
+    /// dropped record). Migrating the binding to another shard emits
+    /// [`ShardMsg::ForgetCtx`] to the old one.
+    bound: Option<u32>,
     /// This entity currently extends an orphan chain (its last routed
     /// record was dropped reader-side) — the reader's mirror of the
     /// engine's `cmap = Orphan` state. Cleared by any dispatched
     /// record (a BEGIN/END, or a receive consuming real claims).
     noise: bool,
-    /// Already in the runnable queue?
-    queued: bool,
+    /// Key this lane is registered under in the runnable set (the head
+    /// timestamp at enqueue time), `None` when not enqueued. Staging
+    /// can insert a record *before* the current head, so the key must
+    /// be re-derived whenever the head changes.
+    qkey: Option<crate::activity::LocalTime>,
     /// Channel this lane is currently registered as a waiter on, so
     /// repeated wake→re-defer cycles do not grow the waiter lists.
     waiting_on: Option<crate::activity::Channel>,
@@ -259,8 +290,18 @@ struct SessionRouter {
     hasher: FxBuildHasher,
     lanes: Vec<CtxLane>,
     by_ctx: FxHashMap<crate::activity::ContextId, usize>,
-    /// Lanes with potentially routable heads, FIFO (deterministic).
-    runnable: VecDeque<usize>,
+    /// Lanes with potentially routable heads, a min-heap on `(head
+    /// timestamp, lane)`. The pump always steps the lane whose head is
+    /// globally earliest and routes **one** activity per step — the
+    /// same global time order the batch ranker delivers in — so a
+    /// thread's late same-thread SEND can never reach a worker engine
+    /// before another lane's earlier RECEIVE/END seals the session
+    /// (the bulk-mix seal-order divergence). Lane index breaks ties
+    /// deterministically (lane creation order). Entries are
+    /// invalidated lazily: a popped entry is live only if it matches
+    /// the lane's current `qkey` — cheaper than keyed removal on the
+    /// per-record hot path.
+    runnable: std::collections::BinaryHeap<std::cmp::Reverse<(crate::activity::LocalTime, usize)>>,
     /// Channel → lanes whose head RECEIVE waits for a claim on it.
     waiters: FxHashMap<crate::activity::Channel, Vec<usize>>,
     /// Directed channel → claim FIFO + staged-send census.
@@ -323,7 +364,7 @@ impl SessionRouter {
             hasher: FxBuildHasher::default(),
             lanes: Vec::new(),
             by_ctx: FxHashMap::default(),
-            runnable: VecDeque::new(),
+            runnable: std::collections::BinaryHeap::new(),
             waiters: FxHashMap::default(),
             claims: FxHashMap::default(),
             roles: FxHashMap::default(),
@@ -429,8 +470,9 @@ impl SessionRouter {
                 self.lanes.push(CtxLane {
                     buf: VecDeque::new(),
                     affinity: None,
+                    bound: None,
                     noise: false,
-                    queued: false,
+                    qkey: None,
                     waiting_on: None,
                 });
                 self.by_ctx.insert(a.ctx.clone(), i);
@@ -453,9 +495,24 @@ impl SessionRouter {
             _ => buf.push_back(a),
         }
         self.staged += 1;
-        if !self.lanes[lane].queued {
-            self.lanes[lane].queued = true;
-            self.runnable.push_back(lane);
+        self.enqueue(lane);
+    }
+
+    /// (Re-)registers a lane in the runnable heap under its current
+    /// head timestamp; deregisters it when the lane is empty.
+    /// Idempotent, and free when the key is unchanged. A superseded
+    /// heap entry is not removed here — the pump discards entries whose
+    /// key no longer matches the lane's `qkey`.
+    fn enqueue(&mut self, lane: usize) {
+        let head_ts = self.lanes[lane].buf.front().map(|a| a.ts);
+        match (self.lanes[lane].qkey, head_ts) {
+            (Some(k), Some(ts)) if k == ts => {}
+            (_, new) => {
+                if let Some(ts) = new {
+                    self.runnable.push(std::cmp::Reverse((ts, lane)));
+                }
+                self.lanes[lane].qkey = new;
+            }
         }
     }
 
@@ -504,10 +561,7 @@ impl SessionRouter {
                 // The registration is consumed; a re-defer must
                 // re-register.
                 self.lanes[lane].waiting_on = None;
-                if !self.lanes[lane].queued {
-                    self.lanes[lane].queued = true;
-                    self.runnable.push_back(lane);
-                }
+                self.enqueue(lane);
             }
         }
     }
@@ -692,7 +746,7 @@ impl SessionRouter {
                     }
                     // Consume [r0, r1) by offset: pop claims ending
                     // within it, trim the one that extends past it.
-                    let (mut any, mut real) = (false, false);
+                    let (mut any, mut real, mut popped) = (false, false, false);
                     while let Some(e) = c.queue.front_mut() {
                         let Some((s, en)) = e.range else { break };
                         if s >= r1 {
@@ -702,6 +756,7 @@ impl SessionRouter {
                         real |= !e.dropped;
                         if en <= r1 {
                             c.queue.pop_front();
+                            popped = true;
                         } else {
                             e.bytes = e.bytes.saturating_sub(r1 - s);
                             e.range = Some((r1, en));
@@ -711,7 +766,10 @@ impl SessionRouter {
                     return if any && !real {
                         RecvDecision::Orphan(shard)
                     } else {
-                        RecvDecision::Shard(shard)
+                        RecvDecision::Shard {
+                            shard,
+                            binds: popped,
+                        }
                     };
                 }
                 // The front claim starts at or beyond the receive's
@@ -735,7 +793,11 @@ impl SessionRouter {
             return if final_input && c.staged == 0 {
                 // Drained by byte drift; stay with the channel's shard
                 // (an entry with nothing staged has routed ≥ 1 send).
-                RecvDecision::Shard(c.last.unwrap_or(0))
+                // The engine finds no pending there, so no re-binding.
+                RecvDecision::Shard {
+                    shard: c.last.unwrap_or(0),
+                    binds: false,
+                }
             } else {
                 RecvDecision::Defer
             };
@@ -750,7 +812,7 @@ impl SessionRouter {
             return RecvDecision::Defer;
         }
         let mut need = a.size;
-        let (mut any, mut real) = (false, false);
+        let (mut any, mut real, mut popped) = (false, false, false);
         while need > 0 {
             match c.queue.front_mut() {
                 Some(f) if f.bytes > need => {
@@ -767,6 +829,7 @@ impl SessionRouter {
                     real |= !f.dropped;
                     need -= f.bytes;
                     c.queue.pop_front();
+                    popped = true;
                 }
                 None => break,
             }
@@ -774,7 +837,10 @@ impl SessionRouter {
         if any && !real {
             RecvDecision::Orphan(front_shard)
         } else {
-            RecvDecision::Shard(front_shard)
+            RecvDecision::Shard {
+                shard: front_shard,
+                binds: popped,
+            }
         }
     }
 
@@ -815,128 +881,218 @@ impl SessionRouter {
         }
     }
 
-    /// Routes the lane's head activities until the lane empties or its
-    /// head must defer.
-    fn drain_lane(
+    /// Routes the lane's head activity — **one step** of the global
+    /// time-ordered schedule. Returns `true` when the lane parked
+    /// (deferred head or shared-channel turn waiting): a parked lane is
+    /// re-enqueued by [`SessionRouter::wake`], not by the pump.
+    fn step_lane(
         &mut self,
         lane: usize,
         final_input: bool,
-        dispatch: &mut dyn FnMut(Activity, u32) -> Result<(), TraceError>,
-    ) -> Result<(), TraceError> {
-        while let Some(a) = self.lanes[lane].buf.pop_front() {
-            // Shared-channel time ordering: out of several entities
-            // staging the same channel role, only the earliest may
-            // act; later ones park until the channel's turn passes to
-            // them (consumptions wake the channel's waiters).
-            if matches!(a.ty, ActivityType::Send | ActivityType::Receive) && !self.in_turn(lane, &a)
-            {
-                if self.lanes[lane].waiting_on != Some(a.channel) {
-                    self.waiters.entry(a.channel).or_default().push(lane);
-                    self.lanes[lane].waiting_on = Some(a.channel);
-                }
-                self.lanes[lane].buf.push_front(a);
-                return Ok(());
+        dispatch: &mut dyn FnMut(ShardMsg, u32) -> Result<(), TraceError>,
+    ) -> Result<bool, TraceError> {
+        let Some(a) = self.lanes[lane].buf.pop_front() else {
+            return Ok(false);
+        };
+        // Shared-channel time ordering: out of several entities
+        // staging the same channel role, only the earliest may
+        // act; later ones park until the channel's turn passes to
+        // them (consumptions wake the channel's waiters).
+        if matches!(a.ty, ActivityType::Send | ActivityType::Receive) && !self.in_turn(lane, &a) {
+            if self.lanes[lane].waiting_on != Some(a.channel) {
+                self.waiters.entry(a.channel).or_default().push(lane);
+                self.lanes[lane].waiting_on = Some(a.channel);
             }
-            let shard = match a.ty {
-                // The session identity itself: the client endpoint at
-                // the access point (BEGIN: src is the client; END: dst).
-                ActivityType::Begin => self.hash_to_shard(&a.channel.src),
-                ActivityType::End => self.hash_to_shard(&a.channel.dst),
-                ActivityType::Send => {
-                    self.untrack(lane, &a);
-                    let (s, dropped) = self.route_send(lane, &a);
-                    if dropped {
-                        // Orphan-chain send: claim recorded, record
-                        // dropped. The lane keeps the chain's shard as
-                        // affinity so follow-up records stay coherent,
-                        // and is marked noise so they drop too.
-                        self.staged -= 1;
-                        self.orphan_dropped += 1;
-                        self.lanes[lane].affinity = Some(s);
-                        self.lanes[lane].noise = true;
-                        continue;
-                    }
-                    s
+            self.lanes[lane].buf.push_front(a);
+            return Ok(true);
+        }
+        let (shard, binds) = match a.ty {
+            // The session identity itself: the client endpoint at the
+            // access point (BEGIN: src is the client).
+            ActivityType::Begin => (self.hash_to_shard(&a.channel.src), true),
+            // The engine resolves an END through the thread's context
+            // chain (`cmap`), not the endpoint — so it must go wherever
+            // this entity's live binding is. That is normally the
+            // session's own shard (identical to hashing the client
+            // endpoint in `dst`), but under partial capture a receive
+            // can byte-match another session's claim and re-bind the
+            // thread there, exactly as the batch engine's cmap would.
+            ActivityType::End => {
+                let l = &self.lanes[lane];
+                (
+                    l.bound
+                        .or(l.affinity)
+                        .unwrap_or_else(|| self.hash_to_shard(&a.channel.dst)),
+                    true,
+                )
+            }
+            ActivityType::Send => {
+                self.untrack(lane, &a);
+                let (s, dropped) = self.route_send(lane, &a);
+                if dropped {
+                    // Orphan-chain send: claim recorded, record
+                    // dropped. The lane keeps the chain's shard as
+                    // affinity so follow-up records stay coherent,
+                    // and is marked noise so they drop too. The batch
+                    // engine re-binds the context into the orphan
+                    // chain, so any shard still holding a live binding
+                    // for this entity must drop it.
+                    self.staged -= 1;
+                    self.orphan_dropped += 1;
+                    self.unbind(lane, &a.ctx, dispatch)?;
+                    self.lanes[lane].affinity = Some(s);
+                    self.lanes[lane].noise = true;
+                    return Ok(false);
                 }
-                ActivityType::Receive => match self.decide_with_settle(lane, &a, final_input) {
-                    RecvDecision::Shard(s) => {
-                        self.untrack(lane, &a);
-                        self.wake(a.channel);
-                        s
+                (s, true)
+            }
+            ActivityType::Receive => match self.decide_with_settle(lane, &a, final_input) {
+                RecvDecision::Shard { shard, binds } => {
+                    self.untrack(lane, &a);
+                    self.wake(a.channel);
+                    (shard, binds)
+                }
+                RecvDecision::Orphan(s) => {
+                    // Every consumed claim was a dropped orphan
+                    // send: the batch engine would merge this
+                    // receive into the same never-emitted chain
+                    // (re-binding the context to it).
+                    self.untrack(lane, &a);
+                    self.wake(a.channel);
+                    self.staged -= 1;
+                    self.orphan_dropped += 1;
+                    self.unbind(lane, &a.ctx, dispatch)?;
+                    self.lanes[lane].affinity = Some(s);
+                    self.lanes[lane].noise = true;
+                    return Ok(false);
+                }
+                RecvDecision::Defer => {
+                    // The claiming send is staged (or may still
+                    // arrive): wait for it. Register once per
+                    // channel — wake→re-defer cycles must not grow
+                    // the waiter list.
+                    if self.lanes[lane].waiting_on != Some(a.channel) {
+                        self.waiters.entry(a.channel).or_default().push(lane);
+                        self.lanes[lane].waiting_on = Some(a.channel);
                     }
-                    RecvDecision::Orphan(s) => {
-                        // Every consumed claim was a dropped orphan
-                        // send: the batch engine would merge this
-                        // receive into the same never-emitted chain.
-                        self.untrack(lane, &a);
-                        self.wake(a.channel);
-                        self.staged -= 1;
-                        self.orphan_dropped += 1;
-                        self.lanes[lane].affinity = Some(s);
-                        self.lanes[lane].noise = true;
-                        continue;
+                    self.lanes[lane].buf.push_front(a);
+                    return Ok(true);
+                }
+                RecvDecision::Noise => {
+                    // Discarded before dispatch; the entity's
+                    // session affinity stays untouched, like the
+                    // engine's `cmap` would be.
+                    self.untrack(lane, &a);
+                    self.wake(a.channel);
+                    self.staged -= 1;
+                    self.noise_discards += 1;
+                    if self.noise_samples.len() < NOISE_SAMPLE_CAP {
+                        self.noise_samples.push(a);
                     }
-                    RecvDecision::Defer => {
-                        // The claiming send is staged (or may still
-                        // arrive): wait for it. Register once per
-                        // channel — wake→re-defer cycles must not grow
-                        // the waiter list.
-                        if self.lanes[lane].waiting_on != Some(a.channel) {
-                            self.waiters.entry(a.channel).or_default().push(lane);
-                            self.lanes[lane].waiting_on = Some(a.channel);
-                        }
-                        self.lanes[lane].buf.push_front(a);
-                        return Ok(());
-                    }
-                    RecvDecision::Noise => {
-                        // Discarded before dispatch; the entity's
-                        // session affinity stays untouched, like the
-                        // engine's `cmap` would be.
-                        self.untrack(lane, &a);
-                        self.wake(a.channel);
-                        self.staged -= 1;
-                        self.noise_discards += 1;
-                        if self.noise_samples.len() < NOISE_SAMPLE_CAP {
-                            self.noise_samples.push(a);
-                        }
-                        continue;
-                    }
-                },
-            };
-            self.staged -= 1;
-            self.lanes[lane].affinity = Some(shard);
-            self.lanes[lane].noise = false;
-            dispatch(a, shard)?;
+                    return Ok(false);
+                }
+            },
+        };
+        self.staged -= 1;
+        self.lanes[lane].affinity = Some(shard);
+        self.lanes[lane].noise = false;
+        if binds {
+            self.rebind(lane, shard, &a.ctx, dispatch)?;
+        }
+        dispatch(ShardMsg::Act(a), shard)?;
+        Ok(false)
+    }
+
+    /// Moves the lane's live context binding to `shard`, telling the
+    /// shard that held it before (if any, and different) to forget it —
+    /// the mirror of the batch engine overwriting the entity's `cmap`
+    /// entry.
+    fn rebind(
+        &mut self,
+        lane: usize,
+        shard: u32,
+        ctx: &ContextId,
+        dispatch: &mut dyn FnMut(ShardMsg, u32) -> Result<(), TraceError>,
+    ) -> Result<(), TraceError> {
+        if let Some(old) = self.lanes[lane].bound {
+            if old != shard {
+                dispatch(ShardMsg::ForgetCtx(ctx.clone()), old)?;
+            }
+        }
+        self.lanes[lane].bound = Some(shard);
+        Ok(())
+    }
+
+    /// Drops the lane's live context binding entirely: the entity's
+    /// chain continued into a reader-side-dropped orphan chain, which
+    /// the batch engine re-binds `cmap` to — so no shard may keep a
+    /// resolvable binding.
+    fn unbind(
+        &mut self,
+        lane: usize,
+        ctx: &ContextId,
+        dispatch: &mut dyn FnMut(ShardMsg, u32) -> Result<(), TraceError>,
+    ) -> Result<(), TraceError> {
+        if let Some(old) = self.lanes[lane].bound.take() {
+            dispatch(ShardMsg::ForgetCtx(ctx.clone()), old)?;
         }
         Ok(())
     }
 
     /// Routes every currently routable staged activity, calling
-    /// `dispatch` for each `(activity, shard)` in a deterministic,
-    /// input-order-driven schedule. With `final_input`, remaining
-    /// deferred receives are settled (noise discarded; byte-drift
-    /// leftovers routed to their channel's shard), so the staging area
-    /// fully drains.
+    /// `dispatch` for each `(activity, shard)` in a deterministic
+    /// **global time order**: each iteration steps the runnable lane
+    /// whose head has the earliest local timestamp (ties by lane
+    /// creation order) and routes exactly one activity — the order the
+    /// batch ranker delivers in, so a session's records reach their
+    /// worker engine in the same relative order batch does and seal
+    /// order cannot diverge. With `final_input`, remaining deferred
+    /// receives are settled (noise discarded; byte-drift leftovers
+    /// routed to their channel's shard), so the staging area fully
+    /// drains.
     fn pump(
         &mut self,
         final_input: bool,
-        dispatch: &mut dyn FnMut(Activity, u32) -> Result<(), TraceError>,
+        dispatch: &mut dyn FnMut(ShardMsg, u32) -> Result<(), TraceError>,
     ) -> Result<(), TraceError> {
         if final_input {
             // Lanes that deferred mid-stream are waiting on claims that
             // may never come; with input closed they must all re-decide
             // under final semantics (noise discard, drift fallback).
             for lane in 0..self.lanes.len() {
-                if !self.lanes[lane].buf.is_empty() && !self.lanes[lane].queued {
-                    self.lanes[lane].queued = true;
-                    self.runnable.push_back(lane);
+                if !self.lanes[lane].buf.is_empty() {
+                    self.enqueue(lane);
                 }
             }
         }
         loop {
-            while let Some(lane) = self.runnable.pop_front() {
-                self.lanes[lane].queued = false;
-                self.drain_lane(lane, final_input, dispatch)?;
+            while let Some(std::cmp::Reverse((ts, lane))) = self.runnable.pop() {
+                // Lazy invalidation: the lane's head moved (or the lane
+                // parked) since this entry was pushed.
+                if self.lanes[lane].qkey != Some(ts) {
+                    continue;
+                }
+                self.lanes[lane].qkey = None;
+                // Step this lane for as long as it holds the global
+                // minimum: the common case is a run of consecutive
+                // records on one entity, which costs no heap traffic
+                // at all. A stale peeked entry can only yield early —
+                // it is discarded on its own pop and the lane resumes.
+                loop {
+                    if self.step_lane(lane, final_input, dispatch)? {
+                        break; // parked; wake() re-enqueues
+                    }
+                    let Some(head) = self.lanes[lane].buf.front().map(|a| a.ts) else {
+                        break; // drained
+                    };
+                    if let Some(&std::cmp::Reverse(next)) = self.runnable.peek() {
+                        if next < (head, lane) {
+                            self.runnable.push(std::cmp::Reverse((head, lane)));
+                            self.lanes[lane].qkey = Some(head);
+                            break; // another lane is globally earlier
+                        }
+                    }
+                }
             }
             if !final_input || self.staged == 0 {
                 return Ok(());
@@ -965,12 +1121,10 @@ impl SessionRouter {
                     let (s, dropped) = self.route_send(lane, &a);
                     if dropped {
                         self.orphan_dropped += 1;
+                        self.unbind(lane, &a.ctx, dispatch)?;
                         self.lanes[lane].affinity = Some(s);
                         self.lanes[lane].noise = true;
-                        if !self.lanes[lane].buf.is_empty() && !self.lanes[lane].queued {
-                            self.lanes[lane].queued = true;
-                            self.runnable.push_back(lane);
-                        }
+                        self.enqueue(lane);
                         continue;
                     }
                     s
@@ -983,11 +1137,9 @@ impl SessionRouter {
             self.wake(a.channel);
             self.lanes[lane].affinity = Some(shard);
             self.lanes[lane].noise = false;
-            dispatch(a, shard)?;
-            if !self.lanes[lane].buf.is_empty() && !self.lanes[lane].queued {
-                self.lanes[lane].queued = true;
-                self.runnable.push_back(lane);
-            }
+            self.rebind(lane, shard, &a.ctx, dispatch)?;
+            dispatch(ShardMsg::Act(a), shard)?;
+            self.enqueue(lane);
         }
     }
 }
@@ -1006,8 +1158,8 @@ pub(crate) struct ShardedCorrelator {
     range_dedup: RangeDedup,
     router: SessionRouter,
     /// Per-shard batch under construction.
-    pending: Vec<Vec<Activity>>,
-    txs: Vec<SyncSender<Vec<Activity>>>,
+    pending: Vec<Vec<ShardMsg>>,
+    txs: Vec<SyncSender<Vec<ShardMsg>>>,
     workers: Vec<JoinHandle<Result<CorrelationOutput, TraceError>>>,
     records_in: u64,
     filtered_out: u64,
@@ -1061,7 +1213,7 @@ impl ShardedCorrelator {
             // selection (causal order, Rule-1 byte coverage, noise
             // removal), so workers run the engine without re-ranking.
             let sc = StreamingCorrelator::direct_for_activities(shard_cfg.clone())?;
-            let (tx, rx): (SyncSender<Vec<Activity>>, Receiver<Vec<Activity>>) =
+            let (tx, rx): (SyncSender<Vec<ShardMsg>>, Receiver<Vec<ShardMsg>>) =
                 sync_channel(CHANNEL_BATCHES);
             txs.push(tx);
             workers.push(std::thread::spawn(move || Self::worker(sc, rx)));
@@ -1087,12 +1239,15 @@ impl ShardedCorrelator {
     /// stream sealed CAGs out, finish when the reader hangs up.
     fn worker(
         mut sc: StreamingCorrelator,
-        rx: Receiver<Vec<Activity>>,
+        rx: Receiver<Vec<ShardMsg>>,
     ) -> Result<CorrelationOutput, TraceError> {
         let mut cags = Vec::new();
         for batch in rx {
-            for a in batch {
-                sc.push_activity(a)?;
+            for msg in batch {
+                match msg {
+                    ShardMsg::Act(a) => sc.push_activity(a)?,
+                    ShardMsg::ForgetCtx(ctx) => sc.forget_ctx(&ctx),
+                }
             }
             cags.extend(sc.poll()?);
         }
@@ -1120,7 +1275,7 @@ impl ShardedCorrelator {
             + self
                 .pending
                 .iter()
-                .map(|b| b.len() * std::mem::size_of::<Activity>())
+                .map(|b| b.len() * std::mem::size_of::<ShardMsg>())
                 .sum::<usize>()
     }
 
@@ -1142,9 +1297,9 @@ impl ShardedCorrelator {
             txs,
             ..
         } = self;
-        let mut dispatch = |a: Activity, shard: u32| -> Result<(), TraceError> {
+        let mut dispatch = |m: ShardMsg, shard: u32| -> Result<(), TraceError> {
             let shard = shard as usize;
-            pending[shard].push(a);
+            pending[shard].push(m);
             if pending[shard].len() >= BATCH_RECORDS {
                 let batch =
                     std::mem::replace(&mut pending[shard], Vec::with_capacity(BATCH_RECORDS));
@@ -1433,8 +1588,10 @@ pub fn route_records(
         true,
     );
     let mut out = Vec::new();
-    let mut dispatch = |a: Activity, shard: u32| -> Result<(), TraceError> {
-        out.push((a, shard));
+    let mut dispatch = |m: ShardMsg, shard: u32| -> Result<(), TraceError> {
+        if let ShardMsg::Act(a) = m {
+            out.push((a, shard));
+        }
         Ok(())
     };
     for mut rec in records {
@@ -1474,8 +1631,10 @@ pub fn route_records_streaming(
         true,
     );
     let mut out = Vec::new();
-    let mut dispatch = |a: Activity, shard: u32| -> Result<(), TraceError> {
-        out.push((a, shard));
+    let mut dispatch = |m: ShardMsg, shard: u32| -> Result<(), TraceError> {
+        if let ShardMsg::Act(a) = m {
+            out.push((a, shard));
+        }
         Ok(())
     };
     for mut rec in records {
@@ -1735,7 +1894,7 @@ mod tests {
         let config = CorrelatorConfig::new(access());
         let classifier = Classifier::new(config.access.clone());
         let mut router = SessionRouter::new(4, None, None, true);
-        let mut sink = |_a: Activity, _s: u32| -> Result<(), TraceError> { Ok(()) };
+        let mut sink = |_m: ShardMsg, _s: u32| -> Result<(), TraceError> { Ok(()) };
         let mut feed = |router: &mut SessionRouter, line: String| {
             let rec: RawRecord = line.parse().unwrap();
             router.stage(classifier.classify(&rec));
@@ -1803,7 +1962,7 @@ mod tests {
         let classifier = Classifier::new(config.access.clone());
         let run = |horizon: Option<u64>| {
             let mut router = SessionRouter::new(4, horizon, None, true);
-            let mut sink = |_a: Activity, _s: u32| -> Result<(), TraceError> { Ok(()) };
+            let mut sink = |_m: ShardMsg, _s: u32| -> Result<(), TraceError> { Ok(()) };
             let mut grow_peak = 0usize;
             for i in 0..400u64 {
                 let port = 4001 + i;
@@ -1880,7 +2039,7 @@ mod tests {
         let classifier = Classifier::new(config.access.clone());
         let run = |depth: Option<u64>| {
             let mut router = SessionRouter::new(4, None, depth, true);
-            let mut sink = |_a: Activity, _s: u32| -> Result<(), TraceError> { Ok(()) };
+            let mut sink = |_m: ShardMsg, _s: u32| -> Result<(), TraceError> { Ok(()) };
             for i in 0..200u64 {
                 let line = format!(
                     "{} app java 9 21 RECEIVE 10.0.0.1:6001-10.0.0.2:8009 64",
@@ -2023,8 +2182,10 @@ mod tests {
         let feed = |router: &mut SessionRouter, line: &str, out: &mut Vec<(Activity, u32)>| {
             let rec: RawRecord = line.parse().unwrap();
             router.stage(classifier.classify(&rec));
-            let mut sink = |a: Activity, s: u32| -> Result<(), TraceError> {
-                out.push((a, s));
+            let mut sink = |m: ShardMsg, s: u32| -> Result<(), TraceError> {
+                if let ShardMsg::Act(a) = m {
+                    out.push((a, s));
+                }
                 Ok(())
             };
             router.pump(false, &mut sink).unwrap();
@@ -2111,9 +2272,12 @@ mod tests {
     #[test]
     fn memory_budget_splits_across_shards() {
         // A tiny budget still bounds each shard; evictions are counted
-        // in the merged metrics.
+        // in the merged metrics. Shedding is opt-in now; the default
+        // spill policy is covered by the cross-mode property tests.
         let access = AccessPointSpec::new([80], ["10.0.0.1".parse().unwrap()]);
-        let mut cfg = CorrelatorConfig::new(access).with_memory_budget(16 * 1024);
+        let mut cfg = CorrelatorConfig::new(access)
+            .with_memory_budget(16 * 1024)
+            .with_shed_on_budget();
         cfg.mem_sample_every = 8;
         let mut sc = ShardedCorrelator::new(cfg, 2).unwrap();
         for i in 0..4_000u64 {

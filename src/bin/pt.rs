@@ -65,7 +65,7 @@ USAGE:
   pt simulate  --clients N [--seconds S] [--seed N] [--noise] [--skew-ms N]
                [--web-replicas N] [--app-replicas N] [--db-replicas N]
                [--lb-policy rr|least-conn] [--pool N] [--loss P]
-               [--capture-drop P] --out FILE
+               [--capture-drop P] [--mix browse|bulk|default] --out FILE
   pt correlate FILE --port P --internal IP[,IP...] [CORRELATION OPTIONS]
   pt patterns  FILE --port P --internal IP[,IP...] [CORRELATION OPTIONS] [--dot FILE]
   pt diff      BASELINE_FILE CURRENT_FILE --port P --internal IP[,IP...] [CORRELATION OPTIONS]
@@ -87,6 +87,9 @@ SIMULATION OPTIONS:
                        per-message receive reassembly) and miss each
                        wire segment with probability P (0 = lossless
                        v2 capture)
+  --mix NAME           workload mix: browse (read-only), bulk (large
+                       multi-segment messages, stresses partial-capture
+                       reassembly) or default (~15% writes)
 
 CORRELATION OPTIONS:
   --window-ms W        static sliding window in milliseconds (default 10)
@@ -94,7 +97,16 @@ CORRELATION OPTIONS:
                        quantiles (p99 x 4, clamped to [1ms, 10s]);
                        overrides --window-ms
   --memory-budget B    resident-memory budget in bytes (suffixes k/m/g);
-                       stalest unfinished paths are evicted beyond it
+                       cold unfinished paths, orphan chains and dedup
+                       state are spilled to disk beyond it and faulted
+                       back on touch — output stays byte-identical to
+                       an unbounded run
+  --spill-dir DIR      directory for the spill file (default: the
+                       system temp dir); the file is unlinked when the
+                       run ends
+  --shed-on-budget     restore the old budget policy: evict the stalest
+                       unfinished paths outright instead of spilling
+                       them (cheaper, but sheds recall)
   --shards N           correlate through the sharded parallel pipeline
                        with N worker threads (0 = one per CPU core);
                        output is in canonical root order, identical for
@@ -133,7 +145,8 @@ SERVE OPTIONS:
   --poll-ms N          tail poll cadence for quiet files (default 20)
   --print-paths        print one line per sealed causal path
   plus the correlation options --window-ms, --adaptive-window,
-  --memory-budget, --shards and --max-seal-lag. Without --shards the
+  --memory-budget, --spill-dir, --shed-on-budget, --shards and
+  --max-seal-lag. Without --shards the
   daemon runs the streaming engine and emits each path as it seals;
   with --shards it correlates online but emits paths at the final
   drain (the merge is global). On SIGINT/SIGTERM the daemon stops
@@ -216,6 +229,7 @@ const CORRELATE_VALUE_OPTS: &[&str] = &[
     "--internal",
     "--window-ms",
     "--memory-budget",
+    "--spill-dir",
     "--shards",
     "--max-seal-lag",
     "--ingest-threads",
@@ -225,15 +239,21 @@ const PATTERNS_VALUE_OPTS: &[&str] = &[
     "--internal",
     "--window-ms",
     "--memory-budget",
+    "--spill-dir",
     "--shards",
     "--max-seal-lag",
     "--ingest-threads",
     "--dot",
 ];
-const CORRELATE_BOOL_OPTS: &[&str] = &["--adaptive-window", "--stats", "--orphan-parity"];
+const CORRELATE_BOOL_OPTS: &[&str] = &[
+    "--adaptive-window",
+    "--stats",
+    "--orphan-parity",
+    "--shed-on-budget",
+];
 /// `--stats` is correlate-only, so `patterns`/`diff` reject it instead
 /// of silently accepting a no-op (same convention as `--dot`).
-const ANALYSIS_BOOL_OPTS: &[&str] = &["--adaptive-window", "--orphan-parity"];
+const ANALYSIS_BOOL_OPTS: &[&str] = &["--adaptive-window", "--orphan-parity", "--shed-on-budget"];
 
 fn access_from(args: &ParsedArgs) -> Result<AccessPointSpec, String> {
     let port: u16 = args.parse_opt("--port")?.ok_or("missing --port")?;
@@ -270,6 +290,24 @@ fn parse_bytes(s: &str) -> Result<usize, String> {
         .ok_or_else(|| format!("bad --memory-budget {s:?}"))
 }
 
+/// Applies the shared budget-policy flags: `--memory-budget`,
+/// `--spill-dir` and `--shed-on-budget`.
+fn apply_budget_opts(
+    mut config: CorrelatorConfig,
+    args: &ParsedArgs,
+) -> Result<CorrelatorConfig, String> {
+    if let Some(budget) = args.opt("--memory-budget") {
+        config = config.with_memory_budget(parse_bytes(budget)?);
+    }
+    if let Some(dir) = args.opt("--spill-dir") {
+        config = config.with_spill_dir(dir);
+    }
+    if args.flag("--shed-on-budget") {
+        config = config.with_shed_on_budget();
+    }
+    Ok(config)
+}
+
 fn correlate_file(
     path: &str,
     args: &ParsedArgs,
@@ -282,9 +320,7 @@ fn correlate_file(
     if args.flag("--adaptive-window") {
         config = config.with_adaptive_window();
     }
-    if let Some(budget) = args.opt("--memory-budget") {
-        config = config.with_memory_budget(parse_bytes(budget)?);
-    }
+    config = apply_budget_opts(config, args)?;
     if let Some(lag) = args.parse_opt::<u64>("--max-seal-lag")? {
         config = config.with_max_seal_lag(lag);
     }
@@ -442,14 +478,17 @@ impl ServeSink for StdoutSink {
 
     fn on_kpi(&mut self, k: &ServeKpi) {
         println!(
-            "kpi: records={} sealed={} patterns={} p99_seal_lag={} state={}B rss={}B shed={}",
+            "kpi: records={} sealed={} patterns={} p99_seal_lag={} state={}B rss={}B shed={} \
+             spilled={} spill_faults={}",
             k.records_in,
             k.cags_sealed,
             k.patterns,
             k.p99_seal_lag,
             k.state_bytes,
             k.rss_bytes.unwrap_or(0),
-            k.shed_records
+            k.shed_records,
+            k.spilled,
+            k.spill_faults
         );
     }
 }
@@ -462,6 +501,7 @@ fn serve_cmd(raw: &[String]) -> Result<(), String> {
             "--internal",
             "--window-ms",
             "--memory-budget",
+            "--spill-dir",
             "--shards",
             "--max-seal-lag",
             "--format",
@@ -471,7 +511,7 @@ fn serve_cmd(raw: &[String]) -> Result<(), String> {
             "--kpi-every",
             "--poll-ms",
         ],
-        &["--adaptive-window", "--print-paths"],
+        &["--adaptive-window", "--print-paths", "--shed-on-budget"],
     )?;
     if args.positionals.is_empty() {
         return Err("missing source file(s)".into());
@@ -481,9 +521,7 @@ fn serve_cmd(raw: &[String]) -> Result<(), String> {
     if args.flag("--adaptive-window") {
         config = config.with_adaptive_window();
     }
-    if let Some(budget) = args.opt("--memory-budget") {
-        config = config.with_memory_budget(parse_bytes(budget)?);
-    }
+    config = apply_budget_opts(config, &args)?;
     if let Some(lag) = args.parse_opt::<u64>("--max-seal-lag")? {
         config = config.with_max_seal_lag(lag);
     }
@@ -554,6 +592,7 @@ fn simulate(raw: &[String]) -> Result<(), String> {
             "--pool",
             "--loss",
             "--capture-drop",
+            "--mix",
         ],
         &["--noise"],
     )?;
@@ -563,6 +602,13 @@ fn simulate(raw: &[String]) -> Result<(), String> {
     let mut cfg = rubis::ExperimentConfig::quick(clients, seconds);
     if let Some(seed) = args.parse_opt("--seed")? {
         cfg.seed = seed;
+    }
+    match args.opt("--mix").map(String::as_str) {
+        None => {}
+        Some("browse") => cfg.mix = rubis::Mix::browse_only(),
+        Some("bulk") => cfg.mix = rubis::Mix::bulk_browse(),
+        Some("default") => cfg.mix = rubis::Mix::default_mix(),
+        Some(other) => return Err(format!("bad --mix {other:?} (browse|bulk|default)")),
     }
     if let Some(skew) = args.parse_opt("--skew-ms")? {
         cfg.spec = cfg.spec.with_skew_ms(skew);
@@ -677,6 +723,20 @@ fn correlate_cmd(raw: &[String]) -> Result<(), String> {
         println!(
             "memory budget: evicted {} stale unfinished paths ({} vertices)",
             out.metrics.engine.budget_evicted_cags, out.metrics.engine.budget_evicted_vertices
+        );
+    }
+    if out.metrics.engine.spilled_cags > 0 || out.metrics.spilled_dedup_entries > 0 {
+        println!(
+            "spill: cags={} orphans={} dedup={} faults={} bytes={} \
+             pages_written={} pages_read={} queue_hits={}",
+            out.metrics.engine.spilled_cags,
+            out.metrics.engine.spilled_orphans,
+            out.metrics.spilled_dedup_entries,
+            out.metrics.engine.spill_faults + out.metrics.spill_dedup_faults,
+            out.metrics.engine.spilled_bytes,
+            out.metrics.spill_pages_written,
+            out.metrics.spill_pages_read,
+            out.metrics.spill_queue_hits
         );
     }
     if !out.noise_samples.is_empty() {

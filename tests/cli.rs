@@ -1103,3 +1103,96 @@ fn serve_drains_and_exits_zero_on_sigterm() {
         "{stats}"
     );
 }
+
+/// SIGTERM mid-stream with the spill tier active: the drain must
+/// remove every spill artifact — nothing matching `pt-spill-*` may
+/// survive in the spill directory after the daemon exits.
+#[cfg(unix)]
+#[test]
+fn serve_sigterm_leaves_no_spill_artifacts() {
+    use std::io::Read as _;
+
+    let log = TmpFile::new("spillterm.log");
+    let out = pt()
+        .args([
+            "simulate",
+            "--clients",
+            "8",
+            "--seconds",
+            "6",
+            "--seed",
+            "17",
+        ])
+        .args(["--out", log.as_str()])
+        .output()
+        .expect("run pt simulate");
+    assert!(out.status.success());
+
+    // A dedicated spill directory so leftover files are unambiguous.
+    let spill_dir = std::env::temp_dir().join(format!("pt-cli-spill-{}", std::process::id()));
+    std::fs::create_dir_all(&spill_dir).unwrap();
+
+    // Tiny budget: the daemon pages state through the spill file while
+    // following; only the signal ends it.
+    let mut child = pt()
+        .args([
+            "serve",
+            log.as_str(),
+            "--port",
+            "80",
+            "--internal",
+            INTERNAL,
+        ])
+        .args(["--poll-ms", "5", "--kpi-every", "0"])
+        .args(["--memory-budget", "64K"])
+        .args(["--spill-dir", spill_dir.to_str().unwrap()])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn pt serve");
+
+    std::thread::sleep(std::time::Duration::from_millis(600));
+    let kill = std::process::Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("send SIGTERM");
+    assert!(kill.success());
+
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    let status = loop {
+        match child.try_wait().expect("wait on pt serve") {
+            Some(s) => break s,
+            None if std::time::Instant::now() > deadline => {
+                child.kill().ok();
+                panic!("pt serve did not exit within 10s of SIGTERM");
+            }
+            None => std::thread::sleep(std::time::Duration::from_millis(20)),
+        }
+    };
+    assert!(status.success(), "SIGTERM drain must exit 0, got {status}");
+
+    let mut stdout = String::new();
+    child
+        .stdout
+        .take()
+        .unwrap()
+        .read_to_string(&mut stdout)
+        .unwrap();
+    let stats = stdout
+        .lines()
+        .find(|l| l.starts_with("serve:"))
+        .expect("final stats line after SIGTERM");
+    assert_eq!(stat(stats, "shed"), 0, "spill mode must not shed: {stats}");
+
+    let stray: Vec<String> = std::fs::read_dir(&spill_dir)
+        .unwrap()
+        .filter_map(|e| {
+            let name = e.ok()?.file_name().to_string_lossy().into_owned();
+            name.starts_with("pt-spill-").then_some(name)
+        })
+        .collect();
+    std::fs::remove_dir_all(&spill_dir).ok();
+    assert!(
+        stray.is_empty(),
+        "spill artifacts survived the SIGTERM drain: {stray:?}"
+    );
+}

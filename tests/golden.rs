@@ -402,6 +402,21 @@ fn golden_gap_heavy() {
 }
 
 #[test]
+fn golden_bulk_mix_drop() {
+    check_case("bulk_mix_drop");
+}
+
+#[test]
+fn golden_streaming_bulk_mix_drop() {
+    check_case_streaming("bulk_mix_drop", Feed::PushAllThenPoll);
+}
+
+#[test]
+fn golden_sharded_bulk_mix_drop() {
+    check_case_sharded("bulk_mix_drop");
+}
+
+#[test]
 fn golden_streaming_gap_heavy() {
     check_case_streaming("gap_heavy", Feed::PushAllThenPoll);
 }
@@ -471,6 +486,7 @@ fn golden_corpus_is_fully_covered() {
         "lossy_p01",
         "partial_capture",
         "gap_heavy",
+        "bulk_mix_drop",
     ];
     let mut found: Vec<String> = std::fs::read_dir(golden_dir())
         .expect("tests/golden")
@@ -527,6 +543,93 @@ fn golden_binary_source_matches_text_source_in_every_mode() {
         std::fs::remove_file(&bin_path).ok();
     }
     assert!(cases >= 10, "expected the full golden corpus, got {cases}");
+}
+
+/// Spill parity on every golden corpus: a run starved down to a 4 KiB
+/// memory budget — which pages cold CAGs, orphan chains and dedup
+/// coverage through the disk spill tier — renders **byte-identical**
+/// output to the unbounded run, in all three modes and at several
+/// shard counts. Spilling changes residency, never decisions.
+#[test]
+fn golden_spill_budget_matches_unbounded_in_every_mode() {
+    let spill_dir = std::env::temp_dir();
+    let mut cases = 0usize;
+    for entry in std::fs::read_dir(golden_dir()).expect("tests/golden") {
+        let log_path = entry.expect("dir entry").path();
+        if log_path.extension().map(|e| e != "log").unwrap_or(true) {
+            continue;
+        }
+        cases += 1;
+        let name = log_path.file_stem().unwrap().to_string_lossy().into_owned();
+        let text = std::fs::read_to_string(&log_path).unwrap();
+        let directive = parse_directive(&text, &log_path);
+        let base = PipelineConfig::new(directive.access).with_window(directive.window);
+        for mode in [
+            Mode::Batch,
+            Mode::Streaming,
+            Mode::Sharded(2),
+            Mode::Sharded(4),
+        ] {
+            let unbounded = Pipeline::new(base.clone().with_mode(mode))
+                .unwrap()
+                .run(Source::path(&log_path))
+                .unwrap();
+            let spilled = Pipeline::new(
+                base.clone()
+                    .with_mode(mode)
+                    .with_memory_budget(4 << 10)
+                    .with_spill_dir(&spill_dir),
+            )
+            .unwrap()
+            .run(Source::path(&log_path))
+            .unwrap();
+            assert!(
+                render(&unbounded) == render(&spilled),
+                "{name} {mode:?}: spill-budgeted correlation diverged from unbounded"
+            );
+            assert_eq!(
+                spilled.metrics.engine.budget_evicted_cags, 0,
+                "{name} {mode:?}: spill mode must never shed"
+            );
+        }
+    }
+    assert!(cases >= 10, "expected the full golden corpus, got {cases}");
+}
+
+/// A budget tight enough to force actual page traffic must still give
+/// recall 1.00: the big simulated corpus correlates byte-identically
+/// under 4 KiB with a nonzero fault count — proof the spill tier was
+/// truly exercised, not just enabled.
+#[test]
+fn golden_spill_faults_occur_without_recall_loss() {
+    let log_path = golden_dir().join("sim_c6_s6_seed42_noise.log");
+    let text = std::fs::read_to_string(&log_path).unwrap();
+    let directive = parse_directive(&text, &log_path);
+    let base = PipelineConfig::new(directive.access).with_window(directive.window);
+    let unbounded = Pipeline::new(base.clone())
+        .unwrap()
+        .run(Source::path(&log_path))
+        .unwrap();
+    let spilled = Pipeline::new(base.with_memory_budget(4 << 10))
+        .unwrap()
+        .run(Source::path(&log_path))
+        .unwrap();
+    assert!(
+        render(&unbounded) == render(&spilled),
+        "tiny-budget spill run diverged from unbounded"
+    );
+    let faults = spilled.metrics.engine.spill_faults + spilled.metrics.spill_dedup_faults;
+    assert!(
+        faults > 0,
+        "a 4 KiB budget on the sim corpus must fault spilled state back in"
+    );
+    assert!(
+        spilled.metrics.engine.spilled_cags
+            + spilled.metrics.engine.spilled_orphans
+            + spilled.metrics.spilled_dedup_entries
+            > 0,
+        "a 4 KiB budget on the sim corpus must spill state out"
+    );
 }
 
 /// The harness must actually be able to fail: perturbing a single
