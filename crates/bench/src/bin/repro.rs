@@ -155,6 +155,7 @@ fn main() {
             check_binary_regression(&base, "BENCH_baseline.json"),
             check_serve_regression(&base, "BENCH_baseline.json"),
             check_spill_regression(&base, "BENCH_baseline.json"),
+            check_dist_regression(&base, "BENCH_baseline.json"),
         ];
         if let Some(msg) = gates.into_iter().filter_map(Result::err).next() {
             eprintln!("BENCH REGRESSION: {msg}");
@@ -331,6 +332,43 @@ fn check_spill_regression(base: &Baseline, path: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Guards the distributed cluster's overhead: the measured
+/// distributed-vs-sharded wall ratio (same run, same corpus, so
+/// machine speed cancels) must not grow more than 20% over the
+/// committed `scale.dist_vs_sharded_wall`. Correctness needs no gate —
+/// the scale run asserts identical CAG content outright. Missing
+/// files/keys pass silently.
+fn check_dist_regression(base: &Baseline, path: &str) -> Result<(), String> {
+    let Some(&(_, current)) = base
+        .0
+        .iter()
+        .find(|(k, _)| k == "scale.dist_vs_sharded_wall")
+    else {
+        return Ok(());
+    };
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Ok(());
+    };
+    let Some(committed) = text
+        .lines()
+        .find(|l| l.contains("\"scale.dist_vs_sharded_wall\""))
+        .and_then(|l| l.split(':').nth(1))
+        .and_then(|v| v.trim().trim_end_matches(',').parse::<f64>().ok())
+    else {
+        return Ok(());
+    };
+    if current > committed * 1.2 {
+        return Err(format!(
+            "scale.dist_vs_sharded_wall {current:.2}x grew more than 20% over \
+             the committed baseline {committed:.2}x"
+        ));
+    }
+    eprintln!(
+        "distributed overhead gate: measured {current:.2}x sharded vs committed {committed:.2}x — ok"
+    );
+    Ok(())
+}
+
 /// Order- and id-insensitive canonical fingerprint of a CAG set: one
 /// sorted string per CAG covering every vertex field. The sharded
 /// pipeline renumbers ids into canonical root order, so content
@@ -426,6 +464,38 @@ fn scale_stream(base: &mut Baseline, shards: usize) {
         census(&sharded.cags),
         census(&corr.cags),
         "sharded pattern output diverged from the single-threaded path"
+    );
+
+    // (e'') The distributed cluster over the same corpus: router peers
+    // hosting sharded workers behind the claim wire protocol, absorbed
+    // by the coordinator's canonical merge. The in-process transport
+    // keeps the measurement about claim encode/route/merge overhead
+    // rather than fork+exec, and the gate compares the
+    // distributed-vs-sharded wall ratio (same run, so machine speed
+    // cancels) against the committed baseline.
+    let (dist_routers, dist_wpr) = (2usize, (shards / 2).max(1));
+    let t = Instant::now();
+    let dist = Pipeline::new(
+        PipelineConfig::from(out.correlator_config(Nanos::from_millis(10))).with_mode(
+            Mode::Distributed {
+                routers: dist_routers,
+                workers_per_router: dist_wpr,
+            },
+        ),
+    )
+    .expect("valid config")
+    .run(Source::records(out.records.clone()))
+    .expect("valid config");
+    let dist_secs = t.elapsed().as_secs_f64();
+    let dacc = out.truth.evaluate(&dist.cags);
+    assert!(
+        dacc.is_perfect(),
+        "distributed accuracy regression: {dacc:?}"
+    );
+    assert_eq!(
+        cag_fingerprints(&dist.cags),
+        cag_fingerprints(&corr.cags),
+        "distributed CAG content diverged from the single-threaded path"
     );
 
     // Ingest front-end: render the same corpus to TCP_TRACE text and
@@ -693,6 +763,12 @@ fn scale_stream(base: &mut Baseline, shards: usize) {
         sharded.metrics.ranker.noise_discards,
     );
     println!(
+        "distributed {dist_routers}x{dist_wpr}: {:.2}x sharded wall \
+         ({:.0} rec/s through the claim wire, identical CAG output)",
+        dist_secs / sharded_secs.max(1e-9),
+        records as f64 / dist_secs.max(1e-9),
+    );
+    println!(
         "ingest x{INGEST_THREADS}: {ingest_rps:.0} rec/s parallel scan \
          ({:.0} rec/s sequential, {:.1}x the batch correlation rate)",
         records as f64 / ingest_seq_secs.max(1e-9),
@@ -809,6 +885,17 @@ fn scale_stream(base: &mut Baseline, shards: usize) {
         records as f64 / sharded_secs.max(1e-9),
     );
     base.rec("scale.sharded_speedup", batch_secs / sharded_secs.max(1e-9));
+    base.rec("scale.dist_routers", dist_routers as f64);
+    base.rec("scale.dist_workers_per_router", dist_wpr as f64);
+    base.rec("scale.dist_corr_secs", dist_secs);
+    base.rec(
+        "scale.dist_records_per_sec",
+        records as f64 / dist_secs.max(1e-9),
+    );
+    base.rec(
+        "scale.dist_vs_sharded_wall",
+        dist_secs / sharded_secs.max(1e-9),
+    );
     base.rec("scale.ingest_threads", INGEST_THREADS as f64);
     base.rec("scale.ingest_records_per_sec", ingest_rps);
     base.rec(

@@ -158,11 +158,21 @@ impl ExperimentConfig {
     /// merge renumbers by the global root order, so ids/stream order
     /// may differ while CAG content stays identical.
     pub fn multi_frontend() -> Self {
+        Self::multi_frontend_n(2)
+    }
+
+    /// [`ExperimentConfig::multi_frontend`] with `k` web frontends —
+    /// the distributed-correlation test bed: with BEGINs spread over
+    /// `k` hosts, sessions interleave across every router process's
+    /// claim stream, so the cluster merge must reassemble sessions
+    /// that straddle routers. Same seed for every `k`, so ground truth
+    /// grows strictly with the frontend count.
+    pub fn multi_frontend_n(k: usize) -> Self {
         let mut c = Self::quick(16, 10);
         c.seed = 0x000f_2027;
         c.spec = c
             .spec
-            .with_replicas(0, 2, crate::spec::LbPolicy::RoundRobin);
+            .with_replicas(0, k, crate::spec::LbPolicy::RoundRobin);
         c
     }
 }
@@ -493,6 +503,30 @@ mod tests {
         );
         let (_, acc) = out.correlate(Nanos::from_millis(10)).unwrap();
         assert!(acc.is_perfect(), "{acc:?}");
+    }
+
+    #[test]
+    fn multi_frontend_n_scales_begin_hosts_with_k() {
+        for k in [3, 4] {
+            let out = run(ExperimentConfig::multi_frontend_n(k));
+            let spec = out.access_spec();
+            let mut begin_hosts = std::collections::BTreeSet::new();
+            for r in &out.records {
+                if r.op == tracer_core::raw::RawOp::Receive
+                    && spec.is_frontend_port(r.dst.port)
+                    && !spec.is_internal(r.src.ip)
+                {
+                    begin_hosts.insert(r.hostname.to_string());
+                }
+            }
+            assert_eq!(
+                begin_hosts.len(),
+                k,
+                "BEGINs must originate on all {k} frontends: {begin_hosts:?}"
+            );
+            let (_, acc) = out.correlate(Nanos::from_millis(10)).unwrap();
+            assert!(acc.is_perfect(), "k={k}: {acc:?}");
+        }
     }
 
     #[test]

@@ -84,6 +84,17 @@ impl AccessPointSpec {
     pub fn is_empty(&self) -> bool {
         self.frontend_ports.is_empty()
     }
+
+    /// The configured frontend ports, in ascending order (stable, so
+    /// a spec round-trips bit-exactly through serialization).
+    pub fn frontend_ports(&self) -> impl Iterator<Item = u16> + '_ {
+        self.frontend_ports.iter().copied()
+    }
+
+    /// The configured internal service IPs, in ascending order.
+    pub fn internal_ips(&self) -> impl Iterator<Item = Ipv4Addr> + '_ {
+        self.internal_ips.iter().copied()
+    }
 }
 
 /// Transforms raw TCP_TRACE records into typed activities.

@@ -17,6 +17,17 @@ pub enum TraceError {
     Config(String),
     /// Streaming correlation was used after `finish()`.
     Finished,
+    /// A distributed router peer failed: the process exited, the
+    /// connection broke, or it sent a malformed or out-of-protocol
+    /// frame. Carries everything the coordinator learned (exit status,
+    /// stderr tail, wire diagnosis) as one message, so a cluster
+    /// failure surfaces as a single clear error instead of a hang.
+    Router {
+        /// Zero-based index of the failed router peer.
+        router: usize,
+        /// What the coordinator observed.
+        reason: String,
+    },
 }
 
 impl TraceError {
@@ -37,6 +48,14 @@ impl TraceError {
     pub fn config(reason: impl Into<String>) -> Self {
         TraceError::Config(reason.into())
     }
+
+    /// Constructs a router-peer failure error.
+    pub fn router(router: usize, reason: impl Into<String>) -> Self {
+        TraceError::Router {
+            router,
+            reason: reason.into(),
+        }
+    }
 }
 
 impl fmt::Display for TraceError {
@@ -47,6 +66,9 @@ impl fmt::Display for TraceError {
             }
             TraceError::Config(reason) => write!(f, "invalid configuration: {reason}"),
             TraceError::Finished => write!(f, "streaming correlator already finished"),
+            TraceError::Router { router, reason } => {
+                write!(f, "router {router} failed: {reason}")
+            }
         }
     }
 }

@@ -75,6 +75,7 @@ pub mod analysis;
 pub mod binfmt;
 pub mod cag;
 pub mod correlator;
+pub mod dist;
 pub mod dot;
 pub mod engine;
 pub mod error;
@@ -98,6 +99,7 @@ pub use cag::{Cag, Component, EdgeKind, Vertex};
 pub use correlator::{
     CorrelationOutput, CorrelatorConfig, EngineOptions, RankerOptions, WindowPolicy,
 };
+pub use dist::{serve_router, RouterTransport, MAX_ROUTERS};
 pub use engine::Engine;
 pub use error::TraceError;
 pub use filter::{FilterRule, FilterSet};
@@ -127,6 +129,7 @@ pub mod prelude {
     pub use crate::correlator::{
         CorrelationOutput, CorrelatorConfig, EngineOptions, RankerOptions, WindowPolicy,
     };
+    pub use crate::dist::{serve_router, RouterTransport};
     pub use crate::error::TraceError;
     pub use crate::filter::{FilterRule, FilterSet};
     pub use crate::ingest::{parse_log_parallel, parse_refs_parallel};

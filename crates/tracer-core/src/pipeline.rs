@@ -62,6 +62,7 @@ use crate::correlator::{
     CorrelationOutput, Correlator, CorrelatorConfig, EngineOptions, RankerOptions,
     StreamingCorrelator, WindowPolicy,
 };
+use crate::dist::{DistCorrelator, RouterTransport};
 use crate::error::TraceError;
 use crate::filter::FilterSet;
 use crate::raw::{parse_log, RawRecord};
@@ -83,6 +84,17 @@ pub enum Mode {
     /// canonical deterministic merge — byte-identical output for every
     /// shard count.
     Sharded(usize),
+    /// Multi-process distributed correlation (see [`crate::dist`]):
+    /// `routers` router peers of `workers_per_router` shard workers
+    /// each, reached over [`PipelineConfig::router_transport`]. Output
+    /// is byte-identical to `Sharded(routers × workers_per_router)` on
+    /// every corpus.
+    Distributed {
+        /// Router peer count (processes, TCP peers or threads).
+        routers: usize,
+        /// Shard workers hosted by each router peer (`0` = 1).
+        workers_per_router: usize,
+    },
 }
 
 /// Full pipeline configuration: everything [`CorrelatorConfig`] holds
@@ -100,6 +112,11 @@ pub struct PipelineConfig {
     /// ([`crate::ingest`]) produces a record sequence byte-identical
     /// to the sequential parser, so this knob only changes speed.
     pub ingest_threads: usize,
+    /// How [`Mode::Distributed`] reaches its router peers: in-process
+    /// threads (the default), spawned `pt router --stdio` children, or
+    /// TCP connections to `pt router --listen` processes. Ignored by
+    /// the other modes.
+    pub router_transport: RouterTransport,
 }
 
 impl PipelineConfig {
@@ -110,12 +127,19 @@ impl PipelineConfig {
             correlator: CorrelatorConfig::new(access),
             mode: Mode::Batch,
             ingest_threads: 1,
+            router_transport: RouterTransport::default(),
         }
     }
 
     /// Sets the execution mode.
     pub fn with_mode(mut self, mode: Mode) -> Self {
         self.mode = mode;
+        self
+    }
+
+    /// Sets the router transport for [`Mode::Distributed`].
+    pub fn with_router_transport(mut self, transport: RouterTransport) -> Self {
+        self.router_transport = transport;
         self
     }
 
@@ -222,13 +246,48 @@ impl PipelineConfig {
     /// point is configured, or a sharded shard count is out of range.
     pub fn validate(&self) -> Result<(), TraceError> {
         self.correlator.validate()?;
-        if let Mode::Sharded(n) = self.mode {
-            if n > crate::shard::MAX_SHARDS {
-                return Err(TraceError::config(format!(
-                    "shard count {n} exceeds the maximum of {}",
-                    crate::shard::MAX_SHARDS
-                )));
+        match self.mode {
+            Mode::Sharded(n) => {
+                if n > crate::shard::MAX_SHARDS {
+                    return Err(TraceError::config(format!(
+                        "shard count {n} exceeds the maximum of {}",
+                        crate::shard::MAX_SHARDS
+                    )));
+                }
             }
+            Mode::Distributed {
+                routers,
+                workers_per_router,
+            } => {
+                if routers == 0 {
+                    return Err(TraceError::config(
+                        "distributed mode needs at least 1 router",
+                    ));
+                }
+                if routers > crate::dist::MAX_ROUTERS {
+                    return Err(TraceError::config(format!(
+                        "router count {routers} exceeds the maximum of {}",
+                        crate::dist::MAX_ROUTERS
+                    )));
+                }
+                let total = routers * workers_per_router.max(1);
+                if total > crate::shard::MAX_SHARDS {
+                    return Err(TraceError::config(format!(
+                        "{routers} routers x {} workers = {total} shards exceeds the maximum of {}",
+                        workers_per_router.max(1),
+                        crate::shard::MAX_SHARDS
+                    )));
+                }
+                if let RouterTransport::Connect { addrs } = &self.router_transport {
+                    if addrs.len() != routers {
+                        return Err(TraceError::config(format!(
+                            "{} router addresses for {routers} routers",
+                            addrs.len()
+                        )));
+                    }
+                }
+            }
+            Mode::Batch | Mode::Streaming => {}
         }
         Ok(())
     }
@@ -242,6 +301,7 @@ impl From<CorrelatorConfig> for PipelineConfig {
             correlator,
             mode: Mode::Batch,
             ingest_threads: 1,
+            router_transport: RouterTransport::default(),
         }
     }
 }
@@ -425,6 +485,30 @@ impl Pipeline {
                 Source::Text(t) => ShardedCorrelator::correlate_text(cfg, n, t),
                 _ => unreachable!("path sources resolve above"),
             },
+            Mode::Distributed {
+                routers,
+                workers_per_router,
+            } => {
+                let transport = &self.config.router_transport;
+                match source {
+                    Source::Records(r) => {
+                        crate::dist::correlate(cfg, routers, workers_per_router, transport, r)
+                    }
+                    Source::Text(t) if threads != 1 => {
+                        let refs = crate::ingest::parse_refs_parallel(t, threads)?;
+                        let mut dc =
+                            DistCorrelator::new(cfg, routers, workers_per_router, transport)?;
+                        for r in &refs {
+                            dc.stage_ref(r);
+                        }
+                        dc.finish()
+                    }
+                    Source::Text(t) => {
+                        crate::dist::correlate_text(cfg, routers, workers_per_router, transport, t)
+                    }
+                    _ => unreachable!("path sources resolve above"),
+                }
+            }
         }
     }
 
@@ -476,6 +560,29 @@ impl Pipeline {
                 }
                 sc.finish()
             }
+            Mode::Distributed {
+                routers,
+                workers_per_router,
+            } => {
+                let mut dc = DistCorrelator::new(
+                    cfg,
+                    routers,
+                    workers_per_router,
+                    &self.config.router_transport,
+                )?;
+                if threads == 1 {
+                    let reader = crate::binfmt::Reader::new(buf)?;
+                    for r in reader.iter() {
+                        dc.stage_ref(&r?);
+                    }
+                } else {
+                    let refs = crate::binfmt::decode_refs_parallel(buf, threads)?;
+                    for r in &refs {
+                        dc.stage_ref(r);
+                    }
+                }
+                dc.finish()
+            }
         }
     }
 
@@ -519,6 +626,15 @@ impl Pipeline {
                 }
                 Mode::Streaming => SessionInner::Streaming(StreamingCorrelator::new(cfg)?),
                 Mode::Sharded(n) => SessionInner::Sharded(ShardedCorrelator::new(cfg, n)?),
+                Mode::Distributed {
+                    routers,
+                    workers_per_router,
+                } => SessionInner::Dist(DistCorrelator::new(
+                    cfg,
+                    routers,
+                    workers_per_router,
+                    &self.config.router_transport,
+                )?),
             },
         })
     }
@@ -534,6 +650,7 @@ enum SessionInner {
     },
     Streaming(StreamingCorrelator),
     Sharded(ShardedCorrelator),
+    Dist(DistCorrelator),
 }
 
 /// An incremental pipeline run opened by [`Pipeline::session`]. After
@@ -563,6 +680,7 @@ impl PipelineSession {
             }
             SessionInner::Streaming(sc) => sc.push(rec),
             SessionInner::Sharded(sc) => sc.push(rec),
+            SessionInner::Dist(dc) => dc.push(rec),
         }
     }
 
@@ -576,6 +694,7 @@ impl PipelineSession {
     pub fn push_line(&mut self, line: &str) -> Result<(), TraceError> {
         match &mut self.inner {
             SessionInner::Sharded(sc) => sc.push_line(line),
+            SessionInner::Dist(dc) => dc.push_line(line),
             _ => self.push(RawRecord::parse_line(line)?),
         }
     }
@@ -601,6 +720,10 @@ impl PipelineSession {
                 sc.flush()?;
                 Ok(Vec::new())
             }
+            SessionInner::Dist(dc) => {
+                dc.flush()?;
+                Ok(Vec::new())
+            }
         }
     }
 
@@ -615,6 +738,7 @@ impl PipelineSession {
             }
             SessionInner::Streaming(sc) => sc.approx_bytes(),
             SessionInner::Sharded(sc) => sc.approx_router_bytes(),
+            SessionInner::Dist(dc) => dc.approx_router_bytes(),
         }
     }
 
@@ -652,6 +776,7 @@ impl PipelineSession {
             }
             SessionInner::Streaming(sc) => sc.finish(),
             SessionInner::Sharded(sc) => sc.finish(),
+            SessionInner::Dist(dc) => dc.finish(),
         }
     }
 }
@@ -694,7 +819,15 @@ mod tests {
 
     #[test]
     fn every_mode_correlates_the_three_tier_request() {
-        for mode in [Mode::Batch, Mode::Streaming, Mode::Sharded(2)] {
+        for mode in [
+            Mode::Batch,
+            Mode::Streaming,
+            Mode::Sharded(2),
+            Mode::Distributed {
+                routers: 2,
+                workers_per_router: 2,
+            },
+        ] {
             let p = Pipeline::new(PipelineConfig::new(access()).with_mode(mode)).unwrap();
             let out = p.run(Source::text(three_tier_log())).unwrap();
             assert_eq!(out.cags.len(), 1, "{mode:?}");
@@ -706,7 +839,15 @@ mod tests {
     #[test]
     fn source_shapes_are_equivalent() {
         let records = parse_log(three_tier_log()).unwrap();
-        for mode in [Mode::Batch, Mode::Streaming, Mode::Sharded(3)] {
+        for mode in [
+            Mode::Batch,
+            Mode::Streaming,
+            Mode::Sharded(3),
+            Mode::Distributed {
+                routers: 3,
+                workers_per_router: 1,
+            },
+        ] {
             let p = Pipeline::new(PipelineConfig::new(access()).with_mode(mode)).unwrap();
             let from_text = p.run(Source::text(three_tier_log())).unwrap();
             let from_records = p.run(Source::records(records.clone())).unwrap();
@@ -726,7 +867,15 @@ mod tests {
             std::process::id()
         ));
         std::fs::write(&path, &bin).unwrap();
-        for mode in [Mode::Batch, Mode::Streaming, Mode::Sharded(2)] {
+        for mode in [
+            Mode::Batch,
+            Mode::Streaming,
+            Mode::Sharded(2),
+            Mode::Distributed {
+                routers: 2,
+                workers_per_router: 2,
+            },
+        ] {
             for threads in [1, 3] {
                 let p = Pipeline::new(
                     PipelineConfig::new(access())
@@ -750,7 +899,15 @@ mod tests {
     fn sessions_reach_the_batch_output_in_every_mode() {
         let p = Pipeline::new(PipelineConfig::new(access())).unwrap();
         let want = render(&p.run(Source::text(three_tier_log())).unwrap());
-        for mode in [Mode::Batch, Mode::Streaming, Mode::Sharded(2)] {
+        for mode in [
+            Mode::Batch,
+            Mode::Streaming,
+            Mode::Sharded(2),
+            Mode::Distributed {
+                routers: 2,
+                workers_per_router: 2,
+            },
+        ] {
             let p = Pipeline::new(PipelineConfig::new(access()).with_mode(mode)).unwrap();
             let mut s = p.session().unwrap();
             let mut cags = Vec::new();
@@ -781,6 +938,30 @@ mod tests {
         assert!(Pipeline::new(bad_shards).is_err());
         let zero_window = PipelineConfig::new(access()).with_window(Nanos::ZERO);
         assert!(Pipeline::new(zero_window).is_err());
+        let zero_routers = PipelineConfig::new(access()).with_mode(Mode::Distributed {
+            routers: 0,
+            workers_per_router: 1,
+        });
+        assert!(Pipeline::new(zero_routers).is_err());
+        let too_many_routers = PipelineConfig::new(access()).with_mode(Mode::Distributed {
+            routers: crate::dist::MAX_ROUTERS + 1,
+            workers_per_router: 1,
+        });
+        assert!(Pipeline::new(too_many_routers).is_err());
+        let too_many_workers = PipelineConfig::new(access()).with_mode(Mode::Distributed {
+            routers: 2,
+            workers_per_router: crate::shard::MAX_SHARDS,
+        });
+        assert!(Pipeline::new(too_many_workers).is_err());
+        let addr_mismatch = PipelineConfig::new(access())
+            .with_mode(Mode::Distributed {
+                routers: 2,
+                workers_per_router: 1,
+            })
+            .with_router_transport(RouterTransport::Connect {
+                addrs: vec!["127.0.0.1:1".into()],
+            });
+        assert!(Pipeline::new(addr_mismatch).is_err());
     }
 
     #[test]

@@ -1144,12 +1144,17 @@ impl SessionRouter {
     }
 }
 
-/// The sharded parallel correlation pipeline — the engine behind
-/// [`crate::pipeline::Mode::Sharded`]; callers reach it through
-/// [`crate::pipeline::Pipeline`]. See the module docs for the
-/// architecture and the output-order contract.
+/// The shared reader-side front-end of the sharded and distributed
+/// pipelines: dedup → classify → filter → route through the one
+/// sequential [`SessionRouter`], plus the canonical cluster merge.
+/// Everything the correlation algorithm needs exactly **once** per
+/// cluster lives here, regardless of whether the shards behind it are
+/// worker threads ([`ShardedCorrelator`]) or router processes
+/// ([`crate::dist`]): the routing/dispatch sequence — and therefore the
+/// merged output — is a pure function of the input, not of the
+/// execution topology.
 #[derive(Debug)]
-pub(crate) struct ShardedCorrelator {
+pub(crate) struct ReaderCore {
     classifier: Classifier,
     filters: FilterSet,
     interner: Interner,
@@ -1157,13 +1162,217 @@ pub(crate) struct ShardedCorrelator {
     /// v1 `retrans` marker fallback) — runs before classification.
     range_dedup: RangeDedup,
     router: SessionRouter,
+    records_in: u64,
+    filtered_out: u64,
+    retrans_dropped: u64,
+}
+
+impl ReaderCore {
+    /// Builds the front-end routing over `shards` downstream workers.
+    /// The config must already be validated.
+    pub(crate) fn new(config: &CorrelatorConfig, shards: u32) -> Self {
+        ReaderCore {
+            classifier: Classifier::new(config.access.clone()),
+            filters: config.filters.clone(),
+            interner: Interner::new(),
+            range_dedup: RangeDedup::new(),
+            router: SessionRouter::new(
+                shards,
+                config.channel_idle_horizon,
+                config.lane_settle_depth,
+                config.orphan_parity,
+            ),
+            records_in: 0,
+            filtered_out: 0,
+            retrans_dropped: 0,
+        }
+    }
+
+    /// Classifies, filters and stages one record without routing yet.
+    pub(crate) fn ingest(&mut self, mut rec: RawRecord) {
+        self.records_in += 1;
+        match self.range_dedup.decide_owned(&rec) {
+            crate::raw::IngestDecision::Drop => {
+                self.retrans_dropped += 1;
+                return;
+            }
+            crate::raw::IngestDecision::Admit(size) => rec.size = size,
+        }
+        let act = self.classifier.classify(&rec);
+        if !self.filters.admits(&act) {
+            self.filtered_out += 1;
+            return;
+        }
+        self.router.stage(act);
+        self.evict_dedup();
+    }
+
+    /// Zero-copy counterpart of [`Self::ingest`]: filters the borrowed
+    /// record before any allocation, then interns and stages it.
+    pub(crate) fn stage_ref(&mut self, r: &RawRecordRef<'_>) {
+        self.records_in += 1;
+        let mut r = *r;
+        match self.range_dedup.decide(&r) {
+            crate::raw::IngestDecision::Drop => {
+                self.retrans_dropped += 1;
+                return;
+            }
+            crate::raw::IngestDecision::Admit(size) => r.size = size,
+        }
+        if !self.filters.admits_raw(&r) {
+            self.filtered_out += 1;
+            return;
+        }
+        let act = self.classifier.classify_ref(&r, &mut self.interner);
+        self.router.stage(act);
+        self.evict_dedup();
+    }
+
+    /// Sheds [`RangeDedup`] coverage for channels the router's idle GC
+    /// just evicted, so dedup state obeys the same horizon as router
+    /// claims instead of growing for the stream's lifetime.
+    fn evict_dedup(&mut self) {
+        if !self.router.evicted.is_empty() {
+            for ch in self.router.take_evicted() {
+                self.range_dedup.evict_channel(ch);
+            }
+        }
+    }
+
+    /// Routes everything currently routable through `dispatch`.
+    /// `final_input` additionally breaks stuck states so the staging
+    /// area fully drains.
+    pub(crate) fn pump(
+        &mut self,
+        final_input: bool,
+        dispatch: &mut dyn FnMut(ShardMsg, u32) -> Result<(), TraceError>,
+    ) -> Result<(), TraceError> {
+        self.router.pump(final_input, dispatch)
+    }
+
+    /// Approximate resident bytes of the reader-side routing state:
+    /// deferred/noise lanes, per-channel claim FIFOs, waiter lists and
+    /// dedup coverage.
+    pub(crate) fn approx_bytes(&self) -> usize {
+        self.router.approx_bytes() + self.range_dedup.approx_bytes()
+    }
+
+    /// Canonical deterministic merge: the union of all shards' CAGs,
+    /// finished and unfinished alike, sorted by their root BEGIN
+    /// (timestamp, context, channel) and renumbered sequentially — the
+    /// same id a single-shard run assigns on single-frontend-host logs,
+    /// where BEGIN delivery order is BEGIN timestamp order. `outputs`
+    /// must arrive in global shard order so capped diagnostics (noise
+    /// samples) truncate identically for every topology.
+    pub(crate) fn merge(
+        &mut self,
+        outputs: Vec<CorrelationOutput>,
+        started: Instant,
+    ) -> CorrelationOutput {
+        let mut all: Vec<Cag> = Vec::new();
+        let mut metrics = CorrelatorMetrics {
+            records_in: self.records_in,
+            filtered_out: self.filtered_out,
+            retrans_dropped: self.retrans_dropped,
+            seq_dedup_ranges: self.range_dedup.seq_dedup_ranges,
+            v2_records: self.range_dedup.v2_records,
+            seq_gaps: self.range_dedup.seq_gaps,
+            ..CorrelatorMetrics::default()
+        };
+        // Reader-side noise discards join the ranker count so the
+        // merged total matches a single-shard run.
+        metrics.ranker.noise_discards = self.router.noise_discards;
+        metrics.ranker.aged_settles = self.router.aged_settles;
+        metrics.orphan_dropped = self.router.orphan_dropped;
+        let mut noise_samples = std::mem::take(&mut self.router.noise_samples);
+        for mut out in outputs {
+            all.append(&mut out.cags);
+            all.append(&mut out.unfinished);
+            // The reader already counted raw records and filter/retrans
+            // drops; worker-side records_in would double-count the
+            // survivors.
+            out.metrics.records_in = 0;
+            out.metrics.filtered_out = 0;
+            out.metrics.retrans_dropped = 0;
+            metrics.absorb(&out.metrics);
+            noise_samples.append(&mut out.noise_samples);
+            noise_samples.truncate(NOISE_SAMPLE_CAP);
+        }
+        all.sort_by(|a, b| {
+            let key = |c: &Cag| {
+                let r = &c.vertices[0];
+                (r.ts, r.ctx.clone(), r.channel, r.size, c.vertices.len())
+            };
+            key(a).cmp(&key(b))
+        });
+        let mut cags = Vec::with_capacity(all.len());
+        let mut unfinished = Vec::new();
+        for (i, mut cag) in all.into_iter().enumerate() {
+            cag.id = i as u64;
+            if cag.finished {
+                cags.push(cag);
+            } else {
+                unfinished.push(cag);
+            }
+        }
+        metrics.wall = started.elapsed();
+        CorrelationOutput {
+            cags,
+            unfinished,
+            metrics,
+            noise_samples,
+        }
+    }
+}
+
+/// Derives the per-worker correlator config for a cluster of `n`
+/// workers: workers receive pre-classified, pre-filtered activities
+/// (filters cleared), and a configured memory budget splits evenly so
+/// the configured total still bounds resident correlation state.
+pub(crate) fn worker_config(config: &CorrelatorConfig, n: usize) -> CorrelatorConfig {
+    let mut wc = config.clone();
+    wc.filters = FilterSet::new();
+    if let Some(b) = wc.memory_budget {
+        wc.memory_budget = Some((b / n).max(1));
+    }
+    wc
+}
+
+/// One shard worker's drain loop: correlate batches as they arrive,
+/// stream sealed CAGs out, finish when the feeding side hangs up.
+/// Shared by the in-process sharded pipeline and the distributed
+/// router peers.
+pub(crate) fn run_worker(
+    mut sc: StreamingCorrelator,
+    rx: Receiver<Vec<ShardMsg>>,
+) -> Result<CorrelationOutput, TraceError> {
+    let mut cags = Vec::new();
+    for batch in rx {
+        for msg in batch {
+            match msg {
+                ShardMsg::Act(a) => sc.push_activity(a)?,
+                ShardMsg::ForgetCtx(ctx) => sc.forget_ctx(&ctx),
+            }
+        }
+        cags.extend(sc.poll()?);
+    }
+    let mut out = sc.finish()?;
+    cags.append(&mut out.cags);
+    out.cags = cags;
+    Ok(out)
+}
+
+/// The sharded parallel correlation pipeline — the engine behind
+/// [`crate::pipeline::Mode::Sharded`]; callers reach it through
+/// [`crate::pipeline::Pipeline`]. See the module docs for the
+/// architecture and the output-order contract.
+#[derive(Debug)]
+pub(crate) struct ShardedCorrelator {
+    core: ReaderCore,
     /// Per-shard batch under construction.
     pending: Vec<Vec<ShardMsg>>,
     txs: Vec<SyncSender<Vec<ShardMsg>>>,
     workers: Vec<JoinHandle<Result<CorrelationOutput, TraceError>>>,
-    records_in: u64,
-    filtered_out: u64,
-    retrans_dropped: u64,
     started: Instant,
     finished: bool,
 }
@@ -1194,18 +1403,8 @@ impl ShardedCorrelator {
                 .min(AUTO_SHARD_CAP),
             n => n,
         };
-        let classifier = Classifier::new(config.access.clone());
-        let filters = config.filters.clone();
-        let idle_horizon = config.channel_idle_horizon;
-        let settle_depth = config.lane_settle_depth;
-        let orphan_parity = config.orphan_parity;
-        // Workers receive pre-classified, pre-filtered activities; the
-        // shared budget splits across them.
-        let mut shard_cfg = config;
-        shard_cfg.filters = FilterSet::new();
-        if let Some(b) = shard_cfg.memory_budget {
-            shard_cfg.memory_budget = Some((b / n).max(1));
-        }
+        let core = ReaderCore::new(&config, n as u32);
+        let shard_cfg = worker_config(&config, n);
         let mut txs = Vec::with_capacity(n);
         let mut workers = Vec::with_capacity(n);
         for _ in 0..n {
@@ -1216,45 +1415,16 @@ impl ShardedCorrelator {
             let (tx, rx): (SyncSender<Vec<ShardMsg>>, Receiver<Vec<ShardMsg>>) =
                 sync_channel(CHANNEL_BATCHES);
             txs.push(tx);
-            workers.push(std::thread::spawn(move || Self::worker(sc, rx)));
+            workers.push(std::thread::spawn(move || run_worker(sc, rx)));
         }
         Ok(ShardedCorrelator {
-            classifier,
-            filters,
-            interner: Interner::new(),
-            range_dedup: RangeDedup::new(),
-            router: SessionRouter::new(n as u32, idle_horizon, settle_depth, orphan_parity),
+            core,
             pending: vec![Vec::with_capacity(BATCH_RECORDS); n],
             txs,
             workers,
-            records_in: 0,
-            filtered_out: 0,
-            retrans_dropped: 0,
             started: Instant::now(),
             finished: false,
         })
-    }
-
-    /// One shard's drain loop: correlate batches as they arrive,
-    /// stream sealed CAGs out, finish when the reader hangs up.
-    fn worker(
-        mut sc: StreamingCorrelator,
-        rx: Receiver<Vec<ShardMsg>>,
-    ) -> Result<CorrelationOutput, TraceError> {
-        let mut cags = Vec::new();
-        for batch in rx {
-            for msg in batch {
-                match msg {
-                    ShardMsg::Act(a) => sc.push_activity(a)?,
-                    ShardMsg::ForgetCtx(ctx) => sc.forget_ctx(&ctx),
-                }
-            }
-            cags.extend(sc.poll()?);
-        }
-        let mut out = sc.finish()?;
-        cags.append(&mut out.cags);
-        out.cags = cags;
-        Ok(out)
     }
 
     /// Number of shard workers.
@@ -1270,8 +1440,7 @@ impl ShardedCorrelator {
     /// the part only the router holds — the state that grows on an
     /// endless stream with heavy untraced-peer noise.
     pub fn approx_router_bytes(&self) -> usize {
-        self.router.approx_bytes()
-            + self.range_dedup.approx_bytes()
+        self.core.approx_bytes()
             + self
                 .pending
                 .iter()
@@ -1292,10 +1461,7 @@ impl ShardedCorrelator {
     /// the staging area fully drains.
     fn pump_router(&mut self, final_input: bool) -> Result<(), TraceError> {
         let ShardedCorrelator {
-            router,
-            pending,
-            txs,
-            ..
+            core, pending, txs, ..
         } = self;
         let mut dispatch = |m: ShardMsg, shard: u32| -> Result<(), TraceError> {
             let shard = shard as usize;
@@ -1309,7 +1475,7 @@ impl ShardedCorrelator {
             }
             Ok(())
         };
-        router.pump(final_input, &mut dispatch)
+        core.pump(final_input, &mut dispatch)
     }
 
     fn flush_shard(&mut self, shard: usize) -> Result<(), TraceError> {
@@ -1323,33 +1489,8 @@ impl ShardedCorrelator {
     }
 
     /// Classifies, filters and stages one record without routing yet.
-    fn ingest(&mut self, mut rec: RawRecord) {
-        self.records_in += 1;
-        match self.range_dedup.decide_owned(&rec) {
-            crate::raw::IngestDecision::Drop => {
-                self.retrans_dropped += 1;
-                return;
-            }
-            crate::raw::IngestDecision::Admit(size) => rec.size = size,
-        }
-        let act = self.classifier.classify(&rec);
-        if !self.filters.admits(&act) {
-            self.filtered_out += 1;
-            return;
-        }
-        self.router.stage(act);
-        self.evict_dedup();
-    }
-
-    /// Sheds [`RangeDedup`] coverage for channels the router's idle GC
-    /// just evicted, so dedup state obeys the same horizon as router
-    /// claims instead of growing for the stream's lifetime.
-    fn evict_dedup(&mut self) {
-        if !self.router.evicted.is_empty() {
-            for ch in self.router.take_evicted() {
-                self.range_dedup.evict_channel(ch);
-            }
-        }
+    fn ingest(&mut self, rec: RawRecord) {
+        self.core.ingest(rec);
     }
 
     /// Routes one owned raw record into the pipeline, streaming
@@ -1395,22 +1536,7 @@ impl ShardedCorrelator {
     /// Zero-copy counterpart of [`Self::ingest`]: filters the borrowed
     /// record before any allocation, then interns and stages it.
     pub(crate) fn stage_ref(&mut self, r: &RawRecordRef<'_>) {
-        self.records_in += 1;
-        let mut r = *r;
-        match self.range_dedup.decide(&r) {
-            crate::raw::IngestDecision::Drop => {
-                self.retrans_dropped += 1;
-                return;
-            }
-            crate::raw::IngestDecision::Admit(size) => r.size = size,
-        }
-        if !self.filters.admits_raw(&r) {
-            self.filtered_out += 1;
-            return;
-        }
-        let act = self.classifier.classify_ref(&r, &mut self.interner);
-        self.router.stage(act);
-        self.evict_dedup();
+        self.core.stage_ref(r);
     }
 
     fn push_ref(&mut self, r: &RawRecordRef<'_>) -> Result<(), TraceError> {
@@ -1458,68 +1584,7 @@ impl ShardedCorrelator {
                 .map_err(|_| TraceError::config("shard worker panicked"))??;
             outputs.push(out);
         }
-        Ok(self.merge(outputs))
-    }
-
-    /// Canonical deterministic merge: the union of all shards' CAGs,
-    /// finished and unfinished alike, sorted by their root BEGIN
-    /// (timestamp, context, channel) and renumbered sequentially — the
-    /// same id a single-shard run assigns on single-frontend-host logs,
-    /// where BEGIN delivery order is BEGIN timestamp order.
-    fn merge(&mut self, outputs: Vec<CorrelationOutput>) -> CorrelationOutput {
-        let mut all: Vec<Cag> = Vec::new();
-        let mut metrics = CorrelatorMetrics {
-            records_in: self.records_in,
-            filtered_out: self.filtered_out,
-            retrans_dropped: self.retrans_dropped,
-            seq_dedup_ranges: self.range_dedup.seq_dedup_ranges,
-            v2_records: self.range_dedup.v2_records,
-            seq_gaps: self.range_dedup.seq_gaps,
-            ..CorrelatorMetrics::default()
-        };
-        // Reader-side noise discards join the ranker count so the
-        // merged total matches a single-shard run.
-        metrics.ranker.noise_discards = self.router.noise_discards;
-        metrics.ranker.aged_settles = self.router.aged_settles;
-        metrics.orphan_dropped = self.router.orphan_dropped;
-        let mut noise_samples = std::mem::take(&mut self.router.noise_samples);
-        for mut out in outputs {
-            all.append(&mut out.cags);
-            all.append(&mut out.unfinished);
-            // The reader already counted raw records and filter/retrans
-            // drops; worker-side records_in would double-count the
-            // survivors.
-            out.metrics.records_in = 0;
-            out.metrics.filtered_out = 0;
-            out.metrics.retrans_dropped = 0;
-            metrics.absorb(&out.metrics);
-            noise_samples.append(&mut out.noise_samples);
-            noise_samples.truncate(NOISE_SAMPLE_CAP);
-        }
-        all.sort_by(|a, b| {
-            let key = |c: &Cag| {
-                let r = &c.vertices[0];
-                (r.ts, r.ctx.clone(), r.channel, r.size, c.vertices.len())
-            };
-            key(a).cmp(&key(b))
-        });
-        let mut cags = Vec::with_capacity(all.len());
-        let mut unfinished = Vec::new();
-        for (i, mut cag) in all.into_iter().enumerate() {
-            cag.id = i as u64;
-            if cag.finished {
-                cags.push(cag);
-            } else {
-                unfinished.push(cag);
-            }
-        }
-        metrics.wall = self.started.elapsed();
-        CorrelationOutput {
-            cags,
-            unfinished,
-            metrics,
-            noise_samples,
-        }
+        Ok(self.core.merge(outputs, self.started))
     }
 
     /// Batch convenience: correlates a complete record set through the

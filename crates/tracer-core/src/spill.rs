@@ -379,6 +379,15 @@ pub(crate) fn encode_cag(cag: &crate::cag::Cag, buf: &mut Vec<u8>) {
 /// Decodes a CAG spill object produced by [`encode_cag`].
 pub(crate) fn decode_cag(bytes: &[u8]) -> crate::cag::Cag {
     let mut d = codec::Dec::new(bytes);
+    let cag = decode_cag_from(&mut d);
+    debug_assert!(d.is_empty(), "trailing bytes in CAG spill object");
+    cag
+}
+
+/// Cursor-based counterpart of [`decode_cag`]: the encoding is
+/// self-delimiting, so several CAGs can be concatenated in one buffer
+/// (the distributed wire protocol's Output frames do exactly that).
+pub(crate) fn decode_cag_from(d: &mut codec::Dec<'_>) -> crate::cag::Cag {
     let id = d.u64();
     let finished = d.u8() != 0;
     let n = d.u32() as usize;
@@ -391,7 +400,7 @@ pub(crate) fn decode_cag(bytes: &[u8]) -> crate::cag::Cag {
         let program = d.str().to_owned();
         let pid = d.u32();
         let tid = d.u32();
-        let channel = codec::get_channel(&mut d);
+        let channel = codec::get_channel(d);
         let size = d.u64();
         let n_tags = d.u32() as usize;
         let mut tags = Vec::with_capacity(n_tags);
@@ -412,7 +421,6 @@ pub(crate) fn decode_cag(bytes: &[u8]) -> crate::cag::Cag {
             msg_parent,
         });
     }
-    debug_assert!(d.is_empty(), "trailing bytes in CAG spill object");
     crate::cag::Cag {
         id,
         vertices,

@@ -43,6 +43,7 @@ fn main() -> ExitCode {
         "diff" => diff_cmd(rest),
         "convert" => convert_cmd(rest),
         "serve" => serve_cmd(rest),
+        "router" => router_cmd(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -71,6 +72,7 @@ USAGE:
   pt diff      BASELINE_FILE CURRENT_FILE --port P --internal IP[,IP...] [CORRELATION OPTIONS]
   pt convert   IN_FILE OUT_FILE [--ingest-threads N]
   pt serve     SOURCE [SOURCE...] --port P --internal IP[,IP...] [SERVE OPTIONS]
+  pt router    --stdio | --listen HOST:PORT
 
 SIMULATION OPTIONS:
   --web-replicas N     web frontends behind the client load balancer
@@ -120,6 +122,18 @@ CORRELATION OPTIONS:
                        (0 = one per CPU core, default 1); output is
                        byte-identical to single-threaded parsing in
                        every mode — the option only changes speed
+  --routers N          correlate through the distributed pipeline: N
+                       router processes, each hosting a block of shard
+                       workers; output is byte-identical to --shards
+                       with the same total worker count. Without
+                       --router-addr the routers are spawned children
+                       of this binary (socketpair transport)
+  --workers-per-router N
+                       shard workers per router process (default 1, so
+                       --routers N matches --shards N)
+  --router-addr A,B,.. connect to already-running `pt router --listen`
+                       peers over TCP instead of spawning children;
+                       one host:port per router, in router order
   --orphan-parity      with --shards, ship orphan-chain records (noise
                        chatter no session owns) to the workers instead
                        of dropping them reader-side; the output is
@@ -231,6 +245,9 @@ const CORRELATE_VALUE_OPTS: &[&str] = &[
     "--memory-budget",
     "--spill-dir",
     "--shards",
+    "--routers",
+    "--workers-per-router",
+    "--router-addr",
     "--max-seal-lag",
     "--ingest-threads",
 ];
@@ -241,6 +258,9 @@ const PATTERNS_VALUE_OPTS: &[&str] = &[
     "--memory-budget",
     "--spill-dir",
     "--shards",
+    "--routers",
+    "--workers-per-router",
+    "--router-addr",
     "--max-seal-lag",
     "--ingest-threads",
     "--dot",
@@ -325,11 +345,13 @@ fn correlate_file(
         config = config.with_max_seal_lag(lag);
     }
     let shards = args.parse_opt::<usize>("--shards")?;
-    if shards.is_some() && (args.flag("--adaptive-window") || args.opt("--window-ms").is_some()) {
+    if (shards.is_some() || args.opt("--routers").is_some())
+        && (args.flag("--adaptive-window") || args.opt("--window-ms").is_some())
+    {
         // The sharded router sequences by causal claims, not by a
         // sliding time window; workers deliver directly to engines.
         eprintln!(
-            "note: --shards does not use the sliding window; \
+            "note: --shards/--routers do not use the sliding window; \
              --window-ms/--adaptive-window only affect single-instance mode"
         );
     }
@@ -339,15 +361,13 @@ fn correlate_file(
     if args.flag("--orphan-parity") {
         config = config.with_orphan_parity();
     }
-    let mode = match shards {
-        Some(n) => Mode::Sharded(n),
-        None => Mode::Batch,
-    };
+    let (mode, router_transport) = mode_from(args, shards)?;
     let pipeline = Pipeline::new(PipelineConfig {
         correlator: config,
         mode,
         // 1 = single-threaded parse (default); 0 = one per core.
         ingest_threads: args.parse_opt::<usize>("--ingest-threads")?.unwrap_or(1),
+        router_transport,
     })
     .map_err(|e| e.to_string())?;
     let source = if sniff_ptbin(path)? {
@@ -357,6 +377,48 @@ fn correlate_file(
     };
     let out = pipeline.run(source).map_err(|e| format!("{path}: {e}"))?;
     Ok((out, access))
+}
+
+/// Resolves the correlation mode from `--shards` / `--routers` /
+/// `--workers-per-router` / `--router-addr`. Without `--router-addr`
+/// the distributed transport spawns `pt router --stdio` children of
+/// this very binary over socketpairs; with it, the coordinator
+/// connects to already-running `pt router --listen` peers.
+fn mode_from(args: &ParsedArgs, shards: Option<usize>) -> Result<(Mode, RouterTransport), String> {
+    let routers = args.parse_opt::<usize>("--routers")?;
+    let Some(routers) = routers else {
+        for flag in ["--workers-per-router", "--router-addr"] {
+            if args.opt(flag).is_some() {
+                return Err(format!("{flag} requires --routers"));
+            }
+        }
+        let mode = match shards {
+            Some(n) => Mode::Sharded(n),
+            None => Mode::Batch,
+        };
+        return Ok((mode, RouterTransport::default()));
+    };
+    if shards.is_some() {
+        return Err("--routers conflicts with --shards (pick one pipeline)".into());
+    }
+    let workers_per_router = args
+        .parse_opt::<usize>("--workers-per-router")?
+        .unwrap_or(1);
+    let transport = match args.opt("--router-addr") {
+        Some(list) => RouterTransport::Connect {
+            addrs: list.split(',').map(str::trim).map(String::from).collect(),
+        },
+        None => RouterTransport::Spawn {
+            exe: std::env::current_exe().map_err(|e| format!("cannot locate own binary: {e}"))?,
+        },
+    };
+    Ok((
+        Mode::Distributed {
+            routers,
+            workers_per_router,
+        },
+        transport,
+    ))
 }
 
 /// Reads just the first magic-length bytes of `path` to decide whether
@@ -425,6 +487,59 @@ fn convert_cmd(raw: &[String]) -> Result<(), String> {
         );
     }
     Ok(())
+}
+
+/// `pt router`: run one distributed-correlation router peer. With
+/// `--stdio` it speaks the claim wire protocol over stdin/stdout (the
+/// coordinator's `--routers N` spawn transport); with `--listen ADDR`
+/// it accepts coordinators over TCP, one session at a time, until
+/// SIGINT/SIGTERM.
+fn router_cmd(raw: &[String]) -> Result<(), String> {
+    let args = ParsedArgs::parse(raw, &["--listen"], &["--stdio"])?;
+    if !args.positionals.is_empty() {
+        return Err("router takes no positional arguments".into());
+    }
+    match (args.flag("--stdio"), args.opt("--listen")) {
+        (true, Some(_)) => Err("--stdio conflicts with --listen".into()),
+        (true, None) => {
+            let stdin = std::io::stdin().lock();
+            let stdout = std::io::stdout().lock();
+            serve_router(stdin, stdout).map_err(|e| e.to_string())
+        }
+        (false, Some(addr)) => {
+            install_stop_handlers();
+            let listener = std::net::TcpListener::bind(addr).map_err(|e| format!("{addr}: {e}"))?;
+            // Non-blocking accept so a stop signal between sessions is
+            // honored promptly.
+            listener.set_nonblocking(true).map_err(|e| e.to_string())?;
+            eprintln!(
+                "router: listening on {}",
+                listener.local_addr().map_err(|e| e.to_string())?
+            );
+            while !STOP.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, peer)) => {
+                        stream.set_nodelay(true).ok();
+                        stream.set_nonblocking(false).map_err(|e| e.to_string())?;
+                        let reader = stream.try_clone().map_err(|e| e.to_string())?;
+                        eprintln!("router: session from {peer}");
+                        match serve_router(reader, stream) {
+                            Ok(()) => eprintln!("router: session from {peer} drained"),
+                            // A coordinator that vanishes must not
+                            // take the router down with it.
+                            Err(e) => eprintln!("router: session from {peer} failed: {e}"),
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                    }
+                    Err(e) => return Err(format!("accept: {e}")),
+                }
+            }
+            Ok(())
+        }
+        (false, None) => Err("router needs --stdio or --listen ADDR".into()),
+    }
 }
 
 /// Rises when SIGINT or SIGTERM is delivered; `serve` polls it.
@@ -503,6 +618,9 @@ fn serve_cmd(raw: &[String]) -> Result<(), String> {
             "--memory-budget",
             "--spill-dir",
             "--shards",
+            "--routers",
+            "--workers-per-router",
+            "--router-addr",
             "--max-seal-lag",
             "--format",
             "--idle-end-ms",
@@ -525,9 +643,12 @@ fn serve_cmd(raw: &[String]) -> Result<(), String> {
     if let Some(lag) = args.parse_opt::<u64>("--max-seal-lag")? {
         config = config.with_max_seal_lag(lag);
     }
-    let mode = match args.parse_opt::<usize>("--shards")? {
-        Some(n) => Mode::Sharded(n),
-        None => Mode::Streaming,
+    let shards = args.parse_opt::<usize>("--shards")?;
+    let (mode, router_transport) = match mode_from(&args, shards)? {
+        // `mode_from` defaults to batch; a shard-less, router-less
+        // daemon runs the streaming engine.
+        (Mode::Batch, t) => (Mode::Streaming, t),
+        resolved => resolved,
     };
     let kind = match args.opt("--format").map(String::as_str) {
         None | Some("auto") => SourceKind::Auto,
@@ -547,6 +668,7 @@ fn serve_cmd(raw: &[String]) -> Result<(), String> {
         correlator: config,
         mode,
         ingest_threads: 1,
+        router_transport,
     };
     let mut cfg = ServeConfig::new(pipeline, sources);
     if let Some(ms) = args.parse_opt::<u64>("--idle-end-ms")? {

@@ -331,6 +331,138 @@ fn sharded_correlation_flags_work_and_are_order_insensitive() {
 }
 
 #[test]
+fn distributed_correlation_flags_work() {
+    let log = TmpFile::new("distributed.log");
+    let out = pt()
+        .args(["simulate", "--clients", "10", "--seconds", "8"])
+        .args(["--seed", "17", "--out", log.as_str()])
+        .output()
+        .expect("run pt simulate");
+    assert!(out.status.success());
+
+    let correlate = |extra: &[&str]| {
+        let out = pt()
+            .args(["correlate", log.as_str(), "--port", "80"])
+            .args(["--internal", INTERNAL])
+            .args(extra)
+            .output()
+            .expect("run pt correlate");
+        assert!(
+            out.status.success(),
+            "correlate {extra:?}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        strip_wall(&String::from_utf8_lossy(&out.stdout))
+    };
+
+    // Spawn transport: `--routers N` forks router children of the pt
+    // binary itself; bytes must match `--shards N` exactly.
+    let shards2 = correlate(&["--shards", "2"]);
+    assert_eq!(
+        correlate(&["--routers", "2"]),
+        shards2,
+        "--routers 2 diverged from --shards 2"
+    );
+    assert_eq!(
+        correlate(&["--routers", "2", "--workers-per-router", "2"]),
+        correlate(&["--shards", "4"]),
+        "--routers 2 --workers-per-router 2 diverged from --shards 4"
+    );
+
+    // TCP transport: real `pt router --listen` daemons on loopback.
+    let mut routers = Vec::new();
+    let mut addrs = Vec::new();
+    let mut banners = Vec::new();
+    for _ in 0..2 {
+        let mut child = pt()
+            .args(["router", "--listen", "127.0.0.1:0"])
+            .stderr(std::process::Stdio::piped())
+            .spawn()
+            .expect("spawn pt router");
+        // The daemon announces its bound address on stderr first. The
+        // reader must stay alive for the daemon's lifetime — closing
+        // the pipe would EPIPE its later log lines.
+        use std::io::BufRead as _;
+        let mut banner = std::io::BufReader::new(child.stderr.take().unwrap());
+        let mut line = String::new();
+        banner.read_line(&mut line).expect("read router banner");
+        let addr = line
+            .trim()
+            .rsplit(' ')
+            .next()
+            .expect("addr in router banner")
+            .to_string();
+        assert!(addr.starts_with("127.0.0.1:"), "banner: {line:?}");
+        addrs.push(addr);
+        banners.push(banner);
+        routers.push(child);
+    }
+    let tcp = correlate(&["--routers", "2", "--router-addr", &addrs.join(",")]);
+    assert_eq!(tcp, shards2, "--router-addr run diverged from --shards 2");
+    for mut child in routers {
+        child.kill().ok();
+        child.wait().ok();
+    }
+}
+
+#[test]
+fn distributed_flags_are_validated() {
+    let log = TmpFile::new("distributed-validate.log");
+    std::fs::write(
+        log.as_str(),
+        "1000 web httpd 7 7 RECEIVE 192.168.0.9:5000-10.0.0.1:80 120\n",
+    )
+    .unwrap();
+    let base = [
+        "correlate",
+        log.as_str(),
+        "--port",
+        "80",
+        "--internal",
+        INTERNAL,
+    ];
+
+    let err = stderr_of(&[&base[..], &["--routers", "2", "--shards", "2"]].concat());
+    assert!(err.contains("--routers conflicts with --shards"), "{err}");
+
+    let err = stderr_of(&[&base[..], &["--workers-per-router", "2"]].concat());
+    assert!(
+        err.contains("--workers-per-router requires --routers"),
+        "{err}"
+    );
+
+    let err = stderr_of(&[&base[..], &["--router-addr", "127.0.0.1:1"]].concat());
+    assert!(err.contains("--router-addr requires --routers"), "{err}");
+
+    let err = stderr_of(
+        &[
+            &base[..],
+            &["--routers", "2", "--router-addr", "127.0.0.1:1"],
+        ]
+        .concat(),
+    );
+    assert!(err.contains("1 router addresses for 2 routers"), "{err}");
+
+    let err = stderr_of(&[&base[..], &["--routers", "0"]].concat());
+    assert!(err.contains("router"), "{err}");
+
+    // A dead TCP peer is one clear router error, not a hang.
+    let err = stderr_of(
+        &[
+            &base[..],
+            &["--routers", "1", "--router-addr", "127.0.0.1:9"],
+        ]
+        .concat(),
+    );
+    assert!(err.contains("router 0 failed"), "{err}");
+
+    let err = stderr_of(&["router"]);
+    assert!(err.contains("--stdio or --listen"), "{err}");
+    let err = stderr_of(&["router", "--stdio", "--listen", "127.0.0.1:0"]);
+    assert!(err.contains("conflicts"), "{err}");
+}
+
+#[test]
 fn new_flags_are_validated_by_name() {
     let err = stderr_of(&[
         "correlate",

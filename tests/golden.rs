@@ -471,6 +471,21 @@ fn golden_sharded_partial_capture() {
     check_case_sharded("partial_capture");
 }
 
+#[test]
+fn golden_multi_frontend_3() {
+    check_case("multi_frontend_3");
+}
+
+#[test]
+fn golden_streaming_multi_frontend_3() {
+    check_case_streaming("multi_frontend_3", Feed::PushAllThenPoll);
+}
+
+#[test]
+fn golden_sharded_multi_frontend_3() {
+    check_case_sharded("multi_frontend_3");
+}
+
 /// Every case in tests/golden/ must be wired to a named #[test] above,
 /// so a new corpus file cannot be silently skipped.
 #[test]
@@ -487,6 +502,7 @@ fn golden_corpus_is_fully_covered() {
         "partial_capture",
         "gap_heavy",
         "bulk_mix_drop",
+        "multi_frontend_3",
     ];
     let mut found: Vec<String> = std::fs::read_dir(golden_dir())
         .expect("tests/golden")
@@ -526,7 +542,15 @@ fn golden_binary_source_matches_text_source_in_every_mode() {
             std::env::temp_dir().join(format!("pt_golden_{name}_{}.ptbin", std::process::id()));
         std::fs::write(&bin_path, &bin).unwrap();
         let base = PipelineConfig::new(directive.access).with_window(directive.window);
-        for mode in [Mode::Batch, Mode::Streaming, Mode::Sharded(3)] {
+        for mode in [
+            Mode::Batch,
+            Mode::Streaming,
+            Mode::Sharded(3),
+            Mode::Distributed {
+                routers: 3,
+                workers_per_router: 1,
+            },
+        ] {
             let from_text = Pipeline::new(base.clone().with_mode(mode))
                 .unwrap()
                 .run(Source::path(&log_path))
@@ -569,6 +593,10 @@ fn golden_spill_budget_matches_unbounded_in_every_mode() {
             Mode::Streaming,
             Mode::Sharded(2),
             Mode::Sharded(4),
+            Mode::Distributed {
+                routers: 2,
+                workers_per_router: 2,
+            },
         ] {
             let unbounded = Pipeline::new(base.clone().with_mode(mode))
                 .unwrap()
@@ -594,6 +622,42 @@ fn golden_spill_budget_matches_unbounded_in_every_mode() {
         }
     }
     assert!(cases >= 10, "expected the full golden corpus, got {cases}");
+}
+
+/// Distributed parity on every golden corpus: a two-router in-process
+/// cluster (`--routers 2`) renders **byte-identical** output to
+/// `Mode::Sharded(2)` — the cluster merge is canonical, so crossing a
+/// process boundary must never change a single byte.
+#[test]
+fn golden_distributed_matches_sharded_on_every_corpus() {
+    let mut cases = 0usize;
+    for entry in std::fs::read_dir(golden_dir()).expect("tests/golden") {
+        let log_path = entry.expect("dir entry").path();
+        if log_path.extension().map(|e| e != "log").unwrap_or(true) {
+            continue;
+        }
+        cases += 1;
+        let name = log_path.file_stem().unwrap().to_string_lossy().into_owned();
+        let text = std::fs::read_to_string(&log_path).unwrap();
+        let directive = parse_directive(&text, &log_path);
+        let base = PipelineConfig::new(directive.access).with_window(directive.window);
+        let sharded = Pipeline::new(base.clone().with_mode(Mode::Sharded(2)))
+            .unwrap()
+            .run(Source::text(&text))
+            .unwrap();
+        let dist = Pipeline::new(base.with_mode(Mode::Distributed {
+            routers: 2,
+            workers_per_router: 1,
+        }))
+        .unwrap()
+        .run(Source::text(&text))
+        .unwrap();
+        assert!(
+            render(&sharded) == render(&dist),
+            "{name}: distributed(2x1) diverged from sharded(2)"
+        );
+    }
+    assert!(cases >= 11, "expected the full golden corpus, got {cases}");
 }
 
 /// A budget tight enough to force actual page traffic must still give

@@ -315,6 +315,57 @@ proptest! {
         }
     }
 
+    /// Distributed invariant: a cluster of `R` router peers hosting
+    /// `W` shard workers each — claims crossing a process-style wire
+    /// boundary with incremental string interning — is byte-identical
+    /// to single-process `Mode::Sharded(R × W)`, over random seeds,
+    /// router counts and workers-per-router.
+    #[test]
+    fn distributed_output_equals_sharded_for_any_topology(
+        seed in any::<u64>(),
+        routers_ix in 0usize..3,
+        wpr in 1usize..4,
+        noise in prop::bool::ANY,
+    ) {
+        let routers = [1usize, 2, 4][routers_ix];
+        let mut cfg = rubis::ExperimentConfig::quick(6, 6);
+        cfg.seed = seed;
+        if noise {
+            cfg.noise = rubis::NoiseSpec {
+                ssh_msgs_per_sec: 20.0,
+                mysql_msgs_per_sec: 40.0,
+            };
+        }
+        let out = rubis::run(cfg);
+        let config = out.correlator_config(Nanos::from_millis(10));
+        let sharded = run_mode(&config, Mode::Sharded(routers * wpr), out.records.clone());
+        let dist = run_mode(
+            &config,
+            Mode::Distributed { routers, workers_per_router: wpr },
+            out.records.clone(),
+        );
+        let render = |o: &CorrelationOutput| {
+            format!("{:?}\n{:?}", o.cags, o.unfinished)
+        };
+        prop_assert_eq!(
+            render(&dist),
+            render(&sharded),
+            "distributed({}x{}) diverged from sharded({})",
+            routers, wpr, routers * wpr
+        );
+        // The absorbed cluster metrics must match the sharded merge
+        // exactly (wall time aside).
+        prop_assert_eq!(dist.metrics.records_in, sharded.metrics.records_in);
+        prop_assert_eq!(dist.metrics.filtered_out, sharded.metrics.filtered_out);
+        prop_assert_eq!(dist.metrics.cags_finished, sharded.metrics.cags_finished);
+        prop_assert_eq!(dist.metrics.cags_unfinished, sharded.metrics.cags_unfinished);
+        prop_assert_eq!(
+            dist.metrics.ranker.noise_discards,
+            sharded.metrics.ranker.noise_discards
+        );
+        prop_assert_eq!(dist.metrics.engine.delivered, sharded.metrics.engine.delivered);
+    }
+
     /// Sharded invariant, part 2: the streaming push path — records
     /// arriving in any per-host-ordered interleaving, in arbitrary
     /// chunk sizes with flushes between chunks — produces exactly the

@@ -158,3 +158,59 @@ fn multi_frontend_batch_output_is_byte_identical_to_sharded() {
         "multi-frontend batch output diverged from the sharded merge"
     );
 }
+
+#[test]
+fn multi_frontend_n_is_the_distributed_test_bed() {
+    // Provenance: the checked-in distributed golden corpus is exactly
+    // this preset's output, so `tests/golden/multi_frontend_3.log`
+    // carries real ground truth, not a hand-edited approximation.
+    let out = rubis::run(rubis::ExperimentConfig::multi_frontend_n(3));
+    let mut text = String::new();
+    for r in &out.records {
+        text.push_str(&r.to_string());
+        text.push('\n');
+    }
+    let checked_in = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/multi_frontend_3.log"
+    ))
+    .expect("checked-in distributed corpus");
+    let body: String = checked_in
+        .lines()
+        .filter(|l| !l.starts_with("#!"))
+        .flat_map(|l| [l, "\n"])
+        .collect();
+    assert_eq!(
+        text, body,
+        "tests/golden/multi_frontend_3.log no longer matches multi_frontend_n(3)"
+    );
+
+    // With BEGINs on three hosts, sessions straddle every router's
+    // claim stream; the cluster must still be perfectly accurate and
+    // byte-identical to the equivalent sharded run.
+    let dist = Pipeline::new(
+        PipelineConfig::from(out.correlator_config(Nanos::from_millis(10))).with_mode(
+            Mode::Distributed {
+                routers: 3,
+                workers_per_router: 2,
+            },
+        ),
+    )
+    .unwrap()
+    .run(Source::records(out.records.clone()))
+    .unwrap();
+    let acc = out.truth.evaluate(&dist.cags);
+    assert!(acc.is_perfect(), "{acc:?}");
+    let sharded = Pipeline::new(
+        PipelineConfig::from(out.correlator_config(Nanos::from_millis(10)))
+            .with_mode(Mode::Sharded(6)),
+    )
+    .unwrap()
+    .run(Source::records(out.records.clone()))
+    .unwrap();
+    assert_eq!(
+        format!("{:?}{:?}", dist.cags, dist.unfinished),
+        format!("{:?}{:?}", sharded.cags, sharded.unfinished),
+        "multi-frontend distributed output diverged from the sharded merge"
+    );
+}
